@@ -1,0 +1,193 @@
+//! Const-generic `ap_fixed<W,I>` / `ap_ufixed<W,I>` for host-side Rust code.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+use crate::DynFixed;
+
+macro_rules! ap_fixed_type {
+    ($(#[$doc:meta])* $name:ident, $signed:expr) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+        pub struct $name<const W: u32, const I: i32> {
+            raw: u128,
+        }
+
+        impl<const W: u32, const I: i32> $name<W, I> {
+            /// Creates a value from its raw scaled bit pattern.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `W` is zero or exceeds [`crate::MAX_WIDTH`].
+            pub fn from_raw(raw: u128) -> Self {
+                Self { raw: DynFixed::from_raw(W, I, $signed, raw).raw() }
+            }
+
+            /// Creates a value by rounding an `f64` to the nearest
+            /// representable value.
+            pub fn from_f64(value: f64) -> Self {
+                Self { raw: DynFixed::from_f64(W, I, $signed, value).raw() }
+            }
+
+            /// Creates a value from an integer.
+            pub fn from_int(value: i128) -> Self {
+                Self { raw: DynFixed::from_int(W, I, $signed, value).raw() }
+            }
+
+            /// The raw scaled bit pattern.
+            pub fn raw(self) -> u128 {
+                self.raw
+            }
+
+            /// Converts to `f64`.
+            pub fn to_f64(self) -> f64 {
+                self.dyn_value().to_f64()
+            }
+
+            /// Converts to the width-as-value representation.
+            pub fn dyn_value(self) -> DynFixed {
+                DynFixed::from_raw(W, I, $signed, self.raw)
+            }
+
+            fn from_dyn(d: DynFixed) -> Self {
+                Self { raw: d.resize(W, I, $signed).raw() }
+            }
+        }
+
+        impl<const W: u32, const I: i32> From<DynFixed> for $name<W, I> {
+            fn from(d: DynFixed) -> Self {
+                Self::from_dyn(d)
+            }
+        }
+
+        impl<const W: u32, const I: i32> Add for $name<W, I> {
+            type Output = Self;
+            fn add(self, rhs: Self) -> Self {
+                Self::from_dyn(self.dyn_value().add(rhs.dyn_value()))
+            }
+        }
+        impl<const W: u32, const I: i32> Sub for $name<W, I> {
+            type Output = Self;
+            fn sub(self, rhs: Self) -> Self {
+                Self::from_dyn(self.dyn_value().sub(rhs.dyn_value()))
+            }
+        }
+        impl<const W: u32, const I: i32> Mul for $name<W, I> {
+            type Output = Self;
+            fn mul(self, rhs: Self) -> Self {
+                Self::from_dyn(self.dyn_value().mul(rhs.dyn_value()))
+            }
+        }
+        impl<const W: u32, const I: i32> Div for $name<W, I> {
+            type Output = Self;
+            fn div(self, rhs: Self) -> Self {
+                Self::from_dyn(self.dyn_value().div(rhs.dyn_value()))
+            }
+        }
+        impl<const W: u32, const I: i32> Neg for $name<W, I> {
+            type Output = Self;
+            fn neg(self) -> Self {
+                Self::from_dyn(self.dyn_value().neg())
+            }
+        }
+
+        impl<const W: u32, const I: i32> PartialOrd for $name<W, I> {
+            fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+        impl<const W: u32, const I: i32> Ord for $name<W, I> {
+            fn cmp(&self, other: &Self) -> Ordering {
+                self.dyn_value().cmp_value(&other.dyn_value())
+            }
+        }
+
+        impl<const W: u32, const I: i32> fmt::Debug for $name<W, I> {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                fmt::Debug::fmt(&self.dyn_value(), f)
+            }
+        }
+        impl<const W: u32, const I: i32> fmt::Display for $name<W, I> {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                fmt::Display::fmt(&self.dyn_value(), f)
+            }
+        }
+    };
+}
+
+ap_fixed_type!(
+    /// Signed fixed-point number, mirroring Xilinx `ap_fixed<W,I>`.
+    ///
+    /// `I` counts integer bits including the sign bit; `W - I` bits hold the
+    /// fraction. Assignment truncates (`AP_TRN`) and wraps (`AP_WRAP`).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use aplib::ApFixed;
+    /// let a: ApFixed<32, 17> = ApFixed::from_f64(-2.5);
+    /// assert_eq!((a * a).to_f64(), 6.25);
+    /// ```
+    ApFixed,
+    true
+);
+
+ap_fixed_type!(
+    /// Unsigned fixed-point number, mirroring Xilinx `ap_ufixed<W,I>`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use aplib::ApUfixed;
+    /// let a: ApUfixed<16, 8> = ApUfixed::from_f64(0.5);
+    /// assert_eq!((a + a).to_f64(), 1.0);
+    /// ```
+    ApUfixed,
+    false
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type Fx = ApFixed<32, 17>;
+
+    #[test]
+    fn arithmetic() {
+        let a = Fx::from_f64(12.5);
+        let b = Fx::from_f64(-0.75);
+        assert_eq!((a + b).to_f64(), 11.75);
+        assert_eq!((a - b).to_f64(), 13.25);
+        assert_eq!((a * b).to_f64(), -9.375);
+        assert_eq!((a / Fx::from_f64(2.0)).to_f64(), 6.25);
+        assert_eq!((-a).to_f64(), -12.5);
+    }
+
+    #[test]
+    fn precision_truncation_on_assignment() {
+        // 1/3 is not representable; check it truncates, not rounds up.
+        let third = Fx::from_f64(1.0) / Fx::from_f64(3.0);
+        let eps = (15.0f64).exp2().recip();
+        assert!(third.to_f64() <= 1.0 / 3.0);
+        assert!(1.0 / 3.0 - third.to_f64() < eps);
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Fx::from_f64(-1.0) < Fx::from_f64(0.25));
+        assert!(ApUfixed::<8, 4>::from_f64(15.0) > ApUfixed::<8, 4>::from_f64(0.5));
+    }
+
+    #[test]
+    fn unsigned_fixed() {
+        let a: ApUfixed<16, 8> = ApUfixed::from_f64(128.5);
+        assert_eq!(a.to_f64(), 128.5);
+        assert_eq!((a + a).to_f64(), 1.0); // wraps: 257 mod 256 = 1
+    }
+
+    #[test]
+    fn default_is_zero() {
+        assert_eq!(Fx::default().to_f64(), 0.0);
+    }
+}

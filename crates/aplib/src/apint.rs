@@ -1,0 +1,307 @@
+//! Const-generic `ap_int<W>` / `ap_uint<W>` for host-side Rust code.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, BitAnd, BitOr, BitXor, Div, Mul, Neg, Not, Rem, Shl, Shr, Sub};
+
+use crate::bits::{sign_extend, wrap_to_width};
+use crate::DynInt;
+
+macro_rules! ap_int_type {
+    ($(#[$doc:meta])* $name:ident, $signed:expr) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+        pub struct $name<const W: u32> {
+            raw: u128,
+        }
+
+        impl<const W: u32> $name<W> {
+            /// Creates a value, wrapping the argument to `W` bits.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `W` is zero or exceeds [`crate::MAX_WIDTH`].
+            pub fn new(value: i128) -> Self {
+                Self { raw: wrap_to_width(value as u128, W) }
+            }
+
+            /// Creates a value from a raw bit pattern, wrapping to `W` bits.
+            pub fn from_raw(raw: u128) -> Self {
+                Self { raw: wrap_to_width(raw, W) }
+            }
+
+            /// The raw bit pattern, masked to `W` bits.
+            pub fn raw(self) -> u128 {
+                self.raw
+            }
+
+            /// The numeric value, sign- or zero-extended to `i128`.
+            pub fn to_i128(self) -> i128 {
+                self.dyn_value().to_i128()
+            }
+
+            /// The raw pattern zero-extended to `u128`.
+            pub fn to_u128(self) -> u128 {
+                self.raw
+            }
+
+            /// Converts to the width-as-value representation.
+            pub fn dyn_value(self) -> DynInt {
+                DynInt::from_raw(W, $signed, self.raw)
+            }
+
+            /// Extracts the inclusive bit range `[hi:lo]`, like `x(hi, lo)`.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `hi < lo` or `hi >= W`.
+            pub fn bit_range(self, hi: u32, lo: u32) -> u128 {
+                self.dyn_value().bit_range(hi, lo).raw()
+            }
+
+            /// Returns bit `index`.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `index >= W`.
+            pub fn bit(self, index: u32) -> bool {
+                self.dyn_value().bit(index)
+            }
+
+            fn from_dyn(d: DynInt) -> Self {
+                Self::from_raw(d.resize(W, $signed).raw())
+            }
+        }
+
+        impl<const W: u32> From<DynInt> for $name<W> {
+            fn from(d: DynInt) -> Self {
+                Self::from_dyn(d)
+            }
+        }
+
+        impl<const W: u32> Add for $name<W> {
+            type Output = Self;
+            fn add(self, rhs: Self) -> Self {
+                Self::from_dyn(self.dyn_value().add(rhs.dyn_value()))
+            }
+        }
+        impl<const W: u32> Sub for $name<W> {
+            type Output = Self;
+            fn sub(self, rhs: Self) -> Self {
+                Self::from_dyn(self.dyn_value().sub(rhs.dyn_value()))
+            }
+        }
+        impl<const W: u32> Mul for $name<W> {
+            type Output = Self;
+            fn mul(self, rhs: Self) -> Self {
+                Self::from_dyn(self.dyn_value().mul(rhs.dyn_value()))
+            }
+        }
+        impl<const W: u32> Div for $name<W> {
+            type Output = Self;
+            fn div(self, rhs: Self) -> Self {
+                Self::from_dyn(self.dyn_value().div(rhs.dyn_value()))
+            }
+        }
+        impl<const W: u32> Rem for $name<W> {
+            type Output = Self;
+            fn rem(self, rhs: Self) -> Self {
+                Self::from_dyn(self.dyn_value().rem(rhs.dyn_value()))
+            }
+        }
+        impl<const W: u32> BitAnd for $name<W> {
+            type Output = Self;
+            fn bitand(self, rhs: Self) -> Self {
+                Self::from_raw(self.raw & rhs.raw)
+            }
+        }
+        impl<const W: u32> BitOr for $name<W> {
+            type Output = Self;
+            fn bitor(self, rhs: Self) -> Self {
+                Self::from_raw(self.raw | rhs.raw)
+            }
+        }
+        impl<const W: u32> BitXor for $name<W> {
+            type Output = Self;
+            fn bitxor(self, rhs: Self) -> Self {
+                Self::from_raw(self.raw ^ rhs.raw)
+            }
+        }
+        impl<const W: u32> Not for $name<W> {
+            type Output = Self;
+            fn not(self) -> Self {
+                Self::from_raw(!self.raw)
+            }
+        }
+        impl<const W: u32> Neg for $name<W> {
+            type Output = Self;
+            fn neg(self) -> Self {
+                Self::from_raw((!self.raw).wrapping_add(1))
+            }
+        }
+        impl<const W: u32> Shl<u32> for $name<W> {
+            type Output = Self;
+            fn shl(self, amount: u32) -> Self {
+                Self::from_dyn(self.dyn_value().shl(amount))
+            }
+        }
+        impl<const W: u32> Shr<u32> for $name<W> {
+            type Output = Self;
+            fn shr(self, amount: u32) -> Self {
+                Self::from_dyn(self.dyn_value().shr(amount))
+            }
+        }
+
+        impl<const W: u32> PartialOrd for $name<W> {
+            fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+        impl<const W: u32> Ord for $name<W> {
+            fn cmp(&self, other: &Self) -> Ordering {
+                if $signed {
+                    sign_extend(self.raw, W).cmp(&sign_extend(other.raw, W))
+                } else {
+                    self.raw.cmp(&other.raw)
+                }
+            }
+        }
+
+        impl<const W: u32> fmt::Debug for $name<W> {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                fmt::Debug::fmt(&self.dyn_value(), f)
+            }
+        }
+        impl<const W: u32> fmt::Display for $name<W> {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                fmt::Display::fmt(&self.dyn_value(), f)
+            }
+        }
+        impl<const W: u32> fmt::LowerHex for $name<W> {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                fmt::LowerHex::fmt(&self.raw, f)
+            }
+        }
+        impl<const W: u32> fmt::UpperHex for $name<W> {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                fmt::UpperHex::fmt(&self.raw, f)
+            }
+        }
+        impl<const W: u32> fmt::Octal for $name<W> {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                fmt::Octal::fmt(&self.raw, f)
+            }
+        }
+        impl<const W: u32> fmt::Binary for $name<W> {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                fmt::Binary::fmt(&self.raw, f)
+            }
+        }
+
+        impl<const W: u32> From<u64> for $name<W> {
+            fn from(v: u64) -> Self {
+                Self::from_raw(v as u128)
+            }
+        }
+        impl<const W: u32> From<i64> for $name<W> {
+            fn from(v: i64) -> Self {
+                Self::new(v as i128)
+            }
+        }
+    };
+}
+
+ap_int_type!(
+    /// Signed arbitrary-precision integer, mirroring Xilinx `ap_int<W>`.
+    ///
+    /// Arithmetic wraps to `W` bits; shifts right are arithmetic.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use aplib::ApInt;
+    /// let a: ApInt<6> = ApInt::new(31);
+    /// assert_eq!((a + ApInt::new(1)).to_i128(), -32);
+    /// ```
+    ApInt,
+    true
+);
+
+ap_int_type!(
+    /// Unsigned arbitrary-precision integer, mirroring Xilinx `ap_uint<W>`.
+    ///
+    /// Arithmetic wraps to `W` bits; shifts right are logical.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use aplib::ApUint;
+    /// let a: ApUint<4> = ApUint::new(15);
+    /// assert_eq!((a + ApUint::new(2)).to_u128(), 1);
+    /// ```
+    ApUint,
+    false
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn signed_wrapping() {
+        let a: ApInt<8> = ApInt::new(127);
+        assert_eq!((a + ApInt::new(1)).to_i128(), -128);
+        assert_eq!((-ApInt::<8>::new(5)).to_i128(), -5);
+    }
+
+    #[test]
+    fn unsigned_wrapping() {
+        let a: ApUint<8> = ApUint::new(255);
+        assert_eq!((a + ApUint::new(3)).to_u128(), 2);
+    }
+
+    #[test]
+    fn ordering_respects_sign() {
+        assert!(ApInt::<8>::new(-1) < ApInt::<8>::new(0));
+        assert!(ApUint::<8>::new(255) > ApUint::<8>::new(0));
+    }
+
+    #[test]
+    fn shifts_and_bits() {
+        let v: ApUint<32> = ApUint::new(0xdead_beef);
+        assert_eq!(v.bit_range(31, 16), 0xdead);
+        assert!(v.bit(0));
+        assert_eq!((v >> 16).to_u128(), 0xdead);
+        assert_eq!((ApInt::<8>::new(-4) >> 1).to_i128(), -2);
+        assert_eq!((ApUint::<8>::new(1) << 3).to_u128(), 8);
+    }
+
+    #[test]
+    fn division_and_modulo() {
+        assert_eq!((ApInt::<16>::new(-7) / ApInt::new(2)).to_i128(), -3);
+        assert_eq!((ApUint::<16>::new(7) % ApUint::new(4)).to_u128(), 3);
+        assert_eq!((ApUint::<16>::new(7) / ApUint::new(0)).to_u128(), 0);
+    }
+
+    #[test]
+    fn formatting() {
+        let v: ApUint<16> = ApUint::new(0xbeef);
+        assert_eq!(format!("{v:x}"), "beef");
+        assert_eq!(format!("{v:X}"), "BEEF");
+        assert_eq!(format!("{v:o}"), "137357");
+        assert_eq!(format!("{v:b}"), "1011111011101111");
+    }
+
+    #[test]
+    fn default_is_zero() {
+        assert_eq!(ApInt::<32>::default().to_i128(), 0);
+    }
+
+    #[test]
+    fn dyn_roundtrip() {
+        let v: ApInt<24> = ApInt::new(-1234);
+        let d = v.dyn_value();
+        assert_eq!(d.width(), 24);
+        assert_eq!(ApInt::<24>::from(d).to_i128(), -1234);
+    }
+}

@@ -1,0 +1,103 @@
+//! Low-level bit-manipulation helpers shared by every arbitrary-precision type.
+
+/// Returns a mask with the low `width` bits set.
+///
+/// # Panics
+///
+/// Panics if `width` is zero or exceeds [`crate::MAX_WIDTH`].
+#[inline]
+pub fn mask(width: u32) -> u128 {
+    assert!(
+        (1..=crate::MAX_WIDTH).contains(&width),
+        "bit width must be in 1..=128, got {width}"
+    );
+    if width == 128 {
+        u128::MAX
+    } else {
+        (1u128 << width) - 1
+    }
+}
+
+/// Truncates `value` (a two's-complement bit pattern) to `width` bits,
+/// returning the raw masked pattern.
+#[inline]
+pub fn wrap_to_width(value: u128, width: u32) -> u128 {
+    value & mask(width)
+}
+
+/// Sign-extends the low `width` bits of `raw` into a full `i128`.
+#[inline]
+pub fn sign_extend(raw: u128, width: u32) -> i128 {
+    let m = mask(width);
+    let v = raw & m;
+    if width < 128 && (v >> (width - 1)) & 1 == 1 {
+        (v | !m) as i128
+    } else {
+        v as i128
+    }
+}
+
+/// Minimum number of bits needed to represent `v` as an unsigned integer.
+/// Zero needs one bit.
+#[inline]
+pub fn min_bits_unsigned(v: u128) -> u32 {
+    (128 - v.leading_zeros()).max(1)
+}
+
+/// Minimum number of bits needed to represent `v` in two's complement.
+/// Zero and -1 need one bit.
+#[inline]
+pub fn min_bits_signed(v: i128) -> u32 {
+    if v >= 0 {
+        min_bits_unsigned(v as u128) + 1
+    } else {
+        (128 - (!(v as u128)).leading_zeros()) + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mask_widths() {
+        assert_eq!(mask(1), 1);
+        assert_eq!(mask(8), 0xff);
+        assert_eq!(mask(127), u128::MAX >> 1);
+        assert_eq!(mask(128), u128::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "bit width")]
+    fn mask_zero_panics() {
+        mask(0);
+    }
+
+    #[test]
+    fn sign_extension() {
+        assert_eq!(sign_extend(0b1000, 4), -8);
+        assert_eq!(sign_extend(0b0111, 4), 7);
+        assert_eq!(sign_extend(0xff, 8), -1);
+        assert_eq!(sign_extend(0xff, 9), 255);
+        assert_eq!(sign_extend(u128::MAX, 128), -1);
+    }
+
+    #[test]
+    fn min_bits() {
+        assert_eq!(min_bits_unsigned(0), 1);
+        assert_eq!(min_bits_unsigned(1), 1);
+        assert_eq!(min_bits_unsigned(255), 8);
+        assert_eq!(min_bits_unsigned(256), 9);
+        assert_eq!(min_bits_signed(0), 2);
+        assert_eq!(min_bits_signed(-1), 1);
+        assert_eq!(min_bits_signed(127), 8);
+        assert_eq!(min_bits_signed(-128), 8);
+        assert_eq!(min_bits_signed(-129), 9);
+    }
+
+    #[test]
+    fn wrap() {
+        assert_eq!(wrap_to_width(0x1ff, 8), 0xff);
+        assert_eq!(wrap_to_width(42, 32), 42);
+    }
+}

@@ -1,0 +1,130 @@
+//! Property-based tests: the arbitrary-precision types must agree with native
+//! wide integer arithmetic wherever both are defined, because the whole PLD
+//! story depends on one source producing identical results on FPGA pages,
+//! softcores and the host (paper Sec. 3.2, 5.2).
+
+use aplib::{DynFixed, DynInt};
+use proptest::prelude::*;
+
+fn any_width() -> impl Strategy<Value = u32> {
+    1u32..=64
+}
+
+proptest! {
+    #[test]
+    fn add_matches_i128_mod_2w(w in any_width(), a in any::<i64>(), b in any::<i64>()) {
+        let x = DynInt::from_i128(w, true, a as i128);
+        let y = DynInt::from_i128(w, true, b as i128);
+        let sum = x.add(y);
+        let expected = DynInt::from_i128(w, true, (a as i128).wrapping_add(b as i128));
+        prop_assert_eq!(sum.raw(), expected.raw());
+    }
+
+    #[test]
+    fn mul_matches_i128_mod_2w(w in any_width(), a in any::<i32>(), b in any::<i32>()) {
+        let x = DynInt::from_i128(w, true, a as i128);
+        let y = DynInt::from_i128(w, true, b as i128);
+        let prod = x.mul(y);
+        // Multiplying the wrapped values at infinite precision then wrapping
+        // equals wrapping the full product: both are reduction mod 2^w.
+        let expected = DynInt::from_i128(
+            w,
+            true,
+            x.to_i128().wrapping_mul(y.to_i128()),
+        );
+        prop_assert_eq!(prod.raw(), expected.raw());
+    }
+
+    #[test]
+    fn sub_is_add_of_negation(w in any_width(), a in any::<i64>(), b in any::<i64>()) {
+        let x = DynInt::from_i128(w, true, a as i128);
+        let y = DynInt::from_i128(w, true, b as i128);
+        prop_assert_eq!(x.sub(y).raw(), x.add(y.neg()).raw());
+    }
+
+    #[test]
+    fn resize_widen_preserves_value(w in 1u32..=64, a in any::<i64>(), extra in 0u32..=64) {
+        let x = DynInt::from_i128(w, true, a as i128);
+        let wide = x.resize(w + extra, true);
+        prop_assert_eq!(wide.to_i128(), x.to_i128());
+    }
+
+    #[test]
+    fn unsigned_div_matches_u128(w in any_width(), a in any::<u64>(), b in 1u64..) {
+        let x = DynInt::from_i128(w, false, a as i128);
+        let y = DynInt::from_i128(w, false, b as i128);
+        if !y.is_zero() {
+            prop_assert_eq!(x.div(y).raw(), x.raw() / y.raw());
+        }
+    }
+
+    #[test]
+    fn bit_range_concat_roundtrip(raw in any::<u64>(), split in 1u32..63) {
+        let v = DynInt::from_raw(64, false, raw as u128);
+        let hi = v.bit_range(63, split);
+        let lo = v.bit_range(split - 1, 0);
+        let rebuilt = (hi.raw() << split) | lo.raw();
+        prop_assert_eq!(rebuilt, raw as u128);
+    }
+
+    #[test]
+    fn shift_pairs_are_inverse_for_small_values(w in 8u32..=64, a in any::<u32>(), s in 0u32..4) {
+        let small = (a % 16) as i128;
+        let x = DynInt::from_i128(w, false, small);
+        prop_assert_eq!(x.shl(s).shr(s).to_i128(), small);
+    }
+
+    #[test]
+    fn comparison_is_total_order(w in any_width(), a in any::<i64>(), b in any::<i64>()) {
+        let x = DynInt::from_i128(w, true, a as i128);
+        let y = DynInt::from_i128(w, true, b as i128);
+        let xy = x.cmp_value(&y);
+        let yx = y.cmp_value(&x);
+        prop_assert_eq!(xy, yx.reverse());
+    }
+}
+
+proptest! {
+    #[test]
+    fn fixed_add_matches_f64_when_exact(
+        int_bits in 2i32..20,
+        a in -1000i64..1000,
+        b in -1000i64..1000,
+    ) {
+        // Halves are exactly representable for any frac >= 1.
+        let width = (int_bits + 12) as u32;
+        let x = DynFixed::from_f64(width, int_bits + 11, true, a as f64 / 2.0);
+        let y = DynFixed::from_f64(width, int_bits + 11, true, b as f64 / 2.0);
+        // Only check when both inputs survived the wrap intact.
+        if x.to_f64() == a as f64 / 2.0 && y.to_f64() == b as f64 / 2.0 {
+            prop_assert_eq!(x.add(y).to_f64(), (a + b) as f64 / 2.0);
+        }
+    }
+
+    #[test]
+    fn fixed_mul_commutes(a in -100.0f64..100.0, b in -100.0f64..100.0) {
+        let x = DynFixed::from_f64(32, 17, true, a);
+        let y = DynFixed::from_f64(32, 17, true, b);
+        prop_assert_eq!(x.mul(y).raw(), y.mul(x).raw());
+    }
+
+    #[test]
+    fn fixed_neg_is_involution(a in -1000.0f64..1000.0) {
+        let x = DynFixed::from_f64(32, 17, true, a);
+        prop_assert_eq!(x.neg().neg().raw(), x.raw());
+    }
+
+    #[test]
+    fn fixed_resize_widen_is_lossless(a in -100.0f64..100.0) {
+        let x = DynFixed::from_f64(32, 17, true, a);
+        let wide = x.resize(64, 40, true);
+        prop_assert_eq!(wide.to_f64(), x.to_f64());
+        prop_assert_eq!(wide.resize(32, 17, true).raw(), x.raw());
+    }
+
+    #[test]
+    fn fixed_div_by_self_is_one(a in 1.0f64..1000.0) {
+        let x = DynFixed::from_f64(32, 17, true, a);
+        prop_assert_eq!(x.div(x).to_f64(), 1.0);
+    }
+}

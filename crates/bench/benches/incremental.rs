@@ -1,0 +1,73 @@
+//! Micro-benchmark: incremental rebuild cost — edit 1 of N operators and
+//! measure the rebuild against a cold build (the Sec. 6 Makefile-discipline
+//! claim).
+//!
+//! `cargo bench -p pld-bench --bench incremental`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dfg::{Graph, GraphBuilder, Target};
+use kir::{Expr, KernelBuilder, Scalar, Stmt};
+use pld::{BuildCache, CompileOptions, OptLevel};
+
+fn stage(name: &str, addend: i64) -> kir::Kernel {
+    KernelBuilder::new(name)
+        .input("in", Scalar::uint(32))
+        .output("out", Scalar::uint(32))
+        .local("x", Scalar::uint(32))
+        .body([Stmt::for_pipelined(
+            "i",
+            0..64,
+            [
+                Stmt::read("x", "in"),
+                Stmt::write("out", Expr::var("x").add(Expr::cint(addend))),
+            ],
+        )])
+        .build()
+        .expect("kernel is well-formed")
+}
+
+fn pipeline(n: usize, edited: Option<usize>) -> Graph {
+    let mut b = GraphBuilder::new("pipe");
+    let ids: Vec<_> = (0..n)
+        .map(|i| {
+            let addend = if Some(i) == edited { 999 } else { i as i64 };
+            b.add(format!("op{i}"), stage(&format!("op{i}"), addend), Target::hw(i as u32))
+        })
+        .collect();
+    b.ext_input("Input_1", ids[0], "in");
+    for w in ids.windows(2) {
+        b.connect(format!("l{:?}", w[0]), w[0], "out", w[1], "in");
+    }
+    b.ext_output("Output_1", ids[n - 1], "out");
+    b.build().expect("graph is well-formed")
+}
+
+fn bench_rebuild(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rebuild_one_of_n");
+    group.sample_size(10);
+    for n in [4usize, 8, 16] {
+        group.bench_with_input(BenchmarkId::new("cold_build", n), &n, |b, &n| {
+            let g = pipeline(n, None);
+            b.iter(|| {
+                let mut cache = BuildCache::new();
+                cache.compile(&g, &CompileOptions::new(OptLevel::O1)).expect("compiles")
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("edit_one", n), &n, |b, &n| {
+            let g1 = pipeline(n, None);
+            let g2 = pipeline(n, Some(n / 2));
+            let mut cache = BuildCache::new();
+            cache.compile(&g1, &CompileOptions::new(OptLevel::O1)).expect("warm");
+            b.iter(|| {
+                // Alternate between the two versions: each build recompiles
+                // exactly the one operator that differs.
+                cache.compile(&g2, &CompileOptions::new(OptLevel::O1)).expect("incr");
+                cache.compile(&g1, &CompileOptions::new(OptLevel::O1)).expect("incr")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rebuild);
+criterion_main!(benches);

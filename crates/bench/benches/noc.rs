@@ -1,0 +1,71 @@
+//! Micro-benchmark: linking-network behaviour — uplink bandwidth, neighbour
+//! vs cross-root latency, hotspot deflection, and re-link configuration cost
+//! (paper Sec. 4.3).
+//!
+//! `cargo bench -p pld-bench --bench noc`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use noc::{BftNoc, PortAddr};
+
+fn bench_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("noc_stream_1000_words");
+    group.sample_size(20);
+    for (name, dest) in [("neighbour", 1u16), ("cross_root", 31)] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &dest, |b, &dest| {
+            b.iter(|| {
+                let mut net = BftNoc::new(32, 1, 64);
+                net.set_dest(0, 0, PortAddr { leaf: dest, port: 0 });
+                let mut sent = 0u32;
+                while net.stats().delivered < 1000 {
+                    if sent < 1000 && net.inject(0, 0, sent).is_ok() {
+                        sent += 1;
+                    }
+                    net.step();
+                }
+                net.cycle()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_hotspot(c: &mut Criterion) {
+    c.bench_function("noc_hotspot_8_to_1", |b| {
+        b.iter(|| {
+            let mut net = BftNoc::new(16, 1, 64);
+            for i in 1..9usize {
+                net.set_dest(i, 0, PortAddr { leaf: 0, port: 0 });
+            }
+            let mut sent = 0u64;
+            while net.stats().delivered < 800 {
+                for leaf in 1..9usize {
+                    if sent < 800 && net.inject(leaf, 0, sent as u32).is_ok() {
+                        sent += 1;
+                    }
+                }
+                net.step();
+            }
+            net.stats().deflections
+        })
+    });
+}
+
+fn bench_relink(c: &mut Criterion) {
+    // Re-linking an application is a handful of config packets — measure
+    // the full deliver-and-apply cost for a 22-operator design.
+    c.bench_function("noc_relink_22_pages", |b| {
+        b.iter(|| {
+            let mut net = BftNoc::new(24, 2, 64);
+            for page in 0..22u16 {
+                net.send_config(22, page, 0, PortAddr { leaf: (page + 1) % 22, port: 0 })
+                    .expect("config fits");
+            }
+            net.drain(10_000);
+            assert_eq!(net.stats().config_writes, 22);
+            net.cycle()
+        })
+    });
+}
+
+criterion_group!(benches, bench_throughput, bench_hotspot, bench_relink);
+criterion_main!(benches);

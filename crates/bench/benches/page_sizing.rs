@@ -1,0 +1,54 @@
+//! Micro-benchmark: the Eq. 1 page-sizing model across sizes (the ablation
+//! behind the paper's ~18k-LUT page choice, Sec. 4.1), plus measured compile
+//! cost per page size.
+//!
+//! `cargo bench -p pld-bench --bench page_sizing`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fabric::{page_efficiency, EfficiencyParams};
+use netlist::{CellKind, Netlist};
+use pnr::{place_and_route, PnrOptions};
+
+fn operator(cells: usize) -> Netlist {
+    let mut nl = Netlist::new("op");
+    let mut prev = nl.add_cell("in", CellKind::StreamIn { width: 32 });
+    for i in 0..cells {
+        let c = nl.add_cell(format!("c{i}"), CellKind::Adder { width: 32 });
+        nl.add_net(prev, vec![c], 32);
+        prev = c;
+    }
+    nl
+}
+
+fn bench_efficiency_model(c: &mut Criterion) {
+    // Print the Eq. 1 curve once (the bench's real artifact), then measure
+    // the model itself (cheap, but keeps the sweep in the harness).
+    let params = EfficiencyParams::default();
+    println!("\nEq. 1 efficiency at matched operators:");
+    for size in [2_000u64, 4_500, 9_000, 18_000, 36_000, 72_000] {
+        let ops = vec![size; 22];
+        println!("  {:>6} LUT pages: {:>5.1}%", size, page_efficiency(&ops, size, &params) * 100.0);
+    }
+    c.bench_function("eq1_model", |b| {
+        let ops = vec![18_000u64; 22];
+        b.iter(|| page_efficiency(&ops, 18_000, &params))
+    });
+}
+
+fn bench_page_height_compile_cost(c: &mut Criterion) {
+    // Smaller pages compile faster: sweep region height for a fixed design.
+    let device = fabric::Device::xcu50();
+    let nl = operator(60);
+    let mut group = c.benchmark_group("page_size_compile");
+    group.sample_size(10);
+    for rows in [5u32, 10, 20, 40] {
+        let rect = fabric::Rect::new(2, 0, 11, rows);
+        group.bench_with_input(BenchmarkId::from_parameter(rows * 11), &rect, |b, &rect| {
+            b.iter(|| place_and_route(&nl, &device, rect, &PnrOptions::default()).expect("fits"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_efficiency_model, bench_page_height_compile_cost);
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! Micro-benchmark: place-and-route effort scales super-linearly with
+//! problem size (paper Sec. 2.2), and the abstract shell removes the
+//! whole-device context cost (Sec. 4.1).
+//!
+//! `cargo bench -p pld-bench --bench pnr_scaling`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use netlist::{CellKind, Netlist};
+use pnr::{place_and_route, PnrOptions};
+
+fn datapath(cells: usize) -> Netlist {
+    let mut nl = Netlist::new(format!("dp{cells}"));
+    let mut prev = nl.add_cell("in", CellKind::StreamIn { width: 32 });
+    for i in 0..cells {
+        let kind = match i % 5 {
+            0 => CellKind::Adder { width: 32 },
+            1 => CellKind::Mult { width: 18 },
+            2 => CellKind::Register { width: 32 },
+            3 => CellKind::Logic { width: 16 },
+            _ => CellKind::Mux { width: 32 },
+        };
+        let c = nl.add_cell(format!("c{i}"), kind);
+        nl.add_net(prev, vec![c], 32);
+        prev = c;
+    }
+    nl
+}
+
+fn bench_size_scaling(c: &mut Criterion) {
+    let fp = fabric::Floorplan::u50();
+    let mut group = c.benchmark_group("pnr_cells");
+    group.sample_size(10);
+    for cells in [50usize, 100, 200] {
+        let nl = datapath(cells);
+        group.bench_with_input(BenchmarkId::from_parameter(cells), &nl, |b, nl| {
+            b.iter(|| {
+                place_and_route(nl, &fp.device, fp.pages[0].rect, &PnrOptions::default())
+                    .expect("fits")
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_region_scaling(c: &mut Criterion) {
+    let fp = fabric::Floorplan::u50();
+    let nl = datapath(100);
+    let mut group = c.benchmark_group("pnr_region");
+    group.sample_size(10);
+    let regions = [
+        ("page_110_tiles", fp.pages[0].rect),
+        ("quad_440_tiles", fabric::Rect::new(2, 0, 11, 40)),
+        ("device_3840_tiles", fabric::Rect::new(2, 0, 48, 80)),
+    ];
+    for (name, rect) in regions {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &rect, |b, &rect| {
+            b.iter(|| {
+                place_and_route(&nl, &fp.device, rect, &PnrOptions::default()).expect("fits")
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_abstract_shell(c: &mut Criterion) {
+    let fp = fabric::Floorplan::u50();
+    let nl = datapath(80);
+    let mut group = c.benchmark_group("pnr_abstract_shell");
+    group.sample_size(10);
+    for (name, shell) in [("with_abstract_shell", true), ("full_context", false)] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                place_and_route(
+                    &nl,
+                    &fp.device,
+                    fp.pages[0].rect,
+                    &PnrOptions { abstract_shell: shell, ..Default::default() },
+                )
+                .expect("fits")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_size_scaling, bench_region_scaling, bench_abstract_shell);
+criterion_main!(benches);

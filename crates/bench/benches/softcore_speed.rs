@@ -1,0 +1,92 @@
+//! Micro-benchmark: `-O0` compile speed (the "seconds" claim of Tab. 2) and
+//! softcore emulation throughput, plus the native/intrinsic cost split.
+//!
+//! `cargo bench -p pld-bench --bench softcore_speed`
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kir::{Expr, Kernel, KernelBuilder, Scalar, Stmt};
+use softcore::{compile_kernel, execute};
+
+fn int_kernel(n: i64) -> Kernel {
+    KernelBuilder::new("ints")
+        .input("in", Scalar::uint(32))
+        .output("out", Scalar::uint(32))
+        .local("x", Scalar::uint(32))
+        .local("acc", Scalar::uint(32))
+        .body([
+            Stmt::for_loop(
+                "i",
+                0..n,
+                [
+                    Stmt::read("x", "in"),
+                    Stmt::assign(
+                        "acc",
+                        Expr::var("acc")
+                            .add(Expr::var("x").mul(Expr::cint(17)).xor(Expr::var("i"))),
+                    ),
+                ],
+            ),
+            Stmt::write("out", Expr::var("acc")),
+        ])
+        .build()
+        .expect("kernel is well-formed")
+}
+
+fn fixed_kernel(n: i64) -> Kernel {
+    let fx = Scalar::fixed(32, 17);
+    KernelBuilder::new("fixed")
+        .input("in", fx)
+        .output("out", fx)
+        .local("x", fx)
+        .local("acc", fx)
+        .body([
+            Stmt::for_loop(
+                "i",
+                0..n,
+                [
+                    Stmt::read("x", "in"),
+                    Stmt::assign(
+                        "acc",
+                        Expr::var("acc").add(Expr::var("x").mul(Expr::cfixed(0.5, fx))),
+                    ),
+                ],
+            ),
+            Stmt::write("out", Expr::var("acc")),
+        ])
+        .build()
+        .expect("kernel is well-formed")
+}
+
+fn bench_compile_speed(c: &mut Criterion) {
+    // The -O0 promise: compiling an operator takes well under a second.
+    let k = int_kernel(1024);
+    c.bench_function("riscv_compile_operator", |b| b.iter(|| compile_kernel(&k).expect("compiles")));
+}
+
+fn bench_execution(c: &mut Criterion) {
+    let inputs: Vec<Vec<u32>> = vec![(0..1024).collect()];
+    let mut group = c.benchmark_group("softcore_1024_iterations");
+    group.sample_size(20);
+    let native = compile_kernel(&int_kernel(1024)).expect("compiles");
+    group.bench_function("native_int32", |b| {
+        b.iter(|| execute(&native, &inputs, u64::MAX).expect("runs").cycles)
+    });
+    let intrinsic = compile_kernel(&fixed_kernel(1024)).expect("compiles");
+    group.bench_function("fixed_point_intrinsics", |b| {
+        b.iter(|| execute(&intrinsic, &inputs, u64::MAX).expect("runs").cycles)
+    });
+    group.finish();
+
+    // Report the modelled slowdown vs 200 MHz hardware once.
+    let out = execute(&native, &inputs, u64::MAX).expect("runs");
+    let hw = hlsim::compile(&int_kernel(1024)).expect("hls");
+    println!(
+        "\nsoftcore {} cycles vs hardware {} cycles: {:.0}x slowdown at equal clocks",
+        out.cycles,
+        hw.report.invocation_cycles,
+        out.cycles as f64 / hw.report.invocation_cycles as f64
+    );
+}
+
+criterion_group!(benches, bench_compile_speed, bench_execution);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Regenerates Fig. 10: speedup distribution with one operator on a
+//! softcore (`-O0`) and the rest on FPGA pages (`-O1`), normalized to the
+//! all-softcore case.
+//!
+//! `cargo run --release -p pld-bench --bin fig10 [tiny|small|medium]`
+
+use dfg::{GraphBuilder, Target};
+use pld::{compile, execute, CompileOptions, OptLevel};
+use pld_bench::{histogram_line, scale_from_args};
+use rosetta::{suite, Scale};
+
+fn retarget(graph: &dfg::Graph, soft_op: Option<&str>) -> dfg::Graph {
+    let mut b = GraphBuilder::new(graph.name.clone());
+    let ids: Vec<_> = graph
+        .operators
+        .iter()
+        .map(|o| {
+            let target = if Some(o.name.as_str()) == soft_op {
+                Target::riscv_auto()
+            } else {
+                Target::hw_auto()
+            };
+            b.add(o.name.clone(), o.kernel.clone(), target)
+        })
+        .collect();
+    for p in &graph.ext_inputs {
+        b.ext_input(p.name.clone(), ids[p.op.0], &p.port);
+    }
+    for e in &graph.edges {
+        b.connect(e.name.clone(), ids[e.from.0 .0], &e.from.1, ids[e.to.0 .0], &e.to.1);
+    }
+    for p in &graph.ext_outputs {
+        b.ext_output(p.name.clone(), ids[p.op.0], &p.port);
+    }
+    b.build().expect("retargeted graph is well-formed")
+}
+
+fn main() {
+    let scale = match scale_from_args() {
+        Scale::Medium => Scale::Small, // per-operator sweep: keep it tractable
+        s => s,
+    };
+    println!("Figure 10: Speedup with One Softcore (-O0) and Rest on Pages (-O1),");
+    println!("normalized to the all-softcore (-O0) case ({scale:?} scale)\n");
+
+    for bench in suite(scale) {
+        let inputs = bench.input_refs();
+        // Baseline: everything on softcores.
+        let all_soft = compile(&bench.graph, &CompileOptions::new(OptLevel::O0)).expect("-O0");
+        let base = execute::perf_o0(&all_soft, &inputs).expect("o0 perf").seconds_per_input;
+
+        let mut speedups = Vec::new();
+        for op in &bench.graph.operators {
+            let g = retarget(&bench.graph, Some(op.name.as_str()));
+            let app = compile(&g, &CompileOptions::new(OptLevel::O1))
+                .unwrap_or_else(|e| panic!("{}/{}: {e}", bench.name, op.name));
+            let mixed = execute::perf_o1(&app, &inputs).expect("mixed cosim").seconds_per_input;
+            speedups.push(base / mixed);
+        }
+        speedups.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let lo = speedups[0];
+        let hi = *speedups.last().expect("nonempty");
+        println!(
+            "{:18} speedup {:>8.1}x .. {:>8.1}x over all--O0  [{}]",
+            bench.name,
+            lo,
+            hi,
+            histogram_line(&speedups, 24)
+        );
+    }
+    println!(
+        "\npaper shape: when the bottleneck operator is the softcore the speedup\n\
+         approaches 1x; otherwise it falls between the all--O0 and all--O1 cases."
+    );
+}

@@ -1,0 +1,66 @@
+//! Regenerates Fig. 11: performance vs compile time across the options.
+//!
+//! `cargo run --release -p pld-bench --bin fig11 [tiny|small|medium]`
+
+use pld::execute;
+use pld_bench::{compile_suite, scale_from_args};
+
+fn main() {
+    let scale = scale_from_args();
+    let entries = compile_suite(scale);
+
+    println!("Figure 11: Performance vs. Compile Time ({scale:?} scale)\n");
+    println!(
+        "{:18} {:8} {:>14} {:>16} {:>12}",
+        "benchmark", "option", "compile (s)", "s/input", "norm perf"
+    );
+
+    let mut points: Vec<(f64, f64)> = Vec::new();
+    for e in &entries {
+        let inputs = e.bench.input_refs();
+        let items = e.bench.items as f64;
+        let o3_perf = execute::perf_o3(&e.o3).expect("o3").seconds_per_input / items;
+        let rows = [
+            ("Vitis", e.o3.compile_seconds(),
+             execute::perf_vitis(&e.o3).expect("vitis").seconds_per_input / items),
+            ("-O3", e.o3.compile_seconds(), o3_perf),
+            ("-O1", e.o1.compile_seconds(),
+             execute::perf_o1(&e.o1, &inputs).expect("o1").seconds_per_input / items),
+            ("-O0", e.o0.compile_seconds(),
+             execute::perf_o0(&e.o0, &inputs).expect("o0").seconds_per_input / items),
+        ];
+        for (name, compile_s, per_input) in rows {
+            let norm = o3_perf / per_input; // 1.0 = -O3 performance
+            println!(
+                "{:18} {:8} {:>14.1} {:>16.6} {:>12.6}",
+                e.bench.name, name, compile_s, per_input, norm
+            );
+            points.push((compile_s, norm));
+        }
+    }
+
+    // ASCII scatter: log-x compile time, log-y normalized performance.
+    println!("\nlog-log scatter (x: compile seconds, y: normalized performance):");
+    let (w, h) = (64, 16);
+    let xs: Vec<f64> = points.iter().map(|p| p.0.log10()).collect();
+    let ys: Vec<f64> = points.iter().map(|p| p.1.log10()).collect();
+    let (x0, x1) = (xs.iter().cloned().fold(f64::INFINITY, f64::min),
+                    xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max));
+    let (y0, y1) = (ys.iter().cloned().fold(f64::INFINITY, f64::min),
+                    ys.iter().cloned().fold(f64::NEG_INFINITY, f64::max));
+    let mut grid = vec![vec![' '; w]; h];
+    for (x, y) in xs.iter().zip(&ys) {
+        let cx = (((x - x0) / (x1 - x0).max(1e-9)) * (w as f64 - 1.0)) as usize;
+        let cy = (((y - y0) / (y1 - y0).max(1e-9)) * (h as f64 - 1.0)) as usize;
+        grid[h - 1 - cy][cx] = '*';
+    }
+    for row in grid {
+        println!("  |{}", row.into_iter().collect::<String>());
+    }
+    println!("  +{}", "-".repeat(w));
+    println!(
+        "\npaper shape: three clusters — seconds/slow (-O0), minutes/mid (-O1),\n\
+         hours/fast (Vitis & -O3) — new points in the compile-time/performance\n\
+         trade space (Sec. 7.4)."
+    );
+}

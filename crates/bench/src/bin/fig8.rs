@@ -1,0 +1,13 @@
+//! Regenerates Fig. 8: the physical layout floorplan.
+//!
+//! `cargo run --release -p pld-bench --bin fig8`
+
+fn main() {
+    let fp = fabric::Floorplan::u50();
+    println!("Figure 8: Physical Layout Floorplan (model)\n");
+    println!("{}", fp.render());
+    println!("infrastructure blocks:");
+    for (name, rect) in &fp.infra {
+        println!("  {:16} at ({:2},{:2}) {}x{}", name, rect.x0, rect.y0, rect.w, rect.h);
+    }
+}

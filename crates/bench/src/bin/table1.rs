@@ -1,0 +1,37 @@
+//! Regenerates Tab. 1: resource distribution of the page types.
+//!
+//! `cargo run --release -p pld-bench --bin table1`
+
+use fabric::Floorplan;
+
+fn main() {
+    let fp = Floorplan::u50();
+    println!("Table 1: Resource Distribution (model vs paper)\n");
+    println!(
+        "{:10} {:>9} {:>9} {:>9} {:>7} {:>7}",
+        "Page Type", "LUTs", "FFs", "BRAM18s", "DSPs", "Number"
+    );
+    for t in 1..=fp.type_count() {
+        let r = fp.type_resources(t).expect("type exists");
+        let n = fp.pages_of_type(t).count();
+        println!("{:10} {:>9} {:>9} {:>9} {:>7} {:>7}", format!("Type-{t}"), r.luts, r.ffs, r.bram18, r.dsp, n);
+    }
+    println!();
+    println!("paper      {:>9} {:>9} {:>9} {:>7} {:>7}", "LUTs", "FFs", "BRAM18s", "DSPs", "Number");
+    for (t, l, f, b, d, n) in [
+        (1, 21_240, 43_200, 120, 168, 7),
+        (2, 17_464, 35_520, 72, 120, 7),
+        (3, 18_880, 38_400, 72, 144, 7),
+        (4, 18_560, 37_440, 48, 144, 1),
+    ] {
+        println!("Type-{t}     {l:>9} {f:>9} {b:>9} {d:>7} {n:>7}");
+    }
+    let total = fp.device.user_resources();
+    println!(
+        "\ndevice totals: {total}\npaper device : 751,793 LUT, ~2,300 BRAM18, 5,936 DSP (Sec. 7.1)"
+    );
+    println!(
+        "\nShape checks: 22 pages; four heterogeneous types; counts 7/7/7/1;\n\
+         page LUTs in the 17-29k band around the ~18k operating point."
+    );
+}

@@ -1,0 +1,75 @@
+//! Regenerates Tab. 2: Rosetta compile times across the flows.
+//!
+//! `cargo run --release -p pld-bench --bin table2 [tiny|small|medium]`
+//!
+//! The "Vitis Flow" column is the *fused* baseline — the same design with
+//! the inter-operator stream interfaces collapsed, compiled monolithically —
+//! standing in for the vendor compile of the original undecomposed
+//! benchmarks (the paper's Tab. 2 found it within a few percent of the
+//! decomposed `-O3` compile, as here).
+
+use pld_bench::{compile_suite, scale_from_args, secs};
+
+fn main() {
+    let scale = scale_from_args();
+    let entries = compile_suite(scale);
+
+    println!("Table 2: Rosetta Benchmark Compile Time (virtual seconds, {scale:?} scale)\n");
+    println!(
+        "{:18} | {:>8} | {:>7} {:>7} {:>7} {:>7} {:>8} | {:>7} {:>7} {:>7} {:>7} {:>8} | {:>8}",
+        "benchmark", "Vitis", "hls", "syn", "p&r", "bit", "O3total", "hls", "syn", "p&r", "bit", "O1total", "O0"
+    );
+    println!("{:-<18}-+-{:-<8}-+-{:-<40}-+-{:-<40}-+-{:-<8}", "", "", "", "", "");
+    for e in &entries {
+        let vitis = e
+            .o3
+            .monolithic
+            .as_ref()
+            .and_then(|m| m.fused_vtime)
+            .map(|t| secs(t.total()))
+            .unwrap_or_else(|| "-".into());
+        let o3 = e.o3.vtime_serial;
+        // -O1 pages compile in parallel: the slowest page defines the turn.
+        let o1 = e.o1.vtime_parallel;
+        let o0 = e.o0.vtime_parallel.total();
+        println!(
+            "{:18} | {:>8} | {:>7} {:>7} {:>7} {:>7} {:>8} | {:>7} {:>7} {:>7} {:>7} {:>8} | {:>8}",
+            e.bench.name,
+            vitis,
+            secs(o3.hls),
+            secs(o3.syn),
+            secs(o3.pnr),
+            secs(o3.bit),
+            secs(o3.total()),
+            secs(o1.hls),
+            secs(o1.syn),
+            secs(o1.pnr),
+            secs(o1.bit),
+            secs(o1.total()),
+            secs(o0),
+        );
+    }
+
+    println!("\nmeasured toolchain wall-clock (this machine, seconds):");
+    println!("{:18} {:>10} {:>10} {:>10}", "benchmark", "-O3", "-O1", "-O0");
+    for e in &entries {
+        println!(
+            "{:18} {:>10.2} {:>10.2} {:>10.3}",
+            e.bench.name, e.o3.wall_seconds, e.o1.wall_seconds, e.o0.wall_seconds
+        );
+    }
+
+    // The paper's headline ratios.
+    println!("\nspeedups over the monolithic flow:");
+    println!("{:18} {:>12} {:>12}", "benchmark", "O3/O1", "O3/O0");
+    for e in &entries {
+        let o3 = e.o3.compile_seconds();
+        println!(
+            "{:18} {:>11.1}x {:>11.0}x",
+            e.bench.name,
+            o3 / e.o1.compile_seconds(),
+            o3 / e.o0.compile_seconds(),
+        );
+    }
+    println!("\npaper shape: -O1 4.2-7.3x faster than monolithic; -O0 under 4 s.");
+}

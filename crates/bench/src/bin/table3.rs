@@ -1,0 +1,54 @@
+//! Regenerates Tab. 3: Rosetta performance across execution modes.
+//!
+//! `cargo run --release -p pld-bench --bin table3 [tiny|small|medium]`
+
+use pld::execute;
+use pld_bench::{compile_suite, latency, scale_from_args};
+
+fn main() {
+    let scale = scale_from_args();
+    let entries = compile_suite(scale);
+
+    println!("Table 3: Rosetta Benchmark Performance ({scale:?} scale)\n");
+    println!(
+        "{:18} | {:>6} {:>10} | {:>6} {:>10} | {:>6} {:>10} | {:>6} {:>10} | {:>10} | {:>10}",
+        "benchmark", "Fmax", "Vitis", "Fmax", "-O3", "Fmax", "-O1", "Fmax", "-O0", "X86", "VitisEmu"
+    );
+    for e in &entries {
+        let inputs = e.bench.input_refs();
+        let items = e.bench.items as f64;
+        let per = |s: f64| latency(s / items);
+
+        let vitis = execute::perf_vitis(&e.o3).expect("vitis model");
+        let o3 = execute::perf_o3(&e.o3).expect("o3 model");
+        let o1 = execute::perf_o1(&e.o1, &inputs).expect("o1 cosim");
+        let o0 = execute::perf_o0(&e.o0, &inputs).expect("o0 softcores");
+        let x86 = execute::perf_x86(&e.bench.graph, &inputs).expect("x86 run");
+        let emu = execute::perf_emu(&e.o3).expect("emulation model");
+
+        println!(
+            "{:18} | {:>4.0}MHz {:>10} | {:>4.0}MHz {:>10} | {:>4.0}MHz {:>10} | {:>4.0}MHz {:>10} | {:>10} | {:>10}",
+            e.bench.name,
+            vitis.fmax_mhz,
+            per(vitis.seconds_per_input),
+            o3.fmax_mhz,
+            per(o3.seconds_per_input),
+            o1.fmax_mhz,
+            per(o1.seconds_per_input),
+            o0.fmax_mhz,
+            per(o0.seconds_per_input),
+            per(x86.seconds_per_input),
+            per(emu.seconds_per_input),
+        );
+    }
+
+    println!("\nslowdown ratios vs -O3 (paper shape: -O1 1.5-10x; -O0 10^3-10^5x):");
+    println!("{:18} {:>10} {:>12}", "benchmark", "O1/O3", "O0/O3");
+    for e in &entries {
+        let inputs = e.bench.input_refs();
+        let o3 = execute::perf_o3(&e.o3).expect("o3 model").seconds_per_input;
+        let o1 = execute::perf_o1(&e.o1, &inputs).expect("o1 cosim").seconds_per_input;
+        let o0 = execute::perf_o0(&e.o0, &inputs).expect("o0 softcores").seconds_per_input;
+        println!("{:18} {:>9.1}x {:>11.0}x", e.bench.name, o1 / o3, o0 / o3);
+    }
+}

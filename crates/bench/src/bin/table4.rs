@@ -1,0 +1,40 @@
+//! Regenerates Tab. 4: Rosetta area consumption across the flows.
+//!
+//! `cargo run --release -p pld-bench --bin table4 [tiny|small|medium]`
+
+use pld::report::{area, vitis_baseline_area};
+use pld_bench::{compile_suite, scale_from_args};
+
+fn main() {
+    let scale = scale_from_args();
+    let entries = compile_suite(scale);
+
+    println!("Table 4: Rosetta Benchmark Area Consumption ({scale:?} scale)\n");
+    println!(
+        "{:18} | {:>8} {:>5} {:>5} | {:>8} {:>5} {:>5} | {:>8} {:>5} {:>5} {:>5} | {:>8} {:>5} {:>5} {:>5}",
+        "benchmark",
+        "VitisLUT", "B18", "DSP",
+        "O3 LUT", "B18", "DSP",
+        "O1 LUT", "B18", "DSP", "pages",
+        "O0 LUT", "B18", "DSP", "pages",
+    );
+    for e in &entries {
+        let vitis = vitis_baseline_area(&e.o1);
+        let o3 = area(&e.o3);
+        let o1 = area(&e.o1);
+        let o0 = area(&e.o0);
+        println!(
+            "{:18} | {:>8} {:>5} {:>5} | {:>8} {:>5} {:>5} | {:>8} {:>5} {:>5} {:>5} | {:>8} {:>5} {:>5} {:>5}",
+            e.bench.name,
+            vitis.luts, vitis.bram18, vitis.dsp,
+            o3.resources.luts, o3.resources.bram18, o3.resources.dsp,
+            o1.resources.luts, o1.resources.bram18, o1.resources.dsp, o1.pages,
+            o0.resources.luts, o0.resources.bram18, o0.resources.dsp, o0.pages,
+        );
+    }
+
+    println!("\npaper shape checks:");
+    println!("  - O3 and O1 exceed the Vitis baseline (link FIFOs + leaf interfaces);");
+    println!("  - O1 exceeds O3 (one leaf interface per operator);");
+    println!("  - O0 dwarfs everything (whole one-size-fits-all pages, Sec. 7.5).");
+}

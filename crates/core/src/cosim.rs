@@ -1,0 +1,262 @@
+//! Full-system `-O0` co-simulation: softcores on the linking network.
+//!
+//! The most literal execution model in the reproduction: every page's
+//! PicoRV32-class core runs its *compiled binary* instruction by
+//! instruction, its memory-mapped stream ports wired to the leaf interfaces
+//! of a cycle-level BFT network, with the DMA engine feeding and draining
+//! external streams — the complete Fig. 3/Fig. 4 system. Blocking loads
+//! stall cores until flits arrive; backpressure stalls writers; the Kahn
+//! property guarantees the outputs match the host interpreter bit for bit,
+//! and the integration tests assert exactly that.
+//!
+//! (The `-O1` performance model in [`crate::execute`] uses fluid actors for
+//! speed; this module trades speed for fidelity and doubles as the
+//! reference the actor model is sanity-checked against.)
+
+use noc::BftNoc;
+use softcore::{Cpu, StepResult, StreamIo};
+use std::collections::VecDeque;
+use std::fmt;
+
+use crate::artifact::XclbinKind;
+use crate::execute::OVERLAY_MHZ;
+use crate::flow::{CompiledApp, OptLevel};
+
+/// Result of a completed co-simulation.
+#[derive(Debug, Clone)]
+pub struct CosimOutput {
+    /// Output word streams per external output, in declaration order.
+    pub outputs: Vec<Vec<u32>>,
+    /// Overlay cycles simulated.
+    pub cycles: u64,
+    /// Instructions retired across all cores.
+    pub instructions: u64,
+    /// Seconds of card time at the 200 MHz overlay clock.
+    pub seconds: f64,
+}
+
+/// Co-simulation failures.
+#[derive(Debug)]
+pub enum CosimError {
+    /// The app must be compiled at `-O0` (every operator a softcore image).
+    WrongLevel,
+    /// A core trapped.
+    #[allow(missing_docs)]
+    Trap { op: String, pc: u32 },
+    /// The system did not drain within the cycle budget (deadlock or
+    /// insufficient input).
+    #[allow(missing_docs)]
+    CycleBudget { cycles: u64 },
+}
+
+impl fmt::Display for CosimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CosimError::WrongLevel => write!(f, "co-simulation requires an -O0 app"),
+            CosimError::Trap { op, pc } => write!(f, "softcore `{op}` trapped at {pc:#x}"),
+            CosimError::CycleBudget { cycles } => {
+                write!(f, "system did not complete within {cycles} cycles")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CosimError {}
+
+/// One cycle's worth of stream I/O for a core, adapted onto its NoC leaf.
+struct LeafIo<'n> {
+    net: &'n mut BftNoc,
+    leaf: usize,
+}
+
+impl StreamIo for LeafIo<'_> {
+    fn read(&mut self, port: u32) -> Option<u32> {
+        self.net.try_recv(self.leaf, port as u8)
+    }
+
+    fn write(&mut self, port: u32, word: u32) -> bool {
+        self.net.inject(self.leaf, port as usize, word).is_ok()
+    }
+}
+
+/// Runs a compiled `-O0` application cycle-accurately: cores and network
+/// advance in lockstep at the overlay clock.
+///
+/// # Errors
+///
+/// See [`CosimError`].
+pub fn cosim_o0(
+    app: &CompiledApp,
+    inputs: &[Vec<u32>],
+    expected_output_words: &[usize],
+    max_cycles: u64,
+) -> Result<CosimOutput, CosimError> {
+    if app.level != OptLevel::O0 {
+        return Err(CosimError::WrongLevel);
+    }
+
+    // Instantiate every page core from its packed image.
+    let mut cores: Vec<(String, usize, Cpu, bool)> = Vec::new();
+    for op in &app.operators {
+        let binary = op.soft.as_ref().ok_or(CosimError::WrongLevel)?;
+        let leaf = op.page.expect("paged flow").0 as usize;
+        cores.push((op.name.clone(), leaf, binary.instantiate(), false));
+    }
+
+    // The network, linked by the generated driver.
+    let n_pages = app.floorplan.pages.len();
+    let mut net = BftNoc::new(n_pages + 2, 8, 64);
+    for link in &app.driver.links {
+        net.set_dest(link.src_leaf as usize, link.stream as usize, link.dest);
+    }
+    let dma_in = app.dma_in_leaf() as usize;
+    let dma_out = app.dma_out_leaf() as usize;
+
+    let mut dma_queues: Vec<VecDeque<u32>> =
+        inputs.iter().map(|v| v.iter().copied().collect()).collect();
+    let mut outputs: Vec<Vec<u32>> = expected_output_words.iter().map(|_| Vec::new()).collect();
+
+    let mut cycles = 0u64;
+    loop {
+        // Completion: every core halted and all expected outputs collected.
+        let all_halted = cores.iter().all(|(_, _, _, halted)| *halted);
+        let drained = outputs
+            .iter()
+            .zip(expected_output_words)
+            .all(|(got, want)| got.len() >= *want);
+        if all_halted && drained {
+            break;
+        }
+        if cycles >= max_cycles {
+            return Err(CosimError::CycleBudget { cycles });
+        }
+
+        // DMA in: one word per cycle onto the input leaf's uplink.
+        for (stream, q) in dma_queues.iter_mut().enumerate() {
+            if let Some(&w) = q.front() {
+                if net.inject(dma_in, stream, w).is_ok() {
+                    q.pop_front();
+                }
+                break; // single uplink
+            }
+        }
+
+        // Each core executes one step against its leaf.
+        for (name, leaf, cpu, halted) in cores.iter_mut() {
+            if *halted {
+                continue;
+            }
+            let mut io = LeafIo { net: &mut net, leaf: *leaf };
+            match cpu.step(&mut io) {
+                StepResult::Ok | StepResult::Stall => {}
+                StepResult::Halt => *halted = true,
+                StepResult::Trap { pc } => {
+                    return Err(CosimError::Trap { op: name.clone(), pc })
+                }
+            }
+        }
+
+        net.step();
+        cycles += 1;
+
+        // DMA out: drain arrivals into the output buffers.
+        for (port, out) in outputs.iter_mut().enumerate() {
+            while let Some(w) = net.try_recv(dma_out, port as u8) {
+                out.push(w);
+            }
+        }
+    }
+
+    let instructions = cores.iter().map(|(_, _, c, _)| c.instructions).sum();
+    Ok(CosimOutput {
+        outputs,
+        cycles,
+        instructions,
+        seconds: cycles as f64 / (OVERLAY_MHZ * 1e6),
+    })
+}
+
+/// Convenience: checks an artifact really is a softcore image (used by
+/// loader-side assertions and tests).
+pub fn is_softcore_artifact(kind: &XclbinKind) -> bool {
+    matches!(kind, XclbinKind::Softcore { .. })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::{compile, CompileOptions};
+    use dfg::{GraphBuilder, Target};
+    use kir::{Expr, KernelBuilder, Scalar, Stmt};
+
+    fn stage(name: &str, mul: i64, n: i64) -> kir::Kernel {
+        KernelBuilder::new(name)
+            .input("in", Scalar::uint(32))
+            .output("out", Scalar::uint(32))
+            .local("x", Scalar::uint(32))
+            .body([Stmt::for_loop(
+                "i",
+                0..n,
+                [
+                    Stmt::read("x", "in"),
+                    Stmt::write("out", Expr::var("x").mul(Expr::cint(mul)).add(Expr::var("i"))),
+                ],
+            )])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn full_system_matches_golden() {
+        const N: i64 = 24;
+        let mut b = GraphBuilder::new("sys");
+        let a = b.add("a", stage("a", 3, N), Target::hw_auto());
+        let c = b.add("c", stage("c", 5, N), Target::hw_auto());
+        b.ext_input("Input_1", a, "in");
+        b.connect("l", a, "out", c, "in");
+        b.ext_output("Output_1", c, "out");
+        let g = b.build().unwrap();
+
+        let app = compile(&g, &CompileOptions::new(OptLevel::O0)).unwrap();
+        let input: Vec<u32> = (10..10 + N as u32).collect();
+
+        let golden = {
+            let vals: Vec<kir::types::Value> = input
+                .iter()
+                .map(|&w| kir::types::Value::Int(aplib::DynInt::from_raw(32, false, w as u128)))
+                .collect();
+            let (out, _) = dfg::run_graph(&g, &[("Input_1", vals)]).unwrap();
+            kir::wire::stream_to_words(&out["Output_1"])
+        };
+
+        let result = cosim_o0(&app, &[input], &[golden.len()], 50_000_000).unwrap();
+        assert_eq!(result.outputs[0], golden);
+        assert!(result.instructions > 0);
+        // The softcore system is slow: thousands of cycles for 24 tokens.
+        assert!(result.cycles > N as u64 * 10);
+    }
+
+    #[test]
+    fn wrong_level_rejected() {
+        let mut b = GraphBuilder::new("sys");
+        let a = b.add("a", stage("a", 1, 2), Target::hw_auto());
+        b.ext_input("Input_1", a, "in");
+        b.ext_output("Output_1", a, "out");
+        let g = b.build().unwrap();
+        let app = compile(&g, &CompileOptions::new(OptLevel::O1)).unwrap();
+        assert!(matches!(cosim_o0(&app, &[vec![]], &[0], 100), Err(CosimError::WrongLevel)));
+    }
+
+    #[test]
+    fn starved_system_hits_cycle_budget() {
+        let mut b = GraphBuilder::new("sys");
+        let a = b.add("a", stage("a", 1, 8), Target::hw_auto());
+        b.ext_input("Input_1", a, "in");
+        b.ext_output("Output_1", a, "out");
+        let g = b.build().unwrap();
+        let app = compile(&g, &CompileOptions::new(OptLevel::O0)).unwrap();
+        // Only 2 of 8 inputs: the core blocks forever on its stream port.
+        let err = cosim_o0(&app, &[vec![1, 2]], &[8], 20_000).unwrap_err();
+        assert!(matches!(err, CosimError::CycleBudget { .. }));
+    }
+}

@@ -1,0 +1,138 @@
+//! The build farm: parallel page compiles.
+//!
+//! The paper runs page compiles on a Slurm cluster on Google Cloud
+//! (Sec. 7.1); "all the operators' compilations can be performed in
+//! parallel, since they are implemented on different physical locations
+//! with no overlapping area", so "the compilation time is determined by the
+//! longest individual one instead of the total" (Sec. 6.2). This module is
+//! the local analogue: a fixed-width thread pool executing independent
+//! compile jobs and reporting per-job and critical-path times.
+
+use std::sync::mpsc;
+use std::thread;
+
+/// Outcome of one farm job.
+#[derive(Debug, Clone)]
+pub struct JobOutcome<T> {
+    /// Job index in submission order.
+    pub index: usize,
+    /// The job's product.
+    pub result: T,
+    /// Wall-clock seconds the job took.
+    pub wall_seconds: f64,
+}
+
+/// Runs `jobs` closures on up to `workers` threads; results come back in
+/// submission order.
+///
+/// # Panics
+///
+/// Panics if a job panics (the panic is propagated).
+pub fn run_jobs<T, F>(jobs: Vec<F>, workers: usize) -> Vec<JobOutcome<T>>
+where
+    T: Send + 'static,
+    F: FnOnce() -> T + Send + 'static,
+{
+    let workers = workers.max(1);
+    let (work_tx, work_rx) = mpsc::channel::<(usize, F)>();
+    let work_rx = std::sync::Arc::new(std::sync::Mutex::new(work_rx));
+    let (done_tx, done_rx) = mpsc::channel::<JobOutcome<T>>();
+
+    let n = jobs.len();
+    for (i, job) in jobs.into_iter().enumerate() {
+        work_tx.send((i, job)).expect("queue open");
+    }
+    drop(work_tx);
+
+    let mut handles = Vec::new();
+    for _ in 0..workers.min(n.max(1)) {
+        let rx = std::sync::Arc::clone(&work_rx);
+        let tx = done_tx.clone();
+        handles.push(thread::spawn(move || loop {
+            let job = { rx.lock().expect("farm queue lock").recv() };
+            match job {
+                Ok((index, f)) => {
+                    let t0 = std::time::Instant::now();
+                    let result = f();
+                    let outcome =
+                        JobOutcome { index, result, wall_seconds: t0.elapsed().as_secs_f64() };
+                    if tx.send(outcome).is_err() {
+                        return;
+                    }
+                }
+                Err(_) => return,
+            }
+        }));
+    }
+    drop(done_tx);
+
+    let mut outcomes: Vec<Option<JobOutcome<T>>> = (0..n).map(|_| None).collect();
+    for outcome in done_rx {
+        let i = outcome.index;
+        outcomes[i] = Some(outcome);
+    }
+    for h in handles {
+        if let Err(panic) = h.join() {
+            std::panic::resume_unwind(panic);
+        }
+    }
+    outcomes.into_iter().map(|o| o.expect("all jobs completed")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn results_in_submission_order() {
+        let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..16usize)
+            .map(|i| {
+                Box::new(move || {
+                    thread::sleep(Duration::from_millis(16 - i as u64));
+                    i * 10
+                }) as Box<dyn FnOnce() -> usize + Send>
+            })
+            .collect();
+        let outcomes = run_jobs(jobs, 4);
+        for (i, o) in outcomes.iter().enumerate() {
+            assert_eq!(o.index, i);
+            assert_eq!(o.result, i * 10);
+            assert!(o.wall_seconds >= 0.0);
+        }
+    }
+
+    #[test]
+    fn parallel_is_faster_than_serial_for_sleepy_jobs() {
+        let mk = || {
+            (0..8)
+                .map(|_| {
+                    Box::new(move || {
+                        thread::sleep(Duration::from_millis(20));
+                        1usize
+                    }) as Box<dyn FnOnce() -> usize + Send>
+                })
+                .collect::<Vec<_>>()
+        };
+        let t0 = std::time::Instant::now();
+        run_jobs(mk(), 1);
+        let serial = t0.elapsed();
+        let t1 = std::time::Instant::now();
+        run_jobs(mk(), 8);
+        let parallel = t1.elapsed();
+        assert!(parallel < serial, "parallel {parallel:?} vs serial {serial:?}");
+    }
+
+    #[test]
+    fn zero_workers_clamped_to_one() {
+        let jobs = vec![Box::new(|| 7usize) as Box<dyn FnOnce() -> usize + Send>];
+        let outcomes = run_jobs(jobs, 0);
+        assert_eq!(outcomes[0].result, 7);
+    }
+
+    #[test]
+    fn empty_job_list_is_fine() {
+        let outcomes = run_jobs(Vec::<Box<dyn FnOnce() -> usize + Send>>::new(), 4);
+        assert!(outcomes.is_empty());
+    }
+}

@@ -1,0 +1,896 @@
+//! The compile flows: `-O0`, `-O1`, `-O3` from one source graph.
+
+use dfg::{extract, DfgIr, Graph, IrLink, Target};
+use fabric::{Floorplan, PageId, Rect};
+use hlsim::HlsReport;
+use netlist::{CellKind, Netlist};
+use noc::PortAddr;
+use pnr::{place_and_route, PnrOptions, TimingReport};
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+use crate::artifact::{Driver, LinkOp, LoadOp, Xclbin, XclbinKind};
+use crate::farm;
+use crate::vtime::{PhaseTimes, VtimeModel};
+
+/// The compiler optimization levels of the paper's Fig. 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OptLevel {
+    /// Everything on softcores: compile in seconds.
+    O0,
+    /// Separate compilation per pragma: `HW` operators each get their own
+    /// page compile, `RISCV` operators a softcore binary; minutes.
+    O1,
+    /// Monolithic: all operators stitched with hardware FIFOs and compiled
+    /// as one design; hours.
+    O3,
+}
+
+impl fmt::Display for OptLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OptLevel::O0 => write!(f, "-O0"),
+            OptLevel::O1 => write!(f, "-O1"),
+            OptLevel::O3 => write!(f, "-O3"),
+        }
+    }
+}
+
+/// Automatic page-assignment policy for operators without a `p_num` pin.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PageAssign {
+    /// First free page in floorplan order (the baseline a Makefile-driven
+    /// flow would use).
+    FirstFit,
+    /// Communication affinity: pick the free page minimizing butterfly-fat-
+    /// tree distance to already-placed neighbours, so linked operators share
+    /// low subtrees of the network — automation in the spirit of the
+    /// paper's Sec. 9 mapping-tool extensions.
+    #[default]
+    Affinity,
+}
+
+/// Hop distance between two leaves of the binary BFT (up to the common
+/// ancestor and back down).
+pub fn bft_distance(a: u32, b: u32) -> u32 {
+    if a == b {
+        0
+    } else {
+        2 * (32 - (a ^ b).leading_zeros())
+    }
+}
+
+/// How the `-O3` kernel generator connects operators (paper Sec. 7.5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LinkStyle {
+    /// Hardware stream FIFOs, the paper's default. Robust (deep elastic
+    /// buffering) but BRAM-hungry: Tab. 4 blames the FIFOs for `-O3`'s area
+    /// overhead.
+    #[default]
+    StreamFifo,
+    /// Relay stations: two-register elastic pipeline stages. Far cheaper
+    /// ("one promising solution is to use Relay Station to connect operators
+    /// together, instead of stream FIFOs") but, as the paper cautions, the
+    /// shallow buffering "requires care to set the buffer sizes appropriately
+    /// to avoid introducing deadlock"; acyclic graphs like the Rosetta suite
+    /// are safe.
+    RelayStation,
+}
+
+/// Options for one compile invocation.
+#[derive(Debug, Clone)]
+pub struct CompileOptions {
+    /// Optimization level / flow selection.
+    pub level: OptLevel,
+    /// Parallel build-farm width (the paper's Slurm cluster analogue).
+    pub jobs: usize,
+    /// Deterministic seed for placement and routing.
+    pub seed: u64,
+    /// Target floorplan; defaults to the paper's 22-page U50 decomposition.
+    pub floorplan: Floorplan,
+    /// Virtual-time calibration.
+    pub vtime: VtimeModel,
+    /// `-O3` inter-operator link implementation.
+    pub link_style: LinkStyle,
+    /// Automatic page-assignment policy.
+    pub page_assign: PageAssign,
+}
+
+impl CompileOptions {
+    /// Default options at the given level.
+    pub fn new(level: OptLevel) -> CompileOptions {
+        CompileOptions {
+            level,
+            jobs: 8,
+            seed: 1,
+            floorplan: Floorplan::u50(),
+            vtime: VtimeModel::default(),
+            link_style: LinkStyle::default(),
+            page_assign: PageAssign::default(),
+        }
+    }
+}
+
+/// Per-operator compile product.
+#[derive(Debug, Clone)]
+pub struct CompiledOperator {
+    /// Operator instance name.
+    pub name: String,
+    /// Resolved target (page pinned).
+    pub target: Target,
+    /// The page hosting the operator (`None` under `-O3`).
+    pub page: Option<PageId>,
+    /// Index of this operator's artifact in [`CompiledApp::artifacts`]
+    /// (`None` under `-O3`, where there is a single kernel artifact).
+    pub artifact: Option<usize>,
+    /// HLS report (hardware flows only).
+    pub hls: Option<HlsReport>,
+    /// Post-P&R timing for the operator's page (hardware `-O1` only).
+    pub timing: Option<TimingReport>,
+    /// Softcore binary (softcore-mapped operators only).
+    pub soft: Option<softcore::SoftBinary>,
+    /// Virtual compile time per phase.
+    pub vtime: PhaseTimes,
+    /// Measured wall-clock seconds for this operator's compile job.
+    pub wall_seconds: f64,
+    /// Content hash of (kernel, target) for incremental builds.
+    pub source_hash: u64,
+}
+
+/// Results of the monolithic (`-O3` / Vitis-style) implementation.
+#[derive(Debug, Clone)]
+pub struct MonolithicInfo {
+    /// Post-P&R timing of the *fused* baseline (the paper's "Vitis Flow"
+    /// row): the same design with the inter-operator stream interfaces
+    /// collapsed into combinational glue, so operator-crossing wires land on
+    /// the critical path — the long-wire/SLR effect Sec. 7.4 blames for the
+    /// original designs' clock rates. `None` if the fused baseline was not
+    /// modelled.
+    pub fused_timing: Option<TimingReport>,
+    /// Virtual compile time of the fused baseline (the Tab. 2 "Vitis Flow"
+    /// column), when modelled.
+    pub fused_vtime: Option<PhaseTimes>,
+    /// The stitched kernel netlist (kept for emulation-mode experiments).
+    pub netlist: Netlist,
+    /// Post-P&R timing of the whole design.
+    pub timing: TimingReport,
+    /// P&R work units.
+    pub work_units: u64,
+}
+
+/// A fully compiled application.
+#[derive(Debug, Clone)]
+pub struct CompiledApp {
+    /// The source graph.
+    pub graph: Graph,
+    /// Level this app was compiled at.
+    pub level: OptLevel,
+    /// The floorplan used.
+    pub floorplan: Floorplan,
+    /// Per-operator products, in graph operator order.
+    pub operators: Vec<CompiledOperator>,
+    /// All artifacts (overlay first).
+    pub artifacts: Vec<Xclbin>,
+    /// The generated load-and-link driver.
+    pub driver: Driver,
+    /// The extracted dataflow IR.
+    pub ir: DfgIr,
+    /// Monolithic results (`-O3` only).
+    pub monolithic: Option<MonolithicInfo>,
+    /// Serial virtual compile time (single build machine).
+    pub vtime_serial: PhaseTimes,
+    /// Parallel virtual compile time (unbounded farm: slowest job).
+    pub vtime_parallel: PhaseTimes,
+    /// Measured wall-clock of the whole compile.
+    pub wall_seconds: f64,
+}
+
+impl CompiledApp {
+    /// Total virtual seconds when pages compile in parallel, as the paper
+    /// reports `-O1` (Sec. 6.2: "the compilation time is determined by the
+    /// longest individual one").
+    pub fn compile_seconds(&self) -> f64 {
+        match self.level {
+            OptLevel::O1 | OptLevel::O0 => self.vtime_parallel.total(),
+            OptLevel::O3 => self.vtime_serial.total(),
+        }
+    }
+
+    /// The leaf index used by the DMA input engine.
+    pub fn dma_in_leaf(&self) -> u16 {
+        self.floorplan.pages.len() as u16
+    }
+
+    /// The leaf index used by the DMA output engine.
+    pub fn dma_out_leaf(&self) -> u16 {
+        self.floorplan.pages.len() as u16 + 1
+    }
+}
+
+/// Compile failures.
+#[derive(Debug)]
+pub enum CompileError {
+    /// No page can host the operator (resources or availability).
+    #[allow(missing_docs)]
+    PageAssignment { op: String, reason: String },
+    /// HLS rejected the operator.
+    #[allow(missing_docs)]
+    Hls { op: String, error: kir::CheckError },
+    /// Place-and-route failed.
+    #[allow(missing_docs)]
+    Pnr { op: String, error: pnr::PnrError },
+    /// The softcore compiler rejected the operator.
+    #[allow(missing_docs)]
+    Softcore { op: String, error: softcore::CcError },
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::PageAssignment { op, reason } => {
+                write!(f, "cannot place operator `{op}`: {reason}")
+            }
+            CompileError::Hls { op, error } => write!(f, "HLS failed for `{op}`: {error}"),
+            CompileError::Pnr { op, error } => write!(f, "P&R failed for `{op}`: {error}"),
+            CompileError::Softcore { op, error } => {
+                write!(f, "softcore compile failed for `{op}`: {error}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// Stable content hash of (kernel, target) for incremental builds.
+pub(crate) fn source_hash(kernel: &kir::Kernel, target: Target) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    format!("{kernel:?}").hash(&mut h);
+    format!("{target:?}").hash(&mut h);
+    h.finish()
+}
+
+/// The leaf-interface overhead wrapped around every page operator
+/// (Sec. 4.1: "Our network interfaces run about 500 LUTs").
+pub fn wrap_with_leaf_interface(netlist: &Netlist) -> Netlist {
+    let mut wrapped = netlist.clone();
+    let leaf = wrapped.add_cell("leaf_iface", CellKind::Logic { width: 800 });
+    let fifo = wrapped.add_cell("leaf_fifo", CellKind::FifoBuf { width: 32, depth: 64 });
+    wrapped.add_net(leaf, vec![fifo], 32);
+    // Hook every stream interface through the leaf logic.
+    let stream_cells: Vec<_> = wrapped
+        .cells_where(|k| matches!(k, CellKind::StreamIn { .. } | CellKind::StreamOut { .. }))
+        .collect();
+    for s in stream_cells {
+        if s != leaf && s != fifo {
+            wrapped.add_net(fifo, vec![s], 32);
+        }
+    }
+    wrapped
+}
+
+/// Assigns every operator a page, honouring pins.
+/// Assigns every operator a page under the chosen policy, honouring pins.
+pub fn assign_pages_with(
+    graph: &Graph,
+    floorplan: &Floorplan,
+    force_riscv: bool,
+    policy: PageAssign,
+) -> Result<Vec<(Target, PageId)>, CompileError> {
+    let n_pages = floorplan.pages.len() as u32;
+    let mut taken = vec![false; n_pages as usize];
+    let mut out = Vec::with_capacity(graph.operators.len());
+
+    // First pass: pins.
+    for op in &graph.operators {
+        if let Some(p) = op.target.page() {
+            if p >= n_pages {
+                return Err(CompileError::PageAssignment {
+                    op: op.name.clone(),
+                    reason: format!("pinned to page {p}, but the floorplan has {n_pages} pages"),
+                });
+            }
+            if taken[p as usize] {
+                return Err(CompileError::PageAssignment {
+                    op: op.name.clone(),
+                    reason: format!("page {p} already occupied"),
+                });
+            }
+            taken[p as usize] = true;
+        }
+    }
+    // Second pass: allocation.
+    let mut assigned: Vec<Option<u32>> = vec![None; graph.operators.len()];
+    for (i, op) in graph.operators.iter().enumerate() {
+        let mut target = if force_riscv { Target::riscv_auto() } else { op.target };
+        if let Some(p) = op.target.page() {
+            if force_riscv {
+                target = Target::riscv(p);
+            }
+            assigned[i] = Some(p);
+            out.push((target, PageId(p)));
+            continue;
+        }
+        // Pages already chosen for operators this one communicates with.
+        let neighbour_pages: Vec<u32> = graph
+            .edges
+            .iter()
+            .filter_map(|e| {
+                if e.from.0 .0 == i {
+                    assigned[e.to.0 .0]
+                } else if e.to.0 .0 == i {
+                    assigned[e.from.0 .0]
+                } else {
+                    None
+                }
+            })
+            .collect();
+        let chosen = match policy {
+            PageAssign::FirstFit => (0..n_pages).find(|&p| !taken[p as usize]),
+            PageAssign::Affinity => (0..n_pages)
+                .filter(|&p| !taken[p as usize])
+                .min_by_key(|&p| {
+                    let cost: u32 =
+                        neighbour_pages.iter().map(|&q| bft_distance(p, q)).sum();
+                    (cost, p)
+                }),
+        };
+        match chosen {
+            Some(p) => {
+                taken[p as usize] = true;
+                assigned[i] = Some(p);
+                out.push((target.with_page(p), PageId(p)));
+            }
+            None => {
+                return Err(CompileError::PageAssignment {
+                    op: op.name.clone(),
+                    reason: "no free pages left".into(),
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Builds the driver: load everything, then link the dataflow graph with
+/// configuration packets.
+pub(crate) fn build_driver(ir: &DfgIr, pages: &[(Target, PageId)], artifacts: &[Xclbin], n_pages: u16) -> Driver {
+    let mut driver = Driver { loads: vec![LoadOp::Overlay], links: Vec::new() };
+    for (i, artifact) in artifacts.iter().enumerate() {
+        match artifact.kind {
+            XclbinKind::Page { .. } => driver.loads.push(LoadOp::PageBitstream { artifact: i }),
+            XclbinKind::Softcore { .. } => driver.loads.push(LoadOp::SoftcoreImage { artifact: i }),
+            _ => {}
+        }
+    }
+    let dma_in = n_pages;
+    let dma_out = n_pages + 1;
+    let leaf_of = |op: u32| -> u16 {
+        if op == IrLink::HOST {
+            dma_in
+        } else {
+            pages[op as usize].1 .0 as u16
+        }
+    };
+    for link in &ir.links {
+        let (src_leaf, stream) = if link.from.0 == IrLink::HOST {
+            (dma_in, link.from.1 as u8)
+        } else {
+            (leaf_of(link.from.0), link.from.1 as u8)
+        };
+        let dest = if link.to.0 == IrLink::HOST {
+            PortAddr { leaf: dma_out, port: link.to.1 as u8 }
+        } else {
+            PortAddr { leaf: leaf_of(link.to.0), port: link.to.1 as u8 }
+        };
+        driver.links.push(LinkOp { src_leaf, stream, dest });
+    }
+    driver
+}
+
+pub(crate) fn fnv(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// The product of one per-operator compile job.
+pub(crate) enum JobProduct {
+    Hw {
+        report: HlsReport,
+        timing: TimingReport,
+        bitstream: pnr::Bitstream,
+        vtime: PhaseTimes,
+    },
+    Soft {
+        binary: softcore::SoftBinary,
+        vtime: PhaseTimes,
+    },
+}
+
+/// Compiles one operator for its page (shared by the batch and incremental
+/// flows).
+pub(crate) fn compile_operator_job(
+    kernel: &kir::Kernel,
+    name: &str,
+    target: Target,
+    page_rect: Rect,
+    device: &fabric::Device,
+    vt: &VtimeModel,
+    seed: u64,
+) -> Result<JobProduct, CompileError> {
+    match target {
+        Target::Hw { .. } => {
+            let hls = hlsim::compile(kernel)
+                .map_err(|error| CompileError::Hls { op: name.to_string(), error })?;
+            let wrapped = wrap_with_leaf_interface(&hls.netlist);
+            let opts = PnrOptions { seed, abstract_shell: true, effort: 1.0 };
+            let result = place_and_route(&wrapped, device, page_rect, &opts)
+                .map_err(|error| CompileError::Pnr { op: name.to_string(), error })?;
+            let vtime = PhaseTimes {
+                hls: vt.hls_seconds(hls.report.hls_work),
+                syn: vt.syn_seconds(wrapped.cell_count() as u64),
+                pnr: vt.pnr_seconds(result.work_units),
+                bit: vt.bit_seconds(result.bitstream.config_bits),
+                riscv: 0.0,
+            };
+            Ok(JobProduct::Hw {
+                report: hls.report,
+                timing: result.timing,
+                bitstream: result.bitstream,
+                vtime,
+            })
+        }
+        Target::Riscv { .. } => {
+            let binary = softcore::compile_kernel(kernel)
+                .map_err(|error| CompileError::Softcore { op: name.to_string(), error })?;
+            let vtime =
+                PhaseTimes { riscv: vt.riscv_seconds(binary.load_bytes()), ..Default::default() };
+            Ok(JobProduct::Soft { binary, vtime })
+        }
+    }
+}
+
+/// Compiles a graph at the requested level.
+///
+/// # Errors
+///
+/// See [`CompileError`].
+pub fn compile(graph: &Graph, options: &CompileOptions) -> Result<CompiledApp, CompileError> {
+    let t0 = std::time::Instant::now();
+    let ir = extract(graph);
+
+    match options.level {
+        OptLevel::O3 => compile_monolithic(graph, ir, options, t0),
+        OptLevel::O0 | OptLevel::O1 => compile_paged(graph, ir, options, t0),
+    }
+}
+
+fn compile_paged(
+    graph: &Graph,
+    ir: DfgIr,
+    options: &CompileOptions,
+    t0: std::time::Instant,
+) -> Result<CompiledApp, CompileError> {
+    let force_riscv = options.level == OptLevel::O0;
+    let pages = assign_pages_with(graph, &options.floorplan, force_riscv, options.page_assign)?;
+
+    // One farm job per operator — the paper's per-page parallel compiles.
+    let mut jobs: Vec<Box<dyn FnOnce() -> Result<JobProduct, CompileError> + Send>> = Vec::new();
+    for (op, (target, page)) in graph.operators.iter().zip(&pages) {
+        let kernel = op.kernel.clone();
+        let name = op.name.clone();
+        let target = *target;
+        let page_rect = options.floorplan.pages[page.0 as usize].rect;
+        let device = options.floorplan.device.clone();
+        let vt = options.vtime;
+        let seed = options.seed ^ fnv(name.as_bytes());
+        jobs.push(Box::new(move || {
+            compile_operator_job(&kernel, &name, target, page_rect, &device, &vt, seed)
+        }));
+    }
+
+    let outcomes = farm::run_jobs(jobs, options.jobs);
+
+    let mut artifacts =
+        vec![Xclbin { name: "overlay.xclbin".into(), kind: XclbinKind::Overlay, hash: 0 }];
+    let mut operators = Vec::with_capacity(graph.operators.len());
+    let mut serial = PhaseTimes::default();
+    let mut parallel = PhaseTimes::default();
+
+    for ((op, (target, page)), outcome) in graph.operators.iter().zip(&pages).zip(outcomes) {
+        let product = outcome.result?;
+        let idx = artifacts.len();
+        let (hls, timing, soft, vtime) = match product {
+            JobProduct::Hw { report, timing, bitstream, vtime } => {
+                // Constants live in the source, not the structural netlist,
+                // so artifact identity mixes in the source hash.
+                let hash = bitstream.payload_hash ^ source_hash(&op.kernel, *target);
+                artifacts.push(Xclbin {
+                    name: format!("{}.xclbin", op.name),
+                    kind: XclbinKind::Page { page: *page, bitstream },
+                    hash,
+                });
+                (Some(report), Some(timing), None, vtime)
+            }
+            JobProduct::Soft { binary, vtime } => {
+                let packed = binary.pack(page.0);
+                let hash = fnv(&packed.records.iter().flat_map(|(_, b)| b.clone()).collect::<Vec<u8>>());
+                artifacts.push(Xclbin {
+                    name: format!("{}.elf.xclbin", op.name),
+                    kind: XclbinKind::Softcore { page: *page, binary: packed },
+                    hash,
+                });
+                (None, None, Some(binary), vtime)
+            }
+        };
+        serial = serial.add(&vtime);
+        parallel = parallel.parallel_max(&vtime);
+        operators.push(CompiledOperator {
+            name: op.name.clone(),
+            target: *target,
+            page: Some(*page),
+            artifact: Some(idx),
+            hls,
+            timing,
+            soft,
+            vtime,
+            wall_seconds: outcome.wall_seconds,
+            source_hash: source_hash(&op.kernel, *target),
+        });
+    }
+
+    let n_pages = options.floorplan.pages.len() as u16;
+    let driver = build_driver(&ir, &pages, &artifacts, n_pages);
+
+    Ok(CompiledApp {
+        graph: graph.clone(),
+        level: options.level,
+        floorplan: options.floorplan.clone(),
+        operators,
+        artifacts,
+        driver,
+        ir,
+        monolithic: None,
+        vtime_serial: serial,
+        vtime_parallel: parallel,
+        wall_seconds: t0.elapsed().as_secs_f64(),
+    })
+}
+
+/// The whole-device user region compiled by the monolithic flow.
+pub fn monolithic_region(floorplan: &Floorplan) -> Rect {
+    let d = &floorplan.device;
+    Rect::new(2, 0, d.width - 2, d.height)
+}
+
+fn compile_monolithic(
+    graph: &Graph,
+    ir: DfgIr,
+    options: &CompileOptions,
+    t0: std::time::Instant,
+) -> Result<CompiledApp, CompileError> {
+    // HLS every operator, then stitch with hardware FIFOs (the kernel
+    // generator of Fig. 7).
+    let mut kernel_netlist = Netlist::new(format!("{}_kernel", graph.name));
+    let mut offsets = Vec::new();
+    let mut operators = Vec::with_capacity(graph.operators.len());
+    let mut hls_serial = 0.0;
+    let mut reports = Vec::new();
+
+    for op in &graph.operators {
+        let hls = hlsim::compile(&op.kernel)
+            .map_err(|error| CompileError::Hls { op: op.name.clone(), error })?;
+        hls_serial += options.vtime.hls_seconds(hls.report.hls_work);
+        offsets.push(kernel_netlist.absorb(&hls.netlist));
+        reports.push(hls.report);
+    }
+
+    // FIFO per internal link, wired between the stream interface cells.
+    for edge in &graph.edges {
+        let from_off = offsets[edge.from.0 .0];
+        let to_off = offsets[edge.to.0 .0];
+        let out_name = format!("out_{}", edge.from.1);
+        let in_name = format!("in_{}", edge.to.1);
+        let from_cell = kernel_netlist
+            .cells
+            .iter()
+            .enumerate()
+            .position(|(i, c)| i >= from_off && c.name == out_name)
+            .map(netlist::CellId);
+        let to_cell = kernel_netlist
+            .cells
+            .iter()
+            .enumerate()
+            .position(|(i, c)| i >= to_off && c.name == in_name)
+            .map(netlist::CellId);
+        if let (Some(f), Some(t)) = (from_cell, to_cell) {
+            let w = edge.elem.width();
+            match options.link_style {
+                LinkStyle::StreamFifo => {
+                    let fifo = kernel_netlist
+                        .add_cell(format!("fifo_{}", edge.name), CellKind::FifoBuf { width: w, depth: 512 });
+                    kernel_netlist.add_net(f, vec![fifo], w);
+                    kernel_netlist.add_net(fifo, vec![t], w);
+                }
+                LinkStyle::RelayStation => {
+                    // Two elastic registers: same isolation, no BRAM.
+                    let r1 = kernel_netlist
+                        .add_cell(format!("relay_{}_a", edge.name), CellKind::Register { width: w });
+                    let r2 = kernel_netlist
+                        .add_cell(format!("relay_{}_b", edge.name), CellKind::Register { width: w });
+                    kernel_netlist.add_net(f, vec![r1], w);
+                    kernel_netlist.add_net(r1, vec![r2], w);
+                    kernel_netlist.add_net(r2, vec![t], w);
+                }
+            }
+        }
+    }
+
+    let region = monolithic_region(&options.floorplan);
+    let opts = PnrOptions { seed: options.seed, abstract_shell: true, effort: 1.0 };
+    let result = place_and_route(&kernel_netlist, &options.floorplan.device, region, &opts)
+        .map_err(|error| CompileError::Pnr { op: graph.name.clone(), error })?;
+
+    // The fused baseline: identical logic, but linked ports become
+    // combinational glue instead of registered stream interfaces, so
+    // inter-operator wires join the timing paths (the original
+    // undecomposed designs of Tab. 3's "Vitis Flow" row).
+    let mut fused = kernel_netlist.clone();
+    for edge in &graph.edges {
+        let from_off = offsets[edge.from.0 .0];
+        let to_off = offsets[edge.to.0 .0];
+        let out_name = format!("out_{}", edge.from.1);
+        let in_name = format!("in_{}", edge.to.1);
+        for (i, cell) in fused.cells.iter_mut().enumerate() {
+            let linked = (i >= from_off && cell.name == out_name)
+                || (i >= to_off && cell.name == in_name);
+            if linked {
+                cell.kind = CellKind::Logic { width: edge.elem.width() };
+            }
+        }
+    }
+    // FIFO/relay cells between linked ports also fuse to wiring.
+    for cell in fused.cells.iter_mut() {
+        if cell.name.starts_with("fifo_") || cell.name.starts_with("relay_") {
+            cell.kind = CellKind::Logic { width: 1 };
+        }
+    }
+    let fused_result =
+        place_and_route(&fused, &options.floorplan.device, region, &opts).ok();
+    let fused_timing = fused_result.as_ref().map(|r| r.timing.clone());
+    let fused_vtime = fused_result.map(|r| PhaseTimes {
+        hls: hls_serial,
+        syn: options.vtime.syn_seconds(fused.cell_count() as u64),
+        pnr: options.vtime.pnr_seconds(r.work_units),
+        bit: options.vtime.bit_seconds(r.bitstream.config_bits),
+        riscv: 0.0,
+    });
+
+    let vtime = PhaseTimes {
+        hls: hls_serial,
+        syn: options.vtime.syn_seconds(kernel_netlist.cell_count() as u64),
+        pnr: options.vtime.pnr_seconds(result.work_units),
+        bit: options.vtime.bit_seconds(result.bitstream.config_bits),
+        riscv: 0.0,
+    };
+
+    for (op, report) in graph.operators.iter().zip(reports) {
+        operators.push(CompiledOperator {
+            name: op.name.clone(),
+            target: op.target,
+            page: None,
+            artifact: None,
+            hls: Some(report),
+            timing: None,
+            soft: None,
+            vtime: PhaseTimes::default(),
+            wall_seconds: 0.0,
+            source_hash: source_hash(&op.kernel, op.target),
+        });
+    }
+
+    let bitstream_hash = result.bitstream.payload_hash;
+    let artifacts = vec![Xclbin {
+        name: "kernel.xclbin".into(),
+        kind: XclbinKind::Kernel { bitstream: result.bitstream },
+        hash: bitstream_hash,
+    }];
+
+    Ok(CompiledApp {
+        graph: graph.clone(),
+        level: OptLevel::O3,
+        floorplan: options.floorplan.clone(),
+        operators,
+        artifacts,
+        driver: Driver { loads: vec![LoadOp::PageBitstream { artifact: 0 }], links: Vec::new() },
+        ir,
+        monolithic: Some(MonolithicInfo {
+            fused_timing,
+            fused_vtime,
+            netlist: kernel_netlist,
+            timing: result.timing,
+            work_units: result.work_units,
+        }),
+        vtime_serial: vtime,
+        vtime_parallel: vtime,
+        wall_seconds: t0.elapsed().as_secs_f64(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dfg::GraphBuilder;
+    use kir::{Expr, KernelBuilder, Scalar, Stmt};
+
+    fn stage(name: &str, addend: i64) -> kir::Kernel {
+        KernelBuilder::new(name)
+            .input("in", Scalar::uint(32))
+            .output("out", Scalar::uint(32))
+            .local("x", Scalar::uint(32))
+            .body([Stmt::for_pipelined(
+                "i",
+                0..64,
+                [
+                    Stmt::read("x", "in"),
+                    Stmt::write("out", Expr::var("x").add(Expr::cint(addend))),
+                ],
+            )])
+            .build()
+            .unwrap()
+    }
+
+    fn three_stage(targets: [Target; 3]) -> Graph {
+        let mut b = GraphBuilder::new("pipe");
+        let a = b.add("a", stage("a", 1), targets[0]);
+        let c = b.add("c", stage("c", 2), targets[1]);
+        let d = b.add("d", stage("d", 3), targets[2]);
+        b.ext_input("Input_1", a, "in");
+        b.connect("l1", a, "out", c, "in");
+        b.connect("l2", c, "out", d, "in");
+        b.ext_output("Output_1", d, "out");
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn o0_compiles_everything_to_softcores() {
+        let g = three_stage([Target::hw_auto(), Target::hw_auto(), Target::hw_auto()]);
+        let app = compile(&g, &CompileOptions::new(OptLevel::O0)).unwrap();
+        assert_eq!(app.operators.len(), 3);
+        assert!(app.operators.iter().all(|o| o.soft.is_some()));
+        assert!(app.vtime_parallel.total() < 10.0, "-O0 compiles in seconds");
+        // Driver: overlay + 3 softcore loads; 4 links (2 DMA + 2 internal).
+        assert_eq!(app.driver.loads.len(), 4);
+        assert_eq!(app.driver.link_packets(), 4);
+    }
+
+    #[test]
+    fn o1_respects_pragmas_and_is_parallel() {
+        let g = three_stage([Target::hw(0), Target::riscv(1), Target::hw_auto()]);
+        let app = compile(&g, &CompileOptions::new(OptLevel::O1)).unwrap();
+        assert!(app.operators[0].hls.is_some());
+        assert!(app.operators[1].soft.is_some());
+        assert_eq!(app.operators[0].page, Some(PageId(0)));
+        assert_eq!(app.operators[1].page, Some(PageId(1)));
+        // Auto page skips occupied 0 and 1.
+        assert_eq!(app.operators[2].page, Some(PageId(2)));
+        // Parallel virtual time is below serial (several jobs overlap).
+        assert!(app.vtime_parallel.total() <= app.vtime_serial.total());
+        // Timing closed at FPGA-plausible frequency.
+        let t = app.operators[0].timing.as_ref().unwrap();
+        assert!(t.fmax_mhz > 100.0);
+    }
+
+    #[test]
+    fn o3_builds_one_kernel() {
+        let g = three_stage([Target::hw_auto(), Target::hw_auto(), Target::hw_auto()]);
+        let app = compile(&g, &CompileOptions::new(OptLevel::O3)).unwrap();
+        assert_eq!(app.artifacts.len(), 1);
+        let mono = app.monolithic.as_ref().unwrap();
+        // Stitched netlist contains all three operators plus link FIFOs.
+        let fifo_count = mono
+            .netlist
+            .cells_where(|k| matches!(k, CellKind::FifoBuf { .. }))
+            .count();
+        assert!(fifo_count >= 2);
+        assert!(app.driver.links.is_empty(), "monolithic needs no linking packets");
+    }
+
+    #[test]
+    fn o1_beats_o3_compile_time() {
+        // The headline result, on a small pipeline.
+        let g = three_stage([Target::hw_auto(), Target::hw_auto(), Target::hw_auto()]);
+        let o1 = compile(&g, &CompileOptions::new(OptLevel::O1)).unwrap();
+        let o3 = compile(&g, &CompileOptions::new(OptLevel::O3)).unwrap();
+        assert!(
+            o1.compile_seconds() < o3.compile_seconds(),
+            "O1 {} vs O3 {}",
+            o1.compile_seconds(),
+            o3.compile_seconds()
+        );
+        let o0 = compile(&g, &CompileOptions::new(OptLevel::O0)).unwrap();
+        assert!(o0.compile_seconds() < o1.compile_seconds());
+    }
+
+    #[test]
+    fn pin_conflicts_rejected() {
+        let g = three_stage([Target::hw(3), Target::hw(3), Target::hw_auto()]);
+        let err = compile(&g, &CompileOptions::new(OptLevel::O1)).unwrap_err();
+        assert!(matches!(err, CompileError::PageAssignment { .. }));
+    }
+
+    #[test]
+    fn bad_pin_rejected() {
+        let g = three_stage([Target::hw(99), Target::hw_auto(), Target::hw_auto()]);
+        let err = compile(&g, &CompileOptions::new(OptLevel::O1)).unwrap_err();
+        assert!(matches!(err, CompileError::PageAssignment { .. }));
+    }
+
+    #[test]
+    fn bft_distance_is_a_metric() {
+        assert_eq!(bft_distance(3, 3), 0);
+        assert_eq!(bft_distance(0, 1), 2); // siblings share the level-1 switch
+        assert_eq!(bft_distance(0, 2), 4);
+        assert_eq!(bft_distance(0, 16), 10); // cross a 32-leaf root
+        for (a, b) in [(0u32, 5), (7, 19), (2, 3)] {
+            assert_eq!(bft_distance(a, b), bft_distance(b, a));
+        }
+    }
+
+    #[test]
+    fn affinity_places_neighbours_in_the_same_subtree() {
+        // Pin the first operator deep into the page array; affinity should
+        // cluster the rest around it while first-fit runs back to page 0.
+        let g = three_stage([Target::hw(16), Target::hw_auto(), Target::hw_auto()]);
+        let aff = compile(
+            &g,
+            &CompileOptions { page_assign: PageAssign::Affinity, ..CompileOptions::new(OptLevel::O1) },
+        )
+        .unwrap();
+        let fit = compile(
+            &g,
+            &CompileOptions { page_assign: PageAssign::FirstFit, ..CompileOptions::new(OptLevel::O1) },
+        )
+        .unwrap();
+        let pages = |app: &CompiledApp| -> Vec<u32> {
+            app.operators.iter().map(|o| o.page.unwrap().0).collect()
+        };
+        let chain_cost = |p: &[u32]| -> u32 {
+            p.windows(2).map(|w| bft_distance(w[0], w[1])).sum()
+        };
+        let aff_pages = pages(&aff);
+        let fit_pages = pages(&fit);
+        assert_eq!(fit_pages, vec![16, 0, 1]);
+        assert!(
+            chain_cost(&aff_pages) < chain_cost(&fit_pages),
+            "affinity {aff_pages:?} vs first-fit {fit_pages:?}"
+        );
+    }
+
+    #[test]
+    fn relay_stations_save_bram_over_fifos() {
+        let g = three_stage([Target::hw_auto(), Target::hw_auto(), Target::hw_auto()]);
+        let fifo = compile(&g, &CompileOptions::new(OptLevel::O3)).unwrap();
+        let relay = compile(
+            &g,
+            &CompileOptions { link_style: LinkStyle::RelayStation, ..CompileOptions::new(OptLevel::O3) },
+        )
+        .unwrap();
+        let fr = fifo.monolithic.as_ref().unwrap().netlist.resources();
+        let rr = relay.monolithic.as_ref().unwrap().netlist.resources();
+        assert!(rr.bram18 < fr.bram18, "relay {rr} vs fifo {fr}");
+        assert!(rr.ffs > fr.ffs, "relay stations trade FFs for BRAM");
+    }
+
+    #[test]
+    fn deterministic_artifacts() {
+        let g = three_stage([Target::hw_auto(), Target::hw_auto(), Target::hw_auto()]);
+        let a = compile(&g, &CompileOptions::new(OptLevel::O1)).unwrap();
+        let b = compile(&g, &CompileOptions::new(OptLevel::O1)).unwrap();
+        let hashes = |app: &CompiledApp| app.artifacts.iter().map(|x| x.hash).collect::<Vec<_>>();
+        assert_eq!(hashes(&a), hashes(&b));
+    }
+}

@@ -1,0 +1,168 @@
+//! The loader: bringing a compiled application up on the card.
+//!
+//! Executes the generated [`Driver`](crate::artifact::Driver) against the
+//! simulated card: partial bitstreams stream through the configuration port,
+//! softcore images stream over the linking network into page memories, and
+//! the final link step sends one configuration packet per stream through a
+//! real [`noc::BftNoc`]. The report's timings are the "downtime" the paper
+//! discusses in Sec. 7.3 — the window during which an edited page is being
+//! reloaded.
+
+use noc::BftNoc;
+
+use crate::artifact::LoadOp;
+use crate::execute::OVERLAY_MHZ;
+use crate::flow::CompiledApp;
+
+/// Timing breakdown of one application bring-up.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoadReport {
+    /// Seconds loading the overlay (L1 bitstream).
+    pub overlay_seconds: f64,
+    /// Seconds loading page bitstreams (L2, via the configuration port).
+    pub bitstream_seconds: f64,
+    /// Seconds streaming softcore images over the linking network.
+    pub softcore_seconds: f64,
+    /// Linking-network cycles spent delivering configuration packets.
+    pub link_cycles: u64,
+    /// Configuration packets sent ("a few packets per page", Sec. 4.3).
+    pub link_packets: usize,
+    /// Total bytes moved.
+    pub payload_bytes: u64,
+}
+
+impl LoadReport {
+    /// Total bring-up seconds.
+    pub fn total_seconds(&self) -> f64 {
+        self.overlay_seconds
+            + self.bitstream_seconds
+            + self.softcore_seconds
+            + self.link_cycles as f64 / (OVERLAY_MHZ * 1e6)
+    }
+
+    /// The downtime for reloading just the given artifacts (an incremental
+    /// edit): time to reload those pages plus a full re-link.
+    pub fn incremental_seconds(&self, artifact_seconds: f64) -> f64 {
+        artifact_seconds + self.link_cycles as f64 / (OVERLAY_MHZ * 1e6)
+    }
+}
+
+/// Simulates loading and linking a compiled application.
+///
+/// Bitstream/image transfer times come from artifact sizes; the link step
+/// actually runs on a [`BftNoc`] instance so the packet count and cycle cost
+/// are measured, not estimated.
+pub fn load(app: &CompiledApp) -> LoadReport {
+    let mut report = LoadReport {
+        overlay_seconds: 0.0,
+        bitstream_seconds: 0.0,
+        softcore_seconds: 0.0,
+        link_cycles: 0,
+        link_packets: app.driver.links.len(),
+        payload_bytes: 0,
+    };
+
+    for op in &app.driver.loads {
+        match op {
+            LoadOp::Overlay => {
+                let x = &app.artifacts[0];
+                report.overlay_seconds += x.load_seconds();
+                report.payload_bytes += x.payload_bytes();
+            }
+            LoadOp::PageBitstream { artifact } => {
+                let x = &app.artifacts[*artifact];
+                report.bitstream_seconds += x.load_seconds();
+                report.payload_bytes += x.payload_bytes();
+            }
+            LoadOp::SoftcoreImage { artifact } => {
+                let x = &app.artifacts[*artifact];
+                report.softcore_seconds += x.load_seconds();
+                report.payload_bytes += x.payload_bytes();
+            }
+        }
+    }
+
+    // Linking: deliver the driver's configuration packets through the tree
+    // from the DMA leaf, as the generated driver.c does.
+    if !app.driver.links.is_empty() {
+        let n_pages = app.floorplan.pages.len();
+        let mut net = BftNoc::new(n_pages + 2, 4, 64);
+        let host = app.dma_in_leaf() as usize;
+        for link in &app.driver.links {
+            while net
+                .send_config(host, link.src_leaf, link.stream, link.dest)
+                .is_err()
+            {
+                net.step();
+            }
+        }
+        net.drain(1_000_000);
+        assert_eq!(
+            net.stats().config_writes,
+            app.driver.links.len() as u64,
+            "every link packet must apply"
+        );
+        report.link_cycles = net.cycle();
+    }
+
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::{compile, CompileOptions, OptLevel};
+    use dfg::{GraphBuilder, Target};
+    use kir::{Expr, KernelBuilder, Scalar, Stmt};
+
+    fn app(level: OptLevel) -> CompiledApp {
+        let k = |name: &str| {
+            KernelBuilder::new(name)
+                .input("in", Scalar::uint(32))
+                .output("out", Scalar::uint(32))
+                .local("x", Scalar::uint(32))
+                .body([Stmt::for_pipelined(
+                    "i",
+                    0..32,
+                    [Stmt::read("x", "in"), Stmt::write("out", Expr::var("x"))],
+                )])
+                .build()
+                .unwrap()
+        };
+        let mut b = GraphBuilder::new("g");
+        let a = b.add("a", k("a"), Target::hw_auto());
+        let c = b.add("c", k("c"), Target::hw_auto());
+        b.ext_input("Input_1", a, "in");
+        b.connect("l", a, "out", c, "in");
+        b.ext_output("Output_1", c, "out");
+        compile(&b.build().unwrap(), &CompileOptions::new(level)).unwrap()
+    }
+
+    #[test]
+    fn o1_load_is_pages_plus_link_packets() {
+        let report = load(&app(OptLevel::O1));
+        assert!(report.bitstream_seconds > 0.0);
+        assert_eq!(report.softcore_seconds, 0.0);
+        assert_eq!(report.link_packets, 3); // dma-in, a->c, dma-out
+        assert!(report.link_cycles > 0);
+        // Linking is microseconds-scale — packets, not recompiles.
+        assert!(report.link_cycles < 1_000);
+    }
+
+    #[test]
+    fn o0_load_streams_small_images() {
+        let report = load(&app(OptLevel::O0));
+        assert!(report.softcore_seconds > 0.0);
+        assert_eq!(report.bitstream_seconds, 0.0);
+        // Paper Sec. 5.2: operator footprints are tens of KB.
+        assert!(report.payload_bytes < 64 * 1024 * 1024);
+    }
+
+    #[test]
+    fn page_reload_downtime_beats_full_bringup() {
+        let app = app(OptLevel::O1);
+        let report = load(&app);
+        let one_page = app.artifacts[1].load_seconds();
+        assert!(report.incremental_seconds(one_page) < report.total_seconds());
+    }
+}

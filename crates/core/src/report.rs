@@ -1,0 +1,163 @@
+//! Area accounting: the numbers behind the paper's Tab. 4.
+
+use netlist::{CellKind, Resources};
+
+use crate::flow::{CompiledApp, OptLevel};
+
+/// An area summary for one flow (one row group of Tab. 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AreaReport {
+    /// Logic resources consumed.
+    pub resources: Resources,
+    /// Number of pages occupied (0 for monolithic flows).
+    pub pages: usize,
+}
+
+/// Computes the area consumed by a compiled application, with the
+/// flow-dependent accounting the paper uses:
+///
+/// * `-O1`: each operator's synthesized logic **plus** its leaf interface
+///   (the FIFOs and synchronization the paper blames for the higher BRAM
+///   and LUT counts);
+/// * `-O0`: the full resources of every occupied page — the "single,
+///   one-size-fits-all processor and memory organization" (Sec. 7.5);
+/// * `-O3`: the stitched kernel netlist including inter-operator FIFOs.
+pub fn area(app: &CompiledApp) -> AreaReport {
+    match app.level {
+        OptLevel::O3 => {
+            let mono = app.monolithic.as_ref().expect("O3 apps carry monolithic info");
+            AreaReport { resources: mono.netlist.resources(), pages: 0 }
+        }
+        OptLevel::O1 => {
+            let mut total = Resources::default();
+            let mut pages = 0;
+            for op in &app.operators {
+                pages += 1;
+                match (&op.hls, &op.soft) {
+                    (Some(hls), _) => {
+                        total += hls.resources;
+                        total += leaf_interface_resources();
+                    }
+                    (None, Some(_)) => {
+                        // A softcore-mapped operator occupies its whole page.
+                        if let Some(page) = op.page {
+                            total += app.floorplan.pages[page.0 as usize].resources;
+                        }
+                    }
+                    (None, None) => {}
+                }
+            }
+            AreaReport { resources: total, pages }
+        }
+        OptLevel::O0 => {
+            let mut total = Resources::default();
+            let mut pages = 0;
+            for op in &app.operators {
+                if let Some(page) = op.page {
+                    total += app.floorplan.pages[page.0 as usize].resources;
+                    pages += 1;
+                }
+            }
+            AreaReport { resources: total, pages }
+        }
+    }
+}
+
+/// The per-operator leaf-interface overhead (Sec. 4.1: ~500 LUTs of network
+/// interface plus the stream FIFO buffering).
+pub fn leaf_interface_resources() -> Resources {
+    let logic = CellKind::Logic { width: 800 }.resources();
+    let fifo = CellKind::FifoBuf { width: 32, depth: 64 }.resources();
+    logic + fifo
+}
+
+/// Estimated area of the original, undecomposed design (the paper's "Vitis
+/// Flow" row): the operators' datapaths without the per-operator stream
+/// interfaces and without inter-operator FIFOs.
+pub fn vitis_baseline_area(app: &CompiledApp) -> Resources {
+    let mut total = Resources::default();
+    for op in &app.operators {
+        if let Some(hls) = &op.hls {
+            total += hls.resources;
+        }
+    }
+    // Remove the per-operator stream interface pairs that a fused design
+    // would not instantiate (keep one pair for the kernel's DMA boundary).
+    let iface = CellKind::StreamIn { width: 32 }.resources()
+        + CellKind::StreamOut { width: 32 }.resources();
+    let n = app.operators.len().saturating_sub(1) as u64;
+    Resources {
+        luts: total.luts.saturating_sub(iface.luts * n),
+        ffs: total.ffs.saturating_sub(iface.ffs * n),
+        bram18: total.bram18,
+        dsp: total.dsp,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::{compile, CompileOptions};
+    use dfg::{GraphBuilder, Target};
+    use kir::{Expr, KernelBuilder, Scalar, Stmt};
+
+    fn app(level: OptLevel) -> CompiledApp {
+        let k = |name: &str| {
+            KernelBuilder::new(name)
+                .input("in", Scalar::uint(32))
+                .output("out", Scalar::uint(32))
+                .local("x", Scalar::uint(32))
+                .body([Stmt::for_pipelined(
+                    "i",
+                    0..32,
+                    [
+                        Stmt::read("x", "in"),
+                        Stmt::write("out", Expr::var("x").mul(Expr::cint(3))),
+                    ],
+                )])
+                .build()
+                .unwrap()
+        };
+        let mut b = GraphBuilder::new("g");
+        let a = b.add("a", k("a"), Target::hw_auto());
+        let c = b.add("c", k("c"), Target::hw_auto());
+        b.ext_input("Input_1", a, "in");
+        b.connect("l", a, "out", c, "in");
+        b.ext_output("Output_1", c, "out");
+        let g = b.build().unwrap();
+        compile(&g, &CompileOptions::new(level)).unwrap()
+    }
+
+    #[test]
+    fn o1_area_includes_leaf_interfaces() {
+        let o1 = area(&app(OptLevel::O1));
+        let vitis = vitis_baseline_area(&app(OptLevel::O1));
+        assert!(o1.resources.luts > vitis.luts, "{} vs {}", o1.resources.luts, vitis.luts);
+        assert_eq!(o1.pages, 2);
+    }
+
+    #[test]
+    fn o0_area_is_whole_pages() {
+        let o0 = area(&app(OptLevel::O0));
+        // Two full pages: tens of thousands of LUTs (paper Tab. 4's point).
+        assert!(o0.resources.luts > 30_000);
+        assert_eq!(o0.pages, 2);
+        let o1 = area(&app(OptLevel::O1));
+        assert!(o0.resources.luts > o1.resources.luts * 5);
+    }
+
+    #[test]
+    fn o3_area_counts_fifos() {
+        let o3 = area(&app(OptLevel::O3));
+        assert_eq!(o3.pages, 0);
+        assert!(o3.resources.luts > 0);
+        assert!(o3.resources.bram18 >= 1, "link FIFO should claim BRAM");
+    }
+
+    #[test]
+    fn leaf_interface_is_paper_scale() {
+        let r = leaf_interface_resources();
+        // Sec. 4.1: "network interfaces run about 500 LUTs".
+        assert!(r.luts >= 300 && r.luts <= 700, "{}", r.luts);
+    }
+}

@@ -1,0 +1,236 @@
+//! Threaded Kahn-process-network execution of a dataflow graph.
+//!
+//! Every operator runs as its own OS thread; every stream link is a bounded
+//! `listream` channel with blocking reads (data presence) and blocking
+//! writes (backpressure) — a software realization of the paper's compute
+//! model (Sec. 3.2) in which "if either the producer or consumer run faster
+//! or slower... this doesn't change the functional behavior". The
+//! integration tests assert exactly that: threaded outputs are bit-identical
+//! to the sequential batch execution.
+
+use kir::interp::{InterpError, KernelIo, Resolved};
+use kir::types::Value;
+use listream::{StreamReader, StreamWriter};
+use std::collections::HashMap;
+use std::thread;
+
+use crate::exec::GraphRunError;
+use crate::graph::Graph;
+
+/// FIFO depth of every link in the threaded runtime (tokens).
+pub const CHANNEL_DEPTH: usize = 256;
+
+struct ChannelIo {
+    readers: Vec<Option<StreamReader<Value>>>,
+    writers: Vec<Option<StreamWriter<Value>>>,
+    in_names: Vec<String>,
+}
+
+impl KernelIo for ChannelIo {
+    fn read(&mut self, port: usize) -> Result<Value, InterpError> {
+        match &self.readers[port] {
+            Some(rx) => rx
+                .read()
+                .map_err(|_| InterpError::StreamUnderflow { port: self.in_names[port].clone() }),
+            None => Err(InterpError::StreamUnderflow { port: self.in_names[port].clone() }),
+        }
+    }
+
+    fn write(&mut self, port: usize, value: Value) -> Result<(), InterpError> {
+        if let Some(tx) = &self.writers[port] {
+            // A vanished consumer means the downstream operator failed; the
+            // error that matters is reported by that thread.
+            let _ = tx.write(value);
+        }
+        Ok(())
+    }
+}
+
+/// Runs the graph with one thread per operator and bounded channels per
+/// link, returning the external output streams.
+///
+/// Functionally identical to [`crate::run_graph`] by the Kahn property, but
+/// actually concurrent: pipeline stages overlap on host cores the way they
+/// overlap on pages.
+///
+/// # Errors
+///
+/// Returns [`GraphRunError`] if inputs are missing/unknown or any operator
+/// thread hits a runtime error.
+pub fn run_graph_threaded(
+    graph: &Graph,
+    inputs: &[(&str, Vec<Value>)],
+) -> Result<HashMap<String, Vec<Value>>, GraphRunError> {
+    for (name, _) in inputs {
+        if !graph.ext_inputs.iter().any(|p| p.name == *name) {
+            return Err(GraphRunError::NoSuchInput(name.to_string()));
+        }
+    }
+    for p in &graph.ext_inputs {
+        if !inputs.iter().any(|(n, _)| *n == p.name) {
+            return Err(GraphRunError::MissingInput(p.name.clone()));
+        }
+    }
+
+    // Channel endpoints per (operator, port index).
+    let mut op_readers: Vec<Vec<Option<StreamReader<Value>>>> = graph
+        .operators
+        .iter()
+        .map(|o| (0..o.kernel.inputs.len()).map(|_| None).collect())
+        .collect();
+    let mut op_writers: Vec<Vec<Option<StreamWriter<Value>>>> = graph
+        .operators
+        .iter()
+        .map(|o| (0..o.kernel.outputs.len()).map(|_| None).collect())
+        .collect();
+
+    let in_port_index = |op: crate::graph::OpId, port: &str| {
+        graph.operators[op.0].kernel.inputs.iter().position(|p| p.name == port).expect("validated")
+    };
+    let out_port_index = |op: crate::graph::OpId, port: &str| {
+        graph.operators[op.0].kernel.outputs.iter().position(|p| p.name == port).expect("validated")
+    };
+
+    for e in &graph.edges {
+        let (tx, rx) = listream::channel(CHANNEL_DEPTH);
+        op_writers[e.from.0 .0][out_port_index(e.from.0, &e.from.1)] = Some(tx);
+        op_readers[e.to.0 .0][in_port_index(e.to.0, &e.to.1)] = Some(rx);
+    }
+
+    // External inputs: feeder threads; external outputs: collector threads.
+    let mut feeders = Vec::new();
+    for p in &graph.ext_inputs {
+        let (tx, rx) = listream::channel(CHANNEL_DEPTH);
+        op_readers[p.op.0][in_port_index(p.op, &p.port)] = Some(rx);
+        let stream: Vec<Value> = inputs
+            .iter()
+            .find(|(n, _)| *n == p.name)
+            .map(|(_, v)| v.clone())
+            .expect("checked above");
+        feeders.push(thread::spawn(move || {
+            for v in stream {
+                if tx.write(v).is_err() {
+                    return; // consumer failed; its thread reports the error
+                }
+            }
+        }));
+    }
+    let mut collectors = Vec::new();
+    for p in &graph.ext_outputs {
+        let (tx, rx) = listream::channel(CHANNEL_DEPTH);
+        op_writers[p.op.0][out_port_index(p.op, &p.port)] = Some(tx);
+        let name = p.name.clone();
+        collectors.push(thread::spawn(move || (name, rx.iter().collect::<Vec<Value>>())));
+    }
+
+    // Operator threads.
+    let mut workers = Vec::new();
+    for (i, inst) in graph.operators.iter().enumerate() {
+        let resolved = Resolved::new(&inst.kernel);
+        let mut io = ChannelIo {
+            readers: std::mem::take(&mut op_readers[i]),
+            writers: std::mem::take(&mut op_writers[i]),
+            in_names: inst.kernel.inputs.iter().map(|p| p.name.clone()).collect(),
+        };
+        let name = inst.name.clone();
+        workers.push(thread::spawn(move || {
+            resolved
+                .run_with_io(&mut io, kir::interp::DEFAULT_OP_BUDGET)
+                .map_err(|error| GraphRunError::Operator { op: name, error })
+            // `io` drops here, closing the operator's output channels.
+        }));
+    }
+
+    for f in feeders {
+        f.join().expect("feeder threads do not panic");
+    }
+    let mut first_error = None;
+    for w in workers {
+        if let Err(e) = w.join().expect("operator threads do not panic") {
+            first_error.get_or_insert(e);
+        }
+    }
+    let mut outputs = HashMap::new();
+    for c in collectors {
+        let (name, stream) = c.join().expect("collector threads do not panic");
+        outputs.insert(name, stream);
+    }
+    match first_error {
+        Some(e) => Err(e),
+        None => Ok(outputs),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+    use crate::target::Target;
+    use kir::{Expr, KernelBuilder, Scalar, Stmt};
+
+    fn word_values(n: u32) -> Vec<Value> {
+        (0..n).map(|w| Value::Int(aplib::DynInt::from_raw(32, false, w as u128))).collect()
+    }
+
+    fn pipeline(n_stages: usize, tokens: i64) -> Graph {
+        let stage = |name: &str, addend: i64| {
+            KernelBuilder::new(name)
+                .input("in", Scalar::uint(32))
+                .output("out", Scalar::uint(32))
+                .local("x", Scalar::uint(32))
+                .body([Stmt::for_loop(
+                    "i",
+                    0..tokens,
+                    [
+                        Stmt::read("x", "in"),
+                        Stmt::write("out", Expr::var("x").add(Expr::cint(addend))),
+                    ],
+                )])
+                .build()
+                .unwrap()
+        };
+        let mut b = GraphBuilder::new("p");
+        let ids: Vec<_> = (0..n_stages)
+            .map(|i| b.add(format!("s{i}"), stage(&format!("s{i}"), i as i64), Target::hw_auto()))
+            .collect();
+        b.ext_input("Input_1", ids[0], "in");
+        for w in ids.windows(2) {
+            b.connect(format!("l{:?}", w[0]), w[0], "out", w[1], "in");
+        }
+        b.ext_output("Output_1", ids[n_stages - 1], "out");
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn threaded_matches_batch_execution() {
+        let g = pipeline(5, 500);
+        let inputs = vec![("Input_1", word_values(500))];
+        let (batch, _) = crate::exec::run_graph(&g, &inputs).unwrap();
+        let threaded = run_graph_threaded(&g, &inputs).unwrap();
+        assert_eq!(batch, threaded);
+    }
+
+    #[test]
+    fn deep_pipeline_with_small_channels_does_not_deadlock() {
+        // More tokens than CHANNEL_DEPTH forces real backpressure.
+        let g = pipeline(3, CHANNEL_DEPTH as i64 * 4);
+        let inputs = vec![("Input_1", word_values(CHANNEL_DEPTH as u32 * 4))];
+        let out = run_graph_threaded(&g, &inputs).unwrap();
+        assert_eq!(out["Output_1"].len(), CHANNEL_DEPTH * 4);
+    }
+
+    #[test]
+    fn operator_failure_is_reported() {
+        let g = pipeline(2, 100);
+        // Too little input: the first stage underflows.
+        let err = run_graph_threaded(&g, &[("Input_1", word_values(10))]).unwrap_err();
+        assert!(matches!(err, GraphRunError::Operator { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn missing_input_is_reported() {
+        let g = pipeline(2, 4);
+        let err = run_graph_threaded(&g, &[]).unwrap_err();
+        assert_eq!(err, GraphRunError::MissingInput("Input_1".into()));
+    }
+}

@@ -1,0 +1,712 @@
+//! The host interpreter: direct execution of kernel IR.
+//!
+//! This backend serves three roles in the reproduction:
+//!
+//! * the **golden model** every other backend is property-tested against,
+//! * the paper's **"X86 g++"** baseline in Tab. 3 (native execution of the
+//!   same operator source on the host), and
+//! * the **functional half** of the `-O1`/`-O3` performance simulations: by
+//!   the Kahn-network property (Sec. 3.2), token *values* are independent of
+//!   timing, so the timing simulators only need rates while values come from
+//!   here.
+//!
+//! Kernels are first *resolved* — names become dense slot indices — so large
+//! benchmark runs don't pay string hashing per access.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::expr::Expr;
+use crate::kernel::Kernel;
+use crate::ops::{eval_bin, eval_un};
+use crate::stmt::Stmt;
+use crate::types::{Scalar, Value};
+use crate::wire;
+
+/// Default dynamic-operation budget: generous enough for every Rosetta
+/// workload frame, small enough to catch accidentally quadratic kernels.
+pub const DEFAULT_OP_BUDGET: u64 = 2_000_000_000;
+
+/// Runtime failure of a kernel execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InterpError {
+    /// A `Read` executed with no token available on the port. In batch
+    /// execution this is a deadlock: the producer can never supply more.
+    #[allow(missing_docs)]
+    StreamUnderflow { port: String },
+    /// An array access evaluated to an out-of-bounds index.
+    #[allow(missing_docs)]
+    IndexOutOfBounds { array: String, index: i128, len: u64 },
+    /// The kernel exceeded its dynamic-operation budget.
+    #[allow(missing_docs)]
+    OpBudgetExceeded { budget: u64 },
+    /// An input stream name was supplied that the kernel does not declare.
+    #[allow(missing_docs)]
+    NoSuchPort { port: String },
+}
+
+impl fmt::Display for InterpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InterpError::StreamUnderflow { port } => {
+                write!(f, "read from `{port}` with no token available")
+            }
+            InterpError::IndexOutOfBounds { array, index, len } => {
+                write!(f, "index {index} out of bounds for `{array}` of length {len}")
+            }
+            InterpError::OpBudgetExceeded { budget } => {
+                write!(f, "kernel exceeded the dynamic-operation budget of {budget}")
+            }
+            InterpError::NoSuchPort { port } => write!(f, "kernel has no port named `{port}`"),
+        }
+    }
+}
+
+impl std::error::Error for InterpError {}
+
+/// Dynamic execution statistics, consumed by the host-runtime cost model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct InterpStats {
+    /// Expression/statement operations executed.
+    pub ops: u64,
+    /// Stream tokens read.
+    pub reads: u64,
+    /// Stream tokens written.
+    pub writes: u64,
+}
+
+// ---------------------------------------------------------------------------
+// Resolved form
+// ---------------------------------------------------------------------------
+
+enum RExpr {
+    Const(Value),
+    Var(usize),
+    ArrayGet { array: usize, index: Box<RExpr> },
+    Un(crate::expr::UnOp, Box<RExpr>),
+    Bin(crate::expr::BinOp, Box<RExpr>, Box<RExpr>),
+    Cast(Scalar, Box<RExpr>),
+    Select(Box<RExpr>, Box<RExpr>, Box<RExpr>),
+    BitRange(Box<RExpr>, u32, u32),
+}
+
+enum RStmt {
+    Assign { slot: usize, ty: Scalar, value: RExpr },
+    ArraySet { array: usize, index: RExpr, value: RExpr },
+    Read { slot: usize, ty: Scalar, port: usize },
+    Write { port: usize, elem: Scalar, value: RExpr },
+    For { slot: usize, begin: i64, end: i64, step: i64, body: Vec<RStmt> },
+    If { cond: RExpr, then_body: Vec<RStmt>, else_body: Vec<RStmt> },
+}
+
+/// A kernel with names resolved to slots, ready for repeated execution.
+pub struct Resolved {
+    name: String,
+    inputs: Vec<(String, Scalar)>,
+    outputs: Vec<(String, Scalar)>,
+    var_init: Vec<Value>,
+    array_meta: Vec<(String, Scalar, u64)>,
+    array_init: Vec<Vec<Value>>,
+    body: Vec<RStmt>,
+}
+
+struct Resolver<'k> {
+    kernel: &'k Kernel,
+    var_slots: HashMap<String, (usize, Scalar)>,
+    array_slots: HashMap<String, usize>,
+    in_slots: HashMap<String, usize>,
+    out_slots: HashMap<String, usize>,
+    scope: Vec<(String, usize)>,
+    next_var: usize,
+}
+
+impl<'k> Resolver<'k> {
+    fn lookup_var(&self, name: &str) -> (usize, Scalar) {
+        if let Some((_, slot)) = self.scope.iter().rev().find(|(n, _)| n == name) {
+            return (*slot, Scalar::int(32));
+        }
+        self.var_slots[name]
+    }
+
+    fn expr(&mut self, e: &Expr) -> RExpr {
+        match e {
+            Expr::Const { raw, ty } => RExpr::Const(match *ty {
+                Scalar::Int { width, signed } => {
+                    Value::Int(aplib::DynInt::from_i128(width, signed, *raw))
+                }
+                Scalar::Fixed { width, int_bits, signed } => {
+                    Value::Fixed(aplib::DynFixed::from_raw(width, int_bits, signed, *raw as u128))
+                }
+            }),
+            Expr::Var(name) => RExpr::Var(self.lookup_var(name).0),
+            Expr::ArrayGet { array, index } => RExpr::ArrayGet {
+                array: self.array_slots[array.as_str()],
+                index: Box::new(self.expr(index)),
+            },
+            Expr::Un { op, arg } => RExpr::Un(*op, Box::new(self.expr(arg))),
+            Expr::Bin { op, lhs, rhs } => {
+                RExpr::Bin(*op, Box::new(self.expr(lhs)), Box::new(self.expr(rhs)))
+            }
+            Expr::Cast { ty, arg } => RExpr::Cast(*ty, Box::new(self.expr(arg))),
+            Expr::Select { cond, then_val, else_val } => RExpr::Select(
+                Box::new(self.expr(cond)),
+                Box::new(self.expr(then_val)),
+                Box::new(self.expr(else_val)),
+            ),
+            Expr::BitRange { arg, hi, lo } => RExpr::BitRange(Box::new(self.expr(arg)), *hi, *lo),
+        }
+    }
+
+    fn block(&mut self, body: &[Stmt]) -> Vec<RStmt> {
+        body.iter().map(|s| self.stmt(s)).collect()
+    }
+
+    fn stmt(&mut self, s: &Stmt) -> RStmt {
+        match s {
+            Stmt::Assign { var, value } => {
+                let (slot, ty) = self.lookup_var(var);
+                RStmt::Assign { slot, ty, value: self.expr(value) }
+            }
+            Stmt::ArraySet { array, index, value } => RStmt::ArraySet {
+                array: self.array_slots[array.as_str()],
+                index: self.expr(index),
+                value: self.expr(value),
+            },
+            Stmt::Read { var, port } => {
+                let (slot, ty) = self.lookup_var(var);
+                RStmt::Read { slot, ty, port: self.in_slots[port.as_str()] }
+            }
+            Stmt::Write { port, value } => {
+                let idx = self.out_slots[port.as_str()];
+                RStmt::Write {
+                    port: idx,
+                    elem: self.kernel.outputs[idx].elem,
+                    value: self.expr(value),
+                }
+            }
+            Stmt::For { var, begin, end, step, body, .. } => {
+                let slot = self.next_var;
+                self.next_var += 1;
+                self.scope.push((var.clone(), slot));
+                let body = self.block(body);
+                self.scope.pop();
+                RStmt::For { slot, begin: *begin, end: *end, step: *step, body }
+            }
+            Stmt::If { cond, then_body, else_body } => RStmt::If {
+                cond: self.expr(cond),
+                then_body: self.block(then_body),
+                else_body: self.block(else_body),
+            },
+        }
+    }
+}
+
+impl Resolved {
+    /// Resolves a kernel for execution. The kernel must already have passed
+    /// [`crate::validate`] (kernels from [`crate::KernelBuilder`] always have).
+    pub fn new(kernel: &Kernel) -> Resolved {
+        let mut var_slots = HashMap::new();
+        let mut var_init = Vec::new();
+        for v in &kernel.locals {
+            var_slots.insert(v.name.clone(), (var_init.len(), v.ty));
+            var_init.push(v.ty.zero());
+        }
+        // Loop variables get slots appended after the locals; count them.
+        let mut loop_count = 0usize;
+        for s in &kernel.body {
+            s.visit(&mut |s| {
+                if matches!(s, Stmt::For { .. }) {
+                    loop_count += 1;
+                }
+            });
+        }
+        var_init.extend(std::iter::repeat_n(Scalar::int(32).zero(), loop_count));
+
+        let array_slots: HashMap<String, usize> =
+            kernel.arrays.iter().enumerate().map(|(i, a)| (a.name.clone(), i)).collect();
+        let array_meta: Vec<(String, Scalar, u64)> =
+            kernel.arrays.iter().map(|a| (a.name.clone(), a.elem, a.len)).collect();
+        let array_init: Vec<Vec<Value>> = kernel
+            .arrays
+            .iter()
+            .map(|a| match &a.init {
+                Some(init) => init
+                    .iter()
+                    .map(|raw| match a.elem {
+                        Scalar::Int { width, signed } => {
+                            Value::Int(aplib::DynInt::from_raw(width, signed, *raw))
+                        }
+                        Scalar::Fixed { width, int_bits, signed } => {
+                            Value::Fixed(aplib::DynFixed::from_raw(width, int_bits, signed, *raw))
+                        }
+                    })
+                    .collect(),
+                None => vec![a.elem.zero(); a.len as usize],
+            })
+            .collect();
+
+        let mut resolver = Resolver {
+            kernel,
+            next_var: kernel.locals.len(),
+            var_slots,
+            array_slots,
+            in_slots: kernel.inputs.iter().enumerate().map(|(i, p)| (p.name.clone(), i)).collect(),
+            out_slots: kernel.outputs.iter().enumerate().map(|(i, p)| (p.name.clone(), i)).collect(),
+            scope: Vec::new(),
+        };
+        let body = resolver.block(&kernel.body);
+
+        Resolved {
+            name: kernel.name.clone(),
+            inputs: kernel.inputs.iter().map(|p| (p.name.clone(), p.elem)).collect(),
+            outputs: kernel.outputs.iter().map(|p| (p.name.clone(), p.elem)).collect(),
+            var_init,
+            array_meta,
+            array_init,
+            body,
+        }
+    }
+
+    /// The kernel name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Runs the kernel on value streams, producing output value streams.
+    ///
+    /// # Errors
+    ///
+    /// See [`InterpError`].
+    pub fn run(
+        &self,
+        inputs: &[(&str, Vec<Value>)],
+        budget: u64,
+    ) -> Result<(HashMap<String, Vec<Value>>, InterpStats), InterpError> {
+        let mut in_queues: Vec<std::collections::VecDeque<Value>> =
+            self.inputs.iter().map(|_| Default::default()).collect();
+        for (name, values) in inputs {
+            let idx = self
+                .inputs
+                .iter()
+                .position(|(n, _)| n == name)
+                .ok_or_else(|| InterpError::NoSuchPort { port: name.to_string() })?;
+            in_queues[idx] = values.iter().copied().collect();
+        }
+
+        let mut io = BatchIo {
+            in_queues,
+            in_names: &self.inputs,
+            out_queues: vec![Vec::new(); self.outputs.len()],
+        };
+        let stats = self.run_with_io(&mut io, budget)?;
+
+        let outputs = self
+            .outputs
+            .iter()
+            .zip(io.out_queues)
+            .map(|((name, _), q)| (name.clone(), q))
+            .collect();
+        Ok((outputs, stats))
+    }
+
+    /// Runs the kernel against an arbitrary stream transport — the entry
+    /// point the threaded Kahn-network runtime uses, where reads block on
+    /// live channels instead of draining pre-staged queues.
+    ///
+    /// # Errors
+    ///
+    /// See [`InterpError`].
+    pub fn run_with_io(
+        &self,
+        io: &mut dyn KernelIo,
+        budget: u64,
+    ) -> Result<InterpStats, InterpError> {
+        let mut state = ExecState {
+            vars: self.var_init.clone(),
+            arrays: self.array_init.clone(),
+            array_meta: &self.array_meta,
+            io,
+            stats: InterpStats::default(),
+            budget,
+        };
+        exec_block(&self.body, &mut state)?;
+        Ok(state.stats)
+    }
+}
+
+/// Stream transport for one kernel execution: ports are addressed by their
+/// declaration index.
+pub trait KernelIo {
+    /// Delivers the next token on input port `port`, blocking if the
+    /// transport supports it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InterpError::StreamUnderflow`] when no token can ever
+    /// arrive (batch queue empty, or all producers finished).
+    fn read(&mut self, port: usize) -> Result<Value, InterpError>;
+
+    /// Accepts a token on output port `port`, blocking while the transport
+    /// applies backpressure.
+    ///
+    /// # Errors
+    ///
+    /// Implementations may fail when the consumer side has gone away.
+    fn write(&mut self, port: usize, value: Value) -> Result<(), InterpError>;
+}
+
+/// The batch transport: inputs fully staged up front, outputs collected.
+struct BatchIo<'r> {
+    in_queues: Vec<std::collections::VecDeque<Value>>,
+    in_names: &'r [(String, Scalar)],
+    out_queues: Vec<Vec<Value>>,
+}
+
+impl KernelIo for BatchIo<'_> {
+    fn read(&mut self, port: usize) -> Result<Value, InterpError> {
+        self.in_queues[port]
+            .pop_front()
+            .ok_or_else(|| InterpError::StreamUnderflow { port: self.in_names[port].0.clone() })
+    }
+
+    fn write(&mut self, port: usize, value: Value) -> Result<(), InterpError> {
+        self.out_queues[port].push(value);
+        Ok(())
+    }
+}
+
+struct ExecState<'r> {
+    vars: Vec<Value>,
+    arrays: Vec<Vec<Value>>,
+    array_meta: &'r [(String, Scalar, u64)],
+    io: &'r mut dyn KernelIo,
+    stats: InterpStats,
+    budget: u64,
+}
+
+impl ExecState<'_> {
+    #[inline]
+    fn charge(&mut self, n: u64) -> Result<(), InterpError> {
+        self.stats.ops += n;
+        if self.stats.ops > self.budget {
+            Err(InterpError::OpBudgetExceeded { budget: self.budget })
+        } else {
+            Ok(())
+        }
+    }
+}
+
+fn eval(e: &RExpr, st: &mut ExecState<'_>) -> Result<Value, InterpError> {
+    match e {
+        RExpr::Const(v) => Ok(*v),
+        RExpr::Var(slot) => Ok(st.vars[*slot]),
+        RExpr::ArrayGet { array, index } => {
+            let idx = eval(index, st)?.as_int().to_i128();
+            st.charge(1)?;
+            let (name, _, len) = &st.array_meta[*array];
+            if idx < 0 || idx as u64 >= *len {
+                return Err(InterpError::IndexOutOfBounds {
+                    array: name.clone(),
+                    index: idx,
+                    len: *len,
+                });
+            }
+            Ok(st.arrays[*array][idx as usize])
+        }
+        RExpr::Un(op, arg) => {
+            let v = eval(arg, st)?;
+            st.charge(1)?;
+            Ok(eval_un(*op, v))
+        }
+        RExpr::Bin(op, lhs, rhs) => {
+            let l = eval(lhs, st)?;
+            let r = eval(rhs, st)?;
+            st.charge(1)?;
+            Ok(eval_bin(*op, l, r))
+        }
+        RExpr::Cast(ty, arg) => {
+            let v = eval(arg, st)?;
+            Ok(v.coerce(*ty))
+        }
+        RExpr::Select(cond, then_val, else_val) => {
+            let c = eval(cond, st)?;
+            st.charge(1)?;
+            let t = eval(then_val, st)?;
+            let e = eval(else_val, st)?;
+            // Mux: both sides are computed in hardware; pick by condition and
+            // carry the common shape so either arm yields the same type.
+            let common = crate::ops::result_type(crate::expr::BinOp::Max, t.scalar(), e.scalar());
+            Ok(if c.is_zero() { e.coerce(common) } else { t.coerce(common) })
+        }
+        RExpr::BitRange(arg, hi, lo) => {
+            let v = eval(arg, st)?;
+            st.charge(1)?;
+            let as_int = aplib::DynInt::from_raw(v.scalar().width(), false, v.raw());
+            Ok(Value::Int(as_int.bit_range(*hi, *lo)))
+        }
+    }
+}
+
+fn exec_block(body: &[RStmt], st: &mut ExecState<'_>) -> Result<(), InterpError> {
+    for s in body {
+        match s {
+            RStmt::Assign { slot, ty, value } => {
+                let v = eval(value, st)?;
+                st.charge(1)?;
+                st.vars[*slot] = v.coerce(*ty);
+            }
+            RStmt::ArraySet { array, index, value } => {
+                let idx = eval(index, st)?.as_int().to_i128();
+                let v = eval(value, st)?;
+                st.charge(1)?;
+                let (name, elem, len) = &st.array_meta[*array];
+                if idx < 0 || idx as u64 >= *len {
+                    return Err(InterpError::IndexOutOfBounds {
+                        array: name.clone(),
+                        index: idx,
+                        len: *len,
+                    });
+                }
+                st.arrays[*array][idx as usize] = v.coerce(*elem);
+            }
+            RStmt::Read { slot, ty, port } => {
+                st.charge(1)?;
+                let v = st.io.read(*port)?;
+                st.stats.reads += 1;
+                st.vars[*slot] = v.coerce(*ty);
+            }
+            RStmt::Write { port, elem, value } => {
+                let v = eval(value, st)?;
+                st.charge(1)?;
+                st.stats.writes += 1;
+                st.io.write(*port, v.coerce(*elem))?;
+            }
+            RStmt::For { slot, begin, end, step, body } => {
+                let mut i = *begin;
+                while i < *end {
+                    st.charge(1)?;
+                    st.vars[*slot] = Value::Int(aplib::DynInt::from_i128(32, true, i as i128));
+                    exec_block(body, st)?;
+                    i += *step;
+                }
+            }
+            RStmt::If { cond, then_body, else_body } => {
+                let c = eval(cond, st)?;
+                st.charge(1)?;
+                if c.is_zero() {
+                    exec_block(else_body, st)?;
+                } else {
+                    exec_block(then_body, st)?;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Convenience entry points
+// ---------------------------------------------------------------------------
+
+/// Runs a kernel on value streams with the default operation budget.
+///
+/// # Errors
+///
+/// See [`InterpError`].
+pub fn run(
+    kernel: &Kernel,
+    inputs: &[(&str, Vec<Value>)],
+) -> Result<HashMap<String, Vec<Value>>, InterpError> {
+    Resolved::new(kernel).run(inputs, DEFAULT_OP_BUDGET).map(|(out, _)| out)
+}
+
+/// Runs a kernel on value streams, also returning execution statistics.
+///
+/// # Errors
+///
+/// See [`InterpError`].
+pub fn run_with_stats(
+    kernel: &Kernel,
+    inputs: &[(&str, Vec<Value>)],
+) -> Result<(HashMap<String, Vec<Value>>, InterpStats), InterpError> {
+    Resolved::new(kernel).run(inputs, DEFAULT_OP_BUDGET)
+}
+
+/// Runs a kernel on raw 32-bit word streams (the on-wire representation).
+///
+/// # Errors
+///
+/// See [`InterpError`].
+pub fn run_words(
+    kernel: &Kernel,
+    inputs: &[(&str, Vec<u32>)],
+) -> Result<HashMap<String, Vec<u32>>, InterpError> {
+    let typed: Vec<(&str, Vec<Value>)> = inputs
+        .iter()
+        .map(|(name, words)| {
+            let ty = kernel
+                .input(name)
+                .map(|p| p.elem)
+                .ok_or(InterpError::NoSuchPort { port: name.to_string() })?;
+            Ok((*name, wire::words_to_stream(ty, words)))
+        })
+        .collect::<Result<_, InterpError>>()?;
+    let out = run(kernel, &typed)?;
+    Ok(out.into_iter().map(|(name, vals)| (name, wire::stream_to_words(&vals))).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::KernelBuilder;
+    use crate::Expr;
+
+    fn accumulate_kernel() -> Kernel {
+        // Reads 8 values, emits running sums.
+        KernelBuilder::new("acc")
+            .input("in", Scalar::uint(32))
+            .output("out", Scalar::uint(32))
+            .local("x", Scalar::uint(32))
+            .local("sum", Scalar::uint(32))
+            .body([Stmt::for_loop(
+                "i",
+                0..8,
+                [
+                    Stmt::read("x", "in"),
+                    Stmt::assign("sum", Expr::var("sum").add(Expr::var("x"))),
+                    Stmt::write("out", Expr::var("sum")),
+                ],
+            )])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn running_sum() {
+        let out = run_words(&accumulate_kernel(), &[("in", (1..=8).collect())]).unwrap();
+        assert_eq!(out["out"], vec![1, 3, 6, 10, 15, 21, 28, 36]);
+    }
+
+    #[test]
+    fn underflow_reported() {
+        let err = run_words(&accumulate_kernel(), &[("in", vec![1, 2])]).unwrap_err();
+        assert_eq!(err, InterpError::StreamUnderflow { port: "in".into() });
+    }
+
+    #[test]
+    fn unknown_port_reported() {
+        let err = run_words(&accumulate_kernel(), &[("bogus", vec![])]).unwrap_err();
+        assert_eq!(err, InterpError::NoSuchPort { port: "bogus".into() });
+    }
+
+    #[test]
+    fn stats_count_work() {
+        let (out, stats) =
+            run_with_stats(&accumulate_kernel(), &[("in", (1..=8).map(|v| Value::Int(aplib::DynInt::from_i128(32, false, v))).collect())])
+                .unwrap();
+        assert_eq!(out["out"].len(), 8);
+        assert_eq!(stats.reads, 8);
+        assert_eq!(stats.writes, 8);
+        assert!(stats.ops > 24);
+    }
+
+    #[test]
+    fn budget_enforced() {
+        let k = KernelBuilder::new("spin")
+            .input("in", Scalar::uint(32))
+            .output("out", Scalar::uint(32))
+            .local("x", Scalar::uint(32))
+            .body([
+                Stmt::for_loop("i", 0..1_000_000, [Stmt::assign("x", Expr::var("x").add(Expr::cint(1)))]),
+                Stmt::write("out", Expr::var("x")),
+            ])
+            .build()
+            .unwrap();
+        let err = Resolved::new(&k).run(&[], 1000).unwrap_err();
+        assert_eq!(err, InterpError::OpBudgetExceeded { budget: 1000 });
+    }
+
+    #[test]
+    fn arrays_and_conditionals() {
+        // Histogram of low 2 bits, then emit the 4 bins.
+        let k = KernelBuilder::new("hist")
+            .input("in", Scalar::uint(32))
+            .output("out", Scalar::uint(32))
+            .local("x", Scalar::uint(32))
+            .array("bins", Scalar::uint(32), 4)
+            .body([
+                Stmt::for_loop(
+                    "i",
+                    0..16,
+                    [
+                        Stmt::read("x", "in"),
+                        Stmt::store(
+                            "bins",
+                            Expr::var("x").and(Expr::cint(3)),
+                            Expr::index("bins", Expr::var("x").and(Expr::cint(3)))
+                                .add(Expr::cint(1)),
+                        ),
+                    ],
+                ),
+                Stmt::for_loop("j", 0..4, [Stmt::write("out", Expr::index("bins", Expr::var("j")))]),
+            ])
+            .build()
+            .unwrap();
+        let out = run_words(&k, &[("in", (0..16).collect())]).unwrap();
+        assert_eq!(out["out"], vec![4, 4, 4, 4]);
+    }
+
+    #[test]
+    fn fixed_point_pipeline_matches_f64() {
+        // y = (a*b + c) in ap_fixed<32,17>
+        let k = KernelBuilder::new("mac")
+            .input("a", Scalar::fixed(32, 17))
+            .input("b", Scalar::fixed(32, 17))
+            .input("c", Scalar::fixed(32, 17))
+            .output("y", Scalar::fixed(32, 17))
+            .local("va", Scalar::fixed(32, 17))
+            .local("vb", Scalar::fixed(32, 17))
+            .local("vc", Scalar::fixed(32, 17))
+            .body([Stmt::for_loop(
+                "i",
+                0..4,
+                [
+                    Stmt::read("va", "a"),
+                    Stmt::read("vb", "b"),
+                    Stmt::read("vc", "c"),
+                    Stmt::write("y", Expr::var("va").mul(Expr::var("vb")).add(Expr::var("vc"))),
+                ],
+            )])
+            .build()
+            .unwrap();
+        let f = |x: f64| Value::Fixed(aplib::DynFixed::from_f64(32, 17, true, x));
+        let out = run(
+            &k,
+            &[
+                ("a", vec![f(1.5), f(-2.0), f(0.25), f(100.0)]),
+                ("b", vec![f(2.0), f(3.5), f(-4.0), f(0.5)]),
+                ("c", vec![f(0.5), f(1.0), f(0.0), f(-50.0)]),
+            ],
+        )
+        .unwrap();
+        let got: Vec<f64> = out["y"].iter().map(Value::to_f64).collect();
+        assert_eq!(got, vec![3.5, -6.0, -1.0, 0.0]);
+    }
+
+    #[test]
+    fn index_bounds_checked() {
+        let k = KernelBuilder::new("oob")
+            .input("in", Scalar::uint(32))
+            .output("out", Scalar::uint(32))
+            .local("x", Scalar::uint(32))
+            .array("a", Scalar::uint(32), 2)
+            .body([
+                Stmt::read("x", "in"),
+                Stmt::write("out", Expr::index("a", Expr::var("x"))),
+            ])
+            .build()
+            .unwrap();
+        let err = run_words(&k, &[("in", vec![5])]).unwrap_err();
+        assert_eq!(err, InterpError::IndexOutOfBounds { array: "a".into(), index: 5, len: 2 });
+    }
+}

@@ -1,0 +1,111 @@
+//! Serialization of kernel values onto 32-bit stream links.
+//!
+//! PLD's leaf interfaces and linking network move 32-bit words (Sec. 5.2), so
+//! wider `ap_int`/`ap_fixed` values travel as little-endian word sequences.
+//! All three targets (host, FPGA page, softcore) use this one encoding, which
+//! is what allows an operator to change target without its neighbours
+//! noticing.
+
+use crate::types::{Scalar, Value};
+
+/// Packs a value into its on-wire word sequence (little-endian chunks of the
+/// raw bit pattern, `ty.words()` long).
+pub fn to_words(value: &Value) -> Vec<u32> {
+    let n = value.scalar().words();
+    let raw = value.raw();
+    (0..n).map(|i| (raw >> (32 * i)) as u32).collect()
+}
+
+/// Unpacks a value of type `ty` from its on-wire words.
+///
+/// # Panics
+///
+/// Panics if `words.len()` does not equal `ty.words()`.
+pub fn from_words(ty: Scalar, words: &[u32]) -> Value {
+    assert_eq!(
+        words.len() as u32,
+        ty.words(),
+        "wire decode for {ty} expects {} words, got {}",
+        ty.words(),
+        words.len()
+    );
+    let mut raw = 0u128;
+    for (i, w) in words.iter().enumerate() {
+        raw |= (*w as u128) << (32 * i);
+    }
+    match ty {
+        Scalar::Int { width, signed } => Value::Int(aplib::DynInt::from_raw(width, signed, raw)),
+        Scalar::Fixed { width, int_bits, signed } => {
+            Value::Fixed(aplib::DynFixed::from_raw(width, int_bits, signed, raw))
+        }
+    }
+}
+
+/// Packs a whole token stream into words.
+pub fn stream_to_words<'a>(values: impl IntoIterator<Item = &'a Value>) -> Vec<u32> {
+    values.into_iter().flat_map(to_words).collect()
+}
+
+/// Unpacks a word stream into tokens of type `ty`.
+///
+/// # Panics
+///
+/// Panics if the word count is not a multiple of `ty.words()`.
+pub fn words_to_stream(ty: Scalar, words: &[u32]) -> Vec<Value> {
+    let per = ty.words() as usize;
+    assert!(
+        words.len().is_multiple_of(per),
+        "word stream of length {} is not a whole number of {ty} tokens",
+        words.len()
+    );
+    words.chunks(per).map(|c| from_words(ty, c)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aplib::{DynFixed, DynInt};
+
+    #[test]
+    fn narrow_types_use_one_word() {
+        let v = Value::Int(DynInt::from_i128(8, true, -1));
+        assert_eq!(to_words(&v), vec![0xff]);
+        let back = from_words(Scalar::int(8), &[0xff]);
+        assert_eq!(back.to_f64(), -1.0);
+    }
+
+    #[test]
+    fn wide_values_split_little_endian() {
+        let v = Value::Int(DynInt::from_raw(64, false, 0x1122_3344_5566_7788));
+        assert_eq!(to_words(&v), vec![0x5566_7788, 0x1122_3344]);
+        let back = from_words(Scalar::uint(64), &to_words(&v));
+        assert_eq!(back.raw(), 0x1122_3344_5566_7788);
+    }
+
+    #[test]
+    fn fixed_point_travels_as_raw_bits() {
+        let v = Value::Fixed(DynFixed::from_f64(32, 17, true, -2.5));
+        let words = to_words(&v);
+        assert_eq!(words.len(), 1);
+        let back = from_words(Scalar::fixed(32, 17), &words);
+        assert_eq!(back.to_f64(), -2.5);
+    }
+
+    #[test]
+    fn streams_roundtrip() {
+        let ty = Scalar::fixed(64, 40);
+        let vals: Vec<Value> = (0..10)
+            .map(|i| Value::Fixed(DynFixed::from_f64(64, 40, true, i as f64 * 1.25 - 3.0)))
+            .collect();
+        let words = stream_to_words(&vals);
+        assert_eq!(words.len(), 20);
+        let back = words_to_stream(ty, &words);
+        assert_eq!(back, vals);
+    }
+
+    #[test]
+    #[should_panic(expected = "expects")]
+    fn wrong_word_count_panics() {
+        from_words(Scalar::uint(64), &[1]);
+    }
+}

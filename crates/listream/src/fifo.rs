@@ -1,0 +1,194 @@
+//! Cycle-stepped FIFO used by the hardware simulators.
+
+use std::collections::VecDeque;
+
+/// Occupancy and flow statistics accumulated by a [`SimFifo`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FifoStats {
+    /// Total tokens accepted.
+    pub pushes: u64,
+    /// Total tokens delivered.
+    pub pops: u64,
+    /// Pushes rejected because the FIFO was full (producer stall events).
+    pub full_stalls: u64,
+    /// Pops rejected because the FIFO was empty (consumer stall events).
+    pub empty_stalls: u64,
+    /// High-water mark of occupancy.
+    pub max_occupancy: usize,
+}
+
+/// A bounded FIFO with hardware-FIFO semantics for cycle-level simulation.
+///
+/// Unlike the threaded [`crate::channel`], a `SimFifo` never blocks: a push
+/// to a full FIFO or a pop from an empty FIFO *fails* and is recorded as a
+/// stall event, exactly as a hardware producer sees `full` asserted or a
+/// consumer sees `empty`. The simulator retries on a later cycle, which is
+/// what makes the link latency-insensitive.
+///
+/// # Examples
+///
+/// ```
+/// use listream::SimFifo;
+///
+/// let mut f = SimFifo::new(2);
+/// assert!(f.try_push(1u32));
+/// assert!(f.try_push(2));
+/// assert!(!f.try_push(3)); // full: producer stalls
+/// assert_eq!(f.try_pop(), Some(1));
+/// assert_eq!(f.stats().full_stalls, 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimFifo<T> {
+    queue: VecDeque<T>,
+    capacity: usize,
+    stats: FifoStats,
+}
+
+impl<T> SimFifo<T> {
+    /// Creates a FIFO holding at most `capacity` tokens.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero; a zero-depth link cannot make forward
+    /// progress in a cycle-stepped simulation.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "FIFO capacity must be at least 1");
+        SimFifo {
+            queue: VecDeque::with_capacity(capacity),
+            capacity,
+            stats: FifoStats::default(),
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current occupancy.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether the FIFO holds no tokens.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Whether the FIFO cannot accept another token.
+    pub fn is_full(&self) -> bool {
+        self.queue.len() == self.capacity
+    }
+
+    /// Attempts to enqueue a token. Returns `false` (and records a producer
+    /// stall) if the FIFO is full.
+    pub fn try_push(&mut self, token: T) -> bool {
+        if self.is_full() {
+            self.stats.full_stalls += 1;
+            return false;
+        }
+        self.queue.push_back(token);
+        self.stats.pushes += 1;
+        self.stats.max_occupancy = self.stats.max_occupancy.max(self.queue.len());
+        true
+    }
+
+    /// Attempts to dequeue a token. Returns `None` (and records a consumer
+    /// stall) if the FIFO is empty.
+    pub fn try_pop(&mut self) -> Option<T> {
+        match self.queue.pop_front() {
+            Some(t) => {
+                self.stats.pops += 1;
+                Some(t)
+            }
+            None => {
+                self.stats.empty_stalls += 1;
+                None
+            }
+        }
+    }
+
+    /// Peeks at the head token without consuming it (no stall recorded).
+    pub fn peek(&self) -> Option<&T> {
+        self.queue.front()
+    }
+
+    /// Flow statistics accumulated so far.
+    pub fn stats(&self) -> FifoStats {
+        self.stats
+    }
+
+    /// Clears contents and statistics.
+    pub fn reset(&mut self) {
+        self.queue.clear();
+        self.stats = FifoStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_preserved() {
+        let mut f = SimFifo::new(8);
+        for i in 0..8u32 {
+            assert!(f.try_push(i));
+        }
+        for i in 0..8u32 {
+            assert_eq!(f.try_pop(), Some(i));
+        }
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn stalls_are_counted_not_lossy() {
+        let mut f = SimFifo::new(1);
+        assert!(f.try_push(7u32));
+        assert!(!f.try_push(8));
+        assert!(!f.try_push(9));
+        assert_eq!(f.stats().full_stalls, 2);
+        assert_eq!(f.try_pop(), Some(7));
+        assert_eq!(f.try_pop(), None);
+        assert_eq!(f.stats().empty_stalls, 1);
+        // Nothing was dropped or duplicated.
+        assert_eq!(f.stats().pushes, 1);
+        assert_eq!(f.stats().pops, 1);
+    }
+
+    #[test]
+    fn high_water_mark() {
+        let mut f = SimFifo::new(4);
+        f.try_push(1u32);
+        f.try_push(2);
+        f.try_pop();
+        f.try_push(3);
+        f.try_push(4);
+        assert_eq!(f.stats().max_occupancy, 3);
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let mut f = SimFifo::new(2);
+        f.try_push(5u32);
+        assert_eq!(f.peek(), Some(&5));
+        assert_eq!(f.len(), 1);
+        assert_eq!(f.try_pop(), Some(5));
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut f = SimFifo::new(2);
+        f.try_push(1u32);
+        f.try_pop();
+        f.reset();
+        assert!(f.is_empty());
+        assert_eq!(f.stats(), FifoStats::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_rejected() {
+        SimFifo::<u32>::new(0);
+    }
+}

@@ -1,0 +1,185 @@
+//! Threaded Kahn-process-network stream links.
+//!
+//! Used by the host execution mode (the paper's "X86 g++" column in Tab. 3),
+//! where each dataflow operator runs as an OS thread and the latency-
+//! insensitive links become bounded channels: reads block on empty
+//! (data presence) and writes block on full (backpressure).
+
+use crossbeam::channel::{Receiver, RecvError, SendError, Sender};
+use std::fmt;
+
+/// Error returned by [`StreamReader::read`] when the stream is closed and
+/// drained: every producer has finished and no tokens remain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReadError;
+
+impl fmt::Display for ReadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "stream closed: producer finished and FIFO drained")
+    }
+}
+
+impl std::error::Error for ReadError {}
+
+/// Error returned by [`StreamWriter::write`] when the consumer side has hung
+/// up, so the token can never be delivered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WriteError;
+
+impl fmt::Display for WriteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "stream closed: consumer hung up")
+    }
+}
+
+impl std::error::Error for WriteError {}
+
+/// Producer endpoint of a latency-insensitive stream link.
+#[derive(Debug, Clone)]
+pub struct StreamWriter<T> {
+    tx: Sender<T>,
+}
+
+/// Consumer endpoint of a latency-insensitive stream link.
+#[derive(Debug, Clone)]
+pub struct StreamReader<T> {
+    rx: Receiver<T>,
+}
+
+/// Creates a latency-insensitive stream link of the given FIFO depth.
+///
+/// # Panics
+///
+/// Panics if `capacity` is zero (a rendezvous channel is not a FIFO and can
+/// deadlock a Kahn network that assumes at least one token of slack).
+///
+/// # Examples
+///
+/// ```
+/// let (tx, rx) = listream::channel::<u32>(4);
+/// std::thread::spawn(move || {
+///     for i in 0..10 {
+///         tx.write(i).unwrap();
+///     }
+/// });
+/// let got: Vec<u32> = rx.iter().collect();
+/// assert_eq!(got, (0..10).collect::<Vec<_>>());
+/// ```
+pub fn channel<T>(capacity: usize) -> (StreamWriter<T>, StreamReader<T>) {
+    assert!(capacity > 0, "stream FIFO capacity must be at least 1");
+    let (tx, rx) = crossbeam::channel::bounded(capacity);
+    (StreamWriter { tx }, StreamReader { rx })
+}
+
+impl<T> StreamWriter<T> {
+    /// Writes a token, blocking while the FIFO is full (backpressure).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WriteError`] if every reader has been dropped.
+    pub fn write(&self, token: T) -> Result<(), WriteError> {
+        self.tx.send(token).map_err(|SendError(_)| WriteError)
+    }
+
+    /// Attempts a non-blocking write. Returns the token back on failure,
+    /// mirroring a hardware `full` rejection.
+    pub fn try_write(&self, token: T) -> Result<(), T> {
+        self.tx.try_send(token).map_err(|e| e.into_inner())
+    }
+}
+
+impl<T> StreamReader<T> {
+    /// Reads a token, blocking while the FIFO is empty (data presence).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReadError`] once all writers are dropped and the FIFO is
+    /// drained — the stream's end-of-computation condition.
+    pub fn read(&self) -> Result<T, ReadError> {
+        self.rx.recv().map_err(|RecvError| ReadError)
+    }
+
+    /// Attempts a non-blocking read.
+    pub fn try_read(&self) -> Option<T> {
+        self.rx.try_recv().ok()
+    }
+
+    /// Returns an iterator that drains the stream until it closes.
+    pub fn iter(&self) -> impl Iterator<Item = T> + '_ {
+        self.rx.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+    use std::time::Duration;
+
+    #[test]
+    fn tokens_arrive_in_order() {
+        let (tx, rx) = channel::<u32>(3);
+        let producer = thread::spawn(move || {
+            for i in 0..100 {
+                tx.write(i).unwrap();
+            }
+        });
+        let got: Vec<u32> = rx.iter().collect();
+        producer.join().unwrap();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn backpressure_blocks_producer() {
+        let (tx, rx) = channel::<u32>(1);
+        tx.write(1).unwrap();
+        // FIFO is full: non-blocking write must be rejected with the token.
+        assert_eq!(tx.try_write(2), Err(2));
+        assert_eq!(rx.try_read(), Some(1));
+        assert_eq!(tx.try_write(2), Ok(()));
+    }
+
+    #[test]
+    fn read_after_close_errors() {
+        let (tx, rx) = channel::<u32>(2);
+        tx.write(9).unwrap();
+        drop(tx);
+        assert_eq!(rx.read(), Ok(9));
+        assert_eq!(rx.read(), Err(ReadError));
+    }
+
+    #[test]
+    fn write_after_reader_gone_errors() {
+        let (tx, rx) = channel::<u32>(1);
+        drop(rx);
+        assert_eq!(tx.write(1), Err(WriteError));
+    }
+
+    #[test]
+    fn blocking_read_waits_for_data() {
+        let (tx, rx) = channel::<u32>(1);
+        let reader = thread::spawn(move || rx.read().unwrap());
+        thread::sleep(Duration::from_millis(10));
+        tx.write(42).unwrap();
+        assert_eq!(reader.join().unwrap(), 42);
+    }
+
+    #[test]
+    fn pipeline_of_three_stages_runs_to_completion() {
+        // unpack -> double -> sum, the shape of the paper's Fig. 2 graph.
+        let (tx0, rx0) = channel::<u32>(2);
+        let (tx1, rx1) = channel::<u32>(2);
+        let stage1 = thread::spawn(move || {
+            while let Ok(v) = rx0.read() {
+                tx1.write(v * 2).unwrap();
+            }
+        });
+        let sum = thread::spawn(move || rx1.iter().map(u64::from).sum::<u64>());
+        for i in 0..1000u32 {
+            tx0.write(i).unwrap();
+        }
+        drop(tx0);
+        stage1.join().unwrap();
+        assert_eq!(sum.join().unwrap(), (0..1000u64).map(|i| i * 2).sum());
+    }
+}

@@ -1,0 +1,203 @@
+//! Leaf interfaces: the per-page clients of the linking network.
+
+use listream::SimFifo;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+use crate::switch::Flit;
+
+/// A destination entry in a leaf's linking table: where one of the page's
+/// output streams is to be delivered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PortAddr {
+    /// Destination leaf index.
+    pub leaf: u16,
+    /// Destination input-port index at that leaf.
+    pub port: u8,
+}
+
+impl PortAddr {
+    /// Encodes the entry into a configuration-packet payload.
+    pub fn encode(self) -> u32 {
+        (self.leaf as u32) << 8 | self.port as u32
+    }
+
+    /// Decodes an entry from a configuration-packet payload.
+    pub fn decode(word: u32) -> PortAddr {
+        PortAddr { leaf: (word >> 8) as u16, port: word as u8 }
+    }
+}
+
+/// The standard leaf interface wrapped around every page (paper Sec. 4.1):
+/// destination registers stamp packet headers onto outgoing stream words;
+/// per-port receive FIFOs reassemble incoming streams.
+///
+/// "We set control registers in the leaf interface to add appropriate packet
+/// destination headers to data... These control registers can be changed
+/// with control packets on the network, so that operators can be re-linked
+/// without recompiling the source or destination pages" (Sec. 4.3).
+#[derive(Debug, Clone)]
+pub struct LeafInterface {
+    /// Destination table: one entry per output stream of the page.
+    dest_table: Vec<Option<PortAddr>>,
+    /// Outgoing flit queue feeding the single uplink (one flit per cycle).
+    pub(crate) out_queue: SimFifo<Flit>,
+    /// Receive queues, one per input port. Unbounded in the simulator; the
+    /// consumer model applies backpressure by not consuming (see crate docs).
+    recv: Vec<VecDeque<u32>>,
+    /// Reorder state per (source leaf, input port): next expected sequence
+    /// number and the buffer of early arrivals. Deflection routing may
+    /// overtake within a stream; this restores FIFO delivery.
+    reorder: HashMap<(u16, u8), (u32, BTreeMap<u32, u32>)>,
+    /// Per-output-stream sequence counters stamped onto injected flits.
+    pub(crate) seq_counters: Vec<u32>,
+}
+
+impl LeafInterface {
+    /// Creates a leaf with `out_streams` destination registers, `in_ports`
+    /// receive queues, and an output FIFO of `queue_depth` flits.
+    pub fn new(out_streams: usize, in_ports: usize, queue_depth: usize) -> LeafInterface {
+        LeafInterface {
+            dest_table: vec![None; out_streams],
+            out_queue: SimFifo::new(queue_depth.max(1)),
+            recv: vec![VecDeque::new(); in_ports],
+            reorder: HashMap::new(),
+            seq_counters: vec![0; out_streams],
+        }
+    }
+
+    /// Allocates the next sequence number for output stream `stream`.
+    pub(crate) fn next_seq(&mut self, stream: usize) -> u32 {
+        if stream >= self.seq_counters.len() {
+            self.seq_counters.resize(stream + 1, 0);
+        }
+        let s = self.seq_counters[stream];
+        self.seq_counters[stream] += 1;
+        s
+    }
+
+    /// Reads a destination register.
+    pub fn dest(&self, stream: usize) -> Option<PortAddr> {
+        self.dest_table.get(stream).copied().flatten()
+    }
+
+    /// Writes a destination register (normally done by config packets; the
+    /// loader uses this for directly attached leaves).
+    pub fn set_dest(&mut self, stream: usize, addr: PortAddr) {
+        if stream >= self.dest_table.len() {
+            self.dest_table.resize(stream + 1, None);
+        }
+        self.dest_table[stream] = Some(addr);
+    }
+
+    /// Applies a delivered configuration packet.
+    pub(crate) fn apply_config(&mut self, reg: u8, payload: u32) {
+        self.set_dest(reg as usize, PortAddr::decode(payload));
+    }
+
+    /// Queues a received data word on input port `port`, restoring
+    /// per-source FIFO order from the sequence tag.
+    pub(crate) fn deliver(&mut self, src: u16, port: u8, seq: u32, payload: u32) {
+        let p = port as usize;
+        if p >= self.recv.len() {
+            self.recv.resize(p + 1, VecDeque::new());
+        }
+        let (expected, pending) = self.reorder.entry((src, port)).or_insert((0, BTreeMap::new()));
+        if seq == *expected {
+            self.recv[p].push_back(payload);
+            *expected += 1;
+            // Release any buffered successors.
+            while let Some(w) = pending.remove(expected) {
+                self.recv[p].push_back(w);
+                *expected += 1;
+            }
+        } else {
+            pending.insert(seq, payload);
+        }
+    }
+
+    /// Words buffered out of order, awaiting their predecessors.
+    pub fn reorder_pending(&self) -> usize {
+        self.reorder.values().map(|(_, p)| p.len()).sum()
+    }
+
+    /// Pops a received word from input port `port`.
+    pub fn try_recv(&mut self, port: u8) -> Option<u32> {
+        self.recv.get_mut(port as usize)?.pop_front()
+    }
+
+    /// Number of words waiting on input port `port`.
+    pub fn pending(&self, port: u8) -> usize {
+        self.recv.get(port as usize).map(VecDeque::len).unwrap_or(0)
+    }
+
+    /// Whether the outgoing queue has room for another flit.
+    pub fn can_inject(&self) -> bool {
+        !self.out_queue.is_full()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn port_addr_roundtrip() {
+        for leaf in [0u16, 1, 22, 255, 1000] {
+            for port in [0u8, 1, 7, 255] {
+                let a = PortAddr { leaf, port };
+                assert_eq!(PortAddr::decode(a.encode()), a);
+            }
+        }
+    }
+
+    #[test]
+    fn dest_table_config() {
+        let mut leaf = LeafInterface::new(2, 2, 4);
+        assert_eq!(leaf.dest(0), None);
+        leaf.apply_config(1, PortAddr { leaf: 9, port: 3 }.encode());
+        assert_eq!(leaf.dest(1), Some(PortAddr { leaf: 9, port: 3 }));
+        // Config can grow the table (registers are sparse addresses).
+        leaf.apply_config(5, PortAddr { leaf: 1, port: 1 }.encode());
+        assert_eq!(leaf.dest(5), Some(PortAddr { leaf: 1, port: 1 }));
+    }
+
+    #[test]
+    fn out_of_order_arrivals_are_reordered() {
+        let mut leaf = LeafInterface::new(1, 1, 4);
+        leaf.deliver(3, 0, 2, 300);
+        leaf.deliver(3, 0, 0, 100);
+        assert_eq!(leaf.reorder_pending(), 1);
+        assert_eq!(leaf.try_recv(0), Some(100));
+        assert_eq!(leaf.try_recv(0), None); // 1 still missing
+        leaf.deliver(3, 0, 1, 200);
+        assert_eq!(leaf.try_recv(0), Some(200));
+        assert_eq!(leaf.try_recv(0), Some(300));
+        assert_eq!(leaf.reorder_pending(), 0);
+    }
+
+    #[test]
+    fn streams_from_different_sources_are_independent() {
+        let mut leaf = LeafInterface::new(1, 1, 4);
+        leaf.deliver(1, 0, 0, 10);
+        leaf.deliver(2, 0, 0, 20);
+        leaf.deliver(1, 0, 1, 11);
+        assert_eq!(leaf.try_recv(0), Some(10));
+        assert_eq!(leaf.try_recv(0), Some(20));
+        assert_eq!(leaf.try_recv(0), Some(11));
+    }
+
+    #[test]
+    fn receive_queues_in_order() {
+        let mut leaf = LeafInterface::new(1, 2, 4);
+        leaf.deliver(0, 1, 0, 10);
+        leaf.deliver(0, 1, 1, 20);
+        leaf.deliver(0, 0, 0, 99);
+        assert_eq!(leaf.pending(1), 2);
+        assert_eq!(leaf.try_recv(1), Some(10));
+        assert_eq!(leaf.try_recv(1), Some(20));
+        assert_eq!(leaf.try_recv(1), None);
+        assert_eq!(leaf.try_recv(0), Some(99));
+        assert_eq!(leaf.try_recv(7), None);
+    }
+}

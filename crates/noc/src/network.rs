@@ -1,0 +1,438 @@
+//! The butterfly-fat-tree network: topology and cycle stepping.
+
+use std::fmt;
+
+use crate::leaf::{LeafInterface, PortAddr};
+use crate::switch::{arbitrate, Flit, FlitKind};
+
+/// Aggregate network statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NocStats {
+    /// Data flits injected into the network.
+    pub injected: u64,
+    /// Data flits delivered to their destination port.
+    pub delivered: u64,
+    /// Configuration writes applied.
+    pub config_writes: u64,
+    /// Deflection events across all switches.
+    pub deflections: u64,
+    /// Sum of per-flit latencies (inject → deliver), in cycles.
+    pub total_latency: u64,
+    /// Worst single-flit latency.
+    pub max_latency: u64,
+}
+
+impl NocStats {
+    /// Mean delivery latency in cycles.
+    pub fn mean_latency(&self) -> f64 {
+        if self.delivered == 0 {
+            0.0
+        } else {
+            self.total_latency as f64 / self.delivered as f64
+        }
+    }
+}
+
+/// Injection failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InjectError {
+    /// The output stream has no destination configured.
+    #[allow(missing_docs)]
+    NotLinked { leaf: usize, stream: usize },
+    /// The leaf's outgoing FIFO is full (backpressure).
+    #[allow(missing_docs)]
+    Backpressure { leaf: usize },
+}
+
+impl fmt::Display for InjectError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InjectError::NotLinked { leaf, stream } => {
+                write!(f, "leaf {leaf} stream {stream} has no destination configured")
+            }
+            InjectError::Backpressure { leaf } => {
+                write!(f, "leaf {leaf} outgoing FIFO full")
+            }
+        }
+    }
+}
+
+impl std::error::Error for InjectError {}
+
+/// A cycle-level butterfly-fat-tree NoC with deflection-routed single-flit
+/// packets (the paper's Hoplite BFT, Sec. 4.3).
+#[derive(Debug)]
+pub struct BftNoc {
+    n_leaves: usize,
+    levels: usize,
+    leaves: Vec<LeafInterface>,
+    /// `up[l][i]`: flit in flight upward from node `i` of level `l`.
+    up: Vec<Vec<Option<Flit>>>,
+    /// `down[l][i]`: flit in flight downward to node `i` of level `l`.
+    down: Vec<Vec<Option<Flit>>>,
+    cycle: u64,
+    stats: NocStats,
+}
+
+impl BftNoc {
+    /// Creates a network for `clients` leaves (rounded up to a power of two),
+    /// each leaf with `ports` output streams / input ports and an output
+    /// FIFO of `queue_depth` flits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clients < 2`.
+    pub fn new(clients: usize, ports: usize, queue_depth: usize) -> BftNoc {
+        assert!(clients >= 2, "a linking network needs at least two clients");
+        let n_leaves = clients.next_power_of_two();
+        let levels = n_leaves.trailing_zeros() as usize;
+        let up = (0..levels).map(|l| vec![None; n_leaves >> l]).collect();
+        let down = (0..levels).map(|l| vec![None; n_leaves >> l]).collect();
+        BftNoc {
+            n_leaves,
+            levels,
+            leaves: (0..n_leaves)
+                .map(|_| LeafInterface::new(ports, ports, queue_depth))
+                .collect(),
+            up,
+            down,
+            cycle: 0,
+            stats: NocStats::default(),
+        }
+    }
+
+    /// Number of leaves (power of two).
+    pub fn leaf_count(&self) -> usize {
+        self.n_leaves
+    }
+
+    /// Current cycle.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> NocStats {
+        self.stats
+    }
+
+    /// Immutable access to a leaf interface.
+    pub fn leaf(&self, leaf: usize) -> &LeafInterface {
+        &self.leaves[leaf]
+    }
+
+    /// Directly writes a leaf's destination register (loader-side linking).
+    pub fn set_dest(&mut self, leaf: usize, stream: usize, addr: PortAddr) {
+        self.leaves[leaf].set_dest(stream, addr);
+    }
+
+    /// Sends an in-band configuration packet from `src_leaf` that, on
+    /// delivery, points `dest_leaf`'s register `reg` at `addr` — the paper's
+    /// "few packets per page to link it into the network".
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InjectError::Backpressure`] when the source FIFO is full.
+    pub fn send_config(
+        &mut self,
+        src_leaf: usize,
+        dest_leaf: u16,
+        reg: u8,
+        addr: PortAddr,
+    ) -> Result<(), InjectError> {
+        let flit = Flit {
+            dest_leaf,
+            dest_port: reg,
+            src_leaf: src_leaf as u16,
+            seq: 0, // config writes apply on arrival; the loader orders them
+            payload: addr.encode(),
+            kind: FlitKind::Config,
+            birth: self.cycle,
+        };
+        if !self.leaves[src_leaf].out_queue.try_push(flit) {
+            return Err(InjectError::Backpressure { leaf: src_leaf });
+        }
+        Ok(())
+    }
+
+    /// Injects one data word from `leaf`'s output `stream`.
+    ///
+    /// # Errors
+    ///
+    /// See [`InjectError`].
+    pub fn inject(&mut self, leaf: usize, stream: usize, word: u32) -> Result<(), InjectError> {
+        let addr = self.leaves[leaf]
+            .dest(stream)
+            .ok_or(InjectError::NotLinked { leaf, stream })?;
+        if self.leaves[leaf].out_queue.is_full() {
+            return Err(InjectError::Backpressure { leaf });
+        }
+        let seq = self.leaves[leaf].next_seq(stream);
+        let flit = Flit {
+            dest_leaf: addr.leaf,
+            dest_port: addr.port,
+            src_leaf: leaf as u16,
+            seq,
+            payload: word,
+            kind: FlitKind::Data,
+            birth: self.cycle,
+        };
+        if !self.leaves[leaf].out_queue.try_push(flit) {
+            return Err(InjectError::Backpressure { leaf });
+        }
+        self.stats.injected += 1;
+        Ok(())
+    }
+
+    /// Pops a delivered word from `leaf`'s input `port`.
+    pub fn try_recv(&mut self, leaf: usize, port: u8) -> Option<u32> {
+        self.leaves[leaf].try_recv(port)
+    }
+
+    /// Words pending on `leaf`'s input `port`.
+    pub fn pending(&self, leaf: usize, port: u8) -> usize {
+        self.leaves[leaf].pending(port)
+    }
+
+    /// Whether any flit is still in flight inside the tree.
+    pub fn in_flight(&self) -> bool {
+        self.up.iter().chain(&self.down).any(|level| level.iter().any(Option::is_some))
+            || self.leaves.iter().any(|l| !l.out_queue.is_empty())
+    }
+
+    /// Advances the network by one clock cycle.
+    pub fn step(&mut self) {
+        let levels = self.levels;
+        let mut next_up: Vec<Vec<Option<Flit>>> =
+            (0..levels).map(|l| vec![None; self.n_leaves >> l]).collect();
+        let mut next_down: Vec<Vec<Option<Flit>>> =
+            (0..levels).map(|l| vec![None; self.n_leaves >> l]).collect();
+
+        // Switches: level-l switch index s has children at level l-1 nodes
+        // (2s, 2s+1); its own "node index" at level l is s. The switch at
+        // the top (l == levels) is the root.
+        for l in 1..=levels {
+            let count = self.n_leaves >> l;
+            for s in 0..count {
+                let mut inputs: Vec<Flit> = Vec::with_capacity(3);
+                if let Some(f) = self.up[l - 1][2 * s] {
+                    inputs.push(f);
+                }
+                if let Some(f) = self.up[l - 1][2 * s + 1] {
+                    inputs.push(f);
+                }
+                if l < levels {
+                    if let Some(f) = self.down[l][s] {
+                        inputs.push(f);
+                    }
+                }
+                if inputs.is_empty() {
+                    continue;
+                }
+                let lo = (s << l) as u16;
+                let hi = ((s + 1) << l) as u16;
+                let mid = lo + (1u16 << (l - 1));
+                let has_up = l < levels;
+                let (out, deflections) = arbitrate(&mut inputs, (lo, hi), mid, has_up);
+                self.stats.deflections += deflections as u64;
+                next_down[l - 1][2 * s] = out[0];
+                next_down[l - 1][2 * s + 1] = out[1];
+                if has_up {
+                    next_up[l][s] = out[2];
+                }
+            }
+        }
+
+        // Leaves: deliver incoming (bouncing mis-deflected flits back up),
+        // then inject one flit onto the uplink if it is free.
+        for (i, leaf) in self.leaves.iter_mut().enumerate() {
+            if let Some(flit) = self.down[0][i] {
+                if flit.dest_leaf as usize != i {
+                    // Deflection routed this flit to the wrong leaf; the
+                    // leaf interface turns it straight around (taking the
+                    // uplink slot ahead of local injection).
+                    self.stats.deflections += 1;
+                    next_up[0][i] = Some(flit);
+                } else {
+                    let latency = self.cycle.saturating_sub(flit.birth);
+                    match flit.kind {
+                        FlitKind::Data => {
+                            leaf.deliver(flit.src_leaf, flit.dest_port, flit.seq, flit.payload);
+                            self.stats.delivered += 1;
+                            self.stats.total_latency += latency;
+                            self.stats.max_latency = self.stats.max_latency.max(latency);
+                        }
+                        FlitKind::Config => {
+                            leaf.apply_config(flit.dest_port, flit.payload);
+                            self.stats.config_writes += 1;
+                        }
+                    }
+                }
+            }
+            if next_up[0][i].is_none() {
+                next_up[0][i] = leaf.out_queue.try_pop();
+            }
+        }
+
+        self.up = next_up;
+        self.down = next_down;
+        self.cycle += 1;
+    }
+
+    /// Steps until the network drains or `max_cycles` elapse; returns the
+    /// cycles stepped.
+    pub fn drain(&mut self, max_cycles: u64) -> u64 {
+        let mut stepped = 0;
+        while self.in_flight() && stepped < max_cycles {
+            self.step();
+            stepped += 1;
+        }
+        stepped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn linked_net(n: usize) -> BftNoc {
+        let mut net = BftNoc::new(n, 2, 64);
+        for i in 0..net.leaf_count() {
+            let dest = ((i + 1) % net.leaf_count()) as u16;
+            net.set_dest(i, 0, PortAddr { leaf: dest, port: 0 });
+        }
+        net
+    }
+
+    #[test]
+    fn single_flit_delivered() {
+        let mut net = linked_net(8);
+        net.inject(0, 0, 42).unwrap();
+        net.drain(100);
+        assert_eq!(net.try_recv(1, 0), Some(42));
+        assert_eq!(net.stats().delivered, 1);
+    }
+
+    #[test]
+    fn all_to_next_neighbour_delivers_everything_in_order() {
+        let mut net = linked_net(16);
+        for round in 0..20u32 {
+            for leaf in 0..16 {
+                net.inject(leaf, 0, round * 100 + leaf as u32).unwrap();
+            }
+            // Interleave stepping so FIFOs don't overflow.
+            for _ in 0..4 {
+                net.step();
+            }
+        }
+        net.drain(10_000);
+        assert_eq!(net.stats().delivered, 320);
+        for leaf in 0..16usize {
+            let src = (leaf + 15) % 16;
+            for round in 0..20u32 {
+                assert_eq!(
+                    net.try_recv(leaf, 0),
+                    Some(round * 100 + src as u32),
+                    "leaf {leaf} round {round}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hotspot_traffic_still_delivers_all() {
+        // Every leaf hammers leaf 0: deflection must not lose or duplicate.
+        let mut net = BftNoc::new(8, 1, 256);
+        for i in 1..8 {
+            net.set_dest(i, 0, PortAddr { leaf: 0, port: 0 });
+        }
+        let mut sent = 0u64;
+        for round in 0..50u32 {
+            for leaf in 1..8usize {
+                if net.inject(leaf, 0, round * 8 + leaf as u32).is_ok() {
+                    sent += 1;
+                }
+            }
+            net.step();
+            net.step();
+        }
+        net.drain(20_000);
+        assert_eq!(net.stats().delivered, sent);
+        let mut got = 0;
+        while net.try_recv(0, 0).is_some() {
+            got += 1;
+        }
+        assert_eq!(got, sent);
+        // Hotspot contention must cause deflections.
+        assert!(net.stats().deflections > 0);
+    }
+
+    #[test]
+    fn config_packets_relink_without_recompile() {
+        let mut net = BftNoc::new(8, 2, 16);
+        // Host (leaf 7) configures leaf 2's stream 1 to feed leaf 5 port 0.
+        net.send_config(7, 2, 1, PortAddr { leaf: 5, port: 0 }).unwrap();
+        net.drain(100);
+        assert_eq!(net.stats().config_writes, 1);
+        net.inject(2, 1, 777).unwrap();
+        net.drain(100);
+        assert_eq!(net.try_recv(5, 0), Some(777));
+    }
+
+    #[test]
+    fn unlinked_stream_rejected() {
+        let mut net = BftNoc::new(4, 1, 4);
+        assert_eq!(
+            net.inject(0, 0, 1),
+            Err(InjectError::NotLinked { leaf: 0, stream: 0 })
+        );
+    }
+
+    #[test]
+    fn backpressure_when_fifo_full() {
+        let mut net = BftNoc::new(4, 1, 2);
+        net.set_dest(0, 0, PortAddr { leaf: 1, port: 0 });
+        assert!(net.inject(0, 0, 1).is_ok());
+        assert!(net.inject(0, 0, 2).is_ok());
+        assert_eq!(net.inject(0, 0, 3), Err(InjectError::Backpressure { leaf: 0 }));
+        net.drain(50);
+        assert!(net.inject(0, 0, 3).is_ok());
+    }
+
+    #[test]
+    fn latency_grows_with_distance() {
+        // Leaves 0→1 share the level-1 switch; 0→15 crosses the root.
+        let mut near = BftNoc::new(16, 1, 4);
+        near.set_dest(0, 0, PortAddr { leaf: 1, port: 0 });
+        near.inject(0, 0, 1).unwrap();
+        near.drain(100);
+        let near_lat = near.stats().max_latency;
+
+        let mut far = BftNoc::new(16, 1, 4);
+        far.set_dest(0, 0, PortAddr { leaf: 15, port: 0 });
+        far.inject(0, 0, 1).unwrap();
+        far.drain(100);
+        let far_lat = far.stats().max_latency;
+        assert!(far_lat > near_lat, "far {far_lat} vs near {near_lat}");
+    }
+
+    #[test]
+    fn rounds_up_to_power_of_two() {
+        let net = BftNoc::new(23, 1, 4);
+        assert_eq!(net.leaf_count(), 32);
+    }
+
+    #[test]
+    fn uplink_is_one_word_per_cycle() {
+        // 100 words from one leaf need >= 100 cycles to drain: the paper's
+        // leaf-interface bandwidth bottleneck.
+        let mut net = BftNoc::new(4, 1, 128);
+        net.set_dest(0, 0, PortAddr { leaf: 2, port: 0 });
+        for w in 0..100 {
+            net.inject(0, 0, w).unwrap();
+        }
+        let cycles = net.drain(10_000);
+        assert!(cycles >= 100, "drained in {cycles} cycles");
+        assert_eq!(net.stats().delivered, 100);
+    }
+}

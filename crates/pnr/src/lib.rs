@@ -1,0 +1,249 @@
+#![warn(missing_docs)]
+//! Place & route: the expensive half of FPGA compilation.
+//!
+//! "Placement and routing problems are all NP-hard problems, typically solved
+//! by heuristics, and the good heuristics in use are super-linear" (paper
+//! Sec. 2.2) — and Tab. 2 shows p&r taking roughly half of every Vitis
+//! compile. This crate implements the textbook versions of those heuristics
+//! on the `fabric` tile grid:
+//!
+//! * [`mod@place`] — simulated-annealing placement minimizing half-perimeter
+//!   wirelength, with per-tile capacity legality over the heterogeneous
+//!   CLB/BRAM/DSP columns;
+//! * [`mod@route`] — PathFinder-style negotiated-congestion routing over
+//!   capacitated channel edges;
+//! * [`timing`] — static timing analysis combining intrinsic cell delays
+//!   with routed wire delays and SLR-crossing penalties (Sec. 2.5);
+//! * [`bitstream`] — configuration artifacts whose size is proportional to
+//!   the (partial) region being programmed, the property partial
+//!   reconfiguration exploits for fast loading (Sec. 2.3).
+//!
+//! Because the algorithms are the real ones, the paper's headline behaviour
+//! *emerges* rather than being hard-coded: compiling one operator onto one
+//! ~100-tile page is dramatically cheaper than compiling a whole application
+//! onto the 4,000-tile device, and an abstract-shell compile (region-scoped
+//! context, Sec. 4.1) beats a full-context compile.
+
+pub mod bitstream;
+pub mod place;
+pub mod route;
+pub mod timing;
+
+pub use bitstream::Bitstream;
+pub use place::{place, Placement};
+pub use route::{route, RoutedDesign};
+pub use timing::{analyze_timing, TimingReport};
+
+use fabric::{Device, Rect};
+use netlist::Netlist;
+use std::fmt;
+
+/// Options controlling a place-and-route run.
+#[derive(Debug, Clone, Copy)]
+pub struct PnrOptions {
+    /// RNG seed; equal seeds give identical results.
+    pub seed: u64,
+    /// Use the abstract shell: scope all work to the target region. When
+    /// `false`, the tools carry the whole device as context (the slow
+    /// pre-abstract-shell behaviour the paper contrasts in Sec. 4.1).
+    pub abstract_shell: bool,
+    /// Simulated-annealing effort multiplier (1.0 = default schedule).
+    pub effort: f64,
+}
+
+impl Default for PnrOptions {
+    fn default() -> Self {
+        PnrOptions { seed: 1, abstract_shell: true, effort: 1.0 }
+    }
+}
+
+/// The product of a successful place-and-route run.
+#[derive(Debug, Clone)]
+pub struct PnrResult {
+    /// Final placement.
+    pub placement: Placement,
+    /// Routed design.
+    pub routed: RoutedDesign,
+    /// Timing closure report.
+    pub timing: TimingReport,
+    /// The configuration bitstream for the target region.
+    pub bitstream: Bitstream,
+    /// Wall-clock seconds spent in placement.
+    pub place_seconds: f64,
+    /// Wall-clock seconds spent in routing.
+    pub route_seconds: f64,
+    /// Abstract work units (for the calibrated virtual-time model).
+    pub work_units: u64,
+}
+
+/// Failure of a place-and-route run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PnrError {
+    /// The design demands more resources than the region offers.
+    #[allow(missing_docs)]
+    DoesNotFit { what: String },
+    /// The netlist failed structural validation.
+    BadNetlist(netlist::NetlistError),
+    /// Routing could not resolve congestion within the iteration budget.
+    #[allow(missing_docs)]
+    Unroutable { overused_edges: u32 },
+}
+
+impl fmt::Display for PnrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PnrError::DoesNotFit { what } => write!(f, "design does not fit region: {what}"),
+            PnrError::BadNetlist(e) => write!(f, "netlist error: {e}"),
+            PnrError::Unroutable { overused_edges } => {
+                write!(f, "routing failed with {overused_edges} overused edges")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PnrError {}
+
+impl From<netlist::NetlistError> for PnrError {
+    fn from(e: netlist::NetlistError) -> Self {
+        PnrError::BadNetlist(e)
+    }
+}
+
+/// Places and routes `netlist` into `region` of `device`.
+///
+/// This is the work the paper's `-O1` flow does once per page (fast, small
+/// region) and the `-O3`/Vitis flow does once for the whole device (slow).
+///
+/// # Errors
+///
+/// See [`PnrError`].
+pub fn place_and_route(
+    netlist: &Netlist,
+    device: &Device,
+    region: Rect,
+    options: &PnrOptions,
+) -> Result<PnrResult, PnrError> {
+    netlist.check()?;
+
+    let t0 = std::time::Instant::now();
+    let placement = place::place(netlist, device, region, options)?;
+    let place_seconds = t0.elapsed().as_secs_f64();
+
+    let t1 = std::time::Instant::now();
+    let routed = route::route(netlist, device, region, &placement, options)?;
+    let route_seconds = t1.elapsed().as_secs_f64();
+
+    let timing = timing::analyze_timing(netlist, device, &placement, &routed);
+    let bitstream = bitstream::Bitstream::generate(netlist, region, &placement, &routed, options.seed);
+
+    // Work units: SA moves plus router edge relaxations, the superlinear
+    // quantities the virtual-time model maps to Vitis-scale seconds.
+    let work_units = placement.moves_evaluated + routed.edges_relaxed;
+
+    Ok(PnrResult { placement, routed, timing, bitstream, place_seconds, route_seconds, work_units })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netlist::CellKind;
+
+    fn datapath(cells: usize) -> Netlist {
+        let mut nl = Netlist::new("dp");
+        let input = nl.add_cell("in", CellKind::StreamIn { width: 32 });
+        let mut prev = input;
+        for i in 0..cells {
+            let kind = match i % 4 {
+                0 => CellKind::Adder { width: 32 },
+                1 => CellKind::Mult { width: 18 },
+                2 => CellKind::Register { width: 32 },
+                _ => CellKind::Logic { width: 32 },
+            };
+            let c = nl.add_cell(format!("c{i}"), kind);
+            nl.add_net(prev, vec![c], 32);
+            prev = c;
+        }
+        let out = nl.add_cell("out", CellKind::StreamOut { width: 32 });
+        nl.add_net(prev, vec![out], 32);
+        nl
+    }
+
+    fn page() -> (Device, Rect) {
+        let fp = fabric::Floorplan::u50();
+        let rect = fp.pages[0].rect;
+        (fp.device, rect)
+    }
+
+    #[test]
+    fn small_design_closes_on_a_page() {
+        let (device, region) = page();
+        let nl = datapath(40);
+        let result = place_and_route(&nl, &device, region, &PnrOptions::default()).unwrap();
+        assert_eq!(result.routed.overused_edges, 0);
+        assert!(result.timing.fmax_mhz > 100.0, "fmax {}", result.timing.fmax_mhz);
+        assert!(result.timing.fmax_mhz < 800.0);
+        assert!(result.work_units > 0);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let (device, region) = page();
+        let nl = datapath(30);
+        let opts = PnrOptions { seed: 42, ..Default::default() };
+        let a = place_and_route(&nl, &device, region, &opts).unwrap();
+        let b = place_and_route(&nl, &device, region, &opts).unwrap();
+        assert_eq!(a.placement.assignment, b.placement.assignment);
+        assert_eq!(a.bitstream.payload_hash, b.bitstream.payload_hash);
+        let c = place_and_route(
+            &nl,
+            &device,
+            region,
+            &PnrOptions { seed: 43, ..Default::default() },
+        )
+        .unwrap();
+        assert_ne!(a.placement.assignment, c.placement.assignment);
+    }
+
+    #[test]
+    fn oversized_design_rejected() {
+        let (device, region) = page();
+        let mut nl = Netlist::new("huge");
+        let a = nl.add_cell("a", CellKind::Logic { width: 1 });
+        // 300 BRAM cells cannot fit a page with ~60-120 BRAM18s.
+        let mut prev = a;
+        for i in 0..300 {
+            let c = nl.add_cell(format!("m{i}"), CellKind::BramPort { bits: 18 * 1024 });
+            nl.add_net(prev, vec![c], 32);
+            prev = c;
+        }
+        let err = place_and_route(&nl, &device, region, &PnrOptions::default()).unwrap_err();
+        assert!(matches!(err, PnrError::DoesNotFit { .. }));
+    }
+
+    #[test]
+    fn page_compile_is_cheaper_than_whole_device() {
+        // The paper's core claim: effort scales with region × design size.
+        let fp = fabric::Floorplan::u50();
+        let nl = datapath(60);
+        let small = place_and_route(
+            &nl,
+            &fp.device,
+            fp.pages[0].rect,
+            &PnrOptions::default(),
+        )
+        .unwrap();
+        let whole = place_and_route(
+            &nl,
+            &fp.device,
+            fabric::Rect::new(2, 0, 22, 40),
+            &PnrOptions::default(),
+        )
+        .unwrap();
+        assert!(
+            whole.work_units > small.work_units,
+            "whole-region work {} should exceed page work {}",
+            whole.work_units,
+            small.work_units
+        );
+    }
+}

@@ -1,0 +1,388 @@
+//! Simulated-annealing placement.
+
+use fabric::{ColumnKind, Device, Rect};
+use netlist::{CellKind, Netlist};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{PnrError, PnrOptions};
+
+/// A legal assignment of every cell to a tile.
+#[derive(Debug, Clone)]
+pub struct Placement {
+    /// Tile coordinates per cell, indexed by cell id.
+    pub assignment: Vec<(u32, u32)>,
+    /// Final wirelength cost (sum of per-net half-perimeter wirelengths,
+    /// weighted by bus width).
+    pub cost: f64,
+    /// Total annealing moves evaluated (a compile-effort measure).
+    pub moves_evaluated: u64,
+}
+
+/// The tile kind a cell must sit on, and its demand against that tile's
+/// primary capacity.
+///
+/// A multiplier binds to a DSP column, an array to a BRAM column, everything
+/// else to CLB fabric; the secondary LUT slice of DSP/BRAM macros is small
+/// and folded into the primary demand, keeping legality one-dimensional per
+/// tile (documented model simplification).
+pub(crate) fn site_requirements(kind: &CellKind) -> (ColumnKind, u64) {
+    let r = kind.resources();
+    if r.dsp > 0 {
+        (ColumnKind::Dsp, r.dsp)
+    } else if r.bram18 > 0 {
+        (ColumnKind::Bram, r.bram18)
+    } else {
+        // LUT-equivalents: FFs pack two per LUT site in this model.
+        (ColumnKind::Clb, r.luts.max(r.ffs / 2).max(1))
+    }
+}
+
+pub(crate) fn tile_capacity(kind: ColumnKind) -> u64 {
+    match kind {
+        ColumnKind::Clb => kind.tile_resources().luts,
+        ColumnKind::Bram => kind.tile_resources().bram18,
+        ColumnKind::Dsp => kind.tile_resources().dsp,
+    }
+}
+
+struct Grid<'d> {
+    #[allow(dead_code)]
+    device: &'d Device,
+    region: Rect,
+    /// Tiles per column kind inside the region.
+    sites: [Vec<(u32, u32)>; 3],
+    /// Remaining capacity per tile (indexed by region-local x, y).
+    free: Vec<u64>,
+}
+
+impl<'d> Grid<'d> {
+    fn new(device: &'d Device, region: Rect) -> Grid<'d> {
+        let mut sites: [Vec<(u32, u32)>; 3] = Default::default();
+        let mut free = vec![0u64; (region.w * region.h) as usize];
+        for x in region.x0..region.x0 + region.w {
+            for y in region.y0..region.y0 + region.h {
+                if device.is_reserved_col(x) {
+                    continue;
+                }
+                let kind = device.columns[x as usize];
+                let idx = kind_index(kind);
+                sites[idx].push((x, y));
+                free[Self::local_index(&region, x, y)] = tile_capacity(kind);
+            }
+        }
+        Grid { device, region, sites, free }
+    }
+
+    fn local_index(region: &Rect, x: u32, y: u32) -> usize {
+        ((x - region.x0) * region.h + (y - region.y0)) as usize
+    }
+
+    fn free_at(&self, x: u32, y: u32) -> u64 {
+        self.free[Self::local_index(&self.region, x, y)]
+    }
+
+    fn take(&mut self, x: u32, y: u32, amount: u64) {
+        let i = Self::local_index(&self.region, x, y);
+        self.free[i] -= amount;
+    }
+
+    fn give(&mut self, x: u32, y: u32, amount: u64) {
+        let i = Self::local_index(&self.region, x, y);
+        self.free[i] += amount;
+    }
+}
+
+fn kind_index(kind: ColumnKind) -> usize {
+    match kind {
+        ColumnKind::Clb => 0,
+        ColumnKind::Bram => 1,
+        ColumnKind::Dsp => 2,
+    }
+}
+
+fn net_hpwl(assignment: &[(u32, u32)], net: &netlist::Net) -> f64 {
+    let (dx, dy) = assignment[net.driver.0];
+    let mut min_x = dx;
+    let mut max_x = dx;
+    let mut min_y = dy;
+    let mut max_y = dy;
+    for s in &net.sinks {
+        let (x, y) = assignment[s.0];
+        min_x = min_x.min(x);
+        max_x = max_x.max(x);
+        min_y = min_y.min(y);
+        max_y = max_y.max(y);
+    }
+    let weight = 1.0 + (net.width as f64).log2() / 8.0;
+    ((max_x - min_x) + (max_y - min_y)) as f64 * weight
+}
+
+/// Places `netlist` into `region` by simulated annealing.
+///
+/// # Errors
+///
+/// Returns [`PnrError::DoesNotFit`] if any resource class of the design
+/// exceeds the region's capacity.
+pub fn place(
+    netlist: &Netlist,
+    device: &Device,
+    region: Rect,
+    options: &PnrOptions,
+) -> Result<Placement, PnrError> {
+    let mut rng = StdRng::seed_from_u64(options.seed ^ 0x706c_6163);
+    let mut grid = Grid::new(device, region);
+
+    // Feasibility check per resource class.
+    let demand = netlist.resources();
+    let capacity = device.region_resources(&region);
+    if !demand.fits_in(&capacity) {
+        return Err(PnrError::DoesNotFit {
+            what: format!("demand {demand} exceeds region capacity {capacity}"),
+        });
+    }
+
+    // Greedy initial placement: scan sites of the right kind.
+    let mut assignment = vec![(0u32, 0u32); netlist.cells.len()];
+    let mut cell_demand = vec![0u64; netlist.cells.len()];
+    for (i, cell) in netlist.cells.iter().enumerate() {
+        let (kind, amount) = site_requirements(&cell.kind);
+        cell_demand[i] = amount;
+        let sites = &grid.sites[kind_index(kind)];
+        if sites.is_empty() {
+            return Err(PnrError::DoesNotFit {
+                what: format!("region has no {kind:?} sites for cell `{}`", cell.name),
+            });
+        }
+        let start = rng.gen_range(0..sites.len());
+        if amount <= tile_capacity(kind) {
+            let mut placed = false;
+            for probe in 0..sites.len() {
+                let (x, y) = sites[(start + probe) % sites.len()];
+                if grid.free_at(x, y) >= amount {
+                    grid.take(x, y, amount);
+                    assignment[i] = (x, y);
+                    placed = true;
+                    break;
+                }
+            }
+            if !placed {
+                return Err(PnrError::DoesNotFit {
+                    what: format!("no site with {amount} free units for cell `{}`", cell.name),
+                });
+            }
+        } else {
+            // A macro wider than one tile (iterative dividers, the leaf
+            // interface, wide unrolled datapaths) spreads across several
+            // sites; its primary coordinate anchors timing and wiring, and
+            // the annealer leaves it pinned.
+            let sites = sites.clone();
+            let mut remaining = amount;
+            let mut anchor = None;
+            for probe in 0..sites.len() {
+                let (x, y) = sites[(start + probe) % sites.len()];
+                let free = grid.free_at(x, y);
+                if free == 0 {
+                    continue;
+                }
+                let take = free.min(remaining);
+                grid.take(x, y, take);
+                if anchor.is_none() {
+                    anchor = Some((x, y));
+                }
+                remaining -= take;
+                if remaining == 0 {
+                    break;
+                }
+            }
+            match anchor {
+                Some(a) if remaining == 0 => assignment[i] = a,
+                _ => {
+                    return Err(PnrError::DoesNotFit {
+                        what: format!(
+                            "multi-tile cell `{}` needs {amount} units, {remaining} unplaced",
+                            cell.name
+                        ),
+                    })
+                }
+            }
+            // Multi-tile cells never move; exclude them from annealing by
+            // zeroing their demand marker.
+            cell_demand[i] = u64::MAX;
+        }
+    }
+
+    // Index: nets touching each cell.
+    let mut cell_nets: Vec<Vec<usize>> = vec![Vec::new(); netlist.cells.len()];
+    for (ni, net) in netlist.nets.iter().enumerate() {
+        cell_nets[net.driver.0].push(ni);
+        for s in &net.sinks {
+            cell_nets[s.0].push(ni);
+        }
+    }
+
+    let mut cost: f64 = netlist.nets.iter().map(|n| net_hpwl(&assignment, n)).sum();
+    let mut moves_evaluated = 0u64;
+
+    // Annealing schedule: effort scales superlinearly with cell count, the
+    // behaviour Sec. 2.2 attributes to production placers. Without the
+    // abstract shell the placer drags the whole device context through every
+    // temperature step (Sec. 4.1), modelled as a context sweep per step.
+    let n_cells = netlist.cells.len().max(2);
+    let moves_per_temp =
+        ((n_cells as f64).powf(4.0 / 3.0) * 8.0 * options.effort).ceil() as u64;
+    let context_tiles = if options.abstract_shell {
+        0u64
+    } else {
+        (device.width * device.height) as u64
+    };
+
+    let mut temperature = (cost / netlist.nets.len().max(1) as f64).max(1.0) * 2.0;
+    let min_temp = 0.005;
+    while temperature > min_temp {
+        for _ in 0..moves_per_temp {
+            moves_evaluated += 1;
+            let cell = rng.gen_range(0..netlist.cells.len());
+            let (kind, amount) = (
+                site_requirements(&netlist.cells[cell].kind).0,
+                cell_demand[cell],
+            );
+            if amount == u64::MAX {
+                continue; // pinned multi-tile macro
+            }
+            let sites = &grid.sites[kind_index(kind)];
+            let (nx, ny) = sites[rng.gen_range(0..sites.len())];
+            let (ox, oy) = assignment[cell];
+            if (nx, ny) == (ox, oy) || grid.free_at(nx, ny) < amount {
+                continue;
+            }
+            // Delta cost over touched nets.
+            let before: f64 = cell_nets[cell].iter().map(|&ni| net_hpwl(&assignment, &netlist.nets[ni])).sum();
+            assignment[cell] = (nx, ny);
+            let after: f64 = cell_nets[cell].iter().map(|&ni| net_hpwl(&assignment, &netlist.nets[ni])).sum();
+            let delta = after - before;
+            let accept = delta <= 0.0 || rng.gen::<f64>() < (-delta / temperature).exp();
+            if accept {
+                grid.give(ox, oy, amount);
+                grid.take(nx, ny, amount);
+                cost += delta;
+            } else {
+                assignment[cell] = (ox, oy);
+            }
+        }
+        // Full-context carry cost: touch every tile of the device once per
+        // temperature step when the abstract shell is off.
+        moves_evaluated += context_tiles;
+        temperature *= 0.88;
+    }
+
+    Ok(Placement { assignment, cost: cost.max(0.0), moves_evaluated })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netlist::CellKind;
+
+    fn small_netlist() -> Netlist {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_cell("a", CellKind::StreamIn { width: 32 });
+        let b = nl.add_cell("b", CellKind::Adder { width: 32 });
+        let c = nl.add_cell("c", CellKind::Mult { width: 18 });
+        let d = nl.add_cell("d", CellKind::BramPort { bits: 4096 });
+        let e = nl.add_cell("e", CellKind::StreamOut { width: 32 });
+        nl.add_net(a, vec![b], 32);
+        nl.add_net(b, vec![c, d], 32);
+        nl.add_net(c, vec![e], 32);
+        nl.add_net(d, vec![e], 32);
+        nl
+    }
+
+    fn page() -> (Device, Rect) {
+        let fp = fabric::Floorplan::u50();
+        (fp.device, fp.pages[0].rect)
+    }
+
+    #[test]
+    fn placement_is_legal() {
+        let (device, region) = page();
+        let nl = small_netlist();
+        let p = place(&nl, &device, region, &PnrOptions::default()).unwrap();
+        // Every cell inside the region, on a tile of its kind.
+        for (i, &(x, y)) in p.assignment.iter().enumerate() {
+            assert!(region.contains(x, y), "cell {i} at ({x},{y}) outside region");
+            let (want, _) = site_requirements(&nl.cells[i].kind);
+            assert_eq!(device.columns[x as usize], want, "cell {i}");
+        }
+    }
+
+    #[test]
+    fn capacity_respected_per_tile() {
+        let (device, region) = page();
+        let nl = small_netlist();
+        let p = place(&nl, &device, region, &PnrOptions::default()).unwrap();
+        let mut used: std::collections::HashMap<(u32, u32), u64> = Default::default();
+        for (i, &(x, y)) in p.assignment.iter().enumerate() {
+            let (_, amount) = site_requirements(&nl.cells[i].kind);
+            *used.entry((x, y)).or_default() += amount;
+        }
+        for ((x, _y), amount) in used {
+            let cap = tile_capacity(device.columns[x as usize]);
+            assert!(amount <= cap, "tile overloaded: {amount} > {cap}");
+        }
+    }
+
+    #[test]
+    fn annealing_reduces_cost_vs_random_start() {
+        // Build a chain: optimal placement keeps neighbours adjacent, so the
+        // final cost must be far below a spread-out random placement's cost.
+        let mut nl = Netlist::new("chain");
+        let mut prev = nl.add_cell("c0", CellKind::Adder { width: 8 });
+        for i in 1..60 {
+            let c = nl.add_cell(format!("c{i}"), CellKind::Adder { width: 8 });
+            nl.add_net(prev, vec![c], 8);
+            prev = c;
+        }
+        let (device, region) = page();
+        let p = place(&nl, &device, region, &PnrOptions::default()).unwrap();
+        // 59 nets on a 10-tall page; a good placement keeps mean HPWL ~1-2.
+        assert!(p.cost < 59.0 * 4.0, "cost {}", p.cost);
+    }
+
+    #[test]
+    fn effort_scales_moves() {
+        let (device, region) = page();
+        let nl = small_netlist();
+        let lo = place(&nl, &device, region, &PnrOptions { effort: 0.5, ..Default::default() }).unwrap();
+        let hi = place(&nl, &device, region, &PnrOptions { effort: 2.0, ..Default::default() }).unwrap();
+        assert!(hi.moves_evaluated > lo.moves_evaluated);
+    }
+
+    #[test]
+    fn no_abstract_shell_costs_more_work() {
+        let (device, region) = page();
+        let nl = small_netlist();
+        let fast = place(&nl, &device, region, &PnrOptions::default()).unwrap();
+        let slow = place(
+            &nl,
+            &device,
+            region,
+            &PnrOptions { abstract_shell: false, ..Default::default() },
+        )
+        .unwrap();
+        assert!(slow.moves_evaluated > fast.moves_evaluated * 2);
+    }
+
+    #[test]
+    fn missing_site_kind_reported() {
+        // A region with no DSP columns cannot host a multiplier.
+        let device = Device::xcu50();
+        let region = Rect::new(2, 0, 3, 10); // cols 2-4: CLB only
+        let mut nl = Netlist::new("m");
+        let a = nl.add_cell("a", CellKind::Mult { width: 32 });
+        let b = nl.add_cell("b", CellKind::Register { width: 32 });
+        nl.add_net(a, vec![b], 32);
+        let err = place(&nl, &device, region, &PnrOptions::default()).unwrap_err();
+        assert!(matches!(err, PnrError::DoesNotFit { .. }));
+    }
+}

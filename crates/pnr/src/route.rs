@@ -1,0 +1,308 @@
+//! PathFinder-style negotiated-congestion routing.
+
+use fabric::{Device, Rect};
+use netlist::Netlist;
+use std::collections::BinaryHeap;
+
+use crate::place::Placement;
+use crate::{PnrError, PnrOptions};
+
+/// Routing-channel capacity: wires available per tile-boundary edge.
+pub const CHANNEL_CAPACITY: u32 = 48;
+
+/// Maximum negotiation iterations before declaring the design unroutable.
+pub const MAX_ITERATIONS: u32 = 12;
+
+/// A routed design: one tile path per net (driver tile → each sink tile).
+#[derive(Debug, Clone)]
+pub struct RoutedDesign {
+    /// Per net, per sink: the tile path walked, including both endpoints.
+    pub routes: Vec<Vec<Vec<(u32, u32)>>>,
+    /// Edges still overused at exit (zero for a successful route).
+    pub overused_edges: u32,
+    /// Negotiation iterations used.
+    pub iterations: u32,
+    /// Total edge relaxations performed (a compile-effort measure).
+    pub edges_relaxed: u64,
+    /// Total routed wire length in tile edges.
+    pub wirelength: u64,
+}
+
+struct EdgeGraph {
+    region: Rect,
+    /// Occupancy per directed edge; edges are (tile, direction 0..4).
+    occupancy: Vec<u32>,
+    history: Vec<f32>,
+}
+
+const DIRS: [(i64, i64); 4] = [(1, 0), (-1, 0), (0, 1), (0, -1)];
+
+impl EdgeGraph {
+    fn new(region: Rect) -> EdgeGraph {
+        let n = (region.w * region.h) as usize * 4;
+        EdgeGraph { region, occupancy: vec![0; n], history: vec![0.0; n] }
+    }
+
+    fn tile_index(&self, x: u32, y: u32) -> usize {
+        ((x - self.region.x0) * self.region.h + (y - self.region.y0)) as usize
+    }
+
+    fn edge_index(&self, x: u32, y: u32, dir: usize) -> usize {
+        self.tile_index(x, y) * 4 + dir
+    }
+
+    fn in_region(&self, x: i64, y: i64) -> bool {
+        x >= self.region.x0 as i64
+            && x < (self.region.x0 + self.region.w) as i64
+            && y >= self.region.y0 as i64
+            && y < (self.region.y0 + self.region.h) as i64
+    }
+
+    fn edge_cost(&self, idx: usize) -> f64 {
+        let occ = self.occupancy[idx];
+        let present = if occ >= CHANNEL_CAPACITY {
+            1.0 + (occ - CHANNEL_CAPACITY + 1) as f64 * 2.0
+        } else {
+            1.0 + occ as f64 / CHANNEL_CAPACITY as f64 * 0.25
+        };
+        present + self.history[idx] as f64
+    }
+}
+
+#[derive(PartialEq)]
+struct QueueEntry {
+    cost: f64,
+    tile: (u32, u32),
+}
+
+impl Eq for QueueEntry {}
+
+impl Ord for QueueEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Min-heap by cost; ties broken on coordinates for determinism.
+        other
+            .cost
+            .partial_cmp(&self.cost)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| other.tile.cmp(&self.tile))
+    }
+}
+
+impl PartialOrd for QueueEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Dijkstra from `from` to `to` over the edge graph; returns the tile path
+/// and counts relaxations.
+fn shortest_path(
+    graph: &EdgeGraph,
+    from: (u32, u32),
+    to: (u32, u32),
+    relaxed: &mut u64,
+) -> Vec<(u32, u32)> {
+    if from == to {
+        return vec![from];
+    }
+    let n = (graph.region.w * graph.region.h) as usize;
+    let mut dist = vec![f64::INFINITY; n];
+    let mut prev: Vec<u32> = vec![u32::MAX; n];
+    let start = graph.tile_index(from.0, from.1);
+    dist[start] = 0.0;
+    let mut heap = BinaryHeap::new();
+    heap.push(QueueEntry { cost: 0.0, tile: from });
+
+    while let Some(QueueEntry { cost, tile }) = heap.pop() {
+        let ti = graph.tile_index(tile.0, tile.1);
+        if cost > dist[ti] {
+            continue;
+        }
+        if tile == to {
+            break;
+        }
+        for (d, (dx, dy)) in DIRS.iter().enumerate() {
+            let nx = tile.0 as i64 + dx;
+            let ny = tile.1 as i64 + dy;
+            if !graph.in_region(nx, ny) {
+                continue;
+            }
+            *relaxed += 1;
+            let edge = graph.edge_index(tile.0, tile.1, d);
+            let next_cost = cost + graph.edge_cost(edge);
+            let ni = graph.tile_index(nx as u32, ny as u32);
+            if next_cost < dist[ni] {
+                dist[ni] = next_cost;
+                prev[ni] = (ti * 4 + d) as u32;
+                heap.push(QueueEntry { cost: next_cost, tile: (nx as u32, ny as u32) });
+            }
+        }
+    }
+
+    // Reconstruct.
+    let mut path = vec![to];
+    let mut cur = graph.tile_index(to.0, to.1);
+    while cur != start {
+        let code = prev[cur];
+        if code == u32::MAX {
+            return Vec::new(); // unreachable within region (shouldn't happen)
+        }
+        let from_tile = (code / 4) as usize;
+        let x = graph.region.x0 + (from_tile as u32) / graph.region.h;
+        let y = graph.region.y0 + (from_tile as u32) % graph.region.h;
+        path.push((x, y));
+        cur = from_tile;
+    }
+    path.reverse();
+    path
+}
+
+/// Routes all nets of a placed design inside `region` (or the whole device
+/// when the abstract shell is off, modelling full-context routing).
+///
+/// # Errors
+///
+/// Returns [`PnrError::Unroutable`] if congestion cannot be resolved in
+/// [`MAX_ITERATIONS`].
+pub fn route(
+    netlist: &Netlist,
+    device: &Device,
+    region: Rect,
+    placement: &Placement,
+    options: &PnrOptions,
+) -> Result<RoutedDesign, PnrError> {
+    let route_region = if options.abstract_shell {
+        region
+    } else {
+        Rect::new(0, 0, device.width, device.height)
+    };
+    let mut graph = EdgeGraph::new(route_region);
+    let mut edges_relaxed = 0u64;
+    let mut routes: Vec<Vec<Vec<(u32, u32)>>> = vec![Vec::new(); netlist.nets.len()];
+
+    let mut iterations = 0;
+    let mut overused = 0;
+    for iter in 0..MAX_ITERATIONS {
+        iterations = iter + 1;
+        graph.occupancy.iter_mut().for_each(|o| *o = 0);
+
+        for (ni, net) in netlist.nets.iter().enumerate() {
+            let from = placement.assignment[net.driver.0];
+            let mut sink_paths = Vec::with_capacity(net.sinks.len());
+            for s in &net.sinks {
+                let to = placement.assignment[s.0];
+                let path = shortest_path(&graph, from, to, &mut edges_relaxed);
+                // Occupy the edges walked.
+                for w in path.windows(2) {
+                    let (x0, y0) = w[0];
+                    let (x1, y1) = w[1];
+                    let dir = DIRS
+                        .iter()
+                        .position(|&(dx, dy)| {
+                            (x0 as i64 + dx, y0 as i64 + dy) == (x1 as i64, y1 as i64)
+                        })
+                        .expect("path steps are unit moves");
+                    let e = graph.edge_index(x0, y0, dir);
+                    graph.occupancy[e] += net.width.div_ceil(8).max(1);
+                }
+                sink_paths.push(path);
+            }
+            routes[ni] = sink_paths;
+        }
+
+        overused = graph.occupancy.iter().filter(|&&o| o > CHANNEL_CAPACITY).count() as u32;
+        if overused == 0 {
+            break;
+        }
+        // Negotiation: overuse becomes history cost for the next iteration.
+        for (i, &o) in graph.occupancy.iter().enumerate() {
+            if o > CHANNEL_CAPACITY {
+                graph.history[i] += (o - CHANNEL_CAPACITY) as f32 * 0.5;
+            }
+        }
+    }
+
+    if overused > 0 {
+        return Err(PnrError::Unroutable { overused_edges: overused });
+    }
+
+    let wirelength = routes
+        .iter()
+        .flat_map(|sink_paths| sink_paths.iter())
+        .map(|p| p.len().saturating_sub(1) as u64)
+        .sum();
+
+    Ok(RoutedDesign { routes, overused_edges: 0, iterations, edges_relaxed, wirelength })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::place::place;
+    use netlist::CellKind;
+
+    fn placed_chain(len: usize) -> (Netlist, Device, Rect, Placement) {
+        let mut nl = Netlist::new("chain");
+        let mut prev = nl.add_cell("c0", CellKind::Adder { width: 32 });
+        for i in 1..len {
+            let c = nl.add_cell(format!("c{i}"), CellKind::Adder { width: 32 });
+            nl.add_net(prev, vec![c], 32);
+            prev = c;
+        }
+        let fp = fabric::Floorplan::u50();
+        let region = fp.pages[0].rect;
+        let placement = place(&nl, &fp.device, region, &PnrOptions::default()).unwrap();
+        (nl, fp.device, region, placement)
+    }
+
+    #[test]
+    fn routes_connect_placed_endpoints() {
+        let (nl, device, region, placement) = placed_chain(30);
+        let routed = route(&nl, &device, region, &placement, &PnrOptions::default()).unwrap();
+        for (ni, net) in nl.nets.iter().enumerate() {
+            for (si, sink) in net.sinks.iter().enumerate() {
+                let path = &routed.routes[ni][si];
+                assert_eq!(path.first().copied().unwrap(), placement.assignment[net.driver.0]);
+                assert_eq!(path.last().copied().unwrap(), placement.assignment[sink.0]);
+                // Unit steps only.
+                for w in path.windows(2) {
+                    let d = (w[1].0 as i64 - w[0].0 as i64).abs()
+                        + (w[1].1 as i64 - w[0].1 as i64).abs();
+                    assert_eq!(d, 1);
+                }
+            }
+        }
+        assert_eq!(routed.overused_edges, 0);
+        assert!(routed.wirelength > 0);
+    }
+
+    #[test]
+    fn full_context_routing_relaxes_more_edges() {
+        let (nl, device, region, placement) = placed_chain(20);
+        let fast = route(&nl, &device, region, &placement, &PnrOptions::default()).unwrap();
+        let slow = route(
+            &nl,
+            &device,
+            region,
+            &placement,
+            &PnrOptions { abstract_shell: false, ..Default::default() },
+        )
+        .unwrap();
+        assert!(
+            slow.edges_relaxed > fast.edges_relaxed,
+            "full-context {} vs scoped {}",
+            slow.edges_relaxed,
+            fast.edges_relaxed
+        );
+    }
+
+    #[test]
+    fn trivial_self_route_is_empty_walk() {
+        let (nl, device, region, mut placement) = placed_chain(2);
+        // Force both cells onto the same tile.
+        placement.assignment[1] = placement.assignment[0];
+        let routed = route(&nl, &device, region, &placement, &PnrOptions::default()).unwrap();
+        assert_eq!(routed.routes[0][0].len(), 1);
+        assert_eq!(routed.wirelength, 0);
+    }
+}

@@ -1,0 +1,182 @@
+//! Static timing analysis over placed-and-routed designs.
+
+use fabric::Device;
+use netlist::Netlist;
+
+use crate::place::Placement;
+use crate::route::RoutedDesign;
+
+/// Wire delay per routed tile edge, in ns.
+pub const NS_PER_TILE: f64 = 0.08;
+
+/// Extra delay for a net crossing the SLR boundary (Sec. 2.5: "latency is
+/// higher and bandwidth lower at SLR crossings").
+pub const SLR_CROSSING_NS: f64 = 0.9;
+
+/// Timing closure summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimingReport {
+    /// Worst register-to-register path delay (intrinsic + wire), ns.
+    pub critical_ns: f64,
+    /// Achievable clock frequency, MHz.
+    pub fmax_mhz: f64,
+    /// Number of nets crossing the SLR boundary.
+    pub slr_crossings: u32,
+    /// Longest single-net wire delay, ns.
+    pub worst_net_ns: f64,
+}
+
+/// Runs STA: longest combinational path through intrinsic cell delays plus
+/// routed wire delays, with SLR-crossing penalties.
+pub fn analyze_timing(
+    netlist: &Netlist,
+    device: &Device,
+    placement: &Placement,
+    routed: &RoutedDesign,
+) -> TimingReport {
+    let n = netlist.cells.len();
+
+    // Per-net wire delay: the longest sink path.
+    let mut net_delay = vec![0.0f64; netlist.nets.len()];
+    let mut slr_crossings = 0u32;
+    let mut worst_net_ns = 0.0f64;
+    for (ni, net) in netlist.nets.iter().enumerate() {
+        let mut worst = 0.0f64;
+        for (si, _) in net.sinks.iter().enumerate() {
+            let path = routed.routes.get(ni).and_then(|s| s.get(si));
+            let hops = path.map(|p| p.len().saturating_sub(1)).unwrap_or_else(|| {
+                // Fallback when routing is absent: Manhattan estimate.
+                let (x0, y0) = placement.assignment[net.driver.0];
+                let (x1, y1) = placement.assignment[net.sinks[si].0];
+                ((x0 as i64 - x1 as i64).abs() + (y0 as i64 - y1 as i64).abs()) as usize
+            });
+            let mut d = hops as f64 * NS_PER_TILE;
+            let from_slr = device.slr_of_row(placement.assignment[net.driver.0].1);
+            let to_slr = device.slr_of_row(placement.assignment[net.sinks[si].0].1);
+            if from_slr != to_slr {
+                d += SLR_CROSSING_NS;
+            }
+            worst = worst.max(d);
+        }
+        let crosses = net.sinks.iter().any(|s| {
+            device.slr_of_row(placement.assignment[net.driver.0].1)
+                != device.slr_of_row(placement.assignment[s.0].1)
+        });
+        if crosses {
+            slr_crossings += 1;
+        }
+        net_delay[ni] = worst;
+        worst_net_ns = worst_net_ns.max(worst);
+    }
+
+    // Longest path over the combinational DAG (sequential cells terminate
+    // paths but still launch/capture with their own delay).
+    let mut succ: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
+    let mut indeg = vec![0usize; n];
+    for (ni, net) in netlist.nets.iter().enumerate() {
+        if netlist.cells[net.driver.0].kind.is_sequential() {
+            continue;
+        }
+        for s in &net.sinks {
+            if netlist.cells[s.0].kind.is_sequential() {
+                continue;
+            }
+            succ[net.driver.0].push((s.0, net_delay[ni]));
+            indeg[s.0] += 1;
+        }
+    }
+    let mut dist: Vec<f64> = netlist.cells.iter().map(|c| c.kind.delay_ns()).collect();
+    let mut queue: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+    let mut comb_best = 0.0f64;
+    while let Some(u) = queue.pop() {
+        comb_best = comb_best.max(dist[u]);
+        for &(v, wire) in &succ[u] {
+            let cand = dist[u] + wire + netlist.cells[v].kind.delay_ns();
+            if cand > dist[v] {
+                dist[v] = cand;
+            }
+            indeg[v] -= 1;
+            if indeg[v] == 0 {
+                queue.push(v);
+            }
+        }
+    }
+
+    // Wire delay only matters on combinational paths: nets into or out of
+    // sequential cells (registers, FIFOs, BRAMs) are isolated by the flop —
+    // the same isolation the paper credits the -O3 FIFOs with (Sec. 7.4).
+    // The comb-path accumulation above already includes those wire delays;
+    // add only clocking overhead.
+    let critical_ns = (comb_best + 0.6).max(0.8);
+    TimingReport {
+        critical_ns,
+        fmax_mhz: 1000.0 / critical_ns,
+        slr_crossings,
+        worst_net_ns,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::place::place;
+    use crate::route::route;
+    use crate::PnrOptions;
+    use fabric::Rect;
+    use netlist::CellKind;
+
+    fn analyze(nl: &Netlist, region: Rect) -> TimingReport {
+        let device = fabric::Device::xcu50();
+        let placement = place(nl, &device, region, &PnrOptions::default()).unwrap();
+        let routed = route(nl, &device, region, &placement, &PnrOptions::default()).unwrap();
+        analyze_timing(nl, &device, &placement, &routed)
+    }
+
+    fn pipeline(comb_stages: usize) -> Netlist {
+        let mut nl = Netlist::new("p");
+        let mut prev = nl.add_cell("r_in", CellKind::Register { width: 32 });
+        for i in 0..comb_stages {
+            let c = nl.add_cell(format!("a{i}"), CellKind::Adder { width: 32 });
+            nl.add_net(prev, vec![c], 32);
+            prev = c;
+        }
+        let out = nl.add_cell("r_out", CellKind::Register { width: 32 });
+        nl.add_net(prev, vec![out], 32);
+        nl
+    }
+
+    #[test]
+    fn fmax_in_fpga_range() {
+        let r = analyze(&pipeline(2), Rect::new(2, 0, 11, 10));
+        assert!(r.fmax_mhz > 100.0 && r.fmax_mhz < 800.0, "fmax {}", r.fmax_mhz);
+    }
+
+    #[test]
+    fn deeper_logic_is_slower() {
+        let shallow = analyze(&pipeline(1), Rect::new(2, 0, 11, 10));
+        let deep = analyze(&pipeline(8), Rect::new(2, 0, 11, 10));
+        assert!(deep.critical_ns > shallow.critical_ns);
+        assert!(deep.fmax_mhz < shallow.fmax_mhz);
+    }
+
+    #[test]
+    fn slr_crossing_penalized() {
+        // Two registers pinned by a tall region spanning the SLR boundary.
+        let mut nl = Netlist::new("x");
+        let a = nl.add_cell("a", CellKind::Adder { width: 8 });
+        let b = nl.add_cell("b", CellKind::Adder { width: 8 });
+        nl.add_net(a, vec![b], 8);
+        let device = fabric::Device::xcu50();
+        let region = Rect::new(2, 0, 4, 80);
+        let placement = Placement {
+            assignment: vec![(3, 0), (3, 79)],
+            cost: 0.0,
+            moves_evaluated: 0,
+        };
+        let routed =
+            route(&nl, &device, region, &placement, &PnrOptions::default()).unwrap();
+        let r = analyze_timing(&nl, &device, &placement, &routed);
+        assert_eq!(r.slr_crossings, 1);
+        assert!(r.worst_net_ns > 79.0 * NS_PER_TILE);
+    }
+}

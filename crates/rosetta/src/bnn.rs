@@ -1,0 +1,489 @@
+//! Binarized neural network (paper Sec. 7.2).
+//!
+//! "A binarized neural network performing image classification... We moved
+//! the weight coefficients to on-chip memory and made each stage and
+//! operation its own operator." The reproduction uses a compact
+//! XNOR-popcount network: binary convolution → max-pool → binary
+//! convolution → two fully connected levels → argmax, with all weights in
+//! per-operator ROMs. One input item is a `16×16` binary image (one 0/1
+//! pixel per word); the output is the class label plus the 10 class scores.
+
+use dfg::{Graph, GraphBuilder, Target};
+use kir::types::Value;
+use kir::{Expr, Kernel, KernelBuilder, Scalar, Stmt};
+
+use crate::util::{rng, word};
+use crate::{Bench, Scale};
+use rand::Rng;
+
+/// Input image edge.
+pub const IMG: i64 = 16;
+/// Channels after each convolution.
+pub const CH: i64 = 4;
+/// Image edge after pooling.
+pub const POOLED: i64 = IMG / 2;
+/// Hidden fully connected width.
+pub const HIDDEN: i64 = 16;
+/// Output classes.
+pub const CLASSES: i64 = 10;
+
+/// Images per scale.
+pub fn dims(scale: Scale) -> i64 {
+    match scale {
+        Scale::Tiny => 2,
+        Scale::Small => 4,
+        Scale::Medium => 10, // the paper's 10 CIFAR images
+    }
+}
+
+fn i32s() -> Scalar {
+    Scalar::int(32)
+}
+
+/// Network weights, deterministic per seed.
+pub struct Weights {
+    /// conv1: `CH` 3×3 binary kernels (bit per tap).
+    pub conv1: Vec<[u32; 9]>,
+    /// conv2: `CH×CH` 3×3 binary kernels.
+    pub conv2: Vec<[u32; 9]>,
+    /// fc1: `HIDDEN × (POOLED²·CH)` binary weights.
+    pub fc1: Vec<Vec<u32>>,
+    /// fc2: `CLASSES × HIDDEN` binary weights.
+    pub fc2: Vec<Vec<u32>>,
+}
+
+/// Generates the weight set.
+pub fn weights(seed: u64) -> Weights {
+    let mut r = rng(seed);
+    Weights {
+        conv1: (0..CH).map(|_| std::array::from_fn(|_| r.gen_range(0..2))).collect(),
+        conv2: (0..CH * CH).map(|_| std::array::from_fn(|_| r.gen_range(0..2))).collect(),
+        fc1: (0..HIDDEN)
+            .map(|_| (0..POOLED * POOLED * CH).map(|_| r.gen_range(0..2)).collect())
+            .collect(),
+        fc2: (0..CLASSES).map(|_| (0..HIDDEN).map(|_| r.gen_range(0..2)).collect()).collect(),
+    }
+}
+
+/// Binary 3×3 convolution: XNOR-popcount with majority threshold.
+///
+/// `in_ch` input channels interleaved per pixel; emits `out_ch` bits per
+/// pixel. Border pixels treat out-of-frame taps as 0.
+fn conv_kernel(
+    name: &str,
+    edge: i64,
+    in_ch: i64,
+    out_ch: i64,
+    kernels: &[[u32; 9]],
+    images: i64,
+) -> Kernel {
+    let v = Expr::var;
+    let c = Expr::cint;
+    assert_eq!(kernels.len() as i64, in_ch * out_ch);
+    let rom: Vec<u128> =
+        kernels.iter().flat_map(|k| k.iter().map(|&b| b as u128)).collect();
+    // Line buffers: two rows of in_ch-wide pixels, plus the current row so
+    // far (the 3×3 window trails one row/col behind the stream, and border
+    // taps read zeros).
+    KernelBuilder::new(name)
+        .input("in", i32s())
+        .output("out", i32s())
+        .local("p", i32s())
+        .local("acc", i32s())
+        .local("tap", i32s())
+        .local("wbit", i32s())
+        .local("rr", i32s())
+        .local("cc", i32s())
+        .local("ri", i32s())
+        .local("ci", i32s())
+        .array("win", i32s(), (edge * edge * in_ch) as u64)
+        .array_init("wrom", i32s(), rom)
+        .body([Stmt::for_loop(
+            "img",
+            0..images,
+            [
+                // Buffer the whole (small) image; "each stage its own
+                // operator" keeps this within one page's BRAM.
+                Stmt::for_pipelined(
+                    "i",
+                    0..edge * edge * in_ch,
+                    [Stmt::read("p", "in"), Stmt::store("win", v("i"), v("p"))],
+                ),
+                Stmt::for_loop(
+                    "y",
+                    0..edge,
+                    [Stmt::for_loop(
+                        "x",
+                        0..edge,
+                        [Stmt::for_loop(
+                            "o",
+                            0..out_ch,
+                            [
+                                Stmt::assign("acc", c(0)),
+                                Stmt::for_loop(
+                                    "ic",
+                                    0..in_ch,
+                                    [Stmt::for_loop(
+                                        "ky",
+                                        0..3,
+                                        [Stmt::for_pipelined(
+                                            "kx",
+                                            0..3,
+                                            [
+                                                Stmt::assign("rr", v("y").add(v("ky")).sub(c(1))),
+                                                Stmt::assign("cc", v("x").add(v("kx")).sub(c(1))),
+                                                // Both select arms evaluate
+                                                // eagerly (mux semantics), so
+                                                // the index uses clamped
+                                                // coordinates.
+                                                Stmt::assign("ri", v("rr").max(c(0)).min(c(edge - 1))),
+                                                Stmt::assign("ci", v("cc").max(c(0)).min(c(edge - 1))),
+                                                Stmt::assign(
+                                                    "tap",
+                                                    v("rr").ge(c(0))
+                                                        .land(v("rr").lt(c(edge)))
+                                                        .land(v("cc").ge(c(0)))
+                                                        .land(v("cc").lt(c(edge)))
+                                                        .select(
+                                                            Expr::index(
+                                                                "win",
+                                                                v("ri").mul(c(edge))
+                                                                    .add(v("ci"))
+                                                                    .mul(c(in_ch))
+                                                                    .add(v("ic")),
+                                                            ),
+                                                            c(0),
+                                                        )
+                                                        .cast(i32s()),
+                                                ),
+                                                Stmt::assign(
+                                                    "wbit",
+                                                    Expr::index(
+                                                        "wrom",
+                                                        v("o").mul(c(in_ch))
+                                                            .add(v("ic"))
+                                                            .mul(c(9))
+                                                            .add(v("ky").mul(c(3)))
+                                                            .add(v("kx")),
+                                                    ),
+                                                ),
+                                                // XNOR: +1 when tap == weight.
+                                                Stmt::if_then(
+                                                    v("tap").eq(v("wbit")),
+                                                    [Stmt::assign("acc", v("acc").add(c(1)))],
+                                                ),
+                                            ],
+                                        )],
+                                    )],
+                                ),
+                                // Majority over 9*in_ch taps.
+                                Stmt::write(
+                                    "out",
+                                    v("acc").gt(c(9 * in_ch / 2)).cast(i32s()),
+                                ),
+                            ],
+                        )],
+                    )],
+                ),
+            ],
+        )])
+        .build()
+        .expect("conv kernel is well-formed")
+}
+
+/// 2×2 max pooling per channel.
+fn pool_kernel(edge: i64, ch: i64, images: i64) -> Kernel {
+    let v = Expr::var;
+    let c = Expr::cint;
+    let half = edge / 2;
+    KernelBuilder::new("pool")
+        .input("in", i32s())
+        .output("out", i32s())
+        .local("p", i32s())
+        .array("img", i32s(), (edge * edge * ch) as u64)
+        .body([Stmt::for_loop(
+            "t",
+            0..images,
+            [
+                Stmt::for_pipelined(
+                    "i",
+                    0..edge * edge * ch,
+                    [Stmt::read("p", "in"), Stmt::store("img", v("i"), v("p"))],
+                ),
+                Stmt::for_loop(
+                    "y",
+                    0..half,
+                    [Stmt::for_loop(
+                        "x",
+                        0..half,
+                        [Stmt::for_pipelined(
+                            "k",
+                            0..ch,
+                            [Stmt::write(
+                                "out",
+                                Expr::index(
+                                    "img",
+                                    v("y").mul(c(2)).mul(c(edge)).add(v("x").mul(c(2))).mul(c(ch)).add(v("k")),
+                                )
+                                .max(Expr::index(
+                                    "img",
+                                    v("y").mul(c(2)).mul(c(edge)).add(v("x").mul(c(2)).add(c(1))).mul(c(ch)).add(v("k")),
+                                ))
+                                .max(Expr::index(
+                                    "img",
+                                    v("y").mul(c(2)).add(c(1)).mul(c(edge)).add(v("x").mul(c(2))).mul(c(ch)).add(v("k")),
+                                ))
+                                .max(Expr::index(
+                                    "img",
+                                    v("y").mul(c(2)).add(c(1)).mul(c(edge)).add(v("x").mul(c(2)).add(c(1))).mul(c(ch)).add(v("k")),
+                                ))
+                                .cast(i32s()),
+                            )],
+                        )],
+                    )],
+                ),
+            ],
+        )])
+        .build()
+        .expect("pool kernel is well-formed")
+}
+
+/// Fully connected binary layer: XNOR-popcount, binary or integer output.
+fn fc_kernel(
+    name: &str,
+    inputs_n: i64,
+    outputs_n: i64,
+    w: &[Vec<u32>],
+    images: i64,
+    binary_out: bool,
+) -> Kernel {
+    let v = Expr::var;
+    let c = Expr::cint;
+    let rom: Vec<u128> =
+        w.iter().flat_map(|row| row.iter().map(|&b| b as u128)).collect();
+    let mut body = vec![Stmt::for_pipelined(
+        "i",
+        0..inputs_n,
+        [Stmt::read("p", "in"), Stmt::store("act", v("i"), v("p"))],
+    )];
+    let neuron = vec![
+        Stmt::assign("acc", c(0)),
+        Stmt::for_pipelined(
+            "i",
+            0..inputs_n,
+            [Stmt::if_then(
+                Expr::index("act", v("i"))
+                    .eq(Expr::index("wrom", v("n").mul(c(inputs_n)).add(v("i")))),
+                [Stmt::assign("acc", v("acc").add(c(1)))],
+            )],
+        ),
+        if binary_out {
+            Stmt::write("out", v("acc").gt(c(inputs_n / 2)).cast(i32s()))
+        } else {
+            Stmt::write("out", v("acc"))
+        },
+    ];
+    body.push(Stmt::for_loop("n", 0..outputs_n, neuron));
+    KernelBuilder::new(name)
+        .input("in", i32s())
+        .output("out", i32s())
+        .local("p", i32s())
+        .local("acc", i32s())
+        .array("act", i32s(), inputs_n as u64)
+        .array_init("wrom", i32s(), rom)
+        .body([Stmt::for_loop("t", 0..images, body)])
+        .build()
+        .expect("fc kernel is well-formed")
+}
+
+/// argmax: label plus the raw scores.
+fn argmax_kernel(images: i64) -> Kernel {
+    let v = Expr::var;
+    let c = Expr::cint;
+    KernelBuilder::new("argmax")
+        .input("in", i32s())
+        .output("out", i32s())
+        .local("s", i32s())
+        .local("best", i32s())
+        .local("best_i", i32s())
+        .array("scores", i32s(), CLASSES as u64)
+        .body([Stmt::for_loop(
+            "t",
+            0..images,
+            [
+                Stmt::assign("best", c(-1)),
+                Stmt::assign("best_i", c(0)),
+                Stmt::for_pipelined(
+                    "i",
+                    0..CLASSES,
+                    [
+                        Stmt::read("s", "in"),
+                        Stmt::store("scores", v("i"), v("s")),
+                        Stmt::if_then(
+                            v("s").gt(v("best")),
+                            [Stmt::assign("best", v("s")), Stmt::assign("best_i", v("i"))],
+                        ),
+                    ],
+                ),
+                Stmt::write("out", v("best_i")),
+                Stmt::for_pipelined(
+                    "i",
+                    0..CLASSES,
+                    [Stmt::write("out", Expr::index("scores", v("i")))],
+                ),
+            ],
+        )])
+        .build()
+        .expect("argmax kernel is well-formed")
+}
+
+/// Builds the BNN graph.
+pub fn graph(images: i64, seed: u64) -> Graph {
+    let w = weights(seed);
+    let mut b = GraphBuilder::new("bnn");
+    let c1 = b.add("conv1", conv_kernel("conv1", IMG, 1, CH, &w.conv1, images), Target::hw_auto());
+    let pool = b.add("pool", pool_kernel(IMG, CH, images), Target::hw_auto());
+    let c2 = b.add(
+        "conv2",
+        conv_kernel("conv2", POOLED, CH, CH, &w.conv2, images),
+        Target::hw_auto(),
+    );
+    let fc1 = b.add(
+        "fc1",
+        fc_kernel("fc1", POOLED * POOLED * CH, HIDDEN, &w.fc1, images, true),
+        Target::hw_auto(),
+    );
+    let fc2 = b.add("fc2", fc_kernel("fc2", HIDDEN, CLASSES, &w.fc2, images, false), Target::hw_auto());
+    let am = b.add("argmax", argmax_kernel(images), Target::hw_auto());
+    b.ext_input("Input_1", c1, "in");
+    b.connect("c1p", c1, "out", pool, "in");
+    b.connect("pc2", pool, "out", c2, "in");
+    b.connect("c2f", c2, "out", fc1, "in");
+    b.connect("f1f2", fc1, "out", fc2, "in");
+    b.connect("f2a", fc2, "out", am, "in");
+    b.ext_output("Output_1", am, "out");
+    b.build().expect("bnn graph is well-formed")
+}
+
+/// Generates binary images (one 0/1 pixel per word).
+pub fn workload(seed: u64, images: i64) -> Vec<Value> {
+    let mut r = rng(seed ^ 0xb44);
+    (0..images * IMG * IMG).map(|_| word(r.gen_range(0..2))).collect()
+}
+
+/// Independent golden model of the whole network.
+pub fn golden(input_words: &[u32], w: &Weights) -> Vec<Vec<u32>> {
+    input_words
+        .chunks((IMG * IMG) as usize)
+        .map(|img| {
+            let conv = |edge: i64, in_ch: i64, out_ch: i64, data: &[u32], k: &[[u32; 9]]| {
+                let mut out = Vec::new();
+                for y in 0..edge {
+                    for x in 0..edge {
+                        for o in 0..out_ch {
+                            let mut acc = 0i64;
+                            for ic in 0..in_ch {
+                                for ky in 0..3 {
+                                    for kx in 0..3 {
+                                        let (rr, cc) = (y + ky - 1, x + kx - 1);
+                                        let tap = if rr >= 0 && rr < edge && cc >= 0 && cc < edge
+                                        {
+                                            data[((rr * edge + cc) * in_ch + ic) as usize]
+                                        } else {
+                                            0
+                                        };
+                                        let wbit =
+                                            k[(o * in_ch + ic) as usize][(ky * 3 + kx) as usize];
+                                        if tap == wbit {
+                                            acc += 1;
+                                        }
+                                    }
+                                }
+                            }
+                            out.push((acc > 9 * in_ch / 2) as u32);
+                        }
+                    }
+                }
+                out
+            };
+            let a1 = conv(IMG, 1, CH, img, &w.conv1);
+            // 2×2 max pool.
+            let mut pooled = Vec::new();
+            for y in 0..POOLED {
+                for x in 0..POOLED {
+                    for k in 0..CH {
+                        let at = |yy: i64, xx: i64| a1[((yy * IMG + xx) * CH + k) as usize];
+                        pooled.push(
+                            at(2 * y, 2 * x)
+                                .max(at(2 * y, 2 * x + 1))
+                                .max(at(2 * y + 1, 2 * x))
+                                .max(at(2 * y + 1, 2 * x + 1)),
+                        );
+                    }
+                }
+            }
+            let a2 = conv(POOLED, CH, CH, &pooled, &w.conv2);
+            let fc = |act: &[u32], rows: &[Vec<u32>], binary: bool| {
+                rows.iter()
+                    .map(|row| {
+                        let acc =
+                            act.iter().zip(row).filter(|(a, b)| a == b).count() as u32;
+                        if binary {
+                            (acc > act.len() as u32 / 2) as u32
+                        } else {
+                            acc
+                        }
+                    })
+                    .collect::<Vec<u32>>()
+            };
+            let h = fc(&a2, &w.fc1, true);
+            let scores = fc(&h, &w.fc2, false);
+            let best = scores
+                .iter()
+                .enumerate()
+                .max_by_key(|(i, &s)| (s, std::cmp::Reverse(*i)))
+                .map(|(i, _)| i as u32)
+                .unwrap_or(0);
+            let mut out = vec![best];
+            out.extend(&scores);
+            out
+        })
+        .collect()
+}
+
+/// Builds the benchmark at a scale.
+pub fn bench(scale: Scale) -> Bench {
+    let images = dims(scale);
+    Bench {
+        name: "Binary NN",
+        graph: graph(images, 0xb44b),
+        inputs: vec![("Input_1".into(), workload(5, images))],
+        items: images as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::util::unwords;
+
+    #[test]
+    fn matches_independent_network() {
+        let b = bench(Scale::Tiny);
+        let out = b.run_functional();
+        let got = unwords(&out["Output_1"]);
+        let want: Vec<u32> =
+            golden(&unwords(&b.inputs[0].1), &weights(0xb44b)).into_iter().flatten().collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn labels_in_range() {
+        let b = bench(Scale::Tiny);
+        let out = b.run_functional();
+        let words = unwords(&out["Output_1"]);
+        for img in words.chunks(1 + CLASSES as usize) {
+            assert!(img[0] < CLASSES as u32);
+        }
+    }
+}

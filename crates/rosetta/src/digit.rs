@@ -1,0 +1,265 @@
+//! Digit recognition: a systolic nearest-neighbour pipeline (paper Sec. 7.2).
+//!
+//! "A classification task for hand-written digits 0–9 that uses matching to
+//! a training set to identify each candidate digit. We refactored the
+//! computation as a systolic pipeline with each pipe stage operating on a
+//! subset of the training set."
+//!
+//! A digit is a 196-bit downsampled bitmap carried as 7 stream words. Each
+//! systolic stage holds a chunk of the training set in ROM, computes Hamming
+//! distances, and forwards the digit together with the best (distance,
+//! label) seen so far; a final classify operator emits the winning label.
+
+use dfg::{Graph, GraphBuilder, Target};
+use kir::types::Value;
+use kir::{Expr, Kernel, KernelBuilder, Scalar, Stmt};
+
+use crate::util::{rng, word};
+use crate::{Bench, Scale};
+use rand::Rng;
+
+/// Words per digit bitmap (196 bits in 7 × 28-bit words).
+pub const DIGIT_WORDS: i64 = 7;
+/// Initial best distance injected by the host (any real distance beats it).
+pub const DIST_INIT: u32 = 0x7fff_ffff;
+
+/// Suite shape per scale: (stages, samples per stage, test digits).
+pub fn dims(scale: Scale) -> (usize, i64, i64) {
+    match scale {
+        Scale::Tiny => (2, 8, 4),
+        Scale::Small => (4, 24, 8),
+        Scale::Medium => (8, 48, 16),
+    }
+}
+
+fn u32s() -> Scalar {
+    Scalar::uint(32)
+}
+
+/// The synthetic training set: `(bitmaps, labels)`, deterministic per seed.
+pub fn training_set(seed: u64, total: usize) -> (Vec<[u32; 7]>, Vec<u32>) {
+    let mut r = rng(seed);
+    let bitmaps: Vec<[u32; 7]> = (0..total)
+        .map(|_| std::array::from_fn(|_| r.gen::<u32>() & 0x0fff_ffff))
+        .collect();
+    let labels = (0..total).map(|_| r.gen_range(0..10)).collect();
+    (bitmaps, labels)
+}
+
+/// One systolic stage holding training samples `[first, first+m)`.
+///
+/// In/out: 9 words per digit (7 bitmap + best distance + best label).
+fn stage_kernel(name: &str, bitmaps: &[[u32; 7]], labels: &[u32], n_digits: i64) -> Kernel {
+    let v = Expr::var;
+    let c = Expr::cint;
+    let m = bitmaps.len() as i64;
+    let train_rom: Vec<u128> =
+        bitmaps.iter().flat_map(|b| b.iter().map(|&w| w as u128)).collect();
+    let label_rom: Vec<u128> = labels.iter().map(|&l| l as u128).collect();
+
+    KernelBuilder::new(name)
+        .input("in", u32s())
+        .output("out", u32s())
+        .local("w", u32s())
+        .local("best_d", u32s())
+        .local("best_l", u32s())
+        .local("dist", u32s())
+        .local("x", u32s())
+        .local("tmp", u32s())
+        .array("d", u32s(), DIGIT_WORDS as u64)
+        .array_init("train", u32s(), train_rom)
+        .array_init("labels", u32s(), label_rom)
+        .body([Stmt::for_loop(
+            "t",
+            0..n_digits,
+            [
+                Stmt::for_pipelined(
+                    "i",
+                    0..DIGIT_WORDS,
+                    [Stmt::read("w", "in"), Stmt::store("d", v("i"), v("w"))],
+                ),
+                Stmt::read("best_d", "in"),
+                Stmt::read("best_l", "in"),
+                Stmt::for_loop(
+                    "s",
+                    0..m,
+                    [
+                        Stmt::assign("dist", c(0)),
+                        Stmt::for_loop(
+                            "i",
+                            0..DIGIT_WORDS,
+                            [
+                                Stmt::assign(
+                                    "x",
+                                    Expr::index("d", v("i")).xor(Expr::index(
+                                        "train",
+                                        v("s").mul(c(DIGIT_WORDS)).add(v("i")),
+                                    )),
+                                ),
+                                // Software popcount: 8 nibble steps.
+                                Stmt::assign("tmp", v("x")),
+                                Stmt::for_pipelined(
+                                    "k",
+                                    0..8,
+                                    [
+                                        Stmt::assign(
+                                            "dist",
+                                            v("dist").add(
+                                                v("tmp").and(c(1))
+                                                    .add(v("tmp").shr(c(1)).and(c(1)))
+                                                    .add(v("tmp").shr(c(2)).and(c(1)))
+                                                    .add(v("tmp").shr(c(3)).and(c(1))),
+                                            ),
+                                        ),
+                                        Stmt::assign("tmp", v("tmp").shr(c(4))),
+                                    ],
+                                ),
+                            ],
+                        ),
+                        Stmt::if_then(
+                            v("dist").lt(v("best_d")),
+                            [
+                                Stmt::assign("best_d", v("dist")),
+                                Stmt::assign("best_l", Expr::index("labels", v("s"))),
+                            ],
+                        ),
+                    ],
+                ),
+                Stmt::for_pipelined(
+                    "i",
+                    0..DIGIT_WORDS,
+                    [Stmt::write("out", Expr::index("d", v("i")))],
+                ),
+                Stmt::write("out", v("best_d")),
+                Stmt::write("out", v("best_l")),
+            ],
+        )])
+        .build()
+        .expect("stage kernel is well-formed")
+}
+
+/// The terminal operator: strip the bitmap, emit the winning label.
+fn classify_kernel(n_digits: i64) -> Kernel {
+    let v = Expr::var;
+    KernelBuilder::new("classify")
+        .input("in", u32s())
+        .output("out", u32s())
+        .local("w", u32s())
+        .local("best_d", u32s())
+        .local("best_l", u32s())
+        .body([Stmt::for_loop(
+            "t",
+            0..n_digits,
+            [
+                Stmt::for_pipelined("i", 0..DIGIT_WORDS, [Stmt::read("w", "in")]),
+                Stmt::read("best_d", "in"),
+                Stmt::read("best_l", "in"),
+                Stmt::write("out", v("best_l")),
+            ],
+        )])
+        .build()
+        .expect("classify kernel is well-formed")
+}
+
+/// Builds the digit-recognition graph.
+pub fn graph(stages: usize, per_stage: i64, n_digits: i64, seed: u64) -> Graph {
+    let (bitmaps, labels) = training_set(seed, stages * per_stage as usize);
+    let mut b = GraphBuilder::new("digit_recognition");
+    let mut prev = None;
+    for s in 0..stages {
+        let lo = s * per_stage as usize;
+        let hi = lo + per_stage as usize;
+        let k = stage_kernel(
+            &format!("knn_stage_{s}"),
+            &bitmaps[lo..hi],
+            &labels[lo..hi],
+            n_digits,
+        );
+        let id = b.add(format!("knn_stage_{s}"), k, Target::hw_auto());
+        match prev {
+            None => b.ext_input("Input_1", id, "in"),
+            Some(p) => {
+                b.connect(format!("s{s}"), p, "out", id, "in");
+            }
+        }
+        prev = Some(id);
+    }
+    let cls = b.add("classify", classify_kernel(n_digits), Target::hw_auto());
+    b.connect("to_classify", prev.expect("at least one stage"), "out", cls, "in");
+    b.ext_output("Output_1", cls, "out");
+    b.build().expect("digit graph is well-formed")
+}
+
+/// Generates test digits: 9 words each (bitmap + initial best).
+pub fn workload(seed: u64, n_digits: i64) -> Vec<Value> {
+    let mut r = rng(seed ^ 0xd161);
+    let mut out = Vec::new();
+    for _ in 0..n_digits {
+        for _ in 0..DIGIT_WORDS {
+            out.push(word(r.gen::<u32>() & 0x0fff_ffff));
+        }
+        out.push(word(DIST_INIT));
+        out.push(word(0));
+    }
+    out
+}
+
+/// Independent golden model: 1-nearest-neighbour labels.
+pub fn golden(input_words: &[u32], bitmaps: &[[u32; 7]], labels: &[u32]) -> Vec<u32> {
+    let per = DIGIT_WORDS as usize + 2;
+    input_words
+        .chunks(per)
+        .map(|digit| {
+            let mut best = (DIST_INIT, 0u32);
+            for (b, &l) in bitmaps.iter().zip(labels) {
+                let dist: u32 =
+                    digit[..7].iter().zip(b).map(|(a, t)| (a ^ t).count_ones()).sum();
+                if dist < best.0 {
+                    best = (dist, l);
+                }
+            }
+            best.1
+        })
+        .collect()
+}
+
+/// Builds the benchmark at a scale.
+pub fn bench(scale: Scale) -> Bench {
+    let (stages, per_stage, n_digits) = dims(scale);
+    Bench {
+        name: "Digit Recognition",
+        graph: graph(stages, per_stage, n_digits, 0xd1617),
+        inputs: vec![("Input_1".into(), workload(1, n_digits))],
+        items: n_digits as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::util::unwords;
+
+    #[test]
+    fn matches_independent_knn() {
+        let (stages, per_stage, n) = dims(Scale::Tiny);
+        let (bitmaps, labels) = training_set(0xd1617, stages * per_stage as usize);
+        let b = bench(Scale::Tiny);
+        let out = b.run_functional();
+        let got = unwords(&out["Output_1"]);
+        let want = golden(&unwords(&b.inputs[0].1), &bitmaps, &labels);
+        assert_eq!(got, want);
+        assert_eq!(got.len(), n as usize);
+        assert!(got.iter().all(|&l| l < 10));
+    }
+
+    #[test]
+    fn stages_forward_digits_untouched() {
+        let b = bench(Scale::Tiny);
+        let (_, stats) = dfg::run_graph(&b.graph, &b.input_refs()).unwrap();
+        // Every inter-stage link carries 9 words per digit.
+        let (_, _, n) = dims(Scale::Tiny);
+        for &tokens in &stats.edge_tokens {
+            assert_eq!(tokens, n as u64 * 9);
+        }
+    }
+}

@@ -1,0 +1,269 @@
+//! Face detection: strong/weak filter cascade (paper Sec. 7.2).
+//!
+//! "An image classification task that identifies faces in images. We
+//! decomposed the two main stages of the computation (strong and weak
+//! filtering)." One input item is a candidate window of 4×4 8-bit pixels;
+//! the integral operator forms running sums, the strong stage applies a
+//! small bank of Haar-like rectangle features, the weak stage a larger one,
+//! and the output is a (detected, score) pair per window.
+
+use dfg::{Graph, GraphBuilder, Target};
+use kir::types::Value;
+use kir::{Expr, Kernel, KernelBuilder, Scalar, Stmt};
+
+use crate::util::{rng, word};
+use crate::{Bench, Scale};
+use rand::Rng;
+
+/// Window edge in pixels.
+pub const WIN: i64 = 4;
+/// Pixels (and integral words) per window.
+pub const WIN_PIXELS: i64 = WIN * WIN;
+/// Features in the strong (first) stage.
+pub const STRONG_FEATURES: usize = 4;
+/// Features in the weak (second) stage.
+pub const WEAK_FEATURES: usize = 8;
+
+/// Windows per scale.
+pub fn dims(scale: Scale) -> i64 {
+    match scale {
+        Scale::Tiny => 8,
+        Scale::Small => 32,
+        Scale::Medium => 128,
+    }
+}
+
+fn i32s() -> Scalar {
+    Scalar::int(32)
+}
+
+/// A Haar-like feature: positive minus negative integral-cell pair with a
+/// threshold.
+#[derive(Debug, Clone, Copy)]
+pub struct Feature {
+    /// Index of the positively weighted integral cell.
+    pub plus: u32,
+    /// Index of the negatively weighted integral cell.
+    pub minus: u32,
+    /// Decision threshold on the difference.
+    pub threshold: i32,
+}
+
+/// The deterministic feature banks: (strong, weak).
+pub fn features(seed: u64) -> (Vec<Feature>, Vec<Feature>) {
+    let mut r = rng(seed);
+    let mut mk = |n: usize| {
+        (0..n)
+            .map(|_| Feature {
+                plus: r.gen_range(0..WIN_PIXELS as u32),
+                minus: r.gen_range(0..WIN_PIXELS as u32),
+                threshold: r.gen_range(-64..64),
+            })
+            .collect::<Vec<_>>()
+    };
+    (mk(STRONG_FEATURES), mk(WEAK_FEATURES))
+}
+
+/// integral: running prefix sums over each window's pixels.
+///
+/// In: 16 pixel words. Out: 16 prefix-sum words.
+fn integral_kernel(windows: i64) -> Kernel {
+    let v = Expr::var;
+    KernelBuilder::new("integral")
+        .input("in", i32s())
+        .output("out", i32s())
+        .local("p", i32s())
+        .local("acc", i32s())
+        .body([Stmt::for_loop(
+            "t",
+            0..windows,
+            [
+                Stmt::assign("acc", Expr::cint(0)),
+                Stmt::for_pipelined(
+                    "i",
+                    0..WIN_PIXELS,
+                    [
+                        Stmt::read("p", "in"),
+                        Stmt::assign("acc", v("acc").add(v("p"))),
+                        Stmt::write("out", v("acc")),
+                    ],
+                ),
+            ],
+        )])
+        .build()
+        .expect("integral kernel is well-formed")
+}
+
+/// A filter stage: apply a feature bank, accumulate votes, forward the
+/// window sums plus the running score.
+///
+/// The cascade is "decomposed... by filter sets" (Sec. 7.2): the first stage
+/// starts the score at zero, middle stages read the forwarded score and pass
+/// the window onward (17 words), and the terminal stage emits the
+/// (flag, score) pair.
+fn filter_kernel(
+    name: &str,
+    bank: &[Feature],
+    windows: i64,
+    reads_score: bool,
+    terminal: bool,
+) -> Kernel {
+    let v = Expr::var;
+    let c = Expr::cint;
+    let plus_rom: Vec<u128> = bank.iter().map(|f| f.plus as u128).collect();
+    let minus_rom: Vec<u128> = bank.iter().map(|f| f.minus as u128).collect();
+    let thr_rom: Vec<u128> = bank.iter().map(|f| (f.threshold as u32) as u128).collect();
+    let nf = bank.len() as i64;
+
+    let mut b = KernelBuilder::new(name)
+        .input("in", i32s())
+        .output("out", i32s())
+        .local("w", i32s())
+        .local("score", i32s())
+        .local("diff", i32s())
+        .array("cells", i32s(), WIN_PIXELS as u64)
+        .array_init("fplus", i32s(), plus_rom)
+        .array_init("fminus", i32s(), minus_rom)
+        .array_init("fthr", i32s(), thr_rom);
+    let mut body = vec![Stmt::for_pipelined(
+        "i",
+        0..WIN_PIXELS,
+        [Stmt::read("w", "in"), Stmt::store("cells", v("i"), v("w"))],
+    )];
+    if reads_score {
+        body.push(Stmt::read("score", "in"));
+    } else {
+        body.push(Stmt::assign("score", c(0)));
+    }
+    body.push(Stmt::for_pipelined(
+        "f",
+        0..nf,
+        [
+            Stmt::assign(
+                "diff",
+                Expr::index("cells", Expr::index("fplus", v("f")))
+                    .sub(Expr::index("cells", Expr::index("fminus", v("f"))))
+                    .cast(i32s()),
+            ),
+            Stmt::if_then(
+                v("diff").gt(Expr::index("fthr", v("f"))),
+                [Stmt::assign("score", v("score").add(c(1)))],
+            ),
+        ],
+    ));
+    if terminal {
+        let majority = ((STRONG_FEATURES + WEAK_FEATURES) / 2) as i64;
+        body.push(Stmt::write("out", v("score").gt(c(majority)).cast(i32s())));
+        body.push(Stmt::write("out", v("score")));
+    } else {
+        body.push(Stmt::for_pipelined(
+            "i",
+            0..WIN_PIXELS,
+            [Stmt::write("out", Expr::index("cells", v("i")))],
+        ));
+        body.push(Stmt::write("out", v("score")));
+    }
+    b = b.body([Stmt::for_loop("t", 0..windows, body)]);
+    b.build().expect("filter kernel is well-formed")
+}
+
+/// Builds the face-detection graph: integral → strong_a → strong_b →
+/// weak_a → weak_b, the paper's two main stages each decomposed by filter
+/// sets.
+pub fn graph(windows: i64, seed: u64) -> Graph {
+    let (strong, weak) = features(seed);
+    let (sa, sb) = strong.split_at(STRONG_FEATURES / 2);
+    let (wa, wb) = weak.split_at(WEAK_FEATURES / 2);
+    let mut b = GraphBuilder::new("face_detection");
+    let integ = b.add("integral", integral_kernel(windows), Target::hw_auto());
+    let stage_a =
+        b.add("strong_a", filter_kernel("strong_a", sa, windows, false, false), Target::hw_auto());
+    let stage_b =
+        b.add("strong_b", filter_kernel("strong_b", sb, windows, true, false), Target::hw_auto());
+    let stage_c =
+        b.add("weak_a", filter_kernel("weak_a", wa, windows, true, false), Target::hw_auto());
+    let stage_d =
+        b.add("weak_b", filter_kernel("weak_b", wb, windows, true, true), Target::hw_auto());
+    b.ext_input("Input_1", integ, "in");
+    b.connect("i2sa", integ, "out", stage_a, "in");
+    b.connect("sa2sb", stage_a, "out", stage_b, "in");
+    b.connect("sb2wa", stage_b, "out", stage_c, "in");
+    b.connect("wa2wb", stage_c, "out", stage_d, "in");
+    b.ext_output("Output_1", stage_d, "out");
+    b.build().expect("face graph is well-formed")
+}
+
+/// Generates candidate windows (pixels 0..255).
+pub fn workload(seed: u64, windows: i64) -> Vec<Value> {
+    let mut r = rng(seed ^ 0xface);
+    (0..windows * WIN_PIXELS).map(|_| word(r.gen_range(0..256))).collect()
+}
+
+/// Independent golden model: `(flag, score)` per window.
+pub fn golden(input_words: &[u32], strong: &[Feature], weak: &[Feature]) -> Vec<(u32, i32)> {
+    input_words
+        .chunks(WIN_PIXELS as usize)
+        .map(|window| {
+            let mut cells = Vec::with_capacity(WIN_PIXELS as usize);
+            let mut acc = 0i32;
+            for &p in window {
+                acc += p as i32;
+                cells.push(acc);
+            }
+            let mut score = 0i32;
+            for f in strong.iter().chain(weak) {
+                let diff = cells[f.plus as usize] - cells[f.minus as usize];
+                if diff > f.threshold {
+                    score += 1;
+                }
+            }
+            let majority = ((STRONG_FEATURES + WEAK_FEATURES) / 2) as i32;
+            ((score > majority) as u32, score)
+        })
+        .collect()
+}
+
+/// Builds the benchmark at a scale.
+pub fn bench(scale: Scale) -> Bench {
+    let windows = dims(scale);
+    Bench {
+        name: "Face Detection",
+        graph: graph(windows, 0xface5),
+        inputs: vec![("Input_1".into(), workload(4, windows))],
+        items: windows as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::util::unwords;
+
+    #[test]
+    fn matches_independent_cascade() {
+        let windows = dims(Scale::Tiny);
+        let (strong, weak) = features(0xface5);
+        let b = bench(Scale::Tiny);
+        let out = b.run_functional();
+        let got = unwords(&out["Output_1"]);
+        let want = golden(&unwords(&b.inputs[0].1), &strong, &weak);
+        assert_eq!(got.len(), windows as usize * 2);
+        for (i, (flag, score)) in want.iter().enumerate() {
+            assert_eq!(got[i * 2], *flag, "window {i} flag");
+            assert_eq!(got[i * 2 + 1] as i32, *score, "window {i} score");
+        }
+    }
+
+    #[test]
+    fn flags_consistent_with_scores() {
+        let b = bench(Scale::Small);
+        let out = b.run_functional();
+        let words = unwords(&out["Output_1"]);
+        let majority = ((STRONG_FEATURES + WEAK_FEATURES) / 2) as i32;
+        for pair in words.chunks(2) {
+            let (flag, score) = (pair[0], pair[1] as i32);
+            assert!((0..=(STRONG_FEATURES + WEAK_FEATURES) as i32).contains(&score));
+            assert_eq!(flag, (score > majority) as u32);
+        }
+    }
+}

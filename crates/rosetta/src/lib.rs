@@ -1,0 +1,120 @@
+#![warn(missing_docs)]
+//! The Rosetta benchmark suite, decomposed into PLD dataflow graphs.
+//!
+//! The paper evaluates PLD on the six Rosetta benchmarks (Sec. 7.2),
+//! decomposed into streaming operators exactly as described there:
+//!
+//! * [`rendering`] — "a simple triangle rendering pipeline that includes
+//!   projection to a 2D viewpoint, rasterization, and Z-buffering",
+//!   decomposed by the pipeline stages;
+//! * [`digit`] — digit recognition "refactored as a systolic pipeline with
+//!   each pipe stage operating on a subset of the training set";
+//! * [`spam`] — SPAM filtering with "the data-parallel feature vectors
+//!   \[decomposed\] into separate dot product operators and... operators for
+//!   decomposition and data reduce";
+//! * [`optical`] — optical flow, "already the shape of a dataflow task graph"
+//!   (the paper's own running example, Fig. 2);
+//! * [`face`] — face detection, "the two main stages of the computation
+//!   (strong and weak filtering)" as a cascade;
+//! * [`bnn`] — a binarized neural network with convolutional and
+//!   fully-connected levels, "each stage and operation its own operator".
+//!
+//! Each module builds a [`Bench`]: the operator graph, a seeded synthetic
+//! workload, and an independent plain-Rust golden model used by the tests
+//! (the kernels must match it bit-for-bit through the `kir` interpreter —
+//! and, by the cross-backend property tests, through every PLD target).
+
+pub mod bnn;
+pub mod digit;
+pub mod face;
+pub mod optical;
+pub mod rendering;
+pub mod spam;
+pub mod util;
+
+use dfg::Graph;
+use kir::types::Value;
+use std::collections::HashMap;
+
+/// Workload size, scaling input volume and some pipeline widths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scale {
+    /// Seconds-scale functional tests.
+    Tiny,
+    /// Integration tests and quick harness runs.
+    Small,
+    /// Benchmark harness runs (Tab. 2/3/4 regeneration).
+    Medium,
+}
+
+/// One benchmark instance: graph + workload.
+pub struct Bench {
+    /// Benchmark name as in the paper's tables.
+    pub name: &'static str,
+    /// The operator graph.
+    pub graph: Graph,
+    /// External input streams.
+    pub inputs: Vec<(String, Vec<Value>)>,
+    /// Logical items per run (frames / digits / emails / images), the
+    /// denominator of the paper's per-input metrics.
+    pub items: u64,
+}
+
+impl Bench {
+    /// Input streams in the borrowed form the executors take.
+    pub fn input_refs(&self) -> Vec<(&str, Vec<Value>)> {
+        self.inputs.iter().map(|(n, v)| (n.as_str(), v.clone())).collect()
+    }
+
+    /// Runs the benchmark functionally on the host (the golden path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph fails to execute — benchmarks are constructed to
+    /// always run.
+    pub fn run_functional(&self) -> HashMap<String, Vec<Value>> {
+        let (out, _) = dfg::run_graph(&self.graph, &self.input_refs())
+            .expect("benchmark graphs execute");
+        out
+    }
+}
+
+/// Builds all six benchmarks at a scale.
+pub fn suite(scale: Scale) -> Vec<Bench> {
+    vec![
+        rendering::bench(scale),
+        digit::bench(scale),
+        spam::bench(scale),
+        optical::bench(scale),
+        face::bench(scale),
+        bnn::bench(scale),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_builds_and_runs_at_tiny_scale() {
+        for bench in suite(Scale::Tiny) {
+            let out = bench.run_functional();
+            assert!(
+                out.values().any(|v| !v.is_empty()),
+                "{} produced no output",
+                bench.name
+            );
+            assert!(bench.items > 0);
+        }
+    }
+
+    #[test]
+    fn six_benchmarks_matching_the_paper() {
+        let names: Vec<&str> = suite(Scale::Tiny).iter().map(|b| b.name).collect();
+        assert_eq!(
+            names,
+            ["3D Rendering", "Digit Recognition", "Spam Filter", "Optical Flow",
+             "Face Detection", "Binary NN"]
+        );
+    }
+}

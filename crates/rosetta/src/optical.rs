@@ -1,0 +1,443 @@
+//! Optical flow: the paper's running example (Fig. 2, Sec. 7.2).
+//!
+//! "An image processing task that identifies the movement of objects among
+//! a set of frames. The original computation already had the shape of a
+//! dataflow task graph" — unpack → grad_xy / grad_z → weight_y → tensor_y →
+//! tensor_x → flow_calc, exactly the seven-operator graph of Fig. 2(c).
+//! The `flow_calc` operator reproduces Fig. 2(d) verbatim: `ap_fixed<32,17>`
+//! tensor inputs, `ap_fixed<64,40>` products, the `denom == 0` guard and the
+//! two divisions.
+//!
+//! One input item is a `W×H` 8-bit grayscale frame; the output is the
+//! two-component flow field.
+
+use aplib::DynFixed;
+use dfg::{Graph, GraphBuilder, Target};
+use kir::types::Value;
+use kir::{Expr, Kernel, KernelBuilder, Scalar, Stmt};
+
+use crate::util::{rng, word};
+use crate::{Bench, Scale};
+use rand::Rng;
+
+/// Frame geometry per scale: (width, height).
+pub fn dims(scale: Scale) -> (i64, i64) {
+    match scale {
+        Scale::Tiny => (16, 8),
+        Scale::Small => (32, 16),
+        Scale::Medium => (64, 32),
+    }
+}
+
+/// The paper's pixel/tensor type: `ap_fixed<32,17>`.
+pub fn fx() -> Scalar {
+    Scalar::fixed(32, 17)
+}
+
+fn wide() -> Scalar {
+    Scalar::fixed(64, 40)
+}
+
+/// unpack: fan the pixel stream out to the two gradient paths.
+fn unpack_kernel(w: i64, h: i64) -> Kernel {
+    KernelBuilder::new("unpack")
+        .input("Input_1", Scalar::uint(32))
+        .output("up1", fx())
+        .output("up2", fx())
+        .local("p", Scalar::uint(32))
+        .body([Stmt::for_pipelined(
+            "i",
+            0..w * h,
+            [
+                Stmt::read("p", "Input_1"),
+                Stmt::write("up1", Expr::var("p").cast(fx())),
+                Stmt::write("up2", Expr::var("p").cast(fx())),
+            ],
+        )])
+        .build()
+        .expect("unpack kernel is well-formed")
+}
+
+/// grad_xy: horizontal and vertical gradients via a one-line buffer.
+///
+/// Out: 2 fixed words per pixel (gx, gy).
+fn grad_xy_kernel(w: i64, h: i64) -> Kernel {
+    let v = Expr::var;
+    KernelBuilder::new("grad_xy")
+        .input("in", fx())
+        .output("out", fx())
+        .local("cur", fx())
+        .local("prev", fx())
+        .local("gx", fx())
+        .local("gy", fx())
+        .array("line", fx(), w as u64)
+        .body([Stmt::for_loop(
+            "r",
+            0..h,
+            [Stmt::for_pipelined(
+                "c",
+                0..w,
+                [
+                    Stmt::read("cur", "in"),
+                    Stmt::assign(
+                        "gx",
+                        v("c").eq(Expr::cint(0))
+                            .select(Expr::cfixed(0.0, fx()), v("cur").sub(v("prev")))
+                            .cast(fx()),
+                    ),
+                    Stmt::assign(
+                        "gy",
+                        v("r").eq(Expr::cint(0))
+                            .select(
+                                Expr::cfixed(0.0, fx()),
+                                v("cur").sub(Expr::index("line", v("c"))),
+                            )
+                            .cast(fx()),
+                    ),
+                    Stmt::store("line", v("c"), v("cur")),
+                    Stmt::assign("prev", v("cur")),
+                    Stmt::write("out", v("gx")),
+                    Stmt::write("out", v("gy")),
+                ],
+            )],
+        )])
+        .build()
+        .expect("grad_xy kernel is well-formed")
+}
+
+/// grad_z: temporal gradient stand-in (difference to the previous pixel in
+/// scan order, modelling the frame-delta path of the original benchmark).
+fn grad_z_kernel(w: i64, h: i64) -> Kernel {
+    let v = Expr::var;
+    KernelBuilder::new("grad_z")
+        .input("in", fx())
+        .output("out", fx())
+        .local("cur", fx())
+        .local("prev", fx())
+        .body([Stmt::for_pipelined(
+            "i",
+            0..w * h,
+            [
+                Stmt::read("cur", "in"),
+                Stmt::write("out", v("cur").sub(v("prev")).cast(fx())),
+                Stmt::assign("prev", v("cur")),
+            ],
+        )])
+        .build()
+        .expect("grad_z kernel is well-formed")
+}
+
+/// weight_y: form the six tensor components from (gx, gy, gz).
+///
+/// Out per pixel: t0..t5 = (gx·gz, gy², gx², gy·gz, gx·gy, gz²), the
+/// layout `flow_calc` consumes.
+fn weight_y_kernel(w: i64, h: i64) -> Kernel {
+    let v = Expr::var;
+    let prod = |a: &'static str, b: &'static str| v(a).mul(v(b)).cast(fx());
+    KernelBuilder::new("weight_y")
+        .input("gxy", fx())
+        .input("gz", fx())
+        .output("out", fx())
+        .local("gx", fx())
+        .local("gy", fx())
+        .local("gzv", fx())
+        .body([Stmt::for_pipelined(
+            "i",
+            0..w * h,
+            [
+                Stmt::read("gx", "gxy"),
+                Stmt::read("gy", "gxy"),
+                Stmt::read("gzv", "gz"),
+                Stmt::write("out", prod("gx", "gzv")),
+                Stmt::write("out", prod("gy", "gy")),
+                Stmt::write("out", prod("gx", "gx")),
+                Stmt::write("out", prod("gy", "gzv")),
+                Stmt::write("out", prod("gx", "gy")),
+                Stmt::write("out", prod("gzv", "gzv")),
+            ],
+        )])
+        .build()
+        .expect("weight_y kernel is well-formed")
+}
+
+/// tensor_y: vertical 3-tap accumulation of each tensor component.
+///
+/// All six components are read, accumulated and written *per iteration*
+/// (the paper decomposed large operators "by separable components"); with
+/// direct FIFOs the six-word payload moves in one wide transfer, while the
+/// overlay serializes it through the 32-bit leaf link.
+fn tensor_y_kernel(w: i64, h: i64) -> Kernel {
+    let v = Expr::var;
+    let mut b = KernelBuilder::new("tensor_y")
+        .input("in", fx())
+        .output("out", fx())
+        .array("l0", fx(), (w * 6) as u64)
+        .array("l1", fx(), (w * 6) as u64);
+    for k in 0..6 {
+        b = b.local(format!("t{k}"), fx()).local(format!("s{k}"), fx());
+    }
+    let mut body = Vec::new();
+    for k in 0..6 {
+        body.push(Stmt::read(format!("t{k}"), "in"));
+    }
+    for k in 0..6 {
+        let idx = || v("c").mul(Expr::cint(6)).add(Expr::cint(k));
+        body.push(Stmt::assign(
+            format!("s{k}"),
+            Expr::var(format!("t{k}"))
+                .add(Expr::index("l0", idx()))
+                .add(Expr::index("l1", idx()))
+                .cast(fx()),
+        ));
+        body.push(Stmt::store("l1", idx(), Expr::index("l0", idx())));
+        body.push(Stmt::store("l0", idx(), Expr::var(format!("t{k}"))));
+    }
+    for k in 0..6 {
+        body.push(Stmt::write("out", Expr::var(format!("s{k}"))));
+    }
+    b.body([Stmt::for_loop(
+        "r",
+        0..h,
+        [Stmt::for_pipelined("c", 0..w, body)],
+    )])
+    .build()
+    .expect("tensor_y kernel is well-formed")
+}
+
+/// tensor_x: horizontal 3-tap accumulation of each tensor component.
+fn tensor_x_kernel(w: i64, h: i64) -> Kernel {
+    let mut b = KernelBuilder::new("tensor_x")
+        .input("in", fx())
+        .output("out", fx())
+        .array("p1", fx(), 6)
+        .array("p2", fx(), 6);
+    for k in 0..6 {
+        b = b.local(format!("t{k}"), fx()).local(format!("s{k}"), fx());
+    }
+    let mut body = Vec::new();
+    for k in 0..6 {
+        body.push(Stmt::read(format!("t{k}"), "in"));
+    }
+    for k in 0..6 {
+        let idx = || Expr::cint(k);
+        body.push(Stmt::assign(
+            format!("s{k}"),
+            Expr::var(format!("t{k}"))
+                .add(Expr::index("p1", idx()))
+                .add(Expr::index("p2", idx()))
+                .cast(fx()),
+        ));
+        body.push(Stmt::store("p2", idx(), Expr::index("p1", idx())));
+        body.push(Stmt::store("p1", idx(), Expr::var(format!("t{k}"))));
+    }
+    for k in 0..6 {
+        body.push(Stmt::write("out", Expr::var(format!("s{k}"))));
+    }
+    b.body([Stmt::for_pipelined("i", 0..w * h, body)])
+        .build()
+        .expect("tensor_x kernel is well-formed")
+}
+
+/// flow_calc: Fig. 2(d), verbatim.
+///
+/// Reads six `ap_fixed<32,17>` tensor words per pixel, forms
+/// `ap_fixed<64,40>` products, guards `denom == 0`, divides, and emits the
+/// two flow components.
+fn flow_calc_kernel(w: i64, h: i64) -> Kernel {
+    let v = Expr::var;
+    let mut b = KernelBuilder::new("flow_calc")
+        .input("Input_1", fx())
+        .output("Output_1", fx())
+        .local("denom", wide())
+        .local("numer0", wide())
+        .local("numer1", wide())
+        .local("buf0", fx())
+        .local("buf1", fx());
+    for i in 0..6 {
+        b = b.local(format!("t{i}"), fx());
+    }
+    b.body([Stmt::for_loop(
+        "r",
+        0..h,
+        [Stmt::for_pipelined(
+            "c",
+            0..w,
+            [
+                Stmt::read("t0", "Input_1"),
+                Stmt::read("t1", "Input_1"),
+                Stmt::read("t2", "Input_1"),
+                Stmt::read("t3", "Input_1"),
+                Stmt::read("t4", "Input_1"),
+                Stmt::read("t5", "Input_1"),
+                Stmt::assign("denom", v("t1").mul(v("t2")).sub(v("t4").mul(v("t4"))).cast(wide())),
+                Stmt::assign("numer0", v("t0").mul(v("t4")).sub(v("t5").mul(v("t2"))).cast(wide())),
+                Stmt::assign("numer1", v("t5").mul(v("t4")).sub(v("t0").mul(v("t1"))).cast(wide())),
+                Stmt::if_else(
+                    v("denom").eq(Expr::cfixed(0.0, wide())),
+                    [
+                        Stmt::assign("buf0", Expr::cfixed(0.0, fx())),
+                        Stmt::assign("buf1", Expr::cfixed(0.0, fx())),
+                    ],
+                    [
+                        Stmt::assign("buf0", v("numer0").div(v("denom")).cast(fx())),
+                        Stmt::assign("buf1", v("numer1").div(v("denom")).cast(fx())),
+                    ],
+                ),
+                Stmt::write("Output_1", v("buf0")),
+                Stmt::write("Output_1", v("buf1")),
+            ],
+        )],
+    )])
+    .build()
+    .expect("flow_calc kernel is well-formed")
+}
+
+/// Builds the optical-flow graph (the paper's Fig. 2(c)).
+pub fn graph(w: i64, h: i64) -> Graph {
+    let mut b = GraphBuilder::new("optical_flow");
+    let unpack = b.add("unpack", unpack_kernel(w, h), Target::hw_auto());
+    let gxy = b.add("grad_xy", grad_xy_kernel(w, h), Target::hw_auto());
+    let gz = b.add("grad_z", grad_z_kernel(w, h), Target::hw_auto());
+    let wy = b.add("weight_y", weight_y_kernel(w, h), Target::hw_auto());
+    let ty = b.add("tensor_y", tensor_y_kernel(w, h), Target::hw_auto());
+    let tx = b.add("tensor_x", tensor_x_kernel(w, h), Target::hw_auto());
+    let fc = b.add("flow_calc", flow_calc_kernel(w, h), Target::hw_auto());
+    b.ext_input("Input_1", unpack, "Input_1");
+    b.connect("up1", unpack, "up1", gxy, "in");
+    b.connect("up2", unpack, "up2", gz, "in");
+    b.connect("gx", gxy, "out", wy, "gxy");
+    b.connect("gzl", gz, "out", wy, "gz");
+    b.connect("wy", wy, "out", ty, "in");
+    b.connect("ty", ty, "out", tx, "in");
+    b.connect("tx", tx, "out", fc, "Input_1");
+    b.ext_output("Output_1", fc, "Output_1");
+    b.build().expect("optical-flow graph is well-formed")
+}
+
+/// Generates a grayscale frame (pixel values 0..255, one per word).
+pub fn workload(seed: u64, w: i64, h: i64) -> Vec<Value> {
+    let mut r = rng(seed ^ 0x0f10);
+    (0..w * h).map(|_| word(r.gen_range(0..256))).collect()
+}
+
+/// Independent golden model of the whole pipeline in exact `ap_fixed`
+/// arithmetic (built directly on `aplib`, no `kir` involved).
+pub fn golden(pixels: &[u32], w: i64, h: i64) -> Vec<DynFixed> {
+    let fxv = |x: f64| DynFixed::from_f64(32, 17, true, x);
+    let n = (w * h) as usize;
+    let px: Vec<DynFixed> = pixels.iter().map(|&p| fxv(p as f64)).collect();
+
+    // Gradients.
+    let mut gx = vec![fxv(0.0); n];
+    let mut gy = vec![fxv(0.0); n];
+    let mut gz = vec![fxv(0.0); n];
+    let mut prev = fxv(0.0);
+    for i in 0..n {
+        let (r, c) = (i as i64 / w, i as i64 % w);
+        gx[i] = if c == 0 { fxv(0.0) } else { px[i].sub(px[i - 1]).resize(32, 17, true) };
+        gy[i] =
+            if r == 0 { fxv(0.0) } else { px[i].sub(px[i - w as usize]).resize(32, 17, true) };
+        gz[i] = px[i].sub(prev).resize(32, 17, true);
+        prev = px[i];
+    }
+
+    // Six tensor components per pixel.
+    let comp = |i: usize, k: usize| -> DynFixed {
+        let p = |a: DynFixed, b: DynFixed| a.mul(b).resize(32, 17, true);
+        match k {
+            0 => p(gx[i], gz[i]),
+            1 => p(gy[i], gy[i]),
+            2 => p(gx[i], gx[i]),
+            3 => p(gy[i], gz[i]),
+            4 => p(gx[i], gy[i]),
+            _ => p(gz[i], gz[i]),
+        }
+    };
+
+    // Vertical then horizontal 3-tap sums.
+    let mut ty = vec![[fxv(0.0); 6]; n];
+    for (i, row) in ty.iter_mut().enumerate() {
+        let r = i as i64 / w;
+        for (k, slot) in row.iter_mut().enumerate() {
+            // Kernel order: both adds at full precision, one final resize.
+            let a = comp(i, k);
+            let b = if r >= 1 { comp(i - w as usize, k) } else { fxv(0.0) };
+            let c = if r >= 2 { comp(i - 2 * w as usize, k) } else { fxv(0.0) };
+            *slot = a.add(b).add(c).resize(32, 17, true);
+        }
+    }
+    let mut tx = vec![[fxv(0.0); 6]; n];
+    for i in 0..n {
+        for k in 0..6 {
+            let a = ty[i][k];
+            let b = if i >= 1 { ty[i - 1][k] } else { fxv(0.0) };
+            let c = if i >= 2 { ty[i - 2][k] } else { fxv(0.0) };
+            tx[i][k] = a.add(b).add(c).resize(32, 17, true);
+        }
+    }
+
+    // flow_calc, Fig. 2(d).
+    let mut out = Vec::with_capacity(n * 2);
+    for t in &tx {
+        let m = |a: DynFixed, b: DynFixed| a.mul(b);
+        let denom = m(t[1], t[2]).sub(m(t[4], t[4])).resize(64, 40, true);
+        let numer0 = m(t[0], t[4]).sub(m(t[5], t[2])).resize(64, 40, true);
+        let numer1 = m(t[5], t[4]).sub(m(t[0], t[1])).resize(64, 40, true);
+        if denom.is_zero() {
+            out.push(fxv(0.0));
+            out.push(fxv(0.0));
+        } else {
+            out.push(numer0.div(denom).resize(32, 17, true));
+            out.push(numer1.div(denom).resize(32, 17, true));
+        }
+    }
+    out
+}
+
+/// Builds the benchmark at a scale.
+pub fn bench(scale: Scale) -> Bench {
+    let (w, h) = dims(scale);
+    Bench {
+        name: "Optical Flow",
+        graph: graph(w, h),
+        inputs: vec![("Input_1".into(), workload(3, w, h))],
+        items: 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::util::unwords;
+
+    #[test]
+    fn matches_independent_fixed_point_model() {
+        let (w, h) = dims(Scale::Tiny);
+        let b = bench(Scale::Tiny);
+        let out = b.run_functional();
+        let got = &out["Output_1"];
+        let want = golden(&unwords(&b.inputs[0].1), w, h);
+        assert_eq!(got.len(), want.len());
+        for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+            assert_eq!(g.raw(), w.raw(), "flow word {i}: got {g} want {w}");
+        }
+    }
+
+    #[test]
+    fn flow_field_is_nontrivial() {
+        let b = bench(Scale::Tiny);
+        let out = b.run_functional();
+        let nonzero = out["Output_1"].iter().filter(|v| !v.is_zero()).count();
+        assert!(nonzero > 0, "flow must respond to the moving texture");
+    }
+
+    #[test]
+    fn graph_has_the_papers_seven_operators() {
+        let b = bench(Scale::Tiny);
+        let names: Vec<&str> = b.graph.operators.iter().map(|o| o.name.as_str()).collect();
+        assert_eq!(
+            names,
+            ["unpack", "grad_xy", "grad_z", "weight_y", "tensor_y", "tensor_x", "flow_calc"]
+        );
+    }
+}

@@ -1,0 +1,314 @@
+//! 3D rendering: projection → rasterization → Z-buffer (paper Sec. 7.2).
+//!
+//! "A simple triangle rendering pipeline that includes projection to a 2D
+//! viewpoint, rasterization, and Z-buffering. We decomposed by the pipeline
+//! stages." One input item is a frame of `N` triangles with 16-bit
+//! coordinates; the output is the `W×H` depth buffer.
+
+use dfg::{Graph, GraphBuilder, Target};
+use kir::types::Value;
+use kir::{Expr, Kernel, KernelBuilder, Scalar, Stmt};
+
+use crate::util::{rng, word};
+use crate::{Bench, Scale};
+use rand::Rng;
+
+/// Depth value of an uncovered pixel (the Z-buffer clear value).
+pub const Z_CLEAR: u32 = 0x00ff_ffff;
+/// Depth emitted for fragments outside their triangle (never wins).
+pub const Z_EMPTY: u32 = 0xffff_ffff;
+/// Rasterizer window edge (fragments per triangle = WINDOW²).
+pub const WINDOW: i64 = 8;
+
+/// Frame geometry per scale: (triangles, width, height).
+pub fn dims(scale: Scale) -> (i64, i64, i64) {
+    match scale {
+        Scale::Tiny => (4, 16, 16),
+        Scale::Small => (16, 32, 32),
+        Scale::Medium => (64, 32, 32),
+    }
+}
+
+fn i32s() -> Scalar {
+    Scalar::int(32)
+}
+
+/// Projection: drop the per-vertex depth to a face depth.
+///
+/// In: 9 words per triangle (x,y,z × 3). Out: 7 words (x,y × 3, z̄).
+fn projection_kernel(n_tri: i64) -> Kernel {
+    let mut b = KernelBuilder::new("projection")
+        .input("in", Scalar::uint(32))
+        .output("out", Scalar::uint(32));
+    for v in ["x0", "y0", "z0", "x1", "y1", "z1", "x2", "y2", "z2"] {
+        b = b.local(v, i32s());
+    }
+    b.body([Stmt::for_pipelined(
+        "t",
+        0..n_tri,
+        [
+            Stmt::read("x0", "in"),
+            Stmt::read("y0", "in"),
+            Stmt::read("z0", "in"),
+            Stmt::read("x1", "in"),
+            Stmt::read("y1", "in"),
+            Stmt::read("z1", "in"),
+            Stmt::read("x2", "in"),
+            Stmt::read("y2", "in"),
+            Stmt::read("z2", "in"),
+            Stmt::write("out", Expr::var("x0")),
+            Stmt::write("out", Expr::var("y0")),
+            Stmt::write("out", Expr::var("x1")),
+            Stmt::write("out", Expr::var("y1")),
+            Stmt::write("out", Expr::var("x2")),
+            Stmt::write("out", Expr::var("y2")),
+            Stmt::write(
+                "out",
+                Expr::var("z0").add(Expr::var("z1")).add(Expr::var("z2")).div(Expr::cint(3)),
+            ),
+        ],
+    )])
+    .build()
+    .expect("projection kernel is well-formed")
+}
+
+/// Rasterization over an 8×8 window anchored at the triangle's bbox min.
+///
+/// In: 7 words per triangle. Out: 2 words per window pixel (pos, z).
+fn raster_kernel(n_tri: i64, w: i64, h: i64) -> Kernel {
+    let v = Expr::var;
+    let c = Expr::cint;
+    let mut b = KernelBuilder::new("rasterization")
+        .input("in", Scalar::uint(32))
+        .output("out", Scalar::uint(32));
+    for name in [
+        "x0", "y0", "x1", "y1", "x2", "y2", "z", "minx", "miny", "x", "y", "e0", "e1", "e2",
+        "area", "inside",
+    ] {
+        b = b.local(name, i32s());
+    }
+    // Edge function e(a,b,p) = (bx-ax)*(py-ay) - (by-ay)*(px-ax)
+    let edge = |ax: &'static str, ay: &'static str, bx: &'static str, by: &'static str| {
+        v(bx).sub(v(ax))
+            .mul(v("y").sub(v(ay)))
+            .sub(v(by).sub(v(ay)).mul(v("x").sub(v(ax))))
+            .cast(i32s())
+    };
+    let per_pixel = vec![
+        Stmt::assign("x", v("minx").add(v("px"))),
+        Stmt::assign("y", v("miny").add(v("py"))),
+        Stmt::assign("e0", edge("x0", "y0", "x1", "y1")),
+        Stmt::assign("e1", edge("x1", "y1", "x2", "y2")),
+        Stmt::assign("e2", edge("x2", "y2", "x0", "y0")),
+        // Orient consistently: flip signs when the triangle is clockwise.
+        Stmt::if_then(
+            v("area").lt(c(0)),
+            [
+                Stmt::assign("e0", v("e0").neg()),
+                Stmt::assign("e1", v("e1").neg()),
+                Stmt::assign("e2", v("e2").neg()),
+            ],
+        ),
+        Stmt::assign(
+            "inside",
+            v("e0").ge(c(0))
+                .land(v("e1").ge(c(0)))
+                .land(v("e2").ge(c(0)))
+                .land(v("x").lt(c(w)))
+                .land(v("y").lt(c(h)))
+                .land(v("area").ne(c(0)))
+                .cast(i32s()),
+        ),
+        // pos is always in range (clamped by the inside test's w/h guard;
+        // outside pixels carry pos 0 with a losing depth).
+        Stmt::write(
+            "out",
+            v("inside").select(v("y").mul(c(w)).add(v("x")), c(0)).cast(Scalar::uint(32)),
+        ),
+        Stmt::write(
+            "out",
+            v("inside").select(v("z"), Expr::cint_ty(Z_EMPTY as i128, Scalar::uint(32)))
+                .cast(Scalar::uint(32)),
+        ),
+    ];
+    b.body([Stmt::for_loop(
+        "t",
+        0..n_tri,
+        [
+            Stmt::read("x0", "in"),
+            Stmt::read("y0", "in"),
+            Stmt::read("x1", "in"),
+            Stmt::read("y1", "in"),
+            Stmt::read("x2", "in"),
+            Stmt::read("y2", "in"),
+            Stmt::read("z", "in"),
+            Stmt::assign("minx", v("x0").min(v("x1")).min(v("x2"))),
+            Stmt::assign("miny", v("y0").min(v("y1")).min(v("y2"))),
+            Stmt::assign(
+                "area",
+                v("x1").sub(v("x0"))
+                    .mul(v("y2").sub(v("y0")))
+                    .sub(v("y1").sub(v("y0")).mul(v("x2").sub(v("x0"))))
+                    .cast(i32s()),
+            ),
+            Stmt::for_loop("py", 0..WINDOW, [Stmt::for_pipelined("px", 0..WINDOW, per_pixel)]),
+        ],
+    )])
+    .build()
+    .expect("rasterization kernel is well-formed")
+}
+
+/// Builds the rendering graph for `n_tri` triangles on a `w×h` frame.
+pub fn graph(n_tri: i64, w: i64, h: i64) -> Graph {
+    let mut b = GraphBuilder::new("rendering");
+    let proj = b.add("projection", projection_kernel(n_tri), Target::hw_auto());
+    let rast = b.add("rasterization", raster_kernel(n_tri, w, h), Target::hw_auto());
+    let zbuf = b.add("zbuffer", zbuffer_kernel(n_tri, w, h), Target::hw_auto());
+    b.ext_input("Input_1", proj, "in");
+    b.connect("proj2rast", proj, "out", rast, "in");
+    b.connect("rast2zbuf", rast, "out", zbuf, "in");
+    b.ext_output("Output_1", zbuf, "out");
+    b.build().expect("rendering graph is well-formed")
+}
+
+/// Z-buffering: depth test into a `W×H` frame, then frame output.
+///
+/// In: 2 words per fragment. Out: the `w*h`-word depth frame.
+fn zbuffer_kernel(n_tri: i64, w: i64, h: i64) -> Kernel {
+    let v = Expr::var;
+    let frags = WINDOW * WINDOW;
+    KernelBuilder::new("zbuffer")
+        .input("in", Scalar::uint(32))
+        .output("out", Scalar::uint(32))
+        .local("pos", i32s())
+        .local("z", Scalar::uint(32))
+        .array("zbuf", Scalar::uint(32), (w * h) as u64)
+        .body([
+            Stmt::for_pipelined(
+                "i",
+                0..w * h,
+                [Stmt::store("zbuf", v("i"), Expr::cint_ty(Z_CLEAR as i128, Scalar::uint(32)))],
+            ),
+            Stmt::for_loop(
+                "t",
+                0..n_tri,
+                [Stmt::for_pipelined(
+                    "p",
+                    0..frags,
+                    [
+                        Stmt::read("pos", "in"),
+                        Stmt::read("z", "in"),
+                        Stmt::if_then(
+                            v("z").lt(Expr::index("zbuf", v("pos"))),
+                            [Stmt::store("zbuf", v("pos"), v("z"))],
+                        ),
+                    ],
+                )],
+            ),
+            Stmt::for_pipelined("i", 0..w * h, [Stmt::write("out", Expr::index("zbuf", v("i")))]),
+        ])
+        .build()
+        .expect("zbuffer kernel is well-formed")
+}
+
+/// Generates a random frame of triangles (9 words each).
+pub fn workload(seed: u64, n_tri: i64, w: i64, h: i64) -> Vec<Value> {
+    let mut r = rng(seed);
+    let mut out = Vec::with_capacity(n_tri as usize * 9);
+    for _ in 0..n_tri {
+        // Anchor plus small extents keeps bboxes within the 8×8 window.
+        let ax = r.gen_range(0..w - WINDOW) as u32;
+        let ay = r.gen_range(0..h - WINDOW) as u32;
+        for _ in 0..3 {
+            out.push(word(ax + r.gen_range(0..WINDOW as u32)));
+            out.push(word(ay + r.gen_range(0..WINDOW as u32)));
+            out.push(word(r.gen_range(1..Z_CLEAR / 2)));
+        }
+    }
+    out
+}
+
+/// Independent plain-Rust golden model of the whole pipeline.
+pub fn golden(input_words: &[u32], n_tri: i64, w: i64, h: i64) -> Vec<u32> {
+    let mut zbuf = vec![Z_CLEAR; (w * h) as usize];
+    for t in 0..n_tri as usize {
+        let tri = &input_words[t * 9..t * 9 + 9];
+        let (x0, y0, z0) = (tri[0] as i64, tri[1] as i64, tri[2] as i64);
+        let (x1, y1, z1) = (tri[3] as i64, tri[4] as i64, tri[5] as i64);
+        let (x2, y2, z2) = (tri[6] as i64, tri[7] as i64, tri[8] as i64);
+        let z = ((z0 + z1 + z2) / 3) as u32;
+        let minx = x0.min(x1).min(x2);
+        let miny = y0.min(y1).min(y2);
+        let area = (x1 - x0) * (y2 - y0) - (y1 - y0) * (x2 - x0);
+        for py in 0..WINDOW {
+            for px in 0..WINDOW {
+                let (x, y) = (minx + px, miny + py);
+                let mut e0 = (x1 - x0) * (y - y0) - (y1 - y0) * (x - x0);
+                let mut e1 = (x2 - x1) * (y - y1) - (y2 - y1) * (x - x1);
+                let mut e2 = (x0 - x2) * (y - y2) - (y0 - y2) * (x - x2);
+                if area < 0 {
+                    e0 = -e0;
+                    e1 = -e1;
+                    e2 = -e2;
+                }
+                let inside =
+                    e0 >= 0 && e1 >= 0 && e2 >= 0 && x < w && y < h && area != 0;
+                if inside {
+                    let pos = (y * w + x) as usize;
+                    if z < zbuf[pos] {
+                        zbuf[pos] = z;
+                    }
+                }
+            }
+        }
+    }
+    zbuf
+}
+
+/// Builds the benchmark at a scale.
+pub fn bench(scale: Scale) -> Bench {
+    let (n, w, h) = dims(scale);
+    Bench {
+        name: "3D Rendering",
+        graph: graph(n, w, h),
+        inputs: vec![("Input_1".into(), workload(0x3d, n, w, h))],
+        items: 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::util::unwords;
+
+    #[test]
+    fn matches_independent_golden_model() {
+        let (n, w, h) = dims(Scale::Tiny);
+        let b = bench(Scale::Tiny);
+        let input = unwords(&b.inputs[0].1);
+        let out = b.run_functional();
+        let got = unwords(&out["Output_1"]);
+        assert_eq!(got, golden(&input, n, w, h));
+    }
+
+    #[test]
+    fn some_pixels_are_covered() {
+        let b = bench(Scale::Tiny);
+        let out = b.run_functional();
+        let frame = unwords(&out["Output_1"]);
+        let covered = frame.iter().filter(|&&z| z != Z_CLEAR).count();
+        assert!(covered > 0, "workload must rasterize something");
+        assert!(covered < frame.len(), "and not everything");
+    }
+
+    #[test]
+    fn token_counts_are_static() {
+        let (n, w, h) = dims(Scale::Tiny);
+        let b = bench(Scale::Tiny);
+        let (_, stats) = dfg::run_graph(&b.graph, &b.input_refs()).unwrap();
+        // proj->rast carries 7 words/tri; rast->zbuf 2 per window pixel.
+        assert_eq!(stats.edge_tokens[0], n as u64 * 7);
+        assert_eq!(stats.edge_tokens[1], n as u64 * (WINDOW * WINDOW) as u64 * 2);
+        let _ = (w, h);
+    }
+}

@@ -1,0 +1,215 @@
+//! SPAM filtering: scatter → parallel dot products → reduce (paper Sec. 7.2).
+//!
+//! "A classification task that identifies the likelihood of SPAM based on a
+//! set of feature vectors. We decomposed the data-parallel feature vectors
+//! into separate dot product operators and provided operators for
+//! decomposition and data reduce."
+//!
+//! One input item is an email: `F` signed 16-bit feature values (one per
+//! word). The scatter operator splits the vector across `P` dot-product
+//! lanes, each holding its slice of the logistic-regression weight vector in
+//! ROM; the reduce operator sums the partial products and thresholds.
+
+use dfg::{Graph, GraphBuilder, Target};
+use kir::types::Value;
+use kir::{Expr, Kernel, KernelBuilder, Scalar, Stmt};
+
+use crate::util::{rng, word};
+use crate::{Bench, Scale};
+use rand::Rng;
+
+/// Fixed-point scaling shift applied to each product (weights are Q8).
+pub const WEIGHT_SHIFT: i64 = 8;
+
+/// Suite shape per scale: (features, lanes, emails).
+pub fn dims(scale: Scale) -> (i64, usize, i64) {
+    match scale {
+        Scale::Tiny => (32, 4, 4),
+        Scale::Small => (64, 4, 16),
+        Scale::Medium => (128, 8, 32),
+    }
+}
+
+fn i32s() -> Scalar {
+    Scalar::int(32)
+}
+
+/// The logistic-regression weight vector, deterministic per seed.
+pub fn weights(seed: u64, features: i64) -> Vec<i32> {
+    let mut r = rng(seed);
+    (0..features).map(|_| r.gen_range(-256..=256)).collect()
+}
+
+/// Scatter: split each email's feature vector across `lanes` outputs.
+fn scatter_kernel(features: i64, lanes: usize, emails: i64) -> Kernel {
+    let chunk = features / lanes as i64;
+    let mut b = KernelBuilder::new("scatter").input("in", i32s()).local("x", i32s());
+    for l in 0..lanes {
+        b = b.output(format!("o{l}"), i32s());
+    }
+    let mut body = Vec::new();
+    for l in 0..lanes {
+        body.push(Stmt::for_pipelined(
+            format!("i{l}"),
+            0..chunk,
+            [Stmt::read("x", "in"), Stmt::write(format!("o{l}"), Expr::var("x"))],
+        ));
+    }
+    b.body([Stmt::for_loop("e", 0..emails, body)])
+        .build()
+        .expect("scatter kernel is well-formed")
+}
+
+/// One dot-product lane over its weight slice.
+fn dot_kernel(name: &str, lane_weights: &[i32], emails: i64) -> Kernel {
+    let v = Expr::var;
+    let chunk = lane_weights.len() as i64;
+    let rom: Vec<u128> = lane_weights.iter().map(|&w| (w as u32) as u128).collect();
+    KernelBuilder::new(name)
+        .input("in", i32s())
+        .output("out", i32s())
+        .local("x", i32s())
+        .local("acc", i32s())
+        .array_init("w", i32s(), rom)
+        .body([Stmt::for_loop(
+            "e",
+            0..emails,
+            [
+                Stmt::assign("acc", Expr::cint(0)),
+                Stmt::for_pipelined(
+                    "i",
+                    0..chunk,
+                    [
+                        Stmt::read("x", "in"),
+                        Stmt::assign(
+                            "acc",
+                            v("acc").add(
+                                v("x").mul(Expr::index("w", v("i")))
+                                    .shr(Expr::cint(WEIGHT_SHIFT))
+                                    .cast(i32s()),
+                            ),
+                        ),
+                    ],
+                ),
+                Stmt::write("out", v("acc")),
+            ],
+        )])
+        .build()
+        .expect("dot kernel is well-formed")
+}
+
+/// Reduce: sum the lane partials and threshold into a spam flag.
+fn reduce_kernel(lanes: usize, emails: i64) -> Kernel {
+    let v = Expr::var;
+    let mut b = KernelBuilder::new("reduce")
+        .output("out", i32s())
+        .local("sum", i32s())
+        .local("p", i32s());
+    for l in 0..lanes {
+        b = b.input(format!("i{l}"), i32s());
+    }
+    let mut body = vec![Stmt::assign("sum", Expr::cint(0))];
+    for l in 0..lanes {
+        body.push(Stmt::read("p", format!("i{l}")));
+        body.push(Stmt::assign("sum", v("sum").add(v("p"))));
+    }
+    body.push(Stmt::write("out", v("sum").gt(Expr::cint(0)).cast(i32s())));
+    body.push(Stmt::write("out", v("sum")));
+    b.body([Stmt::for_loop("e", 0..emails, body)])
+        .build()
+        .expect("reduce kernel is well-formed")
+}
+
+/// Builds the spam-filter graph.
+pub fn graph(features: i64, lanes: usize, emails: i64, seed: u64) -> Graph {
+    assert!(features % lanes as i64 == 0, "features must divide across lanes");
+    let w = weights(seed, features);
+    let chunk = (features / lanes as i64) as usize;
+    let mut b = GraphBuilder::new("spam_filter");
+    let scatter = b.add("scatter", scatter_kernel(features, lanes, emails), Target::hw_auto());
+    let reduce = b.add("reduce", reduce_kernel(lanes, emails), Target::hw_auto());
+    b.ext_input("Input_1", scatter, "in");
+    for l in 0..lanes {
+        let dot = b.add(
+            format!("dot_{l}"),
+            dot_kernel(&format!("dot_{l}"), &w[l * chunk..(l + 1) * chunk], emails),
+            Target::hw_auto(),
+        );
+        b.connect(format!("s2d{l}"), scatter, &format!("o{l}"), dot, "in");
+        b.connect(format!("d2r{l}"), dot, "out", reduce, &format!("i{l}"));
+    }
+    b.ext_output("Output_1", reduce, "out");
+    b.build().expect("spam graph is well-formed")
+}
+
+/// Generates emails: `features` signed feature words per email.
+pub fn workload(seed: u64, features: i64, emails: i64) -> Vec<Value> {
+    let mut r = rng(seed ^ 0x59a3);
+    (0..features * emails).map(|_| word(r.gen_range(-128..=128i32) as u32)).collect()
+}
+
+/// Independent golden model: per email, `(flag, score)`.
+pub fn golden(input_words: &[u32], w: &[i32], features: i64) -> Vec<(u32, i32)> {
+    input_words
+        .chunks(features as usize)
+        .map(|email| {
+            let sum: i32 = email
+                .iter()
+                .zip(w)
+                .map(|(&f, &wt)| ((f as i32).wrapping_mul(wt)) >> WEIGHT_SHIFT)
+                .sum();
+            ((sum > 0) as u32, sum)
+        })
+        .collect()
+}
+
+/// Builds the benchmark at a scale.
+pub fn bench(scale: Scale) -> Bench {
+    let (features, lanes, emails) = dims(scale);
+    Bench {
+        name: "Spam Filter",
+        graph: graph(features, lanes, emails, 0x59a3f),
+        inputs: vec![("Input_1".into(), workload(2, features, emails))],
+        items: emails as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::util::unwords;
+
+    #[test]
+    fn matches_independent_dot_products() {
+        let (features, _lanes, emails) = dims(Scale::Tiny);
+        let b = bench(Scale::Tiny);
+        let out = b.run_functional();
+        let got = unwords(&out["Output_1"]);
+        let want = golden(&unwords(&b.inputs[0].1), &weights(0x59a3f, features), features);
+        assert_eq!(got.len(), emails as usize * 2);
+        for (e, (flag, score)) in want.iter().enumerate() {
+            assert_eq!(got[e * 2], *flag, "email {e} flag");
+            assert_eq!(got[e * 2 + 1] as i32, *score, "email {e} score");
+        }
+    }
+
+    #[test]
+    fn lane_decomposition_is_data_parallel() {
+        let b = bench(Scale::Tiny);
+        let (_, stats) = dfg::run_graph(&b.graph, &b.input_refs()).unwrap();
+        let (features, lanes, emails) = dims(Scale::Tiny);
+        let chunk = features as u64 / lanes as u64;
+        // scatter->dot edges carry chunk words per email; dot->reduce 1.
+        let mut s2d = 0;
+        let mut d2r = 0;
+        for &t in &stats.edge_tokens {
+            if t == chunk * emails as u64 {
+                s2d += 1;
+            } else if t == emails as u64 {
+                d2r += 1;
+            }
+        }
+        assert_eq!(s2d, lanes);
+        assert_eq!(d2r, lanes);
+    }
+}

@@ -1,0 +1,50 @@
+//! Shared helpers for benchmark construction.
+
+use aplib::DynInt;
+use kir::types::Value;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Wraps a `u32` word as a stream value.
+pub fn word(w: u32) -> Value {
+    Value::Int(DynInt::from_raw(32, false, w as u128))
+}
+
+/// Wraps a stream of `u32` words.
+pub fn words(ws: impl IntoIterator<Item = u32>) -> Vec<Value> {
+    ws.into_iter().map(word).collect()
+}
+
+/// Unwraps a value stream back to `u32` words.
+pub fn unwords(vs: &[Value]) -> Vec<u32> {
+    vs.iter().map(|v| v.raw() as u32).collect()
+}
+
+/// A deterministic RNG for workload generation.
+pub fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// `n` random words below `bound`.
+pub fn random_words(seed: u64, n: usize, bound: u32) -> Vec<u32> {
+    let mut r = rng(seed);
+    (0..n).map(|_| r.gen_range(0..bound)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn word_roundtrip() {
+        let vs = words([1, 2, 0xffff_ffff]);
+        assert_eq!(unwords(&vs), vec![1, 2, 0xffff_ffff]);
+    }
+
+    #[test]
+    fn random_is_seeded() {
+        assert_eq!(random_words(7, 16, 100), random_words(7, 16, 100));
+        assert_ne!(random_words(7, 16, 100), random_words(8, 16, 100));
+        assert!(random_words(7, 64, 10).iter().all(|&w| w < 10));
+    }
+}

