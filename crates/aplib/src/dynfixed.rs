@@ -165,7 +165,11 @@ impl DynFixed {
         let int = self.int_bits.max(rhs.int_bits) + 1;
         let frac = self.frac_bits().max(rhs.frac_bits());
         let signed = self.signed || rhs.signed;
-        (((int + frac).max(1) as u32).min(crate::MAX_WIDTH), int, signed)
+        (
+            ((int + frac).max(1) as u32).min(crate::MAX_WIDTH),
+            int,
+            signed,
+        )
     }
 
     fn align(&self, frac: i32) -> i128 {
@@ -181,14 +185,24 @@ impl DynFixed {
     pub fn add(self, rhs: DynFixed) -> DynFixed {
         let (w, i, s) = self.add_shape(&rhs);
         let frac = w as i32 - i;
-        DynFixed::from_raw(w, i, s, self.align(frac).wrapping_add(rhs.align(frac)) as u128)
+        DynFixed::from_raw(
+            w,
+            i,
+            s,
+            self.align(frac).wrapping_add(rhs.align(frac)) as u128,
+        )
     }
 
     /// Full-precision subtraction.
     pub fn sub(self, rhs: DynFixed) -> DynFixed {
         let (w, i, s) = self.add_shape(&rhs);
         let frac = w as i32 - i;
-        DynFixed::from_raw(w, i, s, self.align(frac).wrapping_sub(rhs.align(frac)) as u128)
+        DynFixed::from_raw(
+            w,
+            i,
+            s,
+            self.align(frac).wrapping_sub(rhs.align(frac)) as u128,
+        )
     }
 
     /// Full-precision multiplication (`W = W1+W2`, `I = I1+I2`, capped at
@@ -201,7 +215,11 @@ impl DynFixed {
         let product = self.scaled().wrapping_mul(rhs.scaled());
         let result_frac = w as i32 - int;
         let adjust = frac - result_frac;
-        let v = if adjust > 0 { product >> adjust.min(127) as u32 } else { product };
+        let v = if adjust > 0 {
+            product >> adjust.min(127) as u32
+        } else {
+            product
+        };
         DynFixed::from_raw(w, int, signed, v as u128)
     }
 
@@ -222,12 +240,22 @@ impl DynFixed {
             num >>= (-pre).min(127) as u32;
         }
         let q = num.wrapping_div(rhs.scaled());
-        DynFixed::from_raw(self.width, self.int_bits, self.signed || rhs.signed, q as u128)
+        DynFixed::from_raw(
+            self.width,
+            self.int_bits,
+            self.signed || rhs.signed,
+            q as u128,
+        )
     }
 
     /// Arithmetic negation at the value's own shape.
     pub fn neg(self) -> DynFixed {
-        DynFixed::from_raw(self.width, self.int_bits, self.signed, (!self.raw).wrapping_add(1))
+        DynFixed::from_raw(
+            self.width,
+            self.int_bits,
+            self.signed,
+            (!self.raw).wrapping_add(1),
+        )
     }
 
     /// Numeric comparison (operands may have different shapes).
@@ -240,7 +268,14 @@ impl DynFixed {
 impl fmt::Debug for DynFixed {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let kind = if self.signed { "fixed" } else { "ufixed" };
-        write!(f, "ap_{}<{},{}>({})", kind, self.width, self.int_bits, self.to_f64())
+        write!(
+            f,
+            "ap_{}<{},{}>({})",
+            kind,
+            self.width,
+            self.int_bits,
+            self.to_f64()
+        )
     }
 }
 

@@ -233,7 +233,11 @@ impl DynInt {
     /// Shift right: arithmetic for signed values, logical for unsigned.
     pub fn shr(self, amount: u32) -> DynInt {
         if amount >= self.width {
-            let fill = if self.signed && self.top_bit() { u128::MAX } else { 0 };
+            let fill = if self.signed && self.top_bit() {
+                u128::MAX
+            } else {
+                0
+            };
             return DynInt::from_raw(self.width, self.signed, fill);
         }
         let v = if self.signed {
@@ -252,7 +256,11 @@ impl DynInt {
     /// Panics if `hi < lo` or `hi` is outside the value's width.
     pub fn bit_range(&self, hi: u32, lo: u32) -> DynInt {
         assert!(hi >= lo, "bit range [{hi}:{lo}] is reversed");
-        assert!(hi < self.width, "bit {hi} out of range for width {}", self.width);
+        assert!(
+            hi < self.width,
+            "bit {hi} out of range for width {}",
+            self.width
+        );
         let w = hi - lo + 1;
         DynInt::from_raw(w, false, self.raw >> lo)
     }
@@ -263,7 +271,11 @@ impl DynInt {
     ///
     /// Panics if `index` is outside the value's width.
     pub fn bit(&self, index: u32) -> bool {
-        assert!(index < self.width, "bit {index} out of range for width {}", self.width);
+        assert!(
+            index < self.width,
+            "bit {index} out of range for width {}",
+            self.width
+        );
         (self.raw >> index) & 1 == 1
     }
 
@@ -274,7 +286,11 @@ impl DynInt {
     /// Panics if `hi < lo` or `hi` is outside the value's width.
     pub fn with_bit_range(&self, hi: u32, lo: u32, value: u128) -> DynInt {
         assert!(hi >= lo, "bit range [{hi}:{lo}] is reversed");
-        assert!(hi < self.width, "bit {hi} out of range for width {}", self.width);
+        assert!(
+            hi < self.width,
+            "bit {hi} out of range for width {}",
+            self.width
+        );
         let w = hi - lo + 1;
         let field_mask = mask(w) << lo;
         let raw = (self.raw & !field_mask) | ((value & mask(w)) << lo);

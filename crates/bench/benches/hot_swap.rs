@@ -1,0 +1,139 @@
+//! Micro-benchmark: single-page hot-swap vs full-app reload under the
+//! multi-tenant runtime (the Sec. 9 serving story).
+//!
+//! Two costs are compared. The *virtual* downtime — what the device model
+//! charges for reloading one page and re-sending its config packets versus
+//! replaying every LoadOp of the app — is printed once up front. The
+//! Criterion timings then measure the *host-side* cost of performing each
+//! operation (recompile-one-operator + swap vs evict + re-admit).
+//!
+//! `cargo bench -p pld-bench --bench hot_swap`
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dfg::{Graph, GraphBuilder, Target};
+use fabric::Floorplan;
+use kir::{Expr, KernelBuilder, Scalar, Stmt};
+use pld::{BuildCache, CompileOptions, OptLevel};
+use pld_runtime::Runtime;
+
+const N_OPS: usize = 4;
+
+fn stage(name: &str, addend: i64) -> kir::Kernel {
+    KernelBuilder::new(name)
+        .input("in", Scalar::uint(32))
+        .output("out", Scalar::uint(32))
+        .local("x", Scalar::uint(32))
+        .body([Stmt::for_pipelined(
+            "i",
+            0..8,
+            [
+                Stmt::read("x", "in"),
+                Stmt::write("out", Expr::var("x").add(Expr::cint(addend))),
+            ],
+        )])
+        .build()
+        .expect("kernel is well-formed")
+}
+
+/// A linear softcore pipeline; optionally pin the last operator to `pin`
+/// (the one-pragma edit whose swap touches exactly one page).
+fn pipeline(pin_last: Option<u32>) -> Graph {
+    let mut b = GraphBuilder::new("pipe");
+    let ids: Vec<_> = (0..N_OPS)
+        .map(|i| {
+            let target = match pin_last {
+                Some(p) if i == N_OPS - 1 => Target::riscv(p),
+                _ => Target::riscv_auto(),
+            };
+            b.add(
+                format!("s{i}"),
+                stage(&format!("s{i}"), i as i64 + 1),
+                target,
+            )
+        })
+        .collect();
+    b.ext_input("Input_1", ids[0], "in");
+    for (i, w) in ids.windows(2).enumerate() {
+        b.connect(format!("l{i}"), w[0], "out", w[1], "in");
+    }
+    b.ext_output("Output_1", ids[N_OPS - 1], "out");
+    b.build().expect("graph is well-formed")
+}
+
+/// A free page the auto assignment did not use, to pin the edit onto.
+fn spare_page(app: &pld::CompiledApp) -> u32 {
+    let homes: Vec<u32> = app
+        .operators
+        .iter()
+        .filter_map(|o| o.page.map(|p| p.0))
+        .collect();
+    (0..Floorplan::u50().pages.len() as u32)
+        .rev()
+        .find(|p| !homes.contains(p))
+        .expect("a 4-op app leaves spare pages")
+}
+
+fn bench_hot_swap(c: &mut Criterion) {
+    let opts = CompileOptions::new(OptLevel::O0);
+
+    // One-shot: print the device model's downtime verdict.
+    {
+        let mut cache = BuildCache::new();
+        let app = cache.compile(&pipeline(None), &opts).expect("compiles");
+        let spare = spare_page(&app);
+        let mut rt = Runtime::new(Floorplan::u50());
+        let id = rt.submit("pipe", app).expect("queue empty");
+        rt.poll();
+        let report = rt
+            .hot_swap(id, &pipeline(Some(spare)), &mut cache, &opts)
+            .expect("swap succeeds");
+        println!(
+            "virtual downtime: hot swap {:.2} us ({} page, {} packets) vs full reload {:.2} us ({:.1}x)",
+            report.downtime_seconds * 1e6,
+            report.swapped_pages.len(),
+            report.link_packets,
+            report.full_reload_seconds * 1e6,
+            report.full_reload_seconds / report.downtime_seconds.max(1e-12)
+        );
+    }
+
+    let mut group = c.benchmark_group("hot_swap_vs_reload");
+    group.sample_size(10);
+
+    group.bench_function("hot_swap_one_page", |b| {
+        let mut cache = BuildCache::new();
+        let app = cache.compile(&pipeline(None), &opts).expect("compiles");
+        let spare = spare_page(&app);
+        let mut rt = Runtime::new(Floorplan::u50());
+        let id = rt.submit("pipe", app).expect("queue empty");
+        rt.poll();
+        let (home, pinned) = (pipeline(None), pipeline(Some(spare)));
+        let mut flip = false;
+        b.iter(|| {
+            // Alternate pin <-> auto: every swap recompiles exactly one
+            // operator and reloads exactly one page.
+            flip = !flip;
+            let g = if flip { &pinned } else { &home };
+            rt.hot_swap(id, g, &mut cache, &opts)
+                .expect("swap succeeds")
+        })
+    });
+
+    group.bench_function("full_app_reload", |b| {
+        let mut cache = BuildCache::new();
+        let app = cache.compile(&pipeline(None), &opts).expect("compiles");
+        let mut rt = Runtime::new(Floorplan::u50());
+        let mut id = rt.submit("pipe", app.clone()).expect("queue empty");
+        rt.poll();
+        b.iter(|| {
+            rt.evict(id).expect("resident");
+            id = rt.submit("pipe", app.clone()).expect("queue empty");
+            rt.poll()
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_hot_swap);
+criterion_main!(benches);

@@ -31,7 +31,11 @@ fn pipeline(n: usize, edited: Option<usize>) -> Graph {
     let ids: Vec<_> = (0..n)
         .map(|i| {
             let addend = if Some(i) == edited { 999 } else { i as i64 };
-            b.add(format!("op{i}"), stage(&format!("op{i}"), addend), Target::hw(i as u32))
+            b.add(
+                format!("op{i}"),
+                stage(&format!("op{i}"), addend),
+                Target::hw(i as u32),
+            )
         })
         .collect();
     b.ext_input("Input_1", ids[0], "in");
@@ -50,19 +54,27 @@ fn bench_rebuild(c: &mut Criterion) {
             let g = pipeline(n, None);
             b.iter(|| {
                 let mut cache = BuildCache::new();
-                cache.compile(&g, &CompileOptions::new(OptLevel::O1)).expect("compiles")
+                cache
+                    .compile(&g, &CompileOptions::new(OptLevel::O1))
+                    .expect("compiles")
             })
         });
         group.bench_with_input(BenchmarkId::new("edit_one", n), &n, |b, &n| {
             let g1 = pipeline(n, None);
             let g2 = pipeline(n, Some(n / 2));
             let mut cache = BuildCache::new();
-            cache.compile(&g1, &CompileOptions::new(OptLevel::O1)).expect("warm");
+            cache
+                .compile(&g1, &CompileOptions::new(OptLevel::O1))
+                .expect("warm");
             b.iter(|| {
                 // Alternate between the two versions: each build recompiles
                 // exactly the one operator that differs.
-                cache.compile(&g2, &CompileOptions::new(OptLevel::O1)).expect("incr");
-                cache.compile(&g1, &CompileOptions::new(OptLevel::O1)).expect("incr")
+                cache
+                    .compile(&g2, &CompileOptions::new(OptLevel::O1))
+                    .expect("incr");
+                cache
+                    .compile(&g1, &CompileOptions::new(OptLevel::O1))
+                    .expect("incr")
             })
         });
     }

@@ -14,7 +14,14 @@ fn bench_throughput(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(name), &dest, |b, &dest| {
             b.iter(|| {
                 let mut net = BftNoc::new(32, 1, 64);
-                net.set_dest(0, 0, PortAddr { leaf: dest, port: 0 });
+                net.set_dest(
+                    0,
+                    0,
+                    PortAddr {
+                        leaf: dest,
+                        port: 0,
+                    },
+                );
                 let mut sent = 0u32;
                 while net.stats().delivered < 1000 {
                     if sent < 1000 && net.inject(0, 0, sent).is_ok() {
@@ -57,8 +64,16 @@ fn bench_relink(c: &mut Criterion) {
         b.iter(|| {
             let mut net = BftNoc::new(24, 2, 64);
             for page in 0..22u16 {
-                net.send_config(22, page, 0, PortAddr { leaf: (page + 1) % 22, port: 0 })
-                    .expect("config fits");
+                net.send_config(
+                    22,
+                    page,
+                    0,
+                    PortAddr {
+                        leaf: (page + 1) % 22,
+                        port: 0,
+                    },
+                )
+                .expect("config fits");
             }
             net.drain(10_000);
             assert_eq!(net.stats().config_writes, 22);

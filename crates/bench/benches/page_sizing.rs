@@ -27,7 +27,11 @@ fn bench_efficiency_model(c: &mut Criterion) {
     println!("\nEq. 1 efficiency at matched operators:");
     for size in [2_000u64, 4_500, 9_000, 18_000, 36_000, 72_000] {
         let ops = vec![size; 22];
-        println!("  {:>6} LUT pages: {:>5.1}%", size, page_efficiency(&ops, size, &params) * 100.0);
+        println!(
+            "  {:>6} LUT pages: {:>5.1}%",
+            size,
+            page_efficiency(&ops, size, &params) * 100.0
+        );
     }
     c.bench_function("eq1_model", |b| {
         let ops = vec![18_000u64; 22];
@@ -50,5 +54,9 @@ fn bench_page_height_compile_cost(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_efficiency_model, bench_page_height_compile_cost);
+criterion_group!(
+    benches,
+    bench_efficiency_model,
+    bench_page_height_compile_cost
+);
 criterion_main!(benches);

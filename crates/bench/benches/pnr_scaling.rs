@@ -54,9 +54,7 @@ fn bench_region_scaling(c: &mut Criterion) {
     ];
     for (name, rect) in regions {
         group.bench_with_input(BenchmarkId::from_parameter(name), &rect, |b, &rect| {
-            b.iter(|| {
-                place_and_route(&nl, &fp.device, rect, &PnrOptions::default()).expect("fits")
-            })
+            b.iter(|| place_and_route(&nl, &fp.device, rect, &PnrOptions::default()).expect("fits"))
         });
     }
     group.finish();
@@ -74,7 +72,10 @@ fn bench_abstract_shell(c: &mut Criterion) {
                     &nl,
                     &fp.device,
                     fp.pages[0].rect,
-                    &PnrOptions { abstract_shell: shell, ..Default::default() },
+                    &PnrOptions {
+                        abstract_shell: shell,
+                        ..Default::default()
+                    },
                 )
                 .expect("fits")
             })
@@ -83,5 +84,10 @@ fn bench_abstract_shell(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_size_scaling, bench_region_scaling, bench_abstract_shell);
+criterion_group!(
+    benches,
+    bench_size_scaling,
+    bench_region_scaling,
+    bench_abstract_shell
+);
 criterion_main!(benches);

@@ -60,7 +60,9 @@ fn fixed_kernel(n: i64) -> Kernel {
 fn bench_compile_speed(c: &mut Criterion) {
     // The -O0 promise: compiling an operator takes well under a second.
     let k = int_kernel(1024);
-    c.bench_function("riscv_compile_operator", |b| b.iter(|| compile_kernel(&k).expect("compiles")));
+    c.bench_function("riscv_compile_operator", |b| {
+        b.iter(|| compile_kernel(&k).expect("compiles"))
+    });
 }
 
 fn bench_execution(c: &mut Criterion) {

@@ -15,7 +15,10 @@ fn main() {
     let scale = scale_from_args();
 
     println!("Ablation 1: -O3 link style (stream FIFOs vs relay stations)\n");
-    println!("{:18} {:>10} {:>8} | {:>10} {:>8}", "benchmark", "FIFO LUT", "B18", "relay LUT", "B18");
+    println!(
+        "{:18} {:>10} {:>8} | {:>10} {:>8}",
+        "benchmark", "FIFO LUT", "B18", "relay LUT", "B18"
+    );
     for bench in suite(scale) {
         let fifo = compile(&bench.graph, &CompileOptions::new(OptLevel::O3)).expect("fifo");
         let relay = compile(
@@ -45,7 +48,10 @@ fn main() {
             // instead rely on the policy itself over the shared tree.
             let app = compile(
                 &bench.graph,
-                &CompileOptions { page_assign: policy, ..CompileOptions::new(OptLevel::O1) },
+                &CompileOptions {
+                    page_assign: policy,
+                    ..CompileOptions::new(OptLevel::O1)
+                },
             )
             .expect("compiles");
             let perf = execute::perf_o1(&app, &inputs).expect("cosim");
@@ -61,12 +67,18 @@ fn main() {
     println!();
 
     println!("Ablation 3: overlay granularity (22 coarse vs 44 fine pages), -O1 compile\n");
-    println!("{:18} {:>16} {:>16}", "benchmark", "coarse worst(s)", "fine worst(s)");
+    println!(
+        "{:18} {:>16} {:>16}",
+        "benchmark", "coarse worst(s)", "fine worst(s)"
+    );
     for bench in suite(scale) {
         let coarse = compile(&bench.graph, &CompileOptions::new(OptLevel::O1)).expect("coarse");
         let fine = compile(
             &bench.graph,
-            &CompileOptions { floorplan: Floorplan::u50_fine(), ..CompileOptions::new(OptLevel::O1) },
+            &CompileOptions {
+                floorplan: Floorplan::u50_fine(),
+                ..CompileOptions::new(OptLevel::O1)
+            },
         );
         match fine {
             Ok(fine) => println!(

@@ -27,7 +27,13 @@ fn retarget(graph: &dfg::Graph, soft_op: Option<&str>) -> dfg::Graph {
         b.ext_input(p.name.clone(), ids[p.op.0], &p.port);
     }
     for e in &graph.edges {
-        b.connect(e.name.clone(), ids[e.from.0 .0], &e.from.1, ids[e.to.0 .0], &e.to.1);
+        b.connect(
+            e.name.clone(),
+            ids[e.from.0 .0],
+            &e.from.1,
+            ids[e.to.0 .0],
+            &e.to.1,
+        );
     }
     for p in &graph.ext_outputs {
         b.ext_output(p.name.clone(), ids[p.op.0], &p.port);
@@ -47,14 +53,18 @@ fn main() {
         let inputs = bench.input_refs();
         // Baseline: everything on softcores.
         let all_soft = compile(&bench.graph, &CompileOptions::new(OptLevel::O0)).expect("-O0");
-        let base = execute::perf_o0(&all_soft, &inputs).expect("o0 perf").seconds_per_input;
+        let base = execute::perf_o0(&all_soft, &inputs)
+            .expect("o0 perf")
+            .seconds_per_input;
 
         let mut speedups = Vec::new();
         for op in &bench.graph.operators {
             let g = retarget(&bench.graph, Some(op.name.as_str()));
             let app = compile(&g, &CompileOptions::new(OptLevel::O1))
                 .unwrap_or_else(|e| panic!("{}/{}: {e}", bench.name, op.name));
-            let mixed = execute::perf_o1(&app, &inputs).expect("mixed cosim").seconds_per_input;
+            let mixed = execute::perf_o1(&app, &inputs)
+                .expect("mixed cosim")
+                .seconds_per_input;
             speedups.push(base / mixed);
         }
         speedups.sort_by(|a, b| a.partial_cmp(b).expect("finite"));

@@ -21,13 +21,28 @@ fn main() {
         let items = e.bench.items as f64;
         let o3_perf = execute::perf_o3(&e.o3).expect("o3").seconds_per_input / items;
         let rows = [
-            ("Vitis", e.o3.compile_seconds(),
-             execute::perf_vitis(&e.o3).expect("vitis").seconds_per_input / items),
+            (
+                "Vitis",
+                e.o3.compile_seconds(),
+                execute::perf_vitis(&e.o3).expect("vitis").seconds_per_input / items,
+            ),
             ("-O3", e.o3.compile_seconds(), o3_perf),
-            ("-O1", e.o1.compile_seconds(),
-             execute::perf_o1(&e.o1, &inputs).expect("o1").seconds_per_input / items),
-            ("-O0", e.o0.compile_seconds(),
-             execute::perf_o0(&e.o0, &inputs).expect("o0").seconds_per_input / items),
+            (
+                "-O1",
+                e.o1.compile_seconds(),
+                execute::perf_o1(&e.o1, &inputs)
+                    .expect("o1")
+                    .seconds_per_input
+                    / items,
+            ),
+            (
+                "-O0",
+                e.o0.compile_seconds(),
+                execute::perf_o0(&e.o0, &inputs)
+                    .expect("o0")
+                    .seconds_per_input
+                    / items,
+            ),
         ];
         for (name, compile_s, per_input) in rows {
             let norm = o3_perf / per_input; // 1.0 = -O3 performance
@@ -44,10 +59,14 @@ fn main() {
     let (w, h) = (64, 16);
     let xs: Vec<f64> = points.iter().map(|p| p.0.log10()).collect();
     let ys: Vec<f64> = points.iter().map(|p| p.1.log10()).collect();
-    let (x0, x1) = (xs.iter().cloned().fold(f64::INFINITY, f64::min),
-                    xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max));
-    let (y0, y1) = (ys.iter().cloned().fold(f64::INFINITY, f64::min),
-                    ys.iter().cloned().fold(f64::NEG_INFINITY, f64::max));
+    let (x0, x1) = (
+        xs.iter().cloned().fold(f64::INFINITY, f64::min),
+        xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+    );
+    let (y0, y1) = (
+        ys.iter().cloned().fold(f64::INFINITY, f64::min),
+        ys.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+    );
     let mut grid = vec![vec![' '; w]; h];
     for (x, y) in xs.iter().zip(&ys) {
         let cx = (((x - x0) / (x1 - x0).max(1e-9)) * (w as f64 - 1.0)) as usize;

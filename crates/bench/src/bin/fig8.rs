@@ -8,6 +8,9 @@ fn main() {
     println!("{}", fp.render());
     println!("infrastructure blocks:");
     for (name, rect) in &fp.infra {
-        println!("  {:16} at ({:2},{:2}) {}x{}", name, rect.x0, rect.y0, rect.w, rect.h);
+        println!(
+            "  {:16} at ({:2},{:2}) {}x{}",
+            name, rect.x0, rect.y0, rect.w, rect.h
+        );
     }
 }

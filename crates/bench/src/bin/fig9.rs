@@ -15,8 +15,7 @@ fn main() {
         "benchmark", "min", "median", "max"
     );
     for e in &entries {
-        let mut times: Vec<f64> =
-            e.o1.operators.iter().map(|o| o.vtime.total()).collect();
+        let mut times: Vec<f64> = e.o1.operators.iter().map(|o| o.vtime.total()).collect();
         times.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
         let min = times[0];
         let max = *times.last().expect("nonempty");

@@ -14,10 +14,21 @@ fn main() {
     for t in 1..=fp.type_count() {
         let r = fp.type_resources(t).expect("type exists");
         let n = fp.pages_of_type(t).count();
-        println!("{:10} {:>9} {:>9} {:>9} {:>7} {:>7}", format!("Type-{t}"), r.luts, r.ffs, r.bram18, r.dsp, n);
+        println!(
+            "{:10} {:>9} {:>9} {:>9} {:>7} {:>7}",
+            format!("Type-{t}"),
+            r.luts,
+            r.ffs,
+            r.bram18,
+            r.dsp,
+            n
+        );
     }
     println!();
-    println!("paper      {:>9} {:>9} {:>9} {:>7} {:>7}", "LUTs", "FFs", "BRAM18s", "DSPs", "Number");
+    println!(
+        "paper      {:>9} {:>9} {:>9} {:>7} {:>7}",
+        "LUTs", "FFs", "BRAM18s", "DSPs", "Number"
+    );
     for (t, l, f, b, d, n) in [
         (1, 21_240, 43_200, 120, 168, 7),
         (2, 17_464, 35_520, 72, 120, 7),

@@ -17,17 +17,31 @@ fn main() {
     println!("Table 2: Rosetta Benchmark Compile Time (virtual seconds, {scale:?} scale)\n");
     println!(
         "{:18} | {:>8} | {:>7} {:>7} {:>7} {:>7} {:>8} | {:>7} {:>7} {:>7} {:>7} {:>8} | {:>8}",
-        "benchmark", "Vitis", "hls", "syn", "p&r", "bit", "O3total", "hls", "syn", "p&r", "bit", "O1total", "O0"
+        "benchmark",
+        "Vitis",
+        "hls",
+        "syn",
+        "p&r",
+        "bit",
+        "O3total",
+        "hls",
+        "syn",
+        "p&r",
+        "bit",
+        "O1total",
+        "O0"
     );
-    println!("{:-<18}-+-{:-<8}-+-{:-<40}-+-{:-<40}-+-{:-<8}", "", "", "", "", "");
+    println!(
+        "{:-<18}-+-{:-<8}-+-{:-<40}-+-{:-<40}-+-{:-<8}",
+        "", "", "", "", ""
+    );
     for e in &entries {
-        let vitis = e
-            .o3
-            .monolithic
-            .as_ref()
-            .and_then(|m| m.fused_vtime)
-            .map(|t| secs(t.total()))
-            .unwrap_or_else(|| "-".into());
+        let vitis =
+            e.o3.monolithic
+                .as_ref()
+                .and_then(|m| m.fused_vtime)
+                .map(|t| secs(t.total()))
+                .unwrap_or_else(|| "-".into());
         let o3 = e.o3.vtime_serial;
         // -O1 pages compile in parallel: the slowest page defines the turn.
         let o1 = e.o1.vtime_parallel;
@@ -51,7 +65,10 @@ fn main() {
     }
 
     println!("\nmeasured toolchain wall-clock (this machine, seconds):");
-    println!("{:18} {:>10} {:>10} {:>10}", "benchmark", "-O3", "-O1", "-O0");
+    println!(
+        "{:18} {:>10} {:>10} {:>10}",
+        "benchmark", "-O3", "-O1", "-O0"
+    );
     for e in &entries {
         println!(
             "{:18} {:>10.2} {:>10.2} {:>10.3}",

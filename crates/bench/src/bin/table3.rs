@@ -12,7 +12,17 @@ fn main() {
     println!("Table 3: Rosetta Benchmark Performance ({scale:?} scale)\n");
     println!(
         "{:18} | {:>6} {:>10} | {:>6} {:>10} | {:>6} {:>10} | {:>6} {:>10} | {:>10} | {:>10}",
-        "benchmark", "Fmax", "Vitis", "Fmax", "-O3", "Fmax", "-O1", "Fmax", "-O0", "X86", "VitisEmu"
+        "benchmark",
+        "Fmax",
+        "Vitis",
+        "Fmax",
+        "-O3",
+        "Fmax",
+        "-O1",
+        "Fmax",
+        "-O0",
+        "X86",
+        "VitisEmu"
     );
     for e in &entries {
         let inputs = e.bench.input_refs();
@@ -47,8 +57,12 @@ fn main() {
     for e in &entries {
         let inputs = e.bench.input_refs();
         let o3 = execute::perf_o3(&e.o3).expect("o3 model").seconds_per_input;
-        let o1 = execute::perf_o1(&e.o1, &inputs).expect("o1 cosim").seconds_per_input;
-        let o0 = execute::perf_o0(&e.o0, &inputs).expect("o0 softcores").seconds_per_input;
+        let o1 = execute::perf_o1(&e.o1, &inputs)
+            .expect("o1 cosim")
+            .seconds_per_input;
+        let o0 = execute::perf_o0(&e.o0, &inputs)
+            .expect("o0 softcores")
+            .seconds_per_input;
         println!("{:18} {:>9.1}x {:>11.0}x", e.bench.name, o1 / o3, o0 / o3);
     }
 }

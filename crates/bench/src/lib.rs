@@ -110,7 +110,7 @@ mod tests {
     #[test]
     fn formatting_helpers() {
         assert_eq!(secs(4264.0), "4264");
-        assert_eq!(secs(3.14), "3.1");
+        assert_eq!(secs(3.17), "3.2");
         assert_eq!(secs(0.5), "0.50");
         assert_eq!(latency(1.6e-3), "1.6 ms");
         assert_eq!(latency(137.0), "137.0 s");

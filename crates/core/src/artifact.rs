@@ -113,7 +113,11 @@ mod tests {
 
     #[test]
     fn overlay_loads_are_constant_size() {
-        let x = Xclbin { name: "overlay.xclbin".into(), kind: XclbinKind::Overlay, hash: 1 };
+        let x = Xclbin {
+            name: "overlay.xclbin".into(),
+            kind: XclbinKind::Overlay,
+            hash: 1,
+        };
         assert!(x.payload_bytes() > 0);
         assert!(x.load_seconds() > 0.0);
     }
@@ -123,8 +127,16 @@ mod tests {
         let d = Driver {
             loads: vec![LoadOp::Overlay],
             links: vec![
-                LinkOp { src_leaf: 0, stream: 0, dest: PortAddr { leaf: 1, port: 0 } },
-                LinkOp { src_leaf: 1, stream: 0, dest: PortAddr { leaf: 2, port: 0 } },
+                LinkOp {
+                    src_leaf: 0,
+                    stream: 0,
+                    dest: PortAddr { leaf: 1, port: 0 },
+                },
+                LinkOp {
+                    src_leaf: 1,
+                    stream: 0,
+                    dest: PortAddr { leaf: 2, port: 0 },
+                },
             ],
         };
         assert_eq!(d.link_packets(), 2);

@@ -146,12 +146,18 @@ pub fn cosim_o0(
             if *halted {
                 continue;
             }
-            let mut io = LeafIo { net: &mut net, leaf: *leaf };
+            let mut io = LeafIo {
+                net: &mut net,
+                leaf: *leaf,
+            };
             match cpu.step(&mut io) {
                 StepResult::Ok | StepResult::Stall => {}
                 StepResult::Halt => *halted = true,
                 StepResult::Trap { pc } => {
-                    return Err(CosimError::Trap { op: name.clone(), pc })
+                    return Err(CosimError::Trap {
+                        op: name.clone(),
+                        pc,
+                    })
                 }
             }
         }
@@ -199,7 +205,10 @@ mod tests {
                 0..n,
                 [
                     Stmt::read("x", "in"),
-                    Stmt::write("out", Expr::var("x").mul(Expr::cint(mul)).add(Expr::var("i"))),
+                    Stmt::write(
+                        "out",
+                        Expr::var("x").mul(Expr::cint(mul)).add(Expr::var("i")),
+                    ),
                 ],
             )])
             .build()
@@ -244,7 +253,10 @@ mod tests {
         b.ext_output("Output_1", a, "out");
         let g = b.build().unwrap();
         let app = compile(&g, &CompileOptions::new(OptLevel::O1)).unwrap();
-        assert!(matches!(cosim_o0(&app, &[vec![]], &[0], 100), Err(CosimError::WrongLevel)));
+        assert!(matches!(
+            cosim_o0(&app, &[vec![]], &[0], 100),
+            Err(CosimError::WrongLevel)
+        ));
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! the local analogue: a fixed-width thread pool executing independent
 //! compile jobs and reporting per-job and critical-path times.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc;
 use std::thread;
 
@@ -16,18 +17,31 @@ use std::thread;
 pub struct JobOutcome<T> {
     /// Job index in submission order.
     pub index: usize,
-    /// The job's product.
-    pub result: T,
+    /// The job's product, or the panic message if the job panicked. A
+    /// panicking job must not take the rest of the batch with it: the farm
+    /// catches the unwind on the worker thread (before it can poison the
+    /// shared queue lock and wedge the other workers) and reports it as an
+    /// error outcome.
+    pub result: Result<T, String>,
     /// Wall-clock seconds the job took.
     pub wall_seconds: f64,
 }
 
+/// Renders a caught panic payload as a message (the common `&str`/`String`
+/// payloads verbatim, anything else generically).
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "job panicked".to_string()
+    }
+}
+
 /// Runs `jobs` closures on up to `workers` threads; results come back in
-/// submission order.
-///
-/// # Panics
-///
-/// Panics if a job panics (the panic is propagated).
+/// submission order. A panicking job yields an `Err` outcome; the other
+/// jobs' results are unaffected.
 pub fn run_jobs<T, F>(jobs: Vec<F>, workers: usize) -> Vec<JobOutcome<T>>
 where
     T: Send + 'static,
@@ -53,9 +67,12 @@ where
             match job {
                 Ok((index, f)) => {
                     let t0 = std::time::Instant::now();
-                    let result = f();
-                    let outcome =
-                        JobOutcome { index, result, wall_seconds: t0.elapsed().as_secs_f64() };
+                    let result = catch_unwind(AssertUnwindSafe(f)).map_err(panic_message);
+                    let outcome = JobOutcome {
+                        index,
+                        result,
+                        wall_seconds: t0.elapsed().as_secs_f64(),
+                    };
                     if tx.send(outcome).is_err() {
                         return;
                     }
@@ -72,11 +89,13 @@ where
         outcomes[i] = Some(outcome);
     }
     for h in handles {
-        if let Err(panic) = h.join() {
-            std::panic::resume_unwind(panic);
-        }
+        h.join()
+            .expect("farm workers never panic (jobs are caught)");
     }
-    outcomes.into_iter().map(|o| o.expect("all jobs completed")).collect()
+    outcomes
+        .into_iter()
+        .map(|o| o.expect("all jobs completed"))
+        .collect()
 }
 
 #[cfg(test)]
@@ -97,8 +116,34 @@ mod tests {
         let outcomes = run_jobs(jobs, 4);
         for (i, o) in outcomes.iter().enumerate() {
             assert_eq!(o.index, i);
-            assert_eq!(o.result, i * 10);
+            assert_eq!(o.result, Ok(i * 10));
             assert!(o.wall_seconds >= 0.0);
+        }
+    }
+
+    #[test]
+    fn panicking_job_does_not_lose_the_others() {
+        let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..12usize)
+            .map(|i| {
+                Box::new(move || {
+                    if i == 5 {
+                        panic!("job {i} exploded");
+                    }
+                    i * 3
+                }) as Box<dyn FnOnce() -> usize + Send>
+            })
+            .collect();
+        // Two workers: the panicking job shares a worker (and the queue
+        // lock) with healthy jobs, so isolation is actually exercised.
+        let outcomes = run_jobs(jobs, 2);
+        assert_eq!(outcomes.len(), 12);
+        for (i, o) in outcomes.iter().enumerate() {
+            if i == 5 {
+                let message = o.result.as_ref().unwrap_err();
+                assert!(message.contains("exploded"), "got: {message}");
+            } else {
+                assert_eq!(o.result, Ok(i * 3));
+            }
         }
     }
 
@@ -120,14 +165,17 @@ mod tests {
         let t1 = std::time::Instant::now();
         run_jobs(mk(), 8);
         let parallel = t1.elapsed();
-        assert!(parallel < serial, "parallel {parallel:?} vs serial {serial:?}");
+        assert!(
+            parallel < serial,
+            "parallel {parallel:?} vs serial {serial:?}"
+        );
     }
 
     #[test]
     fn zero_workers_clamped_to_one() {
         let jobs = vec![Box::new(|| 7usize) as Box<dyn FnOnce() -> usize + Send>];
         let outcomes = run_jobs(jobs, 0);
-        assert_eq!(outcomes[0].result, 7);
+        assert_eq!(outcomes[0].result, Ok(7));
     }
 
     #[test]

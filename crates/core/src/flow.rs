@@ -221,7 +221,13 @@ pub enum CompileError {
     Pnr { op: String, error: pnr::PnrError },
     /// The softcore compiler rejected the operator.
     #[allow(missing_docs)]
-    Softcore { op: String, error: softcore::CcError },
+    Softcore {
+        op: String,
+        error: softcore::CcError,
+    },
+    /// The operator's compile job panicked on the build farm.
+    #[allow(missing_docs)]
+    JobPanicked { op: String, message: String },
 }
 
 impl fmt::Display for CompileError {
@@ -234,6 +240,9 @@ impl fmt::Display for CompileError {
             CompileError::Pnr { op, error } => write!(f, "P&R failed for `{op}`: {error}"),
             CompileError::Softcore { op, error } => {
                 write!(f, "softcore compile failed for `{op}`: {error}")
+            }
+            CompileError::JobPanicked { op, message } => {
+                write!(f, "compile job for `{op}` panicked: {message}")
             }
         }
     }
@@ -254,7 +263,13 @@ pub(crate) fn source_hash(kernel: &kir::Kernel, target: Target) -> u64 {
 pub fn wrap_with_leaf_interface(netlist: &Netlist) -> Netlist {
     let mut wrapped = netlist.clone();
     let leaf = wrapped.add_cell("leaf_iface", CellKind::Logic { width: 800 });
-    let fifo = wrapped.add_cell("leaf_fifo", CellKind::FifoBuf { width: 32, depth: 64 });
+    let fifo = wrapped.add_cell(
+        "leaf_fifo",
+        CellKind::FifoBuf {
+            width: 32,
+            depth: 64,
+        },
+    );
     wrapped.add_net(leaf, vec![fifo], 32);
     // Hook every stream interface through the leaf logic.
     let stream_cells: Vec<_> = wrapped
@@ -301,7 +316,11 @@ pub fn assign_pages_with(
     // Second pass: allocation.
     let mut assigned: Vec<Option<u32>> = vec![None; graph.operators.len()];
     for (i, op) in graph.operators.iter().enumerate() {
-        let mut target = if force_riscv { Target::riscv_auto() } else { op.target };
+        let mut target = if force_riscv {
+            Target::riscv_auto()
+        } else {
+            op.target
+        };
         if let Some(p) = op.target.page() {
             if force_riscv {
                 target = Target::riscv(p);
@@ -329,8 +348,7 @@ pub fn assign_pages_with(
             PageAssign::Affinity => (0..n_pages)
                 .filter(|&p| !taken[p as usize])
                 .min_by_key(|&p| {
-                    let cost: u32 =
-                        neighbour_pages.iter().map(|&q| bft_distance(p, q)).sum();
+                    let cost: u32 = neighbour_pages.iter().map(|&q| bft_distance(p, q)).sum();
                     (cost, p)
                 }),
         };
@@ -353,8 +371,16 @@ pub fn assign_pages_with(
 
 /// Builds the driver: load everything, then link the dataflow graph with
 /// configuration packets.
-pub(crate) fn build_driver(ir: &DfgIr, pages: &[(Target, PageId)], artifacts: &[Xclbin], n_pages: u16) -> Driver {
-    let mut driver = Driver { loads: vec![LoadOp::Overlay], links: Vec::new() };
+pub(crate) fn build_driver(
+    ir: &DfgIr,
+    pages: &[(Target, PageId)],
+    artifacts: &[Xclbin],
+    n_pages: u16,
+) -> Driver {
+    let mut driver = Driver {
+        loads: vec![LoadOp::Overlay],
+        links: Vec::new(),
+    };
     for (i, artifact) in artifacts.iter().enumerate() {
         match artifact.kind {
             XclbinKind::Page { .. } => driver.loads.push(LoadOp::PageBitstream { artifact: i }),
@@ -378,11 +404,21 @@ pub(crate) fn build_driver(ir: &DfgIr, pages: &[(Target, PageId)], artifacts: &[
             (leaf_of(link.from.0), link.from.1 as u8)
         };
         let dest = if link.to.0 == IrLink::HOST {
-            PortAddr { leaf: dma_out, port: link.to.1 as u8 }
+            PortAddr {
+                leaf: dma_out,
+                port: link.to.1 as u8,
+            }
         } else {
-            PortAddr { leaf: leaf_of(link.to.0), port: link.to.1 as u8 }
+            PortAddr {
+                leaf: leaf_of(link.to.0),
+                port: link.to.1 as u8,
+            }
         };
-        driver.links.push(LinkOp { src_leaf, stream, dest });
+        driver.links.push(LinkOp {
+            src_leaf,
+            stream,
+            dest,
+        });
     }
     driver
 }
@@ -423,12 +459,22 @@ pub(crate) fn compile_operator_job(
 ) -> Result<JobProduct, CompileError> {
     match target {
         Target::Hw { .. } => {
-            let hls = hlsim::compile(kernel)
-                .map_err(|error| CompileError::Hls { op: name.to_string(), error })?;
+            let hls = hlsim::compile(kernel).map_err(|error| CompileError::Hls {
+                op: name.to_string(),
+                error,
+            })?;
             let wrapped = wrap_with_leaf_interface(&hls.netlist);
-            let opts = PnrOptions { seed, abstract_shell: true, effort: 1.0 };
-            let result = place_and_route(&wrapped, device, page_rect, &opts)
-                .map_err(|error| CompileError::Pnr { op: name.to_string(), error })?;
+            let opts = PnrOptions {
+                seed,
+                abstract_shell: true,
+                effort: 1.0,
+            };
+            let result = place_and_route(&wrapped, device, page_rect, &opts).map_err(|error| {
+                CompileError::Pnr {
+                    op: name.to_string(),
+                    error,
+                }
+            })?;
             let vtime = PhaseTimes {
                 hls: vt.hls_seconds(hls.report.hls_work),
                 syn: vt.syn_seconds(wrapped.cell_count() as u64),
@@ -444,10 +490,15 @@ pub(crate) fn compile_operator_job(
             })
         }
         Target::Riscv { .. } => {
-            let binary = softcore::compile_kernel(kernel)
-                .map_err(|error| CompileError::Softcore { op: name.to_string(), error })?;
-            let vtime =
-                PhaseTimes { riscv: vt.riscv_seconds(binary.load_bytes()), ..Default::default() };
+            let binary =
+                softcore::compile_kernel(kernel).map_err(|error| CompileError::Softcore {
+                    op: name.to_string(),
+                    error,
+                })?;
+            let vtime = PhaseTimes {
+                riscv: vt.riscv_seconds(binary.load_bytes()),
+                ..Default::default()
+            };
             Ok(JobProduct::Soft { binary, vtime })
         }
     }
@@ -494,33 +545,56 @@ fn compile_paged(
 
     let outcomes = farm::run_jobs(jobs, options.jobs);
 
-    let mut artifacts =
-        vec![Xclbin { name: "overlay.xclbin".into(), kind: XclbinKind::Overlay, hash: 0 }];
+    let mut artifacts = vec![Xclbin {
+        name: "overlay.xclbin".into(),
+        kind: XclbinKind::Overlay,
+        hash: 0,
+    }];
     let mut operators = Vec::with_capacity(graph.operators.len());
     let mut serial = PhaseTimes::default();
     let mut parallel = PhaseTimes::default();
 
     for ((op, (target, page)), outcome) in graph.operators.iter().zip(&pages).zip(outcomes) {
-        let product = outcome.result?;
+        let product = outcome
+            .result
+            .map_err(|message| CompileError::JobPanicked {
+                op: op.name.clone(),
+                message,
+            })??;
         let idx = artifacts.len();
         let (hls, timing, soft, vtime) = match product {
-            JobProduct::Hw { report, timing, bitstream, vtime } => {
+            JobProduct::Hw {
+                report,
+                timing,
+                bitstream,
+                vtime,
+            } => {
                 // Constants live in the source, not the structural netlist,
                 // so artifact identity mixes in the source hash.
                 let hash = bitstream.payload_hash ^ source_hash(&op.kernel, *target);
                 artifacts.push(Xclbin {
                     name: format!("{}.xclbin", op.name),
-                    kind: XclbinKind::Page { page: *page, bitstream },
+                    kind: XclbinKind::Page {
+                        page: *page,
+                        bitstream,
+                    },
                     hash,
                 });
                 (Some(report), Some(timing), None, vtime)
             }
             JobProduct::Soft { binary, vtime } => {
                 let packed = binary.pack(page.0);
-                let hash = fnv(&packed.records.iter().flat_map(|(_, b)| b.clone()).collect::<Vec<u8>>());
+                let hash = fnv(&packed
+                    .records
+                    .iter()
+                    .flat_map(|(_, b)| b.clone())
+                    .collect::<Vec<u8>>());
                 artifacts.push(Xclbin {
                     name: format!("{}.elf.xclbin", op.name),
-                    kind: XclbinKind::Softcore { page: *page, binary: packed },
+                    kind: XclbinKind::Softcore {
+                        page: *page,
+                        binary: packed,
+                    },
                     hash,
                 });
                 (None, None, Some(binary), vtime)
@@ -581,8 +655,10 @@ fn compile_monolithic(
     let mut reports = Vec::new();
 
     for op in &graph.operators {
-        let hls = hlsim::compile(&op.kernel)
-            .map_err(|error| CompileError::Hls { op: op.name.clone(), error })?;
+        let hls = hlsim::compile(&op.kernel).map_err(|error| CompileError::Hls {
+            op: op.name.clone(),
+            error,
+        })?;
         hls_serial += options.vtime.hls_seconds(hls.report.hls_work);
         offsets.push(kernel_netlist.absorb(&hls.netlist));
         reports.push(hls.report);
@@ -610,17 +686,26 @@ fn compile_monolithic(
             let w = edge.elem.width();
             match options.link_style {
                 LinkStyle::StreamFifo => {
-                    let fifo = kernel_netlist
-                        .add_cell(format!("fifo_{}", edge.name), CellKind::FifoBuf { width: w, depth: 512 });
+                    let fifo = kernel_netlist.add_cell(
+                        format!("fifo_{}", edge.name),
+                        CellKind::FifoBuf {
+                            width: w,
+                            depth: 512,
+                        },
+                    );
                     kernel_netlist.add_net(f, vec![fifo], w);
                     kernel_netlist.add_net(fifo, vec![t], w);
                 }
                 LinkStyle::RelayStation => {
                     // Two elastic registers: same isolation, no BRAM.
-                    let r1 = kernel_netlist
-                        .add_cell(format!("relay_{}_a", edge.name), CellKind::Register { width: w });
-                    let r2 = kernel_netlist
-                        .add_cell(format!("relay_{}_b", edge.name), CellKind::Register { width: w });
+                    let r1 = kernel_netlist.add_cell(
+                        format!("relay_{}_a", edge.name),
+                        CellKind::Register { width: w },
+                    );
+                    let r2 = kernel_netlist.add_cell(
+                        format!("relay_{}_b", edge.name),
+                        CellKind::Register { width: w },
+                    );
                     kernel_netlist.add_net(f, vec![r1], w);
                     kernel_netlist.add_net(r1, vec![r2], w);
                     kernel_netlist.add_net(r2, vec![t], w);
@@ -630,9 +715,16 @@ fn compile_monolithic(
     }
 
     let region = monolithic_region(&options.floorplan);
-    let opts = PnrOptions { seed: options.seed, abstract_shell: true, effort: 1.0 };
+    let opts = PnrOptions {
+        seed: options.seed,
+        abstract_shell: true,
+        effort: 1.0,
+    };
     let result = place_and_route(&kernel_netlist, &options.floorplan.device, region, &opts)
-        .map_err(|error| CompileError::Pnr { op: graph.name.clone(), error })?;
+        .map_err(|error| CompileError::Pnr {
+            op: graph.name.clone(),
+            error,
+        })?;
 
     // The fused baseline: identical logic, but linked ports become
     // combinational glue instead of registered stream interfaces, so
@@ -645,10 +737,12 @@ fn compile_monolithic(
         let out_name = format!("out_{}", edge.from.1);
         let in_name = format!("in_{}", edge.to.1);
         for (i, cell) in fused.cells.iter_mut().enumerate() {
-            let linked = (i >= from_off && cell.name == out_name)
-                || (i >= to_off && cell.name == in_name);
+            let linked =
+                (i >= from_off && cell.name == out_name) || (i >= to_off && cell.name == in_name);
             if linked {
-                cell.kind = CellKind::Logic { width: edge.elem.width() };
+                cell.kind = CellKind::Logic {
+                    width: edge.elem.width(),
+                };
             }
         }
     }
@@ -658,8 +752,7 @@ fn compile_monolithic(
             cell.kind = CellKind::Logic { width: 1 };
         }
     }
-    let fused_result =
-        place_and_route(&fused, &options.floorplan.device, region, &opts).ok();
+    let fused_result = place_and_route(&fused, &options.floorplan.device, region, &opts).ok();
     let fused_timing = fused_result.as_ref().map(|r| r.timing.clone());
     let fused_vtime = fused_result.map(|r| PhaseTimes {
         hls: hls_serial,
@@ -671,7 +764,9 @@ fn compile_monolithic(
 
     let vtime = PhaseTimes {
         hls: hls_serial,
-        syn: options.vtime.syn_seconds(kernel_netlist.cell_count() as u64),
+        syn: options
+            .vtime
+            .syn_seconds(kernel_netlist.cell_count() as u64),
         pnr: options.vtime.pnr_seconds(result.work_units),
         bit: options.vtime.bit_seconds(result.bitstream.config_bits),
         riscv: 0.0,
@@ -695,7 +790,9 @@ fn compile_monolithic(
     let bitstream_hash = result.bitstream.payload_hash;
     let artifacts = vec![Xclbin {
         name: "kernel.xclbin".into(),
-        kind: XclbinKind::Kernel { bitstream: result.bitstream },
+        kind: XclbinKind::Kernel {
+            bitstream: result.bitstream,
+        },
         hash: bitstream_hash,
     }];
 
@@ -705,7 +802,10 @@ fn compile_monolithic(
         floorplan: options.floorplan.clone(),
         operators,
         artifacts,
-        driver: Driver { loads: vec![LoadOp::PageBitstream { artifact: 0 }], links: Vec::new() },
+        driver: Driver {
+            loads: vec![LoadOp::PageBitstream { artifact: 0 }],
+            links: Vec::new(),
+        },
         ir,
         monolithic: Some(MonolithicInfo {
             fused_timing,
@@ -796,7 +896,10 @@ mod tests {
             .cells_where(|k| matches!(k, CellKind::FifoBuf { .. }))
             .count();
         assert!(fifo_count >= 2);
-        assert!(app.driver.links.is_empty(), "monolithic needs no linking packets");
+        assert!(
+            app.driver.links.is_empty(),
+            "monolithic needs no linking packets"
+        );
     }
 
     #[test]
@@ -847,20 +950,25 @@ mod tests {
         let g = three_stage([Target::hw(16), Target::hw_auto(), Target::hw_auto()]);
         let aff = compile(
             &g,
-            &CompileOptions { page_assign: PageAssign::Affinity, ..CompileOptions::new(OptLevel::O1) },
+            &CompileOptions {
+                page_assign: PageAssign::Affinity,
+                ..CompileOptions::new(OptLevel::O1)
+            },
         )
         .unwrap();
         let fit = compile(
             &g,
-            &CompileOptions { page_assign: PageAssign::FirstFit, ..CompileOptions::new(OptLevel::O1) },
+            &CompileOptions {
+                page_assign: PageAssign::FirstFit,
+                ..CompileOptions::new(OptLevel::O1)
+            },
         )
         .unwrap();
         let pages = |app: &CompiledApp| -> Vec<u32> {
             app.operators.iter().map(|o| o.page.unwrap().0).collect()
         };
-        let chain_cost = |p: &[u32]| -> u32 {
-            p.windows(2).map(|w| bft_distance(w[0], w[1])).sum()
-        };
+        let chain_cost =
+            |p: &[u32]| -> u32 { p.windows(2).map(|w| bft_distance(w[0], w[1])).sum() };
         let aff_pages = pages(&aff);
         let fit_pages = pages(&fit);
         assert_eq!(fit_pages, vec![16, 0, 1]);
@@ -876,7 +984,10 @@ mod tests {
         let fifo = compile(&g, &CompileOptions::new(OptLevel::O3)).unwrap();
         let relay = compile(
             &g,
-            &CompileOptions { link_style: LinkStyle::RelayStation, ..CompileOptions::new(OptLevel::O3) },
+            &CompileOptions {
+                link_style: LinkStyle::RelayStation,
+                ..CompileOptions::new(OptLevel::O3)
+            },
         )
         .unwrap();
         let fr = fifo.monolithic.as_ref().unwrap().netlist.resources();

@@ -73,8 +73,11 @@ impl BuildCache {
         let pages = assign_pages_with(graph, &options.floorplan, force_riscv, options.page_assign)?;
         let ir = extract(graph);
 
-        let mut artifacts =
-            vec![Xclbin { name: "overlay.xclbin".into(), kind: XclbinKind::Overlay, hash: 0 }];
+        let mut artifacts = vec![Xclbin {
+            name: "overlay.xclbin".into(),
+            kind: XclbinKind::Overlay,
+            hash: 0,
+        }];
         let mut operators = Vec::with_capacity(graph.operators.len());
         let mut serial = PhaseTimes::default();
         let mut parallel = PhaseTimes::default();
@@ -110,23 +113,36 @@ impl BuildCache {
             )?;
             let idx = artifacts.len();
             let (hls, timing, soft, vtime, artifact) = match product {
-                JobProduct::Hw { report, timing, bitstream, vtime } => {
+                JobProduct::Hw {
+                    report,
+                    timing,
+                    bitstream,
+                    vtime,
+                } => {
                     let h = bitstream.payload_hash ^ hash;
                     let x = Xclbin {
                         name: format!("{}.xclbin", op.name),
-                        kind: XclbinKind::Page { page: *page, bitstream },
+                        kind: XclbinKind::Page {
+                            page: *page,
+                            bitstream,
+                        },
                         hash: h,
                     };
                     (Some(report), Some(timing), None, vtime, x)
                 }
                 JobProduct::Soft { binary, vtime } => {
                     let packed = binary.pack(page.0);
-                    let h = fnv(
-                        &packed.records.iter().flat_map(|(_, b)| b.clone()).collect::<Vec<u8>>(),
-                    );
+                    let h = fnv(&packed
+                        .records
+                        .iter()
+                        .flat_map(|(_, b)| b.clone())
+                        .collect::<Vec<u8>>());
                     let x = Xclbin {
                         name: format!("{}.elf.xclbin", op.name),
-                        kind: XclbinKind::Softcore { page: *page, binary: packed },
+                        kind: XclbinKind::Softcore {
+                            page: *page,
+                            binary: packed,
+                        },
                         hash: h,
                     };
                     (None, None, Some(binary), vtime, x)
@@ -148,7 +164,11 @@ impl BuildCache {
             };
             self.entries.insert(
                 op.name.clone(),
-                CacheEntry { hash, operator: compiled.clone(), artifact: artifact.clone() },
+                CacheEntry {
+                    hash,
+                    operator: compiled.clone(),
+                    artifact: artifact.clone(),
+                },
             );
             artifacts.push(artifact);
             operators.push(compiled);
@@ -303,7 +323,9 @@ mod tests {
         let g1 = pipeline([1, 2, 3]);
         let g2 = pipeline([1, 99, 3]);
         let mut cache = BuildCache::new();
-        let app = cache.compile(&g1, &CompileOptions::new(OptLevel::O1)).unwrap();
+        let app = cache
+            .compile(&g1, &CompileOptions::new(OptLevel::O1))
+            .unwrap();
         assert_eq!(dirty_pages(&app, &g2), vec![PageId(1)]);
     }
 }

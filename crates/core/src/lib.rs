@@ -64,8 +64,11 @@ pub mod vtime;
 pub use artifact::{Driver, LinkOp, LoadOp, Xclbin, XclbinKind};
 pub use cosim::{cosim_o0, CosimError, CosimOutput};
 pub use execute::{PerfReport, RunMode};
-pub use flow::{bft_distance, compile, CompileError, CompileOptions, CompiledApp, CompiledOperator, LinkStyle, OptLevel, PageAssign};
-pub use report::{area, AreaReport};
+pub use flow::{
+    bft_distance, compile, CompileError, CompileOptions, CompiledApp, CompiledOperator, LinkStyle,
+    OptLevel, PageAssign,
+};
 pub use incremental::BuildCache;
-pub use loader::{load, LoadReport};
+pub use loader::{load, page_load_ops, replay_loads, LoadReport};
+pub use report::{area, AreaReport};
 pub use vtime::{PhaseTimes, VtimeModel};

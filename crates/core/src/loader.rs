@@ -8,9 +8,10 @@
 //! discusses in Sec. 7.3 — the window during which an edited page is being
 //! reloaded.
 
+use fabric::PageId;
 use noc::BftNoc;
 
-use crate::artifact::LoadOp;
+use crate::artifact::{LoadOp, XclbinKind};
 use crate::execute::OVERLAY_MHZ;
 use crate::flow::CompiledApp;
 
@@ -47,22 +48,43 @@ impl LoadReport {
     }
 }
 
-/// Simulates loading and linking a compiled application.
-///
-/// Bitstream/image transfer times come from artifact sizes; the link step
-/// actually runs on a [`BftNoc`] instance so the packet count and cycle cost
-/// are measured, not estimated.
-pub fn load(app: &CompiledApp) -> LoadReport {
+/// The subset of an app's load ops that (re)program the given pages — what
+/// an incremental reload or a multi-tenant page swap must replay.
+pub fn page_load_ops(app: &CompiledApp, pages: &[PageId]) -> Vec<LoadOp> {
+    app.driver
+        .loads
+        .iter()
+        .filter(|op| {
+            let artifact = match op {
+                LoadOp::Overlay => return false,
+                LoadOp::PageBitstream { artifact } | LoadOp::SoftcoreImage { artifact } => {
+                    *artifact
+                }
+            };
+            match &app.artifacts[artifact].kind {
+                XclbinKind::Page { page, .. } | XclbinKind::Softcore { page, .. } => {
+                    pages.contains(page)
+                }
+                _ => false,
+            }
+        })
+        .cloned()
+        .collect()
+}
+
+/// Replays a subset of an app's load ops, reporting the artifact-side
+/// transfer timing (link fields stay zero — the caller owns the link step,
+/// which may run on a shared, already-linked network).
+pub fn replay_loads(app: &CompiledApp, ops: &[LoadOp]) -> LoadReport {
     let mut report = LoadReport {
         overlay_seconds: 0.0,
         bitstream_seconds: 0.0,
         softcore_seconds: 0.0,
         link_cycles: 0,
-        link_packets: app.driver.links.len(),
+        link_packets: 0,
         payload_bytes: 0,
     };
-
-    for op in &app.driver.loads {
+    for op in ops {
         match op {
             LoadOp::Overlay => {
                 let x = &app.artifacts[0];
@@ -81,6 +103,17 @@ pub fn load(app: &CompiledApp) -> LoadReport {
             }
         }
     }
+    report
+}
+
+/// Simulates loading and linking a compiled application.
+///
+/// Bitstream/image transfer times come from artifact sizes; the link step
+/// actually runs on a [`BftNoc`] instance so the packet count and cycle cost
+/// are measured, not estimated.
+pub fn load(app: &CompiledApp) -> LoadReport {
+    let mut report = replay_loads(app, &app.driver.loads);
+    report.link_packets = app.driver.links.len();
 
     // Linking: deliver the driver's configuration packets through the tree
     // from the DMA leaf, as the generated driver.c does.
@@ -156,6 +189,23 @@ mod tests {
         assert_eq!(report.bitstream_seconds, 0.0);
         // Paper Sec. 5.2: operator footprints are tens of KB.
         assert!(report.payload_bytes < 64 * 1024 * 1024);
+    }
+
+    #[test]
+    fn page_subset_replay_covers_only_those_pages() {
+        let app = app(OptLevel::O1);
+        let full = load(&app);
+        let pages: Vec<_> = app.operators.iter().filter_map(|o| o.page).collect();
+        let one = page_load_ops(&app, &pages[..1]);
+        assert_eq!(one.len(), 1);
+        let partial = replay_loads(&app, &one);
+        assert!(partial.bitstream_seconds > 0.0);
+        assert!(partial.bitstream_seconds < full.bitstream_seconds);
+        assert_eq!(partial.overlay_seconds, 0.0);
+        assert_eq!(partial.link_cycles, 0);
+        // All pages replayed equals the full bitstream phase.
+        let all = replay_loads(&app, &page_load_ops(&app, &pages));
+        assert_eq!(all.bitstream_seconds, full.bitstream_seconds);
     }
 
     #[test]

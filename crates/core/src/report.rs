@@ -25,8 +25,14 @@ pub struct AreaReport {
 pub fn area(app: &CompiledApp) -> AreaReport {
     match app.level {
         OptLevel::O3 => {
-            let mono = app.monolithic.as_ref().expect("O3 apps carry monolithic info");
-            AreaReport { resources: mono.netlist.resources(), pages: 0 }
+            let mono = app
+                .monolithic
+                .as_ref()
+                .expect("O3 apps carry monolithic info");
+            AreaReport {
+                resources: mono.netlist.resources(),
+                pages: 0,
+            }
         }
         OptLevel::O1 => {
             let mut total = Resources::default();
@@ -47,7 +53,10 @@ pub fn area(app: &CompiledApp) -> AreaReport {
                     (None, None) => {}
                 }
             }
-            AreaReport { resources: total, pages }
+            AreaReport {
+                resources: total,
+                pages,
+            }
         }
         OptLevel::O0 => {
             let mut total = Resources::default();
@@ -58,7 +67,10 @@ pub fn area(app: &CompiledApp) -> AreaReport {
                     pages += 1;
                 }
             }
-            AreaReport { resources: total, pages }
+            AreaReport {
+                resources: total,
+                pages,
+            }
         }
     }
 }
@@ -67,7 +79,11 @@ pub fn area(app: &CompiledApp) -> AreaReport {
 /// interface plus the stream FIFO buffering).
 pub fn leaf_interface_resources() -> Resources {
     let logic = CellKind::Logic { width: 800 }.resources();
-    let fifo = CellKind::FifoBuf { width: 32, depth: 64 }.resources();
+    let fifo = CellKind::FifoBuf {
+        width: 32,
+        depth: 64,
+    }
+    .resources();
     logic + fifo
 }
 
@@ -132,7 +148,12 @@ mod tests {
     fn o1_area_includes_leaf_interfaces() {
         let o1 = area(&app(OptLevel::O1));
         let vitis = vitis_baseline_area(&app(OptLevel::O1));
-        assert!(o1.resources.luts > vitis.luts, "{} vs {}", o1.resources.luts, vitis.luts);
+        assert!(
+            o1.resources.luts > vitis.luts,
+            "{} vs {}",
+            o1.resources.luts,
+            vitis.luts
+        );
         assert_eq!(o1.pages, 2);
     }
 

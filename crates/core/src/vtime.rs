@@ -136,13 +136,34 @@ mod tests {
 
     #[test]
     fn phase_algebra() {
-        let a = PhaseTimes { hls: 1.0, syn: 2.0, pnr: 3.0, bit: 4.0, riscv: 0.0 };
-        let b = PhaseTimes { hls: 4.0, syn: 1.0, pnr: 5.0, bit: 0.5, riscv: 1.0 };
+        let a = PhaseTimes {
+            hls: 1.0,
+            syn: 2.0,
+            pnr: 3.0,
+            bit: 4.0,
+            riscv: 0.0,
+        };
+        let b = PhaseTimes {
+            hls: 4.0,
+            syn: 1.0,
+            pnr: 5.0,
+            bit: 0.5,
+            riscv: 1.0,
+        };
         assert_eq!(a.total(), 10.0);
         let s = a.add(&b);
         assert_eq!(s.total(), 21.5);
         let m = a.parallel_max(&b);
-        assert_eq!(m, PhaseTimes { hls: 4.0, syn: 2.0, pnr: 5.0, bit: 4.0, riscv: 1.0 });
+        assert_eq!(
+            m,
+            PhaseTimes {
+                hls: 4.0,
+                syn: 2.0,
+                pnr: 5.0,
+                bit: 4.0,
+                riscv: 1.0
+            }
+        );
     }
 
     #[test]

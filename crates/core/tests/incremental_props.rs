@@ -1,0 +1,127 @@
+//! BuildCache properties: the cache's hit/miss accounting is exact over
+//! arbitrary edit sequences, and a page-assignment-only change is treated
+//! as dirty (an artifact is only reusable on the page it was built for).
+
+use dfg::{Graph, GraphBuilder, Target};
+use kir::{Expr, KernelBuilder, Scalar, Stmt};
+use pld::{BuildCache, CompileOptions, OptLevel};
+use proptest::prelude::*;
+
+fn stage(name: &str, addend: i64) -> kir::Kernel {
+    KernelBuilder::new(name)
+        .input("in", Scalar::uint(32))
+        .output("out", Scalar::uint(32))
+        .local("x", Scalar::uint(32))
+        .body([Stmt::for_pipelined(
+            "i",
+            0..8,
+            [
+                Stmt::read("x", "in"),
+                Stmt::write("out", Expr::var("x").add(Expr::cint(addend))),
+            ],
+        )])
+        .build()
+        .unwrap()
+}
+
+fn pipeline(addends: [i64; 4]) -> Graph {
+    let mut b = GraphBuilder::new("pipe");
+    let mut prev = None;
+    for (i, &addend) in addends.iter().enumerate() {
+        let id = b.add(
+            format!("s{i}"),
+            stage(&format!("s{i}"), addend),
+            Target::riscv_auto(),
+        );
+        match prev {
+            None => b.ext_input("Input_1", id, "in"),
+            Some(p) => {
+                b.connect(format!("l{i}"), p, "out", id, "in");
+            }
+        }
+        prev = Some(id);
+    }
+    b.ext_output("Output_1", prev.unwrap(), "out");
+    b.build().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Across any edit sequence, every operator compile is exactly one hit
+    /// or one miss — hits + misses == builds × operators — and the misses
+    /// are exactly the edits that changed something.
+    #[test]
+    fn cache_accounting_is_exact_over_edit_sequences(
+        edits in proptest::collection::vec((0usize..4, 1i64..6), 0..8),
+    ) {
+        let n_builds = edits.len() as u64 + 1;
+        let mut addends = [1i64, 2, 3, 4];
+        let mut cache = BuildCache::new();
+        let opts = CompileOptions::new(OptLevel::O0);
+
+        cache.compile(&pipeline(addends), &opts).unwrap();
+        prop_assert_eq!((cache.hits, cache.misses), (0, 4));
+
+        let mut expected_hits = 0u64;
+        let mut expected_misses = 4u64;
+        for (op, addend) in edits {
+            let changed = addends[op] != addend;
+            addends[op] = addend;
+            cache.compile(&pipeline(addends), &opts).unwrap();
+            expected_misses += changed as u64;
+            expected_hits += 4 - changed as u64;
+            prop_assert_eq!(cache.hits, expected_hits);
+            prop_assert_eq!(cache.misses, expected_misses);
+        }
+        prop_assert_eq!(cache.hits + cache.misses, 4 * n_builds);
+    }
+}
+
+/// Swapping two operators' insertion order changes nothing about their
+/// sources — only the automatic page assignment. The cache must still
+/// recompile both: an artifact is bound to the page it was built for.
+#[test]
+fn page_assignment_only_change_is_dirty() {
+    let two = |reversed: bool| -> Graph {
+        let mut b = GraphBuilder::new("two");
+        let addend = |name: &str| if name == "a" { 1 } else { 2 };
+        let (first, second) = if reversed { ("b", "a") } else { ("a", "b") };
+        let f = b.add(first, stage(first, addend(first)), Target::riscv_auto());
+        let s = b.add(second, stage(second, addend(second)), Target::riscv_auto());
+        let (a, bb) = if reversed { (s, f) } else { (f, s) };
+        b.ext_input("Input_1", a, "in");
+        b.connect("l", a, "out", bb, "in");
+        b.ext_output("Output_1", bb, "out");
+        b.build().unwrap()
+    };
+
+    let mut cache = BuildCache::new();
+    let opts = CompileOptions::new(OptLevel::O0);
+    let app1 = cache.compile(&two(false), &opts).unwrap();
+    assert_eq!((cache.hits, cache.misses), (0, 2));
+
+    let g1 = two(false);
+    let g2 = two(true);
+    let app2 = cache.compile(&g2, &opts).unwrap();
+    let page_of = |app: &pld::CompiledApp, name: &str| {
+        app.operators
+            .iter()
+            .find(|o| o.name == name)
+            .unwrap()
+            .page
+            .unwrap()
+    };
+    for name in ["a", "b"] {
+        // The sources are bit-identical: same kernel, same declared target.
+        let op1 = g1.operators.iter().find(|o| o.name == name).unwrap();
+        let op2 = g2.operators.iter().find(|o| o.name == name).unwrap();
+        assert_eq!(format!("{:?}", op1.kernel), format!("{:?}", op2.kernel));
+        assert_eq!(op1.target, op2.target);
+        // ...but the automatic assignment moved both operators.
+        assert_ne!(page_of(&app1, name), page_of(&app2, name));
+    }
+    // A pure page move reuses nothing: softcore images are packed for their
+    // page and the resolved target (hence the content hash) names it.
+    assert_eq!((cache.hits, cache.misses), (0, 4));
+}

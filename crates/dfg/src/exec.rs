@@ -124,7 +124,11 @@ fn run_graph_inner(
     let mut edge_tokens = vec![0u64; graph.edges.len()];
     let mut op_outputs: HashMap<(OpId, String), Vec<Value>> = HashMap::new();
     let mut trace = GraphTrace {
-        op_inputs: graph.operators.iter().map(|o| vec![Vec::new(); o.kernel.inputs.len()]).collect(),
+        op_inputs: graph
+            .operators
+            .iter()
+            .map(|o| vec![Vec::new(); o.kernel.inputs.len()])
+            .collect(),
     };
 
     for op_id in graph.topo_order() {
@@ -135,8 +139,7 @@ fn run_graph_inner(
             .inputs
             .iter()
             .map(|p| {
-                let stream =
-                    pending.remove(&(op_id, p.name.clone())).unwrap_or_default();
+                let stream = pending.remove(&(op_id, p.name.clone())).unwrap_or_default();
                 (p.name.as_str(), stream)
             })
             .collect();
@@ -147,7 +150,10 @@ fn run_graph_inner(
         }
         let (outputs, stats) = resolved
             .run(&op_inputs, kir::interp::DEFAULT_OP_BUDGET)
-            .map_err(|error| GraphRunError::Operator { op: inst.name.clone(), error })?;
+            .map_err(|error| GraphRunError::Operator {
+                op: inst.name.clone(),
+                error,
+            })?;
         per_op[op_id.0] = stats;
         for (port, stream) in outputs {
             op_outputs.insert((op_id, port), stream);
@@ -163,10 +169,19 @@ fn run_graph_inner(
 
     let mut ext = HashMap::new();
     for p in &graph.ext_outputs {
-        let stream = op_outputs.remove(&(p.op, p.port.clone())).unwrap_or_default();
+        let stream = op_outputs
+            .remove(&(p.op, p.port.clone()))
+            .unwrap_or_default();
         ext.insert(p.name.clone(), stream);
     }
-    Ok((ext, GraphRunStats { per_op, edge_tokens }, trace))
+    Ok((
+        ext,
+        GraphRunStats {
+            per_op,
+            edge_tokens,
+        },
+        trace,
+    ))
 }
 
 #[cfg(test)]
@@ -195,7 +210,10 @@ mod tests {
     }
 
     fn word_values(words: impl IntoIterator<Item = u32>) -> Vec<Value> {
-        words.into_iter().map(|w| Value::Int(DynInt::from_raw(32, false, w as u128))).collect()
+        words
+            .into_iter()
+            .map(|w| Value::Int(DynInt::from_raw(32, false, w as u128)))
+            .collect()
     }
 
     #[test]

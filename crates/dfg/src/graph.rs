@@ -64,7 +64,11 @@ pub enum GraphError {
     UnknownPort { op: String, port: String },
     /// The two endpoints of a link carry different element types.
     #[allow(missing_docs)]
-    TypeMismatch { link: String, from: Scalar, to: Scalar },
+    TypeMismatch {
+        link: String,
+        from: Scalar,
+        to: Scalar,
+    },
     /// An input port is fed by more than one link.
     #[allow(missing_docs)]
     InputDoubleDriven { op: String, port: String },
@@ -154,8 +158,7 @@ impl Graph {
             succ[e.from.0 .0].push(e.to.0 .0);
             indegree[e.to.0 .0] += 1;
         }
-        let mut queue: VecDeque<usize> =
-            (0..n).filter(|&i| indegree[i] == 0).collect();
+        let mut queue: VecDeque<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
         let mut order = Vec::with_capacity(n);
         while let Some(i) = queue.pop_front() {
             order.push(OpId(i));
@@ -175,7 +178,11 @@ impl Graph {
 
     /// Incoming edges of an operator (including none for sources).
     pub fn in_edges(&self, op: OpId) -> impl Iterator<Item = (EdgeId, &StreamEdge)> {
-        self.edges.iter().enumerate().filter(move |(_, e)| e.to.0 == op).map(|(i, e)| (EdgeId(i), e))
+        self.edges
+            .iter()
+            .enumerate()
+            .filter(move |(_, e)| e.to.0 == op)
+            .map(|(i, e)| (EdgeId(i), e))
     }
 
     /// Outgoing edges of an operator.
@@ -306,19 +313,30 @@ pub struct GraphBuilder {
 impl GraphBuilder {
     /// Starts a graph named `name`.
     pub fn new(name: impl Into<String>) -> Self {
-        GraphBuilder { name: name.into(), ..Default::default() }
+        GraphBuilder {
+            name: name.into(),
+            ..Default::default()
+        }
     }
 
     /// Adds an operator instance and returns its id.
     pub fn add(&mut self, name: impl Into<String>, kernel: Kernel, target: Target) -> OpId {
         let id = OpId(self.operators.len());
-        self.operators.push(OperatorInst { name: name.into(), kernel, target });
+        self.operators.push(OperatorInst {
+            name: name.into(),
+            kernel,
+            target,
+        });
         id
     }
 
     fn port_elem(&mut self, op: OpId, port: &str, output: bool) -> Option<Scalar> {
         let inst = &self.operators[op.0];
-        let decl = if output { inst.kernel.output(port) } else { inst.kernel.input(port) };
+        let decl = if output {
+            inst.kernel.output(port)
+        } else {
+            inst.kernel.input(port)
+        };
         match decl {
             Some(p) => Some(p.elem),
             None => {
@@ -345,7 +363,11 @@ impl GraphBuilder {
         let te = self.port_elem(to, in_port, false);
         if let (Some(fe), Some(te)) = (fe, te) {
             if fe != te {
-                self.errors.push(GraphError::TypeMismatch { link: link.clone(), from: fe, to: te });
+                self.errors.push(GraphError::TypeMismatch {
+                    link: link.clone(),
+                    from: fe,
+                    to: te,
+                });
             }
         }
         let id = EdgeId(self.edges.len());
@@ -361,13 +383,23 @@ impl GraphBuilder {
     /// Binds a host-visible input to an operator input port.
     pub fn ext_input(&mut self, name: impl Into<String>, op: OpId, port: &str) {
         let elem = self.port_elem(op, port, false).unwrap_or(Scalar::uint(32));
-        self.ext_inputs.push(ExtPort { name: name.into(), op, port: port.to_string(), elem });
+        self.ext_inputs.push(ExtPort {
+            name: name.into(),
+            op,
+            port: port.to_string(),
+            elem,
+        });
     }
 
     /// Binds an operator output port to a host-visible output.
     pub fn ext_output(&mut self, name: impl Into<String>, op: OpId, port: &str) {
         let elem = self.port_elem(op, port, true).unwrap_or(Scalar::uint(32));
-        self.ext_outputs.push(ExtPort { name: name.into(), op, port: port.to_string(), elem });
+        self.ext_outputs.push(ExtPort {
+            name: name.into(),
+            op,
+            port: port.to_string(),
+            elem,
+        });
     }
 
     /// Finishes and validates the graph.
@@ -413,8 +445,9 @@ mod tests {
 
     fn chain(len: usize) -> Graph {
         let mut b = GraphBuilder::new("chain");
-        let ids: Vec<OpId> =
-            (0..len).map(|i| b.add(format!("op{i}"), passthrough(4), Target::hw(i as u32))).collect();
+        let ids: Vec<OpId> = (0..len)
+            .map(|i| b.add(format!("op{i}"), passthrough(4), Target::hw(i as u32)))
+            .collect();
         b.ext_input("Input_1", ids[0], "in");
         for w in ids.windows(2) {
             b.connect(format!("l{}", w[0].0), w[0], "out", w[1], "in");
@@ -439,7 +472,13 @@ mod tests {
         b.ext_input("in", a, "in");
         // output left dangling
         let err = b.build().unwrap_err();
-        assert_eq!(err, GraphError::Unconnected { op: "a".into(), port: "out".into() });
+        assert_eq!(
+            err,
+            GraphError::Unconnected {
+                op: "a".into(),
+                port: "out".into()
+            }
+        );
     }
 
     #[test]
@@ -450,7 +489,13 @@ mod tests {
         b.ext_input("in2", a, "in");
         b.ext_output("out", a, "out");
         let err = b.build().unwrap_err();
-        assert_eq!(err, GraphError::InputDoubleDriven { op: "a".into(), port: "in".into() });
+        assert_eq!(
+            err,
+            GraphError::InputDoubleDriven {
+                op: "a".into(),
+                port: "in".into()
+            }
+        );
     }
 
     #[test]
@@ -465,7 +510,13 @@ mod tests {
         b.ext_output("o1", c, "out");
         b.ext_output("o2", d, "out");
         let err = b.build().unwrap_err();
-        assert_eq!(err, GraphError::OutputDoubleUsed { op: "a".into(), port: "out".into() });
+        assert_eq!(
+            err,
+            GraphError::OutputDoubleUsed {
+                op: "a".into(),
+                port: "out".into()
+            }
+        );
     }
 
     #[test]
@@ -486,7 +537,13 @@ mod tests {
         b.ext_input("in", a, "bogus");
         b.ext_output("out", a, "out");
         let err = b.build().unwrap_err();
-        assert_eq!(err, GraphError::UnknownPort { op: "a".into(), port: "bogus".into() });
+        assert_eq!(
+            err,
+            GraphError::UnknownPort {
+                op: "a".into(),
+                port: "bogus".into()
+            }
+        );
     }
 
     #[test]

@@ -60,12 +60,16 @@ pub struct DfgIr {
 impl DfgIr {
     /// Links whose producer or consumer is the host DMA engine.
     pub fn dma_links(&self) -> impl Iterator<Item = &IrLink> {
-        self.links.iter().filter(|l| l.from.0 == IrLink::HOST || l.to.0 == IrLink::HOST)
+        self.links
+            .iter()
+            .filter(|l| l.from.0 == IrLink::HOST || l.to.0 == IrLink::HOST)
     }
 
     /// Links connecting two mapped operators.
     pub fn internal_links(&self) -> impl Iterator<Item = &IrLink> {
-        self.links.iter().filter(|l| l.from.0 != IrLink::HOST && l.to.0 != IrLink::HOST)
+        self.links
+            .iter()
+            .filter(|l| l.from.0 != IrLink::HOST && l.to.0 != IrLink::HOST)
     }
 }
 
@@ -98,7 +102,14 @@ impl fmt::Display for DfgIr {
                     format!("{}.{}", e.0, e.1)
                 }
             };
-            writeln!(f, "link {} {} -> {} words={}", l.name, end(l.from), end(l.to), l.words)?;
+            writeln!(
+                f,
+                "link {} {} -> {} words={}",
+                l.name,
+                end(l.from),
+                end(l.to),
+                l.words
+            )?;
         }
         Ok(())
     }
@@ -129,7 +140,10 @@ impl DfgIr {
     ///
     /// Returns [`ParseIrError`] with the offending line on malformed input.
     pub fn parse(text: &str) -> Result<DfgIr, ParseIrError> {
-        let err = |line: usize, message: &str| ParseIrError { line, message: message.into() };
+        let err = |line: usize, message: &str| ParseIrError {
+            line,
+            message: message.into(),
+        };
         let mut app = String::new();
         let mut operators: Vec<IrOperator> = Vec::new();
         let mut links = Vec::new();
@@ -165,11 +179,12 @@ impl DfgIr {
                             target = Some(match v {
                                 "HW" => Target::hw_auto(),
                                 "RISCV" => Target::riscv_auto(),
-                                other => return Err(err(line_no, &format!("unknown target {other}"))),
+                                other => {
+                                    return Err(err(line_no, &format!("unknown target {other}")))
+                                }
                             });
                         } else if let Some(v) = t.strip_prefix("inputs=") {
-                            num_inputs =
-                                v.parse().map_err(|_| err(line_no, "bad inputs count"))?;
+                            num_inputs = v.parse().map_err(|_| err(line_no, "bad inputs count"))?;
                         } else if let Some(v) = t.strip_prefix("outputs=") {
                             num_outputs =
                                 v.parse().map_err(|_| err(line_no, "bad outputs count"))?;
@@ -224,13 +239,22 @@ impl DfgIr {
                         .and_then(|t| t.strip_prefix("words="))
                         .and_then(|v| v.parse().ok())
                         .ok_or_else(|| err(line_no, "link record missing words="))?;
-                    links.push(IrLink { name, from, to, words });
+                    links.push(IrLink {
+                        name,
+                        from,
+                        to,
+                        words,
+                    });
                 }
                 Some(other) => return Err(err(line_no, &format!("unknown record {other}"))),
                 None => {}
             }
         }
-        Ok(DfgIr { app, operators, links })
+        Ok(DfgIr {
+            app,
+            operators,
+            links,
+        })
     }
 }
 
@@ -250,7 +274,9 @@ pub fn extract(graph: &Graph) -> DfgIr {
     let port_index = |op: crate::graph::OpId, port: &str, output: bool| -> u32 {
         let k = &graph.operators[op.0].kernel;
         let list = if output { &k.outputs } else { &k.inputs };
-        list.iter().position(|p| p.name == port).expect("validated graph has known ports") as u32
+        list.iter()
+            .position(|p| p.name == port)
+            .expect("validated graph has known ports") as u32
     };
 
     let mut links = Vec::new();
@@ -279,7 +305,11 @@ pub fn extract(graph: &Graph) -> DfgIr {
         });
     }
 
-    DfgIr { app: graph.name.clone(), operators, links }
+    DfgIr {
+        app: graph.name.clone(),
+        operators,
+        links,
+    }
 }
 
 #[cfg(test)]

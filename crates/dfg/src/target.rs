@@ -83,7 +83,10 @@ impl Target {
             if let Some(v) = tok.strip_prefix("target=") {
                 target = Some(v);
             } else if let Some(v) = tok.strip_prefix("p_num=") {
-                page = Some(v.parse().map_err(|_| PragmaError::BadPageNumber(v.to_string()))?);
+                page = Some(
+                    v.parse()
+                        .map_err(|_| PragmaError::BadPageNumber(v.to_string()))?,
+                );
             } else {
                 return Err(PragmaError::UnknownToken(tok.to_string()));
             }
@@ -125,7 +128,9 @@ impl fmt::Display for PragmaError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             PragmaError::MissingTarget => write!(f, "pragma has no target= token"),
-            PragmaError::UnknownTarget(t) => write!(f, "unknown target `{t}` (expected HW or RISCV)"),
+            PragmaError::UnknownTarget(t) => {
+                write!(f, "unknown target `{t}` (expected HW or RISCV)")
+            }
             PragmaError::BadPageNumber(v) => write!(f, "p_num value `{v}` is not a page number"),
             PragmaError::UnknownToken(t) => write!(f, "unrecognized pragma token `{t}`"),
         }
@@ -150,12 +155,18 @@ mod tests {
 
     #[test]
     fn page_is_optional() {
-        assert_eq!(Target::parse_pragma("target=HW").unwrap(), Target::hw_auto());
+        assert_eq!(
+            Target::parse_pragma("target=HW").unwrap(),
+            Target::hw_auto()
+        );
     }
 
     #[test]
     fn rejects_garbage() {
-        assert_eq!(Target::parse_pragma("p_num=1"), Err(PragmaError::MissingTarget));
+        assert_eq!(
+            Target::parse_pragma("p_num=1"),
+            Err(PragmaError::MissingTarget)
+        );
         assert_eq!(
             Target::parse_pragma("target=GPU"),
             Err(PragmaError::UnknownTarget("GPU".into()))
@@ -172,7 +183,12 @@ mod tests {
 
     #[test]
     fn display_roundtrips() {
-        for t in [Target::hw(3), Target::hw_auto(), Target::riscv(7), Target::riscv_auto()] {
+        for t in [
+            Target::hw(3),
+            Target::hw_auto(),
+            Target::riscv(7),
+            Target::riscv_auto(),
+        ] {
             assert_eq!(Target::parse_pragma(&t.to_string()).unwrap(), t);
         }
     }

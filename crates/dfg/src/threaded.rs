@@ -29,10 +29,12 @@ struct ChannelIo {
 impl KernelIo for ChannelIo {
     fn read(&mut self, port: usize) -> Result<Value, InterpError> {
         match &self.readers[port] {
-            Some(rx) => rx
-                .read()
-                .map_err(|_| InterpError::StreamUnderflow { port: self.in_names[port].clone() }),
-            None => Err(InterpError::StreamUnderflow { port: self.in_names[port].clone() }),
+            Some(rx) => rx.read().map_err(|_| InterpError::StreamUnderflow {
+                port: self.in_names[port].clone(),
+            }),
+            None => Err(InterpError::StreamUnderflow {
+                port: self.in_names[port].clone(),
+            }),
         }
     }
 
@@ -85,10 +87,20 @@ pub fn run_graph_threaded(
         .collect();
 
     let in_port_index = |op: crate::graph::OpId, port: &str| {
-        graph.operators[op.0].kernel.inputs.iter().position(|p| p.name == port).expect("validated")
+        graph.operators[op.0]
+            .kernel
+            .inputs
+            .iter()
+            .position(|p| p.name == port)
+            .expect("validated")
     };
     let out_port_index = |op: crate::graph::OpId, port: &str| {
-        graph.operators[op.0].kernel.outputs.iter().position(|p| p.name == port).expect("validated")
+        graph.operators[op.0]
+            .kernel
+            .outputs
+            .iter()
+            .position(|p| p.name == port)
+            .expect("validated")
     };
 
     for e in &graph.edges {
@@ -120,7 +132,9 @@ pub fn run_graph_threaded(
         let (tx, rx) = listream::channel(CHANNEL_DEPTH);
         op_writers[p.op.0][out_port_index(p.op, &p.port)] = Some(tx);
         let name = p.name.clone();
-        collectors.push(thread::spawn(move || (name, rx.iter().collect::<Vec<Value>>())));
+        collectors.push(thread::spawn(move || {
+            (name, rx.iter().collect::<Vec<Value>>())
+        }));
     }
 
     // Operator threads.
@@ -169,7 +183,9 @@ mod tests {
     use kir::{Expr, KernelBuilder, Scalar, Stmt};
 
     fn word_values(n: u32) -> Vec<Value> {
-        (0..n).map(|w| Value::Int(aplib::DynInt::from_raw(32, false, w as u128))).collect()
+        (0..n)
+            .map(|w| Value::Int(aplib::DynInt::from_raw(32, false, w as u128)))
+            .collect()
     }
 
     fn pipeline(n_stages: usize, tokens: i64) -> Graph {
@@ -191,7 +207,13 @@ mod tests {
         };
         let mut b = GraphBuilder::new("p");
         let ids: Vec<_> = (0..n_stages)
-            .map(|i| b.add(format!("s{i}"), stage(&format!("s{i}"), i as i64), Target::hw_auto()))
+            .map(|i| {
+                b.add(
+                    format!("s{i}"),
+                    stage(&format!("s{i}"), i as i64),
+                    Target::hw_auto(),
+                )
+            })
             .collect();
         b.ext_input("Input_1", ids[0], "in");
         for w in ids.windows(2) {

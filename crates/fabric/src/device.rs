@@ -23,9 +23,24 @@ impl ColumnKind {
     /// BRAM18s with developer-visible carving, 5,936 DSPs).
     pub fn tile_resources(self) -> Resources {
         match self {
-            ColumnKind::Clb => Resources { luts: 240, ffs: 480, bram18: 0, dsp: 0 },
-            ColumnKind::Bram => Resources { luts: 0, ffs: 0, bram18: 6, dsp: 0 },
-            ColumnKind::Dsp => Resources { luts: 0, ffs: 0, bram18: 0, dsp: 15 },
+            ColumnKind::Clb => Resources {
+                luts: 240,
+                ffs: 480,
+                bram18: 0,
+                dsp: 0,
+            },
+            ColumnKind::Bram => Resources {
+                luts: 0,
+                ffs: 0,
+                bram18: 6,
+                dsp: 0,
+            },
+            ColumnKind::Dsp => Resources {
+                luts: 0,
+                ffs: 0,
+                bram18: 0,
+                dsp: 15,
+            },
         }
     }
 }
@@ -70,7 +85,10 @@ impl Rect {
 
     /// Centre of the rectangle in tile coordinates.
     pub fn center(&self) -> (f64, f64) {
-        (self.x0 as f64 + self.w as f64 / 2.0, self.y0 as f64 + self.h as f64 / 2.0)
+        (
+            self.x0 as f64 + self.w as f64 / 2.0,
+            self.y0 as f64 + self.h as f64 / 2.0,
+        )
     }
 }
 
@@ -152,7 +170,12 @@ impl Device {
     ///
     /// Panics if `(x, y)` is outside the grid.
     pub fn tile_resources(&self, x: u32, y: u32) -> Resources {
-        assert!(x < self.width && y < self.height, "tile ({x},{y}) outside {}x{}", self.width, self.height);
+        assert!(
+            x < self.width && y < self.height,
+            "tile ({x},{y}) outside {}x{}",
+            self.width,
+            self.height
+        );
         if self.is_reserved_col(x) {
             Resources::default()
         } else {

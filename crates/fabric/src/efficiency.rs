@@ -24,7 +24,10 @@ pub struct EfficiencyParams {
 
 impl Default for EfficiencyParams {
     fn default() -> Self {
-        EfficiencyParams { leaf_interface_luts: 500, linking_net_luts_per_endpoint: 500 }
+        EfficiencyParams {
+            leaf_interface_luts: 500,
+            linking_net_luts_per_endpoint: 500,
+        }
     }
 }
 
@@ -77,7 +80,10 @@ mod tests {
         let small = page_efficiency(&ops, 2_000, &params);
         let big = page_efficiency(&ops, 18_000, &params);
         assert!(small < big);
-        assert!(small < 0.70, "2k pages should be badly inefficient, got {small}");
+        assert!(
+            small < 0.70,
+            "2k pages should be badly inefficient, got {small}"
+        );
     }
 
     #[test]
@@ -85,7 +91,10 @@ mod tests {
         // 6k-LUT operators on 18k pages: two thirds of every page idle.
         let ops = vec![6_000u64; 20];
         let eff = page_efficiency(&ops, 18_000, &EfficiencyParams::default());
-        assert!(eff < 0.35, "internal fragmentation should dominate, got {eff}");
+        assert!(
+            eff < 0.35,
+            "internal fragmentation should dominate, got {eff}"
+        );
     }
 
     #[test]
@@ -98,7 +107,10 @@ mod tests {
 
     #[test]
     fn zero_overhead_perfect_packing_is_lossless() {
-        let params = EfficiencyParams { leaf_interface_luts: 0, linking_net_luts_per_endpoint: 0 };
+        let params = EfficiencyParams {
+            leaf_interface_luts: 0,
+            linking_net_luts_per_endpoint: 0,
+        };
         let eff = page_efficiency(&[10_000, 10_000], 10_000, &params);
         assert_eq!(eff, 1.0);
     }

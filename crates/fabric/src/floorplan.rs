@@ -100,20 +100,39 @@ impl Floorplan {
         for band in 0..7 {
             rects.push(Rect::new(pcs[0].0, band * band_h, pcs[0].1, band_h));
         }
-        infra.push(("dma_engine".into(), Rect::new(pcs[0].0, 70, pcs[0].1, band_h)));
+        infra.push((
+            "dma_engine".into(),
+            Rect::new(pcs[0].0, 70, pcs[0].1, band_h),
+        ));
         for band in 0..7 {
             rects.push(Rect::new(pcs[1].0, band * band_h, pcs[1].1, band_h));
         }
-        infra.push(("debug_profile".into(), Rect::new(pcs[1].0, 70, pcs[1].1, band_h)));
+        infra.push((
+            "debug_profile".into(),
+            Rect::new(pcs[1].0, 70, pcs[1].1, band_h),
+        ));
         for band in 0..7 {
             rects.push(Rect::new(pcs[2].0, band * band_h, pcs[2].1, band_h));
         }
-        infra.push(("interrupt_reset".into(), Rect::new(pcs[2].0, 70, pcs[2].1, band_h)));
+        infra.push((
+            "interrupt_reset".into(),
+            Rect::new(pcs[2].0, 70, pcs[2].1, band_h),
+        ));
         rects.push(Rect::new(pcs[3].0, 0, pcs[3].1, band_h));
-        let pc3_infra = ["binary_config", "hbm_driver_0", "hbm_driver_1", "reserved_0",
-                         "reserved_1", "reserved_2", "reserved_3"];
+        let pc3_infra = [
+            "binary_config",
+            "hbm_driver_0",
+            "hbm_driver_1",
+            "reserved_0",
+            "reserved_1",
+            "reserved_2",
+            "reserved_3",
+        ];
         for (i, name) in pc3_infra.iter().enumerate() {
-            infra.push((name.to_string(), Rect::new(pcs[3].0, (i as u32 + 1) * band_h, pcs[3].1, band_h)));
+            infra.push((
+                name.to_string(),
+                Rect::new(pcs[3].0, (i as u32 + 1) * band_h, pcs[3].1, band_h),
+            ));
         }
 
         let fp = Floorplan::from_rects(device, rects, infra);
@@ -147,7 +166,10 @@ impl Floorplan {
         rects.push(Rect::new(x0, 0, w, band_h));
         rects.push(Rect::new(x0, 5, w, band_h));
         for band in 2..16 {
-            infra.push((format!("reserved_{band}"), Rect::new(x0, band * band_h, w, band_h)));
+            infra.push((
+                format!("reserved_{band}"),
+                Rect::new(x0, band * band_h, w, band_h),
+            ));
         }
         let fp = Floorplan::from_rects(device, rects, infra);
         fp.validate().expect("built-in fine U50 floorplan is valid");
@@ -172,7 +194,10 @@ impl Floorplan {
         // Group identical resource vectors.
         let mut groups: BTreeMap<(u64, u64, u64, u64), Vec<usize>> = BTreeMap::new();
         for (i, r) in resources.iter().enumerate() {
-            groups.entry((r.luts, r.ffs, r.bram18, r.dsp)).or_default().push(i);
+            groups
+                .entry((r.luts, r.ffs, r.bram18, r.dsp))
+                .or_default()
+                .push(i);
         }
         type GroupRef<'a> = (&'a (u64, u64, u64, u64), &'a Vec<usize>);
         let mut ordered: Vec<GroupRef<'_>> = groups.iter().collect();
@@ -195,7 +220,11 @@ impl Floorplan {
                 slr: device.slr_of_row(rect.y0),
             })
             .collect();
-        Floorplan { device, pages, infra }
+        Floorplan {
+            device,
+            pages,
+            infra,
+        }
     }
 
     /// Looks up a page.
@@ -216,6 +245,17 @@ impl Floorplan {
     /// The representative resource mix of a page type.
     pub fn type_resources(&self, page_type: u32) -> Option<Resources> {
         self.pages_of_type(page_type).next().map(|p| p.resources)
+    }
+
+    /// The type index of a page (1-based, as in Tab. 1).
+    pub fn page_type_of(&self, id: PageId) -> Option<u32> {
+        self.page(id).map(|p| p.page_type)
+    }
+
+    /// Number of pages of the given type — the ceiling on how many
+    /// same-shaped operators a multi-tenant scheduler can host at once.
+    pub fn type_population(&self, page_type: u32) -> usize {
+        self.pages_of_type(page_type).count()
     }
 
     /// Validates geometric invariants.
@@ -312,8 +352,7 @@ mod tests {
         assert_eq!(fp.pages.len(), 22);
         assert_eq!(fp.type_count(), 4);
         // Tab. 1's Number row: 7 / 7 / 7 / 1.
-        let mut counts: Vec<usize> =
-            (1..=4).map(|t| fp.pages_of_type(t).count()).collect();
+        let mut counts: Vec<usize> = (1..=4).map(|t| fp.pages_of_type(t).count()).collect();
         counts.sort_unstable();
         assert_eq!(counts, vec![1, 7, 7, 7]);
     }
@@ -323,8 +362,16 @@ mod tests {
         // Tab. 1 pages: 17.5–21.2k LUTs, 48–120 BRAM18, 120–168 DSP.
         let fp = Floorplan::u50();
         for p in &fp.pages {
-            assert!(p.resources.luts >= 15_000 && p.resources.luts <= 30_000, "{:?}", p);
-            assert!(p.resources.bram18 >= 48 && p.resources.bram18 <= 144, "{:?}", p);
+            assert!(
+                p.resources.luts >= 15_000 && p.resources.luts <= 30_000,
+                "{:?}",
+                p
+            );
+            assert!(
+                p.resources.bram18 >= 48 && p.resources.bram18 <= 144,
+                "{:?}",
+                p
+            );
             assert!(p.resources.dsp >= 100 && p.resources.dsp <= 200, "{:?}", p);
         }
     }
@@ -332,6 +379,17 @@ mod tests {
     #[test]
     fn u50_validates() {
         assert!(Floorplan::u50().validate().is_ok());
+    }
+
+    #[test]
+    fn type_queries_agree_with_page_records() {
+        let fp = Floorplan::u50();
+        for p in &fp.pages {
+            assert_eq!(fp.page_type_of(p.id), Some(p.page_type));
+        }
+        assert_eq!(fp.page_type_of(PageId(99)), None);
+        let total: usize = (1..=fp.type_count()).map(|t| fp.type_population(t)).sum();
+        assert_eq!(total, fp.pages.len());
     }
 
     #[test]
@@ -358,14 +416,20 @@ mod tests {
     fn reserved_column_detected() {
         let device = Device::xcu50();
         let fp = Floorplan::from_rects(device, vec![Rect::new(0, 0, 3, 10)], vec![]);
-        assert!(matches!(fp.validate(), Err(FloorplanError::OnReservedColumn { .. })));
+        assert!(matches!(
+            fp.validate(),
+            Err(FloorplanError::OnReservedColumn { .. })
+        ));
     }
 
     #[test]
     fn out_of_bounds_detected() {
         let device = Device::xcu50();
         let fp = Floorplan::from_rects(device, vec![Rect::new(45, 0, 10, 10)], vec![]);
-        assert!(matches!(fp.validate(), Err(FloorplanError::OutOfBounds { .. })));
+        assert!(matches!(
+            fp.validate(),
+            Err(FloorplanError::OutOfBounds { .. })
+        ));
     }
 
     #[test]
@@ -385,7 +449,10 @@ mod tests {
         assert!(fine.validate().is_ok());
         let coarse_luts = coarse.pages[0].resources.luts;
         let fine_luts = fine.pages[0].resources.luts;
-        assert!(fine_luts * 2 <= coarse_luts + 1, "{fine_luts} vs {coarse_luts}");
+        assert!(
+            fine_luts * 2 <= coarse_luts + 1,
+            "{fine_luts} vs {coarse_luts}"
+        );
     }
 
     #[test]

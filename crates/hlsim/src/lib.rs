@@ -70,5 +70,9 @@ pub fn compile(kernel: &Kernel) -> Result<HlsOutput, kir::CheckError> {
     let schedule = schedule::schedule(kernel);
     let netlist = lower::lower(kernel);
     let report = report::HlsReport::new(kernel, &netlist, &schedule);
-    Ok(HlsOutput { netlist, schedule, report })
+    Ok(HlsOutput {
+        netlist,
+        schedule,
+        report,
+    })
 }

@@ -44,21 +44,37 @@ pub fn lower(kernel: &Kernel) -> Netlist {
     };
 
     for p in &kernel.inputs {
-        let id = lw.nl.add_cell(format!("in_{}", p.name), CellKind::StreamIn { width: p.elem.width() });
+        let id = lw.nl.add_cell(
+            format!("in_{}", p.name),
+            CellKind::StreamIn {
+                width: p.elem.width(),
+            },
+        );
         lw.port_cells.insert(p.name.clone(), id);
     }
     for p in &kernel.outputs {
-        let id =
-            lw.nl.add_cell(format!("out_{}", p.name), CellKind::StreamOut { width: p.elem.width() });
+        let id = lw.nl.add_cell(
+            format!("out_{}", p.name),
+            CellKind::StreamOut {
+                width: p.elem.width(),
+            },
+        );
         lw.port_cells.insert(p.name.clone(), id);
     }
     for v in &kernel.locals {
-        let id = lw.nl.add_cell(format!("reg_{}", v.name), CellKind::Register { width: v.ty.width() });
+        let id = lw.nl.add_cell(
+            format!("reg_{}", v.name),
+            CellKind::Register {
+                width: v.ty.width(),
+            },
+        );
         lw.var_cells.insert(v.name.clone(), id);
     }
     for a in &kernel.arrays {
         let bits = a.len * u64::from(a.elem.width());
-        let id = lw.nl.add_cell(format!("bram_{}", a.name), CellKind::BramPort { bits });
+        let id = lw
+            .nl
+            .add_cell(format!("bram_{}", a.name), CellKind::BramPort { bits });
         lw.array_cells.insert(a.name.clone(), id);
     }
 
@@ -108,7 +124,11 @@ impl<'k> Lowerer<'k> {
         match e {
             Expr::Const { ty, .. } => {
                 let name = self.fresh_name("const");
-                (self.nl.add_cell(name, CellKind::Const { width: ty.width() }), 0)
+                (
+                    self.nl
+                        .add_cell(name, CellKind::Const { width: ty.width() }),
+                    0,
+                )
             }
             Expr::Var(name) => {
                 if let Some((_, id)) = self.loop_cells.iter().rev().find(|(n, _)| n == name) {
@@ -149,12 +169,9 @@ impl<'k> Lowerer<'k> {
                     BinOp::Div | BinOp::Rem => CellKind::Divider { width: w },
                     BinOp::And | BinOp::Or | BinOp::Xor => CellKind::Logic { width: w },
                     BinOp::Shl | BinOp::Shr => CellKind::Shifter { width: w },
-                    BinOp::Eq
-                    | BinOp::Ne
-                    | BinOp::Lt
-                    | BinOp::Le
-                    | BinOp::Gt
-                    | BinOp::Ge => CellKind::Comparator { width: w },
+                    BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+                        CellKind::Comparator { width: w }
+                    }
                     BinOp::LAnd | BinOp::LOr => CellKind::Logic { width: 1 },
                     BinOp::Min | BinOp::Max => CellKind::Comparator { width: w },
                 };
@@ -176,7 +193,11 @@ impl<'k> Lowerer<'k> {
                 // Pure wiring: resize/slice costs nothing after synthesis.
                 self.expr_d(arg, copies)
             }
-            Expr::Select { cond, then_val, else_val } => {
+            Expr::Select {
+                cond,
+                then_val,
+                else_val,
+            } => {
                 let w = self.width_of(then_val).max(self.width_of(else_val));
                 let (c, cd) = self.expr_d(cond, copies);
                 let (t, td) = self.expr_d(then_val, copies);
@@ -200,13 +221,27 @@ impl<'k> Lowerer<'k> {
         // Represent `copies` parallel instances as one cell of scaled width;
         // resources scale linearly, which is what unrolling costs.
         let scaled = match kind {
-            CellKind::Adder { width } => CellKind::Adder { width: width * copies },
-            CellKind::Mult { width } => CellKind::Mult { width: width * copies },
-            CellKind::Divider { width } => CellKind::Divider { width: width * copies },
-            CellKind::Logic { width } => CellKind::Logic { width: width * copies },
-            CellKind::Shifter { width } => CellKind::Shifter { width: width * copies },
-            CellKind::Comparator { width } => CellKind::Comparator { width: width * copies },
-            CellKind::Mux { width } => CellKind::Mux { width: width * copies },
+            CellKind::Adder { width } => CellKind::Adder {
+                width: width * copies,
+            },
+            CellKind::Mult { width } => CellKind::Mult {
+                width: width * copies,
+            },
+            CellKind::Divider { width } => CellKind::Divider {
+                width: width * copies,
+            },
+            CellKind::Logic { width } => CellKind::Logic {
+                width: width * copies,
+            },
+            CellKind::Shifter { width } => CellKind::Shifter {
+                width: width * copies,
+            },
+            CellKind::Comparator { width } => CellKind::Comparator {
+                width: width * copies,
+            },
+            CellKind::Mux { width } => CellKind::Mux {
+                width: width * copies,
+            },
             other => other,
         };
         self.nl.add_cell(name, scaled)
@@ -225,7 +260,11 @@ impl<'k> Lowerer<'k> {
                 let dst = self.var_cells[var];
                 self.nl.add_net(src, vec![dst], self.width_of(value));
             }
-            Stmt::ArraySet { array, index, value } => {
+            Stmt::ArraySet {
+                array,
+                index,
+                value,
+            } => {
                 let idx = self.expr(index, copies);
                 let val = self.expr(value, copies);
                 let bram = self.array_cells[array];
@@ -243,16 +282,25 @@ impl<'k> Lowerer<'k> {
                 let dst = self.port_cells[port];
                 self.nl.add_net(src, vec![dst], self.width_of(value));
             }
-            Stmt::For { var, body, unroll, .. } => {
+            Stmt::For {
+                var, body, unroll, ..
+            } => {
                 // Control: FSM + counter register + increment + bound compare.
                 let fsm_name = self.fresh_name(&format!("fsm_{var}"));
-                let fsm = self.nl.add_cell(fsm_name, CellKind::Fsm { states: body.len() as u32 + 2 });
+                let fsm = self.nl.add_cell(
+                    fsm_name,
+                    CellKind::Fsm {
+                        states: body.len() as u32 + 2,
+                    },
+                );
                 let ctr_name = self.fresh_name(&format!("ctr_{var}"));
                 let ctr = self.nl.add_cell(ctr_name, CellKind::Register { width: 32 });
                 let inc_name = self.fresh_name(&format!("inc_{var}"));
                 let inc = self.nl.add_cell(inc_name, CellKind::Adder { width: 32 });
                 let cmp_name = self.fresh_name(&format!("cmp_{var}"));
-                let cmp = self.nl.add_cell(cmp_name, CellKind::Comparator { width: 32 });
+                let cmp = self
+                    .nl
+                    .add_cell(cmp_name, CellKind::Comparator { width: 32 });
                 self.nl.add_net(ctr, vec![inc, cmp], 32);
                 self.nl.add_net(inc, vec![ctr], 32);
                 self.nl.add_net(cmp, vec![fsm], 1);
@@ -262,7 +310,11 @@ impl<'k> Lowerer<'k> {
                 self.block(&inner, copies * *unroll);
                 self.loop_cells.pop();
             }
-            Stmt::If { cond, then_body, else_body } => {
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
                 let c = self.expr(cond, copies);
                 // Branch select feeds the enclosing control region; model as
                 // a mux gating a 1-bit control signal.
@@ -298,7 +350,9 @@ mod tests {
                     Stmt::assign(
                         "acc",
                         Expr::var("acc").add(
-                            Expr::var("x").cast(Scalar::fixed(32, 17)).mul(Expr::cfixed(0.5, Scalar::fixed(32, 17))),
+                            Expr::var("x")
+                                .cast(Scalar::fixed(32, 17))
+                                .mul(Expr::cfixed(0.5, Scalar::fixed(32, 17))),
                         ),
                     ),
                     Stmt::write("out", Expr::index("lut", Expr::var("x").bits(7, 0))),
@@ -317,19 +371,47 @@ mod tests {
     #[test]
     fn interfaces_registers_and_brams_present() {
         let nl = lower(&streaming_kernel());
-        assert_eq!(nl.cells_where(|k| matches!(k, CellKind::StreamIn { .. })).count(), 1);
-        assert_eq!(nl.cells_where(|k| matches!(k, CellKind::StreamOut { .. })).count(), 1);
-        assert_eq!(nl.cells_where(|k| matches!(k, CellKind::BramPort { .. })).count(), 1);
-        assert!(nl.cells_where(|k| matches!(k, CellKind::Register { .. })).count() >= 3);
-        assert_eq!(nl.cells_where(|k| matches!(k, CellKind::Fsm { .. })).count(), 1);
+        assert_eq!(
+            nl.cells_where(|k| matches!(k, CellKind::StreamIn { .. }))
+                .count(),
+            1
+        );
+        assert_eq!(
+            nl.cells_where(|k| matches!(k, CellKind::StreamOut { .. }))
+                .count(),
+            1
+        );
+        assert_eq!(
+            nl.cells_where(|k| matches!(k, CellKind::BramPort { .. }))
+                .count(),
+            1
+        );
+        assert!(
+            nl.cells_where(|k| matches!(k, CellKind::Register { .. }))
+                .count()
+                >= 3
+        );
+        assert_eq!(
+            nl.cells_where(|k| matches!(k, CellKind::Fsm { .. }))
+                .count(),
+            1
+        );
     }
 
     #[test]
     fn datapath_cells_follow_operations() {
         let nl = lower(&streaming_kernel());
         // acc + (x * 0.5): one adder (plus loop counter's), one multiplier.
-        assert!(nl.cells_where(|k| matches!(k, CellKind::Mult { .. })).count() >= 1);
-        assert!(nl.cells_where(|k| matches!(k, CellKind::Adder { .. })).count() >= 2);
+        assert!(
+            nl.cells_where(|k| matches!(k, CellKind::Mult { .. }))
+                .count()
+                >= 1
+        );
+        assert!(
+            nl.cells_where(|k| matches!(k, CellKind::Adder { .. }))
+                .count()
+                >= 2
+        );
     }
 
     #[test]
@@ -342,7 +424,12 @@ mod tests {
         let unrolled = lower(&k).resources();
         // Fixed overhead (interfaces, BRAM, FSM) is unchanged; the datapath
         // (here, the DSP multiplier) must scale with the unroll factor.
-        assert!(unrolled.luts > base.luts, "unrolled {} vs base {}", unrolled.luts, base.luts);
+        assert!(
+            unrolled.luts > base.luts,
+            "unrolled {} vs base {}",
+            unrolled.luts,
+            base.luts
+        );
         assert!(
             unrolled.dsp >= base.dsp * 4,
             "unrolled dsp {} vs base {}",
@@ -370,7 +457,9 @@ mod tests {
                 ));
             }
             stmts.push(Stmt::write("out", Expr::var("t19")));
-            b.body([Stmt::for_pipelined("i", 0..16, stmts)]).build().unwrap()
+            b.body([Stmt::for_pipelined("i", 0..16, stmts)])
+                .build()
+                .unwrap()
         };
         let big = lower(&big_kernel);
         assert!(big.cell_count() > small.cell_count() * 2);

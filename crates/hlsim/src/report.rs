@@ -108,10 +108,18 @@ fn port_word_bounds(kernel: &Kernel) -> (PortWords, PortWords) {
                     let w = kernel.output(port).map(|p| p.elem.words()).unwrap_or(1) as u64;
                     *writes.entry(port.as_str()).or_default() += mult * w;
                 }
-                Stmt::For { body, .. } => {
-                    walk(kernel, body, mult * s.trip_count().unwrap_or(0), reads, writes)
-                }
-                Stmt::If { then_body, else_body, .. } => {
+                Stmt::For { body, .. } => walk(
+                    kernel,
+                    body,
+                    mult * s.trip_count().unwrap_or(0),
+                    reads,
+                    writes,
+                ),
+                Stmt::If {
+                    then_body,
+                    else_body,
+                    ..
+                } => {
                     // Worst case across branches.
                     walk(kernel, then_body, mult, reads, writes);
                     walk(kernel, else_body, mult, reads, writes);
@@ -125,12 +133,22 @@ fn port_word_bounds(kernel: &Kernel) -> (PortWords, PortWords) {
     let ins = kernel
         .inputs
         .iter()
-        .map(|p| (p.name.clone(), reads.get(p.name.as_str()).copied().unwrap_or(0)))
+        .map(|p| {
+            (
+                p.name.clone(),
+                reads.get(p.name.as_str()).copied().unwrap_or(0),
+            )
+        })
         .collect();
     let outs = kernel
         .outputs
         .iter()
-        .map(|p| (p.name.clone(), writes.get(p.name.as_str()).copied().unwrap_or(0)))
+        .map(|p| {
+            (
+                p.name.clone(),
+                writes.get(p.name.as_str()).copied().unwrap_or(0),
+            )
+        })
         .collect();
     (ins, outs)
 }

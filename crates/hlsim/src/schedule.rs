@@ -56,7 +56,11 @@ pub fn schedule(kernel: &Kernel) -> Schedule {
     let total = block_latency(kernel, &env, &kernel.body, &mut loops, false);
     let mut overlay_loops = Vec::new();
     let overlay = block_latency(kernel, &env, &kernel.body, &mut overlay_loops, true);
-    Schedule { loops, total_cycles: total.max(1), overlay_cycles: overlay.max(1) }
+    Schedule {
+        loops,
+        total_cycles: total.max(1),
+        overlay_cycles: overlay.max(1),
+    }
 }
 
 /// Extra cycles a statement needs beyond its slot, from multi-cycle ops.
@@ -95,7 +99,11 @@ fn stmt_latency(
             words
         }
         Stmt::For { .. } => loop_latency(kernel, env, s, loops, overlay),
-        Stmt::If { cond, then_body, else_body } => {
+        Stmt::If {
+            cond,
+            then_body,
+            else_body,
+        } => {
             let t = block_latency(kernel, env, then_body, loops, overlay);
             let e = block_latency(kernel, env, else_body, loops, overlay);
             1 + expr_extra_cycles(cond) + t.max(e)
@@ -110,7 +118,9 @@ fn block_latency(
     loops: &mut Vec<LoopSchedule>,
     overlay: bool,
 ) -> u64 {
-    body.iter().map(|s| stmt_latency(kernel, env, s, loops, overlay)).sum()
+    body.iter()
+        .map(|s| stmt_latency(kernel, env, s, loops, overlay))
+        .sum()
 }
 
 /// Per-iteration stream-port pressure: a lower bound on II.
@@ -138,7 +148,11 @@ fn port_words_per_iteration(kernel: &Kernel, body: &[Stmt], overlay: bool) -> u6
                     let w = kernel.output(port).map(|p| p.elem.words()).unwrap_or(1) as u64;
                     *writes.entry(port.as_str()).or_default() += w;
                 }
-                Stmt::If { then_body, else_body, .. } => {
+                Stmt::If {
+                    then_body,
+                    else_body,
+                    ..
+                } => {
                     walk(kernel, then_body, reads, writes);
                     walk(kernel, else_body, reads, writes);
                 }
@@ -186,8 +200,14 @@ fn recurrence_ii(body: &[Stmt]) -> u64 {
                     ii = ii.max(1 + expr_extra_cycles(value));
                 }
             }
-            Stmt::If { then_body, else_body, .. } => {
-                ii = ii.max(recurrence_ii(then_body)).max(recurrence_ii(else_body));
+            Stmt::If {
+                then_body,
+                else_body,
+                ..
+            } => {
+                ii = ii
+                    .max(recurrence_ii(then_body))
+                    .max(recurrence_ii(else_body));
             }
             _ => {}
         }
@@ -226,7 +246,16 @@ fn loop_latency(
     loops: &mut Vec<LoopSchedule>,
     overlay: bool,
 ) -> u64 {
-    let Stmt::For { var, body, pipeline, unroll, .. } = s else { unreachable!() };
+    let Stmt::For {
+        var,
+        body,
+        pipeline,
+        unroll,
+        ..
+    } = s
+    else {
+        unreachable!()
+    };
     let trips = s.trip_count().unwrap_or(0);
     let slot = loops.len();
     // Reserve the slot so outer loops precede inner ones in the report.
@@ -242,7 +271,9 @@ fn loop_latency(
     let depth = block_latency(kernel, env, body, &mut inner, overlay).max(1);
 
     let has_inner_loop = body.iter().any(|s| matches!(s, Stmt::For { .. }));
-    let effective_trips = trips.div_ceil(*unroll as u64).max(if trips == 0 { 0 } else { 1 });
+    let effective_trips = trips
+        .div_ceil(*unroll as u64)
+        .max(if trips == 0 { 0 } else { 1 });
 
     let (ii, cycles) = if *pipeline && !has_inner_loop {
         let ii = recurrence_ii(body)
@@ -295,7 +326,11 @@ mod tests {
         assert_eq!(s.loops[0].ii, 1);
         assert!(s.loops[0].pipelined);
         // depth + (trips-1)*II ≈ trips for II=1.
-        assert!(s.total_cycles >= 1000 && s.total_cycles < 1100, "{}", s.total_cycles);
+        assert!(
+            s.total_cycles >= 1000 && s.total_cycles < 1100,
+            "{}",
+            s.total_cycles
+        );
     }
 
     #[test]

@@ -67,7 +67,10 @@ impl fmt::Display for CheckError {
                 write!(f, "`{name}` has unsupported type {ty}")
             }
             CheckError::ArrayTooLarge { name, bits } => {
-                write!(f, "array `{name}` needs {bits} bits, over the page budget of {MAX_ARRAY_BITS}")
+                write!(
+                    f,
+                    "array `{name}` needs {bits} bits, over the page budget of {MAX_ARRAY_BITS}"
+                )
             }
             CheckError::UnknownVar(n) => write!(f, "use of undeclared variable `{n}`"),
             CheckError::UnknownArray(n) => write!(f, "use of undeclared array `{n}`"),
@@ -111,8 +114,16 @@ impl<'k> TypeEnv<'k> {
     pub fn new(kernel: &'k Kernel) -> Self {
         TypeEnv {
             kernel,
-            locals: kernel.locals.iter().map(|v| (v.name.as_str(), v.ty)).collect(),
-            arrays: kernel.arrays.iter().map(|a| (a.name.as_str(), a.elem)).collect(),
+            locals: kernel
+                .locals
+                .iter()
+                .map(|v| (v.name.as_str(), v.ty))
+                .collect(),
+            arrays: kernel
+                .arrays
+                .iter()
+                .map(|a| (a.name.as_str(), a.elem))
+                .collect(),
             loop_vars: Vec::new(),
         }
     }
@@ -139,13 +150,16 @@ impl<'k> TypeEnv<'k> {
     pub fn infer(&self, expr: &Expr) -> Result<Scalar, CheckError> {
         match expr {
             Expr::Const { ty, .. } => Ok(*ty),
-            Expr::Var(name) => self.var_type(name).ok_or_else(|| CheckError::UnknownVar(name.clone())),
+            Expr::Var(name) => self
+                .var_type(name)
+                .ok_or_else(|| CheckError::UnknownVar(name.clone())),
             Expr::ArrayGet { array, index } => {
                 let it = self.infer(index)?;
                 if it.is_fixed() {
                     return Err(CheckError::FixedOperandNotAllowed { op: "[]".into() });
                 }
-                self.array_elem(array).ok_or_else(|| CheckError::UnknownArray(array.clone()))
+                self.array_elem(array)
+                    .ok_or_else(|| CheckError::UnknownArray(array.clone()))
             }
             Expr::Un { op, arg } => {
                 let at = self.infer(arg)?;
@@ -169,11 +183,18 @@ impl<'k> TypeEnv<'k> {
             Expr::Cast { ty, arg } => {
                 self.infer(arg)?;
                 if !ty.is_legal() {
-                    return Err(CheckError::IllegalType { name: "<cast>".into(), ty: *ty });
+                    return Err(CheckError::IllegalType {
+                        name: "<cast>".into(),
+                        ty: *ty,
+                    });
                 }
                 Ok(*ty)
             }
-            Expr::Select { cond, then_val, else_val } => {
+            Expr::Select {
+                cond,
+                then_val,
+                else_val,
+            } => {
                 self.infer(cond)?;
                 let tt = self.infer(then_val)?;
                 let et = self.infer(else_val)?;
@@ -188,7 +209,11 @@ impl<'k> TypeEnv<'k> {
             Expr::BitRange { arg, hi, lo } => {
                 let at = self.infer(arg)?;
                 if hi < lo || *hi >= at.width() {
-                    return Err(CheckError::BadBitRange { hi: *hi, lo: *lo, width: at.width() });
+                    return Err(CheckError::BadBitRange {
+                        hi: *hi,
+                        lo: *lo,
+                        width: at.width(),
+                    });
                 }
                 Ok(Scalar::uint(hi - lo + 1))
             }
@@ -264,7 +289,10 @@ pub fn validate(kernel: &Kernel) -> Result<(), CheckError> {
         .chain(kernel.arrays.iter().map(|a| (&a.name, a.elem)))
     {
         if !ty.is_legal() {
-            return Err(CheckError::IllegalType { name: name.clone(), ty });
+            return Err(CheckError::IllegalType {
+                name: name.clone(),
+                ty,
+            });
         }
     }
 
@@ -272,11 +300,17 @@ pub fn validate(kernel: &Kernel) -> Result<(), CheckError> {
     for a in &kernel.arrays {
         let bits = a.len * u64::from(a.elem.width());
         if a.len == 0 || bits > MAX_ARRAY_BITS {
-            return Err(CheckError::ArrayTooLarge { name: a.name.clone(), bits });
+            return Err(CheckError::ArrayTooLarge {
+                name: a.name.clone(),
+                bits,
+            });
         }
         if let Some(init) = &a.init {
             if init.len() as u64 != a.len {
-                return Err(CheckError::ArrayTooLarge { name: a.name.clone(), bits });
+                return Err(CheckError::ArrayTooLarge {
+                    name: a.name.clone(),
+                    bits,
+                });
             }
         }
     }
@@ -295,7 +329,11 @@ fn check_block(kernel: &Kernel, env: &mut TypeEnv<'_>, body: &[Stmt]) -> Result<
                     return Err(CheckError::NotAssignable(var.clone()));
                 }
             }
-            Stmt::ArraySet { array, index, value } => {
+            Stmt::ArraySet {
+                array,
+                index,
+                value,
+            } => {
                 if env.array_elem(array).is_none() {
                     return Err(CheckError::UnknownArray(array.clone()));
                 }
@@ -325,9 +363,18 @@ fn check_block(kernel: &Kernel, env: &mut TypeEnv<'_>, body: &[Stmt]) -> Result<
                 }
                 env.infer(value)?;
             }
-            Stmt::For { var, step, unroll, body, .. } => {
+            Stmt::For {
+                var,
+                step,
+                unroll,
+                body,
+                ..
+            } => {
                 if *step <= 0 {
-                    return Err(CheckError::BadLoopStep { var: var.clone(), step: *step });
+                    return Err(CheckError::BadLoopStep {
+                        var: var.clone(),
+                        step: *step,
+                    });
                 }
                 if *unroll == 0 {
                     return Err(CheckError::BadUnrollFactor { var: var.clone() });
@@ -337,7 +384,11 @@ fn check_block(kernel: &Kernel, env: &mut TypeEnv<'_>, body: &[Stmt]) -> Result<
                 env.pop_loop_var();
                 result?;
             }
-            Stmt::If { cond, then_body, else_body } => {
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
                 env.infer(cond)?;
                 check_block(kernel, env, then_body)?;
                 check_block(kernel, env, else_body)?;
@@ -369,13 +420,20 @@ mod tests {
 
     #[test]
     fn rejects_duplicate_names() {
-        let err = base().local("in", Scalar::uint(8)).body([]).build().unwrap_err();
+        let err = base()
+            .local("in", Scalar::uint(8))
+            .body([])
+            .build()
+            .unwrap_err();
         assert_eq!(err, CheckError::DuplicateName("in".into()));
     }
 
     #[test]
     fn rejects_unknown_variable() {
-        let err = base().body([Stmt::write("out", Expr::var("nope"))]).build().unwrap_err();
+        let err = base()
+            .body([Stmt::write("out", Expr::var("nope"))])
+            .build()
+            .unwrap_err();
         assert_eq!(err, CheckError::UnknownVar("nope".into()));
     }
 
@@ -383,7 +441,10 @@ mod tests {
     fn rejects_wrong_direction() {
         let err = base().body([Stmt::read("x", "out")]).build().unwrap_err();
         assert_eq!(err, CheckError::WrongDirection { port: "out".into() });
-        let err = base().body([Stmt::write("in", Expr::cint(1))]).build().unwrap_err();
+        let err = base()
+            .body([Stmt::write("in", Expr::cint(1))])
+            .build()
+            .unwrap_err();
         assert_eq!(err, CheckError::WrongDirection { port: "in".into() });
     }
 
@@ -410,7 +471,11 @@ mod tests {
     #[test]
     fn rejects_assignment_to_loop_var() {
         let err = base()
-            .body([Stmt::for_loop("i", 0..4, [Stmt::assign("i", Expr::cint(0))])])
+            .body([Stmt::for_loop(
+                "i",
+                0..4,
+                [Stmt::assign("i", Expr::cint(0))],
+            )])
             .build()
             .unwrap_err();
         assert_eq!(err, CheckError::NotAssignable("i".into()));
@@ -431,19 +496,34 @@ mod tests {
             .body([Stmt::assign("x", Expr::var("x").bits(40, 0))])
             .build()
             .unwrap_err();
-        assert_eq!(err, CheckError::BadBitRange { hi: 40, lo: 0, width: 32 });
+        assert_eq!(
+            err,
+            CheckError::BadBitRange {
+                hi: 40,
+                lo: 0,
+                width: 32
+            }
+        );
     }
 
     #[test]
     fn rejects_portless_kernel() {
-        let err = KernelBuilder::new("k").local("x", Scalar::uint(8)).body([]).build().unwrap_err();
+        let err = KernelBuilder::new("k")
+            .local("x", Scalar::uint(8))
+            .body([])
+            .build()
+            .unwrap_err();
         assert_eq!(err, CheckError::NoPorts);
     }
 
     #[test]
     fn loop_var_usable_inside_scope_only() {
         let ok = base()
-            .body([Stmt::for_loop("i", 0..4, [Stmt::assign("x", Expr::var("i"))])])
+            .body([Stmt::for_loop(
+                "i",
+                0..4,
+                [Stmt::assign("x", Expr::var("i"))],
+            )])
             .build();
         assert!(ok.is_ok());
         let err = base()

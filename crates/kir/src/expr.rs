@@ -59,7 +59,12 @@ impl BinOp {
     pub fn is_comparison(self) -> bool {
         matches!(
             self,
-            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+            BinOp::Eq
+                | BinOp::Ne
+                | BinOp::Lt
+                | BinOp::Le
+                | BinOp::Gt
+                | BinOp::Ge
                 | BinOp::LAnd
                 | BinOp::LOr
         )
@@ -127,13 +132,21 @@ pub enum Expr {
     Un { op: UnOp, arg: Box<Expr> },
     /// A binary operation.
     #[allow(missing_docs)]
-    Bin { op: BinOp, lhs: Box<Expr>, rhs: Box<Expr> },
+    Bin {
+        op: BinOp,
+        lhs: Box<Expr>,
+        rhs: Box<Expr>,
+    },
     /// An explicit conversion to `ty` with `ap` assignment semantics.
     #[allow(missing_docs)]
     Cast { ty: Scalar, arg: Box<Expr> },
     /// `cond ? then_val : else_val`, synthesized as a mux.
     #[allow(missing_docs)]
-    Select { cond: Box<Expr>, then_val: Box<Expr>, else_val: Box<Expr> },
+    Select {
+        cond: Box<Expr>,
+        then_val: Box<Expr>,
+        else_val: Box<Expr>,
+    },
     /// The `ap_int` range select `arg(hi, lo)`, an unsigned bit-slice.
     #[allow(missing_docs)]
     BitRange { arg: Box<Expr>, hi: u32, lo: u32 },
@@ -142,7 +155,10 @@ pub enum Expr {
 impl Expr {
     /// An integer constant of type `ap_int<32>`.
     pub fn cint(v: i64) -> Expr {
-        Expr::Const { raw: v as i128, ty: Scalar::int(32) }
+        Expr::Const {
+            raw: v as i128,
+            ty: Scalar::int(32),
+        }
     }
 
     /// An integer constant of an explicit type.
@@ -157,9 +173,16 @@ impl Expr {
     /// Panics if `ty` is not a fixed-point scalar.
     pub fn cfixed(value: f64, ty: Scalar) -> Expr {
         match ty {
-            Scalar::Fixed { width, int_bits, signed } => {
+            Scalar::Fixed {
+                width,
+                int_bits,
+                signed,
+            } => {
                 let raw = aplib::DynFixed::from_f64(width, int_bits, signed, value).raw();
-                Expr::Const { raw: raw as i128, ty }
+                Expr::Const {
+                    raw: raw as i128,
+                    ty,
+                }
             }
             Scalar::Int { .. } => panic!("cfixed requires a fixed-point type"),
         }
@@ -172,11 +195,18 @@ impl Expr {
 
     /// An array element load.
     pub fn index(array: impl Into<String>, index: Expr) -> Expr {
-        Expr::ArrayGet { array: array.into(), index: Box::new(index) }
+        Expr::ArrayGet {
+            array: array.into(),
+            index: Box::new(index),
+        }
     }
 
     fn bin(self, op: BinOp, rhs: Expr) -> Expr {
-        Expr::Bin { op, lhs: Box::new(self), rhs: Box::new(rhs) }
+        Expr::Bin {
+            op,
+            lhs: Box::new(self),
+            rhs: Box::new(rhs),
+        }
     }
 
     /// `self + rhs`.
@@ -262,24 +292,39 @@ impl Expr {
 
     /// Arithmetic negation `-self`.
     pub fn neg(self) -> Expr {
-        Expr::Un { op: UnOp::Neg, arg: Box::new(self) }
+        Expr::Un {
+            op: UnOp::Neg,
+            arg: Box::new(self),
+        }
     }
     /// Bitwise complement `~self`.
     pub fn not(self) -> Expr {
-        Expr::Un { op: UnOp::Not, arg: Box::new(self) }
+        Expr::Un {
+            op: UnOp::Not,
+            arg: Box::new(self),
+        }
     }
     /// Logical negation `!self`.
     pub fn lnot(self) -> Expr {
-        Expr::Un { op: UnOp::LNot, arg: Box::new(self) }
+        Expr::Un {
+            op: UnOp::LNot,
+            arg: Box::new(self),
+        }
     }
     /// Absolute value `|self|`.
     pub fn abs(self) -> Expr {
-        Expr::Un { op: UnOp::Abs, arg: Box::new(self) }
+        Expr::Un {
+            op: UnOp::Abs,
+            arg: Box::new(self),
+        }
     }
 
     /// Explicit conversion to `ty`.
     pub fn cast(self, ty: Scalar) -> Expr {
-        Expr::Cast { ty, arg: Box::new(self) }
+        Expr::Cast {
+            ty,
+            arg: Box::new(self),
+        }
     }
 
     /// `self ? then_val : else_val`.
@@ -293,7 +338,11 @@ impl Expr {
 
     /// Bit slice `self(hi, lo)`.
     pub fn bits(self, hi: u32, lo: u32) -> Expr {
-        Expr::BitRange { arg: Box::new(self), hi, lo }
+        Expr::BitRange {
+            arg: Box::new(self),
+            hi,
+            lo,
+        }
     }
 
     /// Number of operation nodes in the tree (used by cost models).
@@ -304,9 +353,11 @@ impl Expr {
             Expr::Un { arg, .. } => 1 + arg.op_count(),
             Expr::Bin { lhs, rhs, .. } => 1 + lhs.op_count() + rhs.op_count(),
             Expr::Cast { arg, .. } => arg.op_count(),
-            Expr::Select { cond, then_val, else_val } => {
-                1 + cond.op_count() + then_val.op_count() + else_val.op_count()
-            }
+            Expr::Select {
+                cond,
+                then_val,
+                else_val,
+            } => 1 + cond.op_count() + then_val.op_count() + else_val.op_count(),
             Expr::BitRange { arg, .. } => arg.op_count(),
         }
     }
@@ -323,7 +374,11 @@ impl Expr {
                 lhs.visit(f);
                 rhs.visit(f);
             }
-            Expr::Select { cond, then_val, else_val } => {
+            Expr::Select {
+                cond,
+                then_val,
+                else_val,
+            } => {
                 cond.visit(f);
                 then_val.visit(f);
                 else_val.visit(f);
@@ -341,7 +396,11 @@ mod tests {
     fn builder_produces_expected_tree() {
         let e = Expr::var("a").add(Expr::cint(1)).mul(Expr::var("b"));
         match &e {
-            Expr::Bin { op: BinOp::Mul, lhs, .. } => match lhs.as_ref() {
+            Expr::Bin {
+                op: BinOp::Mul,
+                lhs,
+                ..
+            } => match lhs.as_ref() {
                 Expr::Bin { op: BinOp::Add, .. } => {}
                 other => panic!("unexpected lhs {other:?}"),
             },

@@ -36,7 +36,11 @@ pub enum InterpError {
     StreamUnderflow { port: String },
     /// An array access evaluated to an out-of-bounds index.
     #[allow(missing_docs)]
-    IndexOutOfBounds { array: String, index: i128, len: u64 },
+    IndexOutOfBounds {
+        array: String,
+        index: i128,
+        len: u64,
+    },
     /// The kernel exceeded its dynamic-operation budget.
     #[allow(missing_docs)]
     OpBudgetExceeded { budget: u64 },
@@ -52,10 +56,16 @@ impl fmt::Display for InterpError {
                 write!(f, "read from `{port}` with no token available")
             }
             InterpError::IndexOutOfBounds { array, index, len } => {
-                write!(f, "index {index} out of bounds for `{array}` of length {len}")
+                write!(
+                    f,
+                    "index {index} out of bounds for `{array}` of length {len}"
+                )
             }
             InterpError::OpBudgetExceeded { budget } => {
-                write!(f, "kernel exceeded the dynamic-operation budget of {budget}")
+                write!(
+                    f,
+                    "kernel exceeded the dynamic-operation budget of {budget}"
+                )
             }
             InterpError::NoSuchPort { port } => write!(f, "kernel has no port named `{port}`"),
         }
@@ -91,12 +101,38 @@ enum RExpr {
 }
 
 enum RStmt {
-    Assign { slot: usize, ty: Scalar, value: RExpr },
-    ArraySet { array: usize, index: RExpr, value: RExpr },
-    Read { slot: usize, ty: Scalar, port: usize },
-    Write { port: usize, elem: Scalar, value: RExpr },
-    For { slot: usize, begin: i64, end: i64, step: i64, body: Vec<RStmt> },
-    If { cond: RExpr, then_body: Vec<RStmt>, else_body: Vec<RStmt> },
+    Assign {
+        slot: usize,
+        ty: Scalar,
+        value: RExpr,
+    },
+    ArraySet {
+        array: usize,
+        index: RExpr,
+        value: RExpr,
+    },
+    Read {
+        slot: usize,
+        ty: Scalar,
+        port: usize,
+    },
+    Write {
+        port: usize,
+        elem: Scalar,
+        value: RExpr,
+    },
+    For {
+        slot: usize,
+        begin: i64,
+        end: i64,
+        step: i64,
+        body: Vec<RStmt>,
+    },
+    If {
+        cond: RExpr,
+        then_body: Vec<RStmt>,
+        else_body: Vec<RStmt>,
+    },
 }
 
 /// A kernel with names resolved to slots, ready for repeated execution.
@@ -134,9 +170,16 @@ impl<'k> Resolver<'k> {
                 Scalar::Int { width, signed } => {
                     Value::Int(aplib::DynInt::from_i128(width, signed, *raw))
                 }
-                Scalar::Fixed { width, int_bits, signed } => {
-                    Value::Fixed(aplib::DynFixed::from_raw(width, int_bits, signed, *raw as u128))
-                }
+                Scalar::Fixed {
+                    width,
+                    int_bits,
+                    signed,
+                } => Value::Fixed(aplib::DynFixed::from_raw(
+                    width,
+                    int_bits,
+                    signed,
+                    *raw as u128,
+                )),
             }),
             Expr::Var(name) => RExpr::Var(self.lookup_var(name).0),
             Expr::ArrayGet { array, index } => RExpr::ArrayGet {
@@ -148,7 +191,11 @@ impl<'k> Resolver<'k> {
                 RExpr::Bin(*op, Box::new(self.expr(lhs)), Box::new(self.expr(rhs)))
             }
             Expr::Cast { ty, arg } => RExpr::Cast(*ty, Box::new(self.expr(arg))),
-            Expr::Select { cond, then_val, else_val } => RExpr::Select(
+            Expr::Select {
+                cond,
+                then_val,
+                else_val,
+            } => RExpr::Select(
                 Box::new(self.expr(cond)),
                 Box::new(self.expr(then_val)),
                 Box::new(self.expr(else_val)),
@@ -165,16 +212,28 @@ impl<'k> Resolver<'k> {
         match s {
             Stmt::Assign { var, value } => {
                 let (slot, ty) = self.lookup_var(var);
-                RStmt::Assign { slot, ty, value: self.expr(value) }
+                RStmt::Assign {
+                    slot,
+                    ty,
+                    value: self.expr(value),
+                }
             }
-            Stmt::ArraySet { array, index, value } => RStmt::ArraySet {
+            Stmt::ArraySet {
+                array,
+                index,
+                value,
+            } => RStmt::ArraySet {
                 array: self.array_slots[array.as_str()],
                 index: self.expr(index),
                 value: self.expr(value),
             },
             Stmt::Read { var, port } => {
                 let (slot, ty) = self.lookup_var(var);
-                RStmt::Read { slot, ty, port: self.in_slots[port.as_str()] }
+                RStmt::Read {
+                    slot,
+                    ty,
+                    port: self.in_slots[port.as_str()],
+                }
             }
             Stmt::Write { port, value } => {
                 let idx = self.out_slots[port.as_str()];
@@ -184,15 +243,32 @@ impl<'k> Resolver<'k> {
                     value: self.expr(value),
                 }
             }
-            Stmt::For { var, begin, end, step, body, .. } => {
+            Stmt::For {
+                var,
+                begin,
+                end,
+                step,
+                body,
+                ..
+            } => {
                 let slot = self.next_var;
                 self.next_var += 1;
                 self.scope.push((var.clone(), slot));
                 let body = self.block(body);
                 self.scope.pop();
-                RStmt::For { slot, begin: *begin, end: *end, step: *step, body }
+                RStmt::For {
+                    slot,
+                    begin: *begin,
+                    end: *end,
+                    step: *step,
+                    body,
+                }
             }
-            Stmt::If { cond, then_body, else_body } => RStmt::If {
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => RStmt::If {
                 cond: self.expr(cond),
                 then_body: self.block(then_body),
                 else_body: self.block(else_body),
@@ -222,10 +298,17 @@ impl Resolved {
         }
         var_init.extend(std::iter::repeat_n(Scalar::int(32).zero(), loop_count));
 
-        let array_slots: HashMap<String, usize> =
-            kernel.arrays.iter().enumerate().map(|(i, a)| (a.name.clone(), i)).collect();
-        let array_meta: Vec<(String, Scalar, u64)> =
-            kernel.arrays.iter().map(|a| (a.name.clone(), a.elem, a.len)).collect();
+        let array_slots: HashMap<String, usize> = kernel
+            .arrays
+            .iter()
+            .enumerate()
+            .map(|(i, a)| (a.name.clone(), i))
+            .collect();
+        let array_meta: Vec<(String, Scalar, u64)> = kernel
+            .arrays
+            .iter()
+            .map(|a| (a.name.clone(), a.elem, a.len))
+            .collect();
         let array_init: Vec<Vec<Value>> = kernel
             .arrays
             .iter()
@@ -236,9 +319,11 @@ impl Resolved {
                         Scalar::Int { width, signed } => {
                             Value::Int(aplib::DynInt::from_raw(width, signed, *raw))
                         }
-                        Scalar::Fixed { width, int_bits, signed } => {
-                            Value::Fixed(aplib::DynFixed::from_raw(width, int_bits, signed, *raw))
-                        }
+                        Scalar::Fixed {
+                            width,
+                            int_bits,
+                            signed,
+                        } => Value::Fixed(aplib::DynFixed::from_raw(width, int_bits, signed, *raw)),
                     })
                     .collect(),
                 None => vec![a.elem.zero(); a.len as usize],
@@ -250,16 +335,34 @@ impl Resolved {
             next_var: kernel.locals.len(),
             var_slots,
             array_slots,
-            in_slots: kernel.inputs.iter().enumerate().map(|(i, p)| (p.name.clone(), i)).collect(),
-            out_slots: kernel.outputs.iter().enumerate().map(|(i, p)| (p.name.clone(), i)).collect(),
+            in_slots: kernel
+                .inputs
+                .iter()
+                .enumerate()
+                .map(|(i, p)| (p.name.clone(), i))
+                .collect(),
+            out_slots: kernel
+                .outputs
+                .iter()
+                .enumerate()
+                .map(|(i, p)| (p.name.clone(), i))
+                .collect(),
             scope: Vec::new(),
         };
         let body = resolver.block(&kernel.body);
 
         Resolved {
             name: kernel.name.clone(),
-            inputs: kernel.inputs.iter().map(|p| (p.name.clone(), p.elem)).collect(),
-            outputs: kernel.outputs.iter().map(|p| (p.name.clone(), p.elem)).collect(),
+            inputs: kernel
+                .inputs
+                .iter()
+                .map(|p| (p.name.clone(), p.elem))
+                .collect(),
+            outputs: kernel
+                .outputs
+                .iter()
+                .map(|p| (p.name.clone(), p.elem))
+                .collect(),
             var_init,
             array_meta,
             array_init,
@@ -289,7 +392,9 @@ impl Resolved {
                 .inputs
                 .iter()
                 .position(|(n, _)| n == name)
-                .ok_or_else(|| InterpError::NoSuchPort { port: name.to_string() })?;
+                .ok_or_else(|| InterpError::NoSuchPort {
+                    port: name.to_string(),
+                })?;
             in_queues[idx] = values.iter().copied().collect();
         }
 
@@ -366,7 +471,9 @@ impl KernelIo for BatchIo<'_> {
     fn read(&mut self, port: usize) -> Result<Value, InterpError> {
         self.in_queues[port]
             .pop_front()
-            .ok_or_else(|| InterpError::StreamUnderflow { port: self.in_names[port].0.clone() })
+            .ok_or_else(|| InterpError::StreamUnderflow {
+                port: self.in_names[port].0.clone(),
+            })
     }
 
     fn write(&mut self, port: usize, value: Value) -> Result<(), InterpError> {
@@ -389,7 +496,9 @@ impl ExecState<'_> {
     fn charge(&mut self, n: u64) -> Result<(), InterpError> {
         self.stats.ops += n;
         if self.stats.ops > self.budget {
-            Err(InterpError::OpBudgetExceeded { budget: self.budget })
+            Err(InterpError::OpBudgetExceeded {
+                budget: self.budget,
+            })
         } else {
             Ok(())
         }
@@ -436,7 +545,11 @@ fn eval(e: &RExpr, st: &mut ExecState<'_>) -> Result<Value, InterpError> {
             // Mux: both sides are computed in hardware; pick by condition and
             // carry the common shape so either arm yields the same type.
             let common = crate::ops::result_type(crate::expr::BinOp::Max, t.scalar(), e.scalar());
-            Ok(if c.is_zero() { e.coerce(common) } else { t.coerce(common) })
+            Ok(if c.is_zero() {
+                e.coerce(common)
+            } else {
+                t.coerce(common)
+            })
         }
         RExpr::BitRange(arg, hi, lo) => {
             let v = eval(arg, st)?;
@@ -455,7 +568,11 @@ fn exec_block(body: &[RStmt], st: &mut ExecState<'_>) -> Result<(), InterpError>
                 st.charge(1)?;
                 st.vars[*slot] = v.coerce(*ty);
             }
-            RStmt::ArraySet { array, index, value } => {
+            RStmt::ArraySet {
+                array,
+                index,
+                value,
+            } => {
                 let idx = eval(index, st)?.as_int().to_i128();
                 let v = eval(value, st)?;
                 st.charge(1)?;
@@ -481,7 +598,13 @@ fn exec_block(body: &[RStmt], st: &mut ExecState<'_>) -> Result<(), InterpError>
                 st.stats.writes += 1;
                 st.io.write(*port, v.coerce(*elem))?;
             }
-            RStmt::For { slot, begin, end, step, body } => {
+            RStmt::For {
+                slot,
+                begin,
+                end,
+                step,
+                body,
+            } => {
                 let mut i = *begin;
                 while i < *end {
                     st.charge(1)?;
@@ -490,7 +613,11 @@ fn exec_block(body: &[RStmt], st: &mut ExecState<'_>) -> Result<(), InterpError>
                     i += *step;
                 }
             }
-            RStmt::If { cond, then_body, else_body } => {
+            RStmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
                 let c = eval(cond, st)?;
                 st.charge(1)?;
                 if c.is_zero() {
@@ -517,7 +644,9 @@ pub fn run(
     kernel: &Kernel,
     inputs: &[(&str, Vec<Value>)],
 ) -> Result<HashMap<String, Vec<Value>>, InterpError> {
-    Resolved::new(kernel).run(inputs, DEFAULT_OP_BUDGET).map(|(out, _)| out)
+    Resolved::new(kernel)
+        .run(inputs, DEFAULT_OP_BUDGET)
+        .map(|(out, _)| out)
 }
 
 /// Runs a kernel on value streams, also returning execution statistics.
@@ -547,12 +676,17 @@ pub fn run_words(
             let ty = kernel
                 .input(name)
                 .map(|p| p.elem)
-                .ok_or(InterpError::NoSuchPort { port: name.to_string() })?;
+                .ok_or(InterpError::NoSuchPort {
+                    port: name.to_string(),
+                })?;
             Ok((*name, wire::words_to_stream(ty, words)))
         })
         .collect::<Result<_, InterpError>>()?;
     let out = run(kernel, &typed)?;
-    Ok(out.into_iter().map(|(name, vals)| (name, wire::stream_to_words(&vals))).collect())
+    Ok(out
+        .into_iter()
+        .map(|(name, vals)| (name, wire::stream_to_words(&vals)))
+        .collect())
 }
 
 #[cfg(test)]
@@ -596,14 +730,26 @@ mod tests {
     #[test]
     fn unknown_port_reported() {
         let err = run_words(&accumulate_kernel(), &[("bogus", vec![])]).unwrap_err();
-        assert_eq!(err, InterpError::NoSuchPort { port: "bogus".into() });
+        assert_eq!(
+            err,
+            InterpError::NoSuchPort {
+                port: "bogus".into()
+            }
+        );
     }
 
     #[test]
     fn stats_count_work() {
-        let (out, stats) =
-            run_with_stats(&accumulate_kernel(), &[("in", (1..=8).map(|v| Value::Int(aplib::DynInt::from_i128(32, false, v))).collect())])
-                .unwrap();
+        let (out, stats) = run_with_stats(
+            &accumulate_kernel(),
+            &[(
+                "in",
+                (1..=8)
+                    .map(|v| Value::Int(aplib::DynInt::from_i128(32, false, v)))
+                    .collect(),
+            )],
+        )
+        .unwrap();
         assert_eq!(out["out"].len(), 8);
         assert_eq!(stats.reads, 8);
         assert_eq!(stats.writes, 8);
@@ -617,7 +763,11 @@ mod tests {
             .output("out", Scalar::uint(32))
             .local("x", Scalar::uint(32))
             .body([
-                Stmt::for_loop("i", 0..1_000_000, [Stmt::assign("x", Expr::var("x").add(Expr::cint(1)))]),
+                Stmt::for_loop(
+                    "i",
+                    0..1_000_000,
+                    [Stmt::assign("x", Expr::var("x").add(Expr::cint(1)))],
+                ),
                 Stmt::write("out", Expr::var("x")),
             ])
             .build()
@@ -648,7 +798,11 @@ mod tests {
                         ),
                     ],
                 ),
-                Stmt::for_loop("j", 0..4, [Stmt::write("out", Expr::index("bins", Expr::var("j")))]),
+                Stmt::for_loop(
+                    "j",
+                    0..4,
+                    [Stmt::write("out", Expr::index("bins", Expr::var("j")))],
+                ),
             ])
             .build()
             .unwrap();
@@ -674,7 +828,10 @@ mod tests {
                     Stmt::read("va", "a"),
                     Stmt::read("vb", "b"),
                     Stmt::read("vc", "c"),
-                    Stmt::write("y", Expr::var("va").mul(Expr::var("vb")).add(Expr::var("vc"))),
+                    Stmt::write(
+                        "y",
+                        Expr::var("va").mul(Expr::var("vb")).add(Expr::var("vc")),
+                    ),
                 ],
             )])
             .build()
@@ -707,6 +864,13 @@ mod tests {
             .build()
             .unwrap();
         let err = run_words(&k, &[("in", vec![5])]).unwrap_err();
-        assert_eq!(err, InterpError::IndexOutOfBounds { array: "a".into(), index: 5, len: 2 });
+        assert_eq!(
+            err,
+            InterpError::IndexOutOfBounds {
+                array: "a".into(),
+                index: 5,
+                len: 2
+            }
+        );
     }
 }

@@ -82,7 +82,10 @@ impl Kernel {
 
     /// Total bits of array storage (the BRAM demand of the operator).
     pub fn array_bits(&self) -> u64 {
-        self.arrays.iter().map(|a| a.len * u64::from(a.elem.width())).sum()
+        self.arrays
+            .iter()
+            .map(|a| a.len * u64::from(a.elem.width()))
+            .sum()
     }
 
     /// Total number of operation nodes in the body, weighted by trip counts —
@@ -90,7 +93,9 @@ impl Kernel {
     pub fn dynamic_ops(&self) -> u64 {
         fn stmt_ops(s: &Stmt) -> u64 {
             match s {
-                Stmt::Assign { value, .. } | Stmt::Write { value, .. } => 1 + value.op_count() as u64,
+                Stmt::Assign { value, .. } | Stmt::Write { value, .. } => {
+                    1 + value.op_count() as u64
+                }
                 Stmt::ArraySet { index, value, .. } => {
                     2 + index.op_count() as u64 + value.op_count() as u64
                 }
@@ -101,7 +106,11 @@ impl Kernel {
                     // +1 per iteration for the loop counter increment/test.
                     trips.saturating_mul(inner + 1)
                 }
-                Stmt::If { cond, then_body, else_body } => {
+                Stmt::If {
+                    cond,
+                    then_body,
+                    else_body,
+                } => {
                     // Both sides of a branch exist in hardware; count the
                     // heavier side for a dynamic estimate.
                     let t: u64 = then_body.iter().map(stmt_ops).sum();
@@ -157,30 +166,47 @@ pub struct KernelBuilder {
 impl KernelBuilder {
     /// Starts a kernel named `name`.
     pub fn new(name: impl Into<String>) -> Self {
-        KernelBuilder { name: name.into(), ..Default::default() }
+        KernelBuilder {
+            name: name.into(),
+            ..Default::default()
+        }
     }
 
     /// Declares an input stream port.
     pub fn input(mut self, name: impl Into<String>, elem: Scalar) -> Self {
-        self.inputs.push(PortDecl { name: name.into(), elem });
+        self.inputs.push(PortDecl {
+            name: name.into(),
+            elem,
+        });
         self
     }
 
     /// Declares an output stream port.
     pub fn output(mut self, name: impl Into<String>, elem: Scalar) -> Self {
-        self.outputs.push(PortDecl { name: name.into(), elem });
+        self.outputs.push(PortDecl {
+            name: name.into(),
+            elem,
+        });
         self
     }
 
     /// Declares a scalar local.
     pub fn local(mut self, name: impl Into<String>, ty: Scalar) -> Self {
-        self.locals.push(VarDecl { name: name.into(), ty });
+        self.locals.push(VarDecl {
+            name: name.into(),
+            ty,
+        });
         self
     }
 
     /// Declares an uninitialized local array of `len` elements.
     pub fn array(mut self, name: impl Into<String>, elem: Scalar, len: u64) -> Self {
-        self.arrays.push(ArrayDecl { name: name.into(), elem, len, init: None });
+        self.arrays.push(ArrayDecl {
+            name: name.into(),
+            elem,
+            len,
+            init: None,
+        });
         self
     }
 

@@ -16,7 +16,9 @@ use crate::types::{Scalar, Value};
 fn int_to_fixed(v: Value) -> DynFixed {
     match v {
         Value::Fixed(f) => f,
-        Value::Int(i) => DynFixed::from_int(i.width(), i.width() as i32, i.is_signed(), i.to_i128()),
+        Value::Int(i) => {
+            DynFixed::from_int(i.width(), i.width() as i32, i.is_signed(), i.to_i128())
+        }
     }
 }
 
@@ -66,8 +68,16 @@ pub fn eval_bin(op: BinOp, lhs: Value, rhs: Value) -> Value {
             Xor => Value::Int(a.bitxor(b)),
             Shl => Value::Int(a.shl(shift_amount(b.to_i128()))),
             Shr => Value::Int(a.shr(shift_amount(b.to_i128()))),
-            Min => Value::Int(if a.cmp_value(&b).is_le() { a.add(b.sub(b)) } else { b.add(a.sub(a)) }),
-            Max => Value::Int(if a.cmp_value(&b).is_ge() { a.add(b.sub(b)) } else { b.add(a.sub(a)) }),
+            Min => Value::Int(if a.cmp_value(&b).is_le() {
+                a.add(b.sub(b))
+            } else {
+                b.add(a.sub(a))
+            }),
+            Max => Value::Int(if a.cmp_value(&b).is_ge() {
+                a.add(b.sub(b))
+            } else {
+                b.add(a.sub(a))
+            }),
             _ => unreachable!("handled above"),
         },
         (a, b) => {
@@ -199,7 +209,13 @@ mod tests {
 
     #[test]
     fn shifts_clamp_amounts() {
-        assert_eq!(eval_bin(BinOp::Shl, iv(8, false, 1), iv(8, true, -1)).to_f64(), 1.0);
-        assert_eq!(eval_bin(BinOp::Shr, iv(8, false, 128), iv(8, false, 200)).to_f64(), 0.0);
+        assert_eq!(
+            eval_bin(BinOp::Shl, iv(8, false, 1), iv(8, true, -1)).to_f64(),
+            1.0
+        );
+        assert_eq!(
+            eval_bin(BinOp::Shr, iv(8, false, 128), iv(8, false, 200)).to_f64(),
+            0.0
+        );
     }
 }

@@ -18,7 +18,11 @@ pub enum Stmt {
     Assign { var: String, value: Expr },
     /// `array[index] = value;`
     #[allow(missing_docs)]
-    ArraySet { array: String, index: Expr, value: Expr },
+    ArraySet {
+        array: String,
+        index: Expr,
+        value: Expr,
+    },
     /// `var = port.read();` — blocks until a token is present.
     #[allow(missing_docs)]
     Read { var: String, port: String },
@@ -48,28 +52,45 @@ pub enum Stmt {
     },
     /// `if (cond) then_body else else_body`
     #[allow(missing_docs)]
-    If { cond: Expr, then_body: Vec<Stmt>, else_body: Vec<Stmt> },
+    If {
+        cond: Expr,
+        then_body: Vec<Stmt>,
+        else_body: Vec<Stmt>,
+    },
 }
 
 impl Stmt {
     /// `var = value;`
     pub fn assign(var: impl Into<String>, value: Expr) -> Stmt {
-        Stmt::Assign { var: var.into(), value }
+        Stmt::Assign {
+            var: var.into(),
+            value,
+        }
     }
 
     /// `array[index] = value;`
     pub fn store(array: impl Into<String>, index: Expr, value: Expr) -> Stmt {
-        Stmt::ArraySet { array: array.into(), index, value }
+        Stmt::ArraySet {
+            array: array.into(),
+            index,
+            value,
+        }
     }
 
     /// `var = port.read();`
     pub fn read(var: impl Into<String>, port: impl Into<String>) -> Stmt {
-        Stmt::Read { var: var.into(), port: port.into() }
+        Stmt::Read {
+            var: var.into(),
+            port: port.into(),
+        }
     }
 
     /// `port.write(value);`
     pub fn write(port: impl Into<String>, value: Expr) -> Stmt {
-        Stmt::Write { port: port.into(), value }
+        Stmt::Write {
+            port: port.into(),
+            value,
+        }
     }
 
     /// A unit-step counted loop over `range`.
@@ -96,16 +117,33 @@ impl Stmt {
         body: impl IntoIterator<Item = Stmt>,
     ) -> Stmt {
         match Self::for_loop(var, range, body) {
-            Stmt::For { var, begin, end, step, body, .. } => {
-                Stmt::For { var, begin, end, step, pipeline: true, unroll: 1, body }
-            }
+            Stmt::For {
+                var,
+                begin,
+                end,
+                step,
+                body,
+                ..
+            } => Stmt::For {
+                var,
+                begin,
+                end,
+                step,
+                pipeline: true,
+                unroll: 1,
+                body,
+            },
             _ => unreachable!(),
         }
     }
 
     /// `if (cond) { then_body }`
     pub fn if_then(cond: Expr, then_body: impl IntoIterator<Item = Stmt>) -> Stmt {
-        Stmt::If { cond, then_body: then_body.into_iter().collect(), else_body: Vec::new() }
+        Stmt::If {
+            cond,
+            then_body: then_body.into_iter().collect(),
+            else_body: Vec::new(),
+        }
     }
 
     /// `if (cond) { then_body } else { else_body }`
@@ -125,9 +163,9 @@ impl Stmt {
     /// degenerate loops.
     pub fn trip_count(&self) -> Option<u64> {
         match self {
-            Stmt::For { begin, end, step, .. } if *step > 0 && end > begin => {
-                Some(((end - begin) as u64).div_ceil(*step as u64))
-            }
+            Stmt::For {
+                begin, end, step, ..
+            } if *step > 0 && end > begin => Some(((end - begin) as u64).div_ceil(*step as u64)),
             Stmt::For { .. } => Some(0),
             _ => None,
         }
@@ -142,7 +180,11 @@ impl Stmt {
                     s.visit(f);
                 }
             }
-            Stmt::If { then_body, else_body, .. } => {
+            Stmt::If {
+                then_body,
+                else_body,
+                ..
+            } => {
                 for s in then_body.iter().chain(else_body) {
                     s.visit(f);
                 }
@@ -165,7 +207,11 @@ impl Stmt {
                     s.visit_exprs(f);
                 }
             }
-            Stmt::If { cond, then_body, else_body } => {
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
                 cond.visit(f);
                 for s in then_body.iter().chain(else_body) {
                     s.visit_exprs(f);
@@ -202,7 +248,10 @@ mod tests {
         let s = Stmt::for_loop(
             "i",
             0..4,
-            [Stmt::if_then(Expr::var("i").lt(Expr::cint(2)), [Stmt::read("x", "in")])],
+            [Stmt::if_then(
+                Expr::var("i").lt(Expr::cint(2)),
+                [Stmt::read("x", "in")],
+            )],
         );
         let mut kinds = Vec::new();
         s.visit(&mut |s| {

@@ -14,33 +14,54 @@ pub enum Scalar {
     Int { width: u32, signed: bool },
     /// `ap_fixed<width,int_bits>` (signed) or `ap_ufixed<width,int_bits>`.
     #[allow(missing_docs)]
-    Fixed { width: u32, int_bits: i32, signed: bool },
+    Fixed {
+        width: u32,
+        int_bits: i32,
+        signed: bool,
+    },
 }
 
 impl Scalar {
     /// `ap_int<width>`.
     pub const fn int(width: u32) -> Self {
-        Scalar::Int { width, signed: true }
+        Scalar::Int {
+            width,
+            signed: true,
+        }
     }
 
     /// `ap_uint<width>`.
     pub const fn uint(width: u32) -> Self {
-        Scalar::Int { width, signed: false }
+        Scalar::Int {
+            width,
+            signed: false,
+        }
     }
 
     /// `ap_fixed<width,int_bits>`.
     pub const fn fixed(width: u32, int_bits: i32) -> Self {
-        Scalar::Fixed { width, int_bits, signed: true }
+        Scalar::Fixed {
+            width,
+            int_bits,
+            signed: true,
+        }
     }
 
     /// `ap_ufixed<width,int_bits>`.
     pub const fn ufixed(width: u32, int_bits: i32) -> Self {
-        Scalar::Fixed { width, int_bits, signed: false }
+        Scalar::Fixed {
+            width,
+            int_bits,
+            signed: false,
+        }
     }
 
     /// The single-bit boolean type produced by comparisons.
     pub const fn bool_type() -> Self {
-        Scalar::Int { width: 1, signed: false }
+        Scalar::Int {
+            width: 1,
+            signed: false,
+        }
     }
 
     /// Total bit width.
@@ -71,9 +92,11 @@ impl Scalar {
     pub fn zero(&self) -> Value {
         match *self {
             Scalar::Int { width, signed } => Value::Int(DynInt::zero(width, signed)),
-            Scalar::Fixed { width, int_bits, signed } => {
-                Value::Fixed(DynFixed::zero(width, int_bits, signed))
-            }
+            Scalar::Fixed {
+                width,
+                int_bits,
+                signed,
+            } => Value::Fixed(DynFixed::zero(width, int_bits, signed)),
         }
     }
 
@@ -87,12 +110,26 @@ impl Scalar {
 impl fmt::Display for Scalar {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match *self {
-            Scalar::Int { width, signed: true } => write!(f, "ap_int<{width}>"),
-            Scalar::Int { width, signed: false } => write!(f, "ap_uint<{width}>"),
-            Scalar::Fixed { width, int_bits, signed: true } => {
+            Scalar::Int {
+                width,
+                signed: true,
+            } => write!(f, "ap_int<{width}>"),
+            Scalar::Int {
+                width,
+                signed: false,
+            } => write!(f, "ap_uint<{width}>"),
+            Scalar::Fixed {
+                width,
+                int_bits,
+                signed: true,
+            } => {
                 write!(f, "ap_fixed<{width},{int_bits}>")
             }
-            Scalar::Fixed { width, int_bits, signed: false } => {
+            Scalar::Fixed {
+                width,
+                int_bits,
+                signed: false,
+            } => {
                 write!(f, "ap_ufixed<{width},{int_bits}>")
             }
         }
@@ -112,7 +149,10 @@ impl Value {
     /// The value's type.
     pub fn scalar(&self) -> Scalar {
         match self {
-            Value::Int(v) => Scalar::Int { width: v.width(), signed: v.is_signed() },
+            Value::Int(v) => Scalar::Int {
+                width: v.width(),
+                signed: v.is_signed(),
+            },
             Value::Fixed(v) => Scalar::Fixed {
                 width: v.width(),
                 int_bits: v.int_bits(),
@@ -142,12 +182,25 @@ impl Value {
     pub fn coerce(&self, target: Scalar) -> Value {
         match (*self, target) {
             (Value::Int(v), Scalar::Int { width, signed }) => Value::Int(v.resize(width, signed)),
-            (Value::Fixed(v), Scalar::Fixed { width, int_bits, signed }) => {
-                Value::Fixed(v.resize(width, int_bits, signed))
-            }
-            (Value::Int(v), Scalar::Fixed { width, int_bits, signed }) => {
+            (
+                Value::Fixed(v),
+                Scalar::Fixed {
+                    width,
+                    int_bits,
+                    signed,
+                },
+            ) => Value::Fixed(v.resize(width, int_bits, signed)),
+            (
+                Value::Int(v),
+                Scalar::Fixed {
+                    width,
+                    int_bits,
+                    signed,
+                },
+            ) => {
                 // Integers convert exactly (up to wrap) via frac = 0.
-                let as_fixed = DynFixed::from_int(v.width(), v.width() as i32, v.is_signed(), v.to_i128());
+                let as_fixed =
+                    DynFixed::from_int(v.width(), v.width() as i32, v.is_signed(), v.to_i128());
                 Value::Fixed(as_fixed.resize(width, int_bits, signed))
             }
             (Value::Fixed(v), Scalar::Int { width, signed }) => {

@@ -35,9 +35,11 @@ pub fn from_words(ty: Scalar, words: &[u32]) -> Value {
     }
     match ty {
         Scalar::Int { width, signed } => Value::Int(aplib::DynInt::from_raw(width, signed, raw)),
-        Scalar::Fixed { width, int_bits, signed } => {
-            Value::Fixed(aplib::DynFixed::from_raw(width, int_bits, signed, raw))
-        }
+        Scalar::Fixed {
+            width,
+            int_bits,
+            signed,
+        } => Value::Fixed(aplib::DynFixed::from_raw(width, int_bits, signed, raw)),
     }
 }
 

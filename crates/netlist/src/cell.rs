@@ -21,7 +21,12 @@ pub struct Resources {
 impl Resources {
     /// A resource vector with only LUTs.
     pub const fn luts(n: u64) -> Resources {
-        Resources { luts: n, ffs: 0, bram18: 0, dsp: 0 }
+        Resources {
+            luts: n,
+            ffs: 0,
+            bram18: 0,
+            dsp: 0,
+        }
     }
 
     /// Component-wise `self <= rhs`: does a demand fit in a budget?
@@ -83,7 +88,11 @@ impl AddAssign for Resources {
 
 impl fmt::Display for Resources {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} LUT, {} FF, {} BRAM18, {} DSP", self.luts, self.ffs, self.bram18, self.dsp)
+        write!(
+            f,
+            "{} LUT, {} FF, {} BRAM18, {} DSP",
+            self.luts, self.ffs, self.bram18, self.dsp
+        )
     }
 }
 
@@ -148,21 +157,32 @@ impl CellKind {
     /// The resource weight of this cell.
     pub fn resources(&self) -> Resources {
         match *self {
-            CellKind::Adder { width } => {
-                Resources { luts: width as u64, ffs: 0, bram18: 0, dsp: 0 }
-            }
+            CellKind::Adder { width } => Resources {
+                luts: width as u64,
+                ffs: 0,
+                bram18: 0,
+                dsp: 0,
+            },
             CellKind::Mult { width } => {
                 if width <= 4 {
                     Resources::luts((width * width) as u64 / 2 + 1)
                 } else {
                     // DSP48: 27x18 signed multiplier tiles.
                     let tiles = width.div_ceil(18) as u64 * width.div_ceil(27) as u64;
-                    Resources { luts: width as u64 / 2, ffs: 0, bram18: 0, dsp: tiles }
+                    Resources {
+                        luts: width as u64 / 2,
+                        ffs: 0,
+                        bram18: 0,
+                        dsp: tiles,
+                    }
                 }
             }
-            CellKind::Divider { width } => {
-                Resources { luts: (width as u64 * width as u64) / 2 + 8, ffs: width as u64 * 2, bram18: 0, dsp: 0 }
-            }
+            CellKind::Divider { width } => Resources {
+                luts: (width as u64 * width as u64) / 2 + 8,
+                ffs: width as u64 * 2,
+                bram18: 0,
+                dsp: 0,
+            },
             CellKind::Logic { width } => Resources::luts((width as u64 / 2).max(1)),
             CellKind::Shifter { width } => {
                 let stages = 32 - (width.max(2) - 1).leading_zeros();
@@ -170,9 +190,12 @@ impl CellKind {
             }
             CellKind::Comparator { width } => Resources::luts(width as u64 / 2 + 1),
             CellKind::Mux { width } => Resources::luts(width as u64 / 2 + 1),
-            CellKind::Register { width } => {
-                Resources { luts: 0, ffs: width as u64, bram18: 0, dsp: 0 }
-            }
+            CellKind::Register { width } => Resources {
+                luts: 0,
+                ffs: width as u64,
+                bram18: 0,
+                dsp: 0,
+            },
             CellKind::BramPort { bits } => Resources {
                 luts: 20,
                 ffs: 8,
@@ -194,9 +217,19 @@ impl CellKind {
             CellKind::FifoBuf { width, depth } => {
                 let bits = width as u64 * depth as u64;
                 if bits > 1024 {
-                    Resources { luts: 40, ffs: width as u64, bram18: bits.div_ceil(BRAM18_BITS), dsp: 0 }
+                    Resources {
+                        luts: 40,
+                        ffs: width as u64,
+                        bram18: bits.div_ceil(BRAM18_BITS),
+                        dsp: 0,
+                    }
                 } else {
-                    Resources { luts: bits / 8 + 20, ffs: width as u64, bram18: 0, dsp: 0 }
+                    Resources {
+                        luts: bits / 8 + 20,
+                        ffs: width as u64,
+                        bram18: 0,
+                        dsp: 0,
+                    }
                 }
             }
             CellKind::Const { .. } => Resources::default(),
@@ -256,10 +289,28 @@ mod tests {
 
     #[test]
     fn resource_vector_algebra() {
-        let a = Resources { luts: 10, ffs: 4, bram18: 1, dsp: 0 };
-        let b = Resources { luts: 5, ffs: 0, bram18: 0, dsp: 2 };
+        let a = Resources {
+            luts: 10,
+            ffs: 4,
+            bram18: 1,
+            dsp: 0,
+        };
+        let b = Resources {
+            luts: 5,
+            ffs: 0,
+            bram18: 0,
+            dsp: 2,
+        };
         let s = a + b;
-        assert_eq!(s, Resources { luts: 15, ffs: 4, bram18: 1, dsp: 2 });
+        assert_eq!(
+            s,
+            Resources {
+                luts: 15,
+                ffs: 4,
+                bram18: 1,
+                dsp: 2
+            }
+        );
         assert!(a.fits_in(&s));
         assert!(!s.fits_in(&a));
         assert_eq!(s.saturating_sub(&a), b);
@@ -267,11 +318,31 @@ mod tests {
 
     #[test]
     fn utilization_picks_binding_resource() {
-        let demand = Resources { luts: 50, ffs: 10, bram18: 9, dsp: 0 };
-        let budget = Resources { luts: 1000, ffs: 2000, bram18: 10, dsp: 10 };
+        let demand = Resources {
+            luts: 50,
+            ffs: 10,
+            bram18: 9,
+            dsp: 0,
+        };
+        let budget = Resources {
+            luts: 1000,
+            ffs: 2000,
+            bram18: 10,
+            dsp: 10,
+        };
         assert!((demand.utilization(&budget) - 0.9).abs() < 1e-9);
-        let impossible = Resources { luts: 0, ffs: 0, bram18: 0, dsp: 1 };
-        let no_dsp = Resources { luts: 100, ffs: 100, bram18: 1, dsp: 0 };
+        let impossible = Resources {
+            luts: 0,
+            ffs: 0,
+            bram18: 0,
+            dsp: 1,
+        };
+        let no_dsp = Resources {
+            luts: 100,
+            ffs: 100,
+            bram18: 1,
+            dsp: 0,
+        };
         assert_eq!(impossible.utilization(&no_dsp), f64::INFINITY);
     }
 
@@ -284,7 +355,11 @@ mod tests {
     #[test]
     fn wide_mult_uses_dsps() {
         let r = CellKind::Mult { width: 32 }.resources();
-        assert!(r.dsp >= 2, "32-bit multiply should need multiple DSP48 tiles, got {}", r.dsp);
+        assert!(
+            r.dsp >= 2,
+            "32-bit multiply should need multiple DSP48 tiles, got {}",
+            r.dsp
+        );
         let small = CellKind::Mult { width: 4 }.resources();
         assert_eq!(small.dsp, 0);
     }
@@ -292,8 +367,18 @@ mod tests {
     #[test]
     fn bram_rounds_up() {
         assert_eq!(CellKind::BramPort { bits: 1 }.resources().bram18, 1);
-        assert_eq!(CellKind::BramPort { bits: BRAM18_BITS }.resources().bram18, 1);
-        assert_eq!(CellKind::BramPort { bits: BRAM18_BITS + 1 }.resources().bram18, 2);
+        assert_eq!(
+            CellKind::BramPort { bits: BRAM18_BITS }.resources().bram18,
+            1
+        );
+        assert_eq!(
+            CellKind::BramPort {
+                bits: BRAM18_BITS + 1
+            }
+            .resources()
+            .bram18,
+            2
+        );
     }
 
     #[test]
@@ -307,7 +392,11 @@ mod tests {
     #[test]
     fn sequential_classification() {
         assert!(CellKind::Register { width: 8 }.is_sequential());
-        assert!(CellKind::FifoBuf { width: 32, depth: 16 }.is_sequential());
+        assert!(CellKind::FifoBuf {
+            width: 32,
+            depth: 16
+        }
+        .is_sequential());
         assert!(!CellKind::Adder { width: 8 }.is_sequential());
     }
 

@@ -76,26 +76,40 @@ pub struct Netlist {
 impl Netlist {
     /// Creates an empty netlist named `name`.
     pub fn new(name: impl Into<String>) -> Netlist {
-        Netlist { name: name.into(), cells: Vec::new(), nets: Vec::new() }
+        Netlist {
+            name: name.into(),
+            cells: Vec::new(),
+            nets: Vec::new(),
+        }
     }
 
     /// Adds a cell, returning its id.
     pub fn add_cell(&mut self, name: impl Into<String>, kind: CellKind) -> CellId {
         let id = CellId(self.cells.len());
-        self.cells.push(Cell { name: name.into(), kind });
+        self.cells.push(Cell {
+            name: name.into(),
+            kind,
+        });
         id
     }
 
     /// Adds a net from `driver` to `sinks`, returning its id.
     pub fn add_net(&mut self, driver: CellId, sinks: Vec<CellId>, width: u32) -> NetId {
         let id = NetId(self.nets.len());
-        self.nets.push(Net { driver, sinks, width });
+        self.nets.push(Net {
+            driver,
+            sinks,
+            width,
+        });
         id
     }
 
     /// Total resource demand of the design.
     pub fn resources(&self) -> Resources {
-        self.cells.iter().map(|c| c.kind.resources()).fold(Resources::default(), |a, b| a + b)
+        self.cells
+            .iter()
+            .map(|c| c.kind.resources())
+            .fold(Resources::default(), |a, b| a + b)
     }
 
     /// Number of cells.
@@ -143,8 +157,7 @@ impl Netlist {
     /// See [`NetlistError`].
     pub fn check(&self) -> Result<(), NetlistError> {
         for (i, net) in self.nets.iter().enumerate() {
-            if net.driver.0 >= self.cells.len()
-                || net.sinks.iter().any(|s| s.0 >= self.cells.len())
+            if net.driver.0 >= self.cells.len() || net.sinks.iter().any(|s| s.0 >= self.cells.len())
             {
                 return Err(NetlistError::DanglingCellRef { net: i });
             }
@@ -205,8 +218,7 @@ impl Netlist {
                 }
             }
         }
-        let mut dist: Vec<f64> =
-            self.cells.iter().map(|c| c.kind.delay_ns()).collect();
+        let mut dist: Vec<f64> = self.cells.iter().map(|c| c.kind.delay_ns()).collect();
         let mut queue: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
         let mut best = 0.0f64;
         while let Some(u) = queue.pop() {

@@ -53,7 +53,9 @@ pub fn emulate(netlist: &Netlist, cycles: u64) -> EmuStats {
         }
     }
 
-    let mut state: Vec<u64> = (0..n as u64).map(|i| i.wrapping_mul(0x9e37_79b9_7f4a_7c15)).collect();
+    let mut state: Vec<u64> = (0..n as u64)
+        .map(|i| i.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+        .collect();
     let mut next: Vec<u64> = state.clone();
     let mut events = 0u64;
 
@@ -62,7 +64,9 @@ pub fn emulate(netlist: &Netlist, cycles: u64) -> EmuStats {
             // splitmix-style mix of the cell's inputs and its own state.
             let mut acc = state[i] ^ cycle;
             for &d in ins {
-                acc = acc.wrapping_add(state[d]).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                acc = acc
+                    .wrapping_add(state[d])
+                    .wrapping_mul(0xbf58_476d_1ce4_e5b9);
                 acc ^= acc >> 27;
             }
             next[i] = acc.wrapping_mul(0x94d0_49bb_1331_11eb) ^ (acc >> 31);
@@ -72,7 +76,12 @@ pub fn emulate(netlist: &Netlist, cycles: u64) -> EmuStats {
     }
 
     let digest = state.iter().fold(0u64, |a, &v| a.rotate_left(7) ^ v);
-    EmuStats { cycles, events, wall_seconds: start.elapsed().as_secs_f64(), digest }
+    EmuStats {
+        cycles,
+        events,
+        wall_seconds: start.elapsed().as_secs_f64(),
+        digest,
+    }
 }
 
 #[cfg(test)]

@@ -24,7 +24,10 @@ impl PortAddr {
 
     /// Decodes an entry from a configuration-packet payload.
     pub fn decode(word: u32) -> PortAddr {
-        PortAddr { leaf: (word >> 8) as u16, port: word as u8 }
+        PortAddr {
+            leaf: (word >> 8) as u16,
+            port: word as u8,
+        }
     }
 }
 
@@ -90,6 +93,16 @@ impl LeafInterface {
         self.dest_table[stream] = Some(addr);
     }
 
+    /// Clears a destination register, unlinking the stream. Injection on a
+    /// cleared stream fails with `NotLinked` until it is re-configured —
+    /// how a runtime tears down one route of a departing tenant without
+    /// touching its neighbours' registers.
+    pub fn clear_dest(&mut self, stream: usize) {
+        if let Some(entry) = self.dest_table.get_mut(stream) {
+            *entry = None;
+        }
+    }
+
     /// Applies a delivered configuration packet.
     pub(crate) fn apply_config(&mut self, reg: u8, payload: u32) {
         self.set_dest(reg as usize, PortAddr::decode(payload));
@@ -102,7 +115,10 @@ impl LeafInterface {
         if p >= self.recv.len() {
             self.recv.resize(p + 1, VecDeque::new());
         }
-        let (expected, pending) = self.reorder.entry((src, port)).or_insert((0, BTreeMap::new()));
+        let (expected, pending) = self
+            .reorder
+            .entry((src, port))
+            .or_insert((0, BTreeMap::new()));
         if seq == *expected {
             self.recv[p].push_back(payload);
             *expected += 1;

@@ -48,7 +48,10 @@ impl fmt::Display for InjectError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             InjectError::NotLinked { leaf, stream } => {
-                write!(f, "leaf {leaf} stream {stream} has no destination configured")
+                write!(
+                    f,
+                    "leaf {leaf} stream {stream} has no destination configured"
+                )
             }
             InjectError::Backpressure { leaf } => {
                 write!(f, "leaf {leaf} outgoing FIFO full")
@@ -126,6 +129,13 @@ impl BftNoc {
         self.leaves[leaf].set_dest(stream, addr);
     }
 
+    /// Tears down one stream's route, leaving every other register intact —
+    /// the unlink half of the paper's re-linking story, used when a page's
+    /// tenant is evicted or hot-swapped.
+    pub fn clear_dest(&mut self, leaf: usize, stream: usize) {
+        self.leaves[leaf].clear_dest(stream);
+    }
+
     /// Sends an in-band configuration packet from `src_leaf` that, on
     /// delivery, points `dest_leaf`'s register `reg` at `addr` — the paper's
     /// "few packets per page to link it into the network".
@@ -196,17 +206,22 @@ impl BftNoc {
 
     /// Whether any flit is still in flight inside the tree.
     pub fn in_flight(&self) -> bool {
-        self.up.iter().chain(&self.down).any(|level| level.iter().any(Option::is_some))
+        self.up
+            .iter()
+            .chain(&self.down)
+            .any(|level| level.iter().any(Option::is_some))
             || self.leaves.iter().any(|l| !l.out_queue.is_empty())
     }
 
     /// Advances the network by one clock cycle.
     pub fn step(&mut self) {
         let levels = self.levels;
-        let mut next_up: Vec<Vec<Option<Flit>>> =
-            (0..levels).map(|l| vec![None; self.n_leaves >> l]).collect();
-        let mut next_down: Vec<Vec<Option<Flit>>> =
-            (0..levels).map(|l| vec![None; self.n_leaves >> l]).collect();
+        let mut next_up: Vec<Vec<Option<Flit>>> = (0..levels)
+            .map(|l| vec![None; self.n_leaves >> l])
+            .collect();
+        let mut next_down: Vec<Vec<Option<Flit>>> = (0..levels)
+            .map(|l| vec![None; self.n_leaves >> l])
+            .collect();
 
         // Switches: level-l switch index s has children at level l-1 nodes
         // (2s, 2s+1); its own "node index" at level l is s. The switch at
@@ -299,7 +314,14 @@ mod tests {
         let mut net = BftNoc::new(n, 2, 64);
         for i in 0..net.leaf_count() {
             let dest = ((i + 1) % net.leaf_count()) as u16;
-            net.set_dest(i, 0, PortAddr { leaf: dest, port: 0 });
+            net.set_dest(
+                i,
+                0,
+                PortAddr {
+                    leaf: dest,
+                    port: 0,
+                },
+            );
         }
         net
     }
@@ -371,12 +393,36 @@ mod tests {
     fn config_packets_relink_without_recompile() {
         let mut net = BftNoc::new(8, 2, 16);
         // Host (leaf 7) configures leaf 2's stream 1 to feed leaf 5 port 0.
-        net.send_config(7, 2, 1, PortAddr { leaf: 5, port: 0 }).unwrap();
+        net.send_config(7, 2, 1, PortAddr { leaf: 5, port: 0 })
+            .unwrap();
         net.drain(100);
         assert_eq!(net.stats().config_writes, 1);
         net.inject(2, 1, 777).unwrap();
         net.drain(100);
         assert_eq!(net.try_recv(5, 0), Some(777));
+    }
+
+    #[test]
+    fn clear_dest_unlinks_one_stream_only() {
+        let mut net = BftNoc::new(8, 2, 16);
+        net.set_dest(2, 0, PortAddr { leaf: 5, port: 0 });
+        net.set_dest(2, 1, PortAddr { leaf: 6, port: 0 });
+        net.clear_dest(2, 0);
+        assert_eq!(
+            net.inject(2, 0, 1),
+            Err(InjectError::NotLinked { leaf: 2, stream: 0 })
+        );
+        // The sibling stream and its route are untouched.
+        net.inject(2, 1, 42).unwrap();
+        net.drain(100);
+        assert_eq!(net.try_recv(6, 0), Some(42));
+        // A config packet re-establishes the cleared route.
+        net.send_config(7, 2, 0, PortAddr { leaf: 3, port: 1 })
+            .unwrap();
+        net.drain(100);
+        net.inject(2, 0, 7).unwrap();
+        net.drain(100);
+        assert_eq!(net.try_recv(3, 1), Some(7));
     }
 
     #[test]
@@ -394,7 +440,10 @@ mod tests {
         net.set_dest(0, 0, PortAddr { leaf: 1, port: 0 });
         assert!(net.inject(0, 0, 1).is_ok());
         assert!(net.inject(0, 0, 2).is_ok());
-        assert_eq!(net.inject(0, 0, 3), Err(InjectError::Backpressure { leaf: 0 }));
+        assert_eq!(
+            net.inject(0, 0, 3),
+            Err(InjectError::Backpressure { leaf: 0 })
+        );
         net.drain(50);
         assert!(net.inject(0, 0, 3).is_ok());
     }

@@ -92,8 +92,11 @@ mod tests {
         let a = nl.add_cell("a", CellKind::Adder { width: 8 });
         let b = nl.add_cell("b", CellKind::Register { width: 8 });
         nl.add_net(a, vec![b], 8);
-        let placement =
-            Placement { assignment: vec![(2, 0), (3, 0)], cost: 1.0, moves_evaluated: 10 };
+        let placement = Placement {
+            assignment: vec![(2, 0), (3, 0)],
+            cost: 1.0,
+            moves_evaluated: 10,
+        };
         let routed = RoutedDesign {
             routes: vec![vec![vec![(2, 0), (3, 0)]]],
             overused_edges: 0,

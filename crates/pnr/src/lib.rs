@@ -53,7 +53,11 @@ pub struct PnrOptions {
 
 impl Default for PnrOptions {
     fn default() -> Self {
-        PnrOptions { seed: 1, abstract_shell: true, effort: 1.0 }
+        PnrOptions {
+            seed: 1,
+            abstract_shell: true,
+            effort: 1.0,
+        }
     }
 }
 
@@ -134,13 +138,22 @@ pub fn place_and_route(
     let route_seconds = t1.elapsed().as_secs_f64();
 
     let timing = timing::analyze_timing(netlist, device, &placement, &routed);
-    let bitstream = bitstream::Bitstream::generate(netlist, region, &placement, &routed, options.seed);
+    let bitstream =
+        bitstream::Bitstream::generate(netlist, region, &placement, &routed, options.seed);
 
     // Work units: SA moves plus router edge relaxations, the superlinear
     // quantities the virtual-time model maps to Vitis-scale seconds.
     let work_units = placement.moves_evaluated + routed.edges_relaxed;
 
-    Ok(PnrResult { placement, routed, timing, bitstream, place_seconds, route_seconds, work_units })
+    Ok(PnrResult {
+        placement,
+        routed,
+        timing,
+        bitstream,
+        place_seconds,
+        route_seconds,
+        work_units,
+    })
 }
 
 #[cfg(test)]
@@ -180,7 +193,11 @@ mod tests {
         let nl = datapath(40);
         let result = place_and_route(&nl, &device, region, &PnrOptions::default()).unwrap();
         assert_eq!(result.routed.overused_edges, 0);
-        assert!(result.timing.fmax_mhz > 100.0, "fmax {}", result.timing.fmax_mhz);
+        assert!(
+            result.timing.fmax_mhz > 100.0,
+            "fmax {}",
+            result.timing.fmax_mhz
+        );
         assert!(result.timing.fmax_mhz < 800.0);
         assert!(result.work_units > 0);
     }
@@ -189,7 +206,10 @@ mod tests {
     fn deterministic_under_seed() {
         let (device, region) = page();
         let nl = datapath(30);
-        let opts = PnrOptions { seed: 42, ..Default::default() };
+        let opts = PnrOptions {
+            seed: 42,
+            ..Default::default()
+        };
         let a = place_and_route(&nl, &device, region, &opts).unwrap();
         let b = place_and_route(&nl, &device, region, &opts).unwrap();
         assert_eq!(a.placement.assignment, b.placement.assignment);
@@ -198,7 +218,10 @@ mod tests {
             &nl,
             &device,
             region,
-            &PnrOptions { seed: 43, ..Default::default() },
+            &PnrOptions {
+                seed: 43,
+                ..Default::default()
+            },
         )
         .unwrap();
         assert_ne!(a.placement.assignment, c.placement.assignment);
@@ -225,13 +248,8 @@ mod tests {
         // The paper's core claim: effort scales with region × design size.
         let fp = fabric::Floorplan::u50();
         let nl = datapath(60);
-        let small = place_and_route(
-            &nl,
-            &fp.device,
-            fp.pages[0].rect,
-            &PnrOptions::default(),
-        )
-        .unwrap();
+        let small =
+            place_and_route(&nl, &fp.device, fp.pages[0].rect, &PnrOptions::default()).unwrap();
         let whole = place_and_route(
             &nl,
             &fp.device,

@@ -71,7 +71,12 @@ impl<'d> Grid<'d> {
                 free[Self::local_index(&region, x, y)] = tile_capacity(kind);
             }
         }
-        Grid { device, region, sites, free }
+        Grid {
+            device,
+            region,
+            sites,
+            free,
+        }
     }
 
     fn local_index(region: &Rect, x: u32, y: u32) -> usize {
@@ -229,8 +234,7 @@ pub fn place(
     // abstract shell the placer drags the whole device context through every
     // temperature step (Sec. 4.1), modelled as a context sweep per step.
     let n_cells = netlist.cells.len().max(2);
-    let moves_per_temp =
-        ((n_cells as f64).powf(4.0 / 3.0) * 8.0 * options.effort).ceil() as u64;
+    let moves_per_temp = ((n_cells as f64).powf(4.0 / 3.0) * 8.0 * options.effort).ceil() as u64;
     let context_tiles = if options.abstract_shell {
         0u64
     } else {
@@ -257,9 +261,15 @@ pub fn place(
                 continue;
             }
             // Delta cost over touched nets.
-            let before: f64 = cell_nets[cell].iter().map(|&ni| net_hpwl(&assignment, &netlist.nets[ni])).sum();
+            let before: f64 = cell_nets[cell]
+                .iter()
+                .map(|&ni| net_hpwl(&assignment, &netlist.nets[ni]))
+                .sum();
             assignment[cell] = (nx, ny);
-            let after: f64 = cell_nets[cell].iter().map(|&ni| net_hpwl(&assignment, &netlist.nets[ni])).sum();
+            let after: f64 = cell_nets[cell]
+                .iter()
+                .map(|&ni| net_hpwl(&assignment, &netlist.nets[ni]))
+                .sum();
             let delta = after - before;
             let accept = delta <= 0.0 || rng.gen::<f64>() < (-delta / temperature).exp();
             if accept {
@@ -276,7 +286,11 @@ pub fn place(
         temperature *= 0.88;
     }
 
-    Ok(Placement { assignment, cost: cost.max(0.0), moves_evaluated })
+    Ok(Placement {
+        assignment,
+        cost: cost.max(0.0),
+        moves_evaluated,
+    })
 }
 
 #[cfg(test)]
@@ -310,7 +324,10 @@ mod tests {
         let p = place(&nl, &device, region, &PnrOptions::default()).unwrap();
         // Every cell inside the region, on a tile of its kind.
         for (i, &(x, y)) in p.assignment.iter().enumerate() {
-            assert!(region.contains(x, y), "cell {i} at ({x},{y}) outside region");
+            assert!(
+                region.contains(x, y),
+                "cell {i} at ({x},{y}) outside region"
+            );
             let (want, _) = site_requirements(&nl.cells[i].kind);
             assert_eq!(device.columns[x as usize], want, "cell {i}");
         }
@@ -353,8 +370,26 @@ mod tests {
     fn effort_scales_moves() {
         let (device, region) = page();
         let nl = small_netlist();
-        let lo = place(&nl, &device, region, &PnrOptions { effort: 0.5, ..Default::default() }).unwrap();
-        let hi = place(&nl, &device, region, &PnrOptions { effort: 2.0, ..Default::default() }).unwrap();
+        let lo = place(
+            &nl,
+            &device,
+            region,
+            &PnrOptions {
+                effort: 0.5,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let hi = place(
+            &nl,
+            &device,
+            region,
+            &PnrOptions {
+                effort: 2.0,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert!(hi.moves_evaluated > lo.moves_evaluated);
     }
 
@@ -367,7 +402,10 @@ mod tests {
             &nl,
             &device,
             region,
-            &PnrOptions { abstract_shell: false, ..Default::default() },
+            &PnrOptions {
+                abstract_shell: false,
+                ..Default::default()
+            },
         )
         .unwrap();
         assert!(slow.moves_evaluated > fast.moves_evaluated * 2);

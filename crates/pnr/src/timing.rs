@@ -148,7 +148,11 @@ mod tests {
     #[test]
     fn fmax_in_fpga_range() {
         let r = analyze(&pipeline(2), Rect::new(2, 0, 11, 10));
-        assert!(r.fmax_mhz > 100.0 && r.fmax_mhz < 800.0, "fmax {}", r.fmax_mhz);
+        assert!(
+            r.fmax_mhz > 100.0 && r.fmax_mhz < 800.0,
+            "fmax {}",
+            r.fmax_mhz
+        );
     }
 
     #[test]
@@ -173,8 +177,7 @@ mod tests {
             cost: 0.0,
             moves_evaluated: 0,
         };
-        let routed =
-            route(&nl, &device, region, &placement, &PnrOptions::default()).unwrap();
+        let routed = route(&nl, &device, region, &placement, &PnrOptions::default()).unwrap();
         let r = analyze_timing(&nl, &device, &placement, &routed);
         assert_eq!(r.slr_crossings, 1);
         assert!(r.worst_net_ns > 79.0 * NS_PER_TILE);

@@ -15,7 +15,9 @@ fn netlist_from_genes(genes: &[(u8, u8)]) -> Netlist {
     let mut cells = vec![first];
     for (i, (kind_gene, fan_gene)) in genes.iter().enumerate() {
         let kind = match kind_gene % 7 {
-            0 => CellKind::Adder { width: 16 + (*kind_gene as u32 % 3) * 16 },
+            0 => CellKind::Adder {
+                width: 16 + (*kind_gene as u32 % 3) * 16,
+            },
             1 => CellKind::Mult { width: 18 },
             2 => CellKind::Register { width: 32 },
             3 => CellKind::Logic { width: 8 },

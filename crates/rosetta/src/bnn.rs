@@ -56,12 +56,22 @@ pub struct Weights {
 pub fn weights(seed: u64) -> Weights {
     let mut r = rng(seed);
     Weights {
-        conv1: (0..CH).map(|_| std::array::from_fn(|_| r.gen_range(0..2))).collect(),
-        conv2: (0..CH * CH).map(|_| std::array::from_fn(|_| r.gen_range(0..2))).collect(),
-        fc1: (0..HIDDEN)
-            .map(|_| (0..POOLED * POOLED * CH).map(|_| r.gen_range(0..2)).collect())
+        conv1: (0..CH)
+            .map(|_| std::array::from_fn(|_| r.gen_range(0..2)))
             .collect(),
-        fc2: (0..CLASSES).map(|_| (0..HIDDEN).map(|_| r.gen_range(0..2)).collect()).collect(),
+        conv2: (0..CH * CH)
+            .map(|_| std::array::from_fn(|_| r.gen_range(0..2)))
+            .collect(),
+        fc1: (0..HIDDEN)
+            .map(|_| {
+                (0..POOLED * POOLED * CH)
+                    .map(|_| r.gen_range(0..2))
+                    .collect()
+            })
+            .collect(),
+        fc2: (0..CLASSES)
+            .map(|_| (0..HIDDEN).map(|_| r.gen_range(0..2)).collect())
+            .collect(),
     }
 }
 
@@ -80,8 +90,10 @@ fn conv_kernel(
     let v = Expr::var;
     let c = Expr::cint;
     assert_eq!(kernels.len() as i64, in_ch * out_ch);
-    let rom: Vec<u128> =
-        kernels.iter().flat_map(|k| k.iter().map(|&b| b as u128)).collect();
+    let rom: Vec<u128> = kernels
+        .iter()
+        .flat_map(|k| k.iter().map(|&b| b as u128))
+        .collect();
     // Line buffers: two rows of in_ch-wide pixels, plus the current row so
     // far (the 3×3 window trails one row/col behind the stream, and border
     // taps read zeros).
@@ -136,18 +148,26 @@ fn conv_kernel(
                                                 // eagerly (mux semantics), so
                                                 // the index uses clamped
                                                 // coordinates.
-                                                Stmt::assign("ri", v("rr").max(c(0)).min(c(edge - 1))),
-                                                Stmt::assign("ci", v("cc").max(c(0)).min(c(edge - 1))),
+                                                Stmt::assign(
+                                                    "ri",
+                                                    v("rr").max(c(0)).min(c(edge - 1)),
+                                                ),
+                                                Stmt::assign(
+                                                    "ci",
+                                                    v("cc").max(c(0)).min(c(edge - 1)),
+                                                ),
                                                 Stmt::assign(
                                                     "tap",
-                                                    v("rr").ge(c(0))
+                                                    v("rr")
+                                                        .ge(c(0))
                                                         .land(v("rr").lt(c(edge)))
                                                         .land(v("cc").ge(c(0)))
                                                         .land(v("cc").lt(c(edge)))
                                                         .select(
                                                             Expr::index(
                                                                 "win",
-                                                                v("ri").mul(c(edge))
+                                                                v("ri")
+                                                                    .mul(c(edge))
                                                                     .add(v("ci"))
                                                                     .mul(c(in_ch))
                                                                     .add(v("ic")),
@@ -160,7 +180,8 @@ fn conv_kernel(
                                                     "wbit",
                                                     Expr::index(
                                                         "wrom",
-                                                        v("o").mul(c(in_ch))
+                                                        v("o")
+                                                            .mul(c(in_ch))
                                                             .add(v("ic"))
                                                             .mul(c(9))
                                                             .add(v("ky").mul(c(3)))
@@ -177,10 +198,7 @@ fn conv_kernel(
                                     )],
                                 ),
                                 // Majority over 9*in_ch taps.
-                                Stmt::write(
-                                    "out",
-                                    v("acc").gt(c(9 * in_ch / 2)).cast(i32s()),
-                                ),
+                                Stmt::write("out", v("acc").gt(c(9 * in_ch / 2)).cast(i32s())),
                             ],
                         )],
                     )],
@@ -223,19 +241,41 @@ fn pool_kernel(edge: i64, ch: i64, images: i64) -> Kernel {
                                 "out",
                                 Expr::index(
                                     "img",
-                                    v("y").mul(c(2)).mul(c(edge)).add(v("x").mul(c(2))).mul(c(ch)).add(v("k")),
+                                    v("y")
+                                        .mul(c(2))
+                                        .mul(c(edge))
+                                        .add(v("x").mul(c(2)))
+                                        .mul(c(ch))
+                                        .add(v("k")),
                                 )
                                 .max(Expr::index(
                                     "img",
-                                    v("y").mul(c(2)).mul(c(edge)).add(v("x").mul(c(2)).add(c(1))).mul(c(ch)).add(v("k")),
+                                    v("y")
+                                        .mul(c(2))
+                                        .mul(c(edge))
+                                        .add(v("x").mul(c(2)).add(c(1)))
+                                        .mul(c(ch))
+                                        .add(v("k")),
                                 ))
                                 .max(Expr::index(
                                     "img",
-                                    v("y").mul(c(2)).add(c(1)).mul(c(edge)).add(v("x").mul(c(2))).mul(c(ch)).add(v("k")),
+                                    v("y")
+                                        .mul(c(2))
+                                        .add(c(1))
+                                        .mul(c(edge))
+                                        .add(v("x").mul(c(2)))
+                                        .mul(c(ch))
+                                        .add(v("k")),
                                 ))
                                 .max(Expr::index(
                                     "img",
-                                    v("y").mul(c(2)).add(c(1)).mul(c(edge)).add(v("x").mul(c(2)).add(c(1))).mul(c(ch)).add(v("k")),
+                                    v("y")
+                                        .mul(c(2))
+                                        .add(c(1))
+                                        .mul(c(edge))
+                                        .add(v("x").mul(c(2)).add(c(1)))
+                                        .mul(c(ch))
+                                        .add(v("k")),
                                 ))
                                 .cast(i32s()),
                             )],
@@ -259,8 +299,10 @@ fn fc_kernel(
 ) -> Kernel {
     let v = Expr::var;
     let c = Expr::cint;
-    let rom: Vec<u128> =
-        w.iter().flat_map(|row| row.iter().map(|&b| b as u128)).collect();
+    let rom: Vec<u128> = w
+        .iter()
+        .flat_map(|row| row.iter().map(|&b| b as u128))
+        .collect();
     let mut body = vec![Stmt::for_pipelined(
         "i",
         0..inputs_n,
@@ -341,7 +383,11 @@ fn argmax_kernel(images: i64) -> Kernel {
 pub fn graph(images: i64, seed: u64) -> Graph {
     let w = weights(seed);
     let mut b = GraphBuilder::new("bnn");
-    let c1 = b.add("conv1", conv_kernel("conv1", IMG, 1, CH, &w.conv1, images), Target::hw_auto());
+    let c1 = b.add(
+        "conv1",
+        conv_kernel("conv1", IMG, 1, CH, &w.conv1, images),
+        Target::hw_auto(),
+    );
     let pool = b.add("pool", pool_kernel(IMG, CH, images), Target::hw_auto());
     let c2 = b.add(
         "conv2",
@@ -353,7 +399,11 @@ pub fn graph(images: i64, seed: u64) -> Graph {
         fc_kernel("fc1", POOLED * POOLED * CH, HIDDEN, &w.fc1, images, true),
         Target::hw_auto(),
     );
-    let fc2 = b.add("fc2", fc_kernel("fc2", HIDDEN, CLASSES, &w.fc2, images, false), Target::hw_auto());
+    let fc2 = b.add(
+        "fc2",
+        fc_kernel("fc2", HIDDEN, CLASSES, &w.fc2, images, false),
+        Target::hw_auto(),
+    );
     let am = b.add("argmax", argmax_kernel(images), Target::hw_auto());
     b.ext_input("Input_1", c1, "in");
     b.connect("c1p", c1, "out", pool, "in");
@@ -368,7 +418,9 @@ pub fn graph(images: i64, seed: u64) -> Graph {
 /// Generates binary images (one 0/1 pixel per word).
 pub fn workload(seed: u64, images: i64) -> Vec<Value> {
     let mut r = rng(seed ^ 0xb44);
-    (0..images * IMG * IMG).map(|_| word(r.gen_range(0..2))).collect()
+    (0..images * IMG * IMG)
+        .map(|_| word(r.gen_range(0..2)))
+        .collect()
 }
 
 /// Independent golden model of the whole network.
@@ -386,8 +438,7 @@ pub fn golden(input_words: &[u32], w: &Weights) -> Vec<Vec<u32>> {
                                 for ky in 0..3 {
                                     for kx in 0..3 {
                                         let (rr, cc) = (y + ky - 1, x + kx - 1);
-                                        let tap = if rr >= 0 && rr < edge && cc >= 0 && cc < edge
-                                        {
+                                        let tap = if rr >= 0 && rr < edge && cc >= 0 && cc < edge {
                                             data[((rr * edge + cc) * in_ch + ic) as usize]
                                         } else {
                                             0
@@ -426,8 +477,7 @@ pub fn golden(input_words: &[u32], w: &Weights) -> Vec<Vec<u32>> {
             let fc = |act: &[u32], rows: &[Vec<u32>], binary: bool| {
                 rows.iter()
                     .map(|row| {
-                        let acc =
-                            act.iter().zip(row).filter(|(a, b)| a == b).count() as u32;
+                        let acc = act.iter().zip(row).filter(|(a, b)| a == b).count() as u32;
                         if binary {
                             (acc > act.len() as u32 / 2) as u32
                         } else {
@@ -472,8 +522,10 @@ mod tests {
         let b = bench(Scale::Tiny);
         let out = b.run_functional();
         let got = unwords(&out["Output_1"]);
-        let want: Vec<u32> =
-            golden(&unwords(&b.inputs[0].1), &weights(0xb44b)).into_iter().flatten().collect();
+        let want: Vec<u32> = golden(&unwords(&b.inputs[0].1), &weights(0xb44b))
+            .into_iter()
+            .flatten()
+            .collect();
         assert_eq!(got, want);
     }
 

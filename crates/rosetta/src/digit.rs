@@ -53,8 +53,10 @@ fn stage_kernel(name: &str, bitmaps: &[[u32; 7]], labels: &[u32], n_digits: i64)
     let v = Expr::var;
     let c = Expr::cint;
     let m = bitmaps.len() as i64;
-    let train_rom: Vec<u128> =
-        bitmaps.iter().flat_map(|b| b.iter().map(|&w| w as u128)).collect();
+    let train_rom: Vec<u128> = bitmaps
+        .iter()
+        .flat_map(|b| b.iter().map(|&w| w as u128))
+        .collect();
     let label_rom: Vec<u128> = labels.iter().map(|&l| l as u128).collect();
 
     KernelBuilder::new(name)
@@ -105,7 +107,8 @@ fn stage_kernel(name: &str, bitmaps: &[[u32; 7]], labels: &[u32], n_digits: i64)
                                         Stmt::assign(
                                             "dist",
                                             v("dist").add(
-                                                v("tmp").and(c(1))
+                                                v("tmp")
+                                                    .and(c(1))
                                                     .add(v("tmp").shr(c(1)).and(c(1)))
                                                     .add(v("tmp").shr(c(2)).and(c(1)))
                                                     .add(v("tmp").shr(c(3)).and(c(1))),
@@ -185,7 +188,13 @@ pub fn graph(stages: usize, per_stage: i64, n_digits: i64, seed: u64) -> Graph {
         prev = Some(id);
     }
     let cls = b.add("classify", classify_kernel(n_digits), Target::hw_auto());
-    b.connect("to_classify", prev.expect("at least one stage"), "out", cls, "in");
+    b.connect(
+        "to_classify",
+        prev.expect("at least one stage"),
+        "out",
+        cls,
+        "in",
+    );
     b.ext_output("Output_1", cls, "out");
     b.build().expect("digit graph is well-formed")
 }
@@ -212,8 +221,11 @@ pub fn golden(input_words: &[u32], bitmaps: &[[u32; 7]], labels: &[u32]) -> Vec<
         .map(|digit| {
             let mut best = (DIST_INIT, 0u32);
             for (b, &l) in bitmaps.iter().zip(labels) {
-                let dist: u32 =
-                    digit[..7].iter().zip(b).map(|(a, t)| (a ^ t).count_ones()).sum();
+                let dist: u32 = digit[..7]
+                    .iter()
+                    .zip(b)
+                    .map(|(a, t)| (a ^ t).count_ones())
+                    .sum();
                 if dist < best.0 {
                     best = (dist, l);
                 }

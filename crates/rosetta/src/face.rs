@@ -176,14 +176,26 @@ pub fn graph(windows: i64, seed: u64) -> Graph {
     let (wa, wb) = weak.split_at(WEAK_FEATURES / 2);
     let mut b = GraphBuilder::new("face_detection");
     let integ = b.add("integral", integral_kernel(windows), Target::hw_auto());
-    let stage_a =
-        b.add("strong_a", filter_kernel("strong_a", sa, windows, false, false), Target::hw_auto());
-    let stage_b =
-        b.add("strong_b", filter_kernel("strong_b", sb, windows, true, false), Target::hw_auto());
-    let stage_c =
-        b.add("weak_a", filter_kernel("weak_a", wa, windows, true, false), Target::hw_auto());
-    let stage_d =
-        b.add("weak_b", filter_kernel("weak_b", wb, windows, true, true), Target::hw_auto());
+    let stage_a = b.add(
+        "strong_a",
+        filter_kernel("strong_a", sa, windows, false, false),
+        Target::hw_auto(),
+    );
+    let stage_b = b.add(
+        "strong_b",
+        filter_kernel("strong_b", sb, windows, true, false),
+        Target::hw_auto(),
+    );
+    let stage_c = b.add(
+        "weak_a",
+        filter_kernel("weak_a", wa, windows, true, false),
+        Target::hw_auto(),
+    );
+    let stage_d = b.add(
+        "weak_b",
+        filter_kernel("weak_b", wb, windows, true, true),
+        Target::hw_auto(),
+    );
     b.ext_input("Input_1", integ, "in");
     b.connect("i2sa", integ, "out", stage_a, "in");
     b.connect("sa2sb", stage_a, "out", stage_b, "in");
@@ -196,7 +208,9 @@ pub fn graph(windows: i64, seed: u64) -> Graph {
 /// Generates candidate windows (pixels 0..255).
 pub fn workload(seed: u64, windows: i64) -> Vec<Value> {
     let mut r = rng(seed ^ 0xface);
-    (0..windows * WIN_PIXELS).map(|_| word(r.gen_range(0..256))).collect()
+    (0..windows * WIN_PIXELS)
+        .map(|_| word(r.gen_range(0..256)))
+        .collect()
 }
 
 /// Independent golden model: `(flag, score)` per window.

@@ -63,7 +63,10 @@ pub struct Bench {
 impl Bench {
     /// Input streams in the borrowed form the executors take.
     pub fn input_refs(&self) -> Vec<(&str, Vec<Value>)> {
-        self.inputs.iter().map(|(n, v)| (n.as_str(), v.clone())).collect()
+        self.inputs
+            .iter()
+            .map(|(n, v)| (n.as_str(), v.clone()))
+            .collect()
     }
 
     /// Runs the benchmark functionally on the host (the golden path).
@@ -73,8 +76,8 @@ impl Bench {
     /// Panics if the graph fails to execute — benchmarks are constructed to
     /// always run.
     pub fn run_functional(&self) -> HashMap<String, Vec<Value>> {
-        let (out, _) = dfg::run_graph(&self.graph, &self.input_refs())
-            .expect("benchmark graphs execute");
+        let (out, _) =
+            dfg::run_graph(&self.graph, &self.input_refs()).expect("benchmark graphs execute");
         out
     }
 }
@@ -113,8 +116,14 @@ mod tests {
         let names: Vec<&str> = suite(Scale::Tiny).iter().map(|b| b.name).collect();
         assert_eq!(
             names,
-            ["3D Rendering", "Digit Recognition", "Spam Filter", "Optical Flow",
-             "Face Detection", "Binary NN"]
+            [
+                "3D Rendering",
+                "Digit Recognition",
+                "Spam Filter",
+                "Optical Flow",
+                "Face Detection",
+                "Binary NN"
+            ]
         );
     }
 }

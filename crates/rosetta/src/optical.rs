@@ -81,13 +81,15 @@ fn grad_xy_kernel(w: i64, h: i64) -> Kernel {
                     Stmt::read("cur", "in"),
                     Stmt::assign(
                         "gx",
-                        v("c").eq(Expr::cint(0))
+                        v("c")
+                            .eq(Expr::cint(0))
                             .select(Expr::cfixed(0.0, fx()), v("cur").sub(v("prev")))
                             .cast(fx()),
                     ),
                     Stmt::assign(
                         "gy",
-                        v("r").eq(Expr::cint(0))
+                        v("r")
+                            .eq(Expr::cint(0))
                             .select(
                                 Expr::cfixed(0.0, fx()),
                                 v("cur").sub(Expr::index("line", v("c"))),
@@ -269,9 +271,18 @@ fn flow_calc_kernel(w: i64, h: i64) -> Kernel {
                 Stmt::read("t3", "Input_1"),
                 Stmt::read("t4", "Input_1"),
                 Stmt::read("t5", "Input_1"),
-                Stmt::assign("denom", v("t1").mul(v("t2")).sub(v("t4").mul(v("t4"))).cast(wide())),
-                Stmt::assign("numer0", v("t0").mul(v("t4")).sub(v("t5").mul(v("t2"))).cast(wide())),
-                Stmt::assign("numer1", v("t5").mul(v("t4")).sub(v("t0").mul(v("t1"))).cast(wide())),
+                Stmt::assign(
+                    "denom",
+                    v("t1").mul(v("t2")).sub(v("t4").mul(v("t4"))).cast(wide()),
+                ),
+                Stmt::assign(
+                    "numer0",
+                    v("t0").mul(v("t4")).sub(v("t5").mul(v("t2"))).cast(wide()),
+                ),
+                Stmt::assign(
+                    "numer1",
+                    v("t5").mul(v("t4")).sub(v("t0").mul(v("t1"))).cast(wide()),
+                ),
                 Stmt::if_else(
                     v("denom").eq(Expr::cfixed(0.0, wide())),
                     [
@@ -334,9 +345,16 @@ pub fn golden(pixels: &[u32], w: i64, h: i64) -> Vec<DynFixed> {
     let mut prev = fxv(0.0);
     for i in 0..n {
         let (r, c) = (i as i64 / w, i as i64 % w);
-        gx[i] = if c == 0 { fxv(0.0) } else { px[i].sub(px[i - 1]).resize(32, 17, true) };
-        gy[i] =
-            if r == 0 { fxv(0.0) } else { px[i].sub(px[i - w as usize]).resize(32, 17, true) };
+        gx[i] = if c == 0 {
+            fxv(0.0)
+        } else {
+            px[i].sub(px[i - 1]).resize(32, 17, true)
+        };
+        gy[i] = if r == 0 {
+            fxv(0.0)
+        } else {
+            px[i].sub(px[i - w as usize]).resize(32, 17, true)
+        };
         gz[i] = px[i].sub(prev).resize(32, 17, true);
         prev = px[i];
     }
@@ -361,8 +379,16 @@ pub fn golden(pixels: &[u32], w: i64, h: i64) -> Vec<DynFixed> {
         for (k, slot) in row.iter_mut().enumerate() {
             // Kernel order: both adds at full precision, one final resize.
             let a = comp(i, k);
-            let b = if r >= 1 { comp(i - w as usize, k) } else { fxv(0.0) };
-            let c = if r >= 2 { comp(i - 2 * w as usize, k) } else { fxv(0.0) };
+            let b = if r >= 1 {
+                comp(i - w as usize, k)
+            } else {
+                fxv(0.0)
+            };
+            let c = if r >= 2 {
+                comp(i - 2 * w as usize, k)
+            } else {
+                fxv(0.0)
+            };
             *slot = a.add(b).add(c).resize(32, 17, true);
         }
     }
@@ -437,7 +463,15 @@ mod tests {
         let names: Vec<&str> = b.graph.operators.iter().map(|o| o.name.as_str()).collect();
         assert_eq!(
             names,
-            ["unpack", "grad_xy", "grad_z", "weight_y", "tensor_y", "tensor_x", "flow_calc"]
+            [
+                "unpack",
+                "grad_xy",
+                "grad_z",
+                "weight_y",
+                "tensor_y",
+                "tensor_x",
+                "flow_calc"
+            ]
         );
     }
 }

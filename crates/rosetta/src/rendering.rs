@@ -64,7 +64,10 @@ fn projection_kernel(n_tri: i64) -> Kernel {
             Stmt::write("out", Expr::var("y2")),
             Stmt::write(
                 "out",
-                Expr::var("z0").add(Expr::var("z1")).add(Expr::var("z2")).div(Expr::cint(3)),
+                Expr::var("z0")
+                    .add(Expr::var("z1"))
+                    .add(Expr::var("z2"))
+                    .div(Expr::cint(3)),
             ),
         ],
     )])
@@ -89,7 +92,8 @@ fn raster_kernel(n_tri: i64, w: i64, h: i64) -> Kernel {
     }
     // Edge function e(a,b,p) = (bx-ax)*(py-ay) - (by-ay)*(px-ax)
     let edge = |ax: &'static str, ay: &'static str, bx: &'static str, by: &'static str| {
-        v(bx).sub(v(ax))
+        v(bx)
+            .sub(v(ax))
             .mul(v("y").sub(v(ay)))
             .sub(v(by).sub(v(ay)).mul(v("x").sub(v(ax))))
             .cast(i32s())
@@ -111,7 +115,8 @@ fn raster_kernel(n_tri: i64, w: i64, h: i64) -> Kernel {
         ),
         Stmt::assign(
             "inside",
-            v("e0").ge(c(0))
+            v("e0")
+                .ge(c(0))
                 .land(v("e1").ge(c(0)))
                 .land(v("e2").ge(c(0)))
                 .land(v("x").lt(c(w)))
@@ -123,11 +128,14 @@ fn raster_kernel(n_tri: i64, w: i64, h: i64) -> Kernel {
         // outside pixels carry pos 0 with a losing depth).
         Stmt::write(
             "out",
-            v("inside").select(v("y").mul(c(w)).add(v("x")), c(0)).cast(Scalar::uint(32)),
+            v("inside")
+                .select(v("y").mul(c(w)).add(v("x")), c(0))
+                .cast(Scalar::uint(32)),
         ),
         Stmt::write(
             "out",
-            v("inside").select(v("z"), Expr::cint_ty(Z_EMPTY as i128, Scalar::uint(32)))
+            v("inside")
+                .select(v("z"), Expr::cint_ty(Z_EMPTY as i128, Scalar::uint(32)))
                 .cast(Scalar::uint(32)),
         ),
     ];
@@ -146,12 +154,17 @@ fn raster_kernel(n_tri: i64, w: i64, h: i64) -> Kernel {
             Stmt::assign("miny", v("y0").min(v("y1")).min(v("y2"))),
             Stmt::assign(
                 "area",
-                v("x1").sub(v("x0"))
+                v("x1")
+                    .sub(v("x0"))
                     .mul(v("y2").sub(v("y0")))
                     .sub(v("y1").sub(v("y0")).mul(v("x2").sub(v("x0"))))
                     .cast(i32s()),
             ),
-            Stmt::for_loop("py", 0..WINDOW, [Stmt::for_pipelined("px", 0..WINDOW, per_pixel)]),
+            Stmt::for_loop(
+                "py",
+                0..WINDOW,
+                [Stmt::for_pipelined("px", 0..WINDOW, per_pixel)],
+            ),
         ],
     )])
     .build()
@@ -162,7 +175,11 @@ fn raster_kernel(n_tri: i64, w: i64, h: i64) -> Kernel {
 pub fn graph(n_tri: i64, w: i64, h: i64) -> Graph {
     let mut b = GraphBuilder::new("rendering");
     let proj = b.add("projection", projection_kernel(n_tri), Target::hw_auto());
-    let rast = b.add("rasterization", raster_kernel(n_tri, w, h), Target::hw_auto());
+    let rast = b.add(
+        "rasterization",
+        raster_kernel(n_tri, w, h),
+        Target::hw_auto(),
+    );
     let zbuf = b.add("zbuffer", zbuffer_kernel(n_tri, w, h), Target::hw_auto());
     b.ext_input("Input_1", proj, "in");
     b.connect("proj2rast", proj, "out", rast, "in");
@@ -187,7 +204,11 @@ fn zbuffer_kernel(n_tri: i64, w: i64, h: i64) -> Kernel {
             Stmt::for_pipelined(
                 "i",
                 0..w * h,
-                [Stmt::store("zbuf", v("i"), Expr::cint_ty(Z_CLEAR as i128, Scalar::uint(32)))],
+                [Stmt::store(
+                    "zbuf",
+                    v("i"),
+                    Expr::cint_ty(Z_CLEAR as i128, Scalar::uint(32)),
+                )],
             ),
             Stmt::for_loop(
                 "t",
@@ -205,7 +226,11 @@ fn zbuffer_kernel(n_tri: i64, w: i64, h: i64) -> Kernel {
                     ],
                 )],
             ),
-            Stmt::for_pipelined("i", 0..w * h, [Stmt::write("out", Expr::index("zbuf", v("i")))]),
+            Stmt::for_pipelined(
+                "i",
+                0..w * h,
+                [Stmt::write("out", Expr::index("zbuf", v("i")))],
+            ),
         ])
         .build()
         .expect("zbuffer kernel is well-formed")
@@ -251,8 +276,7 @@ pub fn golden(input_words: &[u32], n_tri: i64, w: i64, h: i64) -> Vec<u32> {
                     e1 = -e1;
                     e2 = -e2;
                 }
-                let inside =
-                    e0 >= 0 && e1 >= 0 && e2 >= 0 && x < w && y < h && area != 0;
+                let inside = e0 >= 0 && e1 >= 0 && e2 >= 0 && x < w && y < h && area != 0;
                 if inside {
                     let pos = (y * w + x) as usize;
                     if z < zbuf[pos] {
@@ -308,7 +332,10 @@ mod tests {
         let (_, stats) = dfg::run_graph(&b.graph, &b.input_refs()).unwrap();
         // proj->rast carries 7 words/tri; rast->zbuf 2 per window pixel.
         assert_eq!(stats.edge_tokens[0], n as u64 * 7);
-        assert_eq!(stats.edge_tokens[1], n as u64 * (WINDOW * WINDOW) as u64 * 2);
+        assert_eq!(
+            stats.edge_tokens[1],
+            n as u64 * (WINDOW * WINDOW) as u64 * 2
+        );
         let _ = (w, h);
     }
 }

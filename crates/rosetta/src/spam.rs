@@ -43,7 +43,9 @@ pub fn weights(seed: u64, features: i64) -> Vec<i32> {
 /// Scatter: split each email's feature vector across `lanes` outputs.
 fn scatter_kernel(features: i64, lanes: usize, emails: i64) -> Kernel {
     let chunk = features / lanes as i64;
-    let mut b = KernelBuilder::new("scatter").input("in", i32s()).local("x", i32s());
+    let mut b = KernelBuilder::new("scatter")
+        .input("in", i32s())
+        .local("x", i32s());
     for l in 0..lanes {
         b = b.output(format!("o{l}"), i32s());
     }
@@ -52,7 +54,10 @@ fn scatter_kernel(features: i64, lanes: usize, emails: i64) -> Kernel {
         body.push(Stmt::for_pipelined(
             format!("i{l}"),
             0..chunk,
-            [Stmt::read("x", "in"), Stmt::write(format!("o{l}"), Expr::var("x"))],
+            [
+                Stmt::read("x", "in"),
+                Stmt::write(format!("o{l}"), Expr::var("x")),
+            ],
         ));
     }
     b.body([Stmt::for_loop("e", 0..emails, body)])
@@ -84,7 +89,8 @@ fn dot_kernel(name: &str, lane_weights: &[i32], emails: i64) -> Kernel {
                         Stmt::assign(
                             "acc",
                             v("acc").add(
-                                v("x").mul(Expr::index("w", v("i")))
+                                v("x")
+                                    .mul(Expr::index("w", v("i")))
                                     .shr(Expr::cint(WEIGHT_SHIFT))
                                     .cast(i32s()),
                             ),
@@ -122,11 +128,18 @@ fn reduce_kernel(lanes: usize, emails: i64) -> Kernel {
 
 /// Builds the spam-filter graph.
 pub fn graph(features: i64, lanes: usize, emails: i64, seed: u64) -> Graph {
-    assert!(features % lanes as i64 == 0, "features must divide across lanes");
+    assert!(
+        features % lanes as i64 == 0,
+        "features must divide across lanes"
+    );
     let w = weights(seed, features);
     let chunk = (features / lanes as i64) as usize;
     let mut b = GraphBuilder::new("spam_filter");
-    let scatter = b.add("scatter", scatter_kernel(features, lanes, emails), Target::hw_auto());
+    let scatter = b.add(
+        "scatter",
+        scatter_kernel(features, lanes, emails),
+        Target::hw_auto(),
+    );
     let reduce = b.add("reduce", reduce_kernel(lanes, emails), Target::hw_auto());
     b.ext_input("Input_1", scatter, "in");
     for l in 0..lanes {
@@ -145,7 +158,9 @@ pub fn graph(features: i64, lanes: usize, emails: i64, seed: u64) -> Graph {
 /// Generates emails: `features` signed feature words per email.
 pub fn workload(seed: u64, features: i64, emails: i64) -> Vec<Value> {
     let mut r = rng(seed ^ 0x59a3);
-    (0..features * emails).map(|_| word(r.gen_range(-128..=128i32) as u32)).collect()
+    (0..features * emails)
+        .map(|_| word(r.gen_range(-128..=128i32) as u32))
+        .collect()
 }
 
 /// Independent golden model: per email, `(flag, score)`.
@@ -185,7 +200,11 @@ mod tests {
         let b = bench(Scale::Tiny);
         let out = b.run_functional();
         let got = unwords(&out["Output_1"]);
-        let want = golden(&unwords(&b.inputs[0].1), &weights(0x59a3f, features), features);
+        let want = golden(
+            &unwords(&b.inputs[0].1),
+            &weights(0x59a3f, features),
+            features,
+        );
         assert_eq!(got.len(), emails as usize * 2);
         for (e, (flag, score)) in want.iter().enumerate() {
             assert_eq!(got[e * 2], *flag, "email {e} flag");

@@ -1,0 +1,142 @@
+//! Bounded admission queue with backpressure.
+//!
+//! Submissions beyond the bound are refused immediately — the runtime
+//! pushes back rather than buffering unboundedly, and the caller gets the
+//! compiled app back to retry after draining.
+
+use pld::CompiledApp;
+use std::collections::VecDeque;
+use std::fmt;
+
+use crate::AppId;
+
+/// One queued admission request.
+#[derive(Debug)]
+pub struct PendingRequest {
+    /// Identity assigned at submission.
+    pub id: AppId,
+    /// Display name.
+    pub name: String,
+    /// The compiled application awaiting pages.
+    pub app: Box<CompiledApp>,
+}
+
+/// Refusal at the queue bound; carries the app back to the caller.
+pub struct QueueFull {
+    /// The refused application — resubmit it after the queue drains.
+    pub app: Box<CompiledApp>,
+}
+
+impl fmt::Debug for QueueFull {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "QueueFull({})", self.app.graph.name)
+    }
+}
+
+impl fmt::Display for QueueFull {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "admission queue full; app `{}` refused",
+            self.app.graph.name
+        )
+    }
+}
+
+/// FIFO admission queue bounded at `bound` pending requests.
+#[derive(Debug)]
+pub struct AdmissionQueue {
+    pending: VecDeque<PendingRequest>,
+    bound: usize,
+}
+
+impl AdmissionQueue {
+    /// Creates a queue admitting at most `bound` waiting requests.
+    pub fn new(bound: usize) -> AdmissionQueue {
+        AdmissionQueue {
+            pending: VecDeque::new(),
+            bound: bound.max(1),
+        }
+    }
+
+    /// Requests waiting.
+    pub fn depth(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// The configured bound.
+    pub fn bound(&self) -> usize {
+        self.bound
+    }
+
+    /// Enqueues a request, or refuses it at the bound.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueueFull`] (with the app inside) when `depth == bound`.
+    pub fn push(&mut self, request: PendingRequest) -> Result<(), QueueFull> {
+        if self.pending.len() >= self.bound {
+            return Err(QueueFull { app: request.app });
+        }
+        self.pending.push_back(request);
+        Ok(())
+    }
+
+    /// Dequeues the oldest request.
+    pub fn pop(&mut self) -> Option<PendingRequest> {
+        self.pending.pop_front()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dfg::{GraphBuilder, Target};
+    use kir::{Expr, KernelBuilder, Scalar, Stmt};
+    use pld::{compile, CompileOptions, OptLevel};
+
+    fn tiny_app() -> Box<CompiledApp> {
+        let k = KernelBuilder::new("k")
+            .input("in", Scalar::uint(32))
+            .output("out", Scalar::uint(32))
+            .local("x", Scalar::uint(32))
+            .body([Stmt::for_pipelined(
+                "i",
+                0..8,
+                [Stmt::read("x", "in"), Stmt::write("out", Expr::var("x"))],
+            )])
+            .build()
+            .unwrap();
+        let mut b = GraphBuilder::new("tiny");
+        let a = b.add("a", k, Target::riscv_auto());
+        b.ext_input("Input_1", a, "in");
+        b.ext_output("Output_1", a, "out");
+        Box::new(compile(&b.build().unwrap(), &CompileOptions::new(OptLevel::O0)).unwrap())
+    }
+
+    #[test]
+    fn refuses_past_the_bound_and_returns_the_app() {
+        let mut q = AdmissionQueue::new(2);
+        for i in 0..2 {
+            q.push(PendingRequest {
+                id: AppId(i),
+                name: format!("a{i}"),
+                app: tiny_app(),
+            })
+            .unwrap();
+        }
+        let refused = q
+            .push(PendingRequest {
+                id: AppId(9),
+                name: "late".into(),
+                app: tiny_app(),
+            })
+            .unwrap_err();
+        assert_eq!(refused.app.graph.name, "tiny");
+        assert_eq!(q.depth(), 2);
+        // FIFO order.
+        assert_eq!(q.pop().unwrap().id, AppId(0));
+        assert_eq!(q.pop().unwrap().id, AppId(1));
+        assert!(q.pop().is_none());
+    }
+}

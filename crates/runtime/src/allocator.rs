@@ -1,0 +1,294 @@
+//! Page allocation with relocation: placing a compiled app's operators on
+//! whatever same-type pages are free right now.
+//!
+//! An `-O1` artifact is compiled against one page's rectangle, but every
+//! page of the same type (Tab. 1 groups identical resource mixes) presents
+//! the identical interface to the abstract shell, so the bitstream is
+//! relocatable within its type. A softcore (`-O0`) image is looser still:
+//! every page's overlay hosts a softcore, and the image is repacked per
+//! page, so it can land on *any* free page. The allocator matches each HW
+//! operator's *home* page type against the free pages (softcores take
+//! whatever is left), preferring placements that keep communicating
+//! operators in low subtrees of the BFT (the same affinity objective the
+//! compiler uses).
+
+use fabric::{Floorplan, PageId};
+use pld::{bft_distance, CompiledApp};
+use std::fmt;
+
+/// One operator's placement: where it was compiled for, where it runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlacedOperator {
+    /// Operator index in the app's graph.
+    pub op: usize,
+    /// The page the artifact was compiled for.
+    pub home: PageId,
+    /// The page it occupies on this fabric.
+    pub actual: PageId,
+}
+
+/// Why an app cannot be placed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AllocError {
+    /// Not enough free pages of the required type right now (eviction may
+    /// help).
+    #[allow(missing_docs)]
+    NoCapacity { op: String, page_type: u32 },
+    /// The app demands more pages of a type than the floorplan has at all
+    /// (no amount of eviction helps).
+    #[allow(missing_docs)]
+    Infeasible {
+        page_type: u32,
+        required: usize,
+        available: usize,
+    },
+    /// The app has no per-page artifacts (an `-O3` monolith cannot share a
+    /// fabric).
+    #[allow(missing_docs)]
+    NotPaged { app: String },
+}
+
+impl fmt::Display for AllocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AllocError::NoCapacity { op, page_type } => {
+                write!(f, "no free page of type {page_type} for operator `{op}`")
+            }
+            AllocError::Infeasible {
+                page_type,
+                required,
+                available,
+            } => write!(
+                f,
+                "app needs {required} pages of type {page_type}, floorplan has {available}"
+            ),
+            AllocError::NotPaged { app } => {
+                write!(f, "app `{app}` has no per-page artifacts (compiled -O3?)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AllocError {}
+
+/// Checks that the app could be placed on an *empty* fabric — the
+/// admission-time feasibility gate. An app failing this is rejected
+/// outright instead of evicting tenants it can never displace enough of.
+pub fn feasible(floorplan: &Floorplan, app: &CompiledApp) -> Result<(), AllocError> {
+    let mut required = vec![0usize; floorplan.type_count() as usize + 1];
+    for op in &app.operators {
+        let home = op.page.ok_or_else(|| AllocError::NotPaged {
+            app: app.graph.name.clone(),
+        })?;
+        if op.soft.is_some() {
+            continue; // softcore images run on any page
+        }
+        let t = floorplan.page_type_of(home).ok_or(AllocError::Infeasible {
+            page_type: 0,
+            required: 1,
+            available: 0,
+        })?;
+        required[t as usize] += 1;
+    }
+    if app.operators.len() > floorplan.pages.len() {
+        return Err(AllocError::Infeasible {
+            page_type: 0,
+            required: app.operators.len(),
+            available: floorplan.pages.len(),
+        });
+    }
+    for (t, &need) in required.iter().enumerate().skip(1) {
+        let have = floorplan.type_population(t as u32);
+        if need > have {
+            return Err(AllocError::Infeasible {
+                page_type: t as u32,
+                required: need,
+                available: have,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Plans a placement of `app` onto the free pages (`free[p]` true means
+/// page `p` is available). Greedy: HW operators first (they are bound to
+/// their home's page type), softcores fill whatever remains; each operator
+/// takes the candidate page minimizing total BFT distance to its already
+/// placed graph neighbours.
+pub fn plan(
+    floorplan: &Floorplan,
+    free: &[bool],
+    app: &CompiledApp,
+) -> Result<Vec<PlacedOperator>, AllocError> {
+    let mut free = free.to_vec();
+    let mut placed: Vec<Option<PageId>> = vec![None; app.operators.len()];
+
+    // Type-bound HW operators claim pages before the anywhere-goes
+    // softcores, so a softcore never starves a bitstream of its only type.
+    let mut order: Vec<usize> = (0..app.operators.len()).collect();
+    order.sort_by_key(|&i| app.operators[i].soft.is_some());
+
+    for &i in &order {
+        let op = &app.operators[i];
+        let home = op.page.ok_or_else(|| AllocError::NotPaged {
+            app: app.graph.name.clone(),
+        })?;
+        let required_type = floorplan.page_type_of(home).unwrap_or(0);
+        let neighbours: Vec<u32> = app
+            .graph
+            .edges
+            .iter()
+            .filter_map(|e| {
+                if e.from.0 .0 == i {
+                    placed[e.to.0 .0]
+                } else if e.to.0 .0 == i {
+                    placed[e.from.0 .0]
+                } else {
+                    None
+                }
+            })
+            .map(|p| p.0)
+            .collect();
+        let soft = op.soft.is_some();
+        let chosen = floorplan
+            .pages
+            .iter()
+            .filter(|p| (soft || p.page_type == required_type) && free[p.id.0 as usize])
+            .map(|p| p.id)
+            .min_by_key(|&p| {
+                let cost: u32 = neighbours.iter().map(|&q| bft_distance(p.0, q)).sum();
+                (cost, p.0)
+            })
+            .ok_or_else(|| AllocError::NoCapacity {
+                op: op.name.clone(),
+                page_type: required_type,
+            })?;
+        free[chosen.0 as usize] = false;
+        placed[i] = Some(chosen);
+    }
+    Ok(app
+        .operators
+        .iter()
+        .enumerate()
+        .map(|(i, op)| PlacedOperator {
+            op: i,
+            home: op.page.expect("checked above"),
+            actual: placed[i].expect("placed above"),
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dfg::{GraphBuilder, Target};
+    use kir::{Expr, KernelBuilder, Scalar, Stmt};
+    use pld::{compile, CompileOptions, OptLevel};
+
+    fn two_stage() -> CompiledApp {
+        let k = |name: &str| {
+            KernelBuilder::new(name)
+                .input("in", Scalar::uint(32))
+                .output("out", Scalar::uint(32))
+                .local("x", Scalar::uint(32))
+                .body([Stmt::for_pipelined(
+                    "i",
+                    0..16,
+                    [Stmt::read("x", "in"), Stmt::write("out", Expr::var("x"))],
+                )])
+                .build()
+                .unwrap()
+        };
+        let mut b = GraphBuilder::new("g");
+        let a = b.add("a", k("a"), Target::riscv_auto());
+        let c = b.add("c", k("c"), Target::riscv_auto());
+        b.ext_input("Input_1", a, "in");
+        b.connect("l", a, "out", c, "in");
+        b.ext_output("Output_1", c, "out");
+        compile(&b.build().unwrap(), &CompileOptions::new(OptLevel::O0)).unwrap()
+    }
+
+    #[test]
+    fn relocates_to_free_pages() {
+        let app = two_stage();
+        let fp = app.floorplan.clone();
+        // Home pages busy: the app still places, on other free pages
+        // (softcores run anywhere).
+        let mut free = vec![true; fp.pages.len()];
+        for op in &app.operators {
+            free[op.page.unwrap().0 as usize] = false;
+        }
+        let placement = plan(&fp, &free, &app).unwrap();
+        for p in &placement {
+            assert_ne!(p.actual, p.home);
+            assert!(free[p.actual.0 as usize]);
+        }
+        // Distinct pages.
+        assert_ne!(placement[0].actual, placement[1].actual);
+    }
+
+    #[test]
+    fn hw_bitstreams_stay_within_their_page_type() {
+        // An -O1 build: HW bitstreams are relocatable only within the
+        // identical-resource page group.
+        let app = {
+            let k = KernelBuilder::new("hwk")
+                .input("in", Scalar::uint(32))
+                .output("out", Scalar::uint(32))
+                .local("x", Scalar::uint(32))
+                .body([Stmt::for_pipelined(
+                    "i",
+                    0..16,
+                    [Stmt::read("x", "in"), Stmt::write("out", Expr::var("x"))],
+                )])
+                .build()
+                .unwrap();
+            let mut b = GraphBuilder::new("hwapp");
+            let a = b.add("a", k, Target::hw_auto());
+            b.ext_input("Input_1", a, "in");
+            b.ext_output("Output_1", a, "out");
+            compile(&b.build().unwrap(), &CompileOptions::new(OptLevel::O1)).unwrap()
+        };
+        let fp = app.floorplan.clone();
+        let home = app.operators[0].page.unwrap();
+        let home_type = fp.page_type_of(home).unwrap();
+        let mut free = vec![true; fp.pages.len()];
+        free[home.0 as usize] = false;
+        let placement = plan(&fp, &free, &app).unwrap();
+        assert_ne!(placement[0].actual, home);
+        assert_eq!(fp.page_type_of(placement[0].actual), Some(home_type));
+        // With every page of that type busy, placement fails even though
+        // other types are free.
+        for p in fp.pages_of_type(home_type) {
+            free[p.id.0 as usize] = false;
+        }
+        assert!(matches!(
+            plan(&fp, &free, &app),
+            Err(AllocError::NoCapacity { .. })
+        ));
+    }
+
+    #[test]
+    fn capacity_exhaustion_reported() {
+        let app = two_stage();
+        let fp = app.floorplan.clone();
+        let free = vec![false; fp.pages.len()];
+        assert!(matches!(
+            plan(&fp, &free, &app),
+            Err(AllocError::NoCapacity { .. })
+        ));
+        // Feasibility on an empty fabric still holds.
+        assert!(feasible(&fp, &app).is_ok());
+    }
+
+    #[test]
+    fn affinity_keeps_linked_operators_close() {
+        let app = two_stage();
+        let fp = app.floorplan.clone();
+        let free = vec![true; fp.pages.len()];
+        let placement = plan(&fp, &free, &app).unwrap();
+        let d = bft_distance(placement[0].actual.0, placement[1].actual.0);
+        // The two linked operators land in a small subtree, not across it.
+        assert!(d <= 4, "distance {d} between {placement:?}");
+    }
+}

@@ -1,0 +1,582 @@
+#![warn(missing_docs)]
+//! `pld-runtime`: a multi-tenant page scheduler serving many PLD apps on
+//! one fabric with hot-swap reconfiguration.
+//!
+//! The paper compiles one application at a time; this crate is the serving
+//! layer its Sec. 9 gestures at — "the infrastructure overlay could be
+//! shared by multiple applications". The runtime owns the card: the 22-page
+//! floorplan, a persistent linking network, and the table of which tenant's
+//! artifact occupies each page. Applications arrive pre-compiled
+//! ([`pld::CompiledApp`]); the runtime:
+//!
+//! * admits them through a **bounded queue** ([`admission`]) that pushes
+//!   back instead of buffering unboundedly;
+//! * **relocates** their artifacts onto whatever same-type pages are free
+//!   ([`allocator`]) — page types group identical resource mixes (Tab. 1),
+//!   so an `-O1` bitstream or repacked softcore image is placeable on any
+//!   free page of its type;
+//! * **evicts** least-recently-used tenants under pressure; a returning
+//!   tenant replays its `LoadOp`s and pays the load bill again;
+//! * **hot-swaps** an edited operator ([`swap`]): recompile through the
+//!   [`pld::BuildCache`], reload only the changed pages, re-send only the
+//!   affected routes' configuration packets — every swap is charged its
+//!   measured downtime, artifact transfer plus link cycles at the 200 MHz
+//!   overlay clock;
+//! * reports it all as [`RuntimeStats`]: occupancy, queue depth, counters,
+//!   cumulative downtime, and per-app latency histograms.
+
+pub mod admission;
+pub mod allocator;
+pub mod device_state;
+pub mod stats;
+pub mod swap;
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+use fabric::{Floorplan, PageId};
+use kir::types::Value;
+use noc::PortAddr;
+use pld::{replay_loads, CompileError, CompiledApp, LinkOp, LoadOp};
+
+pub use admission::QueueFull;
+use admission::{AdmissionQueue, PendingRequest};
+use allocator::{AllocError, PlacedOperator};
+use device_state::{DeviceState, PageBinding};
+use stats::{AppLatency, LatencyHistogram, RuntimeStats};
+
+pub use stats::RuntimeStats as Stats;
+pub use swap::SwapReport;
+
+/// Identity of one submitted application.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AppId(pub u64);
+
+impl fmt::Display for AppId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "app{}", self.0)
+    }
+}
+
+/// What happened during a [`Runtime::poll`] scheduling pass.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RuntimeEvent {
+    /// The app is on the fabric; `downtime_seconds` is its bring-up bill.
+    #[allow(missing_docs)]
+    Admitted {
+        id: AppId,
+        name: String,
+        downtime_seconds: f64,
+        pages: Vec<PageId>,
+    },
+    /// The app cannot run here (infeasible shape, or nothing left to evict).
+    #[allow(missing_docs)]
+    Rejected {
+        id: AppId,
+        name: String,
+        reason: String,
+    },
+    /// A resident app was displaced to make room.
+    #[allow(missing_docs)]
+    Evicted { id: AppId, name: String },
+}
+
+/// Runtime operation failures.
+#[derive(Debug)]
+pub enum RuntimeError {
+    /// The app id has never been seen or is no longer tracked.
+    UnknownApp(AppId),
+    /// The app is known but not currently on the fabric (evicted or still
+    /// queued); resubmit it.
+    NotResident(AppId),
+    /// The app was compiled against a different floorplan than this card.
+    FloorplanMismatch,
+    /// Recompilation during a hot swap failed.
+    Compile(CompileError),
+    /// Placement failed.
+    Alloc(AllocError),
+    /// A hot swap changed the operator set; tear down and resubmit instead.
+    OperatorSetChanged,
+    /// The shared DMA leaf has no free stream registers left.
+    DmaStreamsExhausted,
+    /// Functional execution of a request failed.
+    Execution(String),
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::UnknownApp(id) => write!(f, "unknown app {id}"),
+            RuntimeError::NotResident(id) => write!(f, "app {id} is not resident"),
+            RuntimeError::FloorplanMismatch => {
+                write!(f, "app compiled for a different floorplan than this fabric")
+            }
+            RuntimeError::Compile(e) => write!(f, "hot-swap recompile failed: {e}"),
+            RuntimeError::Alloc(e) => write!(f, "placement failed: {e}"),
+            RuntimeError::OperatorSetChanged => {
+                write!(f, "hot swap changed the operator set; resubmit the app")
+            }
+            RuntimeError::DmaStreamsExhausted => {
+                write!(f, "no free DMA stream registers on the shared leaf")
+            }
+            RuntimeError::Execution(e) => write!(f, "request execution failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+impl From<CompileError> for RuntimeError {
+    fn from(e: CompileError) -> RuntimeError {
+        RuntimeError::Compile(e)
+    }
+}
+
+impl From<AllocError> for RuntimeError {
+    fn from(e: AllocError) -> RuntimeError {
+        RuntimeError::Alloc(e)
+    }
+}
+
+/// One application resident on the fabric.
+#[derive(Debug)]
+pub(crate) struct ResidentApp {
+    pub(crate) name: String,
+    pub(crate) app: CompiledApp,
+    pub(crate) placement: Vec<PlacedOperator>,
+    /// The remapped link table as programmed into the network.
+    pub(crate) links: Vec<LinkOp>,
+    pub(crate) dma_in_base: u8,
+    pub(crate) dma_in_width: u8,
+    pub(crate) dma_out_base: u8,
+    pub(crate) dma_out_width: u8,
+    /// LRU tick of the last served request (or admission).
+    pub(crate) last_used: u64,
+    /// Link cycles measured at admission — the relink half of a full
+    /// reload, used as the hot-swap comparison baseline.
+    pub(crate) admit_link_cycles: u64,
+}
+
+/// The page scheduler: owns the device and serves many apps on it.
+#[derive(Debug)]
+pub struct Runtime {
+    device: DeviceState,
+    queue: AdmissionQueue,
+    resident: BTreeMap<u64, ResidentApp>,
+    stats: RuntimeStats,
+    next_id: u64,
+    tick: u64,
+}
+
+impl Runtime {
+    /// Default admission-queue bound.
+    pub const DEFAULT_QUEUE_BOUND: usize = 8;
+
+    /// Brings up the runtime on a floorplan with the default queue bound.
+    pub fn new(floorplan: Floorplan) -> Runtime {
+        Runtime::with_queue_bound(floorplan, Runtime::DEFAULT_QUEUE_BOUND)
+    }
+
+    /// Brings up the runtime with an explicit admission-queue bound.
+    pub fn with_queue_bound(floorplan: Floorplan, bound: usize) -> Runtime {
+        let device = DeviceState::new(floorplan);
+        let mut stats = RuntimeStats {
+            pages_total: device.floorplan.pages.len(),
+            ..RuntimeStats::default()
+        };
+        // The overlay bring-up is the fabric's first downtime.
+        stats.cumulative_downtime_seconds += device.overlay_seconds;
+        Runtime {
+            device,
+            queue: AdmissionQueue::new(bound),
+            resident: BTreeMap::new(),
+            stats,
+            next_id: 0,
+            tick: 0,
+        }
+    }
+
+    /// Read-only view of the device state.
+    pub fn device(&self) -> &DeviceState {
+        &self.device
+    }
+
+    /// Ids of currently resident apps.
+    pub fn resident_ids(&self) -> Vec<AppId> {
+        self.resident.keys().map(|&k| AppId(k)).collect()
+    }
+
+    /// Whether an app currently holds pages.
+    pub fn is_resident(&self, id: AppId) -> bool {
+        self.resident.contains_key(&id.0)
+    }
+
+    /// The placement of a resident app.
+    pub fn placement_of(&self, id: AppId) -> Option<&[PlacedOperator]> {
+        self.resident.get(&id.0).map(|r| r.placement.as_slice())
+    }
+
+    /// The submitted name of a resident app.
+    pub fn name_of(&self, id: AppId) -> Option<&str> {
+        self.resident.get(&id.0).map(|r| r.name.as_str())
+    }
+
+    /// Submits a compiled app for admission.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueueFull`] (with the app inside, for retry) when the
+    /// admission queue is at its bound; the rejection is counted.
+    pub fn submit(&mut self, name: &str, app: CompiledApp) -> Result<AppId, QueueFull> {
+        let id = AppId(self.next_id);
+        let request = PendingRequest {
+            id,
+            name: name.to_string(),
+            app: Box::new(app),
+        };
+        match self.queue.push(request) {
+            Ok(()) => {
+                self.next_id += 1;
+                Ok(id)
+            }
+            Err(full) => {
+                self.stats.rejected += 1;
+                Err(full)
+            }
+        }
+    }
+
+    /// Runs one scheduling pass: drains the admission queue, placing each
+    /// app (evicting least-recently-used tenants when out of pages) or
+    /// rejecting it, and reports what happened.
+    pub fn poll(&mut self) -> Vec<RuntimeEvent> {
+        let mut events = Vec::new();
+        while let Some(request) = self.queue.pop() {
+            self.try_admit(request, &mut events);
+        }
+        events
+    }
+
+    /// Serves one request against a resident app: runs the dataflow graph
+    /// functionally, stamps the latency into the app's histogram, and
+    /// freshens its LRU position.
+    ///
+    /// # Errors
+    ///
+    /// See [`RuntimeError`].
+    pub fn run(
+        &mut self,
+        id: AppId,
+        inputs: &[(&str, Vec<Value>)],
+    ) -> Result<HashMap<String, Vec<Value>>, RuntimeError> {
+        let resident = self
+            .resident
+            .get_mut(&id.0)
+            .ok_or(RuntimeError::NotResident(id))?;
+        let t0 = std::time::Instant::now();
+        let (outputs, _) = dfg::run_graph(&resident.app.graph, inputs)
+            .map_err(|e| RuntimeError::Execution(e.to_string()))?;
+        let seconds = t0.elapsed().as_secs_f64();
+        self.tick += 1;
+        resident.last_used = self.tick;
+        self.stats.requests += 1;
+        self.stats
+            .latencies
+            .entry(id.0)
+            .or_insert_with(|| AppLatency {
+                name: resident.name.clone(),
+                histogram: LatencyHistogram::default(),
+            })
+            .histogram
+            .record(seconds);
+        Ok(outputs)
+    }
+
+    /// Forcibly removes an app from the fabric, tearing down its routes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::NotResident`] if it holds no pages.
+    pub fn evict(&mut self, id: AppId) -> Result<(), RuntimeError> {
+        if !self.resident.contains_key(&id.0) {
+            return Err(RuntimeError::NotResident(id));
+        }
+        self.evict_internal(id);
+        Ok(())
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> RuntimeStats {
+        let mut stats = self.stats.clone();
+        stats.queue_depth = self.queue.depth();
+        stats.pages_occupied = self.device.occupied();
+        stats
+    }
+
+    // ---- internals ----------------------------------------------------
+
+    fn try_admit(&mut self, request: PendingRequest, events: &mut Vec<RuntimeEvent>) {
+        let PendingRequest { id, name, app } = request;
+        if app.floorplan != self.device.floorplan {
+            self.reject(id, &name, "compiled for a different floorplan", events);
+            return;
+        }
+        if let Err(e) = allocator::feasible(&self.device.floorplan, &app) {
+            self.reject(id, &name, &e.to_string(), events);
+            return;
+        }
+        loop {
+            match allocator::plan(&self.device.floorplan, &self.device.free_map(), &app) {
+                Ok(placement) => {
+                    match self.install(id, name.clone(), *app, placement) {
+                        Ok(event) => events.push(event),
+                        Err(reason) => self.reject(id, &name, &reason, events),
+                    }
+                    return;
+                }
+                Err(_) => match self.lru_victim() {
+                    Some(victim) => {
+                        let victim_name = self.resident[&victim.0].name.clone();
+                        self.evict_internal(victim);
+                        events.push(RuntimeEvent::Evicted {
+                            id: victim,
+                            name: victim_name,
+                        });
+                    }
+                    None => {
+                        self.reject(id, &name, "no capacity and nothing left to evict", events);
+                        return;
+                    }
+                },
+            }
+        }
+    }
+
+    fn reject(&mut self, id: AppId, name: &str, reason: &str, events: &mut Vec<RuntimeEvent>) {
+        self.stats.rejected += 1;
+        events.push(RuntimeEvent::Rejected {
+            id,
+            name: name.to_string(),
+            reason: reason.to_string(),
+        });
+    }
+
+    fn install(
+        &mut self,
+        id: AppId,
+        name: String,
+        app: CompiledApp,
+        placement: Vec<PlacedOperator>,
+    ) -> Result<RuntimeEvent, String> {
+        // Carve this tenant's register ranges out of the shared DMA leaves.
+        let (in_width, out_width) = dma_widths(&app);
+        let in_use_in: Vec<(u8, u8)> = self
+            .resident
+            .values()
+            .map(|r| (r.dma_in_base, r.dma_in_width))
+            .collect();
+        let in_use_out: Vec<(u8, u8)> = self
+            .resident
+            .values()
+            .map(|r| (r.dma_out_base, r.dma_out_width))
+            .collect();
+        let dma_in_base =
+            alloc_base(&in_use_in, in_width).ok_or("DMA input stream registers exhausted")?;
+        let dma_out_base =
+            alloc_base(&in_use_out, out_width).ok_or("DMA output ports exhausted")?;
+
+        let links = remap_links(&app, &placement, &self.device, dma_in_base, dma_out_base);
+
+        // Replay the app's LoadOps (minus the already-resident overlay)
+        // onto the relocated pages, then link — both sides are charged as
+        // downtime.
+        let page_ops: Vec<LoadOp> = app
+            .driver
+            .loads
+            .iter()
+            .filter(|op| !matches!(op, LoadOp::Overlay))
+            .cloned()
+            .collect();
+        let load = replay_loads(&app, &page_ops);
+        let artifact_seconds =
+            load.overlay_seconds + load.bitstream_seconds + load.softcore_seconds;
+        let link_cycles = self.device.link(&links);
+        let downtime_seconds = artifact_seconds + DeviceState::link_seconds(link_cycles);
+
+        for p in &placement {
+            self.device.bind(
+                p.actual,
+                PageBinding {
+                    app: id,
+                    operator: p.op,
+                },
+            );
+        }
+        self.tick += 1;
+        let pages: Vec<PageId> = placement.iter().map(|p| p.actual).collect();
+        self.resident.insert(
+            id.0,
+            ResidentApp {
+                name: name.clone(),
+                app,
+                placement,
+                links,
+                dma_in_base,
+                dma_in_width: in_width,
+                dma_out_base,
+                dma_out_width: out_width,
+                last_used: self.tick,
+                admit_link_cycles: link_cycles,
+            },
+        );
+        self.stats.admitted += 1;
+        self.stats.cumulative_downtime_seconds += downtime_seconds;
+        Ok(RuntimeEvent::Admitted {
+            id,
+            name,
+            downtime_seconds,
+            pages,
+        })
+    }
+
+    fn evict_internal(&mut self, id: AppId) {
+        let resident = self
+            .resident
+            .remove(&id.0)
+            .expect("evicting a resident app");
+        self.device.unlink(&resident.links);
+        for p in &resident.placement {
+            self.device.release(p.actual);
+        }
+        self.stats.evicted += 1;
+    }
+
+    fn lru_victim(&self) -> Option<AppId> {
+        self.resident
+            .iter()
+            .min_by_key(|(id, r)| (r.last_used, **id))
+            .map(|(&id, _)| AppId(id))
+    }
+
+    pub(crate) fn resident_mut(&mut self, id: AppId) -> Option<&mut ResidentApp> {
+        self.resident.get_mut(&id.0)
+    }
+
+    pub(crate) fn resident_ref(&self, id: AppId) -> Option<&ResidentApp> {
+        self.resident.get(&id.0)
+    }
+
+    pub(crate) fn device_mut(&mut self) -> &mut DeviceState {
+        &mut self.device
+    }
+
+    pub(crate) fn stats_mut(&mut self) -> &mut RuntimeStats {
+        &mut self.stats
+    }
+
+    pub(crate) fn bump_tick(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+}
+
+/// Stream-register / port widths this app needs on the shared DMA leaves.
+fn dma_widths(app: &CompiledApp) -> (u8, u8) {
+    let dma_in = app.dma_in_leaf();
+    let dma_out = app.dma_out_leaf();
+    let in_width = app
+        .driver
+        .links
+        .iter()
+        .filter(|l| l.src_leaf == dma_in)
+        .map(|l| l.stream + 1)
+        .max()
+        .unwrap_or(0);
+    let out_width = app
+        .driver
+        .links
+        .iter()
+        .filter(|l| l.dest.leaf == dma_out)
+        .map(|l| l.dest.port + 1)
+        .max()
+        .unwrap_or(0);
+    (in_width, out_width)
+}
+
+/// Smallest base such that `[base, base+width)` avoids every in-use range.
+fn alloc_base(in_use: &[(u8, u8)], width: u8) -> Option<u8> {
+    if width == 0 {
+        return Some(0);
+    }
+    'candidate: for base in 0..=(255u16 - width as u16) {
+        let base = base as u8;
+        for &(b, w) in in_use {
+            if w > 0 && base < b.saturating_add(w) && b < base.saturating_add(width) {
+                continue 'candidate;
+            }
+        }
+        return Some(base);
+    }
+    None
+}
+
+/// Rewrites an app's home-coordinate link table into fabric coordinates:
+/// page leaves move to the operators' actual pages; the app-private DMA
+/// leaves fold onto the shared DMA endpoints at this tenant's register
+/// bases.
+pub(crate) fn remap_links(
+    app: &CompiledApp,
+    placement: &[PlacedOperator],
+    device: &DeviceState,
+    dma_in_base: u8,
+    dma_out_base: u8,
+) -> Vec<LinkOp> {
+    let home_to_actual: HashMap<u16, u16> = placement
+        .iter()
+        .map(|p| (p.home.0 as u16, p.actual.0 as u16))
+        .collect();
+    let app_dma_in = app.dma_in_leaf();
+    let app_dma_out = app.dma_out_leaf();
+    app.driver
+        .links
+        .iter()
+        .map(|l| {
+            let (src_leaf, stream) = if l.src_leaf == app_dma_in {
+                (device.dma_in_leaf(), l.stream + dma_in_base)
+            } else {
+                (home_to_actual[&l.src_leaf], l.stream)
+            };
+            let dest = if l.dest.leaf == app_dma_out {
+                PortAddr {
+                    leaf: device.dma_out_leaf(),
+                    port: l.dest.port + dma_out_base,
+                }
+            } else {
+                PortAddr {
+                    leaf: home_to_actual[&l.dest.leaf],
+                    port: l.dest.port,
+                }
+            };
+            LinkOp {
+                src_leaf,
+                stream,
+                dest,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_base_packs_ranges() {
+        assert_eq!(alloc_base(&[], 2), Some(0));
+        assert_eq!(alloc_base(&[(0, 2)], 2), Some(2));
+        assert_eq!(alloc_base(&[(0, 2), (4, 2)], 2), Some(2));
+        assert_eq!(alloc_base(&[(0, 2), (4, 2)], 3), Some(6));
+        // Zero-width tenants don't block anything.
+        assert_eq!(alloc_base(&[(0, 0)], 1), Some(0));
+    }
+}

@@ -1,0 +1,394 @@
+//! Hot swap: replace one edited operator's page while the rest of the app
+//! (and every other tenant) keeps its pages and routes.
+//!
+//! This is the serving-side payoff of the paper's separate compilation:
+//! because each operator is its own artifact behind the abstract shell, an
+//! edit recompiles one page (through the [`BuildCache`]), reloads one page,
+//! and re-sends only the configuration packets whose routes actually
+//! changed or touch the reloaded page. The swap is charged its measured
+//! downtime — artifact transfer plus link cycles — and the report carries
+//! the full-app reload bill alongside for comparison.
+
+use std::collections::HashSet;
+
+use dfg::Graph;
+use fabric::PageId;
+use pld::{bft_distance, page_load_ops, replay_loads, BuildCache, CompileOptions, LinkOp};
+
+use crate::allocator::AllocError;
+use crate::device_state::{DeviceState, PageBinding};
+use crate::{remap_links, AppId, Runtime, RuntimeError};
+
+/// What one hot swap did and what it cost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SwapReport {
+    /// Operators whose artifacts were replaced.
+    pub recompiled: Vec<String>,
+    /// Pages reloaded on the fabric.
+    pub swapped_pages: Vec<PageId>,
+    /// Seconds spent transferring the replacement artifacts.
+    pub artifact_seconds: f64,
+    /// Network cycles spent re-sending configuration packets.
+    pub link_cycles: u64,
+    /// Configuration packets re-sent.
+    pub link_packets: usize,
+    /// Total page downtime charged for this swap.
+    pub downtime_seconds: f64,
+    /// What tearing the whole app down and re-admitting it would have
+    /// cost — every artifact reloaded, every route re-sent.
+    pub full_reload_seconds: f64,
+    /// Compiler virtual time of the incremental rebuild (spent offline,
+    /// not as downtime).
+    pub compile_vtime_seconds: f64,
+}
+
+impl Runtime {
+    /// Hot-swaps a resident app to an edited version of its graph.
+    ///
+    /// The new graph must keep the same operator set (same names, same
+    /// order); it may change kernel bodies, targets, and — implicitly —
+    /// page assignments. The edit is recompiled through `cache`, so
+    /// unchanged operators cost nothing; only pages whose artifact hash or
+    /// home assignment changed are reloaded, and only routes that changed
+    /// or touch a reloaded page are re-sent.
+    ///
+    /// # Errors
+    ///
+    /// See [`RuntimeError`]. On error the resident app is left unchanged.
+    pub fn hot_swap(
+        &mut self,
+        id: AppId,
+        new_graph: &Graph,
+        cache: &mut BuildCache,
+        options: &CompileOptions,
+    ) -> Result<SwapReport, RuntimeError> {
+        if !self.is_resident(id) {
+            return Err(RuntimeError::NotResident(id));
+        }
+        let new_app = cache.compile(new_graph, options)?;
+        if new_app.floorplan != self.device().floorplan {
+            return Err(RuntimeError::FloorplanMismatch);
+        }
+        let resident = self.resident_ref(id).expect("still resident");
+        let old_app = &resident.app;
+        if new_app.operators.len() != old_app.operators.len()
+            || new_app
+                .operators
+                .iter()
+                .zip(&old_app.operators)
+                .any(|(n, o)| n.name != o.name)
+        {
+            return Err(RuntimeError::OperatorSetChanged);
+        }
+
+        // Dirty = artifact content changed, or the compiler re-homed the
+        // operator (a softcore image is packed per page, so a re-home is a
+        // content change too).
+        let mut dirty = Vec::new();
+        for (i, (new_op, old_op)) in new_app.operators.iter().zip(&old_app.operators).enumerate() {
+            let new_idx = new_op.artifact.ok_or_else(|| {
+                RuntimeError::Alloc(AllocError::NotPaged {
+                    app: new_app.graph.name.clone(),
+                })
+            })?;
+            let old_idx = old_op.artifact.ok_or_else(|| {
+                RuntimeError::Alloc(AllocError::NotPaged {
+                    app: old_app.graph.name.clone(),
+                })
+            })?;
+            if new_app.artifacts[new_idx].hash != old_app.artifacts[old_idx].hash
+                || new_op.page != old_op.page
+            {
+                dirty.push(i);
+            }
+        }
+        let compile_vtime_seconds = new_app.vtime_parallel.total();
+
+        if dirty.is_empty() {
+            // Nothing to reload, nothing to re-link; not even a swap.
+            return Ok(SwapReport {
+                recompiled: Vec::new(),
+                swapped_pages: Vec::new(),
+                artifact_seconds: 0.0,
+                link_cycles: 0,
+                link_packets: 0,
+                downtime_seconds: 0.0,
+                full_reload_seconds: 0.0,
+                compile_vtime_seconds,
+            });
+        }
+
+        // Re-place the dirty operators: keep the page the operator already
+        // occupies when its type still fits the new home; otherwise move it
+        // to a free page of the new type (pages this very swap frees count
+        // as free).
+        let mut placement = resident.placement.clone();
+        for (i, p) in placement.iter_mut().enumerate() {
+            p.home = new_app.operators[i].page.expect("checked paged above");
+        }
+        let floorplan = self.device().floorplan.clone();
+        let mut free = self.device().free_map();
+        let mut moves: Vec<usize> = Vec::new();
+        for &i in &dirty {
+            if new_app.operators[i].soft.is_some() {
+                continue; // softcore images reload in place on any page
+            }
+            let need = floorplan.page_type_of(placement[i].home).unwrap_or(0);
+            let have = floorplan.page_type_of(placement[i].actual).unwrap_or(0);
+            if need != have {
+                free[placement[i].actual.0 as usize] = true;
+                moves.push(i);
+            }
+        }
+        for &i in &moves {
+            let need = floorplan.page_type_of(placement[i].home).unwrap_or(0);
+            let neighbours: Vec<u32> = new_app
+                .graph
+                .edges
+                .iter()
+                .filter_map(|e| {
+                    if e.from.0 .0 == i {
+                        Some(placement[e.to.0 .0].actual.0)
+                    } else if e.to.0 .0 == i {
+                        Some(placement[e.from.0 .0].actual.0)
+                    } else {
+                        None
+                    }
+                })
+                .collect();
+            let chosen = floorplan
+                .pages_of_type(need)
+                .filter(|p| free[p.id.0 as usize])
+                .map(|p| p.id)
+                .min_by_key(|&p| {
+                    let cost: u32 = neighbours.iter().map(|&q| bft_distance(p.0, q)).sum();
+                    (cost, p.0)
+                })
+                .ok_or(RuntimeError::Alloc(AllocError::NoCapacity {
+                    op: new_app.operators[i].name.clone(),
+                    page_type: need,
+                }))?;
+            free[chosen.0 as usize] = false;
+            placement[i].actual = chosen;
+        }
+
+        let swapped_pages: Vec<PageId> = dirty.iter().map(|&i| placement[i].actual).collect();
+
+        // Artifact transfer: replay exactly the dirty pages' LoadOps from
+        // the new build.
+        let dirty_homes: Vec<PageId> = dirty.iter().map(|&i| placement[i].home).collect();
+        let ops = page_load_ops(&new_app, &dirty_homes);
+        let load = replay_loads(&new_app, &ops);
+        let artifact_seconds =
+            load.overlay_seconds + load.bitstream_seconds + load.softcore_seconds;
+
+        // Re-link: tear down routes that no longer exist, re-send routes
+        // that changed or touch a reloaded page; everything else keeps its
+        // destination registers untouched.
+        let dma_in_base = resident.dma_in_base;
+        let dma_out_base = resident.dma_out_base;
+        let old_links = resident.links.clone();
+        let admit_link_cycles = resident.admit_link_cycles;
+        let old_actuals: Vec<(usize, PageId)> = resident
+            .placement
+            .iter()
+            .map(|p| (p.op, p.actual))
+            .collect();
+
+        let new_links = remap_links(
+            &new_app,
+            &placement,
+            self.device(),
+            dma_in_base,
+            dma_out_base,
+        );
+        let swapped_leaves: HashSet<u16> = swapped_pages.iter().map(|p| p.0 as u16).collect();
+        let stale: Vec<LinkOp> = old_links
+            .iter()
+            .filter(|l| !new_links.contains(l))
+            .copied()
+            .collect();
+        self.device_mut().unlink(&stale);
+        let resend: Vec<LinkOp> = new_links
+            .iter()
+            .filter(|l| {
+                !self.device().route_programmed(l)
+                    || swapped_leaves.contains(&l.src_leaf)
+                    || swapped_leaves.contains(&l.dest.leaf)
+            })
+            .copied()
+            .collect();
+        let link_cycles = self.device_mut().link(&resend);
+        let link_packets = resend.len();
+        let downtime_seconds = artifact_seconds + DeviceState::link_seconds(link_cycles);
+
+        // A full reload would transfer every non-overlay artifact and
+        // re-send the whole link table (the cycles measured at admission).
+        let full_artifacts: f64 = new_app
+            .operators
+            .iter()
+            .filter_map(|o| o.artifact)
+            .map(|idx| new_app.artifacts[idx].load_seconds())
+            .sum();
+        let full_reload_seconds = full_artifacts + DeviceState::link_seconds(admit_link_cycles);
+
+        // Commit: move page bindings, install the new build.
+        for &i in &moves {
+            let old = old_actuals
+                .iter()
+                .find(|(op, _)| *op == i)
+                .expect("placed")
+                .1;
+            self.device_mut().release(old);
+            self.device_mut().bind(
+                placement[i].actual,
+                PageBinding {
+                    app: id,
+                    operator: i,
+                },
+            );
+        }
+        let tick = self.bump_tick();
+        let recompiled: Vec<String> = dirty
+            .iter()
+            .map(|&i| new_app.operators[i].name.clone())
+            .collect();
+        {
+            let resident = self.resident_mut(id).expect("still resident");
+            resident.app = new_app;
+            resident.placement = placement;
+            resident.links = new_links;
+            resident.last_used = tick;
+        }
+        let stats = self.stats_mut();
+        stats.swaps += 1;
+        stats.cumulative_downtime_seconds += downtime_seconds;
+
+        Ok(SwapReport {
+            recompiled,
+            swapped_pages,
+            artifact_seconds,
+            link_cycles,
+            link_packets,
+            downtime_seconds,
+            full_reload_seconds,
+            compile_vtime_seconds,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RuntimeEvent;
+    use dfg::{GraphBuilder, Target};
+    use fabric::Floorplan;
+    use kir::{Expr, KernelBuilder, Scalar, Stmt};
+    use pld::OptLevel;
+
+    fn stage(name: &str, addend: i64) -> kir::Kernel {
+        KernelBuilder::new(name)
+            .input("in", Scalar::uint(32))
+            .output("out", Scalar::uint(32))
+            .local("x", Scalar::uint(32))
+            .body([Stmt::for_pipelined(
+                "i",
+                0..32,
+                [
+                    Stmt::read("x", "in"),
+                    Stmt::write("out", Expr::var("x").add(Expr::cint(addend))),
+                ],
+            )])
+            .build()
+            .unwrap()
+    }
+
+    fn pipeline(addends: [i64; 3]) -> Graph {
+        let mut b = GraphBuilder::new("pipe");
+        let a = b.add("a", stage("a", addends[0]), Target::riscv_auto());
+        let c = b.add("c", stage("c", addends[1]), Target::riscv_auto());
+        let d = b.add("d", stage("d", addends[2]), Target::riscv_auto());
+        b.ext_input("Input_1", a, "in");
+        b.connect("l1", a, "out", c, "in");
+        b.connect("l2", c, "out", d, "in");
+        b.ext_output("Output_1", d, "out");
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn one_edit_swaps_one_page_and_beats_full_reload() {
+        let mut cache = BuildCache::new();
+        let opts = CompileOptions::new(OptLevel::O0);
+        let g1 = pipeline([1, 2, 3]);
+        let app = cache.compile(&g1, &opts).unwrap();
+
+        let mut rt = Runtime::new(Floorplan::u50());
+        let id = rt.submit("pipe", app).unwrap();
+        let events = rt.poll();
+        assert!(matches!(events[0], RuntimeEvent::Admitted { .. }));
+        let writes_before = rt.device().config_writes();
+        let links_before = rt.resident_ref(id).unwrap().links.clone();
+
+        let g2 = pipeline([1, 99, 3]);
+        let report = rt.hot_swap(id, &g2, &mut cache, &opts).unwrap();
+        assert_eq!(report.recompiled, vec!["c".to_string()]);
+        assert_eq!(report.swapped_pages.len(), 1);
+        assert!(report.artifact_seconds > 0.0);
+        assert!(report.downtime_seconds > 0.0);
+        assert!(
+            report.downtime_seconds < report.full_reload_seconds,
+            "swap {} vs full {}",
+            report.downtime_seconds,
+            report.full_reload_seconds
+        );
+        // Only the affected routes were re-sent.
+        assert!(report.link_packets < links_before.len());
+        assert_eq!(
+            rt.device().config_writes() - writes_before,
+            report.link_packets as u64
+        );
+        // Every route of the swapped app is live afterwards.
+        for l in &rt.resident_ref(id).unwrap().links {
+            assert!(rt.device().route_programmed(l), "route {l:?} lost");
+        }
+        assert_eq!(rt.stats().swaps, 1);
+    }
+
+    #[test]
+    fn identical_edit_is_a_free_swap() {
+        let mut cache = BuildCache::new();
+        let opts = CompileOptions::new(OptLevel::O0);
+        let g = pipeline([4, 5, 6]);
+        let app = cache.compile(&g, &opts).unwrap();
+        let mut rt = Runtime::new(Floorplan::u50());
+        let id = rt.submit("pipe", app).unwrap();
+        rt.poll();
+        let report = rt.hot_swap(id, &g, &mut cache, &opts).unwrap();
+        assert!(report.recompiled.is_empty());
+        assert_eq!(report.downtime_seconds, 0.0);
+        assert_eq!(rt.stats().swaps, 0);
+    }
+
+    #[test]
+    fn operator_set_change_is_refused() {
+        let mut cache = BuildCache::new();
+        let opts = CompileOptions::new(OptLevel::O0);
+        let g = pipeline([1, 2, 3]);
+        let app = cache.compile(&g, &opts).unwrap();
+        let mut rt = Runtime::new(Floorplan::u50());
+        let id = rt.submit("pipe", app).unwrap();
+        rt.poll();
+
+        let mut b = GraphBuilder::new("pipe");
+        let a = b.add("a", stage("a", 1), Target::riscv_auto());
+        b.ext_input("Input_1", a, "in");
+        b.ext_output("Output_1", a, "out");
+        let smaller = b.build().unwrap();
+        assert!(matches!(
+            rt.hot_swap(id, &smaller, &mut cache, &opts),
+            Err(RuntimeError::OperatorSetChanged)
+        ));
+        // The resident app is untouched.
+        assert_eq!(rt.resident_ref(id).unwrap().placement.len(), 3);
+    }
+}

@@ -52,7 +52,11 @@ impl SoftBinary {
     /// 30–60 KB".
     pub fn load_bytes(&self) -> u64 {
         self.code.len() as u64 * 4
-            + self.data_init.iter().map(|(_, b)| b.len() as u64).sum::<u64>()
+            + self
+                .data_init
+                .iter()
+                .map(|(_, b)| b.len() as u64)
+                .sum::<u64>()
     }
 
     /// BRAM18s the unified memory consumes.
@@ -62,9 +66,19 @@ impl SoftBinary {
 
     /// Packs the binary for a page (the pre-linker/loader step).
     pub fn pack(&self, page: u32) -> PackedBinary {
-        let mut records = vec![(0u32, self.code.iter().flat_map(|w| w.to_le_bytes()).collect::<Vec<u8>>())];
+        let mut records = vec![(
+            0u32,
+            self.code
+                .iter()
+                .flat_map(|w| w.to_le_bytes())
+                .collect::<Vec<u8>>(),
+        )];
         records.extend(self.data_init.iter().cloned());
-        PackedBinary { operator: self.name.clone(), page, records }
+        PackedBinary {
+            operator: self.name.clone(),
+            page,
+            records,
+        }
     }
 }
 

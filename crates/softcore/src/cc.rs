@@ -44,7 +44,10 @@ impl fmt::Display for CcError {
         match self {
             CcError::Invalid(e) => write!(f, "invalid kernel: {e}"),
             CcError::CodeTooLarge { words } => {
-                write!(f, "code of {words} words exceeds the {DATA_BASE}-byte code region")
+                write!(
+                    f,
+                    "code of {words} words exceeds the {DATA_BASE}-byte code region"
+                )
             }
             CcError::MemoryTooLarge { bytes } => {
                 write!(f, "data footprint {bytes} exceeds page memory")
@@ -147,7 +150,9 @@ pub fn compile_kernel(kernel: &Kernel) -> Result<SoftBinary, CcError> {
 
     let mem_bytes = (cursor + 1024 + 15) & !15; // + stack headroom
     if mem_bytes as u64 > firmware::MAX_PAGE_MEMORY as u64 {
-        return Err(CcError::MemoryTooLarge { bytes: mem_bytes as u64 });
+        return Err(CcError::MemoryTooLarge {
+            bytes: mem_bytes as u64,
+        });
     }
 
     // --- Code generation --------------------------------------------------
@@ -171,7 +176,9 @@ pub fn compile_kernel(kernel: &Kernel) -> Result<SoftBinary, CcError> {
     cc.resolve_fixups();
 
     if cc.code.len() * 4 > DATA_BASE as usize {
-        return Err(CcError::CodeTooLarge { words: cc.code.len() });
+        return Err(CcError::CodeTooLarge {
+            words: cc.code.len(),
+        });
     }
 
     Ok(SoftBinary {
@@ -194,10 +201,16 @@ fn expr_depth(e: &Expr) -> u32 {
             expr_depth(arg) + 1
         }
         Expr::Bin { lhs, rhs, .. } => expr_depth(lhs).max(expr_depth(rhs) + 1) + 1,
-        Expr::Select { cond, then_val, else_val } => expr_depth(cond)
-            .max(expr_depth(then_val) + 1)
-            .max(expr_depth(else_val) + 2)
-            + 1,
+        Expr::Select {
+            cond,
+            then_val,
+            else_val,
+        } => {
+            expr_depth(cond)
+                .max(expr_depth(then_val) + 1)
+                .max(expr_depth(else_val) + 2)
+                + 1
+        }
     }
 }
 
@@ -208,7 +221,8 @@ fn sign_uniform(lt: Scalar, rt: Scalar) -> Option<bool> {
     match (lt.is_signed(), rt.is_signed()) {
         (false, false) => Some(true),
         _ => {
-            let bad = (!lt.is_signed() && lt.width() == 32) || (!rt.is_signed() && rt.width() == 32);
+            let bad =
+                (!lt.is_signed() && lt.width() == 32) || (!rt.is_signed() && rt.width() == 32);
             if bad {
                 None
             } else {
@@ -252,8 +266,14 @@ impl<'k> Cc<'k> {
     }
 
     fn jump_to(&mut self, label: Label) {
-        self.fixups.push(Fixup::Jump { at: self.code.len(), label });
-        self.code.push(Instr::Jal { rd: reg::ZERO, imm: 0 });
+        self.fixups.push(Fixup::Jump {
+            at: self.code.len(),
+            label,
+        });
+        self.code.push(Instr::Jal {
+            rd: reg::ZERO,
+            imm: 0,
+        });
     }
 
     fn resolve_fixups(&mut self) {
@@ -290,13 +310,21 @@ impl<'k> Cc<'k> {
     /// Loads the first word of a slot into `rd`.
     fn load_word(&mut self, rd: u32, addr: u32) {
         self.li(rd, addr as i32);
-        self.code.push(Instr::Lw { rd, rs1: rd, imm: 0 });
+        self.code.push(Instr::Lw {
+            rd,
+            rs1: rd,
+            imm: 0,
+        });
     }
 
     /// Stores `rs` to the first word of a slot (clobbers `t2`).
     fn store_word(&mut self, rs: u32, addr: u32) {
         self.li(reg::T2, addr as i32);
-        self.code.push(Instr::Sw { rs1: reg::T2, rs2: rs, imm: 0 });
+        self.code.push(Instr::Sw {
+            rs1: reg::T2,
+            rs2: rs,
+            imm: 0,
+        });
     }
 
     /// Copies `words` 32-bit words between slots (clobbers `t0`, `t2`).
@@ -323,11 +351,23 @@ impl<'k> Cc<'k> {
             return;
         }
         let sh = 32 - w;
-        self.code.push(Instr::Slli { rd: reg::T0, rs1: reg::T0, shamt: sh });
+        self.code.push(Instr::Slli {
+            rd: reg::T0,
+            rs1: reg::T0,
+            shamt: sh,
+        });
         if shape.is_signed() {
-            self.code.push(Instr::Srai { rd: reg::T0, rs1: reg::T0, shamt: sh });
+            self.code.push(Instr::Srai {
+                rd: reg::T0,
+                rs1: reg::T0,
+                shamt: sh,
+            });
         } else {
-            self.code.push(Instr::Srli { rd: reg::T0, rs1: reg::T0, shamt: sh });
+            self.code.push(Instr::Srli {
+                rd: reg::T0,
+                rs1: reg::T0,
+                shamt: sh,
+            });
         }
     }
 
@@ -370,8 +410,10 @@ impl<'k> Cc<'k> {
                 if ty.width() <= 32 {
                     // Canonical extended representation of the constant.
                     let v = if ty.is_signed() {
-                        aplib::sign_extend(aplib::wrap_to_width(*raw as u128, ty.width()), ty.width())
-                            as i32
+                        aplib::sign_extend(
+                            aplib::wrap_to_width(*raw as u128, ty.width()),
+                            ty.width(),
+                        ) as i32
                     } else {
                         aplib::wrap_to_width(*raw as u128, ty.width()) as u32 as i32
                     };
@@ -402,14 +444,26 @@ impl<'k> Cc<'k> {
                     });
                 }
                 self.li(reg::T1, base as i32);
-                self.code.push(Instr::Add { rd: reg::T1, rs1: reg::T1, rs2: reg::T0 });
+                self.code.push(Instr::Add {
+                    rd: reg::T1,
+                    rs1: reg::T1,
+                    rs2: reg::T0,
+                });
                 let dst = self.temp(d);
                 match stride {
                     1 => {
                         let ins = if elem.is_signed() && elem.width() == 8 {
-                            Instr::Lb { rd: reg::T0, rs1: reg::T1, imm: 0 }
+                            Instr::Lb {
+                                rd: reg::T0,
+                                rs1: reg::T1,
+                                imm: 0,
+                            }
                         } else {
-                            Instr::Lbu { rd: reg::T0, rs1: reg::T1, imm: 0 }
+                            Instr::Lbu {
+                                rd: reg::T0,
+                                rs1: reg::T1,
+                                imm: 0,
+                            }
                         };
                         self.code.push(ins);
                         self.canonicalize_elem(elem);
@@ -417,16 +471,28 @@ impl<'k> Cc<'k> {
                     }
                     2 => {
                         let ins = if elem.is_signed() && elem.width() == 16 {
-                            Instr::Lh { rd: reg::T0, rs1: reg::T1, imm: 0 }
+                            Instr::Lh {
+                                rd: reg::T0,
+                                rs1: reg::T1,
+                                imm: 0,
+                            }
                         } else {
-                            Instr::Lhu { rd: reg::T0, rs1: reg::T1, imm: 0 }
+                            Instr::Lhu {
+                                rd: reg::T0,
+                                rs1: reg::T1,
+                                imm: 0,
+                            }
                         };
                         self.code.push(ins);
                         self.canonicalize_elem(elem);
                         self.store_word(reg::T0, dst);
                     }
                     4 => {
-                        self.code.push(Instr::Lw { rd: reg::T0, rs1: reg::T1, imm: 0 });
+                        self.code.push(Instr::Lw {
+                            rd: reg::T0,
+                            rs1: reg::T1,
+                            imm: 0,
+                        });
                         self.canonicalize_elem(elem);
                         self.store_word(reg::T0, dst);
                     }
@@ -462,17 +528,28 @@ impl<'k> Cc<'k> {
                 let t = self.temp(d);
                 self.emit_cast(t, ashape, t, *ty);
             }
-            Expr::Select { cond, then_val, else_val } => {
+            Expr::Select {
+                cond,
+                then_val,
+                else_val,
+            } => {
                 let cshape = self.eval(cond, d)?;
                 let tshape = self.eval(then_val, d + 1)?;
                 let eshape = self.eval(else_val, d + 2)?;
-                if narrow_int(cshape) && narrow_int(tshape) && narrow_int(eshape) && narrow_int(shape)
+                if narrow_int(cshape)
+                    && narrow_int(tshape)
+                    && narrow_int(eshape)
+                    && narrow_int(shape)
                 {
                     let l_else = self.label();
                     let l_end = self.label();
                     self.load_word(reg::T0, self.temp(d));
                     self.branch_to(
-                        Instr::Beq { rs1: reg::T0, rs2: reg::ZERO, imm: 0 },
+                        Instr::Beq {
+                            rs1: reg::T0,
+                            rs2: reg::ZERO,
+                            imm: 0,
+                        },
                         l_else,
                     );
                     self.load_word(reg::T0, self.temp(d + 1));
@@ -486,8 +563,17 @@ impl<'k> Cc<'k> {
                     self.bind(l_end);
                 } else {
                     self.call_intrinsic(
-                        Intrinsic::Select { cond: cshape, t: tshape, e: eshape },
-                        &[self.temp(d), self.temp(d + 1), self.temp(d + 2), self.temp(d)],
+                        Intrinsic::Select {
+                            cond: cshape,
+                            t: tshape,
+                            e: eshape,
+                        },
+                        &[
+                            self.temp(d),
+                            self.temp(d + 1),
+                            self.temp(d + 2),
+                            self.temp(d),
+                        ],
                     );
                 }
             }
@@ -498,17 +584,33 @@ impl<'k> Cc<'k> {
                     let w = ashape.width();
                     self.load_word(reg::T0, self.temp(d));
                     if w < 32 {
-                        self.code.push(Instr::Slli { rd: reg::T0, rs1: reg::T0, shamt: 32 - w });
-                        self.code.push(Instr::Srli { rd: reg::T0, rs1: reg::T0, shamt: 32 - w });
+                        self.code.push(Instr::Slli {
+                            rd: reg::T0,
+                            rs1: reg::T0,
+                            shamt: 32 - w,
+                        });
+                        self.code.push(Instr::Srli {
+                            rd: reg::T0,
+                            rs1: reg::T0,
+                            shamt: 32 - w,
+                        });
                     }
                     if *lo > 0 {
-                        self.code.push(Instr::Srli { rd: reg::T0, rs1: reg::T0, shamt: *lo });
+                        self.code.push(Instr::Srli {
+                            rd: reg::T0,
+                            rs1: reg::T0,
+                            shamt: *lo,
+                        });
                     }
                     self.canonicalize_t0(Scalar::uint(hi - lo + 1));
                     self.store_word(reg::T0, self.temp(d));
                 } else {
                     self.call_intrinsic(
-                        Intrinsic::BitRange { arg: ashape, hi: *hi, lo: *lo },
+                        Intrinsic::BitRange {
+                            arg: ashape,
+                            hi: *hi,
+                            lo: *lo,
+                        },
                         &[self.temp(d), self.temp(d)],
                     );
                 }
@@ -523,7 +625,10 @@ impl<'k> Cc<'k> {
             self.canonicalize_t0(elem);
         } else if elem.width() < 32 {
             // Fixed-point narrow values canonicalize by sign.
-            self.canonicalize_t0(Scalar::Int { width: elem.width(), signed: elem.is_signed() });
+            self.canonicalize_t0(Scalar::Int {
+                width: elem.width(),
+                signed: elem.is_signed(),
+            });
         }
     }
 
@@ -533,31 +638,59 @@ impl<'k> Cc<'k> {
             match op {
                 UnOp::Neg => {
                     self.load_word(reg::T0, t);
-                    self.code.push(Instr::Sub { rd: reg::T0, rs1: reg::ZERO, rs2: reg::T0 });
+                    self.code.push(Instr::Sub {
+                        rd: reg::T0,
+                        rs1: reg::ZERO,
+                        rs2: reg::T0,
+                    });
                     self.canonicalize_t0(result);
                     self.store_word(reg::T0, t);
                     return;
                 }
                 UnOp::Not => {
                     self.load_word(reg::T0, t);
-                    self.code.push(Instr::Xori { rd: reg::T0, rs1: reg::T0, imm: -1 });
+                    self.code.push(Instr::Xori {
+                        rd: reg::T0,
+                        rs1: reg::T0,
+                        imm: -1,
+                    });
                     self.canonicalize_t0(result);
                     self.store_word(reg::T0, t);
                     return;
                 }
                 UnOp::LNot => {
                     self.load_word(reg::T0, t);
-                    self.code.push(Instr::Sltu { rd: reg::T0, rs1: reg::ZERO, rs2: reg::T0 });
-                    self.code.push(Instr::Xori { rd: reg::T0, rs1: reg::T0, imm: 1 });
+                    self.code.push(Instr::Sltu {
+                        rd: reg::T0,
+                        rs1: reg::ZERO,
+                        rs2: reg::T0,
+                    });
+                    self.code.push(Instr::Xori {
+                        rd: reg::T0,
+                        rs1: reg::T0,
+                        imm: 1,
+                    });
                     self.store_word(reg::T0, t);
                     return;
                 }
                 UnOp::Abs => {
                     self.load_word(reg::T0, t);
                     if ashape.is_signed() {
-                        self.code.push(Instr::Srai { rd: reg::T1, rs1: reg::T0, shamt: 31 });
-                        self.code.push(Instr::Xor { rd: reg::T0, rs1: reg::T0, rs2: reg::T1 });
-                        self.code.push(Instr::Sub { rd: reg::T0, rs1: reg::T0, rs2: reg::T1 });
+                        self.code.push(Instr::Srai {
+                            rd: reg::T1,
+                            rs1: reg::T0,
+                            shamt: 31,
+                        });
+                        self.code.push(Instr::Xor {
+                            rd: reg::T0,
+                            rs1: reg::T0,
+                            rs2: reg::T1,
+                        });
+                        self.code.push(Instr::Sub {
+                            rd: reg::T0,
+                            rs1: reg::T0,
+                            rs2: reg::T1,
+                        });
                         self.canonicalize_t0(result);
                     }
                     self.store_word(reg::T0, t);
@@ -592,28 +725,70 @@ impl<'k> Cc<'k> {
                     rhs_expr,
                     Expr::Const { raw, .. } if *raw >= 0 && (*raw as u32) < lshape.width()
                 ),
-                BinOp::Div | BinOp::Rem
-                | BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
-                | BinOp::Min | BinOp::Max => sign_uniform(lshape, rshape).is_some(),
+                BinOp::Div
+                | BinOp::Rem
+                | BinOp::Eq
+                | BinOp::Ne
+                | BinOp::Lt
+                | BinOp::Le
+                | BinOp::Gt
+                | BinOp::Ge
+                | BinOp::Min
+                | BinOp::Max => sign_uniform(lshape, rshape).is_some(),
             };
 
         if !native {
-            self.call_intrinsic(Intrinsic::Bin { op, lhs: lshape, rhs: rshape }, &[tl, tr, tl]);
+            self.call_intrinsic(
+                Intrinsic::Bin {
+                    op,
+                    lhs: lshape,
+                    rhs: rshape,
+                },
+                &[tl, tr, tl],
+            );
             return Ok(());
         }
 
         self.load_word(reg::T0, tl);
         self.load_word(reg::T1, tr);
         match op {
-            BinOp::Add => self.code.push(Instr::Add { rd: reg::T0, rs1: reg::T0, rs2: reg::T1 }),
-            BinOp::Sub => self.code.push(Instr::Sub { rd: reg::T0, rs1: reg::T0, rs2: reg::T1 }),
-            BinOp::Mul => self.code.push(Instr::Mul { rd: reg::T0, rs1: reg::T0, rs2: reg::T1 }),
-            BinOp::And => self.code.push(Instr::And { rd: reg::T0, rs1: reg::T0, rs2: reg::T1 }),
-            BinOp::Or => self.code.push(Instr::Or { rd: reg::T0, rs1: reg::T0, rs2: reg::T1 }),
-            BinOp::Xor => self.code.push(Instr::Xor { rd: reg::T0, rs1: reg::T0, rs2: reg::T1 }),
+            BinOp::Add => self.code.push(Instr::Add {
+                rd: reg::T0,
+                rs1: reg::T0,
+                rs2: reg::T1,
+            }),
+            BinOp::Sub => self.code.push(Instr::Sub {
+                rd: reg::T0,
+                rs1: reg::T0,
+                rs2: reg::T1,
+            }),
+            BinOp::Mul => self.code.push(Instr::Mul {
+                rd: reg::T0,
+                rs1: reg::T0,
+                rs2: reg::T1,
+            }),
+            BinOp::And => self.code.push(Instr::And {
+                rd: reg::T0,
+                rs1: reg::T0,
+                rs2: reg::T1,
+            }),
+            BinOp::Or => self.code.push(Instr::Or {
+                rd: reg::T0,
+                rs1: reg::T0,
+                rs2: reg::T1,
+            }),
+            BinOp::Xor => self.code.push(Instr::Xor {
+                rd: reg::T0,
+                rs1: reg::T0,
+                rs2: reg::T1,
+            }),
             BinOp::Shl => {
                 if let Expr::Const { raw, .. } = rhs_expr {
-                    self.code.push(Instr::Slli { rd: reg::T0, rs1: reg::T0, shamt: *raw as u32 });
+                    self.code.push(Instr::Slli {
+                        rd: reg::T0,
+                        rs1: reg::T0,
+                        shamt: *raw as u32,
+                    });
                 }
             }
             BinOp::Shr => {
@@ -622,9 +797,17 @@ impl<'k> Cc<'k> {
                     // The canonical representation already sign/zero extends,
                     // so an arithmetic/logical shift picks the right fill.
                     if lshape.is_signed() {
-                        self.code.push(Instr::Srai { rd: reg::T0, rs1: reg::T0, shamt: sh });
+                        self.code.push(Instr::Srai {
+                            rd: reg::T0,
+                            rs1: reg::T0,
+                            shamt: sh,
+                        });
                     } else {
-                        self.code.push(Instr::Srli { rd: reg::T0, rs1: reg::T0, shamt: sh });
+                        self.code.push(Instr::Srli {
+                            rd: reg::T0,
+                            rs1: reg::T0,
+                            shamt: sh,
+                        });
                     }
                 }
             }
@@ -632,12 +815,35 @@ impl<'k> Cc<'k> {
                 let unsigned = sign_uniform(lshape, rshape).expect("checked native");
                 let l_zero = self.label();
                 let l_end = self.label();
-                self.branch_to(Instr::Beq { rs1: reg::T1, rs2: reg::ZERO, imm: 0 }, l_zero);
+                self.branch_to(
+                    Instr::Beq {
+                        rs1: reg::T1,
+                        rs2: reg::ZERO,
+                        imm: 0,
+                    },
+                    l_zero,
+                );
                 let ins = match (op, unsigned) {
-                    (BinOp::Div, false) => Instr::Div { rd: reg::T0, rs1: reg::T0, rs2: reg::T1 },
-                    (BinOp::Div, true) => Instr::Divu { rd: reg::T0, rs1: reg::T0, rs2: reg::T1 },
-                    (BinOp::Rem, false) => Instr::Rem { rd: reg::T0, rs1: reg::T0, rs2: reg::T1 },
-                    _ => Instr::Remu { rd: reg::T0, rs1: reg::T0, rs2: reg::T1 },
+                    (BinOp::Div, false) => Instr::Div {
+                        rd: reg::T0,
+                        rs1: reg::T0,
+                        rs2: reg::T1,
+                    },
+                    (BinOp::Div, true) => Instr::Divu {
+                        rd: reg::T0,
+                        rs1: reg::T0,
+                        rs2: reg::T1,
+                    },
+                    (BinOp::Rem, false) => Instr::Rem {
+                        rd: reg::T0,
+                        rs1: reg::T0,
+                        rs2: reg::T1,
+                    },
+                    _ => Instr::Remu {
+                        rd: reg::T0,
+                        rs1: reg::T0,
+                        rs2: reg::T1,
+                    },
                 };
                 self.code.push(ins);
                 self.jump_to(l_end);
@@ -647,10 +853,22 @@ impl<'k> Cc<'k> {
                 self.bind(l_end);
             }
             BinOp::Eq | BinOp::Ne => {
-                self.code.push(Instr::Sub { rd: reg::T0, rs1: reg::T0, rs2: reg::T1 });
-                self.code.push(Instr::Sltu { rd: reg::T0, rs1: reg::ZERO, rs2: reg::T0 });
+                self.code.push(Instr::Sub {
+                    rd: reg::T0,
+                    rs1: reg::T0,
+                    rs2: reg::T1,
+                });
+                self.code.push(Instr::Sltu {
+                    rd: reg::T0,
+                    rs1: reg::ZERO,
+                    rs2: reg::T0,
+                });
                 if op == BinOp::Eq {
-                    self.code.push(Instr::Xori { rd: reg::T0, rs1: reg::T0, imm: 1 });
+                    self.code.push(Instr::Xori {
+                        rd: reg::T0,
+                        rs1: reg::T0,
+                        imm: 1,
+                    });
                 }
             }
             BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
@@ -667,38 +885,81 @@ impl<'k> Cc<'k> {
                     BinOp::Gt => self.code.push(slt(reg::T0, reg::T1, reg::T0)),
                     BinOp::Le => {
                         self.code.push(slt(reg::T0, reg::T1, reg::T0));
-                        self.code.push(Instr::Xori { rd: reg::T0, rs1: reg::T0, imm: 1 });
+                        self.code.push(Instr::Xori {
+                            rd: reg::T0,
+                            rs1: reg::T0,
+                            imm: 1,
+                        });
                     }
                     BinOp::Ge => {
                         self.code.push(slt(reg::T0, reg::T0, reg::T1));
-                        self.code.push(Instr::Xori { rd: reg::T0, rs1: reg::T0, imm: 1 });
+                        self.code.push(Instr::Xori {
+                            rd: reg::T0,
+                            rs1: reg::T0,
+                            imm: 1,
+                        });
                     }
                     _ => unreachable!(),
                 }
             }
             BinOp::LAnd => {
-                self.code.push(Instr::Sltu { rd: reg::T0, rs1: reg::ZERO, rs2: reg::T0 });
-                self.code.push(Instr::Sltu { rd: reg::T1, rs1: reg::ZERO, rs2: reg::T1 });
-                self.code.push(Instr::And { rd: reg::T0, rs1: reg::T0, rs2: reg::T1 });
+                self.code.push(Instr::Sltu {
+                    rd: reg::T0,
+                    rs1: reg::ZERO,
+                    rs2: reg::T0,
+                });
+                self.code.push(Instr::Sltu {
+                    rd: reg::T1,
+                    rs1: reg::ZERO,
+                    rs2: reg::T1,
+                });
+                self.code.push(Instr::And {
+                    rd: reg::T0,
+                    rs1: reg::T0,
+                    rs2: reg::T1,
+                });
             }
             BinOp::LOr => {
-                self.code.push(Instr::Or { rd: reg::T0, rs1: reg::T0, rs2: reg::T1 });
-                self.code.push(Instr::Sltu { rd: reg::T0, rs1: reg::ZERO, rs2: reg::T0 });
+                self.code.push(Instr::Or {
+                    rd: reg::T0,
+                    rs1: reg::T0,
+                    rs2: reg::T1,
+                });
+                self.code.push(Instr::Sltu {
+                    rd: reg::T0,
+                    rs1: reg::ZERO,
+                    rs2: reg::T0,
+                });
             }
             BinOp::Min | BinOp::Max => {
                 let unsigned = sign_uniform(lshape, rshape).expect("checked native");
                 let l_keep = self.label();
                 let cmp = if unsigned {
-                    Instr::Sltu { rd: reg::T2, rs1: reg::T0, rs2: reg::T1 }
+                    Instr::Sltu {
+                        rd: reg::T2,
+                        rs1: reg::T0,
+                        rs2: reg::T1,
+                    }
                 } else {
-                    Instr::Slt { rd: reg::T2, rs1: reg::T0, rs2: reg::T1 }
+                    Instr::Slt {
+                        rd: reg::T2,
+                        rs1: reg::T0,
+                        rs2: reg::T1,
+                    }
                 };
                 self.code.push(cmp);
                 // For Min keep T0 when T0 < T1 (T2 == 1); for Max when T2 == 0.
                 let want = if op == BinOp::Min { 1 } else { 0 };
                 self.li(reg::T1, want); // careful: T1 now holds the sentinel
-                // Reload rhs after the sentinel comparison when needed.
-                self.branch_to(Instr::Beq { rs1: reg::T2, rs2: reg::T1, imm: 0 }, l_keep);
+                                        // Reload rhs after the sentinel comparison when needed.
+                self.branch_to(
+                    Instr::Beq {
+                        rs1: reg::T2,
+                        rs2: reg::T1,
+                        imm: 0,
+                    },
+                    l_keep,
+                );
                 self.load_word(reg::T0, tr);
                 self.bind(l_keep);
             }
@@ -731,7 +992,11 @@ impl<'k> Cc<'k> {
                 let (addr, ty) = self.var_slot(var);
                 self.emit_cast(self.temp(0), vshape, addr, ty);
             }
-            Stmt::ArraySet { array, index, value } => {
+            Stmt::ArraySet {
+                array,
+                index,
+                value,
+            } => {
                 let vshape = self.eval(value, 0)?;
                 let (base, elem, stride) = self.arrays[array];
                 // Coerce the value to the element shape into temp 1.
@@ -746,19 +1011,35 @@ impl<'k> Cc<'k> {
                     });
                 }
                 self.li(reg::T1, base as i32);
-                self.code.push(Instr::Add { rd: reg::T1, rs1: reg::T1, rs2: reg::T0 });
+                self.code.push(Instr::Add {
+                    rd: reg::T1,
+                    rs1: reg::T1,
+                    rs2: reg::T0,
+                });
                 match stride {
                     1 => {
                         self.load_word(reg::T0, self.temp(1));
-                        self.code.push(Instr::Sb { rs1: reg::T1, rs2: reg::T0, imm: 0 });
+                        self.code.push(Instr::Sb {
+                            rs1: reg::T1,
+                            rs2: reg::T0,
+                            imm: 0,
+                        });
                     }
                     2 => {
                         self.load_word(reg::T0, self.temp(1));
-                        self.code.push(Instr::Sh { rs1: reg::T1, rs2: reg::T0, imm: 0 });
+                        self.code.push(Instr::Sh {
+                            rs1: reg::T1,
+                            rs2: reg::T0,
+                            imm: 0,
+                        });
                     }
                     4 => {
                         self.load_word(reg::T0, self.temp(1));
-                        self.code.push(Instr::Sw { rs1: reg::T1, rs2: reg::T0, imm: 0 });
+                        self.code.push(Instr::Sw {
+                            rs1: reg::T1,
+                            rs2: reg::T0,
+                            imm: 0,
+                        });
                     }
                     _ => {
                         for i in 0..stride / 4 {
@@ -785,7 +1066,11 @@ impl<'k> Cc<'k> {
                 let words = elem.words();
                 for i in 0..words {
                     self.li(reg::T1, port_addr as i32);
-                    self.code.push(Instr::Lw { rd: reg::T0, rs1: reg::T1, imm: 0 });
+                    self.code.push(Instr::Lw {
+                        rd: reg::T0,
+                        rs1: reg::T1,
+                        imm: 0,
+                    });
                     self.store_word(reg::T0, self.temp(0) + 4 * i);
                 }
                 if Self::slot_words(elem) == 4 {
@@ -821,14 +1106,33 @@ impl<'k> Cc<'k> {
                     if i == 0 && elem.width() < 32 {
                         // Strip extension bits: the wire carries raw bits.
                         let w = elem.width();
-                        self.code.push(Instr::Slli { rd: reg::T0, rs1: reg::T0, shamt: 32 - w });
-                        self.code.push(Instr::Srli { rd: reg::T0, rs1: reg::T0, shamt: 32 - w });
+                        self.code.push(Instr::Slli {
+                            rd: reg::T0,
+                            rs1: reg::T0,
+                            shamt: 32 - w,
+                        });
+                        self.code.push(Instr::Srli {
+                            rd: reg::T0,
+                            rs1: reg::T0,
+                            shamt: 32 - w,
+                        });
                     }
                     self.li(reg::T1, port_addr as i32);
-                    self.code.push(Instr::Sw { rs1: reg::T1, rs2: reg::T0, imm: 0 });
+                    self.code.push(Instr::Sw {
+                        rs1: reg::T1,
+                        rs2: reg::T0,
+                        imm: 0,
+                    });
                 }
             }
-            Stmt::For { var, begin, end, step, body, .. } => {
+            Stmt::For {
+                var,
+                begin,
+                end,
+                step,
+                body,
+                ..
+            } => {
                 let slot = self.next_loop_slot;
                 self.next_loop_slot += SLOT_BYTES;
                 self.loop_slots.push((var.clone(), slot));
@@ -841,11 +1145,22 @@ impl<'k> Cc<'k> {
                 self.bind(l_top);
                 self.load_word(reg::T0, slot);
                 self.li(reg::T1, *end as i32);
-                self.branch_to(Instr::Bge { rs1: reg::T0, rs2: reg::T1, imm: 0 }, l_end);
+                self.branch_to(
+                    Instr::Bge {
+                        rs1: reg::T0,
+                        rs2: reg::T1,
+                        imm: 0,
+                    },
+                    l_end,
+                );
                 self.block(body)?;
                 self.load_word(reg::T0, slot);
                 self.li(reg::T1, *step as i32);
-                self.code.push(Instr::Add { rd: reg::T0, rs1: reg::T0, rs2: reg::T1 });
+                self.code.push(Instr::Add {
+                    rd: reg::T0,
+                    rs1: reg::T0,
+                    rs2: reg::T1,
+                });
                 self.store_word(reg::T0, slot);
                 self.jump_to(l_top);
                 self.bind(l_end);
@@ -853,19 +1168,34 @@ impl<'k> Cc<'k> {
                 self.env.exit_loop();
                 self.loop_slots.pop();
             }
-            Stmt::If { cond, then_body, else_body } => {
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
                 let cshape = self.eval(cond, 0)?;
                 // Zero test across the slot words.
                 self.load_word(reg::T0, self.temp(0));
                 if Self::slot_words(cshape) == 4 {
                     for i in 1..4 {
                         self.load_word(reg::T1, self.temp(0) + 4 * i);
-                        self.code.push(Instr::Or { rd: reg::T0, rs1: reg::T0, rs2: reg::T1 });
+                        self.code.push(Instr::Or {
+                            rd: reg::T0,
+                            rs1: reg::T0,
+                            rs2: reg::T1,
+                        });
                     }
                 }
                 let l_else = self.label();
                 let l_end = self.label();
-                self.branch_to(Instr::Beq { rs1: reg::T0, rs2: reg::ZERO, imm: 0 }, l_else);
+                self.branch_to(
+                    Instr::Beq {
+                        rs1: reg::T0,
+                        rs2: reg::ZERO,
+                        imm: 0,
+                    },
+                    l_else,
+                );
                 self.block(then_body)?;
                 self.jump_to(l_end);
                 self.bind(l_else);
@@ -960,10 +1290,7 @@ mod tests {
             .output("out", Scalar::uint(32))
             .local("x", Scalar::uint(32))
             .array("line", Scalar::uint(32), 2048)
-            .body([
-                Stmt::read("x", "in"),
-                Stmt::write("out", Expr::var("x")),
-            ])
+            .body([Stmt::read("x", "in"), Stmt::write("out", Expr::var("x"))])
             .build()
             .unwrap();
         let bin = compile_kernel(&k).unwrap();

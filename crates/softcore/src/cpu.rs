@@ -130,10 +130,14 @@ impl Cpu {
             // Narrow slots hold the extended 32-bit representation; masking
             // recovers the raw bits.
             match shape {
-                Scalar::Int { width, signed } => Value::Int(DynInt::from_raw(width, signed, w as u128)),
-                Scalar::Fixed { width, int_bits, signed } => {
-                    Value::Fixed(DynFixed::from_raw(width, int_bits, signed, w as u128))
+                Scalar::Int { width, signed } => {
+                    Value::Int(DynInt::from_raw(width, signed, w as u128))
                 }
+                Scalar::Fixed {
+                    width,
+                    int_bits,
+                    signed,
+                } => Value::Fixed(DynFixed::from_raw(width, int_bits, signed, w as u128)),
             }
         } else {
             let mut raw = 0u128;
@@ -142,9 +146,11 @@ impl Cpu {
             }
             match shape {
                 Scalar::Int { width, signed } => Value::Int(DynInt::from_raw(width, signed, raw)),
-                Scalar::Fixed { width, int_bits, signed } => {
-                    Value::Fixed(DynFixed::from_raw(width, int_bits, signed, raw))
-                }
+                Scalar::Fixed {
+                    width,
+                    int_bits,
+                    signed,
+                } => Value::Fixed(DynFixed::from_raw(width, int_bits, signed, raw)),
             }
         }
     }
@@ -198,7 +204,11 @@ impl Cpu {
                 let tv = self.read_slot_value(a1, t);
                 let ev = self.read_slot_value(a2, e);
                 let common = kir::ops::result_type(kir::expr::BinOp::Max, t, e);
-                let out = if c.is_zero() { ev.coerce(common) } else { tv.coerce(common) };
+                let out = if c.is_zero() {
+                    ev.coerce(common)
+                } else {
+                    tv.coerce(common)
+                };
                 self.write_slot_value(a3, &out);
             }
             Intrinsic::BitRange { arg, hi, lo } => {
@@ -274,11 +284,18 @@ impl Cpu {
             Remu { rd, rs1, rs2 } => {
                 cost = cycles::DIV;
                 let b = self.reg(rs2);
-                let r = if b == 0 { self.reg(rs1) } else { self.reg(rs1) % b };
+                let r = if b == 0 {
+                    self.reg(rs1)
+                } else {
+                    self.reg(rs1) % b
+                };
                 self.set_reg(rd, r);
             }
-            Lw { rd, rs1, imm } | Lh { rd, rs1, imm } | Lhu { rd, rs1, imm }
-            | Lb { rd, rs1, imm } | Lbu { rd, rs1, imm } => {
+            Lw { rd, rs1, imm }
+            | Lh { rd, rs1, imm }
+            | Lhu { rd, rs1, imm }
+            | Lb { rd, rs1, imm }
+            | Lbu { rd, rs1, imm } => {
                 cost = cycles::LOAD;
                 let addr = self.reg(rs1).wrapping_add(imm as u32);
                 if (firmware::STREAM_READ_BASE..firmware::STREAM_WRITE_BASE).contains(&addr) {
@@ -412,7 +429,10 @@ mod tests {
 
     fn program(instrs: &[Instr]) -> Cpu {
         let mut cpu = Cpu::new(4096, vec![]);
-        let bytes: Vec<u8> = instrs.iter().flat_map(|i| i.encode().to_le_bytes()).collect();
+        let bytes: Vec<u8> = instrs
+            .iter()
+            .flat_map(|i| i.encode().to_le_bytes())
+            .collect();
         cpu.load(0, &bytes);
         cpu
     }
@@ -433,8 +453,16 @@ mod tests {
         // t0 = 7; t1 = 5; t2 = t0 * t1 - 3; halt.
         let mut code = load_imm(reg::T0, 7);
         code.extend(load_imm(reg::T1, 5));
-        code.push(Instr::Mul { rd: reg::T2, rs1: reg::T0, rs2: reg::T1 });
-        code.push(Instr::Addi { rd: reg::T2, rs1: reg::T2, imm: -3 });
+        code.push(Instr::Mul {
+            rd: reg::T2,
+            rs1: reg::T0,
+            rs2: reg::T1,
+        });
+        code.push(Instr::Addi {
+            rd: reg::T2,
+            rs1: reg::T2,
+            imm: -3,
+        });
         code.push(Instr::Ebreak);
         let mut cpu = program(&code);
         assert_eq!(run(&mut cpu, 100), StepResult::Halt);
@@ -446,7 +474,11 @@ mod tests {
     fn division_edge_cases_follow_riscv() {
         let mut code = load_imm(reg::T0, 10);
         code.extend(load_imm(reg::T1, 0));
-        code.push(Instr::Div { rd: reg::T2, rs1: reg::T0, rs2: reg::T1 });
+        code.push(Instr::Div {
+            rd: reg::T2,
+            rs1: reg::T0,
+            rs2: reg::T1,
+        });
         code.push(Instr::Ebreak);
         let mut cpu = program(&code);
         run(&mut cpu, 100);
@@ -461,11 +493,27 @@ mod tests {
         code.extend(load_imm(reg::T1, 0x110)); // end
         code.extend(load_imm(reg::T2, 0)); // acc
         let loop_start = code.len() as i32 * 4;
-        code.push(Instr::Lw { rd: reg::A0, rs1: reg::T0, imm: 0 });
-        code.push(Instr::Add { rd: reg::T2, rs1: reg::T2, rs2: reg::A0 });
-        code.push(Instr::Addi { rd: reg::T0, rs1: reg::T0, imm: 4 });
+        code.push(Instr::Lw {
+            rd: reg::A0,
+            rs1: reg::T0,
+            imm: 0,
+        });
+        code.push(Instr::Add {
+            rd: reg::T2,
+            rs1: reg::T2,
+            rs2: reg::A0,
+        });
+        code.push(Instr::Addi {
+            rd: reg::T0,
+            rs1: reg::T0,
+            imm: 4,
+        });
         let here = code.len() as i32 * 4;
-        code.push(Instr::Blt { rs1: reg::T0, rs2: reg::T1, imm: loop_start - here });
+        code.push(Instr::Blt {
+            rs1: reg::T0,
+            rs2: reg::T1,
+            imm: loop_start - here,
+        });
         code.push(Instr::Ebreak);
         let mut cpu = program(&code);
         for (i, v) in [10u32, 20, 30, 40].iter().enumerate() {
@@ -487,7 +535,11 @@ mod tests {
             }
         }
         let mut code = load_imm(reg::T1, firmware::STREAM_READ_BASE as i32);
-        code.push(Instr::Lw { rd: reg::T0, rs1: reg::T1, imm: 0 });
+        code.push(Instr::Lw {
+            rd: reg::T0,
+            rs1: reg::T1,
+            imm: 0,
+        });
         code.push(Instr::Ebreak);
         let mut cpu = program(&code);
         let mut io = OneShot(None);
@@ -513,7 +565,11 @@ mod tests {
     #[test]
     fn out_of_range_memory_traps() {
         let mut code = load_imm(reg::T0, 0x0090_0000); // beyond memory, below MMIO
-        code.push(Instr::Lw { rd: reg::T1, rs1: reg::T0, imm: 0 });
+        code.push(Instr::Lw {
+            rd: reg::T1,
+            rs1: reg::T0,
+            imm: 0,
+        });
         let mut cpu = program(&code);
         let mut io = NoIo;
         assert_eq!(cpu.step(&mut io), StepResult::Ok);
@@ -525,11 +581,14 @@ mod tests {
     fn intrinsic_executes_wide_arithmetic() {
         // 64-bit multiply via intrinsic 0.
         let shape = Scalar::uint(64);
-        let mut cpu = Cpu::new(4096, vec![Intrinsic::Bin {
-            op: kir::expr::BinOp::Mul,
-            lhs: shape,
-            rhs: shape,
-        }]);
+        let mut cpu = Cpu::new(
+            4096,
+            vec![Intrinsic::Bin {
+                op: kir::expr::BinOp::Mul,
+                lhs: shape,
+                rhs: shape,
+            }],
+        );
         // Operands at 0x200/0x210, result at 0x220.
         let a: u64 = 0x1_0000_0001;
         let b: u64 = 3;

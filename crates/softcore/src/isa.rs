@@ -90,7 +90,12 @@ fn i_type(imm: i32, rs1: u32, funct3: u32, rd: u32, opcode: u32) -> u32 {
 
 fn s_type(imm: i32, rs2: u32, rs1: u32, funct3: u32, opcode: u32) -> u32 {
     let imm = imm as u32;
-    ((imm >> 5 & 0x7f) << 25) | (rs2 << 20) | (rs1 << 15) | (funct3 << 12) | ((imm & 0x1f) << 7) | opcode
+    ((imm >> 5 & 0x7f) << 25)
+        | (rs2 << 20)
+        | (rs1 << 15)
+        | (funct3 << 12)
+        | ((imm & 0x1f) << 7)
+        | opcode
 }
 
 fn b_type(imm: i32, rs2: u32, rs1: u32, funct3: u32) -> u32 {
@@ -177,18 +182,49 @@ impl Instr {
         let funct7 = word >> 25;
         let i_imm = (word as i32) >> 20;
         Some(match opcode {
-            0x37 => Lui { rd, imm: (word & 0xffff_f000) as i32 },
+            0x37 => Lui {
+                rd,
+                imm: (word & 0xffff_f000) as i32,
+            },
             0x13 => match funct3 {
-                0b000 => Addi { rd, rs1, imm: i_imm },
-                0b111 => Andi { rd, rs1, imm: i_imm },
-                0b110 => Ori { rd, rs1, imm: i_imm },
-                0b100 => Xori { rd, rs1, imm: i_imm },
-                0b001 => Slli { rd, rs1, shamt: rs2 },
+                0b000 => Addi {
+                    rd,
+                    rs1,
+                    imm: i_imm,
+                },
+                0b111 => Andi {
+                    rd,
+                    rs1,
+                    imm: i_imm,
+                },
+                0b110 => Ori {
+                    rd,
+                    rs1,
+                    imm: i_imm,
+                },
+                0b100 => Xori {
+                    rd,
+                    rs1,
+                    imm: i_imm,
+                },
+                0b001 => Slli {
+                    rd,
+                    rs1,
+                    shamt: rs2,
+                },
                 0b101 => {
                     if funct7 == 0x20 {
-                        Srai { rd, rs1, shamt: rs2 }
+                        Srai {
+                            rd,
+                            rs1,
+                            shamt: rs2,
+                        }
                     } else {
-                        Srli { rd, rs1, shamt: rs2 }
+                        Srli {
+                            rd,
+                            rs1,
+                            shamt: rs2,
+                        }
                     }
                 }
                 _ => return None,
@@ -212,11 +248,31 @@ impl Instr {
                 _ => return None,
             },
             0x03 => match funct3 {
-                0b010 => Lw { rd, rs1, imm: i_imm },
-                0b001 => Lh { rd, rs1, imm: i_imm },
-                0b101 => Lhu { rd, rs1, imm: i_imm },
-                0b000 => Lb { rd, rs1, imm: i_imm },
-                0b100 => Lbu { rd, rs1, imm: i_imm },
+                0b010 => Lw {
+                    rd,
+                    rs1,
+                    imm: i_imm,
+                },
+                0b001 => Lh {
+                    rd,
+                    rs1,
+                    imm: i_imm,
+                },
+                0b101 => Lhu {
+                    rd,
+                    rs1,
+                    imm: i_imm,
+                },
+                0b000 => Lb {
+                    rd,
+                    rs1,
+                    imm: i_imm,
+                },
+                0b100 => Lbu {
+                    rd,
+                    rs1,
+                    imm: i_imm,
+                },
                 _ => return None,
             },
             0x23 => {
@@ -253,7 +309,11 @@ impl Instr {
                 let imm = ((imm as i32) << 11) >> 11; // sign-extend 21 bits
                 Jal { rd, imm }
             }
-            0x67 if funct3 == 0 => Jalr { rd, rs1, imm: i_imm },
+            0x67 if funct3 == 0 => Jalr {
+                rd,
+                rs1,
+                imm: i_imm,
+            },
             0x73 => match word {
                 0x0000_0073 => Ecall,
                 0x0010_0073 => Ebreak,
@@ -267,14 +327,22 @@ impl Instr {
 /// Emits a `li rd, value` sequence (1–2 instructions).
 pub fn load_imm(rd: u32, value: i32) -> Vec<Instr> {
     if (-2048..=2047).contains(&value) {
-        vec![Instr::Addi { rd, rs1: reg::ZERO, imm: value }]
+        vec![Instr::Addi {
+            rd,
+            rs1: reg::ZERO,
+            imm: value,
+        }]
     } else {
         // lui + addi with carry adjustment for the sign of the low part.
         let lo = (value << 20) >> 20;
         let hi = value.wrapping_sub(lo) as u32 & 0xffff_f000;
         vec![
             Instr::Lui { rd, imm: hi as i32 },
-            Instr::Addi { rd, rs1: rd, imm: lo },
+            Instr::Addi {
+                rd,
+                rs1: rd,
+                imm: lo,
+            },
         ]
     }
 }
@@ -287,33 +355,112 @@ mod tests {
     fn roundtrip_representative_instructions() {
         use Instr::*;
         let cases = vec![
-            Lui { rd: 5, imm: 0x12345 << 12 },
-            Addi { rd: 5, rs1: 6, imm: -1 },
-            Andi { rd: 1, rs1: 2, imm: 255 },
-            Slli { rd: 5, rs1: 5, shamt: 31 },
-            Srai { rd: 5, rs1: 5, shamt: 7 },
-            Srli { rd: 5, rs1: 5, shamt: 7 },
-            Add { rd: 1, rs1: 2, rs2: 3 },
-            Sub { rd: 1, rs1: 2, rs2: 3 },
-            Mul { rd: 10, rs1: 11, rs2: 12 },
-            Div { rd: 10, rs1: 11, rs2: 12 },
-            Remu { rd: 10, rs1: 11, rs2: 12 },
-            Lw { rd: 5, rs1: 2, imm: -4 },
-            Lbu { rd: 5, rs1: 2, imm: 100 },
-            Sw { rs1: 2, rs2: 5, imm: -8 },
-            Sb { rs1: 2, rs2: 5, imm: 2047 },
-            Beq { rs1: 1, rs2: 2, imm: -16 },
-            Bge { rs1: 1, rs2: 2, imm: 4094 },
-            Bltu { rs1: 1, rs2: 2, imm: -4096 },
+            Lui {
+                rd: 5,
+                imm: 0x12345 << 12,
+            },
+            Addi {
+                rd: 5,
+                rs1: 6,
+                imm: -1,
+            },
+            Andi {
+                rd: 1,
+                rs1: 2,
+                imm: 255,
+            },
+            Slli {
+                rd: 5,
+                rs1: 5,
+                shamt: 31,
+            },
+            Srai {
+                rd: 5,
+                rs1: 5,
+                shamt: 7,
+            },
+            Srli {
+                rd: 5,
+                rs1: 5,
+                shamt: 7,
+            },
+            Add {
+                rd: 1,
+                rs1: 2,
+                rs2: 3,
+            },
+            Sub {
+                rd: 1,
+                rs1: 2,
+                rs2: 3,
+            },
+            Mul {
+                rd: 10,
+                rs1: 11,
+                rs2: 12,
+            },
+            Div {
+                rd: 10,
+                rs1: 11,
+                rs2: 12,
+            },
+            Remu {
+                rd: 10,
+                rs1: 11,
+                rs2: 12,
+            },
+            Lw {
+                rd: 5,
+                rs1: 2,
+                imm: -4,
+            },
+            Lbu {
+                rd: 5,
+                rs1: 2,
+                imm: 100,
+            },
+            Sw {
+                rs1: 2,
+                rs2: 5,
+                imm: -8,
+            },
+            Sb {
+                rs1: 2,
+                rs2: 5,
+                imm: 2047,
+            },
+            Beq {
+                rs1: 1,
+                rs2: 2,
+                imm: -16,
+            },
+            Bge {
+                rs1: 1,
+                rs2: 2,
+                imm: 4094,
+            },
+            Bltu {
+                rs1: 1,
+                rs2: 2,
+                imm: -4096,
+            },
             Jal { rd: 1, imm: 2048 },
             Jal { rd: 0, imm: -8 },
-            Jalr { rd: 0, rs1: 1, imm: 0 },
+            Jalr {
+                rd: 0,
+                rs1: 1,
+                imm: 0,
+            },
             Ecall,
             Ebreak,
         ];
         for ins in cases {
             let enc = ins.encode();
-            assert_eq!(Instr::decode(enc), Some(ins), "{ins:?} encodes to {enc:08x}");
+            assert_eq!(
+                Instr::decode(enc),
+                Some(ins),
+                "{ins:?} encodes to {enc:08x}"
+            );
         }
     }
 
@@ -323,14 +470,30 @@ mod tests {
         assert_eq!(load_imm(5, -42).len(), 1);
         assert_eq!(load_imm(5, 0x12345678).len(), 2);
         // The sequence must compute the right value (emulated by hand).
-        for v in [0i32, 1, -1, 2047, -2048, 2048, -2049, 0x7fff_ffff, i32::MIN, 0x1000, 0xfff] {
+        for v in [
+            0i32,
+            1,
+            -1,
+            2047,
+            -2048,
+            2048,
+            -2049,
+            0x7fff_ffff,
+            i32::MIN,
+            0x1000,
+            0xfff,
+        ] {
             let seq = load_imm(5, v);
             let mut reg = 0i64;
             for ins in seq {
                 match ins {
                     Instr::Lui { imm, .. } => reg = imm as i64,
                     Instr::Addi { imm, rs1, .. } => {
-                        reg = if rs1 == 0 { imm as i64 } else { (reg as i32).wrapping_add(imm) as i64 }
+                        reg = if rs1 == 0 {
+                            imm as i64
+                        } else {
+                            (reg as i32).wrapping_add(imm) as i64
+                        }
                     }
                     other => panic!("unexpected {other:?}"),
                 }

@@ -53,7 +53,11 @@ struct BatchIo {
 
 impl StreamIo for BatchIo {
     fn read(&mut self, port: u32) -> Option<u32> {
-        match self.inputs.get_mut(port as usize).and_then(VecDeque::pop_front) {
+        match self
+            .inputs
+            .get_mut(port as usize)
+            .and_then(VecDeque::pop_front)
+        {
             Some(w) => Some(w),
             None => {
                 self.starved = Some(port);

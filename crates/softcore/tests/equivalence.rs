@@ -243,10 +243,7 @@ fn nested_loops_and_branches_match() {
                         [Stmt::if_else(
                             Expr::var("x").rem(Expr::cint(2)).eq(Expr::cint(0)),
                             [Stmt::assign("sum", Expr::var("sum").add(Expr::var("x")))],
-                            [Stmt::assign(
-                                "sum",
-                                Expr::var("sum").sub(Expr::var("c")),
-                            )],
+                            [Stmt::assign("sum", Expr::var("sum").sub(Expr::var("c")))],
                         )],
                     ),
                 ],

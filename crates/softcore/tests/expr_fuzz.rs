@@ -9,7 +9,10 @@ use proptest::prelude::*;
 /// Gene-driven expression construction: a compact byte program that always
 /// yields a valid integer expression over variables `x` and `y`.
 fn expr_from_genes(genes: &[u8], width: u32) -> Expr {
-    let ty = Scalar::Int { width, signed: genes.first().copied().unwrap_or(0) % 2 == 1 };
+    let ty = Scalar::Int {
+        width,
+        signed: genes.first().copied().unwrap_or(0) % 2 == 1,
+    };
     let mut stack: Vec<Expr> = vec![Expr::var("x"), Expr::var("y")];
     for chunk in genes.chunks(2) {
         let op = chunk[0];

@@ -32,7 +32,13 @@ fn with_targets(base: &Graph, hw: &[&str]) -> Graph {
         b.ext_input(p.name.clone(), ids[p.op.0], &p.port);
     }
     for e in &base.edges {
-        b.connect(e.name.clone(), ids[e.from.0 .0], &e.from.1, ids[e.to.0 .0], &e.to.1);
+        b.connect(
+            e.name.clone(),
+            ids[e.from.0 .0],
+            &e.from.1,
+            ids[e.to.0 .0],
+            &e.to.1,
+        );
     }
     for p in &base.ext_outputs {
         b.ext_output(p.name.clone(), ids[p.op.0], &p.port);
@@ -43,7 +49,15 @@ fn with_targets(base: &Graph, hw: &[&str]) -> Graph {
 fn main() {
     let (w, h) = optical::dims(Scale::Tiny);
     let base = optical::graph(w, h);
-    let order = ["flow_calc", "tensor_x", "tensor_y", "weight_y", "grad_xy", "grad_z", "unpack"];
+    let order = [
+        "flow_calc",
+        "tensor_x",
+        "tensor_y",
+        "weight_y",
+        "grad_xy",
+        "grad_z",
+        "unpack",
+    ];
 
     let mut cache = BuildCache::new();
     let opts = CompileOptions::new(OptLevel::O1);

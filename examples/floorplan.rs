@@ -11,7 +11,10 @@ fn main() {
     println!("{}", fp.render());
 
     println!("page inventory (Tab. 1 shape):");
-    println!("  {:8} {:>8} {:>8} {:>8} {:>6} {:>7}", "type", "LUTs", "FFs", "BRAM18s", "DSPs", "count");
+    println!(
+        "  {:8} {:>8} {:>8} {:>8} {:>6} {:>7}",
+        "type", "LUTs", "FFs", "BRAM18s", "DSPs", "count"
+    );
     for t in 1..=fp.type_count() {
         let r = fp.type_resources(t).expect("type exists");
         let n = fp.pages_of_type(t).count();

@@ -13,7 +13,10 @@ use rosetta::{suite, Scale};
 use std::time::Instant;
 
 fn main() {
-    println!("{:18} {:>12} {:>12}  outputs identical?", "benchmark", "batch", "threaded");
+    println!(
+        "{:18} {:>12} {:>12}  outputs identical?",
+        "benchmark", "batch", "threaded"
+    );
     for bench in suite(Scale::Small) {
         let inputs = bench.input_refs();
 

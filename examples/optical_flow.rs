@@ -10,8 +10,11 @@ use rosetta::{optical, Scale};
 fn main() {
     let bench = optical::bench(Scale::Small);
     let inputs = bench.input_refs();
-    println!("optical flow, {} operators, {} stream links",
-        bench.graph.operators.len(), bench.graph.edges.len());
+    println!(
+        "optical flow, {} operators, {} stream links",
+        bench.graph.operators.len(),
+        bench.graph.edges.len()
+    );
 
     // Compile three ways.
     let o0 = compile(&bench.graph, &CompileOptions::new(OptLevel::O0)).expect("-O0");
@@ -19,12 +22,24 @@ fn main() {
     let o3 = compile(&bench.graph, &CompileOptions::new(OptLevel::O3)).expect("-O3");
 
     println!("\ncompile time (virtual seconds, Tab. 2 shape):");
-    println!("  {:6} {:>10} {:>10} {:>10} {:>10} {:>10}", "", "hls", "syn", "p&r", "bit", "total");
+    println!(
+        "  {:6} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "", "hls", "syn", "p&r", "bit", "total"
+    );
     for (name, app) in [("-O3", &o3), ("-O1", &o1)] {
-        let t = if name == "-O1" { app.vtime_parallel } else { app.vtime_serial };
+        let t = if name == "-O1" {
+            app.vtime_parallel
+        } else {
+            app.vtime_serial
+        };
         println!(
             "  {:6} {:>10.0} {:>10.0} {:>10.0} {:>10.0} {:>10.0}",
-            name, t.hls, t.syn, t.pnr, t.bit, t.total()
+            name,
+            t.hls,
+            t.syn,
+            t.pnr,
+            t.bit,
+            t.total()
         );
     }
     println!("  {:6} {:>54.1}", "-O0", o0.vtime_parallel.total());
@@ -38,7 +53,11 @@ fn main() {
     let x86 = execute::perf_x86(&bench.graph, &inputs).expect("x86 perf");
     let emu = execute::perf_emu(&o3).expect("emu perf");
     for p in [vitis, o3_perf, o1_perf, o0_perf, x86, emu] {
-        let fmax = if p.fmax_mhz > 0.0 { format!("{:.0} MHz", p.fmax_mhz) } else { "-".into() };
+        let fmax = if p.fmax_mhz > 0.0 {
+            format!("{:.0} MHz", p.fmax_mhz)
+        } else {
+            "-".into()
+        };
         println!(
             "  {:10} {:>9}  {:>14.6} s/input",
             p.mode.to_string(),

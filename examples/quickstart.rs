@@ -47,14 +47,19 @@ fn main() {
 
     let inputs: Vec<(&str, Vec<Value>)> = vec![(
         "Input_1",
-        (0..N as u128).map(|i| Value::Int(DynInt::from_raw(32, false, i))).collect(),
+        (0..N as u128)
+            .map(|i| Value::Int(DynInt::from_raw(32, false, i)))
+            .collect(),
     )];
 
     // Functional golden output (host execution).
     let (golden, _) = dfg::run_graph(&graph, &inputs).expect("graph runs");
     println!("first outputs: {:?}", &golden["Output_1"][..4]);
 
-    println!("\n{:8} {:>14} {:>14}  artifacts", "level", "virtual time", "wall time");
+    println!(
+        "\n{:8} {:>14} {:>14}  artifacts",
+        "level", "virtual time", "wall time"
+    );
     for level in [OptLevel::O0, OptLevel::O1, OptLevel::O3] {
         let app = compile(&graph, &CompileOptions::new(level)).expect("compiles");
         println!(
@@ -62,7 +67,11 @@ fn main() {
             level.to_string(),
             app.compile_seconds(),
             app.wall_seconds,
-            app.artifacts.iter().map(|x| x.name.clone()).collect::<Vec<_>>().join(", "),
+            app.artifacts
+                .iter()
+                .map(|x| x.name.clone())
+                .collect::<Vec<_>>()
+                .join(", "),
         );
     }
 

@@ -1,0 +1,162 @@
+//! Serving multiple apps on one fabric with `pld-runtime`.
+//!
+//! The paper's flow compiles and loads one application at a time; this
+//! example runs the multi-tenant serving layer on top of it. One 22-page
+//! XCU50 fabric hosts several Rosetta benchmarks at once:
+//!
+//! 1. four apps are compiled at `-O0` and admitted through the bounded
+//!    queue (a fifth submission bounces off the bound — backpressure);
+//! 2. requests are served against each resident app;
+//! 3. two more apps arrive; the fabric is out of pages, so the
+//!    least-recently-used tenants are evicted to make room;
+//! 4. one operator of a resident app is "edited" (its pragma re-pinned)
+//!    and hot-swapped: one page reloads, a handful of config packets
+//!    re-send, everything else keeps running — and the measured downtime
+//!    is compared against a full-app reload.
+//!
+//! Run with: `cargo run --release --example serving`
+
+use dfg::Target;
+use fabric::Floorplan;
+use pld::{BuildCache, CompileOptions, OptLevel};
+use pld_runtime::{Runtime, RuntimeEvent};
+use rosetta::{suite, Scale};
+
+fn main() {
+    let opts = CompileOptions::new(OptLevel::O0);
+    let mut cache = BuildCache::new();
+
+    // The six Rosetta benchmarks, compiled for softcore pages (-O0).
+    let benches = suite(Scale::Tiny);
+    println!("compiling {} apps at -O0:", benches.len());
+    let apps: Vec<_> = benches
+        .iter()
+        .map(|b| {
+            let app = cache
+                .compile(&b.graph, &opts)
+                .expect("rosetta compiles at -O0");
+            println!(
+                "  {:<18} {} operators -> {} pages",
+                b.name,
+                b.graph.operators.len(),
+                app.operators.len()
+            );
+            app
+        })
+        .collect();
+
+    // One card, 22 pages, queue bound 4.
+    let mut rt = Runtime::with_queue_bound(Floorplan::u50(), 4);
+    println!(
+        "\nfabric up: {} pages, queue bound {}",
+        Floorplan::u50().pages.len(),
+        4
+    );
+
+    // --- Admission with backpressure -------------------------------------
+    let mut overflow = Vec::new();
+    for (bench, app) in benches.iter().zip(&apps) {
+        if let Err(refused) = rt.submit(bench.name, app.clone()) {
+            println!("queue full: `{}` refused (resubmit later)", bench.name);
+            overflow.push(*refused.app);
+        }
+    }
+    report(&rt.poll());
+
+    // The refused apps get in once the queue drains.
+    for app in overflow {
+        let name = benches
+            .iter()
+            .find(|b| b.graph.name == app.graph.name)
+            .map(|b| b.name)
+            .expect("known bench");
+        if rt.submit(name, app).is_err() {
+            println!("`{name}` refused again");
+        }
+    }
+    report(&rt.poll());
+    println!("\n{}", rt.stats());
+
+    // --- Serve requests ---------------------------------------------------
+    // Run each resident tenant's workload (evicted tenants would need
+    // re-admission first).
+    let mut served = 0;
+    for id in rt.resident_ids() {
+        let name = rt.name_of(id).expect("resident").to_string();
+        let bench = benches
+            .iter()
+            .find(|b| b.name == name)
+            .expect("known bench");
+        let inputs = bench.input_refs();
+        if rt.run(id, &inputs).is_ok() {
+            served += 1;
+        }
+    }
+    println!("served {served} requests across resident tenants");
+
+    // --- Hot swap ----------------------------------------------------------
+    // "Edit" the most recently admitted resident app: re-pin its last
+    // operator to a spare page — the pragma flip of the paper's
+    // incremental-development loop — and hot-swap it in place.
+    let id = *rt.resident_ids().last().expect("something is resident");
+    let name = rt.name_of(id).expect("resident").to_string();
+    let bench = benches
+        .iter()
+        .find(|b| b.name == name)
+        .expect("known bench");
+    let mut edited = bench.graph.clone();
+    let app = cache.compile(&edited, &opts).expect("recompile");
+    let homes: Vec<u32> = app
+        .operators
+        .iter()
+        .filter_map(|o| o.page.map(|p| p.0))
+        .collect();
+    let spare = (0..22u32)
+        .rev()
+        .find(|p| !homes.contains(p))
+        .expect("a spare page");
+    let last = edited.operators.len() - 1;
+    edited.operators[last].target = Target::riscv(spare);
+
+    match rt.hot_swap(id, &edited, &mut cache, &opts) {
+        Ok(report) => {
+            println!(
+                "\nhot swap of `{}`: recompiled {:?}, reloaded {} page(s), {} config packets",
+                bench.name,
+                report.recompiled,
+                report.swapped_pages.len(),
+                report.link_packets
+            );
+            println!(
+                "  downtime {:>9.3} ms   (full reload would be {:>9.3} ms, {:.1}x more)",
+                report.downtime_seconds * 1e3,
+                report.full_reload_seconds * 1e3,
+                report.full_reload_seconds / report.downtime_seconds.max(1e-12)
+            );
+        }
+        Err(e) => println!("hot swap skipped: {e}"),
+    }
+
+    println!("\nfinal statistics:\n{}", rt.stats());
+}
+
+fn report(events: &[RuntimeEvent]) {
+    for e in events {
+        match e {
+            RuntimeEvent::Admitted {
+                name,
+                downtime_seconds,
+                pages,
+                ..
+            } => println!(
+                "admitted `{name}` on {} pages ({:.3} ms downtime)",
+                pages.len(),
+                downtime_seconds * 1e3
+            ),
+            RuntimeEvent::Rejected { name, reason, .. } => {
+                println!("rejected `{name}`: {reason}")
+            }
+            RuntimeEvent::Evicted { name, .. } => println!("evicted `{name}` (LRU)"),
+        }
+    }
+}

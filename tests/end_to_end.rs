@@ -63,7 +63,11 @@ fn o1_separate_compilation_closes_on_pages() {
         let mut pages_seen = std::collections::HashSet::new();
         for op in &app.operators {
             let page = op.page.expect("paged flow assigns pages");
-            assert!(pages_seen.insert(page), "{}: page {page} reused", bench.name);
+            assert!(
+                pages_seen.insert(page),
+                "{}: page {page} reused",
+                bench.name
+            );
             let t = op.timing.as_ref().expect("HW operators close timing");
             assert!(
                 t.fmax_mhz > 100.0 && t.fmax_mhz < 800.0,
@@ -73,9 +77,8 @@ fn o1_separate_compilation_closes_on_pages() {
                 t.fmax_mhz
             );
         }
-        let expected_links = bench.graph.edges.len()
-            + bench.graph.ext_inputs.len()
-            + bench.graph.ext_outputs.len();
+        let expected_links =
+            bench.graph.edges.len() + bench.graph.ext_inputs.len() + bench.graph.ext_outputs.len();
         assert_eq!(app.driver.link_packets(), expected_links, "{}", bench.name);
         // Re-linking is packets, not recompiles: a handful per stream.
         assert!(app.driver.link_packets() < 64);
@@ -91,7 +94,11 @@ fn compile_time_ordering_on_rendering() {
     let o1 = compile(&bench.graph, &CompileOptions::new(OptLevel::O1)).unwrap();
     let o3 = compile(&bench.graph, &CompileOptions::new(OptLevel::O3)).unwrap();
 
-    let (t0, t1, t3) = (o0.compile_seconds(), o1.compile_seconds(), o3.compile_seconds());
+    let (t0, t1, t3) = (
+        o0.compile_seconds(),
+        o1.compile_seconds(),
+        o3.compile_seconds(),
+    );
     assert!(t0 < 10.0, "-O0 compiles in seconds, got {t0}");
     assert!(t0 * 10.0 < t1, "-O1 is minutes-scale: {t0} vs {t1}");
     assert!(t1 < t3, "-O3 is the slowest: {t1} vs {t3}");
@@ -111,8 +118,11 @@ fn incremental_rebuild_touches_one_page() {
         .operators
         .iter()
         .map(|o| {
-            let target =
-                if o.name == "flow_calc" { Target::riscv_auto() } else { o.target };
+            let target = if o.name == "flow_calc" {
+                Target::riscv_auto()
+            } else {
+                o.target
+            };
             b.add(o.name.clone(), o.kernel.clone(), target)
         })
         .collect();
@@ -120,7 +130,13 @@ fn incremental_rebuild_touches_one_page() {
         b.ext_input(p.name.clone(), ids[p.op.0], &p.port);
     }
     for e in &g1.edges {
-        b.connect(e.name.clone(), ids[e.from.0 .0], &e.from.1, ids[e.to.0 .0], &e.to.1);
+        b.connect(
+            e.name.clone(),
+            ids[e.from.0 .0],
+            &e.from.1,
+            ids[e.to.0 .0],
+            &e.to.1,
+        );
     }
     for p in &g1.ext_outputs {
         b.ext_output(p.name.clone(), ids[p.op.0], &p.port);
@@ -135,13 +151,21 @@ fn incremental_rebuild_touches_one_page() {
     assert_eq!(cache.misses, 8, "exactly one operator recompiled");
     assert_eq!(cache.hits, 6);
     // The flipped operator is now a softcore image; others unchanged.
-    let flow = incr.operators.iter().find(|o| o.name == "flow_calc").unwrap();
+    let flow = incr
+        .operators
+        .iter()
+        .find(|o| o.name == "flow_calc")
+        .unwrap();
     assert!(flow.soft.is_some());
     for (a, b) in full.operators.iter().zip(&incr.operators) {
         if a.name != "flow_calc" {
             let ia = a.artifact.unwrap();
             let ib = b.artifact.unwrap();
-            assert_eq!(full.artifacts[ia].hash, incr.artifacts[ib].hash, "{}", a.name);
+            assert_eq!(
+                full.artifacts[ia].hash, incr.artifacts[ib].hash,
+                "{}",
+                a.name
+            );
         }
     }
     // The incremental turn is seconds-scale: the paper's whole point.

@@ -1,0 +1,237 @@
+//! Multi-tenant serving integration: many apps on one fabric, admission
+//! backpressure, LRU eviction with re-admission, and hot-swap downtime
+//! strictly below a full-app reload.
+
+use dfg::{Graph, GraphBuilder, Target};
+use fabric::Floorplan;
+use kir::types::Value;
+use kir::{Expr, KernelBuilder, Scalar, Stmt};
+use pld::{BuildCache, CompileOptions, OptLevel};
+use pld_runtime::{Runtime, RuntimeEvent};
+
+fn stage(name: &str, addend: i64) -> kir::Kernel {
+    KernelBuilder::new(name)
+        .input("in", Scalar::uint(32))
+        .output("out", Scalar::uint(32))
+        .local("x", Scalar::uint(32))
+        .body([Stmt::for_pipelined(
+            "i",
+            0..8,
+            [
+                Stmt::read("x", "in"),
+                Stmt::write("out", Expr::var("x").add(Expr::cint(addend))),
+            ],
+        )])
+        .build()
+        .unwrap()
+}
+
+/// A linear pipeline of `n` operators, each adding `addend`.
+fn pipeline(name: &str, n: usize, addend: i64) -> Graph {
+    let mut b = GraphBuilder::new(name);
+    let mut prev = None;
+    for i in 0..n {
+        let id = b.add(
+            format!("s{i}"),
+            stage(&format!("s{i}"), addend),
+            Target::riscv_auto(),
+        );
+        match prev {
+            None => b.ext_input("Input_1", id, "in"),
+            Some(p) => {
+                b.connect(format!("l{i}"), p, "out", id, "in");
+            }
+        }
+        prev = Some(id);
+    }
+    b.ext_output("Output_1", prev.unwrap(), "out");
+    b.build().unwrap()
+}
+
+fn words(values: std::ops::Range<u32>) -> Vec<Value> {
+    values
+        .map(|v| Value::Int(aplib::DynInt::from_raw(32, false, v as u128)))
+        .collect()
+}
+
+fn to_u32s(values: &[Value]) -> Vec<u32> {
+    values.iter().map(|v| v.raw() as u32).collect()
+}
+
+fn compile_o0(graph: &Graph) -> pld::CompiledApp {
+    pld::compile(graph, &CompileOptions::new(OptLevel::O0)).unwrap()
+}
+
+#[test]
+fn admission_queue_pushes_back_at_its_bound() {
+    let mut rt = Runtime::with_queue_bound(Floorplan::u50(), 2);
+    rt.submit("a", compile_o0(&pipeline("a", 2, 1))).unwrap();
+    rt.submit("b", compile_o0(&pipeline("b", 2, 2))).unwrap();
+    // Third submission before any scheduling pass: refused, app returned.
+    let refused = rt
+        .submit("c", compile_o0(&pipeline("c", 2, 3)))
+        .unwrap_err();
+    assert_eq!(refused.app.graph.name, "c");
+    assert_eq!(rt.stats().rejected, 1);
+    assert_eq!(rt.stats().queue_depth, 2);
+
+    // After draining, the refused app is admissible.
+    let events = rt.poll();
+    assert_eq!(events.len(), 2);
+    let id_c = rt.submit("c", *refused.app).unwrap();
+    let events = rt.poll();
+    assert!(
+        matches!(&events[..], [RuntimeEvent::Admitted { id, .. }] if *id == id_c),
+        "{events:?}"
+    );
+}
+
+#[test]
+fn serving_many_tenants_with_eviction_and_readmission() {
+    let fp = Floorplan::u50(); // 22 pages
+    let mut rt = Runtime::with_queue_bound(fp, 8);
+
+    // Three 7-page tenants: 21 of 22 pages occupied.
+    let mut ids = Vec::new();
+    for (i, name) in ["alpha", "beta", "gamma"].iter().enumerate() {
+        let id = rt
+            .submit(name, compile_o0(&pipeline(name, 7, i as i64 + 1)))
+            .unwrap();
+        ids.push(id);
+    }
+    let events = rt.poll();
+    assert_eq!(
+        events
+            .iter()
+            .filter(|e| matches!(e, RuntimeEvent::Admitted { .. }))
+            .count(),
+        3
+    );
+    let stats = rt.stats();
+    assert_eq!(stats.pages_occupied, 21);
+    assert!((stats.occupancy() - 21.0 / 22.0).abs() < 1e-12);
+    assert!(stats.cumulative_downtime_seconds > 0.0);
+
+    // Serve requests so LRU order is gamma-fresh, alpha-stale.
+    let input = words(0..8);
+    for &id in &ids[1..] {
+        let out = rt.run(id, &[("Input_1", input.clone())]).unwrap();
+        assert_eq!(out["Output_1"].len(), 8);
+    }
+    assert_eq!(rt.stats().requests, 2);
+
+    // A fourth 7-page tenant does not fit in the 1 free page: the
+    // least-recently-used tenant (alpha) is evicted to make room.
+    let id_d = rt
+        .submit("delta", compile_o0(&pipeline("delta", 7, 9)))
+        .unwrap();
+    let events = rt.poll();
+    assert_eq!(events.len(), 2, "{events:?}");
+    assert_eq!(
+        events[0],
+        RuntimeEvent::Evicted {
+            id: ids[0],
+            name: "alpha".into()
+        }
+    );
+    assert!(matches!(&events[1], RuntimeEvent::Admitted { id, .. } if *id == id_d));
+    assert!(!rt.is_resident(ids[0]));
+    assert_eq!(rt.stats().evicted, 1);
+
+    // Serving the evicted tenant fails until it is re-admitted; the
+    // re-admission replays its loads and is charged downtime again.
+    assert!(rt.run(ids[0], &[("Input_1", input.clone())]).is_err());
+    let downtime_before = rt.stats().cumulative_downtime_seconds;
+    let id_a2 = rt
+        .submit("alpha", compile_o0(&pipeline("alpha", 7, 1)))
+        .unwrap();
+    let events = rt.poll();
+    // Re-admitting 7 pages with 1 free evicts again (beta is LRU now).
+    assert!(events
+        .iter()
+        .any(|e| matches!(e, RuntimeEvent::Evicted { id, .. } if *id == ids[1])));
+    assert!(events
+        .iter()
+        .any(|e| matches!(e, RuntimeEvent::Admitted { id, .. } if *id == id_a2)));
+    assert!(rt.stats().cumulative_downtime_seconds > downtime_before);
+
+    // The re-admitted tenant serves correctly.
+    let out = rt.run(id_a2, &[("Input_1", input)]).unwrap();
+    let expected: Vec<u32> = (0..8).map(|v| v + 7).collect(); // 7 stages × +1
+    assert_eq!(to_u32s(&out["Output_1"]), expected);
+}
+
+#[test]
+fn unplaceable_apps_are_rejected_not_queued_forever() {
+    let mut rt = Runtime::with_queue_bound(Floorplan::u50(), 8);
+    // An -O3 monolith has no per-page artifacts: it cannot share a fabric
+    // and is rejected outright instead of evicting tenants forever.
+    let graph = pipeline("monolith", 2, 1);
+    let app = pld::compile(&graph, &CompileOptions::new(OptLevel::O3)).unwrap();
+    let id = rt.submit("monolith", app).unwrap();
+    let events = rt.poll();
+    assert!(
+        matches!(&events[..], [RuntimeEvent::Rejected { id: rid, .. }] if *rid == id),
+        "{events:?}"
+    );
+    assert_eq!(rt.stats().rejected, 1);
+    assert_eq!(rt.stats().pages_occupied, 0);
+}
+
+#[test]
+fn hot_swap_downtime_beats_full_reload() {
+    let mut cache = BuildCache::new();
+    let opts = CompileOptions::new(OptLevel::O0);
+    let graph = pipeline("editme", 4, 2);
+    let app = cache.compile(&graph, &opts).unwrap();
+    let homes: Vec<u32> = app
+        .operators
+        .iter()
+        .filter_map(|o| o.page.map(|p| p.0))
+        .collect();
+
+    let mut rt = Runtime::with_queue_bound(Floorplan::u50(), 4);
+    // A second tenant shares the fabric; its routes must survive the swap.
+    let other = rt
+        .submit("bystander", compile_o0(&pipeline("bystander", 3, 5)))
+        .unwrap();
+    let id = rt.submit("editme", app).unwrap();
+    rt.poll();
+    assert!(rt.is_resident(other) && rt.is_resident(id));
+    let bystander_out_before =
+        rt.run(other, &[("Input_1", words(0..8))]).unwrap()["Output_1"].clone();
+
+    // The edit: re-pin one operator to a page the app does not use —
+    // exactly the pragma flip of the paper's development loop.
+    // Pin the tail stage: earlier stages' assignments don't depend on it,
+    // so exactly one operator is dirtied.
+    let mut edited = graph.clone();
+    let spare = (0..22u32).rev().find(|p| !homes.contains(p)).unwrap();
+    edited.operators[3].target = Target::riscv(spare);
+
+    let report = rt.hot_swap(id, &edited, &mut cache, &opts).unwrap();
+    assert_eq!(report.recompiled, vec!["s3".to_string()]);
+    assert_eq!(report.swapped_pages.len(), 1);
+    assert!(report.artifact_seconds > 0.0);
+    assert!(report.link_packets > 0);
+    assert!(
+        report.downtime_seconds < report.full_reload_seconds,
+        "hot-swap {}s must beat full reload {}s",
+        report.downtime_seconds,
+        report.full_reload_seconds
+    );
+
+    // The swapped app still serves, and so does the bystander.
+    let out = rt.run(id, &[("Input_1", words(0..8))]).unwrap();
+    assert_eq!(to_u32s(&out["Output_1"]), (8..16).collect::<Vec<u32>>()); // 4 stages × +2
+    let bystander_out = rt.run(other, &[("Input_1", words(0..8))]).unwrap()["Output_1"].clone();
+    assert_eq!(bystander_out, bystander_out_before);
+
+    let stats = rt.stats();
+    assert_eq!(stats.swaps, 1);
+    assert_eq!(stats.requests, 3);
+    assert!(stats
+        .latencies
+        .values()
+        .any(|l| l.name == "editme" && l.histogram.count() == 1));
+}

@@ -1,0 +1,7 @@
+//! Offline stand-in for the `crossbeam` channel API this workspace uses:
+//! bounded MPMC channels with cloneable senders *and* receivers, blocking
+//! `send`/`recv`, non-blocking `try_send`/`try_recv` and a draining
+//! iterator. Implemented over `Mutex` + `Condvar`; correctness over raw
+//! throughput, which is fine for the KPN host-execution mode that uses it.
+
+pub mod channel;

@@ -1,0 +1,18 @@
+//! Offline stand-in for the `serde` facade.
+//!
+//! The workspace only uses `#[derive(Serialize, Deserialize)]` as
+//! forward-looking annotations; no code path serializes today. This crate
+//! provides the two marker traits (blanket-implemented, so trait bounds
+//! always hold) and re-exports no-op derive macros, which is the entire
+//! surface the workspace consumes.
+
+pub use serde_stub_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+impl<T: ?Sized> Serialize for T {}
+impl<'de, T> Deserialize<'de> for T {}

@@ -1,0 +1,23 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build environment has no registry access, so the real `serde` cannot
+//! be fetched. Nothing in this workspace actually serializes — the derives
+//! are forward-looking annotations — so the stub accepts the attribute
+//! grammar and expands to nothing. Swapping the real crates back in is a
+//! two-line `Cargo.toml` change.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` (with any `#[serde(...)]` attributes) and
+/// expands to nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` (with any `#[serde(...)]` attributes)
+/// and expands to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
