@@ -1,0 +1,123 @@
+//! Micro-benchmark: execution-engine streaming throughput — the chunked
+//! channel transport of the host KPN engine against its per-token
+//! baseline, cosim stall skip-ahead on/off, and idle-network stepping.
+//!
+//! `cargo bench -p pld-bench --bench streaming`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dfg::{run_graph_threaded_with, Graph, GraphBuilder, Target, ThreadedConfig};
+use kir::types::Value;
+use kir::{Expr, KernelBuilder, Scalar, Stmt};
+use noc::BftNoc;
+use pld::{compile, CompileOptions, CosimConfig, OptLevel};
+use rosetta::Scale;
+
+fn word_values(n: u32) -> Vec<Value> {
+    (0..n)
+        .map(|w| Value::Int(aplib::DynInt::from_raw(32, false, w as u128)))
+        .collect()
+}
+
+/// A deep pipeline of trivial copy stages: per-token interpreter work is
+/// negligible, so throughput is dominated by the channel transport under
+/// measurement.
+fn copy_pipeline(n_stages: usize, tokens: i64) -> Graph {
+    let stage = |name: &str| {
+        KernelBuilder::new(name)
+            .input("in", Scalar::uint(32))
+            .output("out", Scalar::uint(32))
+            .local("x", Scalar::uint(32))
+            .body([Stmt::for_loop(
+                "i",
+                0..tokens,
+                [Stmt::read("x", "in"), Stmt::write("out", Expr::var("x"))],
+            )])
+            .build()
+            .unwrap()
+    };
+    let mut b = GraphBuilder::new("copy_pipe");
+    let ids: Vec<_> = (0..n_stages)
+        .map(|i| b.add(format!("s{i}"), stage(&format!("s{i}")), Target::hw_auto()))
+        .collect();
+    b.ext_input("Input_1", ids[0], "in");
+    for w in ids.windows(2) {
+        b.connect(format!("l{:?}", w[0]), w[0], "out", w[1], "in");
+    }
+    b.ext_output("Output_1", ids[n_stages - 1], "out");
+    b.build().unwrap()
+}
+
+fn bench_host_kpn(c: &mut Criterion) {
+    const TOKENS: i64 = 50_000;
+    let g = copy_pipeline(6, TOKENS);
+    let inputs = vec![("Input_1", word_values(TOKENS as u32))];
+    let mut group = c.benchmark_group("host_kpn_50k_tokens_6_stages");
+    group.sample_size(10);
+    for chunk in [1usize, 64] {
+        group.bench_with_input(BenchmarkId::from_parameter(chunk), &chunk, |b, &chunk| {
+            b.iter(|| {
+                let cfg = ThreadedConfig {
+                    chunk,
+                    ..ThreadedConfig::default()
+                };
+                run_graph_threaded_with(&g, &inputs, cfg).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_cosim_skip_ahead(c: &mut Criterion) {
+    let bench = rosetta::spam::bench(Scale::Tiny);
+    let app = compile(&bench.graph, &CompileOptions::new(OptLevel::O0)).unwrap();
+    let input_words = rosetta::util::unwords(&bench.inputs[0].1);
+    let out_len = rosetta::util::unwords(&bench.run_functional()["Output_1"]).len();
+    let mut group = c.benchmark_group("cosim_spam_tiny");
+    group.sample_size(10);
+    for (name, skip_ahead) in [("skip_ahead", true), ("cycle_by_cycle", false)] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &skip_ahead, |b, &s| {
+            b.iter(|| {
+                pld::cosim_o0_with(
+                    &app,
+                    std::slice::from_ref(&input_words),
+                    &[out_len],
+                    2_000_000_000,
+                    CosimConfig { skip_ahead: s },
+                )
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_noc_idle_stepping(c: &mut Criterion) {
+    // One flit crosses a 1024-leaf tree while everything else idles: the
+    // active-set step must not pay for the 2047 quiet switches.
+    c.bench_function("noc_1024_leaves_one_flit_100k_cycles", |b| {
+        b.iter(|| {
+            let mut net = BftNoc::new(1024, 1, 64);
+            net.set_dest(
+                0,
+                0,
+                noc::PortAddr {
+                    leaf: 1023,
+                    port: 0,
+                },
+            );
+            net.inject(0, 0, 7).unwrap();
+            for _ in 0..100_000 {
+                net.step();
+            }
+            net.cycle()
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_host_kpn,
+    bench_cosim_skip_ahead,
+    bench_noc_idle_stepping
+);
+criterion_main!(benches);

@@ -19,7 +19,6 @@ use std::collections::VecDeque;
 use std::fmt;
 
 use crate::artifact::XclbinKind;
-use crate::execute::OVERLAY_MHZ;
 use crate::flow::{CompiledApp, OptLevel};
 
 /// Result of a completed co-simulation.
@@ -63,24 +62,75 @@ impl fmt::Display for CosimError {
 
 impl std::error::Error for CosimError {}
 
+/// Tuning knobs for the co-simulation loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CosimConfig {
+    /// Skip stepping cores that are provably still blocked on a stream
+    /// (nothing pending on the read port / out FIFO still full), charging
+    /// the skipped stall cycles in one jump when the core unblocks. A
+    /// stalled step has no architectural effect besides `cycles +=
+    /// STALL` — the PC does not advance — so reported cycle counts,
+    /// instruction counts, and outputs are identical with this on or off;
+    /// only the wall-clock cost of simulating stalls changes.
+    pub skip_ahead: bool,
+}
+
+impl Default for CosimConfig {
+    fn default() -> CosimConfig {
+        CosimConfig { skip_ahead: true }
+    }
+}
+
+/// Why a core last stalled, for the skip-ahead wakeup check.
+#[derive(Debug, Clone, Copy)]
+enum Blocked {
+    /// Blocking stream load: wake when a word is pending on this port.
+    Read(u32),
+    /// Backpressured stream store: wake when the leaf's out FIFO has room.
+    Write,
+}
+
+struct CoreState {
+    name: String,
+    leaf: usize,
+    cpu: Cpu,
+    halted: bool,
+    /// `Some` while the core's next step is known to stall again.
+    blocked: Option<Blocked>,
+    /// Stall cycles skipped since the core blocked, to be charged to
+    /// `cpu.cycles` on wakeup.
+    skipped: u64,
+}
+
 /// One cycle's worth of stream I/O for a core, adapted onto its NoC leaf.
+/// Records why an access stalled so the cosim loop can sleep the core.
 struct LeafIo<'n> {
     net: &'n mut BftNoc,
     leaf: usize,
+    stalled: Option<Blocked>,
 }
 
 impl StreamIo for LeafIo<'_> {
     fn read(&mut self, port: u32) -> Option<u32> {
-        self.net.try_recv(self.leaf, port as u8)
+        let word = self.net.try_recv(self.leaf, port as u8);
+        if word.is_none() {
+            self.stalled = Some(Blocked::Read(port));
+        }
+        word
     }
 
     fn write(&mut self, port: u32, word: u32) -> bool {
-        self.net.inject(self.leaf, port as usize, word).is_ok()
+        let ok = self.net.inject(self.leaf, port as usize, word).is_ok();
+        if !ok {
+            self.stalled = Some(Blocked::Write);
+        }
+        ok
     }
 }
 
 /// Runs a compiled `-O0` application cycle-accurately: cores and network
-/// advance in lockstep at the overlay clock.
+/// advance in lockstep at the overlay clock, with the default
+/// [`CosimConfig`] (stall skip-ahead enabled).
 ///
 /// # Errors
 ///
@@ -91,16 +141,44 @@ pub fn cosim_o0(
     expected_output_words: &[usize],
     max_cycles: u64,
 ) -> Result<CosimOutput, CosimError> {
+    cosim_o0_with(
+        app,
+        inputs,
+        expected_output_words,
+        max_cycles,
+        CosimConfig::default(),
+    )
+}
+
+/// [`cosim_o0`] with explicit loop tuning.
+///
+/// # Errors
+///
+/// See [`CosimError`].
+pub fn cosim_o0_with(
+    app: &CompiledApp,
+    inputs: &[Vec<u32>],
+    expected_output_words: &[usize],
+    max_cycles: u64,
+    config: CosimConfig,
+) -> Result<CosimOutput, CosimError> {
     if app.level != OptLevel::O0 {
         return Err(CosimError::WrongLevel);
     }
 
     // Instantiate every page core from its packed image.
-    let mut cores: Vec<(String, usize, Cpu, bool)> = Vec::new();
+    let mut cores: Vec<CoreState> = Vec::new();
     for op in &app.operators {
         let binary = op.soft.as_ref().ok_or(CosimError::WrongLevel)?;
         let leaf = op.page.expect("paged flow").0 as usize;
-        cores.push((op.name.clone(), leaf, binary.instantiate(), false));
+        cores.push(CoreState {
+            name: op.name.clone(),
+            leaf,
+            cpu: binary.instantiate(),
+            halted: false,
+            blocked: None,
+            skipped: 0,
+        });
     }
 
     // The network, linked by the generated driver.
@@ -119,7 +197,7 @@ pub fn cosim_o0(
     let mut cycles = 0u64;
     loop {
         // Completion: every core halted and all expected outputs collected.
-        let all_halted = cores.iter().all(|(_, _, _, halted)| *halted);
+        let all_halted = cores.iter().all(|c| c.halted);
         let drained = outputs
             .iter()
             .zip(expected_output_words)
@@ -141,25 +219,67 @@ pub fn cosim_o0(
             }
         }
 
-        // Each core executes one step against its leaf.
-        for (name, leaf, cpu, halted) in cores.iter_mut() {
-            if *halted {
+        // Each core executes one step against its leaf. A core known to be
+        // blocked is skipped until its wakeup condition holds; the wakeup
+        // check is exactly the condition under which the stalled access
+        // would have succeeded, so the core re-steps on the same cycle it
+        // would have in the unskipped loop.
+        let mut any_stepped = false;
+        for core in cores.iter_mut() {
+            if core.halted {
                 continue;
             }
+            if config.skip_ahead {
+                if let Some(blocked) = core.blocked {
+                    let ready = match blocked {
+                        Blocked::Read(port) => net.pending(core.leaf, port as u8) > 0,
+                        Blocked::Write => net.leaf(core.leaf).can_inject(),
+                    };
+                    if !ready {
+                        core.skipped += 1;
+                        continue;
+                    }
+                    // A stalled step only adds STALL to the cycle counter;
+                    // settle the skipped ones in one jump.
+                    core.cpu.cycles += core.skipped * softcore::firmware::cycles::STALL;
+                    core.skipped = 0;
+                    core.blocked = None;
+                }
+            }
+            any_stepped = true;
             let mut io = LeafIo {
                 net: &mut net,
-                leaf: *leaf,
+                leaf: core.leaf,
+                stalled: None,
             };
-            match cpu.step(&mut io) {
-                StepResult::Ok | StepResult::Stall => {}
-                StepResult::Halt => *halted = true,
+            match core.cpu.step(&mut io) {
+                StepResult::Ok => {}
+                StepResult::Stall => {
+                    if config.skip_ahead {
+                        core.blocked = io.stalled;
+                    }
+                }
+                StepResult::Halt => core.halted = true,
                 StepResult::Trap { pc } => {
                     return Err(CosimError::Trap {
-                        op: name.clone(),
+                        op: core.name.clone(),
                         pc,
                     })
                 }
             }
+        }
+
+        // Dead-state fast-forward: if no core can make progress, nothing is
+        // queued for DMA, and the network carries no flit, then every
+        // remaining cycle is identical to this one — the system can only
+        // burn its budget. Jump straight to that outcome; the reported
+        // cycle count is exactly what the unskipped loop would produce.
+        if config.skip_ahead
+            && !any_stepped
+            && !net.in_flight()
+            && dma_queues.iter().all(VecDeque::is_empty)
+        {
+            return Err(CosimError::CycleBudget { cycles: max_cycles });
         }
 
         net.step();
@@ -173,12 +293,12 @@ pub fn cosim_o0(
         }
     }
 
-    let instructions = cores.iter().map(|(_, _, c, _)| c.instructions).sum();
+    let instructions = cores.iter().map(|c| c.cpu.instructions).sum();
     Ok(CosimOutput {
         outputs,
         cycles,
         instructions,
-        seconds: cycles as f64 / (OVERLAY_MHZ * 1e6),
+        seconds: crate::vtime::overlay_seconds(cycles),
     })
 }
 
@@ -243,6 +363,62 @@ mod tests {
         assert!(result.instructions > 0);
         // The softcore system is slow: thousands of cycles for 24 tokens.
         assert!(result.cycles > N as u64 * 10);
+    }
+
+    #[test]
+    fn skip_ahead_is_cycle_exact() {
+        const N: i64 = 24;
+        let mut b = GraphBuilder::new("sys");
+        let a = b.add("a", stage("a", 3, N), Target::hw_auto());
+        let c = b.add("c", stage("c", 5, N), Target::hw_auto());
+        b.ext_input("Input_1", a, "in");
+        b.connect("l", a, "out", c, "in");
+        b.ext_output("Output_1", c, "out");
+        let g = b.build().unwrap();
+        let app = compile(&g, &CompileOptions::new(OptLevel::O0)).unwrap();
+        let input: Vec<u32> = (10..10 + N as u32).collect();
+        let want = N as usize;
+
+        let skip = CosimConfig { skip_ahead: true };
+        let no_skip = CosimConfig { skip_ahead: false };
+        let fast = cosim_o0_with(
+            &app,
+            std::slice::from_ref(&input),
+            &[want],
+            50_000_000,
+            skip,
+        )
+        .unwrap();
+        let slow = cosim_o0_with(&app, &[input], &[want], 50_000_000, no_skip).unwrap();
+        assert_eq!(fast.outputs, slow.outputs);
+        assert_eq!(fast.cycles, slow.cycles);
+        assert_eq!(fast.instructions, slow.instructions);
+        assert_eq!(fast.seconds, slow.seconds);
+    }
+
+    #[test]
+    fn dead_state_fast_forward_reports_the_same_budget_error() {
+        let mut b = GraphBuilder::new("sys");
+        let a = b.add("a", stage("a", 1, 8), Target::hw_auto());
+        b.ext_input("Input_1", a, "in");
+        b.ext_output("Output_1", a, "out");
+        let g = b.build().unwrap();
+        let app = compile(&g, &CompileOptions::new(OptLevel::O0)).unwrap();
+        // Starved system: the skip-ahead loop detects the dead state and
+        // jumps straight to the budget, but must report the identical
+        // error the cycle-by-cycle loop reaches the slow way.
+        let skip = CosimConfig { skip_ahead: true };
+        let no_skip = CosimConfig { skip_ahead: false };
+        let budget = 5_000_000u64;
+        let fast = cosim_o0_with(&app, &[vec![1, 2]], &[8], budget, skip).unwrap_err();
+        let slow = cosim_o0_with(&app, &[vec![1, 2]], &[8], budget, no_skip).unwrap_err();
+        match (fast, slow) {
+            (CosimError::CycleBudget { cycles: f }, CosimError::CycleBudget { cycles: s }) => {
+                assert_eq!(f, s);
+                assert_eq!(f, budget);
+            }
+            other => panic!("unexpected errors: {other:?}"),
+        }
     }
 
     #[test]

@@ -409,7 +409,7 @@ pub fn perf_o1(app: &CompiledApp, inputs: &[(&str, Vec<Value>)]) -> Result<PerfR
     Ok(PerfReport {
         mode: RunMode::O1,
         fmax_mhz: OVERLAY_MHZ,
-        seconds_per_input: cycles as f64 / (OVERLAY_MHZ * 1e6),
+        seconds_per_input: crate::vtime::overlay_seconds(cycles),
         cycles,
     })
 }
@@ -428,7 +428,7 @@ pub fn perf_o0(app: &CompiledApp, inputs: &[(&str, Vec<Value>)]) -> Result<PerfR
     Ok(PerfReport {
         mode: RunMode::O0,
         fmax_mhz: OVERLAY_MHZ,
-        seconds_per_input: cycles as f64 / (OVERLAY_MHZ * 1e6),
+        seconds_per_input: crate::vtime::overlay_seconds(cycles),
         cycles,
     })
 }

@@ -62,7 +62,7 @@ pub mod report;
 pub mod vtime;
 
 pub use artifact::{Driver, LinkOp, LoadOp, Xclbin, XclbinKind};
-pub use cosim::{cosim_o0, CosimError, CosimOutput};
+pub use cosim::{cosim_o0, cosim_o0_with, CosimConfig, CosimError, CosimOutput};
 pub use execute::{PerfReport, RunMode};
 pub use flow::{
     bft_distance, compile, CompileError, CompileOptions, CompiledApp, CompiledOperator, LinkStyle,

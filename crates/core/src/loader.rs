@@ -12,7 +12,6 @@ use fabric::PageId;
 use noc::BftNoc;
 
 use crate::artifact::{LoadOp, XclbinKind};
-use crate::execute::OVERLAY_MHZ;
 use crate::flow::CompiledApp;
 
 /// Timing breakdown of one application bring-up.
@@ -38,13 +37,13 @@ impl LoadReport {
         self.overlay_seconds
             + self.bitstream_seconds
             + self.softcore_seconds
-            + self.link_cycles as f64 / (OVERLAY_MHZ * 1e6)
+            + crate::vtime::overlay_seconds(self.link_cycles)
     }
 
     /// The downtime for reloading just the given artifacts (an incremental
     /// edit): time to reload those pages plus a full re-link.
     pub fn incremental_seconds(&self, artifact_seconds: f64) -> f64 {
-        artifact_seconds + self.link_cycles as f64 / (OVERLAY_MHZ * 1e6)
+        artifact_seconds + crate::vtime::overlay_seconds(self.link_cycles)
     }
 }
 

@@ -12,6 +12,13 @@
 
 use serde::{Deserialize, Serialize};
 
+/// Seconds of card time for `cycles` overlay cycles at the overlay clock
+/// ([`crate::execute::OVERLAY_MHZ`]) — the one conversion every execution
+/// engine (`-O0` cosim, `-O1` fluid actors, loader link accounting) shares.
+pub fn overlay_seconds(cycles: u64) -> f64 {
+    cycles as f64 / (crate::execute::OVERLAY_MHZ * 1e6)
+}
+
 /// Per-phase compile times, in seconds (the columns of Tab. 2).
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 pub struct PhaseTimes {

@@ -28,4 +28,4 @@ pub use exec::{run_graph, run_graph_trace, GraphRunError, GraphRunStats, GraphTr
 pub use graph::{EdgeId, ExtPort, Graph, GraphBuilder, GraphError, OpId, OperatorInst, StreamEdge};
 pub use ir::{extract, DfgIr, IrLink, IrOperator, ParseIrError};
 pub use target::{PragmaError, Target};
-pub use threaded::run_graph_threaded;
+pub use threaded::{run_graph_threaded, run_graph_threaded_with, ThreadedConfig};

@@ -7,11 +7,20 @@
 //! or slower... this doesn't change the functional behavior". The
 //! integration tests assert exactly that: threaded outputs are bit-identical
 //! to the sequential batch execution.
+//!
+//! Token transport is chunked: each operator buffers reads and writes in
+//! chunks of [`WRITE_CHUNK`] tokens ([`ThreadedConfig::chunk`]) so a channel
+//! lock round-trip is paid per chunk rather than per token. Writes are
+//! buffered in a single program-order log that is flushed whenever it
+//! reaches the chunk size, before any blocking read, and when the operator
+//! completes — so every token still becomes visible no later than the first
+//! point where the per-token engine could have blocked on it, and the
+//! chunked engine deadlocks only where the per-token engine would too.
 
-use kir::interp::{InterpError, KernelIo, Resolved};
+use kir::interp::{InterpError, IoError, KernelIo, Resolved};
 use kir::types::Value;
 use listream::{StreamReader, StreamWriter};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::thread;
 
 use crate::exec::GraphRunError;
@@ -20,31 +29,108 @@ use crate::graph::Graph;
 /// FIFO depth of every link in the threaded runtime (tokens).
 pub const CHANNEL_DEPTH: usize = 256;
 
+/// Tokens moved per channel round-trip by default; `1` reproduces the
+/// per-token transport exactly.
+pub const WRITE_CHUNK: usize = 64;
+
+/// Tuning knobs for the threaded runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThreadedConfig {
+    /// FIFO depth of every link (tokens).
+    pub channel_depth: usize,
+    /// Tokens buffered per read/write chunk. `1` degenerates to per-token
+    /// transport; larger chunks amortize channel locking.
+    pub chunk: usize,
+    /// Dynamic-operation budget per operator.
+    pub op_budget: u64,
+}
+
+impl Default for ThreadedConfig {
+    fn default() -> ThreadedConfig {
+        ThreadedConfig {
+            channel_depth: CHANNEL_DEPTH,
+            chunk: WRITE_CHUNK,
+            op_budget: kir::interp::DEFAULT_OP_BUDGET,
+        }
+    }
+}
+
 struct ChannelIo {
     readers: Vec<Option<StreamReader<Value>>>,
     writers: Vec<Option<StreamWriter<Value>>>,
-    in_names: Vec<String>,
+    /// Read-side chunk buffers, one per input port.
+    rbufs: Vec<VecDeque<Value>>,
+    /// Pending writes in program order. Keeping one log (rather than one
+    /// buffer per port) preserves the per-token blocking order on flush,
+    /// which is what makes chunking deadlock-equivalent to per-token.
+    wlog: Vec<(usize, Value)>,
+    scratch: Vec<Value>,
+    chunk: usize,
+}
+
+impl ChannelIo {
+    /// Delivers every logged write to its channel, in program order,
+    /// batching runs of consecutive writes to the same port.
+    fn flush(&mut self) -> Result<(), IoError> {
+        let mut i = 0;
+        while i < self.wlog.len() {
+            let port = self.wlog[i].0;
+            let mut j = i + 1;
+            while j < self.wlog.len() && self.wlog[j].0 == port {
+                j += 1;
+            }
+            self.scratch.extend(self.wlog[i..j].iter().map(|(_, v)| *v));
+            match &self.writers[port] {
+                Some(tx) => {
+                    if tx.write_batch(&mut self.scratch).is_err() {
+                        // Downstream hung up: nothing further we produce can
+                        // be delivered, so surface shutdown to the kernel.
+                        self.scratch.clear();
+                        self.wlog.clear();
+                        return Err(IoError::Closed);
+                    }
+                }
+                // Unconnected output: tokens are dropped.
+                None => self.scratch.clear(),
+            }
+            i = j;
+        }
+        self.wlog.clear();
+        Ok(())
+    }
 }
 
 impl KernelIo for ChannelIo {
-    fn read(&mut self, port: usize) -> Result<Value, InterpError> {
-        match &self.readers[port] {
-            Some(rx) => rx.read().map_err(|_| InterpError::StreamUnderflow {
-                port: self.in_names[port].clone(),
-            }),
-            None => Err(InterpError::StreamUnderflow {
-                port: self.in_names[port].clone(),
-            }),
+    fn read(&mut self, port: usize) -> Result<Value, IoError> {
+        if let Some(v) = self.rbufs[port].pop_front() {
+            return Ok(v);
+        }
+        // About to block: make everything produced so far visible first —
+        // a downstream operator may need it to generate the very tokens
+        // this read is waiting for.
+        self.flush()?;
+        let Some(rx) = &self.readers[port] else {
+            return Err(IoError::Underflow);
+        };
+        debug_assert!(self.scratch.is_empty());
+        match rx.read_batch(&mut self.scratch, self.chunk) {
+            Ok(_) => {
+                let mut drained = self.scratch.drain(..);
+                let first = drained.next().expect("read_batch yields >= 1 token");
+                self.rbufs[port].extend(drained);
+                Ok(first)
+            }
+            Err(_) => Err(IoError::Underflow),
         }
     }
 
-    fn write(&mut self, port: usize, value: Value) -> Result<(), InterpError> {
-        if let Some(tx) = &self.writers[port] {
-            // A vanished consumer means the downstream operator failed; the
-            // error that matters is reported by that thread.
-            let _ = tx.write(value);
+    fn write(&mut self, port: usize, value: Value) -> Result<(), IoError> {
+        self.wlog.push((port, value));
+        if self.wlog.len() >= self.chunk {
+            self.flush()
+        } else {
+            Ok(())
         }
-        Ok(())
     }
 }
 
@@ -53,7 +139,8 @@ impl KernelIo for ChannelIo {
 ///
 /// Functionally identical to [`crate::run_graph`] by the Kahn property, but
 /// actually concurrent: pipeline stages overlap on host cores the way they
-/// overlap on pages.
+/// overlap on pages. Uses the default [`ThreadedConfig`] (chunked
+/// transport); see [`run_graph_threaded_with`] to tune.
 ///
 /// # Errors
 ///
@@ -62,6 +149,20 @@ impl KernelIo for ChannelIo {
 pub fn run_graph_threaded(
     graph: &Graph,
     inputs: &[(&str, Vec<Value>)],
+) -> Result<HashMap<String, Vec<Value>>, GraphRunError> {
+    run_graph_threaded_with(graph, inputs, ThreadedConfig::default())
+}
+
+/// [`run_graph_threaded`] with explicit transport tuning.
+///
+/// # Errors
+///
+/// Returns [`GraphRunError`] if inputs are missing/unknown or any operator
+/// thread hits a runtime error.
+pub fn run_graph_threaded_with(
+    graph: &Graph,
+    inputs: &[(&str, Vec<Value>)],
+    config: ThreadedConfig,
 ) -> Result<HashMap<String, Vec<Value>>, GraphRunError> {
     for (name, _) in inputs {
         if !graph.ext_inputs.iter().any(|p| p.name == *name) {
@@ -73,6 +174,8 @@ pub fn run_graph_threaded(
             return Err(GraphRunError::MissingInput(p.name.clone()));
         }
     }
+    let depth = config.channel_depth.max(1);
+    let chunk = config.chunk.max(1);
 
     // Channel endpoints per (operator, port index).
     let mut op_readers: Vec<Vec<Option<StreamReader<Value>>>> = graph
@@ -104,7 +207,7 @@ pub fn run_graph_threaded(
     };
 
     for e in &graph.edges {
-        let (tx, rx) = listream::channel(CHANNEL_DEPTH);
+        let (tx, rx) = listream::channel(depth);
         op_writers[e.from.0 .0][out_port_index(e.from.0, &e.from.1)] = Some(tx);
         op_readers[e.to.0 .0][in_port_index(e.to.0, &e.to.1)] = Some(rx);
     }
@@ -112,28 +215,28 @@ pub fn run_graph_threaded(
     // External inputs: feeder threads; external outputs: collector threads.
     let mut feeders = Vec::new();
     for p in &graph.ext_inputs {
-        let (tx, rx) = listream::channel(CHANNEL_DEPTH);
+        let (tx, rx) = listream::channel(depth);
         op_readers[p.op.0][in_port_index(p.op, &p.port)] = Some(rx);
-        let stream: Vec<Value> = inputs
+        let mut stream: Vec<Value> = inputs
             .iter()
             .find(|(n, _)| *n == p.name)
             .map(|(_, v)| v.clone())
             .expect("checked above");
         feeders.push(thread::spawn(move || {
-            for v in stream {
-                if tx.write(v).is_err() {
-                    return; // consumer failed; its thread reports the error
-                }
-            }
+            // One batched hand-off; if the consumer failed, its thread
+            // reports the error.
+            let _ = tx.write_batch(&mut stream);
         }));
     }
     let mut collectors = Vec::new();
     for p in &graph.ext_outputs {
-        let (tx, rx) = listream::channel(CHANNEL_DEPTH);
+        let (tx, rx) = listream::channel(depth);
         op_writers[p.op.0][out_port_index(p.op, &p.port)] = Some(tx);
         let name = p.name.clone();
         collectors.push(thread::spawn(move || {
-            (name, rx.iter().collect::<Vec<Value>>())
+            let mut stream = Vec::new();
+            while rx.read_batch(&mut stream, usize::MAX).is_ok() {}
+            (name, stream)
         }));
     }
 
@@ -141,16 +244,31 @@ pub fn run_graph_threaded(
     let mut workers = Vec::new();
     for (i, inst) in graph.operators.iter().enumerate() {
         let resolved = Resolved::new(&inst.kernel);
+        let n_inputs = inst.kernel.inputs.len();
         let mut io = ChannelIo {
             readers: std::mem::take(&mut op_readers[i]),
             writers: std::mem::take(&mut op_writers[i]),
-            in_names: inst.kernel.inputs.iter().map(|p| p.name.clone()).collect(),
+            rbufs: (0..n_inputs).map(|_| VecDeque::new()).collect(),
+            wlog: Vec::with_capacity(chunk),
+            scratch: Vec::with_capacity(chunk),
+            chunk,
         };
         let name = inst.name.clone();
+        let budget = config.op_budget;
         workers.push(thread::spawn(move || {
-            resolved
-                .run_with_io(&mut io, kir::interp::DEFAULT_OP_BUDGET)
-                .map_err(|error| GraphRunError::Operator { op: name, error })
+            match resolved.run_with_io(&mut io, budget) {
+                // Deliver tokens still buffered before the channels close. A
+                // hangup here means a downstream operator already failed;
+                // that thread reports the error.
+                Ok(_) => {
+                    let _ = io.flush();
+                    Ok(())
+                }
+                // Downstream hung up mid-run: this operator shut down
+                // promptly, and the failure is reported where it happened.
+                Err(InterpError::DownstreamClosed { .. }) => Ok(()),
+                Err(error) => Err(GraphRunError::Operator { op: name, error }),
+            }
             // `io` drops here, closing the operator's output channels.
         }));
     }
@@ -242,6 +360,20 @@ mod tests {
     }
 
     #[test]
+    fn chunk_of_one_reproduces_per_token_transport() {
+        let g = pipeline(4, 300);
+        let inputs = vec![("Input_1", word_values(300))];
+        let (batch, _) = crate::exec::run_graph(&g, &inputs).unwrap();
+        let cfg = ThreadedConfig {
+            channel_depth: 3,
+            chunk: 1,
+            ..ThreadedConfig::default()
+        };
+        let threaded = run_graph_threaded_with(&g, &inputs, cfg).unwrap();
+        assert_eq!(batch, threaded);
+    }
+
+    #[test]
     fn operator_failure_is_reported() {
         let g = pipeline(2, 100);
         // Too little input: the first stage underflows.
@@ -254,5 +386,72 @@ mod tests {
         let g = pipeline(2, 4);
         let err = run_graph_threaded(&g, &[]).unwrap_err();
         assert_eq!(err, GraphRunError::MissingInput("Input_1".into()));
+    }
+
+    #[test]
+    fn producer_shuts_down_promptly_when_downstream_fails() {
+        // a: copies TOKENS values; b: indexes a 2-element array with each
+        // incoming value, so the first token (value 5) is out of bounds and
+        // kills b almost immediately. a is given an op budget that only
+        // covers a few thousand tokens: if the write error were swallowed
+        // (the old behavior), a would keep producing into the void for all
+        // TOKENS iterations and blow its budget, mis-reporting the failure
+        // as a's. With shutdown propagation, a parks on the full channel,
+        // observes the hangup, and exits cleanly — so the one reported
+        // error is b's out-of-bounds access.
+        const TOKENS: i64 = 2_000_000;
+        let a = KernelBuilder::new("a")
+            .input("in", Scalar::uint(32))
+            .output("out", Scalar::uint(32))
+            .local("x", Scalar::uint(32))
+            .body([Stmt::for_loop(
+                "i",
+                0..TOKENS,
+                [Stmt::read("x", "in"), Stmt::write("out", Expr::var("x"))],
+            )])
+            .build()
+            .unwrap();
+        let b = KernelBuilder::new("b")
+            .input("in", Scalar::uint(32))
+            .output("out", Scalar::uint(32))
+            .local("x", Scalar::uint(32))
+            .array("lut", Scalar::uint(32), 2)
+            .body([Stmt::for_loop(
+                "i",
+                0..TOKENS,
+                [
+                    Stmt::read("x", "in"),
+                    Stmt::write("out", Expr::index("lut", Expr::var("x"))),
+                ],
+            )])
+            .build()
+            .unwrap();
+        let mut gb = GraphBuilder::new("g");
+        let ida = gb.add("a", a, Target::hw_auto());
+        let idb = gb.add("b", b, Target::hw_auto());
+        gb.ext_input("Input_1", ida, "in");
+        gb.connect("l", ida, "out", idb, "in");
+        gb.ext_output("Output_1", idb, "out");
+        let g = gb.build().unwrap();
+
+        let inputs: Vec<Value> = (0..TOKENS)
+            .map(|_| Value::Int(aplib::DynInt::from_raw(32, false, 5)))
+            .collect();
+        let cfg = ThreadedConfig {
+            channel_depth: 8,
+            chunk: 4,
+            op_budget: 50_000,
+        };
+        let err = run_graph_threaded_with(&g, &[("Input_1", inputs)], cfg).unwrap_err();
+        match err {
+            GraphRunError::Operator { op, error } => {
+                assert_eq!(op, "b");
+                assert!(
+                    matches!(error, InterpError::IndexOutOfBounds { .. }),
+                    "{error:?}"
+                );
+            }
+            other => panic!("unexpected error: {other:?}"),
+        }
     }
 }

@@ -27,6 +27,20 @@ use crate::wire;
 /// workload frame, small enough to catch accidentally quadratic kernels.
 pub const DEFAULT_OP_BUDGET: u64 = 2_000_000_000;
 
+/// Transport-level stream failure, independent of port names.
+///
+/// [`KernelIo`] implementations return this cheap, `Copy` code from the
+/// per-token hot path; the interpreter attaches the port *name* (a `String`
+/// clone) lazily, only when the error actually surfaces as an
+/// [`InterpError`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoError {
+    /// No token is available and none can ever arrive.
+    Underflow,
+    /// The peer side of the stream is gone (consumer hung up).
+    Closed,
+}
+
 /// Runtime failure of a kernel execution.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum InterpError {
@@ -34,6 +48,12 @@ pub enum InterpError {
     /// execution this is a deadlock: the producer can never supply more.
     #[allow(missing_docs)]
     StreamUnderflow { port: String },
+    /// A `Write` executed after every consumer of the port hung up. In the
+    /// threaded runtime this means a downstream operator exited (usually
+    /// because it failed); the producer should stop promptly rather than
+    /// keep computing tokens no one can receive.
+    #[allow(missing_docs)]
+    DownstreamClosed { port: String },
     /// An array access evaluated to an out-of-bounds index.
     #[allow(missing_docs)]
     IndexOutOfBounds {
@@ -54,6 +74,9 @@ impl fmt::Display for InterpError {
         match self {
             InterpError::StreamUnderflow { port } => {
                 write!(f, "read from `{port}` with no token available")
+            }
+            InterpError::DownstreamClosed { port } => {
+                write!(f, "write to `{port}` failed: every consumer hung up")
             }
             InterpError::IndexOutOfBounds { array, index, len } => {
                 write!(
@@ -400,7 +423,6 @@ impl Resolved {
 
         let mut io = BatchIo {
             in_queues,
-            in_names: &self.inputs,
             out_queues: vec![Vec::new(); self.outputs.len()],
         };
         let stats = self.run_with_io(&mut io, budget)?;
@@ -430,6 +452,8 @@ impl Resolved {
             vars: self.var_init.clone(),
             arrays: self.array_init.clone(),
             array_meta: &self.array_meta,
+            inputs: &self.inputs,
+            outputs: &self.outputs,
             io,
             stats: InterpStats::default(),
             budget,
@@ -440,43 +464,40 @@ impl Resolved {
 }
 
 /// Stream transport for one kernel execution: ports are addressed by their
-/// declaration index.
+/// declaration index. Errors are the name-free [`IoError`] codes — the
+/// interpreter maps them to named [`InterpError`] variants only when they
+/// actually terminate execution, keeping `String` work off the token path.
 pub trait KernelIo {
     /// Delivers the next token on input port `port`, blocking if the
     /// transport supports it.
     ///
     /// # Errors
     ///
-    /// Returns [`InterpError::StreamUnderflow`] when no token can ever
-    /// arrive (batch queue empty, or all producers finished).
-    fn read(&mut self, port: usize) -> Result<Value, InterpError>;
+    /// Returns [`IoError::Underflow`] when no token can ever arrive (batch
+    /// queue empty, or all producers finished).
+    fn read(&mut self, port: usize) -> Result<Value, IoError>;
 
     /// Accepts a token on output port `port`, blocking while the transport
     /// applies backpressure.
     ///
     /// # Errors
     ///
-    /// Implementations may fail when the consumer side has gone away.
-    fn write(&mut self, port: usize, value: Value) -> Result<(), InterpError>;
+    /// Returns [`IoError::Closed`] when the consumer side has gone away.
+    fn write(&mut self, port: usize, value: Value) -> Result<(), IoError>;
 }
 
 /// The batch transport: inputs fully staged up front, outputs collected.
-struct BatchIo<'r> {
+struct BatchIo {
     in_queues: Vec<std::collections::VecDeque<Value>>,
-    in_names: &'r [(String, Scalar)],
     out_queues: Vec<Vec<Value>>,
 }
 
-impl KernelIo for BatchIo<'_> {
-    fn read(&mut self, port: usize) -> Result<Value, InterpError> {
-        self.in_queues[port]
-            .pop_front()
-            .ok_or_else(|| InterpError::StreamUnderflow {
-                port: self.in_names[port].0.clone(),
-            })
+impl KernelIo for BatchIo {
+    fn read(&mut self, port: usize) -> Result<Value, IoError> {
+        self.in_queues[port].pop_front().ok_or(IoError::Underflow)
     }
 
-    fn write(&mut self, port: usize, value: Value) -> Result<(), InterpError> {
+    fn write(&mut self, port: usize, value: Value) -> Result<(), IoError> {
         self.out_queues[port].push(value);
         Ok(())
     }
@@ -486,6 +507,8 @@ struct ExecState<'r> {
     vars: Vec<Value>,
     arrays: Vec<Vec<Value>>,
     array_meta: &'r [(String, Scalar, u64)],
+    inputs: &'r [(String, Scalar)],
+    outputs: &'r [(String, Scalar)],
     io: &'r mut dyn KernelIo,
     stats: InterpStats,
     budget: u64,
@@ -501,6 +524,26 @@ impl ExecState<'_> {
             })
         } else {
             Ok(())
+        }
+    }
+
+    /// Cold path: name the port only once an I/O error ends the run.
+    #[cold]
+    fn read_failed(&self, err: IoError, port: usize) -> InterpError {
+        let port = self.inputs[port].0.clone();
+        match err {
+            // A closed peer on the *input* side means the producer is gone
+            // with no token left — the same underflow condition.
+            IoError::Underflow | IoError::Closed => InterpError::StreamUnderflow { port },
+        }
+    }
+
+    /// Cold path: name the port only once an I/O error ends the run.
+    #[cold]
+    fn write_failed(&self, err: IoError, port: usize) -> InterpError {
+        let port = self.outputs[port].0.clone();
+        match err {
+            IoError::Underflow | IoError::Closed => InterpError::DownstreamClosed { port },
         }
     }
 }
@@ -588,7 +631,10 @@ fn exec_block(body: &[RStmt], st: &mut ExecState<'_>) -> Result<(), InterpError>
             }
             RStmt::Read { slot, ty, port } => {
                 st.charge(1)?;
-                let v = st.io.read(*port)?;
+                let v = match st.io.read(*port) {
+                    Ok(v) => v,
+                    Err(e) => return Err(st.read_failed(e, *port)),
+                };
                 st.stats.reads += 1;
                 st.vars[*slot] = v.coerce(*ty);
             }
@@ -596,7 +642,9 @@ fn exec_block(body: &[RStmt], st: &mut ExecState<'_>) -> Result<(), InterpError>
                 let v = eval(value, st)?;
                 st.charge(1)?;
                 st.stats.writes += 1;
-                st.io.write(*port, v.coerce(*elem))?;
+                if let Err(e) = st.io.write(*port, v.coerce(*elem)) {
+                    return Err(st.write_failed(e, *port));
+                }
             }
             RStmt::For {
                 slot,

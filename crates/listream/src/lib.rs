@@ -13,14 +13,18 @@
 //! * [`SimFifo`] — a cycle-stepped FIFO used inside the hardware simulators
 //!   (actor network, NoC leaf interfaces), with occupancy and stall
 //!   statistics.
-//! * [`channel`] — a threaded Kahn-process-network link built on
-//!   `crossbeam`'s bounded channels, used by the host (`x86`) execution mode
-//!   where every operator runs as an OS thread.
+//! * [`channel`] — a threaded Kahn-process-network link built on a bounded
+//!   ring buffer, used by the host (`x86`) execution mode where every
+//!   operator runs as an OS thread. Alongside the per-token operations it
+//!   offers chunked transport ([`StreamWriter::write_batch`] /
+//!   [`StreamReader::read_batch`]) that moves many tokens per lock
+//!   acquisition.
 //!
 //! Both preserve the two invariants every latency-insensitive design relies
 //! on: tokens arrive in order, and no token is ever dropped or duplicated.
 
 mod fifo;
+mod ring;
 mod threaded;
 
 pub use fifo::{FifoStats, SimFifo};

@@ -1,0 +1,216 @@
+//! Bounded ring shared between the two endpoints of a threaded stream link.
+//!
+//! One mutex-protected `VecDeque` plus a pair of condvars implements both
+//! the per-token and the chunked transport: a batch moves as many tokens as
+//! fit under a single lock acquisition, which is where the host KPN engine
+//! gets its throughput — one lock round-trip and one wakeup per chunk
+//! instead of per token. The per-token operations are the degenerate
+//! chunk-of-one case, so both paths share the same ordering and
+//! close-detection logic.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+use crate::{ReadError, WriteError};
+
+/// Shared state of one stream link. Endpoints hold this behind an `Arc` and
+/// register themselves in the `writers`/`readers` counts so that hangup on
+/// either side is observable from the other.
+pub(crate) struct Ring<T> {
+    state: Mutex<State<T>>,
+    /// Signalled when tokens are pushed or the last writer leaves.
+    not_empty: Condvar,
+    /// Signalled when tokens are popped or the last reader leaves.
+    not_full: Condvar,
+}
+
+struct State<T> {
+    queue: VecDeque<T>,
+    capacity: usize,
+    writers: usize,
+    readers: usize,
+}
+
+impl<T> Ring<T> {
+    pub(crate) fn new(capacity: usize) -> Ring<T> {
+        Ring {
+            state: Mutex::new(State {
+                queue: VecDeque::with_capacity(capacity.min(4096)),
+                capacity,
+                writers: 1,
+                readers: 1,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        }
+    }
+
+    pub(crate) fn add_writer(&self) {
+        self.state.lock().unwrap().writers += 1;
+    }
+
+    pub(crate) fn remove_writer(&self) {
+        let mut st = self.state.lock().unwrap();
+        st.writers -= 1;
+        if st.writers == 0 {
+            drop(st);
+            // Readers blocked on an empty queue must observe end-of-stream.
+            self.not_empty.notify_all();
+        }
+    }
+
+    pub(crate) fn add_reader(&self) {
+        self.state.lock().unwrap().readers += 1;
+    }
+
+    pub(crate) fn remove_reader(&self) {
+        let mut st = self.state.lock().unwrap();
+        st.readers -= 1;
+        if st.readers == 0 {
+            drop(st);
+            // Writers blocked on a full queue must observe the hangup.
+            self.not_full.notify_all();
+        }
+    }
+
+    pub(crate) fn write(&self, token: T) -> Result<(), WriteError> {
+        let mut st = self.state.lock().unwrap();
+        loop {
+            if st.readers == 0 {
+                return Err(WriteError);
+            }
+            if st.queue.len() < st.capacity {
+                st.queue.push_back(token);
+                drop(st);
+                self.not_empty.notify_one();
+                return Ok(());
+            }
+            st = self.not_full.wait(st).unwrap();
+        }
+    }
+
+    pub(crate) fn try_write(&self, token: T) -> Result<(), T> {
+        let mut st = self.state.lock().unwrap();
+        if st.readers == 0 || st.queue.len() >= st.capacity {
+            return Err(token);
+        }
+        st.queue.push_back(token);
+        drop(st);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Moves every token out of `buf` into the ring, blocking for space as
+    /// needed. Each wakeup transfers the whole prefix that fits.
+    pub(crate) fn write_batch(&self, buf: &mut Vec<T>) -> Result<(), WriteError> {
+        let mut pending = buf.drain(..);
+        let mut st = self.state.lock().unwrap();
+        loop {
+            if st.readers == 0 {
+                // The remaining tokens can never be delivered; `pending`
+                // drops them on the way out.
+                return Err(WriteError);
+            }
+            let space = st.capacity - st.queue.len();
+            if space > 0 {
+                let mut moved = 0;
+                while moved < space {
+                    match pending.next() {
+                        Some(token) => {
+                            st.queue.push_back(token);
+                            moved += 1;
+                        }
+                        None => break,
+                    }
+                }
+                if moved > 0 {
+                    self.not_empty.notify_all();
+                }
+                if pending.len() == 0 {
+                    return Ok(());
+                }
+            }
+            st = self.not_full.wait(st).unwrap();
+        }
+    }
+
+    /// Moves the prefix of `buf` that fits right now; never blocks.
+    pub(crate) fn try_write_batch(&self, buf: &mut Vec<T>) -> Result<usize, WriteError> {
+        let mut st = self.state.lock().unwrap();
+        if st.readers == 0 {
+            return Err(WriteError);
+        }
+        let space = st.capacity - st.queue.len();
+        let n = space.min(buf.len());
+        if n > 0 {
+            st.queue.extend(buf.drain(..n));
+            drop(st);
+            self.not_empty.notify_all();
+        }
+        Ok(n)
+    }
+
+    pub(crate) fn read(&self) -> Result<T, ReadError> {
+        let mut st = self.state.lock().unwrap();
+        loop {
+            if let Some(token) = st.queue.pop_front() {
+                drop(st);
+                self.not_full.notify_one();
+                return Ok(token);
+            }
+            if st.writers == 0 {
+                return Err(ReadError);
+            }
+            st = self.not_empty.wait(st).unwrap();
+        }
+    }
+
+    pub(crate) fn try_read(&self) -> Option<T> {
+        let mut st = self.state.lock().unwrap();
+        let token = st.queue.pop_front()?;
+        drop(st);
+        self.not_full.notify_one();
+        Some(token)
+    }
+
+    /// Appends up to `max` queued tokens to `out`, blocking until at least
+    /// one is available or the stream closes. Returns how many were moved.
+    pub(crate) fn read_batch(&self, out: &mut Vec<T>, max: usize) -> Result<usize, ReadError> {
+        if max == 0 {
+            return Ok(0);
+        }
+        let mut st = self.state.lock().unwrap();
+        loop {
+            if !st.queue.is_empty() {
+                let n = st.queue.len().min(max);
+                out.extend(st.queue.drain(..n));
+                drop(st);
+                self.not_full.notify_all();
+                return Ok(n);
+            }
+            if st.writers == 0 {
+                return Err(ReadError);
+            }
+            st = self.not_empty.wait(st).unwrap();
+        }
+    }
+
+    /// Non-blocking variant of [`Ring::read_batch`]: returns `Ok(0)` when the
+    /// queue is merely empty, `Err` only once the stream is closed *and*
+    /// drained.
+    pub(crate) fn try_read_batch(&self, out: &mut Vec<T>, max: usize) -> Result<usize, ReadError> {
+        let mut st = self.state.lock().unwrap();
+        if st.queue.is_empty() {
+            return if st.writers == 0 {
+                Err(ReadError)
+            } else {
+                Ok(0)
+            };
+        }
+        let n = st.queue.len().min(max);
+        out.extend(st.queue.drain(..n));
+        drop(st);
+        self.not_full.notify_all();
+        Ok(n)
+    }
+}

@@ -4,9 +4,17 @@
 //! where each dataflow operator runs as an OS thread and the latency-
 //! insensitive links become bounded channels: reads block on empty
 //! (data presence) and writes block on full (backpressure).
+//!
+//! Both endpoints expose a per-token API and a chunked API
+//! ([`StreamWriter::write_batch`] / [`StreamReader::read_batch`]) over the
+//! same bounded ring. Batching changes only how many tokens move per lock
+//! acquisition, never their order, so by the Kahn property the observable
+//! token streams are identical whichever API a peer uses.
 
-use crossbeam::channel::{Receiver, RecvError, SendError, Sender};
 use std::fmt;
+use std::sync::Arc;
+
+use crate::ring::Ring;
 
 /// Error returned by [`StreamReader::read`] when the stream is closed and
 /// drained: every producer has finished and no tokens remain.
@@ -35,15 +43,55 @@ impl fmt::Display for WriteError {
 impl std::error::Error for WriteError {}
 
 /// Producer endpoint of a latency-insensitive stream link.
-#[derive(Debug, Clone)]
 pub struct StreamWriter<T> {
-    tx: Sender<T>,
+    ring: Arc<Ring<T>>,
 }
 
 /// Consumer endpoint of a latency-insensitive stream link.
-#[derive(Debug, Clone)]
 pub struct StreamReader<T> {
-    rx: Receiver<T>,
+    ring: Arc<Ring<T>>,
+}
+
+impl<T> fmt::Debug for StreamWriter<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("StreamWriter").finish_non_exhaustive()
+    }
+}
+
+impl<T> fmt::Debug for StreamReader<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("StreamReader").finish_non_exhaustive()
+    }
+}
+
+impl<T> Clone for StreamWriter<T> {
+    fn clone(&self) -> StreamWriter<T> {
+        self.ring.add_writer();
+        StreamWriter {
+            ring: Arc::clone(&self.ring),
+        }
+    }
+}
+
+impl<T> Clone for StreamReader<T> {
+    fn clone(&self) -> StreamReader<T> {
+        self.ring.add_reader();
+        StreamReader {
+            ring: Arc::clone(&self.ring),
+        }
+    }
+}
+
+impl<T> Drop for StreamWriter<T> {
+    fn drop(&mut self) {
+        self.ring.remove_writer();
+    }
+}
+
+impl<T> Drop for StreamReader<T> {
+    fn drop(&mut self) {
+        self.ring.remove_reader();
+    }
 }
 
 /// Creates a latency-insensitive stream link of the given FIFO depth.
@@ -67,8 +115,13 @@ pub struct StreamReader<T> {
 /// ```
 pub fn channel<T>(capacity: usize) -> (StreamWriter<T>, StreamReader<T>) {
     assert!(capacity > 0, "stream FIFO capacity must be at least 1");
-    let (tx, rx) = crossbeam::channel::bounded(capacity);
-    (StreamWriter { tx }, StreamReader { rx })
+    let ring = Arc::new(Ring::new(capacity));
+    (
+        StreamWriter {
+            ring: Arc::clone(&ring),
+        },
+        StreamReader { ring },
+    )
 }
 
 impl<T> StreamWriter<T> {
@@ -78,13 +131,37 @@ impl<T> StreamWriter<T> {
     ///
     /// Returns [`WriteError`] if every reader has been dropped.
     pub fn write(&self, token: T) -> Result<(), WriteError> {
-        self.tx.send(token).map_err(|SendError(_)| WriteError)
+        self.ring.write(token)
     }
 
     /// Attempts a non-blocking write. Returns the token back on failure,
     /// mirroring a hardware `full` rejection.
     pub fn try_write(&self, token: T) -> Result<(), T> {
-        self.tx.try_send(token).map_err(|e| e.into_inner())
+        self.ring.try_write(token)
+    }
+
+    /// Writes every token in `buf`, in order, blocking for FIFO space as
+    /// needed; each wakeup moves the whole prefix that fits under one lock
+    /// acquisition. On success `buf` is left empty and ready for reuse.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WriteError`] if every reader has been dropped; any tokens
+    /// not yet transferred are discarded, since no consumer can ever
+    /// receive them.
+    pub fn write_batch(&self, buf: &mut Vec<T>) -> Result<(), WriteError> {
+        self.ring.write_batch(buf)
+    }
+
+    /// Moves the prefix of `buf` that fits in the FIFO right now, without
+    /// blocking, and returns how many tokens were transferred.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WriteError`] if every reader has been dropped (`buf` is
+    /// left untouched in that case).
+    pub fn try_write_batch(&self, buf: &mut Vec<T>) -> Result<usize, WriteError> {
+        self.ring.try_write_batch(buf)
     }
 }
 
@@ -96,17 +173,39 @@ impl<T> StreamReader<T> {
     /// Returns [`ReadError`] once all writers are dropped and the FIFO is
     /// drained — the stream's end-of-computation condition.
     pub fn read(&self) -> Result<T, ReadError> {
-        self.rx.recv().map_err(|RecvError| ReadError)
+        self.ring.read()
     }
 
     /// Attempts a non-blocking read.
     pub fn try_read(&self) -> Option<T> {
-        self.rx.try_recv().ok()
+        self.ring.try_read()
+    }
+
+    /// Appends up to `max` tokens to `out`, blocking until at least one is
+    /// available, and returns how many arrived. A single lock acquisition
+    /// drains everything currently queued (capped at `max`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReadError`] once all writers are dropped and the FIFO is
+    /// drained.
+    pub fn read_batch(&self, out: &mut Vec<T>, max: usize) -> Result<usize, ReadError> {
+        self.ring.read_batch(out, max)
+    }
+
+    /// Non-blocking variant of [`StreamReader::read_batch`]: returns
+    /// `Ok(0)` when the FIFO is merely empty.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReadError`] only once the stream is closed *and* drained.
+    pub fn try_read_batch(&self, out: &mut Vec<T>, max: usize) -> Result<usize, ReadError> {
+        self.ring.try_read_batch(out, max)
     }
 
     /// Returns an iterator that drains the stream until it closes.
     pub fn iter(&self) -> impl Iterator<Item = T> + '_ {
-        self.rx.iter()
+        std::iter::from_fn(move || self.ring.read().ok())
     }
 }
 
@@ -181,5 +280,79 @@ mod tests {
         drop(tx0);
         stage1.join().unwrap();
         assert_eq!(sum.join().unwrap(), (0..1000u64).map(|i| i * 2).sum());
+    }
+
+    #[test]
+    fn write_batch_roundtrips_through_narrow_fifo() {
+        // Batch far larger than the FIFO: the writer must hand it over in
+        // capacity-sized slices while the reader drains concurrently.
+        let (tx, rx) = channel::<u32>(4);
+        let producer = thread::spawn(move || {
+            let mut buf: Vec<u32> = (0..1000).collect();
+            tx.write_batch(&mut buf).unwrap();
+            assert!(buf.is_empty());
+        });
+        let mut got = Vec::new();
+        while rx.read_batch(&mut got, usize::MAX).is_ok() {}
+        producer.join().unwrap();
+        assert_eq!(got, (0..1000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn batched_writer_interleaves_with_per_token_reader() {
+        let (tx, rx) = channel::<u32>(8);
+        let producer = thread::spawn(move || {
+            for chunk in 0..10u32 {
+                let mut buf: Vec<u32> = (chunk * 7..(chunk + 1) * 7).collect();
+                tx.write_batch(&mut buf).unwrap();
+            }
+        });
+        let got: Vec<u32> = rx.iter().collect();
+        producer.join().unwrap();
+        assert_eq!(got, (0..70).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn try_write_batch_moves_only_what_fits() {
+        let (tx, rx) = channel::<u32>(3);
+        let mut buf = vec![1, 2, 3, 4, 5];
+        assert_eq!(tx.try_write_batch(&mut buf), Ok(3));
+        assert_eq!(buf, vec![4, 5]);
+        assert_eq!(tx.try_write_batch(&mut buf), Ok(0));
+        let mut got = Vec::new();
+        assert_eq!(rx.try_read_batch(&mut got, 2), Ok(2));
+        assert_eq!(got, vec![1, 2]);
+    }
+
+    #[test]
+    fn read_batch_blocks_until_data_arrives() {
+        let (tx, rx) = channel::<u32>(2);
+        let reader = thread::spawn(move || {
+            let mut out = Vec::new();
+            rx.read_batch(&mut out, 16).unwrap();
+            out
+        });
+        thread::sleep(Duration::from_millis(10));
+        tx.write(7).unwrap();
+        let got = reader.join().unwrap();
+        assert_eq!(got, vec![7]);
+    }
+
+    #[test]
+    fn batch_apis_report_hangup() {
+        let (tx, rx) = channel::<u32>(2);
+        drop(rx);
+        let mut buf = vec![1, 2];
+        assert_eq!(tx.try_write_batch(&mut buf), Err(WriteError));
+        assert_eq!(buf, vec![1, 2]);
+        assert_eq!(tx.write_batch(&mut buf), Err(WriteError));
+
+        let (tx, rx) = channel::<u32>(2);
+        tx.write(5).unwrap();
+        drop(tx);
+        let mut out = Vec::new();
+        assert_eq!(rx.read_batch(&mut out, 16), Ok(1));
+        assert_eq!(rx.read_batch(&mut out, 16), Err(ReadError));
+        assert_eq!(rx.try_read_batch(&mut out, 16), Err(ReadError));
     }
 }

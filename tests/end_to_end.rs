@@ -234,3 +234,34 @@ fn full_system_cosimulation_of_spam_filter() {
     // for a workload hardware finishes in microseconds.
     assert!(result.seconds > 1e-5, "cosim took {}s", result.seconds);
 }
+
+/// The stall skip-ahead in the cosimulator is purely a host-time
+/// optimization: with it disabled, the same benchmark must produce
+/// bit-identical outputs *and* the identical simulated cycle count.
+#[test]
+fn cosim_skip_ahead_is_cycle_accurate_on_spam_filter() {
+    let bench = rosetta::spam::bench(Scale::Tiny);
+    let app = compile(&bench.graph, &CompileOptions::new(OptLevel::O0)).unwrap();
+    let input_words = rosetta::util::unwords(&bench.inputs[0].1);
+    let golden = {
+        let out = bench.run_functional();
+        rosetta::util::unwords(&out["Output_1"])
+    };
+
+    let run = |skip_ahead: bool| {
+        pld::cosim_o0_with(
+            &app,
+            std::slice::from_ref(&input_words),
+            &[golden.len()],
+            2_000_000_000,
+            pld::CosimConfig { skip_ahead },
+        )
+        .expect("system completes")
+    };
+    let fast = run(true);
+    let slow = run(false);
+    assert_eq!(fast.outputs[0], golden);
+    assert_eq!(fast.outputs, slow.outputs);
+    assert_eq!(fast.cycles, slow.cycles, "skip-ahead changed virtual time");
+    assert_eq!(fast.instructions, slow.instructions);
+}

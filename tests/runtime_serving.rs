@@ -235,3 +235,25 @@ fn hot_swap_downtime_beats_full_reload() {
         .values()
         .any(|l| l.name == "editme" && l.histogram.count() == 1));
 }
+
+#[test]
+fn threaded_engine_serves_identical_results_and_records_latency() {
+    let mut rt = Runtime::new(Floorplan::u50());
+    let id = rt
+        .submit("kpn", compile_o0(&pipeline("kpn", 4, 3)))
+        .unwrap();
+    rt.poll();
+
+    let input = words(0..8);
+    let seq = rt.run(id, &[("Input_1", input.clone())]).unwrap();
+    let par = rt.run_threaded(id, &[("Input_1", input)]).unwrap();
+    assert_eq!(seq, par); // Kahn: engine choice never changes tokens.
+    assert_eq!(to_u32s(&par["Output_1"]), (12..20).collect::<Vec<u32>>());
+
+    let stats = rt.stats();
+    assert_eq!(stats.requests, 2);
+    assert!(stats
+        .latencies
+        .values()
+        .any(|l| l.name == "kpn" && l.histogram.count() == 2));
+}
