@@ -26,11 +26,14 @@ fn stage(name: &str, addend: i64) -> kir::Kernel {
         .expect("kernel is well-formed")
 }
 
-fn pipeline(n: usize, edited: Option<usize>) -> Graph {
+fn pipeline(n: usize, edit: Option<(usize, i64)>) -> Graph {
     let mut b = GraphBuilder::new("pipe");
     let ids: Vec<_> = (0..n)
         .map(|i| {
-            let addend = if Some(i) == edited { 999 } else { i as i64 };
+            let addend = match edit {
+                Some((op, a)) if op == i => a,
+                _ => i as i64,
+            };
             b.add(
                 format!("op{i}"),
                 stage(&format!("op{i}"), addend),
@@ -60,21 +63,37 @@ fn bench_rebuild(c: &mut Criterion) {
             })
         });
         group.bench_with_input(BenchmarkId::new("edit_one", n), &n, |b, &n| {
-            let g1 = pipeline(n, None);
-            let g2 = pipeline(n, Some(n / 2));
             let mut cache = BuildCache::new();
             cache
-                .compile(&g1, &CompileOptions::new(OptLevel::O1))
+                .compile(&pipeline(n, None), &CompileOptions::new(OptLevel::O1))
+                .expect("warm");
+            // The store is content-addressed and keeps every version, so a
+            // repeated edit would be a full hit: give every iteration a
+            // never-seen addend so exactly one operator recompiles.
+            let mut addend = 1_000i64;
+            b.iter(|| {
+                addend += 1;
+                cache
+                    .compile(
+                        &pipeline(n, Some((n / 2, addend))),
+                        &CompileOptions::new(OptLevel::O1),
+                    )
+                    .expect("incr")
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("noop_rebuild", n), &n, |b, &n| {
+            let g = pipeline(n, None);
+            let mut cache = BuildCache::new();
+            cache
+                .compile(&g, &CompileOptions::new(OptLevel::O1))
                 .expect("warm");
             b.iter(|| {
-                // Alternate between the two versions: each build recompiles
-                // exactly the one operator that differs.
-                cache
-                    .compile(&g2, &CompileOptions::new(OptLevel::O1))
-                    .expect("incr");
-                cache
-                    .compile(&g1, &CompileOptions::new(OptLevel::O1))
-                    .expect("incr")
+                // Pure stage-key probing: zero executions, every stage hit.
+                let app = cache
+                    .compile(&g, &CompileOptions::new(OptLevel::O1))
+                    .expect("noop");
+                assert_eq!(cache.last_report().unwrap().total_executions(), 0);
+                app
             })
         });
     }

@@ -1,10 +1,12 @@
-//! Machine-readable streaming KPIs: `BENCH_streaming.json`.
+//! Machine-readable KPIs: `BENCH_streaming.json` and `BENCH_build.json`.
 //!
 //! Measures the three execution-engine throughput numbers this repo
 //! tracks release-over-release — host KPN tokens/sec (chunked transport
 //! vs its per-token baseline), `-O0` cosim simulated cycles per host
-//! second, and linking-network delivered flits per cycle — and writes
-//! them as JSON next to the working directory.
+//! second, and linking-network delivered flits per cycle — plus the
+//! staged-build-graph numbers (cache hit rate, critical-path virtual
+//! seconds, rebuild wall time) and writes them as JSON next to the
+//! working directory.
 //!
 //! `cargo run --release -p pld-bench --bin bench_json`
 //!
@@ -17,7 +19,7 @@ use dfg::{run_graph_threaded_with, Graph, GraphBuilder, Target, ThreadedConfig};
 use kir::types::Value;
 use kir::{Expr, KernelBuilder, Scalar, Stmt};
 use noc::{BftNoc, PortAddr};
-use pld::{compile, CompileOptions, CosimConfig, OptLevel};
+use pld::{compile, BuildCache, CompileOptions, CosimConfig, OptLevel};
 use rosetta::Scale;
 
 const KPN_TOKENS: i64 = 100_000;
@@ -70,6 +72,85 @@ fn kpn_tokens_per_sec(g: &Graph, inputs: &[(&str, Vec<Value>)], chunk: usize) ->
         best = best.max(KPN_TOKENS as f64 / secs);
     }
     best
+}
+
+fn edit_pipeline(n: usize, edit: Option<(usize, i64)>) -> Graph {
+    let stage = |name: &str, addend: i64| {
+        KernelBuilder::new(name)
+            .input("in", Scalar::uint(32))
+            .output("out", Scalar::uint(32))
+            .local("x", Scalar::uint(32))
+            .body([Stmt::for_pipelined(
+                "i",
+                0..64,
+                [
+                    Stmt::read("x", "in"),
+                    Stmt::write("out", Expr::var("x").add(Expr::cint(addend))),
+                ],
+            )])
+            .build()
+            .unwrap()
+    };
+    let mut b = GraphBuilder::new("edit_pipe");
+    let ids: Vec<_> = (0..n)
+        .map(|i| {
+            let addend = match edit {
+                Some((op, a)) if op == i => a,
+                _ => i as i64,
+            };
+            b.add(
+                format!("op{i}"),
+                stage(&format!("op{i}"), addend),
+                Target::hw(i as u32),
+            )
+        })
+        .collect();
+    b.ext_input("Input_1", ids[0], "in");
+    for w in ids.windows(2) {
+        b.connect(format!("l{:?}", w[0]), w[0], "out", w[1], "in");
+    }
+    b.ext_output("Output_1", ids[n - 1], "out");
+    b.build().unwrap()
+}
+
+/// Staged build graph KPIs: cold build, edit-one rebuild, no-op rebuild on
+/// an `-O1` pipeline — wall seconds, stage cache hit rate, and the
+/// critical-path virtual seconds the report derives from stored work.
+fn build_kpis() -> String {
+    const N: usize = 8;
+    let opts = CompileOptions::new(OptLevel::O1);
+    let mut cache = BuildCache::new();
+
+    let t0 = Instant::now();
+    cache.compile(&edit_pipeline(N, None), &opts).expect("cold");
+    let cold_wall = t0.elapsed().as_secs_f64();
+    let cold_vtime = cache.last_report().unwrap().fresh_vtime_serial.total();
+
+    let t0 = Instant::now();
+    cache
+        .compile(&edit_pipeline(N, Some((N / 2, 999))), &opts)
+        .expect("edit");
+    let edit_wall = t0.elapsed().as_secs_f64();
+    let edit_report = cache.last_report().unwrap();
+    let edit_hit_rate = edit_report.hit_rate();
+    let edit_critical = edit_report.critical_path_seconds;
+
+    let t0 = Instant::now();
+    cache
+        .compile(&edit_pipeline(N, Some((N / 2, 999))), &opts)
+        .expect("noop");
+    let noop_wall = t0.elapsed().as_secs_f64();
+    let noop_report = cache.last_report().unwrap();
+    assert_eq!(
+        noop_report.total_executions(),
+        0,
+        "a no-op rebuild must execute nothing"
+    );
+    let noop_hit_rate = noop_report.hit_rate();
+
+    format!(
+        "{{\n  \"build\": {{\n    \"operators\": {N},\n    \"cold_wall_seconds\": {cold_wall:.4},\n    \"cold_vtime_seconds\": {cold_vtime:.1},\n    \"edit_one_wall_seconds\": {edit_wall:.4},\n    \"edit_one_hit_rate\": {edit_hit_rate:.3},\n    \"edit_one_critical_path_seconds\": {edit_critical:.1},\n    \"noop_wall_seconds\": {noop_wall:.4},\n    \"noop_hit_rate\": {noop_hit_rate:.3},\n    \"noop_stage_executions\": 0\n  }}\n}}\n"
+    )
 }
 
 fn main() {
@@ -132,6 +213,12 @@ fn main() {
     );
     std::fs::write("BENCH_streaming.json", &json).expect("write BENCH_streaming.json");
     print!("{json}");
+
+    // 4. Staged build graph: cold vs incremental vs no-op rebuild.
+    let build_json = build_kpis();
+    std::fs::write("BENCH_build.json", &build_json).expect("write BENCH_build.json");
+    print!("{build_json}");
+
     assert!(
         speedup >= 3.0,
         "chunked transport speedup regressed below 3x: {speedup:.2}"

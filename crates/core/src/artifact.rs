@@ -40,6 +40,15 @@ pub struct Xclbin {
 }
 
 impl Xclbin {
+    /// The page this artifact programs, if any (overlay and monolithic
+    /// kernel artifacts are not page-scoped).
+    pub fn page(&self) -> Option<PageId> {
+        match &self.kind {
+            XclbinKind::Page { page, .. } | XclbinKind::Softcore { page, .. } => Some(*page),
+            XclbinKind::Overlay | XclbinKind::Kernel { .. } => None,
+        }
+    }
+
     /// Bytes the loader must move for this artifact.
     pub fn payload_bytes(&self) -> u64 {
         match &self.kind {

@@ -1,0 +1,607 @@
+//! The staged build graph: one driver materializes every compile.
+//!
+//! A compile is a DAG of typed stages per operator —
+//! [`HlsLower`](StageKind::HlsLower) → [`PlaceRoute`](StageKind::PlaceRoute)
+//! → [`BitstreamPack`](StageKind::BitstreamPack) for hardware pages,
+//! [`SoftcoreCc`](StageKind::SoftcoreCc) →
+//! [`BitstreamPack`](StageKind::BitstreamPack) for softcore pages — joined
+//! by one app-wide [`LinkDriver`](StageKind::LinkDriver) stage. Every stage
+//! is addressed by a content hash over *all* of its inputs, so the store
+//! answers "is this exact work already done?" per phase, not per operator:
+//! a seed-only edit re-runs P&R against the cached HLS netlist, and a
+//! virtual-time recalibration recompiles nothing at all, because seconds are
+//! derived from stored work measures at materialization time rather than
+//! baked into the products.
+//!
+//! Key composition (all hashes FNV-1a over the listed inputs):
+//!
+//! | stage | key inputs |
+//! |---|---|
+//! | `HlsLower` | kernel source |
+//! | `PlaceRoute` | kernel source, page rect, device, per-operator seed |
+//! | `BitstreamPack` | upstream stage key, page id, operator name, resolved target |
+//! | `SoftcoreCc` | kernel source |
+//! | `LinkDriver` | dataflow IR, page map, every artifact hash |
+//!
+//! Stages whose keys miss become farm jobs, submitted longest-first (LPT
+//! list scheduling) so the slowest page compile starts immediately — the
+//! paper's Sec. 6.2 observation that parallel compile time "is determined by
+//! the longest individual one" made concrete. [`crate::compile`] (with an
+//! ephemeral store), [`crate::BuildCache`] (a persistent store), and
+//! `pld-runtime`'s hot swap are all thin drivers over [`build`].
+
+use std::collections::BTreeMap;
+
+use dfg::{extract, Graph, Target};
+use fabric::PageId;
+use pnr::{place_and_route, PnrOptions};
+
+use crate::artifact::{Xclbin, XclbinKind};
+use crate::farm;
+use crate::flow::{
+    assign_pages_with, build_driver, compile_monolithic, fnv, source_hash,
+    wrap_with_leaf_interface, CompileError, CompileOptions, CompiledApp, CompiledOperator,
+    OptLevel,
+};
+use crate::store::{
+    ArtifactStore, HlsProduct, PnrProduct, SoftProduct, StageKey, StageKind, StageProduct,
+};
+use crate::vtime::PhaseTimes;
+
+/// Per-stage hit/execution counters for one build.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageCount {
+    /// Stage results served from the store.
+    pub hits: u64,
+    /// Stage executions actually performed.
+    pub executions: u64,
+}
+
+/// Stage accounting for one operator of one build.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OperatorStages {
+    /// Operator instance name.
+    pub name: String,
+    /// Stages served from the store.
+    pub hits: u64,
+    /// Stages executed.
+    pub executions: u64,
+}
+
+/// What one [`build`] did: which stages ran, which were cache hits, and what
+/// the build would have cost from scratch.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BuildReport {
+    /// Hit/execution counters per stage kind.
+    pub stages: BTreeMap<StageKind, StageCount>,
+    /// Per-operator stage accounting, in graph operator order.
+    pub operators: Vec<OperatorStages>,
+    /// Virtual seconds of the longest executed per-operator stage chain —
+    /// the build's critical path on an unbounded farm.
+    pub critical_path_seconds: f64,
+    /// What a from-scratch compile of the same graph would cost, serially.
+    /// Derived from stored work measures, so it is bit-identical to the
+    /// `vtime_serial` a fresh [`crate::compile`] reports.
+    pub fresh_vtime_serial: PhaseTimes,
+    /// From-scratch cost on an unbounded farm (slowest operator).
+    pub fresh_vtime_parallel: PhaseTimes,
+}
+
+impl BuildReport {
+    /// Stage results served from the store, across all stage kinds.
+    pub fn total_hits(&self) -> u64 {
+        self.stages.values().map(|c| c.hits).sum()
+    }
+
+    /// Stage executions performed, across all stage kinds.
+    pub fn total_executions(&self) -> u64 {
+        self.stages.values().map(|c| c.executions).sum()
+    }
+
+    /// Hits for one stage kind.
+    pub fn hits(&self, kind: StageKind) -> u64 {
+        self.stages.get(&kind).map_or(0, |c| c.hits)
+    }
+
+    /// Executions for one stage kind.
+    pub fn executions(&self, kind: StageKind) -> u64 {
+        self.stages.get(&kind).map_or(0, |c| c.executions)
+    }
+
+    /// Fraction of stage lookups served from the store (0 when the build
+    /// looked nothing up).
+    pub fn hit_rate(&self) -> f64 {
+        let hits = self.total_hits();
+        let total = hits + self.total_executions();
+        if total == 0 {
+            0.0
+        } else {
+            hits as f64 / total as f64
+        }
+    }
+
+    pub(crate) fn record(&mut self, kind: StageKind, hit: bool) {
+        let c = self.stages.entry(kind).or_default();
+        if hit {
+            c.hits += 1;
+        } else {
+            c.executions += 1;
+        }
+    }
+}
+
+fn stage_key(kind: StageKind, parts: &[u64]) -> StageKey {
+    let mut bytes = Vec::with_capacity(parts.len() * 8);
+    for p in parts {
+        bytes.extend_from_slice(&p.to_le_bytes());
+    }
+    StageKey {
+        kind,
+        hash: fnv(&bytes),
+    }
+}
+
+/// Key of the [`StageKind::HlsLower`] stage for a kernel.
+pub(crate) fn hls_key(kernel_hash: u64) -> StageKey {
+    stage_key(StageKind::HlsLower, &[kernel_hash])
+}
+
+/// Content hash of a kernel's source (the HLS/softcore stage input).
+pub(crate) fn kernel_hash(kernel: &kir::Kernel) -> u64 {
+    fnv(format!("{kernel:?}").as_bytes())
+}
+
+/// Which stages one operator needs, and which are already in the store.
+struct OpPlan {
+    target: Target,
+    page: PageId,
+    src_hash: u64,
+    /// `HlsLower` for hardware, `SoftcoreCc` for softcore targets.
+    front: StageKey,
+    front_hit: bool,
+    /// `PlaceRoute` (hardware targets only).
+    pnr: Option<StageKey>,
+    pnr_hit: bool,
+    pack: StageKey,
+    pack_hit: bool,
+    /// LPT cost estimate for the farm job (missing work, roughly weighted).
+    cost: f64,
+    /// Index into the farm job list, if any stage needs to run.
+    job: Option<usize>,
+}
+
+impl OpPlan {
+    fn hits(&self) -> u64 {
+        [
+            self.front_hit,
+            self.pnr.is_some() && self.pnr_hit,
+            self.pack_hit,
+        ]
+        .iter()
+        .filter(|&&h| h)
+        .count() as u64
+    }
+
+    fn executions(&self) -> u64 {
+        let stages = if self.pnr.is_some() { 3 } else { 2 };
+        stages - self.hits()
+    }
+}
+
+type JobResult = Result<Vec<(StageKey, StageProduct)>, CompileError>;
+
+/// Compiles a graph by materializing its stage DAG against `store`.
+///
+/// Stages whose keys are present in the store are reused (a *hit*); missing
+/// stages are executed on the build farm, longest-first, and their products
+/// filed back. With an empty store this is exactly a fresh [`crate::compile`]
+/// — same artifacts, same hashes, same virtual times. The returned
+/// [`BuildReport`] says what ran and what the critical path cost.
+///
+/// The compiled app's `vtime` fields charge only the stages that executed
+/// (reused work costs nothing this build); the report's `fresh_vtime_*`
+/// fields carry the from-scratch cost for comparison.
+///
+/// # Errors
+///
+/// See [`CompileError`].
+pub fn build(
+    graph: &Graph,
+    options: &CompileOptions,
+    store: &mut ArtifactStore,
+) -> Result<(CompiledApp, BuildReport), CompileError> {
+    let t0 = std::time::Instant::now();
+    let ir = extract(graph);
+    match options.level {
+        OptLevel::O3 => {
+            let mut report = BuildReport::default();
+            let app = compile_monolithic(graph, ir, options, t0, store, &mut report)?;
+            Ok((app, report))
+        }
+        OptLevel::O0 | OptLevel::O1 => build_paged(graph, ir, options, t0, store),
+    }
+}
+
+fn build_paged(
+    graph: &Graph,
+    ir: dfg::DfgIr,
+    options: &CompileOptions,
+    t0: std::time::Instant,
+    store: &mut ArtifactStore,
+) -> Result<(CompiledApp, BuildReport), CompileError> {
+    let force_riscv = options.level == OptLevel::O0;
+    let pages = assign_pages_with(graph, &options.floorplan, force_riscv, options.page_assign)?;
+    let device_hash = fnv(format!("{:?}", options.floorplan.device).as_bytes());
+
+    // Plan: probe every operator's stage chain against the store.
+    let mut plans = Vec::with_capacity(graph.operators.len());
+    let mut jobs: Vec<(f64, Box<dyn FnOnce() -> JobResult + Send>)> = Vec::new();
+    for (op, (target, page)) in graph.operators.iter().zip(&pages) {
+        let kernel_debug = format!("{:?}", op.kernel);
+        let khash = fnv(kernel_debug.as_bytes());
+        let src_hash = source_hash(&op.kernel, *target);
+        let mut plan = match target {
+            Target::Hw { .. } => {
+                let rect = options.floorplan.pages[page.0 as usize].rect;
+                let seed = options.seed ^ fnv(op.name.as_bytes());
+                let front = hls_key(khash);
+                let pnr = stage_key(
+                    StageKind::PlaceRoute,
+                    &[
+                        khash,
+                        rect.x0 as u64,
+                        rect.y0 as u64,
+                        rect.w as u64,
+                        rect.h as u64,
+                        device_hash,
+                        seed,
+                    ],
+                );
+                let pack = stage_key(
+                    StageKind::BitstreamPack,
+                    &[pnr.hash, page.0 as u64, fnv(op.name.as_bytes()), src_hash],
+                );
+                OpPlan {
+                    target: *target,
+                    page: *page,
+                    src_hash,
+                    front,
+                    front_hit: store.get_hls(front.hash).is_some(),
+                    pnr: Some(pnr),
+                    pnr_hit: store.get_pnr(pnr.hash).is_some(),
+                    pack,
+                    pack_hit: store.get_pack(pack.hash).is_some(),
+                    cost: 0.0,
+                    job: None,
+                }
+            }
+            Target::Riscv { .. } => {
+                let front = stage_key(StageKind::SoftcoreCc, &[khash]);
+                let pack = stage_key(
+                    StageKind::BitstreamPack,
+                    &[front.hash, page.0 as u64, fnv(op.name.as_bytes())],
+                );
+                OpPlan {
+                    target: *target,
+                    page: *page,
+                    src_hash,
+                    front,
+                    front_hit: store.get_soft(front.hash).is_some(),
+                    pnr: None,
+                    pnr_hit: false,
+                    pack,
+                    pack_hit: store.get_pack(pack.hash).is_some(),
+                    cost: 0.0,
+                    job: None,
+                }
+            }
+        };
+        if plan.executions() > 0 {
+            // LPT cost: rank missing stages by expected weight (P&R
+            // dominates, then HLS, then packing), kernel size breaks ties.
+            plan.cost = (!plan.front_hit) as u64 as f64
+                * if plan.pnr.is_some() { 1e5 } else { 1e4 }
+                + plan
+                    .pnr
+                    .map_or(0.0, |_| (!plan.pnr_hit) as u64 as f64 * 1e6)
+                + (!plan.pack_hit) as u64 as f64 * 1e3
+                + kernel_debug.len() as f64;
+            plan.job = Some(jobs.len());
+            jobs.push((plan.cost, job_for(&plan, op, options, store)));
+        }
+        plans.push(plan);
+    }
+
+    // Execute missing stages on the farm, longest-first.
+    let mut outcomes: Vec<Option<farm::JobOutcome<JobResult>>> =
+        farm::run_jobs_lpt(jobs, options.jobs)
+            .into_iter()
+            .map(Some)
+            .collect();
+    let mut wall_by_job = vec![0.0; outcomes.len()];
+    for (op, plan) in graph.operators.iter().zip(&plans) {
+        if let Some(j) = plan.job {
+            let outcome = outcomes[j].take().expect("one job per operator");
+            wall_by_job[j] = outcome.wall_seconds;
+            let computed = outcome
+                .result
+                .map_err(|message| CompileError::JobPanicked {
+                    op: op.name.clone(),
+                    message,
+                })??;
+            for (key, product) in computed {
+                store.insert(key, product);
+            }
+        }
+    }
+
+    // Materialize: every product is now in the store; assemble the app and
+    // derive both the executed and the from-scratch virtual times from the
+    // stored work measures.
+    let mut report = BuildReport::default();
+    let vt = &options.vtime;
+    let mut artifacts = vec![Xclbin {
+        name: "overlay.xclbin".into(),
+        kind: XclbinKind::Overlay,
+        hash: 0,
+    }];
+    let mut operators = Vec::with_capacity(graph.operators.len());
+    let mut serial = PhaseTimes::default();
+    let mut parallel = PhaseTimes::default();
+    let mut fresh_serial = PhaseTimes::default();
+    let mut fresh_parallel = PhaseTimes::default();
+    let mut critical = 0.0f64;
+
+    for (op, plan) in graph.operators.iter().zip(&plans) {
+        report.record(
+            if plan.pnr.is_some() {
+                StageKind::HlsLower
+            } else {
+                StageKind::SoftcoreCc
+            },
+            plan.front_hit,
+        );
+        if plan.pnr.is_some() {
+            report.record(StageKind::PlaceRoute, plan.pnr_hit);
+        }
+        report.record(StageKind::BitstreamPack, plan.pack_hit);
+        report.operators.push(OperatorStages {
+            name: op.name.clone(),
+            hits: plan.hits(),
+            executions: plan.executions(),
+        });
+
+        let pack = store
+            .get_pack(plan.pack.hash)
+            .expect("pack stage materialized")
+            .clone();
+        let (hls, timing, soft, fresh) = match plan.pnr {
+            Some(pnr_key) => {
+                let hls = store.get_hls(plan.front.hash).expect("hls materialized");
+                let pnr = store.get_pnr(pnr_key.hash).expect("pnr materialized");
+                let fresh = vt.hw_phases(
+                    hls.report.hls_work,
+                    pnr.wrapped_cells,
+                    pnr.work_units,
+                    pnr.bitstream.config_bits,
+                );
+                (
+                    Some(hls.report.clone()),
+                    Some(pnr.timing.clone()),
+                    None,
+                    fresh,
+                )
+            }
+            None => {
+                let soft = store.get_soft(plan.front.hash).expect("cc materialized");
+                let fresh = vt.soft_phases(soft.binary.load_bytes());
+                (None, None, Some(soft.binary.clone()), fresh)
+            }
+        };
+        // Executed time: reused stages cost nothing this build. The bit
+        // phase belongs to packing, riscv to the softcore compile.
+        let executed = PhaseTimes {
+            hls: if plan.front_hit { 0.0 } else { fresh.hls },
+            syn: if plan.pnr_hit { 0.0 } else { fresh.syn },
+            pnr: if plan.pnr_hit { 0.0 } else { fresh.pnr },
+            bit: if plan.pack_hit { 0.0 } else { fresh.bit },
+            riscv: if plan.front_hit { 0.0 } else { fresh.riscv },
+        };
+        serial = serial.add(&executed);
+        parallel = parallel.parallel_max(&executed);
+        fresh_serial = fresh_serial.add(&fresh);
+        fresh_parallel = fresh_parallel.parallel_max(&fresh);
+        critical = critical.max(executed.total());
+
+        let idx = artifacts.len();
+        artifacts.push(pack);
+        operators.push(CompiledOperator {
+            name: op.name.clone(),
+            target: plan.target,
+            page: Some(plan.page),
+            artifact: Some(idx),
+            hls,
+            timing,
+            soft,
+            vtime: executed,
+            wall_seconds: plan.job.map_or(0.0, |j| wall_by_job[j]),
+            source_hash: plan.src_hash,
+        });
+    }
+
+    // The app-wide link/driver stage: keyed on the dataflow IR, the page
+    // map, and every artifact's content hash.
+    let n_pages = options.floorplan.pages.len() as u16;
+    let mut driver_parts = vec![fnv(format!("{ir:?}").as_bytes()), n_pages as u64];
+    for ((_, page), artifact) in pages.iter().zip(artifacts.iter().skip(1)) {
+        driver_parts.push(page.0 as u64);
+        driver_parts.push(artifact.hash);
+    }
+    let driver_key = stage_key(StageKind::LinkDriver, &driver_parts);
+    let driver = match store.get_driver(driver_key.hash) {
+        Some(d) => {
+            report.record(StageKind::LinkDriver, true);
+            d.clone()
+        }
+        None => {
+            let d = build_driver(&ir, &pages, &artifacts, n_pages);
+            store.insert(driver_key, StageProduct::Driver(d.clone()));
+            report.record(StageKind::LinkDriver, false);
+            d
+        }
+    };
+
+    report.critical_path_seconds = critical;
+    report.fresh_vtime_serial = fresh_serial;
+    report.fresh_vtime_parallel = fresh_parallel;
+
+    let app = CompiledApp {
+        graph: graph.clone(),
+        level: options.level,
+        floorplan: options.floorplan.clone(),
+        operators,
+        artifacts,
+        driver,
+        ir,
+        monolithic: None,
+        vtime_serial: serial,
+        vtime_parallel: parallel,
+        wall_seconds: t0.elapsed().as_secs_f64(),
+    };
+    Ok((app, report))
+}
+
+/// Builds the farm job that executes an operator's missing stages. Cached
+/// upstream products are cloned in so the job never touches the store.
+fn job_for(
+    plan: &OpPlan,
+    op: &dfg::OperatorInst,
+    options: &CompileOptions,
+    store: &ArtifactStore,
+) -> Box<dyn FnOnce() -> JobResult + Send> {
+    let kernel = op.kernel.clone();
+    let name = op.name.clone();
+    let front = plan.front;
+    let pack_key = plan.pack;
+    let pack_hit = plan.pack_hit;
+    let page = plan.page;
+    match plan.pnr {
+        Some(pnr_key) => {
+            let src_hash = plan.src_hash;
+            let rect = options.floorplan.pages[page.0 as usize].rect;
+            let device = options.floorplan.device.clone();
+            let seed = options.seed ^ fnv(name.as_bytes());
+            let hls_in: Option<HlsProduct> = if plan.front_hit {
+                store.get_hls(front.hash).cloned()
+            } else {
+                None
+            };
+            let pnr_in: Option<PnrProduct> = if plan.pnr_hit {
+                store.get_pnr(pnr_key.hash).cloned()
+            } else {
+                None
+            };
+            Box::new(move || {
+                let mut computed = Vec::new();
+                let hls = match hls_in {
+                    Some(p) => p,
+                    None => {
+                        let out = hlsim::compile(&kernel).map_err(|error| CompileError::Hls {
+                            op: name.clone(),
+                            error,
+                        })?;
+                        let p = HlsProduct {
+                            netlist: out.netlist,
+                            report: out.report,
+                        };
+                        computed.push((front, StageProduct::Hls(p.clone())));
+                        p
+                    }
+                };
+                let pnr = match pnr_in {
+                    Some(p) => p,
+                    None => {
+                        let wrapped = wrap_with_leaf_interface(&hls.netlist);
+                        let opts = PnrOptions {
+                            seed,
+                            abstract_shell: true,
+                            effort: 1.0,
+                        };
+                        let result =
+                            place_and_route(&wrapped, &device, rect, &opts).map_err(|error| {
+                                CompileError::Pnr {
+                                    op: name.clone(),
+                                    error,
+                                }
+                            })?;
+                        let p = PnrProduct {
+                            bitstream: result.bitstream,
+                            timing: result.timing,
+                            work_units: result.work_units,
+                            wrapped_cells: wrapped.cell_count() as u64,
+                        };
+                        computed.push((pnr_key, StageProduct::Pnr(p.clone())));
+                        p
+                    }
+                };
+                if !pack_hit {
+                    // Constants live in the source, not the structural
+                    // netlist, so artifact identity mixes in the source hash.
+                    let hash = pnr.bitstream.payload_hash ^ src_hash;
+                    let x = Xclbin {
+                        name: format!("{name}.xclbin"),
+                        kind: XclbinKind::Page {
+                            page,
+                            bitstream: pnr.bitstream.clone(),
+                        },
+                        hash,
+                    };
+                    computed.push((pack_key, StageProduct::Pack(x)));
+                }
+                Ok(computed)
+            })
+        }
+        None => {
+            let soft_in: Option<SoftProduct> = if plan.front_hit {
+                store.get_soft(front.hash).cloned()
+            } else {
+                None
+            };
+            Box::new(move || {
+                let mut computed = Vec::new();
+                let soft = match soft_in {
+                    Some(p) => p,
+                    None => {
+                        let binary = softcore::compile_kernel(&kernel).map_err(|error| {
+                            CompileError::Softcore {
+                                op: name.clone(),
+                                error,
+                            }
+                        })?;
+                        let p = SoftProduct { binary };
+                        computed.push((front, StageProduct::Soft(p.clone())));
+                        p
+                    }
+                };
+                if !pack_hit {
+                    let packed = soft.binary.pack(page.0);
+                    let hash = fnv(&packed
+                        .records
+                        .iter()
+                        .flat_map(|(_, b)| b.clone())
+                        .collect::<Vec<u8>>());
+                    let x = Xclbin {
+                        name: format!("{name}.elf.xclbin"),
+                        kind: XclbinKind::Softcore {
+                            page,
+                            binary: packed,
+                        },
+                        hash,
+                    };
+                    computed.push((pack_key, StageProduct::Pack(x)));
+                }
+                Ok(computed)
+            })
+        }
+    }
+}

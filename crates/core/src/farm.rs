@@ -98,6 +98,42 @@ where
         .collect()
 }
 
+/// Like [`run_jobs`], but with longest-processing-time-first (LPT) list
+/// scheduling: each job carries a cost estimate, and jobs are handed to the
+/// workers in descending cost order so the critical-path job starts
+/// immediately instead of queuing behind short ones. Outcomes still come
+/// back in the caller's submission order (with `index` matching it).
+pub fn run_jobs_lpt<T, F>(jobs: Vec<(f64, F)>, workers: usize) -> Vec<JobOutcome<T>>
+where
+    T: Send + 'static,
+    F: FnOnce() -> T + Send + 'static,
+{
+    let n = jobs.len();
+    let costs: Vec<f64> = jobs.iter().map(|(c, _)| *c).collect();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| {
+        costs[b]
+            .partial_cmp(&costs[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    let mut slots: Vec<Option<F>> = jobs.into_iter().map(|(_, f)| Some(f)).collect();
+    let sorted: Vec<F> = order
+        .iter()
+        .map(|&i| slots[i].take().expect("each job dispatched once"))
+        .collect();
+    let outcomes = run_jobs(sorted, workers);
+    let mut out: Vec<Option<JobOutcome<T>>> = (0..n).map(|_| None).collect();
+    for (pos, mut o) in outcomes.into_iter().enumerate() {
+        let original = order[pos];
+        o.index = original;
+        out[original] = Some(o);
+    }
+    out.into_iter()
+        .map(|o| o.expect("all jobs completed"))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -169,6 +205,49 @@ mod tests {
             parallel < serial,
             "parallel {parallel:?} vs serial {serial:?}"
         );
+    }
+
+    #[test]
+    fn lpt_returns_results_in_submission_order() {
+        // Costs deliberately shuffled relative to submission order.
+        let jobs: Vec<(f64, Box<dyn FnOnce() -> usize + Send>)> = (0..9usize)
+            .map(|i| {
+                let cost = ((i * 5) % 9) as f64;
+                (
+                    cost,
+                    Box::new(move || i * 7) as Box<dyn FnOnce() -> usize + Send>,
+                )
+            })
+            .collect();
+        let outcomes = run_jobs_lpt(jobs, 3);
+        assert_eq!(outcomes.len(), 9);
+        for (i, o) in outcomes.iter().enumerate() {
+            assert_eq!(o.index, i);
+            assert_eq!(o.result, Ok(i * 7));
+        }
+    }
+
+    #[test]
+    fn lpt_starts_the_longest_job_first() {
+        // One worker: execution order IS the dispatch order, so the longest
+        // job's value must land first.
+        let log = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+        let jobs: Vec<(f64, Box<dyn FnOnce() -> usize + Send>)> = [1.0f64, 30.0, 2.0]
+            .iter()
+            .enumerate()
+            .map(|(i, &cost)| {
+                let log = std::sync::Arc::clone(&log);
+                (
+                    cost,
+                    Box::new(move || {
+                        log.lock().unwrap().push(i);
+                        i
+                    }) as Box<dyn FnOnce() -> usize + Send>,
+                )
+            })
+            .collect();
+        run_jobs_lpt(jobs, 1);
+        assert_eq!(*log.lock().unwrap(), vec![1, 2, 0]);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! The compile flows: `-O0`, `-O1`, `-O3` from one source graph.
 
-use dfg::{extract, DfgIr, Graph, IrLink, Target};
+use dfg::{DfgIr, Graph, IrLink, Target};
 use fabric::{Floorplan, PageId, Rect};
 use hlsim::HlsReport;
 use netlist::{CellKind, Netlist};
@@ -10,7 +10,6 @@ use std::fmt;
 use std::hash::{Hash, Hasher};
 
 use crate::artifact::{Driver, LinkOp, LoadOp, Xclbin, XclbinKind};
-use crate::farm;
 use crate::vtime::{PhaseTimes, VtimeModel};
 
 /// The compiler optimization levels of the paper's Fig. 1.
@@ -432,206 +431,20 @@ pub(crate) fn fnv(bytes: &[u8]) -> u64 {
     h
 }
 
-/// The product of one per-operator compile job.
-pub(crate) enum JobProduct {
-    Hw {
-        report: HlsReport,
-        timing: TimingReport,
-        bitstream: pnr::Bitstream,
-        vtime: PhaseTimes,
-    },
-    Soft {
-        binary: softcore::SoftBinary,
-        vtime: PhaseTimes,
-    },
-}
-
-/// Compiles one operator for its page (shared by the batch and incremental
-/// flows).
-pub(crate) fn compile_operator_job(
-    kernel: &kir::Kernel,
-    name: &str,
-    target: Target,
-    page_rect: Rect,
-    device: &fabric::Device,
-    vt: &VtimeModel,
-    seed: u64,
-) -> Result<JobProduct, CompileError> {
-    match target {
-        Target::Hw { .. } => {
-            let hls = hlsim::compile(kernel).map_err(|error| CompileError::Hls {
-                op: name.to_string(),
-                error,
-            })?;
-            let wrapped = wrap_with_leaf_interface(&hls.netlist);
-            let opts = PnrOptions {
-                seed,
-                abstract_shell: true,
-                effort: 1.0,
-            };
-            let result = place_and_route(&wrapped, device, page_rect, &opts).map_err(|error| {
-                CompileError::Pnr {
-                    op: name.to_string(),
-                    error,
-                }
-            })?;
-            let vtime = PhaseTimes {
-                hls: vt.hls_seconds(hls.report.hls_work),
-                syn: vt.syn_seconds(wrapped.cell_count() as u64),
-                pnr: vt.pnr_seconds(result.work_units),
-                bit: vt.bit_seconds(result.bitstream.config_bits),
-                riscv: 0.0,
-            };
-            Ok(JobProduct::Hw {
-                report: hls.report,
-                timing: result.timing,
-                bitstream: result.bitstream,
-                vtime,
-            })
-        }
-        Target::Riscv { .. } => {
-            let binary =
-                softcore::compile_kernel(kernel).map_err(|error| CompileError::Softcore {
-                    op: name.to_string(),
-                    error,
-                })?;
-            let vtime = PhaseTimes {
-                riscv: vt.riscv_seconds(binary.load_bytes()),
-                ..Default::default()
-            };
-            Ok(JobProduct::Soft { binary, vtime })
-        }
-    }
-}
-
 /// Compiles a graph at the requested level.
+///
+/// This is a thin driver over the staged build graph ([`mod@crate::build`])
+/// with an ephemeral [`crate::ArtifactStore`]: every stage executes, exactly
+/// as a from-scratch compile should. Use [`crate::build::build`] (or
+/// [`crate::BuildCache`]) with a long-lived store to reuse stages across
+/// compiles.
 ///
 /// # Errors
 ///
 /// See [`CompileError`].
 pub fn compile(graph: &Graph, options: &CompileOptions) -> Result<CompiledApp, CompileError> {
-    let t0 = std::time::Instant::now();
-    let ir = extract(graph);
-
-    match options.level {
-        OptLevel::O3 => compile_monolithic(graph, ir, options, t0),
-        OptLevel::O0 | OptLevel::O1 => compile_paged(graph, ir, options, t0),
-    }
-}
-
-fn compile_paged(
-    graph: &Graph,
-    ir: DfgIr,
-    options: &CompileOptions,
-    t0: std::time::Instant,
-) -> Result<CompiledApp, CompileError> {
-    let force_riscv = options.level == OptLevel::O0;
-    let pages = assign_pages_with(graph, &options.floorplan, force_riscv, options.page_assign)?;
-
-    // One farm job per operator — the paper's per-page parallel compiles.
-    let mut jobs: Vec<Box<dyn FnOnce() -> Result<JobProduct, CompileError> + Send>> = Vec::new();
-    for (op, (target, page)) in graph.operators.iter().zip(&pages) {
-        let kernel = op.kernel.clone();
-        let name = op.name.clone();
-        let target = *target;
-        let page_rect = options.floorplan.pages[page.0 as usize].rect;
-        let device = options.floorplan.device.clone();
-        let vt = options.vtime;
-        let seed = options.seed ^ fnv(name.as_bytes());
-        jobs.push(Box::new(move || {
-            compile_operator_job(&kernel, &name, target, page_rect, &device, &vt, seed)
-        }));
-    }
-
-    let outcomes = farm::run_jobs(jobs, options.jobs);
-
-    let mut artifacts = vec![Xclbin {
-        name: "overlay.xclbin".into(),
-        kind: XclbinKind::Overlay,
-        hash: 0,
-    }];
-    let mut operators = Vec::with_capacity(graph.operators.len());
-    let mut serial = PhaseTimes::default();
-    let mut parallel = PhaseTimes::default();
-
-    for ((op, (target, page)), outcome) in graph.operators.iter().zip(&pages).zip(outcomes) {
-        let product = outcome
-            .result
-            .map_err(|message| CompileError::JobPanicked {
-                op: op.name.clone(),
-                message,
-            })??;
-        let idx = artifacts.len();
-        let (hls, timing, soft, vtime) = match product {
-            JobProduct::Hw {
-                report,
-                timing,
-                bitstream,
-                vtime,
-            } => {
-                // Constants live in the source, not the structural netlist,
-                // so artifact identity mixes in the source hash.
-                let hash = bitstream.payload_hash ^ source_hash(&op.kernel, *target);
-                artifacts.push(Xclbin {
-                    name: format!("{}.xclbin", op.name),
-                    kind: XclbinKind::Page {
-                        page: *page,
-                        bitstream,
-                    },
-                    hash,
-                });
-                (Some(report), Some(timing), None, vtime)
-            }
-            JobProduct::Soft { binary, vtime } => {
-                let packed = binary.pack(page.0);
-                let hash = fnv(&packed
-                    .records
-                    .iter()
-                    .flat_map(|(_, b)| b.clone())
-                    .collect::<Vec<u8>>());
-                artifacts.push(Xclbin {
-                    name: format!("{}.elf.xclbin", op.name),
-                    kind: XclbinKind::Softcore {
-                        page: *page,
-                        binary: packed,
-                    },
-                    hash,
-                });
-                (None, None, Some(binary), vtime)
-            }
-        };
-        serial = serial.add(&vtime);
-        parallel = parallel.parallel_max(&vtime);
-        operators.push(CompiledOperator {
-            name: op.name.clone(),
-            target: *target,
-            page: Some(*page),
-            artifact: Some(idx),
-            hls,
-            timing,
-            soft,
-            vtime,
-            wall_seconds: outcome.wall_seconds,
-            source_hash: source_hash(&op.kernel, *target),
-        });
-    }
-
-    let n_pages = options.floorplan.pages.len() as u16;
-    let driver = build_driver(&ir, &pages, &artifacts, n_pages);
-
-    Ok(CompiledApp {
-        graph: graph.clone(),
-        level: options.level,
-        floorplan: options.floorplan.clone(),
-        operators,
-        artifacts,
-        driver,
-        ir,
-        monolithic: None,
-        vtime_serial: serial,
-        vtime_parallel: parallel,
-        wall_seconds: t0.elapsed().as_secs_f64(),
-    })
+    let mut store = crate::store::ArtifactStore::new();
+    crate::build::build(graph, options, &mut store).map(|(app, _)| app)
 }
 
 /// The whole-device user region compiled by the monolithic flow.
@@ -640,28 +453,55 @@ pub fn monolithic_region(floorplan: &Floorplan) -> Rect {
     Rect::new(2, 0, d.width - 2, d.height)
 }
 
-fn compile_monolithic(
+pub(crate) fn compile_monolithic(
     graph: &Graph,
     ir: DfgIr,
     options: &CompileOptions,
     t0: std::time::Instant,
+    store: &mut crate::store::ArtifactStore,
+    report: &mut crate::build::BuildReport,
 ) -> Result<CompiledApp, CompileError> {
-    // HLS every operator, then stitch with hardware FIFOs (the kernel
-    // generator of Fig. 7).
+    // HLS every operator — through the shared store, so a netlist already
+    // lowered for a paged compile is reused here — then stitch with hardware
+    // FIFOs (the kernel generator of Fig. 7). The monolithic P&R itself has
+    // no separately reusable parts: exactly the paper's complaint.
     let mut kernel_netlist = Netlist::new(format!("{}_kernel", graph.name));
     let mut offsets = Vec::new();
     let mut operators = Vec::with_capacity(graph.operators.len());
-    let mut hls_serial = 0.0;
+    let mut hls_executed = 0.0;
+    let mut hls_fresh = 0.0;
     let mut reports = Vec::new();
 
     for op in &graph.operators {
-        let hls = hlsim::compile(&op.kernel).map_err(|error| CompileError::Hls {
-            op: op.name.clone(),
-            error,
-        })?;
-        hls_serial += options.vtime.hls_seconds(hls.report.hls_work);
-        offsets.push(kernel_netlist.absorb(&hls.netlist));
-        reports.push(hls.report);
+        let key = crate::build::hls_key(crate::build::kernel_hash(&op.kernel));
+        let (product, hit) = match store.get_hls(key.hash) {
+            Some(p) => (p.clone(), true),
+            None => {
+                let hls = hlsim::compile(&op.kernel).map_err(|error| CompileError::Hls {
+                    op: op.name.clone(),
+                    error,
+                })?;
+                let p = crate::store::HlsProduct {
+                    netlist: hls.netlist,
+                    report: hls.report,
+                };
+                store.insert(key, crate::store::StageProduct::Hls(p.clone()));
+                (p, false)
+            }
+        };
+        report.record(crate::store::StageKind::HlsLower, hit);
+        report.operators.push(crate::build::OperatorStages {
+            name: op.name.clone(),
+            hits: hit as u64,
+            executions: !hit as u64,
+        });
+        let seconds = options.vtime.hls_seconds(product.report.hls_work);
+        hls_fresh += seconds;
+        if !hit {
+            hls_executed += seconds;
+        }
+        offsets.push(kernel_netlist.absorb(&product.netlist));
+        reports.push(product.report);
     }
 
     // FIFO per internal link, wired between the stream interface cells.
@@ -754,16 +594,20 @@ fn compile_monolithic(
     }
     let fused_result = place_and_route(&fused, &options.floorplan.device, region, &opts).ok();
     let fused_timing = fused_result.as_ref().map(|r| r.timing.clone());
+    // The fused baseline models a from-scratch Vitis build, so it is always
+    // billed the full (fresh) HLS time.
     let fused_vtime = fused_result.map(|r| PhaseTimes {
-        hls: hls_serial,
+        hls: hls_fresh,
         syn: options.vtime.syn_seconds(fused.cell_count() as u64),
         pnr: options.vtime.pnr_seconds(r.work_units),
         bit: options.vtime.bit_seconds(r.bitstream.config_bits),
         riscv: 0.0,
     });
 
+    // Executed cost: HLS stages served from the store are free; the
+    // monolithic synthesis, P&R and bitgen always run.
     let vtime = PhaseTimes {
-        hls: hls_serial,
+        hls: hls_executed,
         syn: options
             .vtime
             .syn_seconds(kernel_netlist.cell_count() as u64),
@@ -771,6 +615,14 @@ fn compile_monolithic(
         bit: options.vtime.bit_seconds(result.bitstream.config_bits),
         riscv: 0.0,
     };
+    report.record(crate::store::StageKind::PlaceRoute, false);
+    report.record(crate::store::StageKind::BitstreamPack, false);
+    report.critical_path_seconds = vtime.total();
+    report.fresh_vtime_serial = PhaseTimes {
+        hls: hls_fresh,
+        ..vtime
+    };
+    report.fresh_vtime_parallel = report.fresh_vtime_serial;
 
     for (op, report) in graph.operators.iter().zip(reports) {
         operators.push(CompiledOperator {

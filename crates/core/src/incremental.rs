@@ -1,38 +1,38 @@
 //! Incremental compilation: rebuild only what changed.
 //!
 //! "We develop a standard Makefile configuration so only the pages with
-//! changing logic must be recompiled" (paper Sec. 6). The [`BuildCache`]
-//! keys each operator by a content hash of its kernel source and resolved
-//! target; a subsequent compile of an edited application recompiles only
-//! the dirty operators and re-links everything with configuration packets —
-//! the whole point of separate compilation.
+//! changing logic must be recompiled" (paper Sec. 6). The [`BuildCache`] is
+//! a thin compatibility wrapper over the staged build graph
+//! ([`mod@crate::build`]): it owns a persistent [`ArtifactStore`] and counts
+//! operator-level hits and misses on top of the store's stage-level
+//! accounting. Because every stage key covers *all* of its inputs — kernel
+//! source, resolved target, page rect, device, seed — an edit to any of them
+//! forces exactly the affected stages to re-run, in parallel on the build
+//! farm, while everything else (down to the HLS netlist behind a seed-only
+//! P&R rerun) is reused.
 
-use dfg::{extract, Graph};
+use dfg::Graph;
 use fabric::PageId;
 use std::collections::HashMap;
+use std::io;
+use std::path::Path;
 
-use crate::artifact::{Xclbin, XclbinKind};
-use crate::flow::{
-    assign_pages_with, build_driver, compile_operator_job, fnv, source_hash, CompileError,
-    CompileOptions, CompiledApp, CompiledOperator, JobProduct, OptLevel,
-};
-use crate::vtime::PhaseTimes;
+use crate::build::{build, BuildReport};
+use crate::flow::{source_hash, CompileError, CompileOptions, CompiledApp, OptLevel};
+use crate::store::{ArtifactStore, StageKind};
 
-struct CacheEntry {
-    hash: u64,
-    operator: CompiledOperator,
-    artifact: Xclbin,
-}
-
-/// A persistent (in-memory) build cache across compiles of the same
-/// application.
+/// A persistent build cache across compiles of the same application,
+/// backed by the shared content-addressed [`ArtifactStore`].
 #[derive(Default)]
 pub struct BuildCache {
-    entries: HashMap<String, CacheEntry>,
-    /// Operators reused from cache across all compiles.
+    store: ArtifactStore,
+    /// Operators fully served from the store (zero stage executions),
+    /// across all paged compiles.
     pub hits: u64,
-    /// Operators recompiled across all compiles.
+    /// Operators that executed at least one stage, across all paged
+    /// compiles.
     pub misses: u64,
+    last_report: Option<BuildReport>,
 }
 
 impl BuildCache {
@@ -41,21 +41,62 @@ impl BuildCache {
         BuildCache::default()
     }
 
-    /// Number of cached operators.
+    /// Number of cached packed artifacts (one per operator version/page the
+    /// cache has ever built).
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.store.count_kind(StageKind::BitstreamPack)
     }
 
-    /// Whether the cache is empty.
+    /// Whether the cache holds nothing.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.len() == 0
     }
 
-    /// Compiles a graph, reusing cached artifacts for unchanged operators.
+    /// The backing stage store.
+    pub fn store(&self) -> &ArtifactStore {
+        &self.store
+    }
+
+    /// Mutable access to the backing stage store.
+    pub fn store_mut(&mut self) -> &mut ArtifactStore {
+        &mut self.store
+    }
+
+    /// Stage-level accounting of the most recent [`BuildCache::compile`].
+    pub fn last_report(&self) -> Option<&BuildReport> {
+        self.last_report.as_ref()
+    }
+
+    /// Persists the backing store to disk (see [`ArtifactStore::save`]).
     ///
-    /// Only the paged levels are cacheable; an `-O3` request falls back to a
-    /// full [`crate::compile`] (monolithic designs have no separately
-    /// reusable parts — exactly the paper's complaint).
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn save(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        self.store.save(path)
+    }
+
+    /// Re-opens a cache persisted with [`BuildCache::save`]. Hit/miss
+    /// counters start at zero; the stage products are all there.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem and format errors.
+    pub fn load(path: impl AsRef<Path>) -> io::Result<BuildCache> {
+        Ok(BuildCache {
+            store: ArtifactStore::load(path)?,
+            ..BuildCache::default()
+        })
+    }
+
+    /// Compiles a graph, reusing every stage whose inputs are unchanged.
+    ///
+    /// Paged levels get full phase-level incrementality. An `-O3` request
+    /// also runs through the store — its HLS stages are shared with paged
+    /// compiles of the same kernels — but the monolithic stitch and P&R have
+    /// no separately reusable parts (exactly the paper's complaint), and
+    /// `-O3` compiles are excluded from the operator-level hit/miss
+    /// counters.
     ///
     /// # Errors
     ///
@@ -65,131 +106,18 @@ impl BuildCache {
         graph: &Graph,
         options: &CompileOptions,
     ) -> Result<CompiledApp, CompileError> {
-        if options.level == OptLevel::O3 {
-            return crate::flow::compile(graph, options);
-        }
-        let t0 = std::time::Instant::now();
-        let force_riscv = options.level == OptLevel::O0;
-        let pages = assign_pages_with(graph, &options.floorplan, force_riscv, options.page_assign)?;
-        let ir = extract(graph);
-
-        let mut artifacts = vec![Xclbin {
-            name: "overlay.xclbin".into(),
-            kind: XclbinKind::Overlay,
-            hash: 0,
-        }];
-        let mut operators = Vec::with_capacity(graph.operators.len());
-        let mut serial = PhaseTimes::default();
-        let mut parallel = PhaseTimes::default();
-
-        for (op, (target, page)) in graph.operators.iter().zip(&pages) {
-            let hash = source_hash(&op.kernel, *target);
-            let cached = self
-                .entries
-                .get(&op.name)
-                .filter(|e| e.hash == hash && e.operator.page == Some(*page));
-            if let Some(entry) = cached {
-                self.hits += 1;
-                let mut reused = entry.operator.clone();
-                // Reused artifacts cost nothing this build.
-                reused.vtime = PhaseTimes::default();
-                reused.wall_seconds = 0.0;
-                reused.artifact = Some(artifacts.len());
-                artifacts.push(entry.artifact.clone());
-                operators.push(reused);
-                continue;
+        let (app, report) = build(graph, options, &mut self.store)?;
+        if options.level != OptLevel::O3 {
+            for op in &report.operators {
+                if op.executions == 0 {
+                    self.hits += 1;
+                } else {
+                    self.misses += 1;
+                }
             }
-            self.misses += 1;
-            let seed = options.seed ^ fnv(op.name.as_bytes());
-            let page_rect = options.floorplan.pages[page.0 as usize].rect;
-            let product = compile_operator_job(
-                &op.kernel,
-                &op.name,
-                *target,
-                page_rect,
-                &options.floorplan.device,
-                &options.vtime,
-                seed,
-            )?;
-            let idx = artifacts.len();
-            let (hls, timing, soft, vtime, artifact) = match product {
-                JobProduct::Hw {
-                    report,
-                    timing,
-                    bitstream,
-                    vtime,
-                } => {
-                    let h = bitstream.payload_hash ^ hash;
-                    let x = Xclbin {
-                        name: format!("{}.xclbin", op.name),
-                        kind: XclbinKind::Page {
-                            page: *page,
-                            bitstream,
-                        },
-                        hash: h,
-                    };
-                    (Some(report), Some(timing), None, vtime, x)
-                }
-                JobProduct::Soft { binary, vtime } => {
-                    let packed = binary.pack(page.0);
-                    let h = fnv(&packed
-                        .records
-                        .iter()
-                        .flat_map(|(_, b)| b.clone())
-                        .collect::<Vec<u8>>());
-                    let x = Xclbin {
-                        name: format!("{}.elf.xclbin", op.name),
-                        kind: XclbinKind::Softcore {
-                            page: *page,
-                            binary: packed,
-                        },
-                        hash: h,
-                    };
-                    (None, None, Some(binary), vtime, x)
-                }
-            };
-            serial = serial.add(&vtime);
-            parallel = parallel.parallel_max(&vtime);
-            let compiled = CompiledOperator {
-                name: op.name.clone(),
-                target: *target,
-                page: Some(*page),
-                artifact: Some(idx),
-                hls,
-                timing,
-                soft,
-                vtime,
-                wall_seconds: 0.0,
-                source_hash: hash,
-            };
-            self.entries.insert(
-                op.name.clone(),
-                CacheEntry {
-                    hash,
-                    operator: compiled.clone(),
-                    artifact: artifact.clone(),
-                },
-            );
-            artifacts.push(artifact);
-            operators.push(compiled);
         }
-
-        let n_pages = options.floorplan.pages.len() as u16;
-        let driver = build_driver(&ir, &pages, &artifacts, n_pages);
-
-        Ok(CompiledApp {
-            graph: graph.clone(),
-            level: options.level,
-            floorplan: options.floorplan.clone(),
-            operators,
-            artifacts,
-            driver,
-            ir,
-            monolithic: None,
-            vtime_serial: serial,
-            vtime_parallel: parallel,
-            wall_seconds: t0.elapsed().as_secs_f64(),
-        })
+        self.last_report = Some(report);
+        Ok(app)
     }
 }
 
@@ -265,6 +193,10 @@ mod tests {
         // Rebuild costs nothing; linking information identical.
         assert_eq!(second.vtime_parallel.total(), 0.0);
         assert_eq!(first.driver, second.driver);
+        // A no-op rebuild performs zero stage executions of any kind.
+        let report = cache.last_report().unwrap();
+        assert_eq!(report.total_executions(), 0);
+        assert_eq!(report.hit_rate(), 1.0);
     }
 
     #[test]
@@ -327,5 +259,54 @@ mod tests {
             .compile(&g1, &CompileOptions::new(OptLevel::O1))
             .unwrap();
         assert_eq!(dirty_pages(&app, &g2), vec![PageId(1)]);
+    }
+
+    #[test]
+    fn seed_change_forces_pnr_but_reuses_hls() {
+        // The regression the old operator-level key missed: `options.seed`
+        // was not part of the cache identity, so a reseeded compile silently
+        // reused stale placements. With staged keys the P&R stage re-runs —
+        // against the cached HLS netlist.
+        let g = pipeline([1, 2, 3]);
+        let mut cache = BuildCache::new();
+        let opts = CompileOptions::new(OptLevel::O1);
+        cache.compile(&g, &opts).unwrap();
+        assert_eq!((cache.hits, cache.misses), (0, 3));
+
+        let reseeded = CompileOptions { seed: 99, ..opts };
+        cache.compile(&g, &reseeded).unwrap();
+        // Every operator is a (operator-level) miss...
+        assert_eq!((cache.hits, cache.misses), (0, 6));
+        let report = cache.last_report().unwrap();
+        // ...but each one's HLS stage is a hit: only P&R and packing re-ran.
+        assert_eq!(report.hits(StageKind::HlsLower), 3);
+        assert_eq!(report.executions(StageKind::HlsLower), 0);
+        assert_eq!(report.executions(StageKind::PlaceRoute), 3);
+        assert_eq!(report.executions(StageKind::BitstreamPack), 3);
+    }
+
+    #[test]
+    fn parallel_rebuild_time_is_max_not_sum() {
+        // Dirty operators rebuild on the farm: the app's parallel virtual
+        // time must be the slowest dirty operator, not the serial sum.
+        let g1 = pipeline([1, 2, 3]);
+        let g2 = pipeline([7, 8, 3]); // two dirty operators
+        let mut cache = BuildCache::new();
+        let opts = CompileOptions::new(OptLevel::O1);
+        cache.compile(&g1, &opts).unwrap();
+        let incr = cache.compile(&g2, &opts).unwrap();
+        let dirty: Vec<_> = incr
+            .operators
+            .iter()
+            .filter(|o| o.vtime.total() > 0.0)
+            .collect();
+        assert_eq!(dirty.len(), 2);
+        // Parallel = phase-wise max over the dirty operators (clean ones
+        // contribute zero); serial = the sum.
+        let expected_parallel = dirty[0].vtime.parallel_max(&dirty[1].vtime);
+        let expected_serial = dirty[0].vtime.add(&dirty[1].vtime);
+        assert_eq!(incr.vtime_parallel, expected_parallel);
+        assert_eq!(incr.vtime_serial, expected_serial);
+        assert!(incr.vtime_parallel.total() < incr.vtime_serial.total());
     }
 }

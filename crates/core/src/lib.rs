@@ -52,6 +52,7 @@
 //! ```
 
 pub mod artifact;
+pub mod build;
 pub mod cosim;
 pub mod execute;
 pub mod farm;
@@ -59,9 +60,11 @@ pub mod flow;
 pub mod incremental;
 pub mod loader;
 pub mod report;
+pub mod store;
 pub mod vtime;
 
 pub use artifact::{Driver, LinkOp, LoadOp, Xclbin, XclbinKind};
+pub use build::{build, BuildReport, OperatorStages, StageCount};
 pub use cosim::{cosim_o0, cosim_o0_with, CosimConfig, CosimError, CosimOutput};
 pub use execute::{PerfReport, RunMode};
 pub use flow::{
@@ -71,4 +74,7 @@ pub use flow::{
 pub use incremental::BuildCache;
 pub use loader::{load, page_load_ops, replay_loads, LoadReport};
 pub use report::{area, AreaReport};
+pub use store::{
+    ArtifactStore, HlsProduct, PnrProduct, SoftProduct, StageKey, StageKind, StageProduct,
+};
 pub use vtime::{PhaseTimes, VtimeModel};

@@ -11,7 +11,7 @@
 use fabric::PageId;
 use noc::BftNoc;
 
-use crate::artifact::{LoadOp, XclbinKind};
+use crate::artifact::LoadOp;
 use crate::flow::CompiledApp;
 
 /// Timing breakdown of one application bring-up.
@@ -60,12 +60,9 @@ pub fn page_load_ops(app: &CompiledApp, pages: &[PageId]) -> Vec<LoadOp> {
                     *artifact
                 }
             };
-            match &app.artifacts[artifact].kind {
-                XclbinKind::Page { page, .. } | XclbinKind::Softcore { page, .. } => {
-                    pages.contains(page)
-                }
-                _ => false,
-            }
+            app.artifacts[artifact]
+                .page()
+                .is_some_and(|p| pages.contains(&p))
         })
         .cloned()
         .collect()

@@ -1,0 +1,1142 @@
+//! The content-addressed artifact store shared by every compile flow.
+//!
+//! Each compile is a DAG of typed stages ([`StageKind`]); every stage
+//! product is filed under a [`StageKey`] — a content hash covering *all* of
+//! the stage's inputs (kernel source, resolved target, page rectangle,
+//! device, seed, ...; see [`mod@crate::build`] for the exact key composition).
+//! `-O0`, `-O1` and `-O3` compiles, the [`crate::BuildCache`], and the
+//! runtime's hot-swap path are all drivers over one store, so a netlist
+//! synthesized for an `-O1` page compile is a cache hit for the same
+//! operator in an `-O3` stitch, and vice versa.
+//!
+//! The store lives in memory and round-trips through a self-contained
+//! on-disk format ([`ArtifactStore::save`] / [`ArtifactStore::load`]), so
+//! caches survive across processes — the Makefile-style `.o` directory of
+//! the paper's Sec. 6, with content hashes in place of timestamps. (The
+//! workspace's vendored `serde` is an offline no-op facade, so the format
+//! is a hand-rolled tagged binary encoding rather than a derived one.)
+
+use std::collections::HashMap;
+use std::fmt;
+use std::io;
+use std::path::Path;
+
+use hlsim::HlsReport;
+use netlist::{CellKind, Netlist, Resources};
+use noc::PortAddr;
+use pnr::{Bitstream, TimingReport};
+use softcore::{PackedBinary, SoftBinary};
+
+use crate::artifact::{Driver, LinkOp, LoadOp, Xclbin, XclbinKind};
+
+/// The typed stages of the compile pipeline (the build graph's node kinds).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum StageKind {
+    /// High-level synthesis: kernel source → operator netlist + report.
+    HlsLower,
+    /// Page-scoped placement and routing: netlist → bitstream + timing.
+    PlaceRoute,
+    /// Artifact packing: bitstream / softcore binary → loadable `Xclbin`.
+    BitstreamPack,
+    /// Softcore compilation: kernel source → RV32 binary.
+    SoftcoreCc,
+    /// Driver generation: link table + load schedule for the whole app.
+    LinkDriver,
+}
+
+impl StageKind {
+    /// Every stage kind, in pipeline order.
+    pub const ALL: [StageKind; 5] = [
+        StageKind::HlsLower,
+        StageKind::PlaceRoute,
+        StageKind::BitstreamPack,
+        StageKind::SoftcoreCc,
+        StageKind::LinkDriver,
+    ];
+
+    fn tag(self) -> u8 {
+        match self {
+            StageKind::HlsLower => 0,
+            StageKind::PlaceRoute => 1,
+            StageKind::BitstreamPack => 2,
+            StageKind::SoftcoreCc => 3,
+            StageKind::LinkDriver => 4,
+        }
+    }
+
+    fn from_tag(tag: u8) -> io::Result<StageKind> {
+        Ok(match tag {
+            0 => StageKind::HlsLower,
+            1 => StageKind::PlaceRoute,
+            2 => StageKind::BitstreamPack,
+            3 => StageKind::SoftcoreCc,
+            4 => StageKind::LinkDriver,
+            _ => return Err(corrupt("unknown stage kind")),
+        })
+    }
+}
+
+impl fmt::Display for StageKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StageKind::HlsLower => write!(f, "hls-lower"),
+            StageKind::PlaceRoute => write!(f, "place-route"),
+            StageKind::BitstreamPack => write!(f, "bitstream-pack"),
+            StageKind::SoftcoreCc => write!(f, "softcore-cc"),
+            StageKind::LinkDriver => write!(f, "link-driver"),
+        }
+    }
+}
+
+/// Content-addressed identity of one stage execution: the stage kind plus a
+/// hash over every input that can change the stage's product.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StageKey {
+    /// Which stage this key addresses.
+    pub kind: StageKind,
+    /// Content hash over all stage inputs.
+    pub hash: u64,
+}
+
+impl fmt::Display for StageKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{:016x}", self.kind, self.hash)
+    }
+}
+
+/// Product of an [`StageKind::HlsLower`] execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HlsProduct {
+    /// The synthesized operator netlist (pre leaf-interface wrapping).
+    pub netlist: Netlist,
+    /// The synthesis report (resources, II, cycle counts, HLS work units).
+    pub report: HlsReport,
+}
+
+/// Product of a [`StageKind::PlaceRoute`] execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PnrProduct {
+    /// The page-scoped partial bitstream.
+    pub bitstream: Bitstream,
+    /// Post-P&R static timing.
+    pub timing: TimingReport,
+    /// P&R work units (SA moves + router relaxations) — the measure the
+    /// virtual-time model converts to seconds, stored so a recalibration
+    /// reprices the stage without re-running it.
+    pub work_units: u64,
+    /// Cell count of the wrapped (leaf-interfaced) netlist that was placed,
+    /// the logic-synthesis work measure.
+    pub wrapped_cells: u64,
+}
+
+/// Product of a [`StageKind::SoftcoreCc`] execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SoftProduct {
+    /// The compiled RV32 operator binary (pre page packing).
+    pub binary: SoftBinary,
+}
+
+/// One stored stage product.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StageProduct {
+    /// An HLS netlist + report.
+    Hls(HlsProduct),
+    /// A placed-and-routed page bitstream.
+    Pnr(PnrProduct),
+    /// A compiled softcore binary.
+    Soft(SoftProduct),
+    /// A packed, loadable artifact.
+    Pack(Xclbin),
+    /// A generated load-and-link driver.
+    Driver(Driver),
+}
+
+/// The shared, content-addressed artifact store.
+///
+/// See the [module docs](self) for the role it plays; [`mod@crate::build`] for
+/// the drivers that populate it.
+#[derive(Debug, Default)]
+pub struct ArtifactStore {
+    entries: HashMap<StageKey, StageProduct>,
+}
+
+impl ArtifactStore {
+    /// Creates an empty store.
+    pub fn new() -> ArtifactStore {
+        ArtifactStore::default()
+    }
+
+    /// Number of stored stage products.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the store holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of stored products of one stage kind.
+    pub fn count_kind(&self, kind: StageKind) -> usize {
+        self.entries.keys().filter(|k| k.kind == kind).count()
+    }
+
+    /// Looks up a stage product.
+    pub fn get(&self, key: StageKey) -> Option<&StageProduct> {
+        self.entries.get(&key)
+    }
+
+    /// Files a stage product under its key.
+    pub fn insert(&mut self, key: StageKey, product: StageProduct) {
+        self.entries.insert(key, product);
+    }
+
+    /// Typed lookup of an HLS product.
+    pub fn get_hls(&self, hash: u64) -> Option<&HlsProduct> {
+        match self.get(StageKey {
+            kind: StageKind::HlsLower,
+            hash,
+        }) {
+            Some(StageProduct::Hls(p)) => Some(p),
+            _ => None,
+        }
+    }
+
+    /// Typed lookup of a P&R product.
+    pub fn get_pnr(&self, hash: u64) -> Option<&PnrProduct> {
+        match self.get(StageKey {
+            kind: StageKind::PlaceRoute,
+            hash,
+        }) {
+            Some(StageProduct::Pnr(p)) => Some(p),
+            _ => None,
+        }
+    }
+
+    /// Typed lookup of a softcore product.
+    pub fn get_soft(&self, hash: u64) -> Option<&SoftProduct> {
+        match self.get(StageKey {
+            kind: StageKind::SoftcoreCc,
+            hash,
+        }) {
+            Some(StageProduct::Soft(p)) => Some(p),
+            _ => None,
+        }
+    }
+
+    /// Typed lookup of a packed artifact.
+    pub fn get_pack(&self, hash: u64) -> Option<&Xclbin> {
+        match self.get(StageKey {
+            kind: StageKind::BitstreamPack,
+            hash,
+        }) {
+            Some(StageProduct::Pack(x)) => Some(x),
+            _ => None,
+        }
+    }
+
+    /// Typed lookup of a generated driver.
+    pub fn get_driver(&self, hash: u64) -> Option<&Driver> {
+        match self.get(StageKey {
+            kind: StageKind::LinkDriver,
+            hash,
+        }) {
+            Some(StageProduct::Driver(d)) => Some(d),
+            _ => None,
+        }
+    }
+
+    /// Serializes the whole store into its on-disk byte format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(MAGIC);
+        put_u32(&mut out, FORMAT_VERSION);
+        put_u64(&mut out, self.entries.len() as u64);
+        // Deterministic order: sort by (kind, hash).
+        let mut keys: Vec<&StageKey> = self.entries.keys().collect();
+        keys.sort_by_key(|k| (k.kind, k.hash));
+        for key in keys {
+            out.push(key.kind.tag());
+            put_u64(&mut out, key.hash);
+            put_product(&mut out, &self.entries[key]);
+        }
+        out
+    }
+
+    /// Reconstructs a store from [`ArtifactStore::to_bytes`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`io::ErrorKind::InvalidData`] on a bad magic, version or
+    /// truncated/garbled payload.
+    pub fn from_bytes(bytes: &[u8]) -> io::Result<ArtifactStore> {
+        let mut c = Cursor { buf: bytes, pos: 0 };
+        if c.take(MAGIC.len())? != MAGIC {
+            return Err(corrupt("bad magic"));
+        }
+        if c.u32()? != FORMAT_VERSION {
+            return Err(corrupt("unsupported store format version"));
+        }
+        let n = c.u64()? as usize;
+        let mut entries = HashMap::with_capacity(n);
+        for _ in 0..n {
+            let kind = StageKind::from_tag(c.u8()?)?;
+            let hash = c.u64()?;
+            let product = get_product(&mut c)?;
+            entries.insert(StageKey { kind, hash }, product);
+        }
+        if c.pos != bytes.len() {
+            return Err(corrupt("trailing bytes after last entry"));
+        }
+        Ok(ArtifactStore { entries })
+    }
+
+    /// Persists the store to `path` (atomically via a sibling temp file).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn save(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let path = path.as_ref();
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, self.to_bytes())?;
+        std::fs::rename(&tmp, path)
+    }
+
+    /// Loads a store previously written by [`ArtifactStore::save`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors and format errors from
+    /// [`ArtifactStore::from_bytes`].
+    pub fn load(path: impl AsRef<Path>) -> io::Result<ArtifactStore> {
+        ArtifactStore::from_bytes(&std::fs::read(path)?)
+    }
+}
+
+const MAGIC: &[u8] = b"PLDSTORE";
+const FORMAT_VERSION: u32 = 1;
+
+fn corrupt(msg: &'static str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+// ---------------------------------------------------------------------------
+// Encoding primitives. Little-endian fixed-width integers, f64 as raw bits,
+// length-prefixed strings and byte arrays.
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_i32(out: &mut Vec<u8>, v: i32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    put_u64(out, v.to_bits());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u64(out, s.len() as u64);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
+    put_u64(out, b.len() as u64);
+    out.extend_from_slice(b);
+}
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> io::Result<&'a [u8]> {
+        if self.pos + n > self.buf.len() {
+            return Err(corrupt("unexpected end of store file"));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> io::Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> io::Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> io::Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn i32(&mut self) -> io::Result<i32> {
+        Ok(i32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> io::Result<f64> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn usize(&mut self) -> io::Result<usize> {
+        let v = self.u64()?;
+        usize::try_from(v).map_err(|_| corrupt("length does not fit usize"))
+    }
+
+    fn str(&mut self) -> io::Result<String> {
+        let n = self.usize()?;
+        String::from_utf8(self.take(n)?.to_vec()).map_err(|_| corrupt("invalid utf-8"))
+    }
+
+    fn bytes(&mut self) -> io::Result<Vec<u8>> {
+        let n = self.usize()?;
+        Ok(self.take(n)?.to_vec())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Domain encoders/decoders.
+
+fn put_rect(out: &mut Vec<u8>, r: fabric::Rect) {
+    put_u32(out, r.x0);
+    put_u32(out, r.y0);
+    put_u32(out, r.w);
+    put_u32(out, r.h);
+}
+
+fn get_rect(c: &mut Cursor) -> io::Result<fabric::Rect> {
+    Ok(fabric::Rect {
+        x0: c.u32()?,
+        y0: c.u32()?,
+        w: c.u32()?,
+        h: c.u32()?,
+    })
+}
+
+fn put_resources(out: &mut Vec<u8>, r: Resources) {
+    put_u64(out, r.luts);
+    put_u64(out, r.ffs);
+    put_u64(out, r.bram18);
+    put_u64(out, r.dsp);
+}
+
+fn get_resources(c: &mut Cursor) -> io::Result<Resources> {
+    Ok(Resources {
+        luts: c.u64()?,
+        ffs: c.u64()?,
+        bram18: c.u64()?,
+        dsp: c.u64()?,
+    })
+}
+
+fn put_cell_kind(out: &mut Vec<u8>, kind: CellKind) {
+    match kind {
+        CellKind::Adder { width } => {
+            out.push(0);
+            put_u32(out, width);
+        }
+        CellKind::Mult { width } => {
+            out.push(1);
+            put_u32(out, width);
+        }
+        CellKind::Divider { width } => {
+            out.push(2);
+            put_u32(out, width);
+        }
+        CellKind::Logic { width } => {
+            out.push(3);
+            put_u32(out, width);
+        }
+        CellKind::Shifter { width } => {
+            out.push(4);
+            put_u32(out, width);
+        }
+        CellKind::Comparator { width } => {
+            out.push(5);
+            put_u32(out, width);
+        }
+        CellKind::Mux { width } => {
+            out.push(6);
+            put_u32(out, width);
+        }
+        CellKind::Register { width } => {
+            out.push(7);
+            put_u32(out, width);
+        }
+        CellKind::BramPort { bits } => {
+            out.push(8);
+            put_u64(out, bits);
+        }
+        CellKind::Fsm { states } => {
+            out.push(9);
+            put_u32(out, states);
+        }
+        CellKind::StreamIn { width } => {
+            out.push(10);
+            put_u32(out, width);
+        }
+        CellKind::StreamOut { width } => {
+            out.push(11);
+            put_u32(out, width);
+        }
+        CellKind::FifoBuf { width, depth } => {
+            out.push(12);
+            put_u32(out, width);
+            put_u32(out, depth);
+        }
+        CellKind::Const { width } => {
+            out.push(13);
+            put_u32(out, width);
+        }
+    }
+}
+
+fn get_cell_kind(c: &mut Cursor) -> io::Result<CellKind> {
+    Ok(match c.u8()? {
+        0 => CellKind::Adder { width: c.u32()? },
+        1 => CellKind::Mult { width: c.u32()? },
+        2 => CellKind::Divider { width: c.u32()? },
+        3 => CellKind::Logic { width: c.u32()? },
+        4 => CellKind::Shifter { width: c.u32()? },
+        5 => CellKind::Comparator { width: c.u32()? },
+        6 => CellKind::Mux { width: c.u32()? },
+        7 => CellKind::Register { width: c.u32()? },
+        8 => CellKind::BramPort { bits: c.u64()? },
+        9 => CellKind::Fsm { states: c.u32()? },
+        10 => CellKind::StreamIn { width: c.u32()? },
+        11 => CellKind::StreamOut { width: c.u32()? },
+        12 => CellKind::FifoBuf {
+            width: c.u32()?,
+            depth: c.u32()?,
+        },
+        13 => CellKind::Const { width: c.u32()? },
+        _ => return Err(corrupt("unknown cell kind")),
+    })
+}
+
+fn put_netlist(out: &mut Vec<u8>, n: &Netlist) {
+    put_str(out, &n.name);
+    put_u64(out, n.cells.len() as u64);
+    for cell in &n.cells {
+        put_str(out, &cell.name);
+        put_cell_kind(out, cell.kind);
+    }
+    put_u64(out, n.nets.len() as u64);
+    for net in &n.nets {
+        put_u64(out, net.driver.0 as u64);
+        put_u64(out, net.sinks.len() as u64);
+        for s in &net.sinks {
+            put_u64(out, s.0 as u64);
+        }
+        put_u32(out, net.width);
+    }
+}
+
+fn get_netlist(c: &mut Cursor) -> io::Result<Netlist> {
+    let name = c.str()?;
+    let n_cells = c.usize()?;
+    let mut cells = Vec::with_capacity(n_cells.min(1 << 20));
+    for _ in 0..n_cells {
+        let name = c.str()?;
+        let kind = get_cell_kind(c)?;
+        cells.push(netlist::Cell { name, kind });
+    }
+    let n_nets = c.usize()?;
+    let mut nets = Vec::with_capacity(n_nets.min(1 << 20));
+    for _ in 0..n_nets {
+        let driver = netlist::CellId(c.usize()?);
+        let n_sinks = c.usize()?;
+        let mut sinks = Vec::with_capacity(n_sinks.min(1 << 20));
+        for _ in 0..n_sinks {
+            sinks.push(netlist::CellId(c.usize()?));
+        }
+        let width = c.u32()?;
+        nets.push(netlist::Net {
+            driver,
+            sinks,
+            width,
+        });
+    }
+    Ok(Netlist { name, cells, nets })
+}
+
+fn put_word_list(out: &mut Vec<u8>, words: &[(String, u64)]) {
+    put_u64(out, words.len() as u64);
+    for (name, n) in words {
+        put_str(out, name);
+        put_u64(out, *n);
+    }
+}
+
+fn get_word_list(c: &mut Cursor) -> io::Result<Vec<(String, u64)>> {
+    let n = c.usize()?;
+    let mut v = Vec::with_capacity(n.min(1 << 16));
+    for _ in 0..n {
+        let name = c.str()?;
+        let words = c.u64()?;
+        v.push((name, words));
+    }
+    Ok(v)
+}
+
+fn put_hls_report(out: &mut Vec<u8>, r: &HlsReport) {
+    put_str(out, &r.name);
+    put_resources(out, r.resources);
+    put_u64(out, r.cells as u64);
+    put_u64(out, r.nets as u64);
+    put_f64(out, r.intrinsic_ns);
+    put_u64(out, r.top_ii);
+    put_u64(out, r.invocation_cycles);
+    put_u64(out, r.overlay_cycles);
+    put_word_list(out, &r.input_words);
+    put_word_list(out, &r.output_words);
+    put_u64(out, r.hls_work);
+}
+
+fn get_hls_report(c: &mut Cursor) -> io::Result<HlsReport> {
+    Ok(HlsReport {
+        name: c.str()?,
+        resources: get_resources(c)?,
+        cells: c.usize()?,
+        nets: c.usize()?,
+        intrinsic_ns: c.f64()?,
+        top_ii: c.u64()?,
+        invocation_cycles: c.u64()?,
+        overlay_cycles: c.u64()?,
+        input_words: get_word_list(c)?,
+        output_words: get_word_list(c)?,
+        hls_work: c.u64()?,
+    })
+}
+
+fn put_bitstream(out: &mut Vec<u8>, b: &Bitstream) {
+    put_str(out, &b.design);
+    put_rect(out, b.region);
+    put_u64(out, b.config_bits);
+    put_u64(out, b.payload_hash);
+}
+
+fn get_bitstream(c: &mut Cursor) -> io::Result<Bitstream> {
+    Ok(Bitstream {
+        design: c.str()?,
+        region: get_rect(c)?,
+        config_bits: c.u64()?,
+        payload_hash: c.u64()?,
+    })
+}
+
+fn put_timing(out: &mut Vec<u8>, t: &TimingReport) {
+    put_f64(out, t.critical_ns);
+    put_f64(out, t.fmax_mhz);
+    put_u32(out, t.slr_crossings);
+    put_f64(out, t.worst_net_ns);
+}
+
+fn get_timing(c: &mut Cursor) -> io::Result<TimingReport> {
+    Ok(TimingReport {
+        critical_ns: c.f64()?,
+        fmax_mhz: c.f64()?,
+        slr_crossings: c.u32()?,
+        worst_net_ns: c.f64()?,
+    })
+}
+
+fn put_scalar(out: &mut Vec<u8>, s: kir::Scalar) {
+    match s {
+        kir::Scalar::Int { width, signed } => {
+            out.push(0);
+            put_u32(out, width);
+            out.push(signed as u8);
+        }
+        kir::Scalar::Fixed {
+            width,
+            int_bits,
+            signed,
+        } => {
+            out.push(1);
+            put_u32(out, width);
+            put_i32(out, int_bits);
+            out.push(signed as u8);
+        }
+    }
+}
+
+fn get_scalar(c: &mut Cursor) -> io::Result<kir::Scalar> {
+    Ok(match c.u8()? {
+        0 => kir::Scalar::Int {
+            width: c.u32()?,
+            signed: c.u8()? != 0,
+        },
+        1 => kir::Scalar::Fixed {
+            width: c.u32()?,
+            int_bits: c.i32()?,
+            signed: c.u8()? != 0,
+        },
+        _ => return Err(corrupt("unknown scalar kind")),
+    })
+}
+
+/// Unit enums encode as their `Debug` name: one place to maintain, and the
+/// decoder rejects unknown names instead of silently remapping.
+fn put_debug_name(out: &mut Vec<u8>, v: impl fmt::Debug) {
+    put_str(out, &format!("{v:?}"));
+}
+
+fn get_bin_op(c: &mut Cursor) -> io::Result<kir::BinOp> {
+    use kir::BinOp::*;
+    Ok(match c.str()?.as_str() {
+        "Add" => Add,
+        "Sub" => Sub,
+        "Mul" => Mul,
+        "Div" => Div,
+        "Rem" => Rem,
+        "And" => And,
+        "Or" => Or,
+        "Xor" => Xor,
+        "Shl" => Shl,
+        "Shr" => Shr,
+        "Eq" => Eq,
+        "Ne" => Ne,
+        "Lt" => Lt,
+        "Le" => Le,
+        "Gt" => Gt,
+        "Ge" => Ge,
+        "LAnd" => LAnd,
+        "LOr" => LOr,
+        "Min" => Min,
+        "Max" => Max,
+        _ => return Err(corrupt("unknown binary op")),
+    })
+}
+
+fn get_un_op(c: &mut Cursor) -> io::Result<kir::UnOp> {
+    use kir::UnOp::*;
+    Ok(match c.str()?.as_str() {
+        "Neg" => Neg,
+        "Not" => Not,
+        "LNot" => LNot,
+        "Abs" => Abs,
+        _ => return Err(corrupt("unknown unary op")),
+    })
+}
+
+fn put_intrinsic(out: &mut Vec<u8>, i: &softcore::firmware::Intrinsic) {
+    use softcore::firmware::Intrinsic::*;
+    match i {
+        Bin { op, lhs, rhs } => {
+            out.push(0);
+            put_debug_name(out, op);
+            put_scalar(out, *lhs);
+            put_scalar(out, *rhs);
+        }
+        Un { op, arg } => {
+            out.push(1);
+            put_debug_name(out, op);
+            put_scalar(out, *arg);
+        }
+        Cast { from, to } => {
+            out.push(2);
+            put_scalar(out, *from);
+            put_scalar(out, *to);
+        }
+        Select { cond, t, e } => {
+            out.push(3);
+            put_scalar(out, *cond);
+            put_scalar(out, *t);
+            put_scalar(out, *e);
+        }
+        BitRange { arg, hi, lo } => {
+            out.push(4);
+            put_scalar(out, *arg);
+            put_u32(out, *hi);
+            put_u32(out, *lo);
+        }
+    }
+}
+
+fn get_intrinsic(c: &mut Cursor) -> io::Result<softcore::firmware::Intrinsic> {
+    use softcore::firmware::Intrinsic::*;
+    Ok(match c.u8()? {
+        0 => Bin {
+            op: get_bin_op(c)?,
+            lhs: get_scalar(c)?,
+            rhs: get_scalar(c)?,
+        },
+        1 => Un {
+            op: get_un_op(c)?,
+            arg: get_scalar(c)?,
+        },
+        2 => Cast {
+            from: get_scalar(c)?,
+            to: get_scalar(c)?,
+        },
+        3 => Select {
+            cond: get_scalar(c)?,
+            t: get_scalar(c)?,
+            e: get_scalar(c)?,
+        },
+        4 => BitRange {
+            arg: get_scalar(c)?,
+            hi: c.u32()?,
+            lo: c.u32()?,
+        },
+        _ => return Err(corrupt("unknown intrinsic")),
+    })
+}
+
+fn put_records(out: &mut Vec<u8>, records: &[(u32, Vec<u8>)]) {
+    put_u64(out, records.len() as u64);
+    for (addr, bytes) in records {
+        put_u32(out, *addr);
+        put_bytes(out, bytes);
+    }
+}
+
+fn get_records(c: &mut Cursor) -> io::Result<Vec<(u32, Vec<u8>)>> {
+    let n = c.usize()?;
+    let mut v = Vec::with_capacity(n.min(1 << 16));
+    for _ in 0..n {
+        let addr = c.u32()?;
+        let bytes = c.bytes()?;
+        v.push((addr, bytes));
+    }
+    Ok(v)
+}
+
+fn put_soft_binary(out: &mut Vec<u8>, b: &SoftBinary) {
+    put_str(out, &b.name);
+    put_u64(out, b.code.len() as u64);
+    for w in &b.code {
+        put_u32(out, *w);
+    }
+    put_records(out, &b.data_init);
+    put_u32(out, b.mem_bytes);
+    put_u64(out, b.intrinsics.len() as u64);
+    for i in &b.intrinsics {
+        put_intrinsic(out, i);
+    }
+    put_u32(out, b.in_ports);
+    put_u32(out, b.out_ports);
+    put_u32(out, b.entry);
+}
+
+fn get_soft_binary(c: &mut Cursor) -> io::Result<SoftBinary> {
+    let name = c.str()?;
+    let n_code = c.usize()?;
+    let mut code = Vec::with_capacity(n_code.min(1 << 20));
+    for _ in 0..n_code {
+        code.push(c.u32()?);
+    }
+    let data_init = get_records(c)?;
+    let mem_bytes = c.u32()?;
+    let n_intr = c.usize()?;
+    let mut intrinsics = Vec::with_capacity(n_intr.min(1 << 16));
+    for _ in 0..n_intr {
+        intrinsics.push(get_intrinsic(c)?);
+    }
+    Ok(SoftBinary {
+        name,
+        code,
+        data_init,
+        mem_bytes,
+        intrinsics,
+        in_ports: c.u32()?,
+        out_ports: c.u32()?,
+        entry: c.u32()?,
+    })
+}
+
+fn put_xclbin(out: &mut Vec<u8>, x: &Xclbin) {
+    put_str(out, &x.name);
+    match &x.kind {
+        XclbinKind::Overlay => out.push(0),
+        XclbinKind::Page { page, bitstream } => {
+            out.push(1);
+            put_u32(out, page.0);
+            put_bitstream(out, bitstream);
+        }
+        XclbinKind::Softcore { page, binary } => {
+            out.push(2);
+            put_u32(out, page.0);
+            put_str(out, &binary.operator);
+            put_u32(out, binary.page);
+            put_records(out, &binary.records);
+        }
+        XclbinKind::Kernel { bitstream } => {
+            out.push(3);
+            put_bitstream(out, bitstream);
+        }
+    }
+    put_u64(out, x.hash);
+}
+
+fn get_xclbin(c: &mut Cursor) -> io::Result<Xclbin> {
+    let name = c.str()?;
+    let kind = match c.u8()? {
+        0 => XclbinKind::Overlay,
+        1 => XclbinKind::Page {
+            page: fabric::PageId(c.u32()?),
+            bitstream: get_bitstream(c)?,
+        },
+        2 => XclbinKind::Softcore {
+            page: fabric::PageId(c.u32()?),
+            binary: PackedBinary {
+                operator: c.str()?,
+                page: c.u32()?,
+                records: get_records(c)?,
+            },
+        },
+        3 => XclbinKind::Kernel {
+            bitstream: get_bitstream(c)?,
+        },
+        _ => return Err(corrupt("unknown xclbin kind")),
+    };
+    let hash = c.u64()?;
+    Ok(Xclbin { name, kind, hash })
+}
+
+fn put_driver(out: &mut Vec<u8>, d: &Driver) {
+    put_u64(out, d.loads.len() as u64);
+    for load in &d.loads {
+        match load {
+            LoadOp::Overlay => out.push(0),
+            LoadOp::PageBitstream { artifact } => {
+                out.push(1);
+                put_u64(out, *artifact as u64);
+            }
+            LoadOp::SoftcoreImage { artifact } => {
+                out.push(2);
+                put_u64(out, *artifact as u64);
+            }
+        }
+    }
+    put_u64(out, d.links.len() as u64);
+    for l in &d.links {
+        put_u32(out, l.src_leaf as u32);
+        out.push(l.stream);
+        put_u32(out, l.dest.leaf as u32);
+        out.push(l.dest.port);
+    }
+}
+
+fn get_driver(c: &mut Cursor) -> io::Result<Driver> {
+    let n_loads = c.usize()?;
+    let mut loads = Vec::with_capacity(n_loads.min(1 << 16));
+    for _ in 0..n_loads {
+        loads.push(match c.u8()? {
+            0 => LoadOp::Overlay,
+            1 => LoadOp::PageBitstream {
+                artifact: c.usize()?,
+            },
+            2 => LoadOp::SoftcoreImage {
+                artifact: c.usize()?,
+            },
+            _ => return Err(corrupt("unknown load op")),
+        });
+    }
+    let n_links = c.usize()?;
+    let mut links = Vec::with_capacity(n_links.min(1 << 16));
+    for _ in 0..n_links {
+        links.push(LinkOp {
+            src_leaf: c.u32()? as u16,
+            stream: c.u8()?,
+            dest: PortAddr {
+                leaf: c.u32()? as u16,
+                port: c.u8()?,
+            },
+        });
+    }
+    Ok(Driver { loads, links })
+}
+
+fn put_product(out: &mut Vec<u8>, p: &StageProduct) {
+    match p {
+        StageProduct::Hls(h) => {
+            out.push(0);
+            put_netlist(out, &h.netlist);
+            put_hls_report(out, &h.report);
+        }
+        StageProduct::Pnr(p) => {
+            out.push(1);
+            put_bitstream(out, &p.bitstream);
+            put_timing(out, &p.timing);
+            put_u64(out, p.work_units);
+            put_u64(out, p.wrapped_cells);
+        }
+        StageProduct::Soft(s) => {
+            out.push(2);
+            put_soft_binary(out, &s.binary);
+        }
+        StageProduct::Pack(x) => {
+            out.push(3);
+            put_xclbin(out, x);
+        }
+        StageProduct::Driver(d) => {
+            out.push(4);
+            put_driver(out, d);
+        }
+    }
+}
+
+fn get_product(c: &mut Cursor) -> io::Result<StageProduct> {
+    Ok(match c.u8()? {
+        0 => StageProduct::Hls(HlsProduct {
+            netlist: get_netlist(c)?,
+            report: get_hls_report(c)?,
+        }),
+        1 => StageProduct::Pnr(PnrProduct {
+            bitstream: get_bitstream(c)?,
+            timing: get_timing(c)?,
+            work_units: c.u64()?,
+            wrapped_cells: c.u64()?,
+        }),
+        2 => StageProduct::Soft(SoftProduct {
+            binary: get_soft_binary(c)?,
+        }),
+        3 => StageProduct::Pack(get_xclbin(c)?),
+        4 => StageProduct::Driver(get_driver(c)?),
+        _ => return Err(corrupt("unknown product kind")),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_store() -> ArtifactStore {
+        let mut store = ArtifactStore::new();
+        let netlist = {
+            let mut n = Netlist::new("op");
+            let a = n.add_cell("add", CellKind::Adder { width: 32 });
+            let r = n.add_cell("reg", CellKind::Register { width: 32 });
+            n.add_net(a, vec![r], 32);
+            n
+        };
+        let report = HlsReport {
+            name: "op".into(),
+            resources: Resources::luts(32),
+            cells: 2,
+            nets: 1,
+            intrinsic_ns: 1.5,
+            top_ii: 1,
+            invocation_cycles: 64,
+            overlay_cycles: 80,
+            input_words: vec![("in".into(), 64)],
+            output_words: vec![("out".into(), 64)],
+            hls_work: 123,
+        };
+        store.insert(
+            StageKey {
+                kind: StageKind::HlsLower,
+                hash: 11,
+            },
+            StageProduct::Hls(HlsProduct { netlist, report }),
+        );
+        store.insert(
+            StageKey {
+                kind: StageKind::PlaceRoute,
+                hash: 22,
+            },
+            StageProduct::Pnr(PnrProduct {
+                bitstream: Bitstream {
+                    design: "op".into(),
+                    region: fabric::Rect::new(2, 0, 10, 10),
+                    config_bits: 4096,
+                    payload_hash: 0xdead_beef,
+                },
+                timing: TimingReport {
+                    critical_ns: 3.2,
+                    fmax_mhz: 312.5,
+                    slr_crossings: 0,
+                    worst_net_ns: 0.8,
+                },
+                work_units: 999,
+                wrapped_cells: 7,
+            }),
+        );
+        store.insert(
+            StageKey {
+                kind: StageKind::BitstreamPack,
+                hash: 33,
+            },
+            StageProduct::Pack(Xclbin {
+                name: "op.xclbin".into(),
+                kind: XclbinKind::Softcore {
+                    page: fabric::PageId(3),
+                    binary: PackedBinary {
+                        operator: "op".into(),
+                        page: 3,
+                        records: vec![(0, vec![1, 2, 3, 4]), (64, vec![9])],
+                    },
+                },
+                hash: 0x1234,
+            }),
+        );
+        store.insert(
+            StageKey {
+                kind: StageKind::LinkDriver,
+                hash: 44,
+            },
+            StageProduct::Driver(Driver {
+                loads: vec![LoadOp::Overlay, LoadOp::PageBitstream { artifact: 1 }],
+                links: vec![LinkOp {
+                    src_leaf: 0,
+                    stream: 1,
+                    dest: PortAddr { leaf: 2, port: 3 },
+                }],
+            }),
+        );
+        store
+    }
+
+    #[test]
+    fn round_trips_through_bytes() {
+        let store = sample_store();
+        let bytes = store.to_bytes();
+        let back = ArtifactStore::from_bytes(&bytes).unwrap();
+        assert_eq!(back.len(), store.len());
+        for kind in StageKind::ALL {
+            assert_eq!(back.count_kind(kind), store.count_kind(kind));
+        }
+        let key = StageKey {
+            kind: StageKind::HlsLower,
+            hash: 11,
+        };
+        assert_eq!(back.get(key), store.get(key));
+        assert_eq!(back.get_pack(33), store.get_pack(33));
+        assert_eq!(back.get_driver(44), store.get_driver(44));
+        // Serialization is deterministic (sorted keys).
+        assert_eq!(bytes, back.to_bytes());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(ArtifactStore::from_bytes(b"not a store").is_err());
+        let mut bytes = sample_store().to_bytes();
+        bytes.truncate(bytes.len() - 3);
+        assert!(ArtifactStore::from_bytes(&bytes).is_err());
+        let mut extra = sample_store().to_bytes();
+        extra.push(0);
+        assert!(ArtifactStore::from_bytes(&extra).is_err());
+    }
+
+    #[test]
+    fn save_and_load() {
+        let dir = std::env::temp_dir().join("pld-store-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cache.pldstore");
+        let store = sample_store();
+        store.save(&path).unwrap();
+        let back = ArtifactStore::load(&path).unwrap();
+        assert_eq!(back.to_bytes(), store.to_bytes());
+        std::fs::remove_file(&path).ok();
+    }
+}

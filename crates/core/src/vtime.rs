@@ -135,6 +135,35 @@ impl VtimeModel {
     pub fn riscv_seconds(&self, code_bytes: u64) -> f64 {
         self.cc_fixed + code_bytes as f64 * self.cc_per_byte
     }
+
+    /// Per-phase times of a full hardware page compile, from its measured
+    /// work (HLS work units, wrapped netlist cells, P&R work units, config
+    /// bits). The build graph stores these work measures instead of seconds,
+    /// so recalibrating the model reprices past compiles without re-running
+    /// anything.
+    pub fn hw_phases(
+        &self,
+        hls_work: u64,
+        cells: u64,
+        work_units: u64,
+        config_bits: u64,
+    ) -> PhaseTimes {
+        PhaseTimes {
+            hls: self.hls_seconds(hls_work),
+            syn: self.syn_seconds(cells),
+            pnr: self.pnr_seconds(work_units),
+            bit: self.bit_seconds(config_bits),
+            riscv: 0.0,
+        }
+    }
+
+    /// Per-phase times of a softcore compile emitting `code_bytes`.
+    pub fn soft_phases(&self, code_bytes: u64) -> PhaseTimes {
+        PhaseTimes {
+            riscv: self.riscv_seconds(code_bytes),
+            ..Default::default()
+        }
+    }
 }
 
 #[cfg(test)]

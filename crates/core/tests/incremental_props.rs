@@ -1,10 +1,15 @@
 //! BuildCache properties: the cache's hit/miss accounting is exact over
-//! arbitrary edit sequences, and a page-assignment-only change is treated
-//! as dirty (an artifact is only reusable on the page it was built for).
+//! arbitrary edit sequences — the store is content-addressed, so an edit
+//! misses exactly when it produces a version never compiled before, and
+//! reverting to any previously built version is a hit — and a
+//! page-assignment-only change is treated as dirty (an artifact is only
+//! reusable on the page it was built for).
+
+use std::collections::HashSet;
 
 use dfg::{Graph, GraphBuilder, Target};
 use kir::{Expr, KernelBuilder, Scalar, Stmt};
-use pld::{BuildCache, CompileOptions, OptLevel};
+use pld::{BuildCache, CompileOptions, OptLevel, StageKind};
 use proptest::prelude::*;
 
 fn stage(name: &str, addend: i64) -> kir::Kernel {
@@ -50,13 +55,19 @@ proptest! {
 
     /// Across any edit sequence, every operator compile is exactly one hit
     /// or one miss — hits + misses == builds × operators — and the misses
-    /// are exactly the edits that changed something.
+    /// are exactly the edits that produce a version the content-addressed
+    /// store has never compiled before. Reverting to any earlier version is
+    /// a hit: the store keeps every version, like a Makefile plus ccache.
     #[test]
     fn cache_accounting_is_exact_over_edit_sequences(
         edits in proptest::collection::vec((0usize..4, 1i64..6), 0..8),
     ) {
         let n_builds = edits.len() as u64 + 1;
         let mut addends = [1i64, 2, 3, 4];
+        let mut seen: [HashSet<i64>; 4] = Default::default();
+        for (op, &a) in addends.iter().enumerate() {
+            seen[op].insert(a);
+        }
         let mut cache = BuildCache::new();
         let opts = CompileOptions::new(OptLevel::O0);
 
@@ -66,13 +77,26 @@ proptest! {
         let mut expected_hits = 0u64;
         let mut expected_misses = 4u64;
         for (op, addend) in edits {
-            let changed = addends[op] != addend;
+            let fresh = seen[op].insert(addend);
             addends[op] = addend;
             cache.compile(&pipeline(addends), &opts).unwrap();
-            expected_misses += changed as u64;
-            expected_hits += 4 - changed as u64;
+            expected_misses += fresh as u64;
+            expected_hits += 4 - fresh as u64;
             prop_assert_eq!(cache.hits, expected_hits);
             prop_assert_eq!(cache.misses, expected_misses);
+
+            // Stage-level accounting agrees: a softcore operator is two
+            // stages (compile + pack); only a freshly edited one executes.
+            // (The app-wide LinkDriver stage is keyed on the whole artifact
+            // vector, so it may legitimately execute even on a revert.)
+            let report = cache.last_report().unwrap();
+            prop_assert_eq!(report.executions(StageKind::SoftcoreCc), fresh as u64);
+            prop_assert_eq!(report.hits(StageKind::SoftcoreCc), 4 - fresh as u64);
+            prop_assert_eq!(report.executions(StageKind::BitstreamPack), fresh as u64);
+            prop_assert_eq!(report.hits(StageKind::BitstreamPack), 4 - fresh as u64);
+            let driver = report.hits(StageKind::LinkDriver)
+                + report.executions(StageKind::LinkDriver);
+            prop_assert_eq!(driver, 1);
         }
         prop_assert_eq!(cache.hits + cache.misses, 4 * n_builds);
     }

@@ -1,0 +1,107 @@
+//! The staged build graph is observationally equivalent to a fresh compile:
+//! across arbitrary edit sequences — kernel edits, `#pragma target` flips,
+//! seed changes — an incremental build against a warm store produces
+//! bit-identical artifacts, the same driver, and a from-scratch virtual-time
+//! estimate equal to what a cold compile actually records.
+
+use dfg::{Graph, GraphBuilder, Target};
+use kir::{Expr, KernelBuilder, Scalar, Stmt};
+use pld::{build, compile, ArtifactStore, CompileOptions, OptLevel};
+use proptest::prelude::*;
+
+fn stage(name: &str, addend: i64) -> kir::Kernel {
+    KernelBuilder::new(name)
+        .input("in", Scalar::uint(32))
+        .output("out", Scalar::uint(32))
+        .local("x", Scalar::uint(32))
+        .body([Stmt::for_pipelined(
+            "i",
+            0..16,
+            [
+                Stmt::read("x", "in"),
+                Stmt::write("out", Expr::var("x").add(Expr::cint(addend))),
+            ],
+        )])
+        .build()
+        .unwrap()
+}
+
+fn pipeline(addends: &[i64; 3], riscv: &[bool; 3]) -> Graph {
+    let mut b = GraphBuilder::new("pipe");
+    let mut prev = None;
+    for i in 0..3 {
+        let target = if riscv[i] {
+            Target::riscv_auto()
+        } else {
+            Target::hw_auto()
+        };
+        let id = b.add(format!("s{i}"), stage(&format!("s{i}"), addends[i]), target);
+        match prev {
+            None => b.ext_input("Input_1", id, "in"),
+            Some(p) => {
+                b.connect(format!("l{i}"), p, "out", id, "in");
+            }
+        }
+        prev = Some(id);
+    }
+    b.ext_output("Output_1", prev.unwrap(), "out");
+    b.build().unwrap()
+}
+
+/// One edit: change an operator's kernel, maybe flip its target, maybe
+/// reseed the whole compile.
+type Edit = (usize, i64, bool, u64);
+
+fn staged_equals_fresh(level: OptLevel, edits: Vec<Edit>) {
+    let mut addends = [1i64, 2, 3];
+    let mut riscv = [false, false, false];
+    let mut store = ArtifactStore::new();
+    let mut opts = CompileOptions::new(level);
+
+    let check = |opts: &CompileOptions, store: &mut ArtifactStore, graph: &Graph| {
+        let (staged, report) = build(graph, opts, store).unwrap();
+        let fresh = compile(graph, opts).unwrap();
+        prop_assert_eq!(staged.artifacts.len(), fresh.artifacts.len());
+        for (s, f) in staged.artifacts.iter().zip(&fresh.artifacts) {
+            prop_assert_eq!(s.hash, f.hash);
+            prop_assert_eq!(s, f);
+        }
+        prop_assert_eq!(&staged.driver, &fresh.driver);
+        // The report's from-scratch estimate is bit-identical to the cost
+        // the cold compile charges itself.
+        prop_assert_eq!(report.fresh_vtime_serial, fresh.vtime_serial);
+        prop_assert_eq!(report.fresh_vtime_parallel, fresh.vtime_parallel);
+        // Incremental work never exceeds the from-scratch cost.
+        prop_assert!(staged.vtime_serial.total() <= fresh.vtime_serial.total() + 1e-9);
+    };
+
+    check(&opts, &mut store, &pipeline(&addends, &riscv));
+    for (op, addend, flip, seed) in edits {
+        addends[op] = addend;
+        if flip {
+            riscv[op] = !riscv[op];
+        }
+        opts.seed = seed;
+        check(&opts, &mut store, &pipeline(&addends, &riscv));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn staged_incremental_equals_fresh_compile_o1(
+        edits in proptest::collection::vec(
+            (0usize..3, 1i64..5, any::<bool>(), 1u64..4), 1..4),
+    ) {
+        staged_equals_fresh(OptLevel::O1, edits);
+    }
+
+    #[test]
+    fn staged_incremental_equals_fresh_compile_o0(
+        edits in proptest::collection::vec(
+            (0usize..3, 1i64..5, any::<bool>(), 1u64..4), 1..4),
+    ) {
+        staged_equals_fresh(OptLevel::O0, edits);
+    }
+}

@@ -13,7 +13,10 @@ use std::collections::HashSet;
 
 use dfg::Graph;
 use fabric::PageId;
-use pld::{bft_distance, page_load_ops, replay_loads, BuildCache, CompileOptions, LinkOp};
+use pld::{
+    bft_distance, build, page_load_ops, replay_loads, ArtifactStore, BuildCache, CompileOptions,
+    CompiledApp, LinkOp,
+};
 
 use crate::allocator::AllocError;
 use crate::device_state::{DeviceState, PageBinding};
@@ -40,6 +43,11 @@ pub struct SwapReport {
     /// Compiler virtual time of the incremental rebuild (spent offline,
     /// not as downtime).
     pub compile_vtime_seconds: f64,
+    /// Build-graph stages served from the artifact store during the
+    /// rebuild.
+    pub stage_hits: u64,
+    /// Build-graph stages that actually executed during the rebuild.
+    pub stage_executions: u64,
 }
 
 impl Runtime {
@@ -66,6 +74,44 @@ impl Runtime {
             return Err(RuntimeError::NotResident(id));
         }
         let new_app = cache.compile(new_graph, options)?;
+        let (stage_hits, stage_executions) = cache
+            .last_report()
+            .map_or((0, 0), |r| (r.total_hits(), r.total_executions()));
+        self.swap_to_app(id, new_app, stage_hits, stage_executions)
+    }
+
+    /// Like [`Runtime::hot_swap`], but compiling directly against a shared
+    /// [`ArtifactStore`] (the same store a [`BuildCache`] wraps, or one an
+    /// external build service owns). Stage products the store already holds
+    /// — from this app, another tenant, or a previous session reloaded from
+    /// disk — are reused without recompiling.
+    ///
+    /// # Errors
+    ///
+    /// See [`RuntimeError`]. On error the resident app is left unchanged.
+    pub fn hot_swap_with_store(
+        &mut self,
+        id: AppId,
+        new_graph: &Graph,
+        store: &mut ArtifactStore,
+        options: &CompileOptions,
+    ) -> Result<SwapReport, RuntimeError> {
+        if !self.is_resident(id) {
+            return Err(RuntimeError::NotResident(id));
+        }
+        let (new_app, report) = build(new_graph, options, store)?;
+        self.swap_to_app(id, new_app, report.total_hits(), report.total_executions())
+    }
+
+    /// The swap itself: diff the freshly compiled app against the resident
+    /// one, reload only the dirty pages, re-send only the affected routes.
+    fn swap_to_app(
+        &mut self,
+        id: AppId,
+        new_app: CompiledApp,
+        stage_hits: u64,
+        stage_executions: u64,
+    ) -> Result<SwapReport, RuntimeError> {
         if new_app.floorplan != self.device().floorplan {
             return Err(RuntimeError::FloorplanMismatch);
         }
@@ -115,6 +161,8 @@ impl Runtime {
                 downtime_seconds: 0.0,
                 full_reload_seconds: 0.0,
                 compile_vtime_seconds,
+                stage_hits,
+                stage_executions,
             });
         }
 
@@ -273,6 +321,8 @@ impl Runtime {
             downtime_seconds,
             full_reload_seconds,
             compile_vtime_seconds,
+            stage_hits,
+            stage_executions,
         })
     }
 }
@@ -352,6 +402,41 @@ mod tests {
             assert!(rt.device().route_programmed(l), "route {l:?} lost");
         }
         assert_eq!(rt.stats().swaps, 1);
+        // Stage accounting: the two unchanged operators hit both their
+        // stages; the edited one re-ran compile + pack, and the app-wide
+        // driver stage re-ran because an artifact hash changed.
+        assert_eq!((report.stage_hits, report.stage_executions), (4, 3));
+    }
+
+    #[test]
+    fn hot_swap_runs_off_the_shared_artifact_store() {
+        // The runtime can drive the staged build graph directly: the same
+        // store that served the BuildCache compile serves the swap, so the
+        // unchanged operators' stage products are reused across drivers.
+        let mut cache = BuildCache::new();
+        let opts = CompileOptions::new(OptLevel::O0);
+        let app = cache.compile(&pipeline([1, 2, 3]), &opts).unwrap();
+        let mut rt = Runtime::new(Floorplan::u50());
+        let id = rt.submit("pipe", app).unwrap();
+        rt.poll();
+
+        let g2 = pipeline([1, 99, 3]);
+        let report = rt
+            .hot_swap_with_store(id, &g2, cache.store_mut(), &opts)
+            .unwrap();
+        assert_eq!(report.recompiled, vec!["c".to_string()]);
+        assert_eq!((report.stage_hits, report.stage_executions), (4, 3));
+        assert_eq!(rt.stats().swaps, 1);
+
+        // Swapping back to the original graph reuses every operator stage
+        // from the store — only the app-wide driver stage is a fresh key
+        // combination here (it was built before, so even that hits).
+        let report = rt
+            .hot_swap_with_store(id, &pipeline([1, 2, 3]), cache.store_mut(), &opts)
+            .unwrap();
+        assert_eq!(report.stage_executions, 0);
+        assert_eq!(report.stage_hits, 7);
+        assert_eq!(report.recompiled, vec!["c".to_string()]);
     }
 
     #[test]
@@ -367,6 +452,9 @@ mod tests {
         assert!(report.recompiled.is_empty());
         assert_eq!(report.downtime_seconds, 0.0);
         assert_eq!(rt.stats().swaps, 0);
+        // A no-op recompile executes zero stages: 2 per operator + the
+        // driver all hit.
+        assert_eq!((report.stage_hits, report.stage_executions), (7, 0));
     }
 
     #[test]

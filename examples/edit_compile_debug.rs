@@ -62,22 +62,27 @@ fn main() {
     let mut cache = BuildCache::new();
     let opts = CompileOptions::new(OptLevel::O1);
 
-    println!("turn  promoted      recompiled  turn vtime  app still runs?");
+    println!("turn  promoted      recompiled  stages hit/run  turn vtime  app still runs?");
     let mut promoted: Vec<&str> = Vec::new();
     for turn in 0..=order.len() {
         let graph = with_targets(&base, &promoted);
         let before = cache.misses;
         let app = cache.compile(&graph, &opts).expect("compiles");
         let recompiled = cache.misses - before;
+        // Stage-level view of the same turn: the build graph reports which
+        // typed stages were served from the artifact store and which ran.
+        let report = cache.last_report().expect("just compiled");
+        let stages = format!("{}/{}", report.total_hits(), report.total_executions());
         // The application is always runnable: functional check each turn.
         let bench = optical::bench(Scale::Tiny);
         let (out, _) = dfg::run_graph(&graph, &bench.input_refs()).expect("runs");
         let ok = !out["Output_1"].is_empty();
         println!(
-            "{:>4}  {:12}  {:>10}  {:>8.1} s  {}",
+            "{:>4}  {:12}  {:>10}  {:>14}  {:>8.1} s  {}",
             turn,
             promoted.last().copied().unwrap_or("(all -O0)"),
             recompiled,
+            stages,
             app.vtime_serial.total(),
             if ok { "yes" } else { "NO" },
         );
