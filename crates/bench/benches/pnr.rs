@@ -1,0 +1,112 @@
+//! Micro-benchmarks for the per-page P&R fast path: incremental-cost
+//! annealing moves, A* negotiated-congestion routing, and multi-seed
+//! racing on the build farm.
+//!
+//! `cargo bench -p pld-bench --bench pnr`
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kir::{Expr, KernelBuilder, Scalar, Stmt};
+use pld::{build, ArtifactStore, CompileOptions, OptLevel, SeedRace};
+use pnr::{place, route, PnrOptions};
+
+fn op_kernel(i: usize) -> kir::Kernel {
+    KernelBuilder::new(format!("op{i}"))
+        .input("in", Scalar::uint(32))
+        .output("out", Scalar::uint(32))
+        .local("x", Scalar::uint(32))
+        .body([Stmt::for_pipelined(
+            "i",
+            0..64,
+            [
+                Stmt::read("x", "in"),
+                Stmt::write("out", Expr::var("x").add(Expr::cint(i as i64))),
+            ],
+        )])
+        .build()
+        .unwrap()
+}
+
+/// The 8-operator page workload the repo's placer KPI is measured on:
+/// each operator HLS-compiled, leaf-wrapped, and pinned to its own page.
+fn page_workload() -> (fabric::Floorplan, Vec<netlist::Netlist>) {
+    let fp = fabric::Floorplan::u50();
+    let wrapped = (0..8)
+        .map(|i| {
+            let hls = hlsim::compile(&op_kernel(i)).unwrap();
+            pld::flow::wrap_with_leaf_interface(&hls.netlist)
+        })
+        .collect();
+    (fp, wrapped)
+}
+
+fn bench_place_and_route(c: &mut Criterion) {
+    let (fp, wrapped) = page_workload();
+    let mut group = c.benchmark_group("pnr_page");
+    group.sample_size(20);
+    group.bench_function("place_8_pages", |b| {
+        b.iter(|| {
+            for (i, nl) in wrapped.iter().enumerate() {
+                place(nl, &fp.device, fp.pages[i].rect, &PnrOptions::default()).expect("fits");
+            }
+        })
+    });
+    let placements: Vec<_> = wrapped
+        .iter()
+        .enumerate()
+        .map(|(i, nl)| place(nl, &fp.device, fp.pages[i].rect, &PnrOptions::default()).unwrap())
+        .collect();
+    group.bench_function("route_8_pages", |b| {
+        b.iter(|| {
+            for (i, nl) in wrapped.iter().enumerate() {
+                route(
+                    nl,
+                    &fp.device,
+                    fp.pages[i].rect,
+                    &placements[i],
+                    &PnrOptions::default(),
+                )
+                .expect("routes");
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_seed_race(c: &mut Criterion) {
+    // Racing re-runs only the PlaceRoute stages: warm the HLS products
+    // once, then measure a 4-seed race over a fresh copy of that store.
+    let mut g = dfg::GraphBuilder::new("race_bench");
+    let a = g.add("op0", op_kernel(0), dfg::Target::hw(0));
+    let b_ = g.add("op1", op_kernel(1), dfg::Target::hw(1));
+    g.ext_input("Input_1", a, "in");
+    g.connect("l0", a, "out", b_, "in");
+    g.ext_output("Output_1", b_, "out");
+    let graph = g.build().unwrap();
+
+    let mut warm = ArtifactStore::new();
+    build(&graph, &CompileOptions::new(OptLevel::O1), &mut warm).unwrap();
+    let warm_bytes = warm.to_bytes();
+
+    let mut group = c.benchmark_group("pnr_race");
+    group.sample_size(10);
+    for (name, jobs) in [("race4_serial", 1usize), ("race4_farm", 8)] {
+        let opts = CompileOptions {
+            jobs,
+            race: SeedRace {
+                attempts: 4,
+                target_fmax_mhz: 0.0,
+            },
+            ..CompileOptions::new(OptLevel::O1)
+        };
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut store = ArtifactStore::from_bytes(&warm_bytes).unwrap();
+                build(&graph, &opts, &mut store).expect("raced build")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_place_and_route, bench_seed_race);
+criterion_main!(benches);

@@ -1,12 +1,15 @@
-//! Machine-readable KPIs: `BENCH_streaming.json` and `BENCH_build.json`.
+//! Machine-readable KPIs: `BENCH_streaming.json`, `BENCH_build.json`, and
+//! `BENCH_pnr.json`.
 //!
 //! Measures the three execution-engine throughput numbers this repo
 //! tracks release-over-release — host KPN tokens/sec (chunked transport
 //! vs its per-token baseline), `-O0` cosim simulated cycles per host
 //! second, and linking-network delivered flits per cycle — plus the
 //! staged-build-graph numbers (cache hit rate, critical-path virtual
-//! seconds, rebuild wall time) and writes them as JSON next to the
-//! working directory.
+//! seconds, rebuild wall time) and the per-page P&R numbers (annealer
+//! moves/sec vs the full-recompute baseline, router relaxations per net,
+//! seed-racing speedup) and writes them as JSON next to the working
+//! directory.
 //!
 //! `cargo run --release -p pld-bench --bin bench_json`
 //!
@@ -19,7 +22,10 @@ use dfg::{run_graph_threaded_with, Graph, GraphBuilder, Target, ThreadedConfig};
 use kir::types::Value;
 use kir::{Expr, KernelBuilder, Scalar, Stmt};
 use noc::{BftNoc, PortAddr};
-use pld::{compile, BuildCache, CompileOptions, CosimConfig, OptLevel};
+use pld::{
+    build, compile, ArtifactStore, BuildCache, CompileOptions, CosimConfig, OptLevel, SeedRace,
+};
+use pnr::{place, route, PnrOptions};
 use rosetta::Scale;
 
 const KPN_TOKENS: i64 = 100_000;
@@ -153,6 +159,107 @@ fn build_kpis() -> String {
     )
 }
 
+/// Per-page P&R KPIs on the 8-operator page workload: annealer moves/sec
+/// against the pre-incremental-cost baseline measured on the same workload,
+/// router relaxations per net, and the wall-clock speedup of a 4-seed race
+/// on the farm versus one worker.
+fn pnr_kpis() -> String {
+    // Full-recompute annealer costs and Dijkstra routing, measured on this
+    // workload immediately before the incremental rewrite.
+    const BASELINE_MOVES_PER_SEC: f64 = 13_067_167.0;
+    const BASELINE_RELAX_PER_NET: f64 = 46.0;
+    const RACE_ATTEMPTS: u32 = 4;
+
+    let op = |i: usize| {
+        KernelBuilder::new(format!("op{i}"))
+            .input("in", Scalar::uint(32))
+            .output("out", Scalar::uint(32))
+            .local("x", Scalar::uint(32))
+            .body([Stmt::for_pipelined(
+                "i",
+                0..64,
+                [
+                    Stmt::read("x", "in"),
+                    Stmt::write("out", Expr::var("x").add(Expr::cint(i as i64))),
+                ],
+            )])
+            .build()
+            .unwrap()
+    };
+    let fp = fabric::Floorplan::u50();
+    let wrapped: Vec<netlist::Netlist> = (0..8)
+        .map(|i| {
+            let hls = hlsim::compile(&op(i)).unwrap();
+            pld::flow::wrap_with_leaf_interface(&hls.netlist)
+        })
+        .collect();
+
+    // Placer throughput: warm up once, then 40 timed repetitions over
+    // fresh seeds so the annealer cannot ride a lucky initial placement.
+    for (i, nl) in wrapped.iter().enumerate() {
+        place(nl, &fp.device, fp.pages[i].rect, &PnrOptions::default()).expect("fits");
+    }
+    let t0 = Instant::now();
+    let mut moves = 0u64;
+    for rep in 0..40u64 {
+        for (i, nl) in wrapped.iter().enumerate() {
+            let opts = PnrOptions {
+                seed: rep + 1,
+                ..Default::default()
+            };
+            moves += place(nl, &fp.device, fp.pages[i].rect, &opts)
+                .expect("fits")
+                .moves_evaluated;
+        }
+    }
+    let moves_per_sec = moves as f64 / t0.elapsed().as_secs_f64();
+    let placer_speedup = moves_per_sec / BASELINE_MOVES_PER_SEC;
+
+    // Router effort: A* relaxations per net across the same pages.
+    let (mut relaxed, mut nets) = (0u64, 0u64);
+    for (i, nl) in wrapped.iter().enumerate() {
+        let p = place(nl, &fp.device, fp.pages[i].rect, &PnrOptions::default()).unwrap();
+        let r = route(nl, &fp.device, fp.pages[i].rect, &p, &PnrOptions::default()).unwrap();
+        relaxed += r.edges_relaxed;
+        nets += nl.nets.len() as u64;
+    }
+    let relax_per_net = relaxed as f64 / nets as f64;
+
+    // Seed racing, in the virtual-time model (wall clock would measure the
+    // host's core count, not the flow): racing K seeds is charged K-ish
+    // times the serial P&R cost but overlaps on the farm, so the parallel
+    // latency barely moves. The speedup is how much charged work the farm
+    // hides.
+    let graph = edit_pipeline(8, None);
+    let (single, _) = build(
+        &graph,
+        &CompileOptions::new(OptLevel::O1),
+        &mut ArtifactStore::new(),
+    )
+    .expect("single-seed build");
+    let raced_opts = CompileOptions {
+        race: SeedRace {
+            attempts: RACE_ATTEMPTS,
+            target_fmax_mhz: 0.0,
+        },
+        ..CompileOptions::new(OptLevel::O1)
+    };
+    let (raced, _) = build(&graph, &raced_opts, &mut ArtifactStore::new()).expect("raced build");
+    let race_cost_x = raced.vtime_serial.pnr / single.vtime_serial.pnr;
+    let race_latency_x = raced.vtime_parallel.pnr / single.vtime_parallel.pnr;
+    let racing_speedup = race_cost_x / race_latency_x;
+
+    assert!(
+        placer_speedup >= 2.0,
+        "incremental annealer regressed below 2x the full-recompute baseline: \
+         {moves_per_sec:.0} moves/sec vs {BASELINE_MOVES_PER_SEC:.0}"
+    );
+
+    format!(
+        "{{\n  \"pnr\": {{\n    \"workload\": \"8 leaf-wrapped operator pages\",\n    \"placer_moves_per_sec\": {moves_per_sec:.0},\n    \"baseline_moves_per_sec\": {BASELINE_MOVES_PER_SEC:.0},\n    \"placer_speedup\": {placer_speedup:.2},\n    \"router_relaxations_per_net\": {relax_per_net:.1},\n    \"baseline_relaxations_per_net\": {BASELINE_RELAX_PER_NET:.1},\n    \"race_attempts\": {RACE_ATTEMPTS},\n    \"race_serial_cost_x\": {race_cost_x:.2},\n    \"race_farm_latency_x\": {race_latency_x:.2},\n    \"racing_speedup\": {racing_speedup:.2}\n  }}\n}}\n"
+    )
+}
+
 fn main() {
     // 1. Host KPN engine: chunked transport vs per-token baseline.
     let g = copy_pipeline(KPN_STAGES, KPN_TOKENS);
@@ -218,6 +325,11 @@ fn main() {
     let build_json = build_kpis();
     std::fs::write("BENCH_build.json", &build_json).expect("write BENCH_build.json");
     print!("{build_json}");
+
+    // 5. Per-page P&R: incremental annealer, A* router, seed racing.
+    let pnr_json = pnr_kpis();
+    std::fs::write("BENCH_pnr.json", &pnr_json).expect("write BENCH_pnr.json");
+    print!("{pnr_json}");
 
     assert!(
         speedup >= 3.0,

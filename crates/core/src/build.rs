@@ -18,7 +18,7 @@
 //! | stage | key inputs |
 //! |---|---|
 //! | `HlsLower` | kernel source |
-//! | `PlaceRoute` | kernel source, page rect, device, per-operator seed |
+//! | `PlaceRoute` | kernel source, page rect, device, per-operator seed, racing policy (when racing) |
 //! | `BitstreamPack` | upstream stage key, page id, operator name, resolved target |
 //! | `SoftcoreCc` | kernel source |
 //! | `LinkDriver` | dataflow IR, page map, every artifact hash |
@@ -31,17 +31,19 @@
 //! `pld-runtime`'s hot swap are all thin drivers over [`build`].
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use dfg::{extract, Graph, Target};
-use fabric::PageId;
-use pnr::{place_and_route, PnrOptions};
+use fabric::{Device, PageId, Rect};
+use netlist::Netlist;
+use pnr::{PnrOptions, TimingReport};
 
 use crate::artifact::{Xclbin, XclbinKind};
 use crate::farm;
 use crate::flow::{
     assign_pages_with, build_driver, compile_monolithic, fnv, source_hash,
     wrap_with_leaf_interface, CompileError, CompileOptions, CompiledApp, CompiledOperator,
-    OptLevel,
+    OptLevel, SeedRace,
 };
 use crate::store::{
     ArtifactStore, HlsProduct, PnrProduct, SoftProduct, StageKey, StageKind, StageProduct,
@@ -85,6 +87,11 @@ pub struct BuildReport {
     pub fresh_vtime_serial: PhaseTimes,
     /// From-scratch cost on an unbounded farm (slowest operator).
     pub fresh_vtime_parallel: PhaseTimes,
+    /// Seed attempts charged across this build's executed `PlaceRoute`
+    /// stages (each non-raced stage counts 1).
+    pub race_attempts_charged: u64,
+    /// Executed `PlaceRoute` stages that raced more than one seed.
+    pub raced_stages: u64,
 }
 
 impl BuildReport {
@@ -245,18 +252,23 @@ fn build_paged(
                 let rect = options.floorplan.pages[page.0 as usize].rect;
                 let seed = options.seed ^ fnv(op.name.as_bytes());
                 let front = hls_key(khash);
-                let pnr = stage_key(
-                    StageKind::PlaceRoute,
-                    &[
-                        khash,
-                        rect.x0 as u64,
-                        rect.y0 as u64,
-                        rect.w as u64,
-                        rect.h as u64,
-                        device_hash,
-                        seed,
-                    ],
-                );
+                // A raced stage keys on the racing policy too: a K-seed
+                // race is different work from a single-seed compile, even
+                // from the same base seed. K = 1 leaves the key unchanged.
+                let mut pnr_parts = vec![
+                    khash,
+                    rect.x0 as u64,
+                    rect.y0 as u64,
+                    rect.w as u64,
+                    rect.h as u64,
+                    device_hash,
+                    seed,
+                ];
+                if options.race.attempts > 1 {
+                    pnr_parts.push(options.race.attempts as u64);
+                    pnr_parts.push(options.race.target_fmax_mhz.to_bits());
+                }
+                let pnr = stage_key(StageKind::PlaceRoute, &pnr_parts);
                 let pack = stage_key(
                     StageKind::BitstreamPack,
                     &[pnr.hash, page.0 as u64, fnv(op.name.as_bytes()), src_hash],
@@ -375,27 +387,43 @@ fn build_paged(
             .get_pack(plan.pack.hash)
             .expect("pack stage materialized")
             .clone();
-        let (hls, timing, soft, fresh) = match plan.pnr {
+        let (hls, timing, soft, fresh, fresh_ser) = match plan.pnr {
             Some(pnr_key) => {
                 let hls = store.get_hls(plan.front.hash).expect("hls materialized");
                 let pnr = store.get_pnr(pnr_key.hash).expect("pnr materialized");
+                if !plan.pnr_hit {
+                    report.race_attempts_charged += pnr.race_charged as u64;
+                    if pnr.race_attempts > 1 {
+                        report.raced_stages += 1;
+                    }
+                }
+                // On a wide farm a seed race's attempts overlap, so the pnr
+                // phase's latency is the slowest charged attempt; on one
+                // serial build machine the charged attempts queue instead.
+                // Both measures live in the stored product, so K = 1 prices
+                // bit-identically to a non-raced compile.
                 let fresh = vt.hw_phases(
                     hls.report.hls_work,
                     pnr.wrapped_cells,
-                    pnr.work_units,
+                    pnr.race_latency_work,
                     pnr.bitstream.config_bits,
                 );
+                let fresh_ser = PhaseTimes {
+                    pnr: vt.pnr_race_serial_seconds(pnr.race_charged, pnr.race_total_work),
+                    ..fresh
+                };
                 (
                     Some(hls.report.clone()),
                     Some(pnr.timing.clone()),
                     None,
                     fresh,
+                    fresh_ser,
                 )
             }
             None => {
                 let soft = store.get_soft(plan.front.hash).expect("cc materialized");
                 let fresh = vt.soft_phases(soft.binary.load_bytes());
-                (None, None, Some(soft.binary.clone()), fresh)
+                (None, None, Some(soft.binary.clone()), fresh, fresh)
             }
         };
         // Executed time: reused stages cost nothing this build. The bit
@@ -407,9 +435,13 @@ fn build_paged(
             bit: if plan.pack_hit { 0.0 } else { fresh.bit },
             riscv: if plan.front_hit { 0.0 } else { fresh.riscv },
         };
-        serial = serial.add(&executed);
+        let executed_ser = PhaseTimes {
+            pnr: if plan.pnr_hit { 0.0 } else { fresh_ser.pnr },
+            ..executed
+        };
+        serial = serial.add(&executed_ser);
         parallel = parallel.parallel_max(&executed);
-        fresh_serial = fresh_serial.add(&fresh);
+        fresh_serial = fresh_serial.add(&fresh_ser);
         fresh_parallel = fresh_parallel.parallel_max(&fresh);
         critical = critical.max(executed.total());
 
@@ -490,7 +522,11 @@ fn job_for(
             let src_hash = plan.src_hash;
             let rect = options.floorplan.pages[page.0 as usize].rect;
             let device = options.floorplan.device.clone();
+            let device_hash = fnv(format!("{device:?}").as_bytes());
+            let khash = kernel_hash(&kernel);
             let seed = options.seed ^ fnv(name.as_bytes());
+            let race = options.race;
+            let race_workers = options.jobs;
             let hls_in: Option<HlsProduct> = if plan.front_hit {
                 store.get_hls(front.hash).cloned()
             } else {
@@ -522,25 +558,40 @@ fn job_for(
                     Some(p) => p,
                     None => {
                         let wrapped = wrap_with_leaf_interface(&hls.netlist);
-                        let opts = PnrOptions {
-                            seed,
-                            abstract_shell: true,
-                            effort: 1.0,
-                        };
-                        let result =
-                            place_and_route(&wrapped, &device, rect, &opts).map_err(|error| {
-                                CompileError::Pnr {
+                        let p =
+                            race_place_route(&wrapped, &device, rect, seed, &race, race_workers)
+                                .map_err(|error| CompileError::Pnr {
                                     op: name.clone(),
                                     error,
-                                }
-                            })?;
-                        let p = PnrProduct {
-                            bitstream: result.bitstream,
-                            timing: result.timing,
-                            work_units: result.work_units,
-                            wrapped_cells: wrapped.cell_count() as u64,
-                        };
+                                })?;
                         computed.push((pnr_key, StageProduct::Pnr(p.clone())));
+                        if race.attempts > 1 {
+                            // File the winner under the plain single-seed
+                            // key as well: the winning seed is part of the
+                            // content-addressed identity, so a later
+                            // non-raced compile configured with exactly
+                            // that seed is a cache hit, not a re-run.
+                            let alias_key = stage_key(
+                                StageKind::PlaceRoute,
+                                &[
+                                    khash,
+                                    rect.x0 as u64,
+                                    rect.y0 as u64,
+                                    rect.w as u64,
+                                    rect.h as u64,
+                                    device_hash,
+                                    p.winning_seed,
+                                ],
+                            );
+                            let alias = PnrProduct {
+                                race_attempts: 1,
+                                race_charged: 1,
+                                race_latency_work: p.work_units,
+                                race_total_work: p.work_units,
+                                ..p.clone()
+                            };
+                            computed.push((alias_key, StageProduct::Pnr(alias)));
+                        }
                         p
                     }
                 };
@@ -604,4 +655,152 @@ fn job_for(
             })
         }
     }
+}
+
+/// Seed for raced attempt `i`: attempt 0 races the configured seed itself,
+/// later attempts decorrelate from it by golden-ratio stepping. Purely a
+/// function of `(base, i)`, so the attempt list — and with it every stage
+/// key — is reproducible from the compile options alone.
+fn race_seed(base: u64, i: u32) -> u64 {
+    if i == 0 {
+        base
+    } else {
+        base ^ (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)
+    }
+}
+
+/// One raced attempt's full product (kept only until the winner is picked).
+struct RaceAttempt {
+    seed: u64,
+    outcome: Result<(TimingReport, pnr::Bitstream, u64), pnr::PnrError>,
+}
+
+/// Runs one `PlaceRoute` stage as a seed race: `race.attempts` P&R attempts
+/// with seeds derived by [`race_seed`] fan out across up to `workers`
+/// threads. An attempt whose fmax meets `race.target_fmax_mhz` cancels all
+/// higher-indexed attempts — between its place and route stages if it got
+/// the signal mid-flight. The winner and the charged-attempt horizon come
+/// from [`farm::race_outcome`], so the returned product (and therefore the
+/// stage's artifact hash and virtual-time charge) is identical on any
+/// worker count. `attempts == 1` degenerates to a plain single-seed
+/// compile: same product, same key, priced identically.
+fn race_place_route(
+    wrapped: &Netlist,
+    device: &Device,
+    rect: Rect,
+    base_seed: u64,
+    race: &SeedRace,
+    workers: usize,
+) -> Result<PnrProduct, pnr::PnrError> {
+    wrapped.check()?;
+    let wrapped_cells = wrapped.cell_count() as u64;
+    let shared = Arc::new((wrapped.clone(), device.clone()));
+    let target = race.target_fmax_mhz;
+    let attempts: Vec<_> = (0..race.attempts.max(1))
+        .map(|i| {
+            let shared = Arc::clone(&shared);
+            let seed = race_seed(base_seed, i);
+            move |cancel: &farm::RaceCancel| -> Option<RaceAttempt> {
+                let (nl, device) = &*shared;
+                let opts = PnrOptions {
+                    seed,
+                    abstract_shell: true,
+                    effort: 1.0,
+                };
+                let placement = match pnr::place(nl, device, rect, &opts) {
+                    Ok(p) => p,
+                    Err(e) => {
+                        return Some(RaceAttempt {
+                            seed,
+                            outcome: Err(e),
+                        })
+                    }
+                };
+                // Stage boundary: a lower-indexed attempt met the target
+                // while we placed, so routing this attempt is wasted work.
+                if cancel.cancelled() {
+                    return None;
+                }
+                let routed = match pnr::route(nl, device, rect, &placement, &opts) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        return Some(RaceAttempt {
+                            seed,
+                            outcome: Err(e),
+                        })
+                    }
+                };
+                let timing = pnr::analyze_timing(nl, device, &placement, &routed);
+                let bitstream = pnr::Bitstream::generate(nl, rect, &placement, &routed, seed);
+                let work = placement.moves_evaluated + routed.edges_relaxed;
+                if target > 0.0 && timing.fmax_mhz >= target {
+                    cancel.target_met();
+                }
+                Some(RaceAttempt {
+                    seed,
+                    outcome: Ok((timing, bitstream, work)),
+                })
+            }
+        })
+        .collect();
+
+    let ran: Vec<Option<RaceAttempt>> = farm::run_race(attempts, workers)
+        .into_iter()
+        .map(|o| match o.result {
+            Ok(r) => r,
+            // P&R never panics; if it somehow does, surface it through the
+            // outer farm's panic isolation instead of inventing a verdict.
+            Err(message) => std::panic::panic_any(message),
+        })
+        .collect();
+
+    let summaries: Vec<Option<farm::RaceResult>> = ran
+        .iter()
+        .map(|a| {
+            a.as_ref().map(|a| match &a.outcome {
+                Ok((timing, _, _)) => farm::RaceResult {
+                    met_target: target > 0.0 && timing.fmax_mhz >= target,
+                    cost: timing.critical_ns,
+                },
+                Err(_) => farm::RaceResult {
+                    met_target: false,
+                    cost: f64::INFINITY,
+                },
+            })
+        })
+        .collect();
+    let (winner, charged) =
+        farm::race_outcome(&summaries).expect("attempts within the race horizon always complete");
+
+    // An errored winner means every charged attempt failed (any success
+    // would have beaten infinite cost), and no later attempt met the
+    // target; report the lowest-indexed failure.
+    let win = ran[winner].as_ref().expect("winner completed");
+    let (timing, bitstream, work_units) = match &win.outcome {
+        Ok(product) => product.clone(),
+        Err(e) => return Err(e.clone()),
+    };
+
+    // Charge the deterministic horizon: its attempts complete on any farm
+    // width. Failed attempts carry no recorded work measure.
+    let mut race_latency_work = 0;
+    let mut race_total_work = 0;
+    for a in ran[..charged].iter().flatten() {
+        if let Ok((_, _, w)) = &a.outcome {
+            race_latency_work = race_latency_work.max(*w);
+            race_total_work += *w;
+        }
+    }
+
+    Ok(PnrProduct {
+        bitstream,
+        timing,
+        work_units,
+        wrapped_cells,
+        winning_seed: win.seed,
+        race_attempts: race.attempts.max(1),
+        race_charged: charged as u32,
+        race_latency_work,
+        race_total_work,
+    })
 }

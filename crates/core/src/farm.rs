@@ -9,7 +9,8 @@
 //! compile jobs and reporting per-job and critical-path times.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::mpsc;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
 use std::thread;
 
 /// Outcome of one farm job.
@@ -132,6 +133,104 @@ where
     out.into_iter()
         .map(|o| o.expect("all jobs completed"))
         .collect()
+}
+
+/// Cooperative cancellation handle for one attempt of a seed race.
+///
+/// [`run_race`] hands each attempt one of these. The attempt polls
+/// [`RaceCancel::cancelled`] at stage boundaries (the local analogue of the
+/// farm killing a Slurm job) and calls [`RaceCancel::target_met`] when its
+/// product meets the race's quality target, which cancels every
+/// *higher-indexed* attempt. Lower-indexed attempts keep running: the
+/// winner must not depend on which attempt happened to finish first on this
+/// particular machine, so the set of attempts that always complete — index
+/// 0 up to the lowest target-meeting index — is the same on one worker as
+/// on a hundred.
+pub struct RaceCancel {
+    index: usize,
+    cancel_above: Arc<AtomicUsize>,
+}
+
+impl RaceCancel {
+    /// Whether a lower-indexed attempt has already met the target, making
+    /// this attempt's outcome irrelevant to the deterministic winner rule.
+    pub fn cancelled(&self) -> bool {
+        self.index > self.cancel_above.load(Ordering::Relaxed)
+    }
+
+    /// Reports that this attempt's product meets the race target,
+    /// cancelling all higher-indexed attempts.
+    pub fn target_met(&self) {
+        self.cancel_above.fetch_min(self.index, Ordering::Relaxed);
+    }
+}
+
+/// One completed attempt's summary, as [`race_outcome`] judges it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RaceResult {
+    /// Whether the attempt met the race's quality target.
+    pub met_target: bool,
+    /// Attempt cost; lower is better (errored attempts pass `INFINITY`).
+    pub cost: f64,
+}
+
+/// Runs `attempts` as a seed race on up to `workers` threads. Each attempt
+/// receives a [`RaceCancel`]; an attempt observed as cancelled before it
+/// starts — or that bails at one of its own cancellation checks — yields
+/// `Ok(None)`. Results come back in attempt order, panics isolated exactly
+/// as in [`run_jobs`].
+pub fn run_race<T, F>(attempts: Vec<F>, workers: usize) -> Vec<JobOutcome<Option<T>>>
+where
+    T: Send + 'static,
+    F: FnOnce(&RaceCancel) -> Option<T> + Send + 'static,
+{
+    let cancel_above = Arc::new(AtomicUsize::new(usize::MAX));
+    let jobs: Vec<Box<dyn FnOnce() -> Option<T> + Send>> = attempts
+        .into_iter()
+        .enumerate()
+        .map(|(index, attempt)| {
+            let handle = RaceCancel {
+                index,
+                cancel_above: Arc::clone(&cancel_above),
+            };
+            Box::new(move || {
+                if handle.cancelled() {
+                    return None;
+                }
+                attempt(&handle)
+            }) as Box<dyn FnOnce() -> Option<T> + Send>
+        })
+        .collect();
+    run_jobs(jobs, workers)
+}
+
+/// Picks a race's winner and charged-attempt count deterministically.
+///
+/// The *horizon* is the lowest target-meeting index plus one (or the whole
+/// field when no attempt met the target) — exactly the attempts that
+/// complete regardless of worker count, and therefore the attempts a build
+/// is charged for. The winner is the best-cost completed attempt within the
+/// horizon, ties to the lowest index (= lowest seed). Returns
+/// `(winner_index, charged_count)`, or `None` when no attempt within the
+/// horizon completed.
+pub fn race_outcome(results: &[Option<RaceResult>]) -> Option<(usize, usize)> {
+    let mut horizon = results.len();
+    for (i, r) in results.iter().enumerate() {
+        if r.is_some_and(|r| r.met_target) {
+            horizon = i + 1;
+            break;
+        }
+    }
+    let mut best: Option<(f64, usize)> = None;
+    for (i, r) in results.iter().enumerate().take(horizon) {
+        if let Some(r) = r {
+            // total_cmp so a NaN cost loses to any real cost.
+            if best.is_none_or(|(c, _)| r.cost.total_cmp(&c).is_lt()) {
+                best = Some((r.cost, i));
+            }
+        }
+    }
+    best.map(|(_, i)| (i, horizon))
 }
 
 #[cfg(test)]
@@ -261,5 +360,79 @@ mod tests {
     fn empty_job_list_is_fine() {
         let outcomes = run_jobs(Vec::<Box<dyn FnOnce() -> usize + Send>>::new(), 4);
         assert!(outcomes.is_empty());
+    }
+
+    type RaceAttemptFn = Box<dyn FnOnce(&RaceCancel) -> Option<RaceResult> + Send>;
+
+    /// A race where attempt `i` costs `costs[i]` and meets the target iff
+    /// `met[i]`, with sleeps arranged so higher-indexed attempts finish
+    /// first on a wide farm — the adversarial schedule for determinism.
+    fn race_summaries(costs: &[f64], met: &[bool], workers: usize) -> Vec<Option<RaceResult>> {
+        let attempts: Vec<RaceAttemptFn> = costs
+            .iter()
+            .zip(met)
+            .enumerate()
+            .map(|(i, (&cost, &met_target))| {
+                Box::new(move |cancel: &RaceCancel| {
+                    // Reverse finish order: attempt 0 sleeps longest.
+                    thread::sleep(Duration::from_millis(5 * (8 - i as u64)));
+                    if cancel.cancelled() {
+                        return None;
+                    }
+                    if met_target {
+                        cancel.target_met();
+                    }
+                    Some(RaceResult { met_target, cost })
+                }) as RaceAttemptFn
+            })
+            .collect();
+        run_race(attempts, workers)
+            .into_iter()
+            .map(|o| o.result.expect("no attempt panics"))
+            .collect()
+    }
+
+    #[test]
+    fn race_winner_is_independent_of_worker_count() {
+        // Attempts 2 and 5 meet the target; 5 finishes first on a wide
+        // farm, but the horizon attempt (2) must win on any worker count.
+        let costs = [9.0, 8.0, 3.0, 1.0, 1.0, 2.0, 1.0, 1.0];
+        let met = [false, false, true, false, false, true, false, false];
+        for workers in [1, 2, 8] {
+            let results = race_summaries(&costs, &met, workers);
+            let (winner, charged) = race_outcome(&results).unwrap();
+            assert_eq!((winner, charged), (2, 3), "workers={workers}");
+            // Attempts inside the horizon always complete.
+            assert!(results[..charged].iter().all(|r| r.is_some()));
+        }
+    }
+
+    #[test]
+    fn race_without_target_runs_everyone_and_picks_best_cost() {
+        let costs = [4.0, 2.0, 7.0, 2.0];
+        let met = [false; 4];
+        for workers in [1, 4] {
+            let results = race_summaries(&costs, &met, workers);
+            assert!(results.iter().all(|r| r.is_some()));
+            // Best cost 2.0 is shared; the tie goes to the lowest index.
+            assert_eq!(race_outcome(&results), Some((1, 4)));
+        }
+    }
+
+    #[test]
+    fn race_outcome_skips_failed_attempts() {
+        let results = [
+            Some(RaceResult {
+                met_target: false,
+                cost: f64::INFINITY,
+            }),
+            None,
+            Some(RaceResult {
+                met_target: false,
+                cost: 5.0,
+            }),
+        ];
+        assert_eq!(race_outcome(&results), Some((2, 3)));
+        assert_eq!(race_outcome(&[None, None]), None);
     }
 }

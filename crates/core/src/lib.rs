@@ -69,7 +69,7 @@ pub use cosim::{cosim_o0, cosim_o0_with, CosimConfig, CosimError, CosimOutput};
 pub use execute::{PerfReport, RunMode};
 pub use flow::{
     bft_distance, compile, CompileError, CompileOptions, CompiledApp, CompiledOperator, LinkStyle,
-    OptLevel, PageAssign,
+    OptLevel, PageAssign, SeedRace,
 };
 pub use incremental::BuildCache;
 pub use loader::{load, page_load_ops, replay_loads, LoadReport};

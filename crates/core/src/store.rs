@@ -127,6 +127,22 @@ pub struct PnrProduct {
     /// Cell count of the wrapped (leaf-interfaced) netlist that was placed,
     /// the logic-synthesis work measure.
     pub wrapped_cells: u64,
+    /// The P&R seed that produced this product — the winner when seeds were
+    /// raced, the (single) configured seed otherwise.
+    pub winning_seed: u64,
+    /// Seed attempts raced for this product (1 = no racing).
+    pub race_attempts: u32,
+    /// Attempts the build is charged for: the deterministic horizon of the
+    /// race (the winner and every lower-indexed attempt; attempts cancelled
+    /// above the horizon cost nothing). 1 when not raced.
+    pub race_charged: u32,
+    /// Slowest charged attempt's work units — the race's latency on a farm
+    /// wide enough to run every attempt concurrently. Equals `work_units`
+    /// when not raced.
+    pub race_latency_work: u64,
+    /// Summed work units across charged attempts — the race's cost on one
+    /// serial build machine. Equals `work_units` when not raced.
+    pub race_total_work: u64,
 }
 
 /// Product of a [`StageKind::SoftcoreCc`] execution.
@@ -315,7 +331,9 @@ impl ArtifactStore {
 }
 
 const MAGIC: &[u8] = b"PLDSTORE";
-const FORMAT_VERSION: u32 = 1;
+/// Bumped to 2 when [`PnrProduct`] grew the seed-race fields; the store is
+/// a cache, so old files are rejected rather than migrated.
+const FORMAT_VERSION: u32 = 2;
 
 fn corrupt(msg: &'static str) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg)
@@ -970,6 +988,11 @@ fn put_product(out: &mut Vec<u8>, p: &StageProduct) {
             put_timing(out, &p.timing);
             put_u64(out, p.work_units);
             put_u64(out, p.wrapped_cells);
+            put_u64(out, p.winning_seed);
+            put_u32(out, p.race_attempts);
+            put_u32(out, p.race_charged);
+            put_u64(out, p.race_latency_work);
+            put_u64(out, p.race_total_work);
         }
         StageProduct::Soft(s) => {
             out.push(2);
@@ -997,6 +1020,11 @@ fn get_product(c: &mut Cursor) -> io::Result<StageProduct> {
             timing: get_timing(c)?,
             work_units: c.u64()?,
             wrapped_cells: c.u64()?,
+            winning_seed: c.u64()?,
+            race_attempts: c.u32()?,
+            race_charged: c.u32()?,
+            race_latency_work: c.u64()?,
+            race_total_work: c.u64()?,
         }),
         2 => StageProduct::Soft(SoftProduct {
             binary: get_soft_binary(c)?,
@@ -1060,6 +1088,11 @@ mod tests {
                 },
                 work_units: 999,
                 wrapped_cells: 7,
+                winning_seed: 0xfeed,
+                race_attempts: 4,
+                race_charged: 2,
+                race_latency_work: 700,
+                race_total_work: 1299,
             }),
         );
         store.insert(

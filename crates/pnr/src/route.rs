@@ -1,4 +1,13 @@
 //! PathFinder-style negotiated-congestion routing.
+//!
+//! Each net's driver→sink connection is found by A* over the tile grid with
+//! the admissible Manhattan-distance heuristic (every edge costs at least
+//! 1.0, so the straight-line tile distance never overestimates). Congestion
+//! is negotiated PathFinder-style: occupancy persists across iterations and
+//! only the nets crossing an overused edge are ripped up and rerouted, with
+//! a history cost accumulating on chronically contested edges and a present
+//! overuse penalty that escalates every iteration — so congested pages
+//! converge to a legal routing instead of first-come-first-served overuse.
 
 use fabric::{Device, Rect};
 use netlist::Netlist;
@@ -13,6 +22,10 @@ pub const CHANNEL_CAPACITY: u32 = 48;
 /// Maximum negotiation iterations before declaring the design unroutable.
 pub const MAX_ITERATIONS: u32 = 12;
 
+/// How much each unit of overuse escalates the present-cost penalty per
+/// negotiation iteration (PathFinder's `pres_fac` growth).
+const PRES_FAC_GROWTH: f64 = 1.6;
+
 /// A routed design: one tile path per net (driver tile → each sink tile).
 #[derive(Debug, Clone)]
 pub struct RoutedDesign {
@@ -26,6 +39,9 @@ pub struct RoutedDesign {
     pub edges_relaxed: u64,
     /// Total routed wire length in tile edges.
     pub wirelength: u64,
+    /// Net reroutes performed across all negotiation iterations (every net
+    /// counts once in iteration one; afterwards only ripped-up nets count).
+    pub nets_rerouted: u64,
 }
 
 struct EdgeGraph {
@@ -33,6 +49,8 @@ struct EdgeGraph {
     /// Occupancy per directed edge; edges are (tile, direction 0..4).
     occupancy: Vec<u32>,
     history: Vec<f32>,
+    /// Present-overuse penalty factor, escalated every iteration.
+    pres_fac: f64,
 }
 
 const DIRS: [(i64, i64); 4] = [(1, 0), (-1, 0), (0, 1), (0, -1)];
@@ -44,6 +62,7 @@ impl EdgeGraph {
             region,
             occupancy: vec![0; n],
             history: vec![0.0; n],
+            pres_fac: 2.0,
         }
     }
 
@@ -62,10 +81,12 @@ impl EdgeGraph {
             && y < (self.region.y0 + self.region.h) as i64
     }
 
+    /// Base edge cost is 1.0, so the Manhattan tile distance is an
+    /// admissible (and consistent) A* heuristic.
     fn edge_cost(&self, idx: usize) -> f64 {
         let occ = self.occupancy[idx];
         let present = if occ >= CHANNEL_CAPACITY {
-            1.0 + (occ - CHANNEL_CAPACITY + 1) as f64 * 2.0
+            1.0 + (occ - CHANNEL_CAPACITY + 1) as f64 * self.pres_fac
         } else {
             1.0 + occ as f64 / CHANNEL_CAPACITY as f64 * 0.25
         };
@@ -75,6 +96,9 @@ impl EdgeGraph {
 
 #[derive(PartialEq)]
 struct QueueEntry {
+    /// Estimated total cost: path cost so far plus heuristic-to-target.
+    est: f64,
+    /// Path cost so far (the Dijkstra distance).
     cost: f64,
     tile: (u32, u32),
 }
@@ -83,10 +107,10 @@ impl Eq for QueueEntry {}
 
 impl Ord for QueueEntry {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        // Min-heap by cost; ties broken on coordinates for determinism.
+        // Min-heap by estimate; ties broken on coordinates for determinism.
         other
-            .cost
-            .partial_cmp(&self.cost)
+            .est
+            .partial_cmp(&self.est)
             .unwrap_or(std::cmp::Ordering::Equal)
             .then_with(|| other.tile.cmp(&self.tile))
     }
@@ -98,13 +122,15 @@ impl PartialOrd for QueueEntry {
     }
 }
 
-/// Dijkstra from `from` to `to` over the edge graph; returns the tile path
-/// and counts relaxations.
+/// A* from `from` to `to` over the edge graph; returns the tile path and
+/// counts relaxations. With `use_heuristic` off this is plain Dijkstra —
+/// kept callable so tests can assert the heuristic never changes path cost.
 fn shortest_path(
     graph: &EdgeGraph,
     from: (u32, u32),
     to: (u32, u32),
     relaxed: &mut u64,
+    use_heuristic: bool,
 ) -> Vec<(u32, u32)> {
     if from == to {
         return vec![from];
@@ -113,14 +139,22 @@ fn shortest_path(
     let mut dist = vec![f64::INFINITY; n];
     let mut prev: Vec<u32> = vec![u32::MAX; n];
     let start = graph.tile_index(from.0, from.1);
+    let h = |x: u32, y: u32| -> f64 {
+        if use_heuristic {
+            (x.abs_diff(to.0) + y.abs_diff(to.1)) as f64
+        } else {
+            0.0
+        }
+    };
     dist[start] = 0.0;
     let mut heap = BinaryHeap::new();
     heap.push(QueueEntry {
+        est: h(from.0, from.1),
         cost: 0.0,
         tile: from,
     });
 
-    while let Some(QueueEntry { cost, tile }) = heap.pop() {
+    while let Some(QueueEntry { cost, tile, .. }) = heap.pop() {
         let ti = graph.tile_index(tile.0, tile.1);
         if cost > dist[ti] {
             continue;
@@ -142,6 +176,7 @@ fn shortest_path(
                 dist[ni] = next_cost;
                 prev[ni] = (ti * 4 + d) as u32;
                 heap.push(QueueEntry {
+                    est: next_cost + h(nx as u32, ny as u32),
                     cost: next_cost,
                     tile: (nx as u32, ny as u32),
                 });
@@ -188,24 +223,37 @@ pub fn route(
     };
     let mut graph = EdgeGraph::new(route_region);
     let mut edges_relaxed = 0u64;
-    let mut routes: Vec<Vec<Vec<(u32, u32)>>> = vec![Vec::new(); netlist.nets.len()];
+    let mut nets_rerouted = 0u64;
+    let n_nets = netlist.nets.len();
+    let mut routes: Vec<Vec<Vec<(u32, u32)>>> = vec![Vec::new(); n_nets];
+    // Edges each net currently occupies, for incremental rip-up.
+    let mut net_edges: Vec<Vec<u32>> = vec![Vec::new(); n_nets];
+    let mut to_route: Vec<usize> = (0..n_nets).collect();
 
     let mut iterations = 0;
     let mut overused = 0;
     for iter in 0..MAX_ITERATIONS {
         iterations = iter + 1;
-        graph.occupancy.iter_mut().for_each(|o| *o = 0);
-        // Every pass sweeps the whole loaded routing context (occupancy
-        // reset above plus the overuse scan below); charge that to the
-        // effort measure — it is the cost an abstract shell avoids.
+        // Every pass sweeps the whole loaded routing context (the overuse
+        // scans below); charge that to the effort measure — it is the cost
+        // an abstract shell avoids.
         edges_relaxed += graph.occupancy.len() as u64;
 
-        for (ni, net) in netlist.nets.iter().enumerate() {
+        for &ni in &to_route {
+            let net = &netlist.nets[ni];
+            let units = net.width.div_ceil(8).max(1);
+            // Rip up this net's previous routing (no-op in iteration one).
+            for &e in &net_edges[ni] {
+                graph.occupancy[e as usize] -= units;
+            }
+            net_edges[ni].clear();
+            nets_rerouted += 1;
+
             let from = placement.assignment[net.driver.0];
             let mut sink_paths = Vec::with_capacity(net.sinks.len());
             for s in &net.sinks {
                 let to = placement.assignment[s.0];
-                let path = shortest_path(&graph, from, to, &mut edges_relaxed);
+                let path = shortest_path(&graph, from, to, &mut edges_relaxed, true);
                 // Occupy the edges walked.
                 for w in path.windows(2) {
                     let (x0, y0) = w[0];
@@ -217,7 +265,8 @@ pub fn route(
                         })
                         .expect("path steps are unit moves");
                     let e = graph.edge_index(x0, y0, dir);
-                    graph.occupancy[e] += net.width.div_ceil(8).max(1);
+                    graph.occupancy[e] += units;
+                    net_edges[ni].push(e as u32);
                 }
                 sink_paths.push(path);
             }
@@ -232,12 +281,24 @@ pub fn route(
         if overused == 0 {
             break;
         }
-        // Negotiation: overuse becomes history cost for the next iteration.
+        // Negotiation: overuse becomes history cost for the next iteration,
+        // and the present penalty escalates.
         for (i, &o) in graph.occupancy.iter().enumerate() {
             if o > CHANNEL_CAPACITY {
                 graph.history[i] += (o - CHANNEL_CAPACITY) as f32 * 0.5;
             }
         }
+        graph.pres_fac *= PRES_FAC_GROWTH;
+        // Rip up and reroute only the nets crossing an overused edge, in
+        // ascending net order (deterministic regardless of how congestion
+        // arose).
+        to_route = (0..n_nets)
+            .filter(|&ni| {
+                net_edges[ni]
+                    .iter()
+                    .any(|&e| graph.occupancy[e as usize] > CHANNEL_CAPACITY)
+            })
+            .collect();
     }
 
     if overused > 0 {
@@ -258,6 +319,7 @@ pub fn route(
         iterations,
         edges_relaxed,
         wirelength,
+        nets_rerouted,
     })
 }
 
@@ -266,6 +328,8 @@ mod tests {
     use super::*;
     use crate::place::place;
     use netlist::CellKind;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
 
     fn placed_chain(len: usize) -> (Netlist, Device, Rect, Placement) {
         let mut nl = Netlist::new("chain");
@@ -303,6 +367,7 @@ mod tests {
         }
         assert_eq!(routed.overused_edges, 0);
         assert!(routed.wirelength > 0);
+        assert!(routed.nets_rerouted >= nl.nets.len() as u64);
     }
 
     #[test]
@@ -336,5 +401,179 @@ mod tests {
         let routed = route(&nl, &device, region, &placement, &PnrOptions::default()).unwrap();
         assert_eq!(routed.routes[0][0].len(), 1);
         assert_eq!(routed.wirelength, 0);
+    }
+
+    /// Sums the current edge costs along a returned path.
+    fn path_cost(graph: &EdgeGraph, path: &[(u32, u32)]) -> f64 {
+        let mut cost = 0.0;
+        for w in path.windows(2) {
+            let dir = DIRS
+                .iter()
+                .position(|&(dx, dy)| {
+                    (w[0].0 as i64 + dx, w[0].1 as i64 + dy) == (w[1].0 as i64, w[1].1 as i64)
+                })
+                .unwrap();
+            cost += graph.edge_cost(graph.edge_index(w[0].0, w[0].1, dir));
+        }
+        cost
+    }
+
+    /// Property (a): the Manhattan heuristic is admissible, so A* must find
+    /// paths of exactly the same cost as plain Dijkstra — over randomly
+    /// congested graphs and random endpoint pairs.
+    #[test]
+    fn astar_cost_equals_dijkstra_cost() {
+        let region = Rect::new(3, 2, 12, 9);
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..40 {
+            let mut graph = EdgeGraph::new(region);
+            // Random congestion and history: non-uniform edge costs.
+            for i in 0..graph.occupancy.len() {
+                graph.occupancy[i] = rng.gen_range(0..(CHANNEL_CAPACITY + 12));
+                if rng.gen_range(0..4u32) == 0 {
+                    graph.history[i] = rng.gen_range(0..5u32) as f32 * 0.5;
+                }
+            }
+            for _ in 0..8 {
+                let from = (
+                    region.x0 + rng.gen_range(0..region.w),
+                    region.y0 + rng.gen_range(0..region.h),
+                );
+                let to = (
+                    region.x0 + rng.gen_range(0..region.w),
+                    region.y0 + rng.gen_range(0..region.h),
+                );
+                let mut ra = 0u64;
+                let mut rd = 0u64;
+                let astar = shortest_path(&graph, from, to, &mut ra, true);
+                let dijkstra = shortest_path(&graph, from, to, &mut rd, false);
+                let ca = path_cost(&graph, &astar);
+                let cd = path_cost(&graph, &dijkstra);
+                assert!(
+                    (ca - cd).abs() < 1e-9,
+                    "A* cost {ca} != Dijkstra cost {cd} for {from:?}->{to:?}"
+                );
+                assert!(ra <= rd, "A* relaxed more ({ra}) than Dijkstra ({rd})");
+            }
+        }
+    }
+
+    /// Property (a) on whole netlists: route a random placed netlist, then
+    /// re-search every connection on the final congestion state with both
+    /// searches and compare costs.
+    #[test]
+    fn astar_matches_dijkstra_on_placed_netlists() {
+        let fp = fabric::Floorplan::u50();
+        let region = fp.pages[1].rect;
+        let mut rng = StdRng::seed_from_u64(11);
+        for case in 0..6u64 {
+            let mut nl = Netlist::new("r");
+            let n_cells = 8 + case as usize * 4;
+            let ids: Vec<_> = (0..n_cells)
+                .map(|i| nl.add_cell(format!("c{i}"), CellKind::Adder { width: 32 }))
+                .collect();
+            for _ in 0..n_cells * 2 {
+                let a = ids[rng.gen_range(0..n_cells)];
+                let b = ids[rng.gen_range(0..n_cells)];
+                nl.add_net(a, vec![b], 32);
+            }
+            let opts = PnrOptions {
+                seed: case + 1,
+                ..Default::default()
+            };
+            let placement = place(&nl, &fp.device, region, &opts).unwrap();
+            let routed = route(&nl, &fp.device, region, &placement, &opts).unwrap();
+            // Rebuild the final congestion state from the returned routes.
+            let mut graph = EdgeGraph::new(region);
+            for (ni, net) in nl.nets.iter().enumerate() {
+                let units = net.width.div_ceil(8).max(1);
+                for path in &routed.routes[ni] {
+                    for w in path.windows(2) {
+                        let dir = DIRS
+                            .iter()
+                            .position(|&(dx, dy)| {
+                                (w[0].0 as i64 + dx, w[0].1 as i64 + dy)
+                                    == (w[1].0 as i64, w[1].1 as i64)
+                            })
+                            .unwrap();
+                        let e = graph.edge_index(w[0].0, w[0].1, dir);
+                        graph.occupancy[e] += units;
+                    }
+                }
+            }
+            for net in &nl.nets {
+                let from = placement.assignment[net.driver.0];
+                for s in &net.sinks {
+                    let to = placement.assignment[s.0];
+                    let mut ra = 0u64;
+                    let mut rd = 0u64;
+                    let astar = shortest_path(&graph, from, to, &mut ra, true);
+                    let dijkstra = shortest_path(&graph, from, to, &mut rd, false);
+                    let ca = path_cost(&graph, &astar);
+                    let cd = path_cost(&graph, &dijkstra);
+                    assert!((ca - cd).abs() < 1e-9, "net cost {ca} != {cd}");
+                }
+            }
+        }
+    }
+
+    /// A deliberately congested but routable case: many wide nets between
+    /// the same two tiles must spread over detours instead of stacking on
+    /// one edge. First-come-first-served routing leaves the direct edge
+    /// overused; negotiation must converge to a legal solution.
+    #[test]
+    fn congested_parallel_nets_converge() {
+        let fp = fabric::Floorplan::u50();
+        let region = fp.pages[0].rect;
+        let mut nl = Netlist::new("cong");
+        let mut drivers = Vec::new();
+        let mut sinks = Vec::new();
+        // All drivers share one corner tile, which has exactly two outgoing
+        // edges (2 × 48 = 96 capacity units): 20 nets of width 32 demand 80
+        // units — infeasible on the single direct edge (capacity 48), but
+        // feasible once negotiation spreads them over both.
+        const N: usize = 20;
+        for i in 0..N {
+            drivers.push(nl.add_cell(format!("d{i}"), CellKind::Register { width: 32 }));
+            sinks.push(nl.add_cell(format!("s{i}"), CellKind::Register { width: 32 }));
+        }
+        for i in 0..N {
+            // width 32 → 4 capacity units per edge; 20 nets want 80 units
+            // through the single direct edge of capacity 48.
+            nl.add_net(drivers[i], vec![sinks[i]], 32);
+        }
+        let mut placement = place(&nl, &fp.device, region, &PnrOptions::default()).unwrap();
+        // Pin all drivers to one tile's coordinates and all sinks to an
+        // adjacent tile's: every net now wants the same unit edge.
+        let (dx, dy) = (region.x0, region.y0);
+        for i in 0..N {
+            placement.assignment[drivers[i].0] = (dx, dy);
+            placement.assignment[sinks[i].0] = (dx, dy + 1);
+        }
+        let routed = route(&nl, &fp.device, region, &placement, &PnrOptions::default())
+            .expect("negotiation must converge: detours exist");
+        assert!(routed.iterations > 1, "expected congestion negotiation");
+        // Independently verify no edge is over capacity.
+        let mut graph = EdgeGraph::new(region);
+        for (ni, net) in nl.nets.iter().enumerate() {
+            let units = net.width.div_ceil(8).max(1);
+            for path in &routed.routes[ni] {
+                for w in path.windows(2) {
+                    let dir = DIRS
+                        .iter()
+                        .position(|&(ddx, ddy)| {
+                            (w[0].0 as i64 + ddx, w[0].1 as i64 + ddy)
+                                == (w[1].0 as i64, w[1].1 as i64)
+                        })
+                        .unwrap();
+                    let e = graph.edge_index(w[0].0, w[0].1, dir);
+                    graph.occupancy[e] += units;
+                }
+            }
+        }
+        assert!(
+            graph.occupancy.iter().all(|&o| o <= CHANNEL_CAPACITY),
+            "an edge is over capacity after negotiation"
+        );
     }
 }
