@@ -1,0 +1,93 @@
+//! Engine A/B micro-benchmark: decode-per-step reference interpreter vs
+//! the pre-decoded block-cached engine on the same compiled operator —
+//! the per-engine numbers behind the cosim speedup row in
+//! `BENCH_streaming.json`.
+//!
+//! `cargo bench -p pld-bench --bench softcore`
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kir::{Expr, Kernel, KernelBuilder, Scalar, Stmt};
+use softcore::{compile_kernel, execute_with, Engine};
+
+/// A streaming accumulator with enough ALU work per token to look like
+/// the spam_filter inner loop (mul/xor/add chains between port accesses).
+fn workload(n: i64) -> Kernel {
+    KernelBuilder::new("ab_workload")
+        .input("in", Scalar::uint(32))
+        .output("out", Scalar::uint(32))
+        .local("x", Scalar::uint(32))
+        .local("acc", Scalar::uint(32))
+        .body([
+            Stmt::for_loop(
+                "i",
+                0..n,
+                [
+                    Stmt::read("x", "in"),
+                    Stmt::assign(
+                        "acc",
+                        Expr::var("acc")
+                            .add(Expr::var("x").mul(Expr::cint(17)).xor(Expr::var("i"))),
+                    ),
+                ],
+            ),
+            Stmt::write("out", Expr::var("acc")),
+        ])
+        .build()
+        .expect("kernel is well-formed")
+}
+
+fn bench_engines(c: &mut Criterion) {
+    let binary = compile_kernel(&workload(1024)).expect("compiles");
+    let inputs: Vec<Vec<u32>> = vec![(0..1024).collect()];
+    let cycles = execute_with(&binary, &inputs, u64::MAX, Engine::BlockCached)
+        .expect("runs")
+        .cycles;
+    assert_eq!(
+        cycles,
+        execute_with(&binary, &inputs, u64::MAX, Engine::Reference)
+            .expect("runs")
+            .cycles,
+        "engines must agree on simulated cycles before we race them"
+    );
+
+    let mut group = c.benchmark_group("softcore_engines");
+    group.sample_size(30);
+    group.bench_function("decode_per_step", |b| {
+        b.iter(|| {
+            execute_with(&binary, &inputs, u64::MAX, Engine::Reference)
+                .expect("runs")
+                .cycles
+        })
+    });
+    group.bench_function("block_cached", |b| {
+        b.iter(|| {
+            execute_with(&binary, &inputs, u64::MAX, Engine::BlockCached)
+                .expect("runs")
+                .cycles
+        })
+    });
+    group.finish();
+
+    // A direct cycles/sec readout (best of 10) so the A/B ratio is
+    // visible without dividing Criterion's wall times by hand.
+    let rate = |engine: Engine| {
+        (0..10)
+            .map(|_| {
+                let t = std::time::Instant::now();
+                let c = execute_with(&binary, &inputs, u64::MAX, engine)
+                    .expect("runs")
+                    .cycles;
+                c as f64 / t.elapsed().as_secs_f64()
+            })
+            .fold(0.0f64, f64::max)
+    };
+    let slow = rate(Engine::Reference);
+    let fast = rate(Engine::BlockCached);
+    println!(
+        "\n{cycles} simulated cycles per run\ndecode_per_step {slow:.0} cycles/sec, block_cached {fast:.0} cycles/sec ({:.2}x)",
+        fast / slow
+    );
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

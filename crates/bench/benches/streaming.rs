@@ -74,15 +74,25 @@ fn bench_cosim_skip_ahead(c: &mut Criterion) {
     let out_len = rosetta::util::unwords(&bench.run_functional()["Output_1"]).len();
     let mut group = c.benchmark_group("cosim_spam_tiny");
     group.sample_size(10);
-    for (name, skip_ahead) in [("skip_ahead", true), ("cycle_by_cycle", false)] {
-        group.bench_with_input(BenchmarkId::from_parameter(name), &skip_ahead, |b, &s| {
+    let configs = [
+        ("cycle_by_cycle", false, false),
+        ("skip_ahead", true, false),
+        ("block_cache", false, true),
+        ("skip_ahead+block_cache", true, true),
+    ];
+    for (name, skip_ahead, block_cache) in configs {
+        let config = CosimConfig {
+            skip_ahead,
+            block_cache,
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(name), &config, |b, &cfg| {
             b.iter(|| {
                 pld::cosim_o0_with(
                     &app,
                     std::slice::from_ref(&input_words),
                     &[out_len],
                     2_000_000_000,
-                    CosimConfig { skip_ahead: s },
+                    cfg,
                 )
                 .unwrap()
             })

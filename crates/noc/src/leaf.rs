@@ -2,7 +2,7 @@
 
 use listream::SimFifo;
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 use crate::switch::Flit;
 
@@ -31,6 +31,16 @@ impl PortAddr {
     }
 }
 
+/// Per-(source leaf, input port) stream reassembly state.
+#[derive(Debug, Clone)]
+struct ReorderSlot {
+    key: (u16, u8),
+    /// Next expected sequence number.
+    expected: u32,
+    /// Early arrivals buffered until their predecessors land.
+    pending: BTreeMap<u32, u32>,
+}
+
 /// The standard leaf interface wrapped around every page (paper Sec. 4.1):
 /// destination registers stamp packet headers onto outgoing stream words;
 /// per-port receive FIFOs reassemble incoming streams.
@@ -50,8 +60,10 @@ pub struct LeafInterface {
     recv: Vec<VecDeque<u32>>,
     /// Reorder state per (source leaf, input port): next expected sequence
     /// number and the buffer of early arrivals. Deflection routing may
-    /// overtake within a stream; this restores FIFO delivery.
-    reorder: HashMap<(u16, u8), (u32, BTreeMap<u32, u32>)>,
+    /// overtake within a stream; this restores FIFO delivery. A leaf talks
+    /// to a handful of sources at most, so a linearly-scanned list beats a
+    /// hash map on the per-flit delivery path.
+    reorder: Vec<ReorderSlot>,
     /// Per-output-stream sequence counters stamped onto injected flits.
     pub(crate) seq_counters: Vec<u32>,
 }
@@ -64,7 +76,7 @@ impl LeafInterface {
             dest_table: vec![None; out_streams],
             out_queue: SimFifo::new(queue_depth.max(1)),
             recv: vec![VecDeque::new(); in_ports],
-            reorder: HashMap::new(),
+            reorder: Vec::new(),
             seq_counters: vec![0; out_streams],
         }
     }
@@ -115,26 +127,34 @@ impl LeafInterface {
         if p >= self.recv.len() {
             self.recv.resize(p + 1, VecDeque::new());
         }
-        let (expected, pending) = self
-            .reorder
-            .entry((src, port))
-            .or_insert((0, BTreeMap::new()));
-        if seq == *expected {
+        let idx = match self.reorder.iter().position(|s| s.key == (src, port)) {
+            Some(i) => i,
+            None => {
+                self.reorder.push(ReorderSlot {
+                    key: (src, port),
+                    expected: 0,
+                    pending: BTreeMap::new(),
+                });
+                self.reorder.len() - 1
+            }
+        };
+        let slot = &mut self.reorder[idx];
+        if seq == slot.expected {
             self.recv[p].push_back(payload);
-            *expected += 1;
+            slot.expected += 1;
             // Release any buffered successors.
-            while let Some(w) = pending.remove(expected) {
+            while let Some(w) = slot.pending.remove(&slot.expected) {
                 self.recv[p].push_back(w);
-                *expected += 1;
+                slot.expected += 1;
             }
         } else {
-            pending.insert(seq, payload);
+            slot.pending.insert(seq, payload);
         }
     }
 
     /// Words buffered out of order, awaiting their predecessors.
     pub fn reorder_pending(&self) -> usize {
-        self.reorder.values().map(|(_, p)| p.len()).sum()
+        self.reorder.iter().map(|s| s.pending.len()).sum()
     }
 
     /// Pops a received word from input port `port`.

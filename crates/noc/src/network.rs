@@ -100,6 +100,13 @@ pub struct BftNoc {
     /// Per-step scratch for active switch / leaf index sets.
     active: Vec<usize>,
     inputs_scratch: Vec<Flit>,
+    /// Monotone per-leaf event counters: data deliveries into the leaf's
+    /// input ports (`rx_seq`) and uplink slots freed from its out FIFO
+    /// (`tx_seq`). A client waiting on a port can cache the counter and
+    /// skip re-polling until it moves — the only ways `pending` can grow
+    /// or `can_inject` can flip are these two events.
+    rx_seq: Vec<u64>,
+    tx_seq: Vec<u64>,
     cycle: u64,
     stats: NocStats,
 }
@@ -140,6 +147,8 @@ impl BftNoc {
             queued_flits: 0,
             active: Vec::new(),
             inputs_scratch: Vec::with_capacity(3),
+            rx_seq: vec![0; n_leaves],
+            tx_seq: vec![0; n_leaves],
             cycle: 0,
             stats: NocStats::default(),
         }
@@ -256,6 +265,18 @@ impl BftNoc {
         self.leaves[leaf].pending(port)
     }
 
+    /// Monotone count of data deliveries into `leaf`'s input ports. While
+    /// this is unchanged, no `pending` count on the leaf can have grown.
+    pub fn rx_events(&self, leaf: usize) -> u64 {
+        self.rx_seq[leaf]
+    }
+
+    /// Monotone count of uplink slots freed from `leaf`'s out FIFO. While
+    /// this is unchanged, a full out FIFO is still full.
+    pub fn tx_events(&self, leaf: usize) -> u64 {
+        self.tx_seq[leaf]
+    }
+
     /// Whether any flit is still in flight inside the tree.
     pub fn in_flight(&self) -> bool {
         self.tree_flits > 0 || self.queued_flits > 0
@@ -278,6 +299,14 @@ impl BftNoc {
             self.cycle += 1;
             return;
         }
+        // A lone flit with empty out FIFOs — the dominant busy case on a
+        // lightly loaded tree — moves one uncontended hop without the full
+        // sweep machinery.
+        if self.tree_flits == 1 && self.queued_flits == 0 && self.levels > 0 {
+            self.step_single_flit();
+            self.cycle += 1;
+            return;
+        }
         let levels = self.levels;
         let mut next_up = std::mem::take(&mut self.up_next);
         let mut next_down = std::mem::take(&mut self.down_next);
@@ -288,7 +317,13 @@ impl BftNoc {
         // Switches: level-l switch index s has children at level l-1 nodes
         // (2s, 2s+1); its own "node index" at level l is s. The switch at
         // the top (l == levels) is the root.
+        let mut inputs = std::mem::take(&mut self.inputs_scratch);
         for l in 1..=levels {
+            // A level with no upward or downward flits has no active
+            // switches — skip the set construction entirely.
+            if self.up_occ[l - 1].is_empty() && (l == levels || self.down_occ[l].is_empty()) {
+                continue;
+            }
             active.clear();
             for &i in &self.up_occ[l - 1] {
                 active.push(i / 2);
@@ -296,10 +331,13 @@ impl BftNoc {
             if l < levels {
                 active.extend_from_slice(&self.down_occ[l]);
             }
-            active.sort_unstable();
-            active.dedup();
+            // Lightly-loaded cycles have one or two active switches; the
+            // sort machinery costs more than it saves there.
+            if active.len() > 1 {
+                active.sort_unstable();
+                active.dedup();
+            }
             for &s in &active {
-                let mut inputs = std::mem::take(&mut self.inputs_scratch);
                 if let Some(f) = self.up[l - 1][2 * s] {
                     inputs.push(f);
                 }
@@ -330,9 +368,9 @@ impl BftNoc {
                     next_up_occ[l].push(s);
                 }
                 inputs.clear();
-                self.inputs_scratch = inputs;
             }
         }
+        self.inputs_scratch = inputs;
 
         // Leaves: deliver incoming (bouncing mis-deflected flits back up),
         // then inject one flit onto the uplink if it is free. Only leaves
@@ -340,8 +378,10 @@ impl BftNoc {
         active.clear();
         active.extend_from_slice(&self.down_occ[0]);
         active.extend_from_slice(&self.queued_leaves);
-        active.sort_unstable();
-        active.dedup();
+        if active.len() > 1 {
+            active.sort_unstable();
+            active.dedup();
+        }
         for &i in &active {
             let leaf = &mut self.leaves[i];
             if let Some(flit) = self.down[0][i] {
@@ -359,6 +399,7 @@ impl BftNoc {
                     match flit.kind {
                         FlitKind::Data => {
                             leaf.deliver(flit.src_leaf, flit.dest_port, flit.seq, flit.payload);
+                            self.rx_seq[i] += 1;
                             self.stats.delivered += 1;
                             self.stats.total_latency += latency;
                             self.stats.max_latency = self.stats.max_latency.max(latency);
@@ -375,6 +416,7 @@ impl BftNoc {
                     next_up[0][i] = Some(flit);
                     next_up_occ[0].push(i);
                     self.queued_flits -= 1;
+                    self.tx_seq[i] += 1;
                 }
             }
         }
@@ -409,6 +451,86 @@ impl BftNoc {
         self.down_occ_next = std::mem::replace(&mut self.down_occ, next_down_occ);
         self.active = active;
         self.cycle += 1;
+    }
+
+    /// Moves the single in-flight flit one hop. With no other flit and no
+    /// queued traffic there is no contention, so the move mirrors what the
+    /// dense sweep would do — including root deflection and the wrong-leaf
+    /// bounce — while touching only the slots involved.
+    fn step_single_flit(&mut self) {
+        // Locate the flit: exactly one occupancy list has one entry.
+        let mut pos = None;
+        for l in 0..self.levels {
+            if let Some(&i) = self.up_occ[l].first() {
+                pos = Some((true, l, i));
+                break;
+            }
+            if let Some(&i) = self.down_occ[l].first() {
+                pos = Some((false, l, i));
+                break;
+            }
+        }
+        let Some((is_up, l, i)) = pos else {
+            debug_assert!(false, "tree_flits == 1 with empty occupancy");
+            return;
+        };
+        if !is_up && l == 0 {
+            // Arrival at leaf `i`.
+            let flit = self.down[0][i].take().expect("occupancy list is exact");
+            self.down_occ[0].clear();
+            if flit.dest_leaf as usize != i {
+                // Mis-deflected: bounce straight back up (uplink is free).
+                self.stats.deflections += 1;
+                self.up[0][i] = Some(flit);
+                self.up_occ[0].push(i);
+                return;
+            }
+            self.tree_flits = 0;
+            let latency = self.cycle.saturating_sub(flit.birth);
+            match flit.kind {
+                FlitKind::Data => {
+                    self.leaves[i].deliver(flit.src_leaf, flit.dest_port, flit.seq, flit.payload);
+                    self.rx_seq[i] += 1;
+                    self.stats.delivered += 1;
+                    self.stats.total_latency += latency;
+                    self.stats.max_latency = self.stats.max_latency.max(latency);
+                }
+                FlitKind::Config => {
+                    self.leaves[i].apply_config(flit.dest_port, flit.payload);
+                    self.stats.config_writes += 1;
+                }
+            }
+            return;
+        }
+        // Through a switch: an up flit at level `l` feeds the switch at
+        // level `l + 1` above node `i`; a down flit at level `l >= 1` feeds
+        // switch `(l, i)` itself.
+        let (sl, s, flit) = if is_up {
+            let f = self.up[l][i].take().expect("occupancy list is exact");
+            self.up_occ[l].clear();
+            (l + 1, i / 2, f)
+        } else {
+            let f = self.down[l][i].take().expect("occupancy list is exact");
+            self.down_occ[l].clear();
+            (l, i, f)
+        };
+        let lo = (s << sl) as u16;
+        let hi = ((s + 1) << sl) as u16;
+        let mid = lo + (1u16 << (sl - 1));
+        if flit.dest_leaf >= lo && flit.dest_leaf < hi {
+            let child = 2 * s + usize::from(flit.dest_leaf >= mid);
+            self.down[sl - 1][child] = Some(flit);
+            self.down_occ[sl - 1].push(child);
+        } else if sl < self.levels {
+            self.up[sl][s] = Some(flit);
+            self.up_occ[sl].push(s);
+        } else {
+            // Out-of-range destination at the root: deflect down the left
+            // child, as the general arbitration would.
+            self.stats.deflections += 1;
+            self.down[sl - 1][2 * s] = Some(flit);
+            self.down_occ[sl - 1].push(2 * s);
+        }
     }
 
     /// Steps until the network drains or `max_cycles` elapse; returns the

@@ -64,11 +64,34 @@ pub fn arbitrate(
     mid: u16,
     has_up: bool,
 ) -> ([Option<Flit>; 3], u32) {
+    let mut out: [Option<Flit>; 3] = [None, None, None];
+
+    // A lone input wins its preferred port uncontested — the common case on
+    // a lightly loaded tree — so the ordering and deflection machinery is
+    // skipped entirely. (The one exception: a destination outside every
+    // subtree wants Up at the root, which has none; it deflects down the
+    // left child exactly as the general path would.)
+    if inputs.len() == 1 {
+        let flit = inputs.pop().expect("len checked");
+        let (lo, hi) = subtree;
+        let mut pi = if flit.dest_leaf >= lo && flit.dest_leaf < hi {
+            usize::from(flit.dest_leaf >= mid)
+        } else {
+            2
+        };
+        let mut deflections = 0;
+        if pi == 2 && !has_up {
+            pi = 0;
+            deflections = 1;
+        }
+        out[pi] = Some(flit);
+        return (out, deflections);
+    }
+
     // Oldest first: smaller birth wins arbitration (FIFO age ordering is the
     // standard deflection-network livelock guard).
     inputs.sort_by_key(|f| (f.birth, f.dest_leaf, f.dest_port, f.payload));
 
-    let mut out: [Option<Flit>; 3] = [None, None, None];
     let mut deflections = 0;
 
     let port_index = |p: SwitchPort| match p {

@@ -101,6 +101,10 @@ pub enum RuntimeError {
     DmaStreamsExhausted,
     /// Functional execution of a request failed.
     Execution(String),
+    /// The app's resident state vanished partway through an operation that
+    /// verified it up front — a mis-sequenced evict/swap. The fabric may
+    /// hold partial state for the app; tear it down and resubmit.
+    ResidencyLost(AppId),
 }
 
 impl fmt::Display for RuntimeError {
@@ -120,6 +124,9 @@ impl fmt::Display for RuntimeError {
                 write!(f, "no free DMA stream registers on the shared leaf")
             }
             RuntimeError::Execution(e) => write!(f, "request execution failed: {e}"),
+            RuntimeError::ResidencyLost(id) => {
+                write!(f, "app {id} lost residency mid-operation (evict/swap race)")
+            }
         }
     }
 }
@@ -332,8 +339,7 @@ impl Runtime {
         if !self.resident.contains_key(&id.0) {
             return Err(RuntimeError::NotResident(id));
         }
-        self.evict_internal(id);
-        Ok(())
+        self.evict_internal(id)
     }
 
     /// Statistics snapshot.
@@ -368,7 +374,13 @@ impl Runtime {
                 Err(_) => match self.lru_victim() {
                     Some(victim) => {
                         let victim_name = self.resident[&victim.0].name.clone();
-                        self.evict_internal(victim);
+                        if self.evict_internal(victim).is_err() {
+                            // The victim vanished between selection and
+                            // eviction — bail out rather than loop on a
+                            // placement that will never open up.
+                            self.reject(id, &name, "eviction raced with a teardown", events);
+                            return;
+                        }
                         events.push(RuntimeEvent::Evicted {
                             id: victim,
                             name: victim_name,
@@ -470,16 +482,17 @@ impl Runtime {
         })
     }
 
-    fn evict_internal(&mut self, id: AppId) {
+    fn evict_internal(&mut self, id: AppId) -> Result<(), RuntimeError> {
         let resident = self
             .resident
             .remove(&id.0)
-            .expect("evicting a resident app");
+            .ok_or(RuntimeError::ResidencyLost(id))?;
         self.device.unlink(&resident.links);
         for p in &resident.placement {
             self.device.release(p.actual);
         }
         self.stats.evicted += 1;
+        Ok(())
     }
 
     fn lru_victim(&self) -> Option<AppId> {

@@ -115,7 +115,9 @@ impl Runtime {
         if new_app.floorplan != self.device().floorplan {
             return Err(RuntimeError::FloorplanMismatch);
         }
-        let resident = self.resident_ref(id).expect("still resident");
+        let resident = self
+            .resident_ref(id)
+            .ok_or(RuntimeError::ResidencyLost(id))?;
         let old_app = &resident.app;
         if new_app.operators.len() != old_app.operators.len()
             || new_app
@@ -302,7 +304,12 @@ impl Runtime {
             .map(|&i| new_app.operators[i].name.clone())
             .collect();
         {
-            let resident = self.resident_mut(id).expect("still resident");
+            // The residency check at entry makes this unreachable in a
+            // well-sequenced swap; a typed error still beats unwinding
+            // with the device bindings already moved.
+            let resident = self
+                .resident_mut(id)
+                .ok_or(RuntimeError::ResidencyLost(id))?;
             resident.app = new_app;
             resident.placement = placement;
             resident.links = new_links;
@@ -478,5 +485,37 @@ mod tests {
         ));
         // The resident app is untouched.
         assert_eq!(rt.resident_ref(id).unwrap().placement.len(), 3);
+    }
+
+    #[test]
+    fn mis_sequenced_evict_and_swap_report_typed_errors() {
+        let mut cache = BuildCache::new();
+        let opts = CompileOptions::new(OptLevel::O0);
+        let app = cache.compile(&pipeline([1, 2, 3]), &opts).unwrap();
+        let mut rt = Runtime::new(Floorplan::u50());
+        let id = rt.submit("pipe", app).unwrap();
+        rt.poll();
+
+        // Well-sequenced evict succeeds; the double evict and a swap on
+        // the gone app are typed errors, not panics.
+        rt.evict(id).unwrap();
+        assert!(matches!(rt.evict(id), Err(RuntimeError::NotResident(_))));
+        assert!(matches!(
+            rt.hot_swap(id, &pipeline([1, 9, 3]), &mut cache, &opts),
+            Err(RuntimeError::NotResident(_))
+        ));
+
+        // Driving the swap layer directly after the evict — the
+        // mis-sequenced ordering that used to panic on
+        // `expect("still resident")` — surfaces the invariant error.
+        let new_app = cache.compile(&pipeline([1, 9, 3]), &opts).unwrap();
+        assert!(matches!(
+            rt.swap_to_app(id, new_app, 0, 0),
+            Err(RuntimeError::ResidencyLost(_))
+        ));
+        assert!(matches!(
+            rt.evict_internal(id),
+            Err(RuntimeError::ResidencyLost(_))
+        ));
     }
 }

@@ -38,8 +38,14 @@ impl SoftBinary {
     /// memories".
     pub fn instantiate(&self) -> Cpu {
         let mut cpu = Cpu::new(self.mem_bytes, self.intrinsics.clone());
-        let code_bytes: Vec<u8> = self.code.iter().flat_map(|w| w.to_le_bytes()).collect();
-        cpu.load(0, &code_bytes);
+        // Write code words straight into the fresh memory image — no
+        // intermediate byte buffer, no invalidation (the cache is empty).
+        for (dst, w) in cpu.mem[..self.code.len() * 4]
+            .chunks_exact_mut(4)
+            .zip(&self.code)
+        {
+            dst.copy_from_slice(&w.to_le_bytes());
+        }
         for (addr, bytes) in &self.data_init {
             cpu.load(*addr, bytes);
         }

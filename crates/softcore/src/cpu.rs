@@ -4,6 +4,7 @@ use aplib::{DynFixed, DynInt};
 use kir::ops::{eval_bin, eval_un};
 use kir::types::{Scalar, Value};
 
+use crate::block::BlockCache;
 use crate::firmware::{self, cycles, Intrinsic};
 use crate::isa::Instr;
 
@@ -38,12 +39,15 @@ pub struct Cpu {
     pub regs: [u32; 32],
     /// Program counter.
     pub pc: u32,
-    mem: Vec<u8>,
-    intrinsics: Vec<Intrinsic>,
+    pub(crate) mem: Vec<u8>,
+    pub(crate) intrinsics: Vec<Intrinsic>,
     /// Cycles elapsed (including stalls).
     pub cycles: u64,
     /// Instructions retired.
     pub instructions: u64,
+    /// Pre-decoded basic blocks for [`Cpu::run_ahead`]; invalidated by any
+    /// write into decoded bytes (`store_n`, intrinsic slot writes, loader).
+    pub(crate) icache: BlockCache,
 }
 
 impl Cpu {
@@ -66,6 +70,7 @@ impl Cpu {
             intrinsics,
             cycles: 0,
             instructions: 0,
+            icache: BlockCache::default(),
         }
     }
 
@@ -75,8 +80,16 @@ impl Cpu {
     ///
     /// Panics if the range is outside memory.
     pub fn load(&mut self, addr: u32, bytes: &[u8]) {
+        // The loader rewriting memory (initial load, runtime hot swap)
+        // invalidates any decoded blocks covering the range.
+        self.icache.invalidate(addr, bytes.len() as u32);
         let a = addr as usize;
         self.mem[a..a + bytes.len()].copy_from_slice(bytes);
+    }
+
+    /// The unified memory (diagnostics / tests).
+    pub fn memory(&self) -> &[u8] {
+        &self.mem
     }
 
     /// Reads a 32-bit word from memory (diagnostics / tests).
@@ -93,20 +106,39 @@ impl Cpu {
         }
     }
 
+    /// Register read for the micro-op dispatch loop (unpacked `u8` index,
+    /// decode-validated `< 32`). Masking keeps the index in range without
+    /// a bounds check, and slot 0 reads as zero because [`Cpu::wr`] (and
+    /// every other register write) refuses to write it.
+    #[inline(always)]
+    pub(crate) fn rr(&self, r: u8) -> u32 {
+        self.regs[(r & 31) as usize]
+    }
+
+    /// Register write for the micro-op dispatch loop.
+    #[inline(always)]
+    pub(crate) fn wr(&mut self, r: u8, v: u32) {
+        if r != 0 {
+            self.regs[(r & 31) as usize] = v;
+        }
+    }
+
     fn set_reg(&mut self, r: u32, v: u32) {
         if r != 0 {
             self.regs[r as usize] = v;
         }
     }
 
-    fn mem_ok(&self, addr: u32, len: u32) -> bool {
+    #[inline]
+    pub(crate) fn mem_ok(&self, addr: u32, len: u32) -> bool {
         (addr as usize)
             .checked_add(len as usize)
             .map(|end| end <= self.mem.len())
             .unwrap_or(false)
     }
 
-    fn load_n(&self, addr: u32, len: u32) -> u32 {
+    #[inline]
+    pub(crate) fn load_n(&self, addr: u32, len: u32) -> u32 {
         let a = addr as usize;
         match len {
             1 => self.mem[a] as u32,
@@ -115,7 +147,13 @@ impl Cpu {
         }
     }
 
-    fn store_n(&mut self, addr: u32, len: u32, v: u32) {
+    #[inline]
+    pub(crate) fn store_n(&mut self, addr: u32, len: u32, v: u32) {
+        // Every architectural memory write funnels through here (executed
+        // stores and intrinsic slot writes), so this is the one place the
+        // block cache watches for self-modifying code. The common case —
+        // data living above the decoded span — is a single compare.
+        self.icache.invalidate(addr, len);
         let a = addr as usize;
         match len {
             1 => self.mem[a] = v as u8,
@@ -173,7 +211,7 @@ impl Cpu {
         }
     }
 
-    fn ecall(&mut self) -> Result<(), ()> {
+    pub(crate) fn ecall(&mut self) -> Result<(), ()> {
         let idx = self.reg(crate::isa::reg::A7) as usize;
         let Some(intr) = self.intrinsics.get(idx).copied() else {
             return Err(());

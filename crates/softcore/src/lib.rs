@@ -21,6 +21,10 @@
 //!   semihosted calls with calibrated cycle costs;
 //! * [`binary`] — the ELF-like artifact and the pre-linker/loader (`pld`)
 //!   packing of Sec. 6.1 (binary + page number + load addresses);
+//! * [`block`] — the pre-decoded basic-block cache: firmware decodes once
+//!   into dense micro-op buffers executed by a tight dispatch loop, with
+//!   the decode-per-step [`cpu`] interpreter kept as the bit-identical
+//!   reference;
 //! * [`run`] — a batch executor wiring a compiled operator to word streams.
 //!
 //! The compiler and the `kir` interpreter are property-tested to produce
@@ -28,6 +32,7 @@
 //! on.
 
 pub mod binary;
+pub mod block;
 pub mod cc;
 pub mod cpu;
 pub mod firmware;
@@ -35,6 +40,7 @@ pub mod isa;
 pub mod run;
 
 pub use binary::{PackedBinary, SoftBinary};
+pub use block::IcacheStats;
 pub use cc::{compile_kernel, CcError};
 pub use cpu::{Cpu, StepResult, StreamIo};
-pub use run::{execute, ExecOutput, RunError};
+pub use run::{execute, execute_reference, execute_with, Engine, ExecOutput, RunError};

@@ -76,10 +76,27 @@ impl StreamIo for BatchIo {
     }
 }
 
+/// Which execution core drives a run. The two engines are bit-identical
+/// in every architectural observable (registers, memory, cycles,
+/// instructions, stream traffic) — asserted by the differential tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// Pre-decoded basic-block cache: firmware decodes once into micro-op
+    /// buffers and runs through [`crate::Cpu::run_ahead`], with visible
+    /// stream I/O executed by [`crate::Cpu::step_cached`]; only halts and
+    /// traps drop to the reference `step`.
+    #[default]
+    BlockCached,
+    /// The decode-per-step reference interpreter ([`crate::Cpu::step`] in
+    /// a loop). Slower; kept as the semantics oracle.
+    Reference,
+}
+
 /// Runs a compiled operator on input word streams until it halts.
 ///
 /// In batch mode the input FIFOs are never refilled, so a stall on an empty
-/// read port is a starvation error rather than a wait.
+/// read port is a starvation error rather than a wait. Uses the default
+/// block-cached engine; see [`execute_with`].
 ///
 /// # Errors
 ///
@@ -89,14 +106,56 @@ pub fn execute(
     inputs: &[Vec<u32>],
     max_cycles: u64,
 ) -> Result<ExecOutput, RunError> {
+    execute_with(binary, inputs, max_cycles, Engine::BlockCached)
+}
+
+/// [`execute`] pinned to the decode-per-step reference interpreter
+/// (A/B baseline for tests and benches).
+///
+/// # Errors
+///
+/// See [`RunError`].
+pub fn execute_reference(
+    binary: &SoftBinary,
+    inputs: &[Vec<u32>],
+    max_cycles: u64,
+) -> Result<ExecOutput, RunError> {
+    execute_with(binary, inputs, max_cycles, Engine::Reference)
+}
+
+/// Runs a compiled operator with an explicit [`Engine`].
+///
+/// # Errors
+///
+/// See [`RunError`].
+pub fn execute_with(
+    binary: &SoftBinary,
+    inputs: &[Vec<u32>],
+    max_cycles: u64,
+    engine: Engine,
+) -> Result<ExecOutput, RunError> {
     let mut cpu = binary.instantiate();
     let mut io = BatchIo {
         inputs: inputs.iter().map(|v| v.iter().copied().collect()).collect(),
         outputs: vec![Vec::new(); binary.out_ports as usize],
         starved: None,
     };
-    while cpu.cycles < max_cycles {
-        match cpu.step(&mut io) {
+    loop {
+        if engine == Engine::BlockCached {
+            // Burn through core-private work; stops with pc on the next
+            // instruction that does I/O, halts, traps, or busts the
+            // budget — which step_cached() below then handles, exactly
+            // as the reference loop would have.
+            cpu.run_ahead(u64::MAX, max_cycles);
+        }
+        if cpu.cycles >= max_cycles {
+            return Err(RunError::CycleBudget { budget: max_cycles });
+        }
+        let result = match engine {
+            Engine::BlockCached => cpu.step_cached(&mut io),
+            Engine::Reference => cpu.step(&mut io),
+        };
+        match result {
             StepResult::Ok => {}
             StepResult::Stall => {
                 if let Some(port) = io.starved {
@@ -113,7 +172,6 @@ pub fn execute(
             StepResult::Trap { pc } => return Err(RunError::Trap { pc }),
         }
     }
-    Err(RunError::CycleBudget { budget: max_cycles })
 }
 
 #[cfg(test)]
@@ -157,5 +215,27 @@ mod tests {
     fn cycle_budget_enforced() {
         let err = execute(&doubler(), &[(1..=8).collect()], 10).unwrap_err();
         assert!(matches!(err, RunError::CycleBudget { .. }));
+    }
+
+    #[test]
+    fn engines_agree_bit_identically() {
+        let bin = doubler();
+        let inputs = vec![(1..=8).collect::<Vec<u32>>()];
+        let fast = execute_with(&bin, &inputs, 1_000_000, Engine::BlockCached).unwrap();
+        let slow = execute_with(&bin, &inputs, 1_000_000, Engine::Reference).unwrap();
+        assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn engines_agree_on_budget_exhaustion() {
+        // The budget error must fire at the same point in both engines,
+        // across budgets that land mid-block and mid-instruction.
+        let bin = doubler();
+        let inputs = vec![(1..=8).collect::<Vec<u32>>()];
+        for budget in [1u64, 7, 10, 33, 100, 250] {
+            let fast = execute_with(&bin, &inputs, budget, Engine::BlockCached);
+            let slow = execute_with(&bin, &inputs, budget, Engine::Reference);
+            assert_eq!(fast, slow, "budget {budget}");
+        }
     }
 }

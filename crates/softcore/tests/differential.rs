@@ -1,0 +1,349 @@
+//! Differential suite: the block-cached engine must be bit-identical to
+//! the decode-per-step reference on random firmware images under random
+//! stream stall/availability patterns — final registers, memory, cycle
+//! count, instruction count, and emitted tokens all equal (the A/B
+//! discipline behind shipping the pre-decoded engine as the default).
+
+use proptest::prelude::*;
+use softcore::cpu::{StepResult, StreamIo};
+use softcore::isa::Instr;
+use softcore::{firmware, Cpu};
+
+const MEM_BYTES: u32 = 4096;
+/// Scratch data region for random loads/stores (code sits below it).
+const SCRATCH: i32 = 1024;
+const CYCLE_BUDGET: u64 = 50_000;
+
+/// Deterministic stream endpoint: availability is a function of the call
+/// number alone, so two engines that issue the same architectural sequence
+/// of port accesses observe the same stalls and the same tokens.
+struct PatternIo {
+    read_avail: Vec<bool>,
+    write_avail: Vec<bool>,
+    read_calls: usize,
+    write_calls: usize,
+    tokens_read: u32,
+    written: Vec<u32>,
+}
+
+impl PatternIo {
+    fn new(read_avail: Vec<bool>, write_avail: Vec<bool>) -> PatternIo {
+        PatternIo {
+            read_avail,
+            write_avail,
+            read_calls: 0,
+            write_calls: 0,
+            tokens_read: 0,
+            written: Vec::new(),
+        }
+    }
+}
+
+impl StreamIo for PatternIo {
+    fn read(&mut self, _port: u32) -> Option<u32> {
+        let ok = self.read_avail[self.read_calls % self.read_avail.len()];
+        self.read_calls += 1;
+        if ok {
+            self.tokens_read += 1;
+            Some(self.tokens_read.wrapping_mul(0x9E37_79B9))
+        } else {
+            None
+        }
+    }
+
+    fn write(&mut self, port: u32, word: u32) -> bool {
+        let ok = self.write_avail[self.write_calls % self.write_avail.len()];
+        self.write_calls += 1;
+        if ok {
+            self.written.push((port << 24) ^ word);
+        }
+        ok
+    }
+}
+
+/// One random instruction from a compact recipe. Control flow only jumps
+/// forward (backward branches come from a dedicated selector with a small
+/// bounded hop, so loops re-enter recently executed code and exercise the
+/// intra-block transfer path); the cycle budget bounds the runaway cases
+/// identically in both engines.
+fn instr(sel: u8, a: u8, b: u8, imm: i16, at: usize, len: usize) -> Instr {
+    // x1..x12 are general scratch; x5 points at SCRATCH, x6/x7 at the
+    // stream read/write windows (set up by the prelude).
+    let rd = u32::from(a % 12) + 1;
+    let rs1 = u32::from(b % 12) + 1;
+    let rs2 = u32::from(a.wrapping_add(b) % 12) + 1;
+    let word_off = i32::from(imm as u8 % 200) * 4;
+    let fwd = 4 * (i32::from(b % 4) + 1);
+    match sel % 18 {
+        0 => Instr::Addi {
+            rd,
+            rs1,
+            imm: i32::from(imm % 2048),
+        },
+        1 => Instr::Add { rd, rs1, rs2 },
+        2 => Instr::Sub { rd, rs1, rs2 },
+        3 => Instr::Mul { rd, rs1, rs2 },
+        4 => Instr::Div { rd, rs1, rs2 },
+        5 => Instr::Remu { rd, rs1, rs2 },
+        6 => Instr::Xor { rd, rs1, rs2 },
+        7 => Instr::Sltu { rd, rs1, rs2 },
+        8 => Instr::Slli {
+            rd,
+            rs1,
+            shamt: u32::from(b) % 32,
+        },
+        9 => Instr::Srai {
+            rd,
+            rs1,
+            shamt: u32::from(a) % 32,
+        },
+        10 => Instr::Lw {
+            rd,
+            rs1: 5,
+            imm: word_off,
+        },
+        11 => Instr::Lbu {
+            rd,
+            rs1: 5,
+            imm: i32::from(imm as u8),
+        },
+        12 => Instr::Sw {
+            rs1: 5,
+            rs2,
+            imm: word_off,
+        },
+        13 => Instr::Sb {
+            rs1: 5,
+            rs2,
+            imm: i32::from(imm as u8),
+        },
+        // Stream read / write through the port windows.
+        14 => Instr::Lw { rd, rs1: 6, imm: 0 },
+        15 => Instr::Sw {
+            rs1: 7,
+            rs2,
+            imm: 0,
+        },
+        16 => Instr::Bne { rs1, rs2, imm: fwd },
+        _ => {
+            // A short backward hop when there is room, else forward: a
+            // bounded loop whose exit (or the cycle budget) both engines
+            // hit at the same instruction.
+            let back = 4 * (i32::from(b % 3) + 1);
+            if at >= 4 && at + 1 < len {
+                Instr::Beq {
+                    rs1,
+                    rs2: rs1,
+                    imm: if a.is_multiple_of(4) { -back } else { fwd },
+                }
+            } else {
+                Instr::Jal { rd: 1, imm: fwd }
+            }
+        }
+    }
+}
+
+/// Assembles the prelude + random body + ebreak tail into a fresh core.
+fn build_cpu(recipe: &[(u8, u8, u8, i16)]) -> Cpu {
+    let mut code: Vec<Instr> = vec![
+        // x5 = scratch base, x6 = stream read window, x7 = write window.
+        Instr::Addi {
+            rd: 5,
+            rs1: 0,
+            imm: SCRATCH,
+        },
+        Instr::Lui {
+            rd: 6,
+            imm: firmware::STREAM_READ_BASE as i32,
+        },
+        Instr::Lui {
+            rd: 7,
+            imm: firmware::STREAM_WRITE_BASE as i32,
+        },
+    ];
+    let body_start = code.len();
+    let body_len = recipe.len();
+    for (i, &(sel, a, b, imm)) in recipe.iter().enumerate() {
+        code.push(instr(sel, a, b, imm, i + body_start, body_start + body_len));
+    }
+    // Padding halts so every bounded forward hop lands on valid code.
+    for _ in 0..6 {
+        code.push(Instr::Ebreak);
+    }
+    let mut cpu = Cpu::new(MEM_BYTES, vec![]);
+    let image: Vec<u8> = code.iter().flat_map(|i| i.encode().to_le_bytes()).collect();
+    cpu.load(0, &image);
+    cpu
+}
+
+enum Mode {
+    Reference,
+    BlockCached,
+}
+
+/// Drives one core to halt/trap/budget and snapshots the architectural
+/// state: (registers, memory, cycles, instructions, emitted tokens, halted).
+fn run(
+    mut cpu: Cpu,
+    mut io: PatternIo,
+    mode: Mode,
+) -> ([u32; 32], Vec<u32>, u64, u64, Vec<u32>, bool) {
+    let mut halted = false;
+    while cpu.cycles < CYCLE_BUDGET {
+        let result = match mode {
+            Mode::Reference => cpu.step(&mut io),
+            Mode::BlockCached => cpu.step_then_run(&mut io, u64::MAX, CYCLE_BUDGET).0,
+        };
+        match result {
+            StepResult::Ok | StepResult::Stall => {}
+            StepResult::Halt => {
+                halted = true;
+                break;
+            }
+            StepResult::Trap { .. } => break,
+        }
+    }
+    let mem: Vec<u32> = (0..MEM_BYTES / 4).map(|w| cpu.peek_word(w * 4)).collect();
+    (
+        cpu.regs,
+        mem,
+        cpu.cycles,
+        cpu.instructions,
+        io.written,
+        halted,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn block_cached_matches_reference(
+        recipe in proptest::collection::vec(
+            (any::<u8>(), any::<u8>(), any::<u8>(), any::<i16>()), 1..60),
+        read_avail in proptest::collection::vec(any::<bool>(), 1..12),
+        write_avail in proptest::collection::vec(any::<bool>(), 1..12),
+    ) {
+        let io_a = PatternIo::new(read_avail.clone(), write_avail.clone());
+        let io_b = PatternIo::new(read_avail, write_avail);
+        let reference = run(build_cpu(&recipe), io_a, Mode::Reference);
+        let cached = run(build_cpu(&recipe), io_b, Mode::BlockCached);
+        prop_assert_eq!(&reference.0[..], &cached.0[..], "registers diverge");
+        prop_assert_eq!(reference.1, cached.1, "memory diverges");
+        prop_assert_eq!(reference.2, cached.2, "cycles diverge");
+        prop_assert_eq!(reference.3, cached.3, "instructions diverge");
+        prop_assert_eq!(reference.4, cached.4, "stream output diverges");
+        prop_assert_eq!(reference.5, cached.5, "halt state diverges");
+    }
+}
+
+/// A store into already-decoded instruction bytes must invalidate the
+/// cached block and re-decode: both engines take the *new* instruction.
+/// The patch lands *ahead of the pc inside the same straight-line block*
+/// (blocks end at control transfers), so without invalidation the cached
+/// engine would retire the stale pre-decoded micro-op.
+#[test]
+fn self_modifying_store_invalidates_the_decoded_block() {
+    let patch = Instr::Addi {
+        rd: 2,
+        rs1: 2,
+        imm: 100,
+    }
+    .encode();
+    // x3 = patch word; x4 = address of the second increment below, which
+    // starts as `addi x2, x2, 1` and is rewritten to `addi x2, x2, 100`
+    // before execution reaches it.
+    let mut code = softcore::isa::load_imm(3, patch as i32);
+    let patch_addr = (code.len() as i32 + 3) * 4;
+    code.push(Instr::Addi {
+        rd: 4,
+        rs1: 0,
+        imm: patch_addr,
+    });
+    code.push(Instr::Sw {
+        rs1: 4,
+        rs2: 3,
+        imm: 0,
+    });
+    code.push(Instr::Addi {
+        rd: 2,
+        rs1: 2,
+        imm: 1,
+    });
+    // The patch target: originally +1, becomes +100 before it runs.
+    code.push(Instr::Addi {
+        rd: 2,
+        rs1: 2,
+        imm: 1,
+    });
+    code.push(Instr::Ebreak);
+    let build = || {
+        let mut cpu = Cpu::new(MEM_BYTES, vec![]);
+        let image: Vec<u8> = code.iter().flat_map(|i| i.encode().to_le_bytes()).collect();
+        cpu.load(0, &image);
+        cpu
+    };
+    let reference = run(
+        build(),
+        PatternIo::new(vec![true], vec![true]),
+        Mode::Reference,
+    );
+    let mut cached_cpu = build();
+    let mut io = PatternIo::new(vec![true], vec![true]);
+    let mut halted = false;
+    while cached_cpu.cycles < CYCLE_BUDGET {
+        match cached_cpu.step_then_run(&mut io, u64::MAX, CYCLE_BUDGET).0 {
+            StepResult::Ok | StepResult::Stall => {}
+            StepResult::Halt => {
+                halted = true;
+                break;
+            }
+            StepResult::Trap { .. } => break,
+        }
+    }
+    assert!(halted, "self-modifying program must halt");
+    // x2 = 1 (first pass) + 100 (patched second pass).
+    assert_eq!(cached_cpu.regs[2], 101);
+    assert_eq!(reference.0[2], 101, "reference agrees on the patched sum");
+    assert_eq!(cached_cpu.cycles, reference.2, "cycle counts agree");
+    assert_eq!(cached_cpu.instructions, reference.3);
+    assert!(
+        cached_cpu.icache_stats().invalidations > 0,
+        "the store into decoded bytes must invalidate the block cache"
+    );
+}
+
+/// Reloading firmware over a core that already decoded blocks — the
+/// runtime hot-swap path, which reuses a live `Cpu` via `Cpu::load` —
+/// must also invalidate, so the swapped-in binary never executes stale
+/// micro-ops from its predecessor.
+#[test]
+fn firmware_reload_invalidates_decoded_blocks() {
+    let image = |imm: i32| -> Vec<u8> {
+        [Instr::Addi { rd: 2, rs1: 0, imm }, Instr::Ebreak]
+            .iter()
+            .flat_map(|i| i.encode().to_le_bytes())
+            .collect()
+    };
+    let mut cpu = Cpu::new(MEM_BYTES, vec![]);
+    cpu.load(0, &image(7));
+    let mut io = PatternIo::new(vec![true], vec![true]);
+    while cpu.step_then_run(&mut io, u64::MAX, CYCLE_BUDGET).0 != StepResult::Halt {}
+    assert_eq!(cpu.regs[2], 7);
+    let decoded_before = cpu.icache_stats().decoded;
+    assert!(decoded_before > 0, "first run must have decoded a block");
+
+    // Hot-swap: new firmware over the same bytes, pc rewound.
+    cpu.load(0, &image(42));
+    cpu.pc = 0;
+    while cpu.step_then_run(&mut io, u64::MAX, CYCLE_BUDGET).0 != StepResult::Halt {}
+    assert_eq!(cpu.regs[2], 42, "the swapped-in instruction must execute");
+    assert!(
+        cpu.icache_stats().invalidations > 0,
+        "the reload must invalidate the predecessor's decoded blocks"
+    );
+    assert!(
+        cpu.icache_stats().decoded > decoded_before,
+        "re-decode happened"
+    );
+}

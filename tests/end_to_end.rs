@@ -235,11 +235,12 @@ fn full_system_cosimulation_of_spam_filter() {
     assert!(result.seconds > 1e-5, "cosim took {}s", result.seconds);
 }
 
-/// The stall skip-ahead in the cosimulator is purely a host-time
-/// optimization: with it disabled, the same benchmark must produce
-/// bit-identical outputs *and* the identical simulated cycle count.
+/// The cosimulator's host-time optimizations — stall skip-ahead and the
+/// pre-decoded block cache — are purely host-side: every combination must
+/// produce bit-identical outputs, simulated cycle counts, and instruction
+/// counts against the decode-per-step cycle-by-cycle reference.
 #[test]
-fn cosim_skip_ahead_is_cycle_accurate_on_spam_filter() {
+fn cosim_fast_paths_are_cycle_accurate_on_spam_filter() {
     let bench = rosetta::spam::bench(Scale::Tiny);
     let app = compile(&bench.graph, &CompileOptions::new(OptLevel::O0)).unwrap();
     let input_words = rosetta::util::unwords(&bench.inputs[0].1);
@@ -248,20 +249,62 @@ fn cosim_skip_ahead_is_cycle_accurate_on_spam_filter() {
         rosetta::util::unwords(&out["Output_1"])
     };
 
-    let run = |skip_ahead: bool| {
+    let run = |skip_ahead: bool, block_cache: bool| {
         pld::cosim_o0_with(
             &app,
             std::slice::from_ref(&input_words),
             &[golden.len()],
             2_000_000_000,
-            pld::CosimConfig { skip_ahead },
+            pld::CosimConfig {
+                skip_ahead,
+                block_cache,
+            },
         )
         .expect("system completes")
     };
-    let fast = run(true);
-    let slow = run(false);
-    assert_eq!(fast.outputs[0], golden);
-    assert_eq!(fast.outputs, slow.outputs);
-    assert_eq!(fast.cycles, slow.cycles, "skip-ahead changed virtual time");
-    assert_eq!(fast.instructions, slow.instructions);
+    let reference = run(false, false);
+    assert_eq!(reference.outputs[0], golden);
+    for skip_ahead in [false, true] {
+        for block_cache in [false, true] {
+            let got = run(skip_ahead, block_cache);
+            let tag = format!("skip_ahead={skip_ahead} block_cache={block_cache}");
+            assert_eq!(got.outputs, reference.outputs, "{tag}");
+            assert_eq!(got.cycles, reference.cycles, "{tag} changed virtual time");
+            assert_eq!(got.instructions, reference.instructions, "{tag}");
+        }
+    }
+}
+
+/// The `-O0` batch executor's block-cached engine reproduces the reference
+/// interpreter bit-for-bit across the whole Rosetta suite — registers and
+/// memory are covered by the softcore differential tests; here the real
+/// compiled binaries must agree on outputs, cycles, and instructions.
+#[test]
+fn o0_block_cached_engine_matches_reference_on_suite() {
+    for bench in suite(Scale::Tiny) {
+        let app = compile(&bench.graph, &CompileOptions::new(OptLevel::O0))
+            .unwrap_or_else(|e| panic!("{}: {e}", bench.name));
+        let (_, _, trace) =
+            dfg::run_graph_trace(&bench.graph, &bench.input_refs()).expect("functional run");
+        for (i, op) in app.operators.iter().enumerate() {
+            let binary = op.soft.as_ref().expect("-O0 maps everything to softcores");
+            let inputs: Vec<Vec<u32>> = trace.op_inputs[i]
+                .iter()
+                .map(kir::wire::stream_to_words)
+                .collect();
+            let fast = softcore::execute_with(
+                binary,
+                &inputs,
+                20_000_000_000,
+                softcore::Engine::BlockCached,
+            );
+            let slow = softcore::execute_with(
+                binary,
+                &inputs,
+                20_000_000_000,
+                softcore::Engine::Reference,
+            );
+            assert_eq!(fast, slow, "{}/{}", bench.name, op.name);
+        }
+    }
 }
