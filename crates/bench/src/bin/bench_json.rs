@@ -300,6 +300,21 @@ fn check_kpi_files() {
                 "racing_speedup",
             ],
         ),
+        // Written by `cargo run --release --example serving_fleet` (the
+        // fleet-serving flagship), not by this binary.
+        (
+            "BENCH_serving.json",
+            &[
+                "devices",
+                "submitted",
+                "admitted",
+                "migrations",
+                "migration_downtime_ms",
+                "p50_admission_ms",
+                "p99_admission_ms",
+                "fairness_index",
+            ],
+        ),
     ];
     for (file, keys) in EXPECTED {
         let text = std::fs::read_to_string(file)
@@ -313,12 +328,23 @@ fn check_kpi_files() {
             );
         }
     }
-    // The headline claim the committed file must keep making.
+    // The headline claims the committed files must keep making.
     let streaming = std::fs::read_to_string("BENCH_streaming.json").expect("checked above");
     let recorded = numeric_key(&streaming, "speedup_vs_recorded").expect("checked above");
     assert!(
         recorded >= 3.0,
         "committed cosim speedup_vs_recorded fell below 3x: {recorded}"
+    );
+    let serving = std::fs::read_to_string("BENCH_serving.json").expect("checked above");
+    let p99 = numeric_key(&serving, "p99_admission_ms").expect("checked above");
+    assert!(
+        p99 <= 250.0,
+        "committed fleet p99 admission latency exceeds 250 ms: {p99}"
+    );
+    let fairness = numeric_key(&serving, "fairness_index").expect("checked above");
+    assert!(
+        fairness >= 0.8,
+        "committed fleet weighted fairness fell below 0.8: {fairness}"
     );
     println!("bench_json check: all KPI files parse and carry the expected keys");
 }

@@ -804,3 +804,44 @@ fn race_place_route(
         race_total_work,
     })
 }
+
+/// Compiles a batch of graphs concurrently on the build farm — the
+/// admission-compile path of a serving fleet, where many tenants' apps
+/// arrive at once. Each job builds against a clone of the warm `store`
+/// (stage hits carry over), and every job's new stage products are merged
+/// back afterwards; content addressing makes the merge a plain union.
+/// Results come back in input order. A panicked job is reported as
+/// [`CompileError::JobPanicked`] without sinking the rest of the batch.
+pub fn build_batch(
+    graphs: &[Graph],
+    options: &CompileOptions,
+    store: &mut ArtifactStore,
+    workers: usize,
+) -> Vec<Result<(CompiledApp, BuildReport), CompileError>> {
+    let jobs: Vec<_> = graphs
+        .iter()
+        .map(|graph| {
+            let graph = graph.clone();
+            let options = options.clone();
+            let mut job_store = store.clone();
+            move || {
+                let result = build(&graph, &options, &mut job_store);
+                (result, job_store)
+            }
+        })
+        .collect();
+    let mut results = Vec::with_capacity(graphs.len());
+    for outcome in farm::run_jobs(jobs, workers) {
+        match outcome.result {
+            Ok((result, job_store)) => {
+                store.merge(job_store);
+                results.push(result);
+            }
+            Err(message) => results.push(Err(CompileError::JobPanicked {
+                op: format!("batch job {}", outcome.index),
+                message,
+            })),
+        }
+    }
+    results
+}

@@ -64,7 +64,7 @@ pub mod store;
 pub mod vtime;
 
 pub use artifact::{Driver, LinkOp, LoadOp, Xclbin, XclbinKind};
-pub use build::{build, BuildReport, OperatorStages, StageCount};
+pub use build::{build, build_batch, BuildReport, OperatorStages, StageCount};
 pub use cosim::{cosim_o0, cosim_o0_with, CosimConfig, CosimError, CosimOutput};
 pub use execute::{PerfReport, RunMode};
 pub use flow::{

@@ -171,7 +171,7 @@ pub enum StageProduct {
 ///
 /// See the [module docs](self) for the role it plays; [`mod@crate::build`] for
 /// the drivers that populate it.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct ArtifactStore {
     entries: HashMap<StageKey, StageProduct>,
 }
@@ -205,6 +205,14 @@ impl ArtifactStore {
     /// Files a stage product under its key.
     pub fn insert(&mut self, key: StageKey, product: StageProduct) {
         self.entries.insert(key, product);
+    }
+
+    /// Absorbs every entry of another store. Content addressing makes
+    /// this conflict-free — equal keys name equal products — so merging
+    /// the per-worker stores of a batch compile (or per-device caches
+    /// across a fleet) is a union, not a reconciliation.
+    pub fn merge(&mut self, other: ArtifactStore) {
+        self.entries.extend(other.entries);
     }
 
     /// Typed lookup of an HLS product.

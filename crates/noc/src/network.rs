@@ -42,6 +42,11 @@ pub enum InjectError {
     /// The leaf's outgoing FIFO is full (backpressure).
     #[allow(missing_docs)]
     Backpressure { leaf: usize },
+    /// The leaf's injection-credit budget is exhausted — a QoS throttle,
+    /// not congestion. Credits return via [`BftNoc::add_inject_credits`]
+    /// (or the budget is lifted with [`BftNoc::set_inject_budget`]).
+    #[allow(missing_docs)]
+    Throttled { leaf: usize },
 }
 
 impl fmt::Display for InjectError {
@@ -55,6 +60,9 @@ impl fmt::Display for InjectError {
             }
             InjectError::Backpressure { leaf } => {
                 write!(f, "leaf {leaf} outgoing FIFO full")
+            }
+            InjectError::Throttled { leaf } => {
+                write!(f, "leaf {leaf} injection budget exhausted (QoS throttle)")
             }
         }
     }
@@ -107,6 +115,14 @@ pub struct BftNoc {
     /// or `can_inject` can flip are these two events.
     rx_seq: Vec<u64>,
     tx_seq: Vec<u64>,
+    /// Per-leaf data-injection credit budget (`None` = unthrottled). The
+    /// serving layer's token-rate fair-share hook: a tenant's pages get
+    /// credits proportional to their QoS weight, and [`BftNoc::inject`]
+    /// spends one per data flit. Config packets are never throttled — the
+    /// control plane must stay able to re-link a starved tenant.
+    inject_budget: Vec<Option<u32>>,
+    /// Data injections refused by the throttle since bring-up.
+    throttled_injects: u64,
     cycle: u64,
     stats: NocStats,
 }
@@ -149,6 +165,8 @@ impl BftNoc {
             inputs_scratch: Vec::with_capacity(3),
             rx_seq: vec![0; n_leaves],
             tx_seq: vec![0; n_leaves],
+            inject_budget: vec![None; n_leaves],
+            throttled_injects: 0,
             cycle: 0,
             stats: NocStats::default(),
         }
@@ -234,6 +252,10 @@ impl BftNoc {
         let addr = self.leaves[leaf]
             .dest(stream)
             .ok_or(InjectError::NotLinked { leaf, stream })?;
+        if self.inject_budget[leaf] == Some(0) {
+            self.throttled_injects += 1;
+            return Err(InjectError::Throttled { leaf });
+        }
         if self.leaves[leaf].out_queue.is_full() {
             return Err(InjectError::Backpressure { leaf });
         }
@@ -252,7 +274,35 @@ impl BftNoc {
         }
         self.note_queued(leaf);
         self.stats.injected += 1;
+        if let Some(credits) = &mut self.inject_budget[leaf] {
+            *credits -= 1;
+        }
         Ok(())
+    }
+
+    /// Sets (or with `None` lifts) a leaf's data-injection credit budget —
+    /// the QoS throttling hook. A budget of `Some(0)` blocks data injection
+    /// outright until credits are added; config packets are unaffected.
+    pub fn set_inject_budget(&mut self, leaf: usize, budget: Option<u32>) {
+        self.inject_budget[leaf] = budget;
+    }
+
+    /// Remaining injection credits at `leaf` (`None` = unthrottled).
+    pub fn inject_budget(&self, leaf: usize) -> Option<u32> {
+        self.inject_budget[leaf]
+    }
+
+    /// Grants `credits` more data injections to a throttled leaf (no-op on
+    /// an unthrottled one) — the refill half of a token-rate fair-share.
+    pub fn add_inject_credits(&mut self, leaf: usize, credits: u32) {
+        if let Some(budget) = &mut self.inject_budget[leaf] {
+            *budget = budget.saturating_add(credits);
+        }
+    }
+
+    /// Data injections refused by the QoS throttle since bring-up.
+    pub fn throttled_injects(&self) -> u64 {
+        self.throttled_injects
     }
 
     /// Pops a delivered word from `leaf`'s input `port`.
@@ -572,6 +622,31 @@ mod tests {
         net.drain(100);
         assert_eq!(net.try_recv(1, 0), Some(42));
         assert_eq!(net.stats().delivered, 1);
+    }
+
+    #[test]
+    fn inject_budget_throttles_data_but_not_config() {
+        let mut net = linked_net(8);
+        net.set_inject_budget(0, Some(2));
+        assert_eq!(net.inject_budget(0), Some(2));
+        net.inject(0, 0, 1).unwrap();
+        net.inject(0, 0, 2).unwrap();
+        assert_eq!(net.inject(0, 0, 3), Err(InjectError::Throttled { leaf: 0 }));
+        assert_eq!(net.throttled_injects(), 1);
+        // Config packets bypass the throttle: the control plane can still
+        // re-link a starved tenant.
+        net.send_config(0, 3, 1, PortAddr { leaf: 5, port: 0 })
+            .unwrap();
+        // Refill unblocks; lifting the budget removes the throttle entirely.
+        net.add_inject_credits(0, 1);
+        net.inject(0, 0, 3).unwrap();
+        assert_eq!(net.inject_budget(0), Some(0));
+        net.set_inject_budget(0, None);
+        net.inject(0, 0, 4).unwrap();
+        // Other leaves were never throttled.
+        net.inject(1, 0, 9).unwrap();
+        net.drain(1000);
+        assert_eq!(net.stats().delivered, 5);
     }
 
     #[test]

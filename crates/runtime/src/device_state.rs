@@ -2,6 +2,8 @@
 //! persistent linking network whose destination registers are the ground
 //! truth for every route on the fabric.
 
+use std::collections::HashSet;
+
 use fabric::{Floorplan, PageId};
 use noc::BftNoc;
 use pld::execute::OVERLAY_MHZ;
@@ -28,6 +30,10 @@ pub struct DeviceState {
     pub floorplan: Floorplan,
     bindings: Vec<Option<PageBinding>>,
     noc: BftNoc,
+    /// Content hashes of every artifact ever transferred to this card —
+    /// the device-local bitstream cache the fleet's placement consults
+    /// (an artifact already on the card is a warm re-admission there).
+    loaded_artifacts: HashSet<u64>,
     /// Seconds spent bringing up the static overlay (paid once).
     pub overlay_seconds: f64,
 }
@@ -46,6 +52,7 @@ impl DeviceState {
         DeviceState {
             bindings: vec![None; n_pages],
             noc: BftNoc::new(n_pages + 2, 4, 64),
+            loaded_artifacts: HashSet::new(),
             overlay_seconds: overlay.load_seconds(),
             floorplan,
         }
@@ -138,6 +145,39 @@ impl DeviceState {
     /// Converts measured link cycles to seconds at the overlay clock.
     pub fn link_seconds(cycles: u64) -> f64 {
         cycles as f64 / (OVERLAY_MHZ * 1e6)
+    }
+
+    /// Records that an artifact with this content hash was transferred to
+    /// the card (it is now in the device-local bitstream cache).
+    pub fn note_loaded(&mut self, hash: u64) {
+        self.loaded_artifacts.insert(hash);
+    }
+
+    /// Whether the device-local bitstream cache holds this artifact hash.
+    pub fn holds_artifact(&self, hash: u64) -> bool {
+        self.loaded_artifacts.contains(&hash)
+    }
+
+    /// How many of the given artifact hashes are already cached on this
+    /// card — the fleet placement's cache-affinity score.
+    pub fn cached_artifacts(&self, hashes: &[u64]) -> usize {
+        hashes
+            .iter()
+            .filter(|h| self.loaded_artifacts.contains(h))
+            .count()
+    }
+
+    /// Sets (or with `None` lifts) the data-injection credit budget of one
+    /// page's NoC leaf — the per-tenant QoS throttle, forwarded to
+    /// [`BftNoc::set_inject_budget`].
+    pub fn set_page_inject_budget(&mut self, page: PageId, budget: Option<u32>) {
+        self.noc.set_inject_budget(page.0 as usize, budget);
+    }
+
+    /// Remaining injection credits at one page's leaf (`None` =
+    /// unthrottled).
+    pub fn page_inject_budget(&self, page: PageId) -> Option<u32> {
+        self.noc.inject_budget(page.0 as usize)
     }
 }
 

@@ -1,0 +1,140 @@
+//! The device abstraction the fleet schedules over.
+//!
+//! A [`Device`] is one reconfigurable card with a page floorplan, a
+//! persistent linking network, and a local bitstream cache. The
+//! single-card [`Runtime`] is the canonical implementation — the fleet is
+//! N of these behind one admission front-end, and a fleet of one is
+//! exactly the old single-device serving path.
+
+use std::collections::HashMap;
+
+use fabric::Floorplan;
+use kir::types::Value;
+use pld::CompiledApp;
+
+use crate::stats::RuntimeStats;
+use crate::{AdmitOutcome, AdmitRefusal, AppId, Runtime, RuntimeError};
+
+/// One schedulable card in the fleet.
+///
+/// The contract mirrors what the fleet's placement and QoS layers need:
+/// exact fit checks (page types matter, not just free counts), single-shot
+/// admission that hands the app back on refusal, eviction with state
+/// return (the migration primitive), and the NoC injection throttle.
+pub trait Device {
+    /// The card's page decomposition.
+    fn floorplan(&self) -> &Floorplan;
+
+    /// Number of currently unbound pages.
+    fn free_pages(&self) -> usize;
+
+    /// How many of these artifact hashes the card's local bitstream cache
+    /// already holds — the placement layer's cache-affinity score.
+    fn cached_artifacts(&self, hashes: &[u64]) -> usize;
+
+    /// Whether the app places onto the pages free *right now* (exact
+    /// page-type-aware check, no eviction).
+    fn fits_now(&self, app: &CompiledApp) -> bool;
+
+    /// Single-shot admission: place and install, or hand the app back.
+    ///
+    /// # Errors
+    ///
+    /// [`AdmitRefusal`] carrying the app and the typed reason.
+    fn admit(&mut self, name: &str, app: Box<CompiledApp>) -> Result<AdmitOutcome, AdmitRefusal>;
+
+    /// Removes a resident app and returns its name and compiled form —
+    /// the first half of a live migration.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::NotResident`] if the app holds no pages here.
+    fn take_resident(&mut self, id: AppId) -> Result<(String, CompiledApp), RuntimeError>;
+
+    /// Tears an app down without keeping its state.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::NotResident`] if the app holds no pages here.
+    fn evict(&mut self, id: AppId) -> Result<(), RuntimeError>;
+
+    /// Serves one request against a resident app.
+    ///
+    /// # Errors
+    ///
+    /// See [`RuntimeError`].
+    fn run_app(
+        &mut self,
+        id: AppId,
+        inputs: &[(&str, Vec<Value>)],
+    ) -> Result<HashMap<String, Vec<Value>>, RuntimeError>;
+
+    /// `(id, last_used_tick)` of every resident app, for eviction policy.
+    fn resident_usage(&self) -> Vec<(AppId, u64)>;
+
+    /// Programs (or with `None` lifts) the NoC data-injection budget on
+    /// every page the app occupies.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::NotResident`] if the app holds no pages here.
+    fn set_app_inject_budget(&mut self, id: AppId, budget: Option<u32>)
+        -> Result<(), RuntimeError>;
+
+    /// Serving-statistics snapshot for this card.
+    fn stats(&self) -> RuntimeStats;
+}
+
+impl Device for Runtime {
+    fn floorplan(&self) -> &Floorplan {
+        &self.device().floorplan
+    }
+
+    fn free_pages(&self) -> usize {
+        self.device().floorplan.pages.len() - self.device().occupied()
+    }
+
+    fn cached_artifacts(&self, hashes: &[u64]) -> usize {
+        self.device().cached_artifacts(hashes)
+    }
+
+    fn fits_now(&self, app: &CompiledApp) -> bool {
+        crate::allocator::plan(&self.device().floorplan, &self.device().free_map(), app).is_ok()
+    }
+
+    fn admit(&mut self, name: &str, app: Box<CompiledApp>) -> Result<AdmitOutcome, AdmitRefusal> {
+        self.admit_direct(name, app)
+    }
+
+    fn take_resident(&mut self, id: AppId) -> Result<(String, CompiledApp), RuntimeError> {
+        Runtime::take_resident(self, id)
+    }
+
+    fn evict(&mut self, id: AppId) -> Result<(), RuntimeError> {
+        Runtime::evict(self, id)
+    }
+
+    fn run_app(
+        &mut self,
+        id: AppId,
+        inputs: &[(&str, Vec<Value>)],
+    ) -> Result<HashMap<String, Vec<Value>>, RuntimeError> {
+        self.run(id, inputs)
+    }
+
+    fn resident_usage(&self) -> Vec<(AppId, u64)> {
+        Runtime::resident_usage(self)
+    }
+
+    fn set_app_inject_budget(
+        &mut self,
+        id: AppId,
+        budget: Option<u32>,
+    ) -> Result<(), RuntimeError> {
+        Runtime::set_app_inject_budget(self, id, budget)
+    }
+
+    fn stats(&self) -> RuntimeStats {
+        Runtime::stats(self)
+    }
+}

@@ -1,0 +1,765 @@
+//! Fleet-scale serving: N devices behind one admission front-end.
+//!
+//! The single-card [`Runtime`] serves many apps on one fabric; the fleet
+//! serves many apps on many fabrics. It is the paper's "shared
+//! infrastructure overlay" taken to its operational conclusion — PLD apps
+//! admitted, placed, throttled, migrated and evicted like processes on a
+//! cluster:
+//!
+//! * **Admission** is a bounded fleet-level queue with an async front-end
+//!   ([`reactor`]): [`Fleet::submit_async`] returns an [`AdmissionTicket`]
+//!   future that resolves when a scheduling pass ([`Fleet::pump`]) lands
+//!   the app on a device. Apps no single device could ever host are
+//!   refused up front with [`FleetError::Unplaceable`] carrying each
+//!   device's page-type deficit.
+//! * **Placement** is cache-aware best-fit bin packing:
+//!   prefer the device whose local bitstream cache already holds the
+//!   app's artifacts, then the tightest page fit. The cache informs
+//!   placement only — a re-admission still pays its full transfer bill.
+//! * **Migration** ([`Fleet::migrate`]) reuses the LoadOp-replay
+//!   re-admission path as a live-migration primitive: take the app's
+//!   compiled state off device A, replay its loads on device B. The app's
+//!   outputs are bit-identical afterwards (the Kahn property — state
+//!   lives in the artifacts, not the fabric).
+//! * **QoS** ([`qos`]) is per-tenant: eviction priority classes (a
+//!   request only displaces apps of equal or lower class) and token-rate
+//!   fair-share enforced as NoC injection-credit budgets programmed into
+//!   each device's linking network.
+//!
+//! A fleet of one device is exactly the old single-device serving path —
+//! `examples/serving.rs` runs through it.
+
+mod device;
+mod placement;
+pub mod qos;
+pub mod reactor;
+mod stats;
+
+pub use device::Device;
+pub use qos::{fairness_index, EvictClass, QosSpec};
+pub use reactor::{AdmissionTicket, Executor};
+pub use stats::{FleetStats, TenantShare};
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::fmt;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use fabric::{Floorplan, PageId};
+use kir::types::Value;
+use pld::CompiledApp;
+
+use crate::allocator::AllocError;
+use crate::stats::LatencyHistogram;
+use crate::{AdmitError, AppId, Runtime, RuntimeError};
+use reactor::TicketState;
+
+/// Index of one device in the fleet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DeviceId(pub usize);
+
+impl fmt::Display for DeviceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "dev{}", self.0)
+    }
+}
+
+/// Identity of one tenant (QoS accounting unit).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TenantId(pub u32);
+
+impl fmt::Display for TenantId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// Fleet-wide identity of one submitted app (stable across devices and
+/// migrations, unlike the per-device [`AppId`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FleetAppId(pub u64);
+
+impl fmt::Display for FleetAppId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fapp{}", self.0)
+    }
+}
+
+/// A resolved admission: where the app landed and what it cost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Admission {
+    /// The fleet-wide app id.
+    pub app: FleetAppId,
+    /// The device the app landed on.
+    pub device: DeviceId,
+    /// The bring-up bill (artifact transfer + link cycles).
+    pub downtime_seconds: f64,
+    /// The pages the app occupies on that device.
+    pub pages: Vec<PageId>,
+}
+
+/// What happened during a [`Fleet::pump`] scheduling pass.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FleetEvent {
+    /// The app landed on a device.
+    #[allow(missing_docs)]
+    Admitted {
+        app: FleetAppId,
+        device: DeviceId,
+        downtime_seconds: f64,
+    },
+    /// No device could take the app.
+    #[allow(missing_docs)]
+    Rejected {
+        app: FleetAppId,
+        name: String,
+        reason: String,
+    },
+    /// A resident app was displaced by QoS eviction.
+    #[allow(missing_docs)]
+    Evicted { app: FleetAppId, device: DeviceId },
+    /// An app moved between devices.
+    #[allow(missing_docs)]
+    Migrated {
+        app: FleetAppId,
+        from: DeviceId,
+        to: DeviceId,
+        downtime_seconds: f64,
+    },
+}
+
+/// Fleet operation failures.
+#[derive(Debug)]
+pub enum FleetError {
+    /// The fleet admission queue is at its bound; the app comes back for
+    /// retry.
+    QueueFull {
+        /// The submitted app, returned untouched.
+        app: Box<CompiledApp>,
+    },
+    /// No device in the fleet could ever host this app, even empty. One
+    /// page-type deficit per device explains why.
+    Unplaceable {
+        /// The submitted app's name.
+        name: String,
+        /// Each device's reason (page-type deficit or shape mismatch).
+        deficits: Vec<(DeviceId, AllocError)>,
+    },
+    /// A placement pass gave up on the app (capacity held by apps its
+    /// tenant's class may not evict, or install failures everywhere).
+    Rejected {
+        /// The fleet-wide id the submission was assigned.
+        app: FleetAppId,
+        /// Why placement gave up.
+        reason: String,
+    },
+    /// A migration failed at the destination; `restored` tells whether
+    /// the app was re-admitted on its source device or is now evicted.
+    MigrationFailed {
+        /// The app that was being moved.
+        app: FleetAppId,
+        /// The destination that refused it.
+        to: DeviceId,
+        /// Whether the app still serves from its source device.
+        restored: bool,
+    },
+    /// The fleet-wide app id has never been seen.
+    UnknownApp(FleetAppId),
+    /// The app is known but not resident anywhere (queued, evicted, or
+    /// rejected); resubmit it.
+    NotResident(FleetAppId),
+    /// The device index is out of range.
+    UnknownDevice(DeviceId),
+    /// A device operation failed underneath the fleet.
+    Device(RuntimeError),
+}
+
+impl fmt::Display for FleetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FleetError::QueueFull { .. } => write!(f, "fleet admission queue is full"),
+            FleetError::Unplaceable { name, deficits } => {
+                write!(f, "app '{name}' fits no device in the fleet:")?;
+                for (dev, e) in deficits {
+                    write!(f, " [{dev}: {e}]")?;
+                }
+                Ok(())
+            }
+            FleetError::Rejected { app, reason } => write!(f, "{app} rejected: {reason}"),
+            FleetError::MigrationFailed { app, to, restored } => write!(
+                f,
+                "migration of {app} to {to} failed ({})",
+                if *restored {
+                    "restored on source"
+                } else {
+                    "app is no longer resident"
+                }
+            ),
+            FleetError::UnknownApp(app) => write!(f, "unknown fleet app {app}"),
+            FleetError::NotResident(app) => write!(f, "fleet app {app} is not resident"),
+            FleetError::UnknownDevice(dev) => write!(f, "unknown device {dev}"),
+            FleetError::Device(e) => write!(f, "device error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FleetError {}
+
+/// Registry entry for one submitted app.
+#[derive(Debug)]
+struct FleetApp {
+    name: String,
+    tenant: TenantId,
+    /// `(device index, device-local id)` while resident.
+    location: Option<(usize, AppId)>,
+}
+
+/// One queued admission request.
+struct PendingFleet {
+    id: FleetAppId,
+    name: String,
+    tenant: TenantId,
+    app: Box<CompiledApp>,
+    submitted: Instant,
+    ticket: Option<Arc<Mutex<TicketState>>>,
+}
+
+#[derive(Debug, Default)]
+struct TenantState {
+    spec: QosSpec,
+    served: u64,
+}
+
+/// N devices behind one admission front-end: cross-device placement,
+/// live migration, and per-tenant QoS. See the [module docs](self).
+pub struct Fleet<D: Device = Runtime> {
+    devices: Vec<D>,
+    apps: BTreeMap<u64, FleetApp>,
+    /// `(device index, local AppId.0)` → fleet id, for victim accounting.
+    locations: HashMap<(usize, u64), u64>,
+    queue: VecDeque<PendingFleet>,
+    queue_bound: usize,
+    tenants: BTreeMap<u32, TenantState>,
+    /// Injection credits per weight unit per refill; `None` = unthrottled.
+    base_credits: Option<u32>,
+    next_id: u64,
+    submitted: u64,
+    admitted: u64,
+    rejected: u64,
+    evicted: u64,
+    migrations: u64,
+    migration_downtime_seconds: f64,
+    admission_latency: LatencyHistogram,
+}
+
+impl Fleet<Runtime> {
+    /// A homogeneous fleet of `n` simulated cards on one floorplan.
+    pub fn new(n: usize, floorplan: &Floorplan) -> Fleet<Runtime> {
+        Fleet::from_devices((0..n).map(|_| Runtime::new(floorplan.clone())).collect())
+    }
+
+    /// Mutable access to one card's [`Runtime`] — for single-device
+    /// operations the fleet does not mediate (hot-swap of a resident
+    /// app, direct stats). The fleet's own bookkeeping stays valid as
+    /// long as the caller does not admit or evict behind its back.
+    pub fn runtime_mut(&mut self, device: DeviceId) -> Option<&mut Runtime> {
+        self.devices.get_mut(device.0)
+    }
+}
+
+impl<D: Device> Fleet<D> {
+    /// Default bound on the fleet admission queue.
+    pub const DEFAULT_QUEUE_BOUND: usize = 4096;
+
+    /// A fleet over explicit devices (heterogeneous fleets included).
+    pub fn from_devices(devices: Vec<D>) -> Fleet<D> {
+        Fleet::with_queue_bound(devices, Fleet::<D>::DEFAULT_QUEUE_BOUND)
+    }
+
+    /// A fleet with an explicit admission-queue bound.
+    pub fn with_queue_bound(devices: Vec<D>, bound: usize) -> Fleet<D> {
+        Fleet {
+            devices,
+            apps: BTreeMap::new(),
+            locations: HashMap::new(),
+            queue: VecDeque::new(),
+            queue_bound: bound,
+            tenants: BTreeMap::new(),
+            base_credits: None,
+            next_id: 0,
+            submitted: 0,
+            admitted: 0,
+            rejected: 0,
+            evicted: 0,
+            migrations: 0,
+            migration_downtime_seconds: 0.0,
+            admission_latency: LatencyHistogram::default(),
+        }
+    }
+
+    /// Registers (or updates) a tenant's QoS contract. Unregistered
+    /// tenants get [`QosSpec::default`].
+    pub fn set_tenant(&mut self, tenant: TenantId, spec: QosSpec) {
+        self.tenants.entry(tenant.0).or_default().spec = spec;
+    }
+
+    /// Sets the injection-credit base rate (credits per weight unit per
+    /// refill epoch) and programs every resident app's budget; `None`
+    /// lifts the throttle fleet-wide.
+    pub fn set_inject_base_credits(&mut self, base: Option<u32>) {
+        self.base_credits = base;
+        self.refill_credits();
+    }
+
+    /// Re-programs every resident app's NoC injection budget from its
+    /// tenant's weight — call once per scheduling epoch to make the
+    /// credits a token *rate*.
+    pub fn refill_credits(&mut self) {
+        let budgets: Vec<(usize, AppId, Option<u32>)> = self
+            .apps
+            .values()
+            .filter_map(|a| {
+                let (dev, local) = a.location?;
+                let budget = self
+                    .base_credits
+                    .map(|base| self.spec_of(a.tenant).inject_credits(base));
+                Some((dev, local, budget))
+            })
+            .collect();
+        for (dev, local, budget) in budgets {
+            // A racing eviction is benign: the budget applies to pages
+            // the app no longer holds and the next bind overwrites it.
+            let _ = self.devices[dev].set_app_inject_budget(local, budget);
+        }
+    }
+
+    /// Number of devices in the fleet.
+    pub fn device_count(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Read-only access to one device.
+    pub fn device(&self, device: DeviceId) -> Option<&D> {
+        self.devices.get(device.0)
+    }
+
+    /// Requests waiting for a scheduling pass.
+    pub fn queue_depth(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// The submitted name of a known app.
+    pub fn name_of(&self, app: FleetAppId) -> Option<&str> {
+        self.apps.get(&app.0).map(|a| a.name.as_str())
+    }
+
+    /// Where an app currently lives: `(device, device-local id)`.
+    pub fn locate(&self, app: FleetAppId) -> Option<(DeviceId, AppId)> {
+        self.apps
+            .get(&app.0)
+            .and_then(|a| a.location)
+            .map(|(dev, local)| (DeviceId(dev), local))
+    }
+
+    /// Whether an app is resident on some device.
+    pub fn is_resident(&self, app: FleetAppId) -> bool {
+        self.locate(app).is_some()
+    }
+
+    /// Submits an app for admission (synchronous handle; pair with
+    /// [`Fleet::pump`]).
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::QueueFull`] (app returned inside) at the queue
+    /// bound; [`FleetError::Unplaceable`] with per-device deficits when
+    /// no device could ever host the app.
+    pub fn submit(
+        &mut self,
+        tenant: TenantId,
+        name: &str,
+        app: CompiledApp,
+    ) -> Result<FleetAppId, FleetError> {
+        self.enqueue(tenant, name, app, false).map(|(id, _)| id)
+    }
+
+    /// [`Fleet::submit`], returning an [`AdmissionTicket`] future that
+    /// resolves at the scheduling pass that places (or rejects) the app.
+    ///
+    /// # Errors
+    ///
+    /// As [`Fleet::submit`] — queue-full and unplaceable submissions
+    /// fail synchronously, before a ticket exists.
+    pub fn submit_async(
+        &mut self,
+        tenant: TenantId,
+        name: &str,
+        app: CompiledApp,
+    ) -> Result<AdmissionTicket, FleetError> {
+        self.enqueue(tenant, name, app, true)
+            .map(|(_, ticket)| ticket.expect("ticket requested"))
+    }
+
+    fn enqueue(
+        &mut self,
+        tenant: TenantId,
+        name: &str,
+        app: CompiledApp,
+        with_ticket: bool,
+    ) -> Result<(FleetAppId, Option<AdmissionTicket>), FleetError> {
+        if self.queue.len() >= self.queue_bound {
+            self.rejected += 1;
+            return Err(FleetError::QueueFull { app: Box::new(app) });
+        }
+        let app = Box::new(app);
+        if let Err(deficits) = placement::feasible_devices(&self.devices, &app) {
+            self.rejected += 1;
+            return Err(FleetError::Unplaceable {
+                name: name.to_string(),
+                deficits,
+            });
+        }
+        let id = FleetAppId(self.next_id);
+        self.next_id += 1;
+        self.submitted += 1;
+        self.tenants.entry(tenant.0).or_default();
+        self.apps.insert(
+            id.0,
+            FleetApp {
+                name: name.to_string(),
+                tenant,
+                location: None,
+            },
+        );
+        let state = with_ticket.then(|| Arc::new(Mutex::new(TicketState::default())));
+        self.queue.push_back(PendingFleet {
+            id,
+            name: name.to_string(),
+            tenant,
+            app,
+            submitted: Instant::now(),
+            ticket: state.clone(),
+        });
+        Ok((id, state.map(|state| AdmissionTicket { id, state })))
+    }
+
+    /// One scheduling pass: drains the admission queue, placing each app
+    /// across the fleet (cache-aware best fit, then QoS eviction) or
+    /// rejecting it, resolving any [`AdmissionTicket`]s along the way.
+    pub fn pump(&mut self) -> Vec<FleetEvent> {
+        let mut events = Vec::new();
+        let pending: Vec<PendingFleet> = self.queue.drain(..).collect();
+        for request in pending {
+            self.place(request, &mut events);
+        }
+        events
+    }
+
+    fn place(&mut self, request: PendingFleet, events: &mut Vec<FleetEvent>) {
+        let PendingFleet {
+            id,
+            name,
+            tenant,
+            mut app,
+            submitted,
+            ticket,
+        } = request;
+        let requester_class = self.spec_of(tenant).evict;
+        let candidates = match placement::feasible_devices(&self.devices, &app) {
+            Ok(c) => c,
+            Err(deficits) => {
+                let reason = FleetError::Unplaceable {
+                    name: name.clone(),
+                    deficits,
+                }
+                .to_string();
+                self.reject(id, name, reason, ticket, events);
+                return;
+            }
+        };
+
+        // Pass 1: devices with room right now, best (cache, fit) first.
+        for i in placement::fitting_now(&self.devices, &candidates, &app) {
+            match self.devices[i].admit(&name, app) {
+                Ok(outcome) => {
+                    self.finish_admit(id, tenant, i, outcome, submitted, ticket, events);
+                    return;
+                }
+                Err(refusal) => app = refusal.app,
+            }
+        }
+
+        // Pass 2: evict within the requester's class budget, best device
+        // first.
+        for i in placement::rank(&self.devices, &candidates, &app) {
+            loop {
+                match self.devices[i].admit(&name, app) {
+                    Ok(outcome) => {
+                        self.finish_admit(id, tenant, i, outcome, submitted, ticket, events);
+                        return;
+                    }
+                    Err(refusal) => {
+                        app = refusal.app;
+                        if !matches!(refusal.error, AdmitError::NoCapacity(_)) {
+                            break; // This device will never take it.
+                        }
+                        match self.victim_on(i, requester_class) {
+                            Some(victim) => {
+                                if let Some(event) = self.evict_local(i, victim) {
+                                    events.push(event);
+                                } else {
+                                    break;
+                                }
+                            }
+                            None => break, // Nothing this class may evict.
+                        }
+                    }
+                }
+            }
+        }
+
+        self.reject(
+            id,
+            name,
+            "no device has capacity this tenant's class may reclaim".to_string(),
+            ticket,
+            events,
+        );
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn finish_admit(
+        &mut self,
+        id: FleetAppId,
+        tenant: TenantId,
+        device: usize,
+        outcome: crate::AdmitOutcome,
+        submitted: Instant,
+        ticket: Option<Arc<Mutex<TicketState>>>,
+        events: &mut Vec<FleetEvent>,
+    ) {
+        if let Some(fleet_app) = self.apps.get_mut(&id.0) {
+            fleet_app.location = Some((device, outcome.id));
+        }
+        self.locations.insert((device, outcome.id.0), id.0);
+        self.admitted += 1;
+        self.admission_latency
+            .record(submitted.elapsed().as_secs_f64());
+        if let Some(base) = self.base_credits {
+            let credits = self.spec_of(tenant).inject_credits(base);
+            let _ = self.devices[device].set_app_inject_budget(outcome.id, Some(credits));
+        }
+        events.push(FleetEvent::Admitted {
+            app: id,
+            device: DeviceId(device),
+            downtime_seconds: outcome.downtime_seconds,
+        });
+        if let Some(state) = ticket {
+            reactor::resolve(
+                &state,
+                Ok(Admission {
+                    app: id,
+                    device: DeviceId(device),
+                    downtime_seconds: outcome.downtime_seconds,
+                    pages: outcome.pages,
+                }),
+            );
+        }
+    }
+
+    fn reject(
+        &mut self,
+        id: FleetAppId,
+        name: String,
+        reason: String,
+        ticket: Option<Arc<Mutex<TicketState>>>,
+        events: &mut Vec<FleetEvent>,
+    ) {
+        self.rejected += 1;
+        events.push(FleetEvent::Rejected {
+            app: id,
+            name,
+            reason: reason.clone(),
+        });
+        if let Some(state) = ticket {
+            reactor::resolve(&state, Err(FleetError::Rejected { app: id, reason }));
+        }
+    }
+
+    /// The best victim on a device that `class` may displace: lowest
+    /// eviction class first, then least recently used. Only
+    /// fleet-tracked apps are candidates.
+    fn victim_on(&self, device: usize, class: EvictClass) -> Option<AppId> {
+        self.devices[device]
+            .resident_usage()
+            .into_iter()
+            .filter_map(|(local, last_used)| {
+                let fleet_id = self.locations.get(&(device, local.0))?;
+                let victim_class = self.spec_of(self.apps[fleet_id].tenant).evict;
+                (victim_class <= class).then_some((victim_class, last_used, local))
+            })
+            .min()
+            .map(|(_, _, local)| local)
+    }
+
+    fn evict_local(&mut self, device: usize, local: AppId) -> Option<FleetEvent> {
+        self.devices[device].evict(local).ok()?;
+        let fleet_id = self.locations.remove(&(device, local.0))?;
+        if let Some(app) = self.apps.get_mut(&fleet_id) {
+            app.location = None;
+        }
+        self.evicted += 1;
+        Some(FleetEvent::Evicted {
+            app: FleetAppId(fleet_id),
+            device: DeviceId(device),
+        })
+    }
+
+    /// Serves one request against a resident app and accounts the
+    /// tenant's service share.
+    ///
+    /// # Errors
+    ///
+    /// See [`FleetError`].
+    pub fn run(
+        &mut self,
+        app: FleetAppId,
+        inputs: &[(&str, Vec<Value>)],
+    ) -> Result<HashMap<String, Vec<Value>>, FleetError> {
+        let fleet_app = self.apps.get(&app.0).ok_or(FleetError::UnknownApp(app))?;
+        let (device, local) = fleet_app.location.ok_or(FleetError::NotResident(app))?;
+        let tenant = fleet_app.tenant;
+        let outputs = self.devices[device]
+            .run_app(local, inputs)
+            .map_err(FleetError::Device)?;
+        self.tenants.entry(tenant.0).or_default().served += 1;
+        Ok(outputs)
+    }
+
+    /// Retires a resident app, releasing its pages back to its device —
+    /// voluntary departure (a serving lease expiring, an app shutting
+    /// down), as opposed to a pressure-driven [`FleetEvent::Evicted`].
+    /// The id stays known to [`Fleet::name_of`] but the app no longer
+    /// serves; re-[`Fleet::submit`] to bring it back.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::UnknownApp`] / [`FleetError::NotResident`] for ids
+    /// the fleet is not currently hosting.
+    pub fn retire(&mut self, app: FleetAppId) -> Result<(), FleetError> {
+        let fleet_app = self.apps.get(&app.0).ok_or(FleetError::UnknownApp(app))?;
+        let (device, local) = fleet_app.location.ok_or(FleetError::NotResident(app))?;
+        self.devices[device]
+            .evict(local)
+            .map_err(FleetError::Device)?;
+        self.locations.remove(&(device, local.0));
+        if let Some(entry) = self.apps.get_mut(&app.0) {
+            entry.location = None;
+        }
+        Ok(())
+    }
+
+    /// Live-migrates a resident app to another device: takes its
+    /// compiled state off the source (LoadOp tape included) and replays
+    /// it on the destination, evicting within the tenant's class budget
+    /// if needed. Returns the migration's downtime bill. On destination
+    /// failure the app is restored onto its source device when possible.
+    ///
+    /// # Errors
+    ///
+    /// See [`FleetError`]; [`FleetError::MigrationFailed`] reports
+    /// whether the app still serves from its source.
+    pub fn migrate(&mut self, app: FleetAppId, to: DeviceId) -> Result<f64, FleetError> {
+        let fleet_app = self.apps.get(&app.0).ok_or(FleetError::UnknownApp(app))?;
+        let (src, local) = fleet_app.location.ok_or(FleetError::NotResident(app))?;
+        let tenant = fleet_app.tenant;
+        if to.0 >= self.devices.len() {
+            return Err(FleetError::UnknownDevice(to));
+        }
+        if src == to.0 {
+            return Ok(0.0);
+        }
+        let (name, compiled) = self.devices[src]
+            .take_resident(local)
+            .map_err(FleetError::Device)?;
+        self.locations.remove(&(src, local.0));
+        if let Some(entry) = self.apps.get_mut(&app.0) {
+            entry.location = None;
+        }
+        let class = self.spec_of(tenant).evict;
+        let mut boxed = Box::new(compiled);
+        loop {
+            match self.devices[to.0].admit(&name, boxed) {
+                Ok(outcome) => {
+                    if let Some(entry) = self.apps.get_mut(&app.0) {
+                        entry.location = Some((to.0, outcome.id));
+                    }
+                    self.locations.insert((to.0, outcome.id.0), app.0);
+                    self.migrations += 1;
+                    self.migration_downtime_seconds += outcome.downtime_seconds;
+                    if let Some(base) = self.base_credits {
+                        let credits = self.spec_of(tenant).inject_credits(base);
+                        let _ = self.devices[to.0].set_app_inject_budget(outcome.id, Some(credits));
+                    }
+                    return Ok(outcome.downtime_seconds);
+                }
+                Err(refusal) => {
+                    boxed = refusal.app;
+                    if matches!(refusal.error, AdmitError::NoCapacity(_)) {
+                        if let Some(victim) = self.victim_on(to.0, class) {
+                            if self.evict_local(to.0, victim).is_some() {
+                                continue;
+                            }
+                        }
+                    }
+                    // Destination refused for good: restore on the source.
+                    let restored = match self.devices[src].admit(&name, boxed) {
+                        Ok(outcome) => {
+                            if let Some(entry) = self.apps.get_mut(&app.0) {
+                                entry.location = Some((src, outcome.id));
+                            }
+                            self.locations.insert((src, outcome.id.0), app.0);
+                            true
+                        }
+                        Err(_) => false,
+                    };
+                    return Err(FleetError::MigrationFailed { app, to, restored });
+                }
+            }
+        }
+    }
+
+    /// Fleet-wide statistics snapshot.
+    pub fn stats(&self) -> FleetStats {
+        FleetStats {
+            devices: self.devices.len(),
+            submitted: self.submitted,
+            admitted: self.admitted,
+            rejected: self.rejected,
+            evicted: self.evicted,
+            migrations: self.migrations,
+            migration_downtime_seconds: self.migration_downtime_seconds,
+            queue_depth: self.queue.len(),
+            apps_resident: self.apps.values().filter(|a| a.location.is_some()).count(),
+            admission: self.admission_latency.clone(),
+            per_device: self.devices.iter().map(Device::stats).collect(),
+            tenants: self
+                .tenants
+                .iter()
+                .map(|(&t, state)| TenantShare {
+                    tenant: TenantId(t),
+                    weight: state.spec.weight,
+                    evict: state.spec.evict,
+                    served: state.served,
+                })
+                .collect(),
+        }
+    }
+
+    fn spec_of(&self, tenant: TenantId) -> QosSpec {
+        self.tenants
+            .get(&tenant.0)
+            .map(|t| t.spec)
+            .unwrap_or_default()
+    }
+}

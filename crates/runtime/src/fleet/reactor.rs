@@ -1,0 +1,174 @@
+//! A hand-rolled single-threaded reactor for the fleet's async admission
+//! front-end.
+//!
+//! The workspace carries no async runtime (vendored-deps discipline), and
+//! does not need one: admission completion is driven by the fleet's own
+//! scheduling passes, so the executor is a ready-queue of tasks woken by
+//! [`std::task::Wake`] — poll what's ready, park what isn't, repeat. An
+//! [`AdmissionTicket`] is the `Future` half of a submission: the fleet
+//! resolves it (and wakes its task) when the app lands on a device or is
+//! rejected.
+
+use std::collections::VecDeque;
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::{Arc, Mutex};
+use std::task::{Context, Poll, Wake, Waker};
+
+use crate::fleet::{Admission, FleetAppId, FleetError};
+
+type BoxFuture = Pin<Box<dyn Future<Output = ()> + 'static>>;
+
+/// Wakes a task by pushing its slot back onto the shared ready queue.
+struct TaskWaker {
+    slot: usize,
+    ready: Arc<Mutex<VecDeque<usize>>>,
+}
+
+impl Wake for TaskWaker {
+    fn wake(self: Arc<Self>) {
+        self.ready.lock().unwrap().push_back(self.slot);
+    }
+}
+
+/// A minimal single-threaded executor: spawn futures, then interleave
+/// [`Executor::run_until_stalled`] with whatever external progress (fleet
+/// scheduling passes) resolves their wakers.
+#[derive(Default)]
+pub struct Executor {
+    tasks: Vec<Option<BoxFuture>>,
+    ready: Arc<Mutex<VecDeque<usize>>>,
+}
+
+impl Executor {
+    /// An executor with no tasks.
+    pub fn new() -> Executor {
+        Executor::default()
+    }
+
+    /// Spawns a future; it is immediately ready for its first poll.
+    pub fn spawn(&mut self, fut: impl Future<Output = ()> + 'static) {
+        let slot = self.tasks.len();
+        self.tasks.push(Some(Box::pin(fut)));
+        self.ready.lock().unwrap().push_back(slot);
+    }
+
+    /// Polls ready tasks until none are ready, returning how many tasks
+    /// ran to completion during this pass. Tasks that return `Pending`
+    /// stay parked until their waker fires.
+    pub fn run_until_stalled(&mut self) -> usize {
+        let mut completed = 0;
+        loop {
+            let slot = match self.ready.lock().unwrap().pop_front() {
+                Some(slot) => slot,
+                None => return completed,
+            };
+            // A task can be woken more than once before it is polled, or
+            // woken after completing; both leave a stale queue entry.
+            let Some(mut task) = self.tasks[slot].take() else {
+                continue;
+            };
+            let waker = Waker::from(Arc::new(TaskWaker {
+                slot,
+                ready: Arc::clone(&self.ready),
+            }));
+            match task.as_mut().poll(&mut Context::from_waker(&waker)) {
+                Poll::Ready(()) => completed += 1,
+                Poll::Pending => self.tasks[slot] = Some(task),
+            }
+        }
+    }
+
+    /// Tasks spawned but not yet run to completion.
+    pub fn pending(&self) -> usize {
+        self.tasks.iter().filter(|t| t.is_some()).count()
+    }
+}
+
+/// Shared slot the fleet writes an admission result into.
+#[derive(Default)]
+pub(crate) struct TicketState {
+    result: Option<Result<Admission, FleetError>>,
+    waker: Option<Waker>,
+}
+
+/// Resolves a ticket and wakes the task awaiting it.
+pub(crate) fn resolve(state: &Arc<Mutex<TicketState>>, result: Result<Admission, FleetError>) {
+    let mut s = state.lock().unwrap();
+    s.result = Some(result);
+    if let Some(waker) = s.waker.take() {
+        waker.wake();
+    }
+}
+
+/// The awaitable half of an async submission: resolves to the admission
+/// outcome (device, downtime) or the typed refusal. The result is moved
+/// out on completion, so the ticket is a one-shot future.
+pub struct AdmissionTicket {
+    pub(crate) id: FleetAppId,
+    pub(crate) state: Arc<Mutex<TicketState>>,
+}
+
+impl AdmissionTicket {
+    /// The fleet-wide id assigned at submission (valid before resolution).
+    pub fn app(&self) -> FleetAppId {
+        self.id
+    }
+}
+
+impl Future for AdmissionTicket {
+    type Output = Result<Admission, FleetError>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let mut s = self.state.lock().unwrap();
+        match s.result.take() {
+            Some(result) => Poll::Ready(result),
+            None => {
+                s.waker = Some(cx.waker().clone());
+                Poll::Pending
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn executor_parks_and_wakes_tickets() {
+        let state = Arc::new(Mutex::new(TicketState::default()));
+        let ticket = AdmissionTicket {
+            id: FleetAppId(7),
+            state: Arc::clone(&state),
+        };
+        assert_eq!(ticket.app(), FleetAppId(7));
+
+        let seen = Arc::new(Mutex::new(None));
+        let seen2 = Arc::clone(&seen);
+        let mut pool = Executor::new();
+        pool.spawn(async move {
+            let got = ticket.await;
+            *seen2.lock().unwrap() = Some(got.ok().map(|a| a.device));
+        });
+
+        // First pass: the ticket is unresolved, the task parks.
+        assert_eq!(pool.run_until_stalled(), 0);
+        assert_eq!(pool.pending(), 1);
+        assert!(seen.lock().unwrap().is_none());
+
+        // Resolving wakes the task; the next pass completes it.
+        resolve(
+            &state,
+            Ok(Admission {
+                app: FleetAppId(7),
+                device: crate::fleet::DeviceId(2),
+                downtime_seconds: 0.0,
+                pages: Vec::new(),
+            }),
+        );
+        assert_eq!(pool.run_until_stalled(), 1);
+        assert_eq!(pool.pending(), 0);
+        assert_eq!(*seen.lock().unwrap(), Some(Some(crate::fleet::DeviceId(2))));
+    }
+}

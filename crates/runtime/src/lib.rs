@@ -27,7 +27,9 @@
 
 pub mod admission;
 pub mod allocator;
+pub mod codec;
 pub mod device_state;
+pub mod fleet;
 pub mod stats;
 pub mod swap;
 
@@ -45,6 +47,10 @@ use allocator::{AllocError, PlacedOperator};
 use device_state::{DeviceState, PageBinding};
 use stats::{AppLatency, LatencyHistogram, RuntimeStats};
 
+pub use fleet::{
+    Admission, AdmissionTicket, Device, DeviceId, EvictClass, Executor, Fleet, FleetAppId,
+    FleetError, FleetEvent, FleetStats, QosSpec, TenantId, TenantShare,
+};
 pub use stats::RuntimeStats as Stats;
 pub use swap::SwapReport;
 
@@ -143,6 +149,52 @@ impl From<AllocError> for RuntimeError {
     fn from(e: AllocError) -> RuntimeError {
         RuntimeError::Alloc(e)
     }
+}
+
+/// A successful single-shot admission ([`Runtime::admit_direct`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdmitOutcome {
+    /// The id assigned to the now-resident app.
+    pub id: AppId,
+    /// The bring-up bill: artifact transfer plus link cycles.
+    pub downtime_seconds: f64,
+    /// The pages the app landed on.
+    pub pages: Vec<PageId>,
+}
+
+/// Why a single-shot admission was refused — typed, and carrying the app
+/// back so the caller (the fleet's placement loop) can retry elsewhere.
+#[derive(Debug)]
+pub enum AdmitError {
+    /// Compiled against a different floorplan than this device.
+    FloorplanMismatch,
+    /// Can never fit on this device, even empty (page-type deficit).
+    Infeasible(AllocError),
+    /// Does not fit right now; eviction may open up capacity.
+    NoCapacity(AllocError),
+    /// Placement succeeded but installation failed (e.g. the shared DMA
+    /// leaf ran out of stream registers).
+    Install(String),
+}
+
+impl fmt::Display for AdmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdmitError::FloorplanMismatch => write!(f, "compiled for a different floorplan"),
+            AdmitError::Infeasible(e) => write!(f, "{e}"),
+            AdmitError::NoCapacity(e) => write!(f, "no capacity: {e}"),
+            AdmitError::Install(reason) => write!(f, "{reason}"),
+        }
+    }
+}
+
+/// A refused admission: the error plus the app, returned for retry.
+#[derive(Debug)]
+pub struct AdmitRefusal {
+    /// The compiled app, handed back untouched.
+    pub app: Box<CompiledApp>,
+    /// Why this device refused it.
+    pub error: AdmitError,
 }
 
 /// One application resident on the fabric.
@@ -353,46 +405,166 @@ impl Runtime {
     // ---- internals ----------------------------------------------------
 
     fn try_admit(&mut self, request: PendingRequest, events: &mut Vec<RuntimeEvent>) {
-        let PendingRequest { id, name, app } = request;
-        if app.floorplan != self.device.floorplan {
-            self.reject(id, &name, "compiled for a different floorplan", events);
-            return;
-        }
-        if let Err(e) = allocator::feasible(&self.device.floorplan, &app) {
-            self.reject(id, &name, &e.to_string(), events);
-            return;
-        }
+        let PendingRequest { id, name, mut app } = request;
         loop {
-            match allocator::plan(&self.device.floorplan, &self.device.free_map(), &app) {
-                Ok(placement) => {
-                    match self.install(id, name.clone(), *app, placement) {
-                        Ok(event) => events.push(event),
-                        Err(reason) => self.reject(id, &name, &reason, events),
-                    }
+            match self.admit_once(id, &name, app) {
+                Ok(outcome) => {
+                    events.push(RuntimeEvent::Admitted {
+                        id,
+                        name,
+                        downtime_seconds: outcome.downtime_seconds,
+                        pages: outcome.pages,
+                    });
                     return;
                 }
-                Err(_) => match self.lru_victim() {
-                    Some(victim) => {
-                        let victim_name = self.resident[&victim.0].name.clone();
-                        if self.evict_internal(victim).is_err() {
-                            // The victim vanished between selection and
-                            // eviction — bail out rather than loop on a
-                            // placement that will never open up.
-                            self.reject(id, &name, "eviction raced with a teardown", events);
+                Err(refusal) => match refusal.error {
+                    AdmitError::NoCapacity(_) => match self.lru_victim() {
+                        Some(victim) => {
+                            let victim_name = self.resident[&victim.0].name.clone();
+                            if self.evict_internal(victim).is_err() {
+                                // The victim vanished between selection and
+                                // eviction — bail out rather than loop on a
+                                // placement that will never open up.
+                                self.reject(id, &name, "eviction raced with a teardown", events);
+                                return;
+                            }
+                            events.push(RuntimeEvent::Evicted {
+                                id: victim,
+                                name: victim_name,
+                            });
+                            app = refusal.app;
+                        }
+                        None => {
+                            self.reject(id, &name, "no capacity and nothing left to evict", events);
                             return;
                         }
-                        events.push(RuntimeEvent::Evicted {
-                            id: victim,
-                            name: victim_name,
-                        });
-                    }
-                    None => {
-                        self.reject(id, &name, "no capacity and nothing left to evict", events);
+                    },
+                    error => {
+                        self.reject(id, &name, &error.to_string(), events);
                         return;
                     }
                 },
             }
         }
+    }
+
+    /// One placement attempt against the current free map — no eviction,
+    /// no queue. Both the [`Runtime::poll`] eviction loop and the fleet's
+    /// cross-device placement are built on this; the fleet treats a
+    /// [`AdmitError::NoCapacity`] refusal as "pick a victim or try the
+    /// next device" rather than looping locally.
+    fn admit_once(
+        &mut self,
+        id: AppId,
+        name: &str,
+        app: Box<CompiledApp>,
+    ) -> Result<AdmitOutcome, AdmitRefusal> {
+        if app.floorplan != self.device.floorplan {
+            return Err(AdmitRefusal {
+                app,
+                error: AdmitError::FloorplanMismatch,
+            });
+        }
+        if let Err(e) = allocator::feasible(&self.device.floorplan, &app) {
+            return Err(AdmitRefusal {
+                app,
+                error: AdmitError::Infeasible(e),
+            });
+        }
+        match allocator::plan(&self.device.floorplan, &self.device.free_map(), &app) {
+            Ok(placement) => match self.install(id, name.to_string(), app, placement) {
+                Ok(outcome) => Ok(outcome),
+                Err((app, reason)) => Err(AdmitRefusal {
+                    app,
+                    error: AdmitError::Install(reason),
+                }),
+            },
+            Err(e) => Err(AdmitRefusal {
+                app,
+                error: AdmitError::NoCapacity(e),
+            }),
+        }
+    }
+
+    /// Single-shot admission: one placement attempt, no eviction, no
+    /// queue. On success the app is resident under a freshly assigned id;
+    /// on refusal the app comes back inside the [`AdmitRefusal`] so the
+    /// caller can retry after evicting, or on another device.
+    ///
+    /// This is the fleet's entry point; [`Runtime::submit`] + [`Runtime::poll`]
+    /// remain the single-device path and share the same internals.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AdmitRefusal`] carrying the app and an [`AdmitError`].
+    pub fn admit_direct(
+        &mut self,
+        name: &str,
+        app: Box<CompiledApp>,
+    ) -> Result<AdmitOutcome, AdmitRefusal> {
+        let id = AppId(self.next_id);
+        let outcome = self.admit_once(id, name, app)?;
+        self.next_id += 1;
+        Ok(outcome)
+    }
+
+    /// Removes a resident app from the fabric and hands back its name and
+    /// compiled form — the first half of a live migration. The routes are
+    /// torn down and the pages released exactly as in an eviction (and
+    /// counted as one); the returned [`CompiledApp`] still carries its
+    /// `LoadOp` tape, so replaying it on another device re-admits the app
+    /// bit-identically.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::NotResident`] if the app holds no pages.
+    pub fn take_resident(&mut self, id: AppId) -> Result<(String, CompiledApp), RuntimeError> {
+        if !self.resident.contains_key(&id.0) {
+            return Err(RuntimeError::NotResident(id));
+        }
+        let resident = self
+            .resident
+            .remove(&id.0)
+            .ok_or(RuntimeError::ResidencyLost(id))?;
+        self.device.unlink(&resident.links);
+        for p in &resident.placement {
+            self.device.release(p.actual);
+        }
+        self.stats.evicted += 1;
+        Ok((resident.name, resident.app))
+    }
+
+    /// `(id, last_used_tick)` for every resident app — the raw material
+    /// for eviction policies richer than this runtime's own LRU (the
+    /// fleet's QoS classes sort on `(class, last_used)`).
+    pub fn resident_usage(&self) -> Vec<(AppId, u64)> {
+        self.resident
+            .iter()
+            .map(|(&id, r)| (AppId(id), r.last_used))
+            .collect()
+    }
+
+    /// Sets (or with `None` lifts) the NoC data-injection credit budget on
+    /// every page a resident app occupies — the enforcement half of the
+    /// fleet's per-tenant token-rate fair-share.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::NotResident`] if the app holds no pages.
+    pub fn set_app_inject_budget(
+        &mut self,
+        id: AppId,
+        budget: Option<u32>,
+    ) -> Result<(), RuntimeError> {
+        let resident = self
+            .resident
+            .get(&id.0)
+            .ok_or(RuntimeError::NotResident(id))?;
+        let pages: Vec<PageId> = resident.placement.iter().map(|p| p.actual).collect();
+        for page in pages {
+            self.device.set_page_inject_budget(page, budget);
+        }
+        Ok(())
     }
 
     fn reject(&mut self, id: AppId, name: &str, reason: &str, events: &mut Vec<RuntimeEvent>) {
@@ -408,9 +580,9 @@ impl Runtime {
         &mut self,
         id: AppId,
         name: String,
-        app: CompiledApp,
+        app: Box<CompiledApp>,
         placement: Vec<PlacedOperator>,
-    ) -> Result<RuntimeEvent, String> {
+    ) -> Result<AdmitOutcome, (Box<CompiledApp>, String)> {
         // Carve this tenant's register ranges out of the shared DMA leaves.
         let (in_width, out_width) = dma_widths(&app);
         let in_use_in: Vec<(u8, u8)> = self
@@ -423,10 +595,12 @@ impl Runtime {
             .values()
             .map(|r| (r.dma_out_base, r.dma_out_width))
             .collect();
-        let dma_in_base =
-            alloc_base(&in_use_in, in_width).ok_or("DMA input stream registers exhausted")?;
-        let dma_out_base =
-            alloc_base(&in_use_out, out_width).ok_or("DMA output ports exhausted")?;
+        let Some(dma_in_base) = alloc_base(&in_use_in, in_width) else {
+            return Err((app, "DMA input stream registers exhausted".into()));
+        };
+        let Some(dma_out_base) = alloc_base(&in_use_out, out_width) else {
+            return Err((app, "DMA output ports exhausted".into()));
+        };
 
         let links = remap_links(&app, &placement, &self.device, dma_in_base, dma_out_base);
 
@@ -446,6 +620,14 @@ impl Runtime {
         let link_cycles = self.device.link(&links);
         let downtime_seconds = artifact_seconds + DeviceState::link_seconds(link_cycles);
 
+        // Everything just transferred is now in the device-local bitstream
+        // cache; fleet placement prefers devices that already hold an
+        // app's artifacts (the transfer is still billed above — the cache
+        // informs placement, it does not discount downtime).
+        for artifact in &app.artifacts {
+            self.device.note_loaded(artifact.hash);
+        }
+
         for p in &placement {
             self.device.bind(
                 p.actual,
@@ -460,8 +642,8 @@ impl Runtime {
         self.resident.insert(
             id.0,
             ResidentApp {
-                name: name.clone(),
-                app,
+                name,
+                app: *app,
                 placement,
                 links,
                 dma_in_base,
@@ -474,9 +656,8 @@ impl Runtime {
         );
         self.stats.admitted += 1;
         self.stats.cumulative_downtime_seconds += downtime_seconds;
-        Ok(RuntimeEvent::Admitted {
+        Ok(AdmitOutcome {
             id,
-            name,
             downtime_seconds,
             pages,
         })

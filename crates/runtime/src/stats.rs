@@ -54,6 +54,53 @@ impl LatencyHistogram {
             .map(|(i, &c)| (1u64 << i, c))
             .collect()
     }
+
+    /// The latency in seconds at quantile `q` (0..=1), estimated at the
+    /// geometric midpoint of the bucket the quantile falls in and clamped
+    /// to the worst observed sample. Bucket resolution is a factor of two,
+    /// which is the usual contract for log-bucketed serving histograms.
+    pub fn percentile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                // Geometric midpoint of [2^i, 2^(i+1)) µs.
+                let mid_us = (1u64 << i) as f64 * std::f64::consts::SQRT_2;
+                return (mid_us * 1e-6).min(self.max_seconds);
+            }
+        }
+        self.max_seconds
+    }
+
+    /// Raw state `(buckets, count, total_seconds, max_seconds)` — for the
+    /// snapshot codec only; the fields stay private otherwise.
+    pub fn to_parts(&self) -> ([u64; 32], u64, f64, f64) {
+        (
+            self.buckets,
+            self.count,
+            self.total_seconds,
+            self.max_seconds,
+        )
+    }
+
+    /// Rebuilds a histogram from [`LatencyHistogram::to_parts`] output.
+    pub fn from_parts(
+        buckets: [u64; 32],
+        count: u64,
+        total_seconds: f64,
+        max_seconds: f64,
+    ) -> Self {
+        LatencyHistogram {
+            buckets,
+            count,
+            total_seconds,
+            max_seconds,
+        }
+    }
 }
 
 /// Latency record of one application under the runtime.
@@ -158,6 +205,27 @@ mod tests {
         h.record(0.0);
         h.record(1e-9);
         assert_eq!(h.nonzero_buckets(), vec![(1, 2)]);
+    }
+
+    #[test]
+    fn percentiles_walk_the_buckets() {
+        let mut h = LatencyHistogram::default();
+        assert_eq!(h.percentile(0.99), 0.0);
+        for _ in 0..99 {
+            h.record(1.5e-6); // bucket 0
+        }
+        h.record(1e-3); // bucket 9, the single worst sample
+        let p50 = h.percentile(0.50);
+        assert!(p50 < 3e-6, "p50 {p50} should sit in the first bucket");
+        let p99 = h.percentile(0.99);
+        assert!(p99 < 3e-6, "p99 {p99} is still the 99th of 100 samples");
+        let p100 = h.percentile(1.0);
+        assert!(
+            (5e-4..=1e-3).contains(&p100),
+            "p100 {p100} lands in the worst bucket, clamped to max"
+        );
+        let (buckets, count, total, max) = h.to_parts();
+        assert_eq!(LatencyHistogram::from_parts(buckets, count, total, max), h);
     }
 
     #[test]

@@ -1,25 +1,31 @@
-//! Serving multiple apps on one fabric with `pld-runtime`.
+//! Serving multiple apps on one fabric — through the fleet's device
+//! abstraction at N = 1.
 //!
 //! The paper's flow compiles and loads one application at a time; this
-//! example runs the multi-tenant serving layer on top of it. One 22-page
-//! XCU50 fabric hosts several Rosetta benchmarks at once:
+//! example runs the multi-tenant serving layer on top of it. A fleet of
+//! exactly one 22-page XCU50 card hosts several Rosetta benchmarks at
+//! once — the degenerate case of `examples/serving_fleet.rs`, exercising
+//! the same admission, placement and eviction code path the multi-device
+//! fleet uses:
 //!
 //! 1. four apps are compiled at `-O0` and admitted through the bounded
-//!    queue (a fifth submission bounces off the bound — backpressure);
+//!    fleet queue (a fifth submission bounces off the bound —
+//!    backpressure);
 //! 2. requests are served against each resident app;
-//! 3. two more apps arrive; the fabric is out of pages, so the
-//!    least-recently-used tenants are evicted to make room;
+//! 3. more apps arrive; when the card is out of pages, the
+//!    least-recently-used tenants of equal-or-lower QoS class are
+//!    evicted to make room;
 //! 4. one operator of a resident app is "edited" (its pragma re-pinned)
-//!    and hot-swapped: one page reloads, a handful of config packets
-//!    re-send, everything else keeps running — and the measured downtime
-//!    is compared against a full-app reload.
+//!    and hot-swapped in place on its device: one page reloads, a
+//!    handful of config packets re-send, everything else keeps running —
+//!    and the measured downtime is compared against a full-app reload.
 //!
 //! Run with: `cargo run --release --example serving`
 
 use dfg::Target;
 use fabric::Floorplan;
 use pld::{BuildCache, CompileOptions, OptLevel};
-use pld_runtime::{Runtime, RuntimeEvent};
+use pld_runtime::{Fleet, FleetAppId, FleetError, FleetEvent, Runtime, TenantId};
 use rosetta::{suite, Scale};
 
 fn main() {
@@ -45,23 +51,31 @@ fn main() {
         })
         .collect();
 
-    // One card, 22 pages, queue bound 4.
-    let mut rt = Runtime::with_queue_bound(Floorplan::u50(), 4);
+    // A fleet of one card: 22 pages, fleet queue bound 4.
+    let fp = Floorplan::u50();
+    let mut fleet = Fleet::with_queue_bound(vec![Runtime::new(fp.clone())], 4);
+    let tenant = TenantId(0);
     println!(
-        "\nfabric up: {} pages, queue bound {}",
-        Floorplan::u50().pages.len(),
+        "\nfleet up: 1 device, {} pages, queue bound {}",
+        fp.pages.len(),
         4
     );
 
     // --- Admission with backpressure -------------------------------------
+    let mut ids: Vec<FleetAppId> = Vec::new();
     let mut overflow = Vec::new();
     for (bench, app) in benches.iter().zip(&apps) {
-        if let Err(refused) = rt.submit(bench.name, app.clone()) {
-            println!("queue full: `{}` refused (resubmit later)", bench.name);
-            overflow.push(*refused.app);
+        match fleet.submit(tenant, bench.name, app.clone()) {
+            Ok(id) => ids.push(id),
+            Err(FleetError::QueueFull { app }) => {
+                println!("queue full: `{}` refused (resubmit later)", bench.name);
+                overflow.push(*app);
+            }
+            Err(e) => println!("`{}` refused: {e}", bench.name),
         }
     }
-    report(&rt.poll());
+    let events = fleet.pump();
+    report(&fleet, &events);
 
     // The refused apps get in once the queue drains.
     for app in overflow {
@@ -70,25 +84,30 @@ fn main() {
             .find(|b| b.graph.name == app.graph.name)
             .map(|b| b.name)
             .expect("known bench");
-        if rt.submit(name, app).is_err() {
-            println!("`{name}` refused again");
+        match fleet.submit(tenant, name, app) {
+            Ok(id) => ids.push(id),
+            Err(e) => println!("`{name}` refused again: {e}"),
         }
     }
-    report(&rt.poll());
-    println!("\n{}", rt.stats());
+    let events = fleet.pump();
+    report(&fleet, &events);
+    println!("\n{}", fleet.stats().per_device[0]);
 
     // --- Serve requests ---------------------------------------------------
     // Run each resident tenant's workload (evicted tenants would need
     // re-admission first).
     let mut served = 0;
-    for id in rt.resident_ids() {
-        let name = rt.name_of(id).expect("resident").to_string();
+    for &id in &ids {
+        if !fleet.is_resident(id) {
+            continue;
+        }
+        let name = fleet.name_of(id).expect("known app").to_string();
         let bench = benches
             .iter()
             .find(|b| b.name == name)
             .expect("known bench");
         let inputs = bench.input_refs();
-        if rt.run(id, &inputs).is_ok() {
+        if fleet.run(id, &inputs).is_ok() {
             served += 1;
         }
     }
@@ -97,9 +116,14 @@ fn main() {
     // --- Hot swap ----------------------------------------------------------
     // "Edit" the most recently admitted resident app: re-pin its last
     // operator to a spare page — the pragma flip of the paper's
-    // incremental-development loop — and hot-swap it in place.
-    let id = *rt.resident_ids().last().expect("something is resident");
-    let name = rt.name_of(id).expect("resident").to_string();
+    // incremental-development loop — and hot-swap it in place on its
+    // device.
+    let id = *ids
+        .iter()
+        .rev()
+        .find(|&&id| fleet.is_resident(id))
+        .expect("something is resident");
+    let name = fleet.name_of(id).expect("resident").to_string();
     let bench = benches
         .iter()
         .find(|b| b.name == name)
@@ -118,10 +142,12 @@ fn main() {
     let last = edited.operators.len() - 1;
     edited.operators[last].target = Target::riscv(spare);
 
-    match rt.hot_swap(id, &edited, &mut cache, &opts) {
+    let (device, local) = fleet.locate(id).expect("resident");
+    let rt = fleet.runtime_mut(device).expect("device exists");
+    match rt.hot_swap(local, &edited, &mut cache, &opts) {
         Ok(report) => {
             println!(
-                "\nhot swap of `{}`: recompiled {:?}, reloaded {} page(s), {} config packets",
+                "\nhot swap of `{}` on {device}: recompiled {:?}, reloaded {} page(s), {} config packets",
                 bench.name,
                 report.recompiled,
                 report.swapped_pages.len(),
@@ -137,26 +163,38 @@ fn main() {
         Err(e) => println!("hot swap skipped: {e}"),
     }
 
-    println!("\nfinal statistics:\n{}", rt.stats());
+    println!("\nfinal statistics:\n{}", fleet.stats().per_device[0]);
 }
 
-fn report(events: &[RuntimeEvent]) {
+fn report(fleet: &Fleet, events: &[FleetEvent]) {
     for e in events {
+        let name = |app: &FleetAppId| fleet.name_of(*app).unwrap_or("?").to_string();
         match e {
-            RuntimeEvent::Admitted {
-                name,
+            FleetEvent::Admitted {
+                app,
+                device,
                 downtime_seconds,
-                pages,
-                ..
             } => println!(
-                "admitted `{name}` on {} pages ({:.3} ms downtime)",
-                pages.len(),
+                "admitted `{}` on {device} ({:.3} ms downtime)",
+                name(app),
                 downtime_seconds * 1e3
             ),
-            RuntimeEvent::Rejected { name, reason, .. } => {
+            FleetEvent::Rejected { name, reason, .. } => {
                 println!("rejected `{name}`: {reason}")
             }
-            RuntimeEvent::Evicted { name, .. } => println!("evicted `{name}` (LRU)"),
+            FleetEvent::Evicted { app, device } => {
+                println!("evicted `{}` from {device} (LRU)", name(app))
+            }
+            FleetEvent::Migrated {
+                app,
+                from,
+                to,
+                downtime_seconds,
+            } => println!(
+                "migrated `{}` {from} -> {to} ({:.3} ms downtime)",
+                name(app),
+                downtime_seconds * 1e3
+            ),
         }
     }
 }

@@ -1,0 +1,390 @@
+//! Fleet-scale serving: thousands of apps on N simulated cards.
+//!
+//! The single-device serving example (`examples/serving.rs`) is this
+//! story at N = 1. Here a fleet of 4 simulated XCU50 cards serves
+//! 1100 apps submitted through the async admission front-end:
+//!
+//! 1. **Farm compiles** — the app variants are compiled concurrently on
+//!    the build farm against one shared artifact store
+//!    ([`pld::build_batch`]), the fleet's admission-compile path;
+//! 2. **Async admission** — every submission returns an
+//!    `AdmissionTicket` future; a hand-rolled executor drives the
+//!    tickets while the fleet's scheduling passes place each app by
+//!    cache-aware best-fit bin packing, evicting within each tenant's
+//!    QoS class when pages run out;
+//! 3. **Per-tenant QoS** — three tenants at fair-share weights 4/2/1
+//!    with eviction classes Guaranteed/Standard/Revocable; serving is
+//!    weighted round-robin and each epoch refills NoC injection-credit
+//!    budgets proportional to weight (token-rate throttling in the
+//!    linking network itself);
+//! 4. **Live migration under load** — mid-run, resident apps are moved
+//!    between cards by replaying their `LoadOp` tape on the destination;
+//!    outputs before and after are bit-identical;
+//! 5. the fleet's KPIs — p50/p99 admission latency, migration downtime,
+//!    per-tenant fairness — land in `BENCH_serving.json`.
+//!
+//! Run with: `cargo run --release --example serving_fleet`
+//! CI smoke mode (2 cards, 128 apps, no JSON): `-- --smoke`
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::time::Instant;
+
+use dfg::{Graph, GraphBuilder, Target};
+use fabric::{Floorplan, PageId};
+use kir::types::Value;
+use kir::{Expr, KernelBuilder, Scalar, Stmt};
+use pld::{build_batch, ArtifactStore, CompileOptions, OptLevel};
+use pld_runtime::{DeviceId, EvictClass, Executor, Fleet, FleetAppId, QosSpec, TenantId};
+
+const STAGES: usize = 2;
+const WAVE: usize = 8;
+
+fn stage(name: &str, addend: i64) -> kir::Kernel {
+    KernelBuilder::new(name)
+        .input("in", Scalar::uint(32))
+        .output("out", Scalar::uint(32))
+        .local("x", Scalar::uint(32))
+        .body([Stmt::for_pipelined(
+            "i",
+            0..8,
+            [
+                Stmt::read("x", "in"),
+                Stmt::write("out", Expr::var("x").add(Expr::cint(addend))),
+            ],
+        )])
+        .build()
+        .unwrap()
+}
+
+fn pipeline(name: &str, n: usize, addend: i64) -> Graph {
+    let mut b = GraphBuilder::new(name);
+    let mut prev = None;
+    for i in 0..n {
+        let id = b.add(
+            format!("s{i}"),
+            stage(&format!("s{i}"), addend),
+            Target::riscv_auto(),
+        );
+        match prev {
+            None => b.ext_input("Input_1", id, "in"),
+            Some(p) => {
+                b.connect(format!("l{i}"), p, "out", id, "in");
+            }
+        }
+        prev = Some(id);
+    }
+    b.ext_output("Output_1", prev.unwrap(), "out");
+    b.build().unwrap()
+}
+
+fn words(values: std::ops::Range<u32>) -> Vec<Value> {
+    values
+        .map(|v| Value::Int(aplib::DynInt::from_raw(32, false, v as u128)))
+        .collect()
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let n_devices = if smoke { 2 } else { 4 };
+    let total_apps = if smoke { 128 } else { 1200 };
+    let n_variants = if smoke { 8 } else { 16 };
+
+    // --- 1. Farm-compiled app variants against one shared store ----------
+    let opts = CompileOptions::new(OptLevel::O0);
+    let graphs: Vec<Graph> = (0..n_variants)
+        .map(|i| pipeline(&format!("v{i}"), STAGES, i as i64 + 1))
+        .collect();
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    let mut store = ArtifactStore::new();
+    let t0 = Instant::now();
+    let variants: Vec<_> = build_batch(&graphs, &opts, &mut store, workers)
+        .into_iter()
+        .map(|r| r.expect("variant compiles at -O0").0)
+        .collect();
+    println!(
+        "compiled {} app variants on {} farm workers in {:.1} ms ({} stage products in the shared store)",
+        variants.len(),
+        workers,
+        t0.elapsed().as_secs_f64() * 1e3,
+        store.len()
+    );
+
+    // --- 2. Fleet bring-up + tenant QoS contracts -------------------------
+    let fp = Floorplan::u50();
+    let fleet = Rc::new(RefCell::new(Fleet::new(n_devices, &fp)));
+    let tenants = [
+        (
+            TenantId(0),
+            QosSpec {
+                weight: 4,
+                evict: EvictClass::Guaranteed,
+            },
+        ),
+        (
+            TenantId(1),
+            QosSpec {
+                weight: 2,
+                evict: EvictClass::Standard,
+            },
+        ),
+        (
+            TenantId(2),
+            QosSpec {
+                weight: 1,
+                evict: EvictClass::Revocable,
+            },
+        ),
+    ];
+    {
+        let mut f = fleet.borrow_mut();
+        for (tenant, spec) in tenants {
+            f.set_tenant(tenant, spec);
+        }
+        f.set_inject_base_credits(Some(16));
+    }
+    println!(
+        "fleet up: {n_devices} devices x {} pages; tenants t0/t1/t2 at weights 4/2/1 \
+         (guaranteed/standard/revocable)",
+        fp.pages.len()
+    );
+
+    // --- 3. Async admission in waves, serving + migration under load ------
+    // Apps hold a serving lease of a few waves; when it expires they
+    // retire and their pages recycle — the churn that keeps every QoS
+    // class admissible under sustained load.
+    let slots = n_devices * (fp.pages.len() / STAGES);
+    let lease = slots / WAVE + 1;
+    let mut pool = Executor::new();
+    type Admitted = Rc<RefCell<Vec<(FleetAppId, usize, TenantId, usize)>>>;
+    let admitted: Admitted = Rc::new(RefCell::new(Vec::new()));
+    let rejected = Rc::new(RefCell::new(0u64));
+    let input = words(0..8);
+    let mut cursors = [0usize; 3];
+    let mut served_ok = 0u64;
+    let mut migrations_ok = 0u64;
+    let mut evicted_per_tenant = [0u64; 3];
+    let mut tenant_of = std::collections::HashMap::new();
+    let mut next = 0;
+    let mut wave_idx = 0usize;
+    let t_run = Instant::now();
+    while next < total_apps || pool.pending() > 0 {
+        wave_idx += 1;
+
+        // Expired leases first: retired pages host this wave's arrivals.
+        let expiring: Vec<FleetAppId> = {
+            let f = fleet.borrow();
+            admitted
+                .borrow()
+                .iter()
+                .filter(|(id, _, _, wave)| wave + lease <= wave_idx && f.is_resident(*id))
+                .map(|(id, _, _, _)| *id)
+                .collect()
+        };
+        let mut retired = 0;
+        for id in expiring {
+            if fleet.borrow_mut().retire(id).is_ok() {
+                retired += 1;
+            }
+        }
+        if wave_idx.is_multiple_of(32) {
+            println!(
+                "wave {wave_idx}: {} resident, {retired} leases expired",
+                fleet.borrow().stats().apps_resident
+            );
+        }
+
+        // Submit one wave of async tickets.
+        let wave_end = (next + WAVE).min(total_apps);
+        for i in next..wave_end {
+            let tenant = tenants[i % tenants.len()].0;
+            let variant = i % variants.len();
+            let ticket = match fleet.borrow_mut().submit_async(
+                tenant,
+                &format!("app{i}"),
+                variants[variant].clone(),
+            ) {
+                Ok(ticket) => ticket,
+                Err(e) => {
+                    println!("submit of app{i} refused: {e}");
+                    *rejected.borrow_mut() += 1;
+                    continue;
+                }
+            };
+            tenant_of.insert(ticket.app(), tenant);
+            let admitted = Rc::clone(&admitted);
+            let rejected = Rc::clone(&rejected);
+            pool.spawn(async move {
+                match ticket.await {
+                    Ok(adm) => admitted
+                        .borrow_mut()
+                        .push((adm.app, variant, tenant, wave_idx)),
+                    Err(_) => *rejected.borrow_mut() += 1,
+                }
+            });
+        }
+        next = wave_end;
+
+        // One scheduling pass places the wave and resolves its tickets.
+        let events = fleet.borrow_mut().pump();
+        for e in &events {
+            if let pld_runtime::FleetEvent::Evicted { app, .. } = e {
+                if let Some(t) = tenant_of.get(app) {
+                    evicted_per_tenant[t.0 as usize] += 1;
+                }
+            }
+        }
+        pool.run_until_stalled();
+
+        // New epoch: refill every tenant's injection-credit budget.
+        fleet.borrow_mut().refill_credits();
+
+        // Weighted round-robin serving: `weight` requests per tenant per
+        // epoch, against that tenant's resident apps.
+        for (slot, (tenant, spec)) in tenants.iter().enumerate() {
+            for _ in 0..spec.weight {
+                let pick = {
+                    let f = fleet.borrow();
+                    let entries = admitted.borrow();
+                    let mine: Vec<FleetAppId> = entries
+                        .iter()
+                        .filter(|(id, _, t, _)| *t == *tenant && f.is_resident(*id))
+                        .map(|(id, _, _, _)| *id)
+                        .collect();
+                    if mine.is_empty() {
+                        None
+                    } else {
+                        let id = mine[cursors[slot] % mine.len()];
+                        cursors[slot] += 1;
+                        Some(id)
+                    }
+                };
+                if let Some(id) = pick {
+                    if fleet
+                        .borrow_mut()
+                        .run(id, &[("Input_1", input.clone())])
+                        .is_ok()
+                    {
+                        served_ok += 1;
+                    }
+                }
+            }
+        }
+
+        // Live migration under load: every fourth wave, move one resident
+        // Guaranteed app to the next card and check bit-identity.
+        if !wave_idx.is_multiple_of(4) {
+            continue;
+        }
+        if let Some((id, variant)) = {
+            let f = fleet.borrow();
+            let entries = admitted.borrow();
+            entries
+                .iter()
+                .rev()
+                .find(|(id, _, t, _)| *t == TenantId(0) && f.is_resident(*id))
+                .map(|(id, variant, _, _)| (*id, *variant))
+        } {
+            let from = fleet.borrow().locate(id).expect("resident").0;
+            let to = DeviceId((from.0 + 1) % n_devices);
+            let before = fleet
+                .borrow_mut()
+                .run(id, &[("Input_1", input.clone())])
+                .expect("resident app serves");
+            let moved = fleet.borrow_mut().migrate(id, to);
+            match moved {
+                Ok(downtime) => {
+                    let after = fleet
+                        .borrow_mut()
+                        .run(id, &[("Input_1", input.clone())])
+                        .expect("migrated app serves");
+                    assert_eq!(before, after, "migration must preserve outputs");
+                    let expected: Vec<u32> = (0..8u32)
+                        .map(|v| v + (variant as u32 + 1) * STAGES as u32)
+                        .collect();
+                    let got: Vec<u32> = after["Output_1"].iter().map(|v| v.raw() as u32).collect();
+                    assert_eq!(got, expected, "migrated app computes its pipeline");
+                    migrations_ok += 1;
+                    if migrations_ok <= 3 {
+                        println!(
+                            "live migration: {} {from} -> {to}, {:.3} ms downtime, outputs bit-identical",
+                            fleet.borrow().name_of(id).unwrap_or("?"),
+                            downtime * 1e3
+                        );
+                    }
+                }
+                Err(e) => println!("migration of {id} skipped: {e}"),
+            }
+        }
+    }
+
+    // --- 4. Report ---------------------------------------------------------
+    let stats = fleet.borrow().stats();
+    let throttled_pages: usize = {
+        let f = fleet.borrow();
+        (0..n_devices)
+            .map(|d| {
+                let dev = f.device(DeviceId(d)).expect("device").device();
+                (0..fp.pages.len())
+                    .filter(|&p| dev.page_inject_budget(PageId(p as u32)).is_some())
+                    .count()
+            })
+            .sum()
+    };
+    println!(
+        "\n{} apps submitted, {} admitted, {} rejected, {} evictions, {} migrations in {:.1} s",
+        stats.submitted,
+        stats.admitted,
+        *rejected.borrow(),
+        evicted_per_tenant.iter().sum::<u64>(),
+        stats.migrations,
+        t_run.elapsed().as_secs_f64()
+    );
+    println!(
+        "evictions by class: guaranteed(t0) {}, standard(t1) {}, revocable(t2) {}",
+        evicted_per_tenant[0], evicted_per_tenant[1], evicted_per_tenant[2]
+    );
+    println!(
+        "served {served_ok} requests; {throttled_pages} pages under injection-credit throttle"
+    );
+    println!(
+        "admission latency: p50 {:.3} ms, p99 {:.3} ms, max {:.3} ms",
+        stats.admission.percentile(0.50) * 1e3,
+        stats.admission.percentile(0.99) * 1e3,
+        stats.admission.max_seconds() * 1e3
+    );
+    for t in &stats.tenants {
+        println!(
+            "  {}: weight {}, {} served ({:.1} per weight unit)",
+            t.tenant,
+            t.weight,
+            t.served,
+            t.served as f64 / t.weight.max(1) as f64
+        );
+    }
+    println!("weighted fairness (Jain): {:.4}", stats.fairness_index());
+
+    // The claims this example exists to demonstrate.
+    let min_admitted = if smoke { 90 } else { 1000 };
+    assert!(
+        stats.admitted >= min_admitted,
+        "only {} of {} apps admitted",
+        stats.admitted,
+        stats.submitted
+    );
+    assert!(migrations_ok >= 1, "no successful live migration");
+    assert!(
+        stats.fairness_index() >= 0.8,
+        "weighted fairness degraded: {}",
+        stats.fairness_index()
+    );
+
+    if smoke {
+        println!("\nsmoke mode: skipping BENCH_serving.json");
+    } else {
+        std::fs::write("BENCH_serving.json", stats.to_json()).expect("write BENCH_serving.json");
+        println!("\nwrote BENCH_serving.json");
+    }
+}

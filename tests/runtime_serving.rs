@@ -1,13 +1,19 @@
 //! Multi-tenant serving integration: many apps on one fabric, admission
 //! backpressure, LRU eviction with re-admission, and hot-swap downtime
-//! strictly below a full-app reload.
+//! strictly below a full-app reload — plus the fleet layer on top of it:
+//! cross-device placement, QoS eviction classes, async admission tickets,
+//! and bit-identical live migration.
 
 use dfg::{Graph, GraphBuilder, Target};
 use fabric::Floorplan;
 use kir::types::Value;
 use kir::{Expr, KernelBuilder, Scalar, Stmt};
 use pld::{BuildCache, CompileOptions, OptLevel};
-use pld_runtime::{Runtime, RuntimeEvent};
+use pld_runtime::{
+    DeviceId, EvictClass, Executor, Fleet, FleetError, FleetEvent, QosSpec, Runtime, RuntimeEvent,
+    TenantId,
+};
+use proptest::prelude::*;
 
 fn stage(name: &str, addend: i64) -> kir::Kernel {
     KernelBuilder::new(name)
@@ -256,4 +262,284 @@ fn threaded_engine_serves_identical_results_and_records_latency() {
         .latencies
         .values()
         .any(|l| l.name == "kpn" && l.histogram.count() == 2));
+}
+
+#[test]
+fn fleet_packs_best_fit_then_spills_to_the_next_device() {
+    let fp = Floorplan::u50();
+    let mut fleet = Fleet::new(2, &fp);
+    let t = TenantId(0);
+    let mut ids = Vec::new();
+    for (i, name) in ["a", "b", "c", "d"].iter().enumerate() {
+        ids.push(
+            fleet
+                .submit(t, name, compile_o0(&pipeline(name, 7, i as i64 + 1)))
+                .unwrap(),
+        );
+    }
+    let events = fleet.pump();
+    assert!(
+        events
+            .iter()
+            .all(|e| matches!(e, FleetEvent::Admitted { .. })),
+        "{events:?}"
+    );
+    // Best-fit packs dev0 to 21 of 22 pages; the fourth 7-page app
+    // spills to dev1 instead of evicting anyone.
+    for &id in &ids[..3] {
+        assert_eq!(fleet.locate(id).unwrap().0, DeviceId(0));
+    }
+    assert_eq!(fleet.locate(ids[3]).unwrap().0, DeviceId(1));
+    assert_eq!(fleet.stats().evicted, 0);
+
+    // Serving routes to the right device.
+    let out = fleet.run(ids[3], &[("Input_1", words(0..8))]).unwrap();
+    let expected: Vec<u32> = (0..8).map(|v| v + 7 * 4).collect();
+    assert_eq!(to_u32s(&out["Output_1"]), expected);
+}
+
+#[test]
+fn placement_prefers_the_device_with_cached_bitstreams() {
+    let fp = Floorplan::u50();
+    // dev1 has hosted this app before, so its artifacts are cached
+    // on-card; dev0 has not. Both are empty — best-fit and index order
+    // both say dev0, so only the artifact cache can say dev1.
+    let dev0 = Runtime::new(fp.clone());
+    let mut dev1 = Runtime::new(fp.clone());
+    let app = compile_o0(&pipeline("warm", 4, 9));
+    let seeded = dev1.admit_direct("warm", Box::new(app.clone())).unwrap();
+    dev1.take_resident(seeded.id).unwrap();
+
+    let mut fleet = Fleet::from_devices(vec![dev0, dev1]);
+    let id = fleet.submit(TenantId(0), "warm", app).unwrap();
+    fleet.pump();
+    assert_eq!(
+        fleet.locate(id).unwrap().0,
+        DeviceId(1),
+        "cache affinity must beat index order"
+    );
+}
+
+#[test]
+fn qos_classes_bound_who_a_tenant_may_evict() {
+    let fp = Floorplan::u50();
+    let mut fleet = Fleet::new(1, &fp);
+    let (tg, ts, tr) = (TenantId(0), TenantId(1), TenantId(2));
+    fleet.set_tenant(
+        tg,
+        QosSpec {
+            weight: 1,
+            evict: EvictClass::Guaranteed,
+        },
+    );
+    fleet.set_tenant(
+        ts,
+        QosSpec {
+            weight: 1,
+            evict: EvictClass::Standard,
+        },
+    );
+    fleet.set_tenant(
+        tr,
+        QosSpec {
+            weight: 1,
+            evict: EvictClass::Revocable,
+        },
+    );
+
+    // Three 7-page tenants fill 21 of 22 pages.
+    let g = fleet
+        .submit(tg, "g", compile_o0(&pipeline("g", 7, 1)))
+        .unwrap();
+    let s = fleet
+        .submit(ts, "s", compile_o0(&pipeline("s", 7, 2)))
+        .unwrap();
+    let r = fleet
+        .submit(tr, "r", compile_o0(&pipeline("r", 7, 3)))
+        .unwrap();
+    fleet.pump();
+    // Touch the revocable app so it is most-recently-used: the QoS class
+    // must outrank recency in victim selection.
+    fleet.run(r, &[("Input_1", words(0..8))]).unwrap();
+
+    // A revocable tenant may only reclaim revocable pages: `r` goes,
+    // even though `g` and `s` are staler.
+    let r2 = fleet
+        .submit(tr, "r2", compile_o0(&pipeline("r2", 7, 4)))
+        .unwrap();
+    let events = fleet.pump();
+    assert!(
+        matches!(events[0], FleetEvent::Evicted { app, .. } if app == r),
+        "{events:?}"
+    );
+    assert!(matches!(events[1], FleetEvent::Admitted { app, .. } if app == r2));
+    assert!(fleet.is_resident(g) && fleet.is_resident(s));
+
+    // A standard tenant reclaims the lowest class first: r2, not s.
+    let s2 = fleet
+        .submit(ts, "s2", compile_o0(&pipeline("s2", 7, 5)))
+        .unwrap();
+    let events = fleet.pump();
+    assert!(
+        matches!(events[0], FleetEvent::Evicted { app, .. } if app == r2),
+        "{events:?}"
+    );
+    assert!(matches!(events[1], FleetEvent::Admitted { app, .. } if app == s2));
+
+    // No revocable pages left on the card: a revocable tenant is
+    // rejected rather than touching guaranteed or standard residents.
+    let r3 = fleet
+        .submit(tr, "r3", compile_o0(&pipeline("r3", 7, 6)))
+        .unwrap();
+    let events = fleet.pump();
+    assert!(
+        matches!(&events[..], [FleetEvent::Rejected { app, reason, .. }]
+            if *app == r3 && reason.contains("class")),
+        "{events:?}"
+    );
+    assert!(fleet.is_resident(g) && fleet.is_resident(s) && fleet.is_resident(s2));
+}
+
+#[test]
+fn async_tickets_park_until_a_scheduling_pass() {
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    let fp = Floorplan::u50();
+    let fleet = Rc::new(RefCell::new(Fleet::new(1, &fp)));
+    let mut pool = Executor::new();
+    let results = Rc::new(RefCell::new(Vec::new()));
+    for (name, addend) in [("x", 1), ("y", 2)] {
+        let ticket = fleet
+            .borrow_mut()
+            .submit_async(TenantId(0), name, compile_o0(&pipeline(name, 2, addend)))
+            .unwrap();
+        let results = Rc::clone(&results);
+        pool.spawn(async move {
+            let adm = ticket.await.expect("admitted");
+            results.borrow_mut().push((adm.app, adm.device));
+        });
+    }
+    // No scheduling pass yet: the futures park instead of busy-waiting.
+    assert_eq!(pool.run_until_stalled(), 0);
+    assert_eq!(pool.pending(), 2);
+    assert!(results.borrow().is_empty());
+
+    let events = fleet.borrow_mut().pump();
+    assert_eq!(events.len(), 2, "{events:?}");
+    assert_eq!(pool.run_until_stalled(), 2);
+    assert_eq!(pool.pending(), 0);
+    let got = results.borrow();
+    assert_eq!(got.len(), 2);
+    assert!(got.iter().all(|(_, d)| *d == DeviceId(0)));
+}
+
+#[test]
+fn retire_releases_pages_without_counting_as_an_eviction() {
+    let fp = Floorplan::u50();
+    let mut fleet = Fleet::new(1, &fp);
+    let id = fleet
+        .submit(TenantId(0), "tmp", compile_o0(&pipeline("tmp", 12, 1)))
+        .unwrap();
+    fleet.pump();
+    assert!(fleet.is_resident(id));
+
+    fleet.retire(id).unwrap();
+    assert!(!fleet.is_resident(id));
+    assert_eq!(fleet.name_of(id), Some("tmp"));
+    assert_eq!(fleet.stats().evicted, 0, "retirement is not QoS pressure");
+    assert!(matches!(fleet.retire(id), Err(FleetError::NotResident(_))));
+
+    // The pages are genuinely free: a 12-page app fits again without
+    // evicting anyone.
+    let id2 = fleet
+        .submit(TenantId(0), "next", compile_o0(&pipeline("next", 12, 2)))
+        .unwrap();
+    let events = fleet.pump();
+    assert!(
+        matches!(&events[..], [FleetEvent::Admitted { app, .. }] if *app == id2),
+        "{events:?}"
+    );
+}
+
+#[test]
+fn unplaceable_fleet_submissions_carry_per_device_deficits() {
+    let fp = Floorplan::u50();
+    let mut fleet = Fleet::new(3, &fp);
+    // An -O3 monolith has no per-page artifacts: no device could ever
+    // host it, and the refusal itemizes why for each one.
+    let graph = pipeline("monolith", 2, 1);
+    let app = pld::compile(&graph, &CompileOptions::new(OptLevel::O3)).unwrap();
+    match fleet.submit(TenantId(0), "monolith", app) {
+        Err(FleetError::Unplaceable { name, deficits }) => {
+            assert_eq!(name, "monolith");
+            assert_eq!(deficits.len(), 3);
+            let devices: Vec<usize> = deficits.iter().map(|(d, _)| d.0).collect();
+            assert_eq!(devices, vec![0, 1, 2]);
+        }
+        other => panic!("expected Unplaceable, got {other:?}"),
+    }
+    assert_eq!(fleet.stats().rejected, 1);
+    assert_eq!(fleet.queue_depth(), 0, "unplaceable apps never queue");
+}
+
+#[test]
+fn build_batch_matches_serial_builds_and_merges_the_store() {
+    let opts = CompileOptions::new(OptLevel::O0);
+    let graphs: Vec<Graph> = (0..6)
+        .map(|i| pipeline(&format!("b{i}"), 2, i as i64 + 1))
+        .collect();
+    let mut batch_store = pld::ArtifactStore::new();
+    let batch = pld::build_batch(&graphs, &opts, &mut batch_store, 3);
+    assert_eq!(batch.len(), 6);
+    for (graph, result) in graphs.iter().zip(&batch) {
+        let (app, _) = result.as_ref().expect("batch job succeeds");
+        let mut solo_store = pld::ArtifactStore::new();
+        let (solo, _) = pld::build(graph, &opts, &mut solo_store).expect("serial build");
+        // Content addressing: the concurrent build produces bit-identical
+        // artifacts to the serial one.
+        let batch_hashes: Vec<u64> = app.artifacts.iter().map(|x| x.hash).collect();
+        let solo_hashes: Vec<u64> = solo.artifacts.iter().map(|x| x.hash).collect();
+        assert_eq!(batch_hashes, solo_hashes);
+        // And every stage product landed in the merged store.
+        assert!(batch_store.len() >= solo_store.len());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Live migration is invisible to tenants: serving an app that has
+    /// been bounced across devices by LoadOp-replay re-admission is
+    /// bit-identical to serving the same app on a fleet that never
+    /// migrates, after every hop of an arbitrary itinerary.
+    #[test]
+    fn migrated_serving_is_bit_identical_to_never_migrating(
+        stages in 1usize..4,
+        addend in 1i64..40,
+        hops in proptest::collection::vec(0usize..3, 1..5),
+    ) {
+        let fp = Floorplan::u50();
+        let app = compile_o0(&pipeline("m", stages, addend));
+        let input = words(0..8);
+
+        let mut still = Fleet::new(1, &fp);
+        let still_id = still.submit(TenantId(0), "m", app.clone()).unwrap();
+        still.pump();
+        let reference = still.run(still_id, &[("Input_1", input.clone())]).unwrap();
+        let expected: Vec<u32> = (0..8).map(|v| v + (addend * stages as i64) as u32).collect();
+        prop_assert_eq!(&to_u32s(&reference["Output_1"]), &expected);
+
+        let mut roaming = Fleet::new(3, &fp);
+        let id = roaming.submit(TenantId(0), "m", app).unwrap();
+        roaming.pump();
+        let out = roaming.run(id, &[("Input_1", input.clone())]).unwrap();
+        prop_assert_eq!(&out, &reference);
+        for &to in &hops {
+            roaming.migrate(id, DeviceId(to)).unwrap();
+            prop_assert_eq!(roaming.locate(id).unwrap().0, DeviceId(to));
+            let out = roaming.run(id, &[("Input_1", input.clone())]).unwrap();
+            prop_assert_eq!(&out, &reference);
+        }
+    }
 }
