@@ -84,6 +84,7 @@ fn bench_cosim_skip_ahead(c: &mut Criterion) {
         let config = CosimConfig {
             skip_ahead,
             block_cache,
+            ..CosimConfig::default()
         };
         group.bench_with_input(BenchmarkId::from_parameter(name), &config, |b, &cfg| {
             b.iter(|| {

@@ -13,8 +13,8 @@
 //! speed; this module trades speed for fidelity and doubles as the
 //! reference the actor model is sanity-checked against.)
 
-use noc::BftNoc;
-use softcore::{Cpu, StepResult, StreamIo};
+use noc::{BftNoc, LeafInterface};
+use softcore::{with_shard_pool, Cpu, StepResult, StreamIo};
 use std::collections::VecDeque;
 use std::fmt;
 
@@ -85,13 +85,35 @@ pub struct CosimConfig {
     /// instruction counts, and outputs are bit-identical with this on or
     /// off; only host throughput changes.
     pub block_cache: bool,
+    /// Host threads driving the sharded engine (block-cache mode only).
+    /// Cores are sharded across `threads` workers and advanced through
+    /// bounded windows of cycles between deterministic barriers at the NoC
+    /// boundary; the schedule is a pure function of (firmware, stream
+    /// inputs), so results are bit-identical for *every* value, including
+    /// `1` — the single-thread cosim is the same engine run inline, not a
+    /// second code path.
+    pub threads: usize,
+    /// Cycle width of the run-ahead window between barriers (clamped to at
+    /// least 1). Within a window a core may retire several
+    /// externally-visible stream accesses against its leaf's buffered
+    /// words without a barrier; any access that *cannot* be proven to
+    /// resolve identically in the serial schedule ends the window early and
+    /// is retried at its exact cycle. Purely a host-throughput knob.
+    pub window: u64,
 }
+
+/// Default [`CosimConfig::window`]: wide enough to batch several visible
+/// stream accesses of a compute-heavy operator per barrier, small enough
+/// that ambiguous-access retries stay cheap.
+pub const DEFAULT_COSIM_WINDOW: u64 = 4096;
 
 impl Default for CosimConfig {
     fn default() -> CosimConfig {
         CosimConfig {
             skip_ahead: true,
             block_cache: true,
+            threads: 1,
+            window: DEFAULT_COSIM_WINDOW,
         }
     }
 }
@@ -157,6 +179,178 @@ impl StreamIo for LeafIo<'_> {
             self.stalled = Some(Stalled::Write);
         }
         ok
+    }
+}
+
+/// A halt or trap discovered *mid-window* by a worker. The core's
+/// architectural state already reflects it (nothing else touches the core
+/// in between), but the system-level effect — the halted count, the error
+/// return — must land at the exact loop cycle the serial engine would
+/// reach it, so the driver defers it until `wake`.
+#[derive(Debug, Clone, Copy)]
+enum Pending {
+    Halt,
+    Trap { pc: u32 },
+}
+
+/// One core plus its leaf, as moved between the driver and a worker
+/// thread each phase. `leaf` holds a blank placeholder while the real leaf
+/// interface sits in the network, and the real leaf during a phase (the
+/// driver swaps them at the barrier); the network is never stepped while a
+/// real leaf is out.
+struct Shard {
+    core: CoreState,
+    leaf: LeafInterface,
+    /// Genuine stall (at the window's first cycle, where the leaf state is
+    /// exact) recorded by the worker for the driver's skip-ahead parking.
+    stalled: Option<Stalled>,
+    /// Deferred halt/trap, applied by the driver at `core.wake`.
+    pending: Option<Pending>,
+}
+
+/// Per-phase context handed to every window worker. Pure data — the
+/// schedule a worker derives from it is a function of (core state, leaf
+/// state, this context) only, which is what makes the engine deterministic
+/// across host thread counts.
+#[derive(Debug, Clone, Copy)]
+struct WindowCtx {
+    /// The loop cycle at the barrier: the window covers `[cycles, cycles +
+    /// window)`.
+    cycles: u64,
+    max_cycles: u64,
+    window: u64,
+}
+
+/// Stream I/O adapter for in-window execution: reads pop the (swapped-out)
+/// leaf's receive FIFOs directly, writes are born into its out FIFO
+/// stamped with the *local* cycle `now`, which may run ahead of the
+/// network clock — the uplink holds such flits until their birth cycle, so
+/// they enter the network on exactly the cycle the serial engine would
+/// have injected them.
+struct WindowIo<'l> {
+    leaf: &'l mut LeafInterface,
+    leaf_idx: usize,
+    now: u64,
+    stalled: Option<Stalled>,
+}
+
+impl StreamIo for WindowIo<'_> {
+    fn read(&mut self, port: u32) -> Option<u32> {
+        let word = self.leaf.try_recv(port as u8);
+        if word.is_none() {
+            self.stalled = Some(Stalled::Read(port));
+        }
+        word
+    }
+
+    fn write(&mut self, port: u32, word: u32) -> bool {
+        let ok = self
+            .leaf
+            .inject_local(self.leaf_idx, port as usize, word, self.now)
+            .is_ok();
+        if !ok {
+            self.stalled = Some(Stalled::Write);
+        }
+        ok
+    }
+}
+
+/// Advances one due core through the window `[ctx.cycles, ctx.cycles +
+/// ctx.window)` — the per-shard work function run (possibly concurrently)
+/// by the pool workers. Every architectural decision is provably identical
+/// to the serial schedule:
+///
+/// * the first visible access executes at the window's opening cycle,
+///   where the leaf state is *exact* (the network has fully advanced to
+///   it), so successes, stalls, halts and traps there are all genuine;
+/// * later accesses run against a leaf the network hasn't touched since
+///   the barrier. A read that succeeds consumed a word that was already
+///   buffered — deliveries only append behind it, so the serial schedule
+///   pops the same word at the same cycle. A write that succeeds had
+///   queue room and credits at the barrier; both only improve as the
+///   network drains, so the serial inject succeeds too, and the birth
+///   stamp defers its network entry to the exact serial cycle;
+/// * an access that *fails* mid-window is ambiguous — the serial schedule
+///   might have delivered a word (or drained the queue) by then. The
+///   stall charge is undone, the pc is unchanged, and the window ends
+///   with `wake` at the access cycle: the driver re-runs it there as the
+///   opening (exact) access of a later window;
+/// * halts and traps end the window and are deferred to their cycle via
+///   [`Pending`].
+fn advance_window(ctx: &WindowCtx, shard: &mut Shard) {
+    let Shard {
+        core,
+        leaf,
+        stalled,
+        pending,
+    } = shard;
+    advance_window_on(ctx, core, leaf, stalled, pending);
+}
+
+/// [`advance_window`] against an explicit leaf interface: the driver's
+/// inline (no-worker) mode borrows the leaf straight out of the network
+/// ([`BftNoc::leaf_mut`]) instead of swapping it into the shard — same
+/// work, zero hand-off cost.
+fn advance_window_on(
+    ctx: &WindowCtx,
+    core: &mut CoreState,
+    leaf: &mut LeafInterface,
+    stalled: &mut Option<Stalled>,
+    pending: &mut Option<Pending>,
+) {
+    if core.halted || core.blocked.is_some() || pending.is_some() || core.wake > ctx.cycles {
+        return;
+    }
+    let start = ctx.cycles;
+    let limit = start.saturating_add(ctx.window).min(ctx.max_cycles);
+    let mut u = start;
+    loop {
+        // Invariant: u < limit <= max_cycles, so the fuel math can't wrap
+        // and a spinning core re-surfaces exactly at the budget.
+        let fuel = ctx.max_cycles - u - 1;
+        let (result, ran, io_stalled) = {
+            let mut io = WindowIo {
+                leaf: &mut *leaf,
+                leaf_idx: core.leaf,
+                now: u,
+                stalled: None,
+            };
+            let (result, ran) = core.cpu.step_then_run(&mut io, fuel, u64::MAX);
+            (result, ran, io.stalled)
+        };
+        match result {
+            StepResult::Ok => {
+                core.wake = u + 1 + ran;
+                if core.wake >= limit {
+                    return;
+                }
+                u = core.wake;
+            }
+            StepResult::Stall => {
+                if u == start {
+                    // Exact: the stall is real; keep its cycle charge and
+                    // hand the reason to the driver for parking.
+                    *stalled = io_stalled;
+                } else {
+                    // Ambiguous: the serial schedule may have delivered by
+                    // cycle `u`. Undo the stall charge (a stalled step has
+                    // no other architectural effect) and retry at `u`.
+                    core.cpu.cycles -= softcore::firmware::cycles::STALL;
+                    core.wake = u;
+                }
+                return;
+            }
+            StepResult::Halt => {
+                *pending = Some(Pending::Halt);
+                core.wake = u;
+                return;
+            }
+            StepResult::Trap { pc } => {
+                *pending = Some(Pending::Trap { pc });
+                core.wake = u;
+                return;
+            }
+        }
     }
 }
 
@@ -351,215 +545,337 @@ impl CosimSys<'_> {
         Ok((self.outputs, cycles, instructions))
     }
 
-    /// The block-cached driver loop. Between externally-visible steps every
-    /// core sleeps until its pre-computed wake cycle, so the loop's job is
-    /// mostly clock advancement: a single scan pass wakes due cores and
-    /// collects the next due cycle, completion and DMA state are tracked
-    /// incrementally, the output drain is gated on the output leaf's
-    /// delivery counter, and stretches where nothing can act are either
-    /// fast-forwarded (network busy) or jumped over arithmetically
-    /// (network idle). Cycle accounting is bit-identical to the
-    /// decode-per-step loop — pinned by the cycle-exactness tests.
-    fn run_block_cached(
-        mut self,
+    /// The sharded block-cached driver loop — the single engine behind
+    /// every `block_cache` run, at *any* thread count (`threads = 1` runs
+    /// the identical phases inline). Each iteration:
+    ///
+    /// 1. **Solo A** (driver): completion and budget checks, DMA input
+    ///    injection, and the blocked-core wake scan (leaf event counters,
+    ///    stall settlement) — everything that needs the whole network.
+    /// 2. **Phase** (parallel): if any core is due, the driver swaps each
+    ///    core's leaf interface out of the network and hands (core, leaf)
+    ///    to the shard pool; workers advance due cores through a bounded
+    ///    window of cycles ([`advance_window`]), reading only words
+    ///    already buffered and writing birth-stamped flits. Shard-mates
+    ///    can't observe each other, so the outcome is a pure function of
+    ///    the barrier state — bit-identical for every thread count.
+    /// 3. **Solo B** (driver): swap the leaves back and commit their
+    ///    pending injections in leaf order, apply deferred stalls, halts
+    ///    and traps in core-index order at their exact cycles, then the
+    ///    serial tail: one network step, the delivery-gated DMA drain, and
+    ///    the idle jump / quiet fast-forward over cycles where no core can
+    ///    act.
+    ///
+    /// Cycle accounting is bit-identical to the decode-per-step loop —
+    /// pinned by the cycle-exactness tests and the thread-count matrix.
+    fn run_parallel(
+        self,
         skip_ahead: bool,
+        threads: usize,
+        window: u64,
     ) -> Result<(Vec<Vec<u32>>, u64, u64), CosimError> {
-        let n_cores = self.cores.len();
-        let mut halted = 0usize;
-        let mut is_drained = drained(&self.outputs, self.expected);
-        let mut dma_left: usize = self.dma_queues.iter().map(VecDeque::len).sum();
-        let mut dma_rx_seen = self.net.rx_events(self.dma_out);
-        let mut cycles = 0u64;
-        // Blocked-core watch list for the quiet fast-forward, reused across
-        // iterations: (leaf, is_read, event counter at last poll).
-        let mut watch: Vec<(usize, bool, u64)> = Vec::with_capacity(n_cores);
-        loop {
-            if halted == n_cores && is_drained {
-                break;
-            }
-            if cycles >= self.max_cycles {
-                return Err(CosimError::CycleBudget { cycles });
-            }
-
-            if dma_left > 0 && dma_inject(&mut self.net, self.dma_in, &mut self.dma_queues) {
-                dma_left -= 1;
-            }
-
-            // One pass: wake blocked cores whose leaf saw traffic, step the
-            // cores whose wake cycle arrived, collect the earliest cycle at
-            // which any runnable core is next due, and rebuild the quiet
-            // fast-forward watch list from the cores still blocked.
-            let mut next_due = u64::MAX;
-            let mut any_runnable = false;
-            let mut any_stepped = false;
-            watch.clear();
-            for core in self.cores.iter_mut() {
-                if core.halted {
-                    continue;
-                }
-                if let Some(blocked) = &mut core.blocked {
-                    let ready = match blocked {
-                        Blocked::Read { port, seen } => {
-                            let seq = self.net.rx_events(core.leaf);
-                            *seen != seq && {
-                                *seen = seq;
-                                self.net.pending(core.leaf, *port as u8) > 0
-                            }
-                        }
-                        Blocked::Write { seen } => {
-                            let seq = self.net.tx_events(core.leaf);
-                            *seen != seq && {
-                                *seen = seq;
-                                self.net.leaf(core.leaf).can_inject()
-                            }
-                        }
-                    };
-                    if ready {
-                        // Settle the skipped stall cycles in one jump (see
-                        // the decode-per-step loop for the accounting).
-                        core.cpu.cycles +=
-                            (cycles - core.blocked_at - 1) * softcore::firmware::cycles::STALL;
-                        core.blocked = None;
+        let CosimSys {
+            cores,
+            mut net,
+            mut dma_queues,
+            mut outputs,
+            expected,
+            dma_in,
+            dma_out,
+            max_cycles,
+        } = self;
+        let n_cores = cores.len();
+        let window = window.max(1);
+        // One shard per core: the pool stripes them across worker lanes,
+        // and `shards_mut()` iterates them in core-index order — the same
+        // order the serial scan visits cores, which the trap/halt
+        // application below relies on.
+        let shards: Vec<Shard> = cores
+            .into_iter()
+            .map(|core| Shard {
+                core,
+                leaf: LeafInterface::new(0, 0, 1),
+                stalled: None,
+                pending: None,
+            })
+            .collect();
+        with_shard_pool(
+            threads,
+            shards,
+            &advance_window,
+            move |pool| -> Result<(Vec<Vec<u32>>, u64, u64), CosimError> {
+                let mut halted = 0usize;
+                let mut is_drained = drained(&outputs, expected);
+                let mut dma_left: usize = dma_queues.iter().map(VecDeque::len).sum();
+                let mut dma_rx_seen = net.rx_events(dma_out);
+                let mut cycles = 0u64;
+                // Blocked-core watch list for the quiet fast-forward,
+                // reused across iterations: (leaf, is_read, counter at
+                // last poll).
+                let mut watch: Vec<(usize, bool, u64)> = Vec::with_capacity(n_cores);
+                loop {
+                    if halted == n_cores && is_drained {
+                        break;
                     }
-                }
-                if core.blocked.is_none() && cycles >= core.wake {
-                    any_stepped = true;
-                    // The visible instruction executes through its
-                    // pre-decoded micro-op (semantics mirror step()
-                    // exactly, pinned by the differential suite), then the
-                    // core runs ahead through its private work in the same
-                    // fused dispatch. Fuel caps retirement at the
-                    // remaining budget so a spinning core re-surfaces
-                    // exactly at the budget.
-                    let fuel = self.max_cycles - cycles - 1;
-                    let (result, ran, stalled) = {
-                        let mut io = LeafIo {
-                            net: &mut self.net,
-                            leaf: core.leaf,
-                            stalled: None,
-                        };
-                        let (result, ran) = core.cpu.step_then_run(&mut io, fuel, u64::MAX);
-                        (result, ran, io.stalled)
-                    };
-                    match result {
-                        StepResult::Ok => {
-                            // The next event is due one loop cycle per
-                            // retired instruction later.
-                            core.wake = cycles + 1 + ran;
+                    if cycles >= max_cycles {
+                        return Err(CosimError::CycleBudget { cycles });
+                    }
+
+                    if dma_left > 0 && dma_inject(&mut net, dma_in, &mut dma_queues) {
+                        dma_left -= 1;
+                    }
+
+                    // Solo A: wake blocked cores whose leaf saw traffic
+                    // (settling their skipped stall cycles in one jump)
+                    // and find whether any core is due this cycle.
+                    let mut any_due = false;
+                    for shard in pool.shards_mut() {
+                        let core = &mut shard.core;
+                        if core.halted {
+                            continue;
                         }
-                        StepResult::Stall => {
-                            if skip_ahead {
+                        if let Some(blocked) = &mut core.blocked {
+                            let ready = match blocked {
+                                Blocked::Read { port, seen } => {
+                                    let seq = net.rx_events(core.leaf);
+                                    *seen != seq && {
+                                        *seen = seq;
+                                        net.pending(core.leaf, *port as u8) > 0
+                                    }
+                                }
+                                Blocked::Write { seen } => {
+                                    let seq = net.tx_events(core.leaf);
+                                    *seen != seq && {
+                                        *seen = seq;
+                                        net.leaf(core.leaf).can_inject()
+                                    }
+                                }
+                            };
+                            if ready {
+                                core.cpu.cycles += (cycles - core.blocked_at - 1)
+                                    * softcore::firmware::cycles::STALL;
+                                core.blocked = None;
+                            }
+                        }
+                        if core.blocked.is_none() && shard.pending.is_none() && cycles >= core.wake
+                        {
+                            any_due = true;
+                        }
+                    }
+
+                    // Phase: every due core advances through the window
+                    // against its leaf. A due core always executes at
+                    // least its opening access, so `any_due` doubles as
+                    // the serial loop's `any_stepped`.
+                    let mut any_stepped = any_due;
+                    if any_due {
+                        let ctx = WindowCtx {
+                            cycles,
+                            max_cycles,
+                            window,
+                        };
+                        if pool.workers() == 0 {
+                            // Inline: one host thread means no hand-off —
+                            // advance each core against the real leaf in
+                            // place (shard order = core-index = leaf
+                            // order, as below). Same work function, same
+                            // schedule, zero swap traffic.
+                            for shard in pool.shards_mut() {
+                                let leaf_idx = shard.core.leaf;
+                                advance_window_on(
+                                    &ctx,
+                                    &mut shard.core,
+                                    net.leaf_mut(leaf_idx),
+                                    &mut shard.stalled,
+                                    &mut shard.pending,
+                                );
+                                net.commit_injections(leaf_idx);
+                            }
+                        } else {
+                            for shard in pool.shards_mut() {
+                                net.swap_leaf(shard.core.leaf, &mut shard.leaf);
+                            }
+                            pool.phase(ctx);
+                            // Solo B begins: return the leaves and fold
+                            // their in-window injections into the
+                            // network's global bookkeeping, in leaf
+                            // (= core-index) order.
+                            for shard in pool.shards_mut() {
+                                net.swap_leaf(shard.core.leaf, &mut shard.leaf);
+                                net.commit_injections(shard.core.leaf);
+                            }
+                        }
+                    }
+
+                    // Apply phase outcomes in core-index order — the order
+                    // the serial scan steps cores, so same-cycle traps
+                    // resolve to the same core — and collect the wake
+                    // bookkeeping for the fast paths.
+                    let mut next_due = u64::MAX;
+                    let mut any_runnable = false;
+                    watch.clear();
+                    for shard in pool.shards_mut() {
+                        let core = &mut shard.core;
+                        if core.halted {
+                            continue;
+                        }
+                        if skip_ahead {
+                            if let Some(s) = shard.stalled.take() {
                                 core.blocked_at = cycles;
-                                core.blocked = stalled.map(|s| match s {
+                                core.blocked = Some(match s {
                                     Stalled::Read(port) => Blocked::Read {
                                         port,
-                                        seen: self.net.rx_events(core.leaf),
+                                        seen: net.rx_events(core.leaf),
                                     },
                                     Stalled::Write => Blocked::Write {
-                                        seen: self.net.tx_events(core.leaf),
+                                        seen: net.tx_events(core.leaf),
                                     },
                                 });
                             }
+                        } else {
+                            shard.stalled = None;
                         }
-                        StepResult::Halt => {
-                            core.halted = true;
-                            halted += 1;
+                        if shard.pending.is_some() && cycles >= core.wake {
+                            // The deferred halt/trap's cycle has arrived:
+                            // serially the core would have stepped into it
+                            // right now.
+                            any_stepped = true;
+                            match shard.pending.take().expect("checked above") {
+                                Pending::Halt => {
+                                    core.halted = true;
+                                    halted += 1;
+                                    continue;
+                                }
+                                Pending::Trap { pc } => {
+                                    return Err(CosimError::Trap {
+                                        op: core.name.clone(),
+                                        pc,
+                                    });
+                                }
+                            }
+                        }
+                        match core.blocked {
+                            None => {
+                                any_runnable = true;
+                                // A core that just stalled un-parked
+                                // (skip-ahead off) keeps a stale wake; it
+                                // is due again next cycle.
+                                next_due = next_due.min(core.wake.max(cycles + 1));
+                            }
+                            Some(Blocked::Read { seen, .. }) => {
+                                watch.push((core.leaf, true, seen));
+                            }
+                            Some(Blocked::Write { seen }) => {
+                                watch.push((core.leaf, false, seen));
+                            }
+                        }
+                    }
+
+                    // Idle window: no core stepped, nothing queued for
+                    // DMA, and the network carries no flit — each cycle
+                    // until the next sleeper wakes is an exact no-op
+                    // iteration.
+                    if !any_stepped && dma_left == 0 && !net.in_flight() {
+                        if any_runnable {
+                            debug_assert!(next_due > cycles, "a due core must have stepped");
+                            // Keep the (empty) network's clock in lockstep
+                            // with the jumped loop clock: in-window flits are
+                            // birth-stamped in loop time, and the uplink
+                            // holds them until the *network* clock reaches
+                            // that cycle.
+                            let to = next_due.min(max_cycles);
+                            net.skip_idle_cycles(to - cycles);
+                            cycles = to;
                             continue;
                         }
-                        StepResult::Trap { pc } => {
-                            return Err(CosimError::Trap {
-                                op: core.name.clone(),
-                                pc,
-                            })
+                        // No sleeper will ever wake: the system is dead
+                        // and can only burn its budget.
+                        if skip_ahead {
+                            return Err(CosimError::CycleBudget { cycles: max_cycles });
+                        }
+                    }
+
+                    net.step();
+                    cycles += 1;
+
+                    // New output words can only exist if the output leaf's
+                    // delivery counter moved.
+                    let rx = net.rx_events(dma_out);
+                    if rx != dma_rx_seen {
+                        dma_rx_seen = rx;
+                        dma_drain(&mut net, dma_out, &mut outputs);
+                        is_drained = drained(&outputs, expected);
+                    }
+
+                    // Quiet fast-forward: while no core can possibly act —
+                    // every sleeper is short of its wake cycle and no
+                    // blocked core's leaf has seen a NoC event — a full
+                    // loop iteration reduces to DMA injection plus a
+                    // network step. Run exactly that until something
+                    // becomes due.
+                    let all_halted = halted == n_cores;
+                    while cycles < next_due
+                        && cycles < max_cycles
+                        && (dma_left > 0 || net.in_flight())
+                        && !(all_halted && is_drained)
+                        && watch.iter().all(|&(leaf, is_read, seen)| {
+                            if is_read {
+                                net.rx_events(leaf) == seen
+                            } else {
+                                net.tx_events(leaf) == seen
+                            }
+                        })
+                    {
+                        // Batch skip: with nothing left to inject and an
+                        // empty switch tree, every step until the earliest
+                        // queued flit ripens is a no-op — jump straight to
+                        // that cycle instead of stepping through.
+                        if dma_left == 0 && net.tree_flits() == 0 {
+                            if let Some(ripe) = net.next_ripe_birth() {
+                                if ripe > cycles {
+                                    let to = ripe.min(next_due).min(max_cycles);
+                                    net.skip_idle_cycles(to - cycles);
+                                    cycles = to;
+                                    continue;
+                                }
+                            }
+                        }
+                        // Lone-flit batch: hop the only in-flight flit all
+                        // the way to its event (delivery, a queued flit
+                        // ripening, or the next due cycle) in one call.
+                        // Event counters can only move on the final hop, so
+                        // the per-step watch re-check is deferred to the
+                        // loop condition after the batch.
+                        if dma_left == 0 && net.tree_flits() == 1 {
+                            let hopped = net.run_lone_flit(next_due.min(max_cycles));
+                            if hopped > 0 {
+                                cycles += hopped;
+                                let rx = net.rx_events(dma_out);
+                                if rx != dma_rx_seen {
+                                    dma_rx_seen = rx;
+                                    dma_drain(&mut net, dma_out, &mut outputs);
+                                    is_drained = drained(&outputs, expected);
+                                }
+                                continue;
+                            }
+                        }
+                        if dma_left > 0 && dma_inject(&mut net, dma_in, &mut dma_queues) {
+                            dma_left -= 1;
+                        }
+                        net.step();
+                        cycles += 1;
+                        let rx = net.rx_events(dma_out);
+                        if rx != dma_rx_seen {
+                            dma_rx_seen = rx;
+                            dma_drain(&mut net, dma_out, &mut outputs);
+                            is_drained = drained(&outputs, expected);
                         }
                     }
                 }
-                match core.blocked {
-                    None => {
-                        any_runnable = true;
-                        // A core that just stalled un-parked (skip-ahead
-                        // off) keeps a stale wake; it is due again next
-                        // cycle.
-                        next_due = next_due.min(core.wake.max(cycles + 1));
-                    }
-                    Some(Blocked::Read { seen, .. }) => watch.push((core.leaf, true, seen)),
-                    Some(Blocked::Write { seen }) => watch.push((core.leaf, false, seen)),
-                }
-            }
-
-            // Idle window: no core stepped, nothing queued for DMA, and the
-            // network carries no flit — each cycle until the next sleeper
-            // wakes is an exact no-op iteration.
-            if !any_stepped && dma_left == 0 && !self.net.in_flight() {
-                if any_runnable {
-                    // Jump the clock straight to the wake (or the budget,
-                    // whichever is sooner). Blocked cores' skipped stalls
-                    // are charged arithmetically on wakeup, so the jump
-                    // needs no per-core bookkeeping.
-                    debug_assert!(next_due > cycles, "a due core must have stepped");
-                    cycles = next_due.min(self.max_cycles);
-                    continue;
-                }
-                // No sleeper will ever wake: the system is dead and can
-                // only burn its budget. Jump straight to that outcome; the
-                // reported cycle count is exactly what the unskipped loop
-                // would produce.
-                if skip_ahead {
-                    return Err(CosimError::CycleBudget {
-                        cycles: self.max_cycles,
-                    });
-                }
-            }
-
-            self.net.step();
-            cycles += 1;
-
-            // New output words can only exist if the output leaf's delivery
-            // counter moved.
-            let rx = self.net.rx_events(self.dma_out);
-            if rx != dma_rx_seen {
-                dma_rx_seen = rx;
-                dma_drain(&mut self.net, self.dma_out, &mut self.outputs);
-                is_drained = drained(&self.outputs, self.expected);
-            }
-
-            // Quiet fast-forward: while no core can possibly act — every
-            // sleeper is short of its wake cycle and no blocked core's
-            // leaf has seen a NoC event — a full loop iteration reduces
-            // to DMA injection plus a network step. Run exactly that,
-            // skipping the per-cycle core scan, until something becomes
-            // due. Each skipped scan is provably a no-op: sleepers are
-            // gated on `cycles`, blocked cores on their leaf event
-            // counters (the `watch` list built by the scan above), and a
-            // core can only halt by stepping.
-            let all_halted = halted == n_cores;
-            while cycles < next_due
-                && cycles < self.max_cycles
-                && (dma_left > 0 || self.net.in_flight())
-                && !(all_halted && is_drained)
-                && watch.iter().all(|&(leaf, is_read, seen)| {
-                    if is_read {
-                        self.net.rx_events(leaf) == seen
-                    } else {
-                        self.net.tx_events(leaf) == seen
-                    }
-                })
-            {
-                if dma_left > 0 && dma_inject(&mut self.net, self.dma_in, &mut self.dma_queues) {
-                    dma_left -= 1;
-                }
-                self.net.step();
-                cycles += 1;
-                let rx = self.net.rx_events(self.dma_out);
-                if rx != dma_rx_seen {
-                    dma_rx_seen = rx;
-                    dma_drain(&mut self.net, self.dma_out, &mut self.outputs);
-                    is_drained = drained(&self.outputs, self.expected);
-                }
-            }
-        }
-        let instructions = self.cores.iter().map(|c| c.cpu.instructions).sum();
-        Ok((self.outputs, cycles, instructions))
+                let instructions = pool.shards_mut().map(|s| s.core.cpu.instructions).sum();
+                Ok((outputs, cycles, instructions))
+            },
+        )
     }
 }
 
@@ -590,6 +906,11 @@ pub fn cosim_o0_with(
         let leaf = op.page.expect("paged flow").0 as usize;
         let mut cpu = binary.instantiate();
         let wake = if config.block_cache {
+            // The superblock JIT tier rides on the block cache: hot block
+            // entries are trace-linked after a few executions. Purely a
+            // throughput tier — bit-identity is pinned by the softcore
+            // differential suite and the cycle-exactness tests here.
+            cpu.set_superblock_threshold(softcore::DEFAULT_SUPERBLOCK_THRESHOLD);
             cpu.run_ahead(max_cycles, u64::MAX)
         } else {
             0
@@ -625,7 +946,7 @@ pub fn cosim_o0_with(
         max_cycles,
     };
     let (outputs, cycles, instructions) = if config.block_cache {
-        sys.run_block_cached(config.skip_ahead)?
+        sys.run_parallel(config.skip_ahead, config.threads, config.window)?
     } else {
         sys.run_decode_per_step(config.skip_ahead)?
     };
@@ -635,6 +956,34 @@ pub fn cosim_o0_with(
         instructions,
         seconds: crate::vtime::overlay_seconds(cycles),
     })
+}
+
+/// [`cosim_o0`] sharded across `threads` host worker threads with the
+/// default run-ahead window. The schedule is a pure function of (firmware,
+/// stream inputs): outputs, cycle counts, and instruction counts are
+/// bit-identical to [`cosim_o0`] — and to each other — for every thread
+/// count. Threads only change host wall-clock.
+///
+/// # Errors
+///
+/// See [`CosimError`].
+pub fn cosim_o0_parallel(
+    app: &CompiledApp,
+    inputs: &[Vec<u32>],
+    expected_output_words: &[usize],
+    max_cycles: u64,
+    threads: usize,
+) -> Result<CosimOutput, CosimError> {
+    cosim_o0_with(
+        app,
+        inputs,
+        expected_output_words,
+        max_cycles,
+        CosimConfig {
+            threads,
+            ..CosimConfig::default()
+        },
+    )
 }
 
 /// Convenience: checks an artifact really is a softcore image (used by
@@ -700,7 +1049,8 @@ mod tests {
         assert!(result.cycles > N as u64 * 10);
     }
 
-    /// All four skip-ahead × block-cache combinations.
+    /// All four skip-ahead × block-cache combinations (single-threaded,
+    /// default window).
     fn config_matrix() -> [CosimConfig; 4] {
         let mut out = [CosimConfig::default(); 4];
         let mut i = 0;
@@ -709,8 +1059,26 @@ mod tests {
                 out[i] = CosimConfig {
                     skip_ahead,
                     block_cache,
+                    ..CosimConfig::default()
                 };
                 i += 1;
+            }
+        }
+        out
+    }
+
+    /// Thread counts × window widths for the parallel engine, including
+    /// degenerate windows (1 forces a barrier per visible access) and a
+    /// window far wider than any burst in the test apps.
+    fn parallel_matrix() -> Vec<CosimConfig> {
+        let mut out = Vec::new();
+        for threads in [1usize, 2, 4] {
+            for window in [1u64, 3, 64, DEFAULT_COSIM_WINDOW, u64::MAX / 2] {
+                out.push(CosimConfig {
+                    threads,
+                    window,
+                    ..CosimConfig::default()
+                });
             }
         }
         out
@@ -739,6 +1107,7 @@ mod tests {
             CosimConfig {
                 skip_ahead: false,
                 block_cache: false,
+                ..CosimConfig::default()
             },
         )
         .unwrap();
@@ -755,6 +1124,105 @@ mod tests {
             assert_eq!(got.cycles, reference.cycles, "{config:?}");
             assert_eq!(got.instructions, reference.instructions, "{config:?}");
             assert_eq!(got.seconds, reference.seconds, "{config:?}");
+        }
+    }
+
+    /// The tentpole determinism claim: the sharded engine is bit-identical
+    /// to the decode-per-step oracle — outputs, cycles, instructions, and
+    /// virtual seconds — for every (threads, window) combination, and
+    /// therefore identical across thread counts.
+    #[test]
+    fn parallel_engine_is_bit_identical_across_threads_and_windows() {
+        const N: i64 = 24;
+        let mut b = GraphBuilder::new("sys");
+        let a = b.add("a", stage("a", 3, N), Target::hw_auto());
+        let c = b.add("c", stage("c", 5, N), Target::hw_auto());
+        let d = b.add("d", stage("d", 7, N), Target::hw_auto());
+        b.ext_input("Input_1", a, "in");
+        b.ext_input("Input_2", d, "in");
+        b.connect("l", a, "out", c, "in");
+        b.ext_output("Output_1", c, "out");
+        b.ext_output("Output_2", d, "out");
+        let g = b.build().unwrap();
+        let app = compile(&g, &CompileOptions::new(OptLevel::O0)).unwrap();
+        let inputs = vec![
+            (10..10 + N as u32).collect::<Vec<u32>>(),
+            (90..90 + N as u32).collect::<Vec<u32>>(),
+        ];
+        let want = [N as usize, N as usize];
+
+        let oracle = cosim_o0_with(
+            &app,
+            &inputs,
+            &want,
+            50_000_000,
+            CosimConfig {
+                skip_ahead: false,
+                block_cache: false,
+                ..CosimConfig::default()
+            },
+        )
+        .unwrap();
+        for config in parallel_matrix() {
+            let got = cosim_o0_with(&app, &inputs, &want, 50_000_000, config).unwrap();
+            assert_eq!(got.outputs, oracle.outputs, "{config:?}");
+            assert_eq!(got.cycles, oracle.cycles, "{config:?}");
+            assert_eq!(got.instructions, oracle.instructions, "{config:?}");
+            assert_eq!(got.seconds, oracle.seconds, "{config:?}");
+        }
+    }
+
+    /// A starved system must report the identical budget error — same
+    /// cycle count — for every thread count and window width: the blocked
+    /// cores park, the dead-state detector fires, and neither depends on
+    /// the phase structure.
+    #[test]
+    fn parallel_engine_reports_budget_errors_identically() {
+        let mut b = GraphBuilder::new("sys");
+        let a = b.add("a", stage("a", 1, 8), Target::hw_auto());
+        b.ext_input("Input_1", a, "in");
+        b.ext_output("Output_1", a, "out");
+        let g = b.build().unwrap();
+        let app = compile(&g, &CompileOptions::new(OptLevel::O0)).unwrap();
+        let budget = 3_000_000u64;
+        for config in parallel_matrix() {
+            let err = cosim_o0_with(&app, &[vec![1, 2]], &[8], budget, config).unwrap_err();
+            match err {
+                CosimError::CycleBudget { cycles } => assert_eq!(cycles, budget, "{config:?}"),
+                other => panic!("unexpected error under {config:?}: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn cosim_o0_parallel_matches_cosim_o0() {
+        const N: i64 = 16;
+        let mut b = GraphBuilder::new("sys");
+        let a = b.add("a", stage("a", 3, N), Target::hw_auto());
+        b.ext_input("Input_1", a, "in");
+        b.ext_output("Output_1", a, "out");
+        let g = b.build().unwrap();
+        let app = compile(&g, &CompileOptions::new(OptLevel::O0)).unwrap();
+        let input: Vec<u32> = (1..=N as u32).collect();
+        let serial = cosim_o0(
+            &app,
+            std::slice::from_ref(&input),
+            &[N as usize],
+            50_000_000,
+        )
+        .unwrap();
+        for threads in [1, 2, 4, 8] {
+            let par = cosim_o0_parallel(
+                &app,
+                std::slice::from_ref(&input),
+                &[N as usize],
+                50_000_000,
+                threads,
+            )
+            .unwrap();
+            assert_eq!(par.outputs, serial.outputs, "threads={threads}");
+            assert_eq!(par.cycles, serial.cycles, "threads={threads}");
+            assert_eq!(par.instructions, serial.instructions, "threads={threads}");
         }
     }
 

@@ -4,7 +4,8 @@ use listream::SimFifo;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, VecDeque};
 
-use crate::switch::Flit;
+use crate::network::InjectError;
+use crate::switch::{Flit, FlitKind};
 
 /// A destination entry in a leaf's linking table: where one of the page's
 /// output streams is to be delivered.
@@ -66,6 +67,22 @@ pub struct LeafInterface {
     reorder: Vec<ReorderSlot>,
     /// Per-output-stream sequence counters stamped onto injected flits.
     pub(crate) seq_counters: Vec<u32>,
+    /// Monotone count of data deliveries into this leaf's input ports.
+    /// While this is unchanged, no `pending` count can have grown.
+    pub(crate) rx_seq: u64,
+    /// Monotone count of uplink slots freed from the out FIFO. While this
+    /// is unchanged, a full out FIFO is still full.
+    pub(crate) tx_seq: u64,
+    /// Data-injection credit budget (`None` = unthrottled) — the QoS
+    /// throttle, spent one credit per data flit.
+    pub(crate) inject_budget: Option<u32>,
+    /// Data injections refused by the throttle since bring-up.
+    pub(crate) throttled_injects: u64,
+    /// Flits pushed by [`LeafInterface::inject_local`] but not yet folded
+    /// into the network's global bookkeeping. The parallel cosim engine
+    /// injects into swapped-out leaves between barriers; the owner thread
+    /// commits these counts (in leaf order) when the leaves return.
+    pub(crate) pending_injects: u32,
 }
 
 impl LeafInterface {
@@ -78,7 +95,79 @@ impl LeafInterface {
             recv: vec![VecDeque::new(); in_ports],
             reorder: Vec::new(),
             seq_counters: vec![0; out_streams],
+            rx_seq: 0,
+            tx_seq: 0,
+            inject_budget: None,
+            throttled_injects: 0,
+            pending_injects: 0,
         }
+    }
+
+    /// Monotone count of data deliveries into this leaf's input ports.
+    pub fn rx_events(&self) -> u64 {
+        self.rx_seq
+    }
+
+    /// Monotone count of uplink slots freed from the out FIFO.
+    pub fn tx_events(&self) -> u64 {
+        self.tx_seq
+    }
+
+    /// Injects one data word on output `stream` directly into this leaf's
+    /// out FIFO, performing the destination lookup, QoS budget check, and
+    /// sequence stamping locally. `self_leaf` is this leaf's index (used in
+    /// errors and the flit source header); `now` is the cycle the flit is
+    /// born — under the parallel cosim engine this can lie *ahead* of the
+    /// network's clock, and the uplink holds such flits back until their
+    /// birth cycle arrives.
+    ///
+    /// The flit is not yet visible to the network scheduler: the count of
+    /// locally injected flits accumulates in `pending_injects` until
+    /// [`crate::BftNoc::commit_injections`] folds it into the global
+    /// bookkeeping. Within one network, `inject` does that immediately.
+    ///
+    /// # Errors
+    ///
+    /// See [`InjectError`].
+    pub fn inject_local(
+        &mut self,
+        self_leaf: usize,
+        stream: usize,
+        word: u32,
+        now: u64,
+    ) -> Result<(), InjectError> {
+        let addr = self.dest(stream).ok_or(InjectError::NotLinked {
+            leaf: self_leaf,
+            stream,
+        })?;
+        if self.inject_budget == Some(0) {
+            self.throttled_injects += 1;
+            return Err(InjectError::Throttled { leaf: self_leaf });
+        }
+        if self.out_queue.is_full() {
+            return Err(InjectError::Backpressure { leaf: self_leaf });
+        }
+        let seq = self.next_seq(stream);
+        let pushed = self.out_queue.try_push(Flit {
+            dest_leaf: addr.leaf,
+            dest_port: addr.port,
+            src_leaf: self_leaf as u16,
+            seq,
+            payload: word,
+            kind: FlitKind::Data,
+            birth: now,
+        });
+        debug_assert!(pushed, "is_full was checked above");
+        self.pending_injects += 1;
+        if let Some(credits) = &mut self.inject_budget {
+            *credits -= 1;
+        }
+        Ok(())
+    }
+
+    /// Takes the count of locally injected, not-yet-committed flits.
+    pub(crate) fn take_pending_injects(&mut self) -> u32 {
+        std::mem::take(&mut self.pending_injects)
     }
 
     /// Allocates the next sequence number for output stream `stream`.

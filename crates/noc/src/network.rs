@@ -108,21 +108,6 @@ pub struct BftNoc {
     /// Per-step scratch for active switch / leaf index sets.
     active: Vec<usize>,
     inputs_scratch: Vec<Flit>,
-    /// Monotone per-leaf event counters: data deliveries into the leaf's
-    /// input ports (`rx_seq`) and uplink slots freed from its out FIFO
-    /// (`tx_seq`). A client waiting on a port can cache the counter and
-    /// skip re-polling until it moves — the only ways `pending` can grow
-    /// or `can_inject` can flip are these two events.
-    rx_seq: Vec<u64>,
-    tx_seq: Vec<u64>,
-    /// Per-leaf data-injection credit budget (`None` = unthrottled). The
-    /// serving layer's token-rate fair-share hook: a tenant's pages get
-    /// credits proportional to their QoS weight, and [`BftNoc::inject`]
-    /// spends one per data flit. Config packets are never throttled — the
-    /// control plane must stay able to re-link a starved tenant.
-    inject_budget: Vec<Option<u32>>,
-    /// Data injections refused by the throttle since bring-up.
-    throttled_injects: u64,
     cycle: u64,
     stats: NocStats,
 }
@@ -163,10 +148,6 @@ impl BftNoc {
             queued_flits: 0,
             active: Vec::new(),
             inputs_scratch: Vec::with_capacity(3),
-            rx_seq: vec![0; n_leaves],
-            tx_seq: vec![0; n_leaves],
-            inject_budget: vec![None; n_leaves],
-            throttled_injects: 0,
             cycle: 0,
             stats: NocStats::default(),
         }
@@ -245,64 +226,79 @@ impl BftNoc {
 
     /// Injects one data word from `leaf`'s output `stream`.
     ///
+    /// The lookup/budget/stamp work happens inside the leaf interface
+    /// ([`LeafInterface::inject_local`]); this wrapper immediately folds the
+    /// new flit into the network's global bookkeeping.
+    ///
     /// # Errors
     ///
     /// See [`InjectError`].
     pub fn inject(&mut self, leaf: usize, stream: usize, word: u32) -> Result<(), InjectError> {
-        let addr = self.leaves[leaf]
-            .dest(stream)
-            .ok_or(InjectError::NotLinked { leaf, stream })?;
-        if self.inject_budget[leaf] == Some(0) {
-            self.throttled_injects += 1;
-            return Err(InjectError::Throttled { leaf });
-        }
-        if self.leaves[leaf].out_queue.is_full() {
-            return Err(InjectError::Backpressure { leaf });
-        }
-        let seq = self.leaves[leaf].next_seq(stream);
-        let flit = Flit {
-            dest_leaf: addr.leaf,
-            dest_port: addr.port,
-            src_leaf: leaf as u16,
-            seq,
-            payload: word,
-            kind: FlitKind::Data,
-            birth: self.cycle,
-        };
-        if !self.leaves[leaf].out_queue.try_push(flit) {
-            return Err(InjectError::Backpressure { leaf });
-        }
-        self.note_queued(leaf);
-        self.stats.injected += 1;
-        if let Some(credits) = &mut self.inject_budget[leaf] {
-            *credits -= 1;
-        }
+        let now = self.cycle;
+        self.leaves[leaf].inject_local(leaf, stream, word, now)?;
+        self.commit_injections(leaf);
         Ok(())
+    }
+
+    /// Folds flits injected locally into `leaf` (via
+    /// [`LeafInterface::inject_local`] while the leaf was swapped out of the
+    /// network) into the global scheduler bookkeeping: queued-flit counts,
+    /// the queued-leaf set, and injection stats. The parallel cosim engine
+    /// calls this at each barrier, in ascending leaf order, after swapping
+    /// worker-held leaves back in. Idempotent when nothing is pending.
+    pub fn commit_injections(&mut self, leaf: usize) {
+        let n = self.leaves[leaf].take_pending_injects();
+        if n > 0 {
+            self.stats.injected += n as u64;
+            self.queued_flits += n as usize;
+            if !self.has_queued[leaf] {
+                self.has_queued[leaf] = true;
+                self.queued_leaves.push(leaf);
+            }
+        }
+    }
+
+    /// Swaps the leaf interface at `leaf` with `other`. The parallel cosim
+    /// engine uses this to hand disjoint leaves to worker threads between
+    /// barriers (leaving a placeholder behind) and to return them; the
+    /// network must not be stepped while a real leaf is swapped out.
+    pub fn swap_leaf(&mut self, leaf: usize, other: &mut LeafInterface) {
+        std::mem::swap(&mut self.leaves[leaf], other);
+    }
+
+    /// Exclusive access to the leaf interface at `leaf` — the zero-copy
+    /// sibling of [`swap_leaf`](Self::swap_leaf) for the cosim engine's
+    /// inline (no-worker) mode. Local injections made through it must be
+    /// folded in with [`commit_injections`](Self::commit_injections) before
+    /// the next [`step`](Self::step), exactly as with a swapped-out leaf.
+    pub fn leaf_mut(&mut self, leaf: usize) -> &mut LeafInterface {
+        &mut self.leaves[leaf]
     }
 
     /// Sets (or with `None` lifts) a leaf's data-injection credit budget —
     /// the QoS throttling hook. A budget of `Some(0)` blocks data injection
     /// outright until credits are added; config packets are unaffected.
     pub fn set_inject_budget(&mut self, leaf: usize, budget: Option<u32>) {
-        self.inject_budget[leaf] = budget;
+        self.leaves[leaf].inject_budget = budget;
     }
 
     /// Remaining injection credits at `leaf` (`None` = unthrottled).
     pub fn inject_budget(&self, leaf: usize) -> Option<u32> {
-        self.inject_budget[leaf]
+        self.leaves[leaf].inject_budget
     }
 
     /// Grants `credits` more data injections to a throttled leaf (no-op on
     /// an unthrottled one) — the refill half of a token-rate fair-share.
     pub fn add_inject_credits(&mut self, leaf: usize, credits: u32) {
-        if let Some(budget) = &mut self.inject_budget[leaf] {
+        if let Some(budget) = &mut self.leaves[leaf].inject_budget {
             *budget = budget.saturating_add(credits);
         }
     }
 
-    /// Data injections refused by the QoS throttle since bring-up.
+    /// Data injections refused by the QoS throttle since bring-up, summed
+    /// across all leaves.
     pub fn throttled_injects(&self) -> u64 {
-        self.throttled_injects
+        self.leaves.iter().map(|l| l.throttled_injects).sum()
     }
 
     /// Pops a delivered word from `leaf`'s input `port`.
@@ -318,13 +314,13 @@ impl BftNoc {
     /// Monotone count of data deliveries into `leaf`'s input ports. While
     /// this is unchanged, no `pending` count on the leaf can have grown.
     pub fn rx_events(&self, leaf: usize) -> u64 {
-        self.rx_seq[leaf]
+        self.leaves[leaf].rx_seq
     }
 
     /// Monotone count of uplink slots freed from `leaf`'s out FIFO. While
     /// this is unchanged, a full out FIFO is still full.
     pub fn tx_events(&self, leaf: usize) -> u64 {
-        self.tx_seq[leaf]
+        self.leaves[leaf].tx_seq
     }
 
     /// Whether any flit is still in flight inside the tree.
@@ -338,6 +334,49 @@ impl BftNoc {
         self.tree_flits + self.queued_flits
     }
 
+    /// Flits currently inside the switch tree (excluding leaf out FIFOs).
+    pub fn tree_flits(&self) -> usize {
+        self.tree_flits
+    }
+
+    /// Earliest birth cycle among the flits at the front of any leaf's out
+    /// FIFO (`None` when nothing is queued). Injection order makes each
+    /// front flit its leaf's earliest, so this is the next cycle at which
+    /// any queued flit can possibly enter the tree — with an empty tree,
+    /// every step before it is a no-op.
+    pub fn next_ripe_birth(&self) -> Option<u64> {
+        self.queued_leaves
+            .iter()
+            .filter_map(|&i| self.leaves[i].out_queue.peek().map(|f| f.birth))
+            .min()
+    }
+
+    /// Whether no queued flit is eligible for uplink entry this cycle —
+    /// either nothing is queued, or every front flit is future-born
+    /// (parallel cosim windows stamp flits with the injecting core's local
+    /// cycle, which may run ahead of the network clock).
+    fn no_ripe_queued(&self) -> bool {
+        self.queued_flits == 0 || self.next_ripe_birth().is_none_or(|b| b > self.cycle)
+    }
+
+    /// Advances the clock by `n` cycles without stepping. Exact only while
+    /// every skipped [`step`](Self::step) would have been a no-op: the
+    /// switch tree is empty and no queued flit ripens before the target
+    /// cycle (debug-asserted). The cosim driver uses this to jump its loop
+    /// clock over idle stretches, so that flit birth cycles (stamped in
+    /// loop time) stay comparable with the network clock that gates uplink
+    /// entry.
+    pub fn skip_idle_cycles(&mut self, n: u64) {
+        debug_assert!(
+            self.tree_flits == 0
+                && self
+                    .next_ripe_birth()
+                    .is_none_or(|b| b >= self.cycle.saturating_add(n)),
+            "idle clock skip over a movable flit"
+        );
+        self.cycle += n;
+    }
+
     /// Advances the network by one clock cycle.
     ///
     /// Only switches with at least one input flit and leaves with incoming
@@ -345,14 +384,16 @@ impl BftNoc {
     /// flit movement itself is identical to a dense sweep over every switch,
     /// because a switch with no inputs produces no outputs.
     pub fn step(&mut self) {
-        if self.tree_flits == 0 && self.queued_flits == 0 {
+        // Unripe queued flits (birth in the future) cannot pop this cycle,
+        // so for fast-path purposes they are as good as absent.
+        if self.tree_flits == 0 && self.no_ripe_queued() {
             self.cycle += 1;
             return;
         }
-        // A lone flit with empty out FIFOs — the dominant busy case on a
-        // lightly loaded tree — moves one uncontended hop without the full
-        // sweep machinery.
-        if self.tree_flits == 1 && self.queued_flits == 0 && self.levels > 0 {
+        // A lone flit with no poppable out FIFOs — the dominant busy case
+        // on a lightly loaded tree — moves one uncontended hop without the
+        // full sweep machinery.
+        if self.tree_flits == 1 && self.no_ripe_queued() && self.levels > 0 {
             self.step_single_flit();
             self.cycle += 1;
             return;
@@ -449,7 +490,7 @@ impl BftNoc {
                     match flit.kind {
                         FlitKind::Data => {
                             leaf.deliver(flit.src_leaf, flit.dest_port, flit.seq, flit.payload);
-                            self.rx_seq[i] += 1;
+                            leaf.rx_seq += 1;
                             self.stats.delivered += 1;
                             self.stats.total_latency += latency;
                             self.stats.max_latency = self.stats.max_latency.max(latency);
@@ -461,12 +502,20 @@ impl BftNoc {
                     }
                 }
             }
-            if next_up[0][i].is_none() {
+            // Birth gating: a flit injected by a core running *ahead* of the
+            // network clock (parallel cosim windows) carries its true birth
+            // cycle and may not enter the tree before that cycle — exactly
+            // when the serial schedule would have injected it. For flits
+            // born at or before the current cycle (every flit outside the
+            // parallel engine) this is the plain uplink pop.
+            if next_up[0][i].is_none()
+                && leaf.out_queue.peek().is_some_and(|f| f.birth <= self.cycle)
+            {
                 if let Some(flit) = leaf.out_queue.try_pop() {
                     next_up[0][i] = Some(flit);
                     next_up_occ[0].push(i);
                     self.queued_flits -= 1;
-                    self.tx_seq[i] += 1;
+                    leaf.tx_seq += 1;
                 }
             }
         }
@@ -501,6 +550,35 @@ impl BftNoc {
         self.down_occ_next = std::mem::replace(&mut self.down_occ, next_down_occ);
         self.active = active;
         self.cycle += 1;
+    }
+
+    /// Hops a lone in-flight flit toward delivery for as many consecutive
+    /// cycles as the single-flit fast path stays valid, stopping at
+    /// `limit`, at delivery, or one cycle before the earliest queued flit
+    /// ripens. Returns the cycles advanced (0 when the fast path does not
+    /// apply right now). Equivalent to calling [`step`](Self::step) that
+    /// many times — each hop IS the single-flit body of `step` — but
+    /// without per-cycle dispatch, so the driver can batch a flit's whole
+    /// flight. During the batched stretch no delivery, pop, or event
+    /// counter change can occur before the final hop, which is why the
+    /// caller only needs to re-check its wake conditions once on return.
+    pub fn run_lone_flit(&mut self, limit: u64) -> u64 {
+        if self.levels == 0 {
+            return 0;
+        }
+        // Queue membership can't change while we only hop the tree flit,
+        // so the earliest ripening cycle is a constant for the whole run.
+        let limit = match self.next_ripe_birth() {
+            Some(b) if b <= self.cycle => return 0,
+            Some(b) => limit.min(b),
+            None => limit,
+        };
+        let start = self.cycle;
+        while self.tree_flits == 1 && self.cycle < limit {
+            self.step_single_flit();
+            self.cycle += 1;
+        }
+        self.cycle - start
     }
 
     /// Moves the single in-flight flit one hop. With no other flit and no
@@ -540,7 +618,7 @@ impl BftNoc {
             match flit.kind {
                 FlitKind::Data => {
                     self.leaves[i].deliver(flit.src_leaf, flit.dest_port, flit.seq, flit.payload);
-                    self.rx_seq[i] += 1;
+                    self.leaves[i].rx_seq += 1;
                     self.stats.delivered += 1;
                     self.stats.total_latency += latency;
                     self.stats.max_latency = self.stats.max_latency.max(latency);
@@ -835,6 +913,34 @@ mod tests {
         assert_eq!(net.try_recv(9, 0), Some(7));
         assert!(!net.in_flight());
         assert_eq!(net.active_flits(), 0);
+    }
+
+    #[test]
+    fn swapped_leaf_injection_commits_at_barrier_and_respects_birth() {
+        let mut net = linked_net(8);
+        // Swap leaf 0 out, as a parallel worker would between barriers.
+        let mut held = LeafInterface::new(1, 1, 4);
+        net.swap_leaf(0, &mut held);
+        // The worker injects two words: one due now (cycle 0) and one born
+        // three cycles in the future by a core running ahead of the clock.
+        held.inject_local(0, 0, 10, 0).unwrap();
+        held.inject_local(0, 0, 20, 3).unwrap();
+        // Nothing is visible to the scheduler until the barrier commit.
+        assert_eq!(net.active_flits(), 0);
+        net.swap_leaf(0, &mut held);
+        net.commit_injections(0);
+        assert_eq!(net.active_flits(), 2);
+        assert_eq!(net.stats().injected, 2);
+        // The first word leaves immediately; the future-born word must not
+        // enter the tree before cycle 3.
+        net.step();
+        assert_eq!(net.active_flits(), 2, "future-born flit held in FIFO");
+        net.drain(100);
+        assert_eq!(net.try_recv(1, 0), Some(10));
+        assert_eq!(net.try_recv(1, 0), Some(20));
+        // Birth gating delays entry to cycle 3, so its latency (measured
+        // from birth) stays small even though it was queued at cycle 0.
+        assert_eq!(net.stats().delivered, 2);
     }
 
     #[test]

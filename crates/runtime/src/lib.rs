@@ -39,7 +39,7 @@ use std::fmt;
 use fabric::{Floorplan, PageId};
 use kir::types::Value;
 use noc::PortAddr;
-use pld::{replay_loads, CompileError, CompiledApp, LinkOp, LoadOp};
+use pld::{replay_loads, CompileError, CompiledApp, LinkOp, LoadOp, OptLevel};
 
 pub use admission::QueueFull;
 use admission::{AdmissionQueue, PendingRequest};
@@ -225,6 +225,10 @@ pub struct Runtime {
     stats: RuntimeStats,
     next_id: u64,
     tick: u64,
+    /// When set, [`Runtime::run`] serves `-O0` apps through the sharded
+    /// parallel cosim engine with this many host threads instead of the
+    /// functional interpreter.
+    cosim_serving: Option<usize>,
 }
 
 impl Runtime {
@@ -252,7 +256,25 @@ impl Runtime {
             stats,
             next_id: 0,
             tick: 0,
+            cosim_serving: None,
         }
+    }
+
+    /// Opts serving into (or with `None` back out of) cycle-accurate cosim
+    /// execution: [`Runtime::run`] — and therefore the fleet's `run_app`
+    /// path — drives resident `-O0` apps through the sharded parallel
+    /// cosim engine ([`pld::cosim_o0_parallel`]) on `threads` host worker
+    /// threads. Outputs are identical to the functional interpreter by the
+    /// Kahn property; what changes is fidelity (overlay cycle counts drive
+    /// the latency histogram) and wall-clock. Apps compiled at other
+    /// levels keep the functional path.
+    pub fn set_cosim_serving(&mut self, threads: Option<usize>) {
+        self.cosim_serving = threads;
+    }
+
+    /// The cosim-serving thread count, if the mode is on.
+    pub fn cosim_serving(&self) -> Option<usize> {
+        self.cosim_serving
     }
 
     /// Read-only view of the device state.
@@ -328,8 +350,19 @@ impl Runtime {
         id: AppId,
         inputs: &[(&str, Vec<Value>)],
     ) -> Result<HashMap<String, Vec<Value>>, RuntimeError> {
-        self.run_with(id, inputs, |graph, inputs| {
-            dfg::run_graph(graph, inputs).map(|(outputs, _)| outputs)
+        if let Some(threads) = self.cosim_serving {
+            let is_o0 = self
+                .resident
+                .get(&id.0)
+                .is_some_and(|r| r.app.level == OptLevel::O0);
+            if is_o0 {
+                return self.run_with(id, inputs, |app, inputs| cosim_serve(app, inputs, threads));
+            }
+        }
+        self.run_with(id, inputs, |app, inputs| {
+            dfg::run_graph(&app.graph, inputs)
+                .map(|(outputs, _)| outputs)
+                .map_err(|e| e.to_string())
         })
     }
 
@@ -347,7 +380,9 @@ impl Runtime {
         id: AppId,
         inputs: &[(&str, Vec<Value>)],
     ) -> Result<HashMap<String, Vec<Value>>, RuntimeError> {
-        self.run_with(id, inputs, dfg::run_graph_threaded)
+        self.run_with(id, inputs, |app, inputs| {
+            dfg::run_graph_threaded(&app.graph, inputs).map_err(|e| e.to_string())
+        })
     }
 
     fn run_with(
@@ -355,17 +390,16 @@ impl Runtime {
         id: AppId,
         inputs: &[(&str, Vec<Value>)],
         engine: impl FnOnce(
-            &dfg::Graph,
+            &CompiledApp,
             &[(&str, Vec<Value>)],
-        ) -> Result<HashMap<String, Vec<Value>>, dfg::GraphRunError>,
+        ) -> Result<HashMap<String, Vec<Value>>, String>,
     ) -> Result<HashMap<String, Vec<Value>>, RuntimeError> {
         let resident = self
             .resident
             .get_mut(&id.0)
             .ok_or(RuntimeError::NotResident(id))?;
         let t0 = std::time::Instant::now();
-        let outputs = engine(&resident.app.graph, inputs)
-            .map_err(|e| RuntimeError::Execution(e.to_string()))?;
+        let outputs = engine(&resident.app, inputs).map_err(RuntimeError::Execution)?;
         let seconds = t0.elapsed().as_secs_f64();
         self.tick += 1;
         resident.last_used = self.tick;
@@ -726,6 +760,55 @@ fn dma_widths(app: &CompiledApp) -> (u8, u8) {
         .max()
         .unwrap_or(0);
     (in_width, out_width)
+}
+
+/// Cycle budget for one cosim-served request — generous enough for any
+/// workload the functional interpreter finishes in reasonable wall-clock.
+const COSIM_SERVE_BUDGET: u64 = 2_000_000_000;
+
+/// Serves one request through the sharded parallel cosim engine: the
+/// functional interpreter first fixes the expected output word counts
+/// (exact by the Kahn property — the emulated fabric produces the same
+/// streams), then the app's page cores run cycle-accurately on `threads`
+/// host workers and the collected words convert back to typed values.
+fn cosim_serve(
+    app: &CompiledApp,
+    inputs: &[(&str, Vec<Value>)],
+    threads: usize,
+) -> Result<HashMap<String, Vec<Value>>, String> {
+    let (functional, _) = dfg::run_graph(&app.graph, inputs).map_err(|e| e.to_string())?;
+    let word_inputs: Vec<Vec<u32>> = app
+        .graph
+        .ext_inputs
+        .iter()
+        .map(|p| {
+            inputs
+                .iter()
+                .find(|(name, _)| *name == p.name)
+                .map(|(_, values)| kir::wire::stream_to_words(values))
+                .unwrap_or_default()
+        })
+        .collect();
+    let expected: Vec<usize> = app
+        .graph
+        .ext_outputs
+        .iter()
+        .map(|p| {
+            functional
+                .get(&p.name)
+                .map(|values| kir::wire::stream_to_words(values).len())
+                .unwrap_or(0)
+        })
+        .collect();
+    let out = pld::cosim_o0_parallel(app, &word_inputs, &expected, COSIM_SERVE_BUDGET, threads)
+        .map_err(|e| e.to_string())?;
+    Ok(app
+        .graph
+        .ext_outputs
+        .iter()
+        .zip(out.outputs)
+        .map(|(p, words)| (p.name.clone(), kir::wire::words_to_stream(p.elem, &words)))
+        .collect())
 }
 
 /// Smallest base such that `[base, base+width)` avoids every in-use range.

@@ -76,7 +76,7 @@ impl StreamIo for BatchIo {
     }
 }
 
-/// Which execution core drives a run. The two engines are bit-identical
+/// Which execution core drives a run. All engines are bit-identical
 /// in every architectural observable (registers, memory, cycles,
 /// instructions, stream traffic) — asserted by the differential tests.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -87,6 +87,12 @@ pub enum Engine {
     /// traps drop to the reference `step`.
     #[default]
     BlockCached,
+    /// The block cache with the superblock JIT tier on top: profile
+    /// counters promote hot block entries into trace-linked superblocks
+    /// (micro-op blocks concatenated across their recorded control
+    /// transfers, with a specialized jump-to-head hot-loop path), torn
+    /// down by epoch invalidation when any constituent span is written.
+    Superblock,
     /// The decode-per-step reference interpreter ([`crate::Cpu::step`] in
     /// a loop). Slower; kept as the semantics oracle.
     Reference,
@@ -135,13 +141,16 @@ pub fn execute_with(
     engine: Engine,
 ) -> Result<ExecOutput, RunError> {
     let mut cpu = binary.instantiate();
+    if engine == Engine::Superblock {
+        cpu.set_superblock_threshold(crate::block::DEFAULT_SUPERBLOCK_THRESHOLD);
+    }
     let mut io = BatchIo {
         inputs: inputs.iter().map(|v| v.iter().copied().collect()).collect(),
         outputs: vec![Vec::new(); binary.out_ports as usize],
         starved: None,
     };
     loop {
-        if engine == Engine::BlockCached {
+        if engine != Engine::Reference {
             // Burn through core-private work; stops with pc on the next
             // instruction that does I/O, halts, traps, or busts the
             // budget — which step_cached() below then handles, exactly
@@ -152,7 +161,7 @@ pub fn execute_with(
             return Err(RunError::CycleBudget { budget: max_cycles });
         }
         let result = match engine {
-            Engine::BlockCached => cpu.step_cached(&mut io),
+            Engine::BlockCached | Engine::Superblock => cpu.step_cached(&mut io),
             Engine::Reference => cpu.step(&mut io),
         };
         match result {
@@ -221,21 +230,25 @@ mod tests {
     fn engines_agree_bit_identically() {
         let bin = doubler();
         let inputs = vec![(1..=8).collect::<Vec<u32>>()];
-        let fast = execute_with(&bin, &inputs, 1_000_000, Engine::BlockCached).unwrap();
         let slow = execute_with(&bin, &inputs, 1_000_000, Engine::Reference).unwrap();
-        assert_eq!(fast, slow);
+        for engine in [Engine::BlockCached, Engine::Superblock] {
+            let fast = execute_with(&bin, &inputs, 1_000_000, engine).unwrap();
+            assert_eq!(fast, slow, "{engine:?}");
+        }
     }
 
     #[test]
     fn engines_agree_on_budget_exhaustion() {
-        // The budget error must fire at the same point in both engines,
+        // The budget error must fire at the same point in every engine,
         // across budgets that land mid-block and mid-instruction.
         let bin = doubler();
         let inputs = vec![(1..=8).collect::<Vec<u32>>()];
         for budget in [1u64, 7, 10, 33, 100, 250] {
-            let fast = execute_with(&bin, &inputs, budget, Engine::BlockCached);
             let slow = execute_with(&bin, &inputs, budget, Engine::Reference);
-            assert_eq!(fast, slow, "budget {budget}");
+            for engine in [Engine::BlockCached, Engine::Superblock] {
+                let fast = execute_with(&bin, &inputs, budget, engine);
+                assert_eq!(fast, slow, "budget {budget} ({engine:?})");
+            }
         }
     }
 }

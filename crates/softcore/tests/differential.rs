@@ -1,8 +1,9 @@
-//! Differential suite: the block-cached engine must be bit-identical to
-//! the decode-per-step reference on random firmware images under random
-//! stream stall/availability patterns — final registers, memory, cycle
-//! count, instruction count, and emitted tokens all equal (the A/B
-//! discipline behind shipping the pre-decoded engine as the default).
+//! Differential suite: the block-cached engine — and the superblock JIT
+//! tier stacked on it — must be bit-identical to the decode-per-step
+//! reference on random firmware images under random stream
+//! stall/availability patterns — final registers, memory, cycle count,
+//! instruction count, and emitted tokens all equal (the A/B discipline
+//! behind shipping the pre-decoded engine as the default).
 
 use proptest::prelude::*;
 use softcore::cpu::{StepResult, StreamIo};
@@ -176,9 +177,13 @@ fn build_cpu(recipe: &[(u8, u8, u8, i16)]) -> Cpu {
     cpu
 }
 
+#[derive(Clone, Copy)]
 enum Mode {
     Reference,
     BlockCached,
+    /// Block cache plus the superblock trace tier, promoted aggressively
+    /// (threshold 2) so random firmware forms traces within the budget.
+    Superblock,
 }
 
 /// Drives one core to halt/trap/budget and snapshots the architectural
@@ -188,11 +193,16 @@ fn run(
     mut io: PatternIo,
     mode: Mode,
 ) -> ([u32; 32], Vec<u32>, u64, u64, Vec<u32>, bool) {
+    if matches!(mode, Mode::Superblock) {
+        cpu.set_superblock_threshold(2);
+    }
     let mut halted = false;
     while cpu.cycles < CYCLE_BUDGET {
         let result = match mode {
             Mode::Reference => cpu.step(&mut io),
-            Mode::BlockCached => cpu.step_then_run(&mut io, u64::MAX, CYCLE_BUDGET).0,
+            Mode::BlockCached | Mode::Superblock => {
+                cpu.step_then_run(&mut io, u64::MAX, CYCLE_BUDGET).0
+            }
         };
         match result {
             StepResult::Ok | StepResult::Stall => {}
@@ -234,6 +244,25 @@ proptest! {
         prop_assert_eq!(reference.3, cached.3, "instructions diverge");
         prop_assert_eq!(reference.4, cached.4, "stream output diverges");
         prop_assert_eq!(reference.5, cached.5, "halt state diverges");
+    }
+
+    #[test]
+    fn superblock_matches_reference(
+        recipe in proptest::collection::vec(
+            (any::<u8>(), any::<u8>(), any::<u8>(), any::<i16>()), 1..60),
+        read_avail in proptest::collection::vec(any::<bool>(), 1..12),
+        write_avail in proptest::collection::vec(any::<bool>(), 1..12),
+    ) {
+        let io_a = PatternIo::new(read_avail.clone(), write_avail.clone());
+        let io_b = PatternIo::new(read_avail, write_avail);
+        let reference = run(build_cpu(&recipe), io_a, Mode::Reference);
+        let traced = run(build_cpu(&recipe), io_b, Mode::Superblock);
+        prop_assert_eq!(&reference.0[..], &traced.0[..], "registers diverge");
+        prop_assert_eq!(reference.1, traced.1, "memory diverges");
+        prop_assert_eq!(reference.2, traced.2, "cycles diverge");
+        prop_assert_eq!(reference.3, traced.3, "instructions diverge");
+        prop_assert_eq!(reference.4, traced.4, "stream output diverges");
+        prop_assert_eq!(reference.5, traced.5, "halt state diverges");
     }
 }
 
@@ -346,4 +375,267 @@ fn firmware_reload_invalidates_decoded_blocks() {
         cpu.icache_stats().decoded > decoded_before,
         "re-decode happened"
     );
+}
+
+/// Two-pass loop whose body is hot enough to be promoted into a linked
+/// superblock (head block → body block, re-entering the head), after which
+/// the program *stores into the middle of the trace* — rewriting one
+/// constituent instruction — and loops again with a new bound. The store
+/// must tear down the superblock (its span was written) and the re-formed
+/// trace must execute the patched instruction: final state bit-identical
+/// to the decode-per-step reference.
+#[test]
+fn self_modifying_store_tears_down_linked_superblock() {
+    let patch = Instr::Addi {
+        rd: 4,
+        rs1: 2,
+        imm: 9,
+    }
+    .encode();
+    let mut code = vec![
+        Instr::Addi {
+            rd: 2,
+            rs1: 0,
+            imm: 0,
+        },
+        Instr::Addi {
+            rd: 3,
+            rs1: 0,
+            imm: 40,
+        },
+        // Loop head (word 2, addr 8): block A = { addi; beq }.
+        Instr::Addi {
+            rd: 2,
+            rs1: 2,
+            imm: 1,
+        },
+        Instr::Beq {
+            rs1: 0,
+            rs2: 0,
+            imm: 8, // -> word 5
+        },
+        Instr::Ebreak, // word 4: jumped over, never runs
+        // Word 5 (addr 20): block B = { addi x4; bne } — the patch target.
+        Instr::Addi {
+            rd: 4,
+            rs1: 2,
+            imm: 0,
+        },
+        Instr::Bne {
+            rs1: 2,
+            rs2: 3,
+            imm: -16, // -> word 2, the superblock's jump-to-head edge
+        },
+    ];
+    // Tail (runs after the loop exits): on the first exit x8 == 0, so fall
+    // through, patch word 5 in place, raise the bound, and re-enter the
+    // loop; on the second exit x8 == 1, branch straight to the ebreak.
+    let tail_at = code.len();
+    code.push(Instr::Bne {
+        rs1: 8,
+        rs2: 0,
+        imm: 0, // rewritten below once `done` is known
+    });
+    code.extend(softcore::isa::load_imm(6, patch as i32));
+    code.push(Instr::Addi {
+        rd: 7,
+        rs1: 0,
+        imm: 20, // address of word 5
+    });
+    code.push(Instr::Sw {
+        rs1: 7,
+        rs2: 6,
+        imm: 0,
+    });
+    code.push(Instr::Addi {
+        rd: 3,
+        rs1: 0,
+        imm: 80,
+    });
+    code.push(Instr::Addi {
+        rd: 8,
+        rs1: 0,
+        imm: 1,
+    });
+    let jal_at = code.len() as i32;
+    code.push(Instr::Jal {
+        rd: 1,
+        imm: 8 - jal_at * 4, // back to the loop head
+    });
+    let done = code.len();
+    code[tail_at] = Instr::Bne {
+        rs1: 8,
+        rs2: 0,
+        imm: ((done - tail_at) as i32) * 4,
+    };
+    code.push(Instr::Ebreak);
+
+    let build = || {
+        let mut cpu = Cpu::new(MEM_BYTES, vec![]);
+        let image: Vec<u8> = code.iter().flat_map(|i| i.encode().to_le_bytes()).collect();
+        cpu.load(0, &image);
+        cpu
+    };
+    let reference = run(
+        build(),
+        PatternIo::new(vec![true], vec![true]),
+        Mode::Reference,
+    );
+    let mut cpu = build();
+    cpu.set_superblock_threshold(4);
+    let mut io = PatternIo::new(vec![true], vec![true]);
+    let mut halted = false;
+    while cpu.cycles < CYCLE_BUDGET {
+        match cpu.step_then_run(&mut io, u64::MAX, CYCLE_BUDGET).0 {
+            StepResult::Ok | StepResult::Stall => {}
+            StepResult::Halt => {
+                halted = true;
+                break;
+            }
+            StepResult::Trap { .. } => break,
+        }
+    }
+    assert!(halted, "two-pass loop must halt");
+    // Pass 1 counts to 40 with `x4 = x2`; pass 2 counts to 80 with the
+    // patched `x4 = x2 + 9`.
+    assert_eq!(cpu.regs[2], 80);
+    assert_eq!(
+        cpu.regs[4], 89,
+        "patched instruction executed inside the trace"
+    );
+    assert_eq!(&reference.0[..], &cpu.regs[..], "registers match reference");
+    assert_eq!(reference.2, cpu.cycles, "cycles match reference");
+    assert_eq!(
+        reference.3, cpu.instructions,
+        "instructions match reference"
+    );
+    let stats = cpu.icache_stats();
+    assert!(
+        stats.superblocks_formed >= 2,
+        "trace formed before and after the patch (formed {})",
+        stats.superblocks_formed
+    );
+    assert!(
+        stats.invalidations > 0,
+        "store into the trace span must invalidate"
+    );
+}
+
+/// Runtime hot-swap (`Cpu::load` over a live core) landing while the pc is
+/// parked *mid-superblock* — stalled on a stream read inside a promoted
+/// trace — must drop the trace along with the block cache: the swapped-in
+/// firmware runs from a clean slate, bit-identical to the reference
+/// driven through the same reload.
+#[test]
+fn hot_swap_reload_mid_superblock_falls_back() {
+    // Loop: bump x2, jump over a dead word, stream-read, repeat until
+    // x2 == bound. Identical shape in both images; only the bound and the
+    // increment differ.
+    let image = |bound: i32, inc: i32| -> Vec<u8> {
+        [
+            Instr::Lui {
+                rd: 6,
+                imm: firmware::STREAM_READ_BASE as i32,
+            },
+            Instr::Addi {
+                rd: 2,
+                rs1: 0,
+                imm: 0,
+            },
+            Instr::Addi {
+                rd: 3,
+                rs1: 0,
+                imm: bound,
+            },
+            // Loop head (word 3, addr 12).
+            Instr::Addi {
+                rd: 2,
+                rs1: 2,
+                imm: inc,
+            },
+            Instr::Beq {
+                rs1: 0,
+                rs2: 0,
+                imm: 8, // -> word 6
+            },
+            Instr::Ebreak, // jumped over
+            Instr::Lw {
+                rd: 5,
+                rs1: 6,
+                imm: 0, // stream read: the stall point
+            },
+            Instr::Bne {
+                rs1: 2,
+                rs2: 3,
+                imm: -16, // -> word 3
+            },
+            Instr::Ebreak,
+        ]
+        .iter()
+        .flat_map(|i| i.encode().to_le_bytes())
+        .collect()
+    };
+    // Ten reads succeed (ten full iterations — plenty to promote at
+    // threshold 2), then the eleventh stalls with the pc parked on the
+    // `lw` in the middle of the linked trace.
+    let avail = {
+        let mut v = vec![true; 10];
+        v.push(false);
+        v
+    };
+    let drive = |cpu: &mut Cpu, io: &mut PatternIo, superblock: bool| -> StepResult {
+        loop {
+            let r = if superblock {
+                cpu.step_then_run(io, u64::MAX, CYCLE_BUDGET).0
+            } else {
+                cpu.step(io)
+            };
+            match r {
+                StepResult::Ok => {}
+                other => return other,
+            }
+            assert!(cpu.cycles < CYCLE_BUDGET, "runaway");
+        }
+    };
+
+    let mut cpu = Cpu::new(MEM_BYTES, vec![]);
+    cpu.load(0, &image(100, 1));
+    cpu.set_superblock_threshold(2);
+    let mut io = PatternIo::new(avail.clone(), vec![true]);
+    assert_eq!(drive(&mut cpu, &mut io, true), StepResult::Stall);
+    let formed_before = cpu.icache_stats().superblocks_formed;
+    assert!(
+        formed_before > 0,
+        "ten hot iterations must have promoted a superblock"
+    );
+
+    // Hot-swap new firmware over the stalled core, exactly as the runtime
+    // reload path does, and run the replacement to completion.
+    cpu.load(0, &image(35, 7));
+    cpu.pc = 0;
+    assert_eq!(drive(&mut cpu, &mut io, true), StepResult::Halt);
+    assert_eq!(
+        cpu.regs[2], 35,
+        "swapped-in loop ran its own five iterations"
+    );
+    let stats = cpu.icache_stats();
+    assert!(stats.invalidations > 0, "reload must invalidate the trace");
+    assert!(
+        stats.superblocks_formed > formed_before,
+        "replacement loop re-promoted from scratch"
+    );
+
+    // The reference, driven through the identical stall + reload sequence,
+    // must land on the same architectural state.
+    let mut reference = Cpu::new(MEM_BYTES, vec![]);
+    reference.load(0, &image(100, 1));
+    let mut ref_io = PatternIo::new(avail, vec![true]);
+    assert_eq!(drive(&mut reference, &mut ref_io, false), StepResult::Stall);
+    reference.load(0, &image(35, 7));
+    reference.pc = 0;
+    assert_eq!(drive(&mut reference, &mut ref_io, false), StepResult::Halt);
+    assert_eq!(&reference.regs[..], &cpu.regs[..], "registers diverge");
+    assert_eq!(reference.cycles, cpu.cycles, "cycles diverge");
+    assert_eq!(reference.instructions, cpu.instructions);
+    assert_eq!(ref_io.read_calls, io.read_calls, "stream schedule diverges");
 }

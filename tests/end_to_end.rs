@@ -258,6 +258,7 @@ fn cosim_fast_paths_are_cycle_accurate_on_spam_filter() {
             pld::CosimConfig {
                 skip_ahead,
                 block_cache,
+                ..pld::CosimConfig::default()
             },
         )
         .expect("system completes")
@@ -272,6 +273,50 @@ fn cosim_fast_paths_are_cycle_accurate_on_spam_filter() {
             assert_eq!(got.cycles, reference.cycles, "{tag} changed virtual time");
             assert_eq!(got.instructions, reference.instructions, "{tag}");
         }
+    }
+}
+
+/// The sharded parallel driver is the same engine at every host thread
+/// count: outputs, simulated cycles, and instruction counts on a real
+/// benchmark must be bit-identical across `threads` — including against
+/// the decode-per-step reference. CI runs this as the multi-thread smoke
+/// (actual worker threads drive the cores when `threads > 1`).
+#[test]
+fn parallel_cosim_smoke_is_thread_count_invariant() {
+    let bench = rosetta::spam::bench(Scale::Tiny);
+    let app = compile(&bench.graph, &CompileOptions::new(OptLevel::O0)).unwrap();
+    let input_words = rosetta::util::unwords(&bench.inputs[0].1);
+    let golden = {
+        let out = bench.run_functional();
+        rosetta::util::unwords(&out["Output_1"])
+    };
+
+    let reference = pld::cosim_o0(
+        &app,
+        std::slice::from_ref(&input_words),
+        &[golden.len()],
+        2_000_000_000,
+    )
+    .expect("system completes");
+    assert_eq!(reference.outputs[0], golden);
+    for threads in [2, 4] {
+        let got = pld::cosim_o0_parallel(
+            &app,
+            std::slice::from_ref(&input_words),
+            &[golden.len()],
+            2_000_000_000,
+            threads,
+        )
+        .expect("system completes");
+        assert_eq!(got.outputs, reference.outputs, "threads={threads}");
+        assert_eq!(
+            got.cycles, reference.cycles,
+            "threads={threads} changed virtual time"
+        );
+        assert_eq!(
+            got.instructions, reference.instructions,
+            "threads={threads}"
+        );
     }
 }
 

@@ -265,6 +265,30 @@ fn threaded_engine_serves_identical_results_and_records_latency() {
 }
 
 #[test]
+fn cosim_serving_matches_functional_serving() {
+    let mut rt = Runtime::new(Floorplan::u50());
+    let id = rt
+        .submit("pipe", compile_o0(&pipeline("pipe", 3, 5)))
+        .unwrap();
+    rt.poll();
+
+    let inputs = vec![("Input_1", words(0..8))];
+    let functional = rt.run(id, &inputs).unwrap();
+
+    // Opt into cycle-accurate serving: requests now drive the resident
+    // app's page softcores through the sharded parallel cosim engine.
+    // Kahn determinacy: same tokens out, whatever executes them.
+    rt.set_cosim_serving(Some(4));
+    assert_eq!(rt.cosim_serving(), Some(4));
+    let cosim = rt.run(id, &inputs).unwrap();
+    assert_eq!(cosim, functional);
+    assert_eq!(to_u32s(&cosim["Output_1"]), (15..23).collect::<Vec<u32>>());
+
+    rt.set_cosim_serving(None);
+    assert_eq!(rt.stats().requests, 2);
+}
+
+#[test]
 fn fleet_packs_best_fit_then_spills_to_the_next_device() {
     let fp = Floorplan::u50();
     let mut fleet = Fleet::new(2, &fp);
