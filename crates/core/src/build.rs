@@ -39,15 +39,14 @@ use netlist::Netlist;
 use pnr::{PnrOptions, TimingReport};
 
 use crate::artifact::{Xclbin, XclbinKind};
+use crate::cache::CacheBackend;
 use crate::farm;
 use crate::flow::{
     assign_pages_with, build_driver, compile_monolithic, fnv, source_hash,
     wrap_with_leaf_interface, CompileError, CompileOptions, CompiledApp, CompiledOperator,
     OptLevel, SeedRace,
 };
-use crate::store::{
-    ArtifactStore, HlsProduct, PnrProduct, SoftProduct, StageKey, StageKind, StageProduct,
-};
+use crate::store::{HlsProduct, PnrProduct, SoftProduct, StageKey, StageKind, StageProduct};
 use crate::vtime::PhaseTimes;
 
 /// Per-stage hit/execution counters for one build.
@@ -137,7 +136,7 @@ impl BuildReport {
     }
 }
 
-fn stage_key(kind: StageKind, parts: &[u64]) -> StageKey {
+pub(crate) fn stage_key(kind: StageKind, parts: &[u64]) -> StageKey {
     let mut bytes = Vec::with_capacity(parts.len() * 8);
     for p in parts {
         bytes.extend_from_slice(&p.to_le_bytes());
@@ -197,7 +196,9 @@ impl OpPlan {
 
 type JobResult = Result<Vec<(StageKey, StageProduct)>, CompileError>;
 
-/// Compiles a graph by materializing its stage DAG against `store`.
+/// Compiles a graph by materializing its stage DAG against `store` — any
+/// [`CacheBackend`]: the bare in-memory [`crate::ArtifactStore`], or a persistent
+/// [`crate::cache::TieredCache`] shared across processes.
 ///
 /// Stages whose keys are present in the store are reused (a *hit*); missing
 /// stages are executed on the build farm, longest-first, and their products
@@ -212,10 +213,10 @@ type JobResult = Result<Vec<(StageKey, StageProduct)>, CompileError>;
 /// # Errors
 ///
 /// See [`CompileError`].
-pub fn build(
+pub fn build<C: CacheBackend>(
     graph: &Graph,
     options: &CompileOptions,
-    store: &mut ArtifactStore,
+    store: &mut C,
 ) -> Result<(CompiledApp, BuildReport), CompileError> {
     let t0 = std::time::Instant::now();
     let ir = extract(graph);
@@ -229,12 +230,12 @@ pub fn build(
     }
 }
 
-fn build_paged(
+fn build_paged<C: CacheBackend>(
     graph: &Graph,
     ir: dfg::DfgIr,
     options: &CompileOptions,
     t0: std::time::Instant,
-    store: &mut ArtifactStore,
+    store: &mut C,
 ) -> Result<(CompiledApp, BuildReport), CompileError> {
     let force_riscv = options.level == OptLevel::O0;
     let pages = assign_pages_with(graph, &options.floorplan, force_riscv, options.page_assign)?;
@@ -278,11 +279,11 @@ fn build_paged(
                     page: *page,
                     src_hash,
                     front,
-                    front_hit: store.get_hls(front.hash).is_some(),
+                    front_hit: store.contains(front),
                     pnr: Some(pnr),
-                    pnr_hit: store.get_pnr(pnr.hash).is_some(),
+                    pnr_hit: store.contains(pnr),
                     pack,
-                    pack_hit: store.get_pack(pack.hash).is_some(),
+                    pack_hit: store.contains(pack),
                     cost: 0.0,
                     job: None,
                 }
@@ -298,11 +299,11 @@ fn build_paged(
                     page: *page,
                     src_hash,
                     front,
-                    front_hit: store.get_soft(front.hash).is_some(),
+                    front_hit: store.contains(front),
                     pnr: None,
                     pnr_hit: false,
                     pack,
-                    pack_hit: store.get_pack(pack.hash).is_some(),
+                    pack_hit: store.contains(pack),
                     cost: 0.0,
                     job: None,
                 }
@@ -342,7 +343,7 @@ fn build_paged(
                     message,
                 })??;
             for (key, product) in computed {
-                store.insert(key, product);
+                store.put(key, product);
             }
         }
     }
@@ -384,13 +385,12 @@ fn build_paged(
         });
 
         let pack = store
-            .get_pack(plan.pack.hash)
-            .expect("pack stage materialized")
-            .clone();
+            .fetch_pack(plan.pack.hash)
+            .expect("pack stage materialized");
         let (hls, timing, soft, fresh, fresh_ser) = match plan.pnr {
             Some(pnr_key) => {
-                let hls = store.get_hls(plan.front.hash).expect("hls materialized");
-                let pnr = store.get_pnr(pnr_key.hash).expect("pnr materialized");
+                let hls = store.fetch_hls(plan.front.hash).expect("hls materialized");
+                let pnr = store.fetch_pnr(pnr_key.hash).expect("pnr materialized");
                 if !plan.pnr_hit {
                     report.race_attempts_charged += pnr.race_charged as u64;
                     if pnr.race_attempts > 1 {
@@ -421,9 +421,9 @@ fn build_paged(
                 )
             }
             None => {
-                let soft = store.get_soft(plan.front.hash).expect("cc materialized");
+                let soft = store.fetch_soft(plan.front.hash).expect("cc materialized");
                 let fresh = vt.soft_phases(soft.binary.load_bytes());
-                (None, None, Some(soft.binary.clone()), fresh, fresh)
+                (None, None, Some(soft.binary), fresh, fresh)
             }
         };
         // Executed time: reused stages cost nothing this build. The bit
@@ -470,14 +470,14 @@ fn build_paged(
         driver_parts.push(artifact.hash);
     }
     let driver_key = stage_key(StageKind::LinkDriver, &driver_parts);
-    let driver = match store.get_driver(driver_key.hash) {
+    let driver = match store.fetch_driver(driver_key.hash) {
         Some(d) => {
             report.record(StageKind::LinkDriver, true);
-            d.clone()
+            d
         }
         None => {
             let d = build_driver(&ir, &pages, &artifacts, n_pages);
-            store.insert(driver_key, StageProduct::Driver(d.clone()));
+            store.put(driver_key, StageProduct::Driver(d.clone()));
             report.record(StageKind::LinkDriver, false);
             d
         }
@@ -505,11 +505,11 @@ fn build_paged(
 
 /// Builds the farm job that executes an operator's missing stages. Cached
 /// upstream products are cloned in so the job never touches the store.
-fn job_for(
+fn job_for<C: CacheBackend>(
     plan: &OpPlan,
     op: &dfg::OperatorInst,
     options: &CompileOptions,
-    store: &ArtifactStore,
+    store: &mut C,
 ) -> Box<dyn FnOnce() -> JobResult + Send> {
     let kernel = op.kernel.clone();
     let name = op.name.clone();
@@ -528,12 +528,12 @@ fn job_for(
             let race = options.race;
             let race_workers = options.jobs;
             let hls_in: Option<HlsProduct> = if plan.front_hit {
-                store.get_hls(front.hash).cloned()
+                store.fetch_hls(front.hash)
             } else {
                 None
             };
             let pnr_in: Option<PnrProduct> = if plan.pnr_hit {
-                store.get_pnr(pnr_key.hash).cloned()
+                store.fetch_pnr(pnr_key.hash)
             } else {
                 None
             };
@@ -614,7 +614,7 @@ fn job_for(
         }
         None => {
             let soft_in: Option<SoftProduct> = if plan.front_hit {
-                store.get_soft(front.hash).cloned()
+                store.fetch_soft(front.hash)
             } else {
                 None
             };
@@ -661,7 +661,7 @@ fn job_for(
 /// later attempts decorrelate from it by golden-ratio stepping. Purely a
 /// function of `(base, i)`, so the attempt list — and with it every stage
 /// key — is reproducible from the compile options alone.
-fn race_seed(base: u64, i: u32) -> u64 {
+pub(crate) fn race_seed(base: u64, i: u32) -> u64 {
     if i == 0 {
         base
     } else {
@@ -684,7 +684,7 @@ struct RaceAttempt {
 /// stage's artifact hash and virtual-time charge) is identical on any
 /// worker count. `attempts == 1` degenerates to a plain single-seed
 /// compile: same product, same key, priced identically.
-fn race_place_route(
+pub(crate) fn race_place_route(
     wrapped: &Netlist,
     device: &Device,
     rect: Rect,
@@ -807,15 +807,16 @@ fn race_place_route(
 
 /// Compiles a batch of graphs concurrently on the build farm — the
 /// admission-compile path of a serving fleet, where many tenants' apps
-/// arrive at once. Each job builds against a clone of the warm `store`
-/// (stage hits carry over), and every job's new stage products are merged
-/// back afterwards; content addressing makes the merge a plain union.
-/// Results come back in input order. A panicked job is reported as
-/// [`CompileError::JobPanicked`] without sinking the rest of the batch.
-pub fn build_batch(
+/// arrive at once. Each job builds against a [`CacheBackend::snapshot`] of
+/// the warm `store` (stage hits carry over), and every job's new stage
+/// products are absorbed back afterwards; content addressing makes the
+/// merge a plain union. Results come back in input order. A panicked job
+/// is reported as [`CompileError::JobPanicked`] without sinking the rest
+/// of the batch.
+pub fn build_batch<C: CacheBackend>(
     graphs: &[Graph],
     options: &CompileOptions,
-    store: &mut ArtifactStore,
+    store: &mut C,
     workers: usize,
 ) -> Vec<Result<(CompiledApp, BuildReport), CompileError>> {
     let jobs: Vec<_> = graphs
@@ -823,7 +824,7 @@ pub fn build_batch(
         .map(|graph| {
             let graph = graph.clone();
             let options = options.clone();
-            let mut job_store = store.clone();
+            let mut job_store = store.snapshot();
             move || {
                 let result = build(&graph, &options, &mut job_store);
                 (result, job_store)
@@ -834,7 +835,7 @@ pub fn build_batch(
     for outcome in farm::run_jobs(jobs, workers) {
         match outcome.result {
             Ok((result, job_store)) => {
-                store.merge(job_store);
+                store.absorb(job_store);
                 results.push(result);
             }
             Err(message) => results.push(Err(CompileError::JobPanicked {

@@ -1,0 +1,595 @@
+//! The tiered artifact cache: one [`CacheBackend`] trait, many stores.
+//!
+//! PR 3's [`ArtifactStore`] made every compile flow a driver over one
+//! in-memory content-addressed map; this module promotes that map to the
+//! **L1** of a tiered cache and adds a persistent on-disk **L2**
+//! ([`DiskCache`]) so warm rebuilds survive across processes — the paper's
+//! "incremental refinement" loop extended from one editor session to a
+//! whole team (and a whole serving fleet) sharing one store directory.
+//!
+//! * [`CacheBackend`] — the trait every build driver ([`crate::build()`],
+//!   [`crate::build_batch`], [`crate::BuildCache`], the runtime's hot swap)
+//!   is generic over. [`ArtifactStore`] implements it (memory-only, the
+//!   previous behavior, still the default), and so does [`TieredCache`].
+//! * [`TieredCache`] — L1 in-memory store over an optional L2
+//!   [`DiskCache`]; fetches promote L2 products into L1, puts write
+//!   through. Opening the same directory from many processes (or many
+//!   [`Fleet`](crate) devices) shares one cache: readers are lock-free,
+//!   only compaction takes an advisory lock ([`DiskCache::compact`]).
+//! * [`evict`] — cost-weighted LRU under a byte budget: the victim is the
+//!   lowest *saved-vtime-per-byte* entry, so a cheap-to-recompute softcore
+//!   binary is evicted long before a P&R race winner of the same size.
+//! * [`speculate`] — after an edit, a predictor proposes likely-next stage
+//!   keys (remaining race seeds, siblings of the edited operator, the
+//!   other compile tier) and files them as cancellable background jobs on
+//!   idle farm workers; completed products merge back into the store.
+
+pub mod disk;
+pub mod evict;
+pub mod speculate;
+
+pub use disk::DiskCache;
+pub use evict::{eviction_order, saved_vtime_seconds, EvictCandidate};
+pub use speculate::{SpeculationConfig, SpeculationStats, Speculator};
+
+use std::collections::HashSet;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::store::{
+    ArtifactStore, HlsProduct, PnrProduct, SoftProduct, StageKey, StageKind, StageProduct,
+};
+use crate::vtime::VtimeModel;
+
+/// What every compile driver needs from an artifact cache.
+///
+/// The build graph probes with [`CacheBackend::contains`] while planning,
+/// pulls products with the fetch methods while materializing (a fetch may
+/// promote across tiers, hence `&mut self`), and files new products with
+/// [`CacheBackend::put`]. Batch compiles clone a [`CacheBackend::snapshot`]
+/// per farm job and [`CacheBackend::absorb`] the results back.
+pub trait CacheBackend {
+    /// Whether a product is filed under `key` in any tier.
+    fn contains(&self, key: StageKey) -> bool;
+
+    /// Fetches a product, promoting it into the fastest tier on the way.
+    fn fetch(&mut self, key: StageKey) -> Option<StageProduct>;
+
+    /// Files a product under its key (keep-first on collision, like
+    /// [`ArtifactStore::insert`]).
+    fn put(&mut self, key: StageKey, product: StageProduct);
+
+    /// Files a product computed *speculatively* (ahead of demand). The
+    /// default forwards to [`CacheBackend::put`]; backends that track
+    /// speculation mark the entry so the first demand fetch counts as a
+    /// speculative hit.
+    fn put_speculative(&mut self, key: StageKey, product: StageProduct) {
+        self.put(key, product);
+    }
+
+    /// Demand fetches served by a speculative compile so far (0 for
+    /// backends that do not track speculation).
+    fn speculative_hits(&self) -> u64 {
+        0
+    }
+
+    /// Number of products visible across all tiers.
+    fn len(&self) -> usize;
+
+    /// Whether the cache holds nothing.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of visible products of one stage kind.
+    fn count_kind(&self, kind: StageKind) -> usize;
+
+    /// A self-contained in-memory view of every visible product — what a
+    /// farm job builds against so it never touches the shared cache.
+    fn snapshot(&self) -> ArtifactStore;
+
+    /// Absorbs a job's store: every entry not already present is filed
+    /// (write-through on tiered backends). Entries already present are
+    /// left alone — the keep-first collision policy.
+    fn absorb(&mut self, delta: ArtifactStore) {
+        for (key, product) in delta.into_entries() {
+            if !self.contains(key) {
+                self.put(key, product);
+            }
+        }
+    }
+
+    /// Typed fetch of an HLS product.
+    fn fetch_hls(&mut self, hash: u64) -> Option<HlsProduct> {
+        match self.fetch(StageKey {
+            kind: StageKind::HlsLower,
+            hash,
+        }) {
+            Some(StageProduct::Hls(p)) => Some(p),
+            _ => None,
+        }
+    }
+
+    /// Typed fetch of a P&R product.
+    fn fetch_pnr(&mut self, hash: u64) -> Option<PnrProduct> {
+        match self.fetch(StageKey {
+            kind: StageKind::PlaceRoute,
+            hash,
+        }) {
+            Some(StageProduct::Pnr(p)) => Some(p),
+            _ => None,
+        }
+    }
+
+    /// Typed fetch of a softcore product.
+    fn fetch_soft(&mut self, hash: u64) -> Option<SoftProduct> {
+        match self.fetch(StageKey {
+            kind: StageKind::SoftcoreCc,
+            hash,
+        }) {
+            Some(StageProduct::Soft(p)) => Some(p),
+            _ => None,
+        }
+    }
+
+    /// Typed fetch of a packed artifact.
+    fn fetch_pack(&mut self, hash: u64) -> Option<crate::artifact::Xclbin> {
+        match self.fetch(StageKey {
+            kind: StageKind::BitstreamPack,
+            hash,
+        }) {
+            Some(StageProduct::Pack(x)) => Some(x),
+            _ => None,
+        }
+    }
+
+    /// Typed fetch of a generated driver.
+    fn fetch_driver(&mut self, hash: u64) -> Option<crate::artifact::Driver> {
+        match self.fetch(StageKey {
+            kind: StageKind::LinkDriver,
+            hash,
+        }) {
+            Some(StageProduct::Driver(d)) => Some(d),
+            _ => None,
+        }
+    }
+}
+
+/// The in-memory store is the memory-only backend (and the L1 of
+/// [`TieredCache`]): exactly the pre-refactor behavior.
+impl CacheBackend for ArtifactStore {
+    fn contains(&self, key: StageKey) -> bool {
+        self.get(key).is_some()
+    }
+
+    fn fetch(&mut self, key: StageKey) -> Option<StageProduct> {
+        self.get(key).cloned()
+    }
+
+    fn put(&mut self, key: StageKey, product: StageProduct) {
+        self.insert(key, product);
+    }
+
+    fn len(&self) -> usize {
+        ArtifactStore::len(self)
+    }
+
+    fn count_kind(&self, kind: StageKind) -> usize {
+        ArtifactStore::count_kind(self, kind)
+    }
+
+    fn snapshot(&self) -> ArtifactStore {
+        self.clone()
+    }
+
+    fn absorb(&mut self, delta: ArtifactStore) {
+        self.merge(delta);
+    }
+}
+
+/// Name of the legacy single-file store a cache directory may carry
+/// (written by [`ArtifactStore::save`] before the tiered cache existed);
+/// imported as a warm L1 on open.
+const LEGACY_STORE_FILE: &str = "cache.pldstore";
+
+/// An L1 in-memory [`ArtifactStore`] over an optional persistent L2
+/// [`DiskCache`], with speculative-hit accounting on top.
+///
+/// `TieredCache::new()` is memory-only and behaves exactly like a bare
+/// [`ArtifactStore`]; [`TieredCache::open`] attaches a shared store
+/// directory. Products fetched out of L2 are promoted into L1; products
+/// filed while building are written through to L2 immediately (append-only
+/// segments), so a crash loses nothing that was filed. LRU stamps and the
+/// eviction metadata live in the L2 index, published atomically by
+/// [`TieredCache::persist`].
+#[derive(Default)]
+pub struct TieredCache {
+    l1: ArtifactStore,
+    l2: Option<DiskCache>,
+    /// Byte budget enforced on L2 at [`TieredCache::persist`] time.
+    budget: Option<u64>,
+    /// Prices the recompute cost of a product for eviction weighting.
+    vt: VtimeModel,
+    /// Keys filed speculatively and not yet demanded.
+    spec_marks: HashSet<StageKey>,
+    spec_hits: u64,
+}
+
+impl TieredCache {
+    /// Creates a memory-only cache (no L2).
+    pub fn new() -> TieredCache {
+        TieredCache::default()
+    }
+
+    /// Wraps an existing in-memory store as a memory-only cache.
+    pub fn from_store(store: ArtifactStore) -> TieredCache {
+        TieredCache {
+            l1: store,
+            l2: None,
+            budget: None,
+            vt: VtimeModel::default(),
+            spec_marks: HashSet::new(),
+            spec_hits: 0,
+        }
+    }
+
+    /// Opens (or creates) a shared persistent cache directory as the L2.
+    ///
+    /// Lock-free: the directory is scanned (index first, then any segment
+    /// records the index misses), and this instance gets its own fresh
+    /// append segment, so any number of builder processes can hold the
+    /// same directory open. A legacy `cache.pldstore` file in the
+    /// directory (v2 or v3) is imported as warm L1 contents. Corrupt
+    /// index/segment bytes degrade to a cold start, never an error.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors (directory creation); corrupt cache
+    /// *contents* are skipped, not reported.
+    pub fn open(dir: impl AsRef<Path>) -> io::Result<TieredCache> {
+        TieredCache::open_with(dir, None)
+    }
+
+    /// [`TieredCache::open`] with a byte budget for the on-disk tier:
+    /// [`TieredCache::persist`] evicts the lowest saved-vtime-per-byte
+    /// entries until the live bytes fit.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors (directory creation).
+    pub fn open_with(dir: impl AsRef<Path>, budget: Option<u64>) -> io::Result<TieredCache> {
+        let dir = dir.as_ref();
+        let l2 = DiskCache::open(dir)?;
+        let mut l1 = ArtifactStore::new();
+        if let Ok(legacy) = ArtifactStore::load(dir.join(LEGACY_STORE_FILE)) {
+            l1.merge(legacy);
+        }
+        Ok(TieredCache {
+            l1,
+            l2: Some(l2),
+            budget,
+            vt: VtimeModel::default(),
+            spec_marks: HashSet::new(),
+            spec_hits: 0,
+        })
+    }
+
+    /// The L1 in-memory store.
+    pub fn l1(&self) -> &ArtifactStore {
+        &self.l1
+    }
+
+    /// Mutable access to the L1 store. Writes land in memory only; use
+    /// [`CacheBackend::put`] for write-through.
+    pub fn l1_mut(&mut self) -> &mut ArtifactStore {
+        &mut self.l1
+    }
+
+    /// The store directory, when an L2 is attached.
+    pub fn dir(&self) -> Option<&PathBuf> {
+        self.l2.as_ref().map(DiskCache::dir)
+    }
+
+    /// Number of products in the persistent tier (0 when memory-only).
+    pub fn disk_len(&self) -> usize {
+        self.l2.as_ref().map_or(0, DiskCache::len)
+    }
+
+    /// Live payload bytes in the persistent tier.
+    pub fn disk_bytes(&self) -> u64 {
+        self.l2.as_ref().map_or(0, DiskCache::live_bytes)
+    }
+
+    /// Enforces the byte budget (if any) and publishes the L2 index
+    /// atomically. Keys evicted to fit the budget are returned. A no-op
+    /// for a memory-only cache.
+    ///
+    /// When entries were evicted, a compaction is attempted so the freed
+    /// bytes are actually reclaimed (and the evictees cannot resurrect on
+    /// a rescan); if another process holds the compaction lock the dead
+    /// bytes simply wait for the next persist.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors from the index publish.
+    pub fn persist(&mut self) -> io::Result<Vec<StageKey>> {
+        let Some(l2) = &mut self.l2 else {
+            return Ok(Vec::new());
+        };
+        let evicted = match self.budget {
+            Some(budget) => l2.enforce_budget(budget),
+            None => Vec::new(),
+        };
+        l2.publish()?;
+        if !evicted.is_empty() {
+            l2.compact()?;
+        }
+        Ok(evicted)
+    }
+
+    /// Compacts the persistent tier: rewrites live entries into one fresh
+    /// segment and deletes the rest, under the advisory compaction lock.
+    /// Returns `false` (without touching anything) when another process
+    /// holds the lock. A no-op `Ok(false)` for a memory-only cache.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors from the rewrite.
+    pub fn compact(&mut self) -> io::Result<bool> {
+        match &mut self.l2 {
+            Some(l2) => l2.compact(),
+            None => Ok(false),
+        }
+    }
+}
+
+impl CacheBackend for TieredCache {
+    fn contains(&self, key: StageKey) -> bool {
+        self.l1.get(key).is_some() || self.l2.as_ref().is_some_and(|l2| l2.contains(key))
+    }
+
+    fn fetch(&mut self, key: StageKey) -> Option<StageProduct> {
+        let product = match self.l1.get(key) {
+            Some(p) => {
+                let p = p.clone();
+                if let Some(l2) = &mut self.l2 {
+                    l2.touch(key);
+                }
+                p
+            }
+            None => {
+                let p = self.l2.as_mut().and_then(|l2| l2.read(key))?;
+                self.l1.insert(key, p.clone());
+                p
+            }
+        };
+        if self.spec_marks.remove(&key) {
+            self.spec_hits += 1;
+        }
+        Some(product)
+    }
+
+    fn put(&mut self, key: StageKey, product: StageProduct) {
+        if let Some(l2) = &mut self.l2 {
+            if !l2.contains(key) {
+                let cost = saved_vtime_seconds(&self.vt, &product);
+                l2.append(key, &product, cost);
+            }
+        }
+        self.l1.insert(key, product);
+    }
+
+    fn put_speculative(&mut self, key: StageKey, product: StageProduct) {
+        if !self.contains(key) {
+            self.spec_marks.insert(key);
+        }
+        self.put(key, product);
+    }
+
+    fn speculative_hits(&self) -> u64 {
+        self.spec_hits
+    }
+
+    fn len(&self) -> usize {
+        // L2 may hold products evicted from nowhere (l1 misses); count the
+        // union without materializing it.
+        match &self.l2 {
+            None => self.l1.len(),
+            Some(l2) => {
+                let extra = l2.keys().filter(|k| self.l1.get(*k).is_none()).count();
+                self.l1.len() + extra
+            }
+        }
+    }
+
+    fn count_kind(&self, kind: StageKind) -> usize {
+        match &self.l2 {
+            None => self.l1.count_kind(kind),
+            Some(l2) => {
+                let extra = l2
+                    .keys()
+                    .filter(|k| k.kind == kind && self.l1.get(*k).is_none())
+                    .count();
+                self.l1.count_kind(kind) + extra
+            }
+        }
+    }
+
+    fn snapshot(&self) -> ArtifactStore {
+        let mut view = self.l1.clone();
+        if let Some(l2) = &self.l2 {
+            for key in l2.keys().collect::<Vec<_>>() {
+                if view.get(key).is_none() {
+                    if let Some(product) = l2.read_unstamped(key) {
+                        view.insert(key, product);
+                    }
+                }
+            }
+        }
+        view
+    }
+}
+
+impl Drop for TieredCache {
+    /// Best-effort index publish so a cache that was never explicitly
+    /// persisted still leaves its metadata behind (the segments themselves
+    /// were written through at `put` time and survive regardless).
+    fn drop(&mut self) {
+        if let Some(l2) = &mut self.l2 {
+            let _ = l2.publish();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::artifact::Driver;
+
+    fn tmp_dir(tag: &str) -> std::path::PathBuf {
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .as_nanos();
+        let dir = std::env::temp_dir().join(format!(
+            "pld-cache-test-{tag}-{}-{nanos}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn driver_product(n: usize) -> StageProduct {
+        StageProduct::Driver(Driver {
+            loads: vec![crate::artifact::LoadOp::Overlay; n],
+            links: Vec::new(),
+        })
+    }
+
+    fn key(hash: u64) -> StageKey {
+        StageKey {
+            kind: StageKind::LinkDriver,
+            hash,
+        }
+    }
+
+    #[test]
+    fn memory_only_tiered_cache_matches_artifact_store() {
+        let mut tiered = TieredCache::new();
+        let mut plain = ArtifactStore::new();
+        for h in 0..4 {
+            tiered.put(key(h), driver_product(h as usize));
+            CacheBackend::put(&mut plain, key(h), driver_product(h as usize));
+        }
+        assert_eq!(CacheBackend::len(&tiered), CacheBackend::len(&plain));
+        for h in 0..4 {
+            assert_eq!(tiered.fetch(key(h)), plain.fetch(key(h)));
+        }
+        assert_eq!(tiered.snapshot().to_bytes(), plain.snapshot().to_bytes());
+    }
+
+    #[test]
+    fn products_survive_reopen_and_promote_into_l1() {
+        let dir = tmp_dir("reopen");
+        {
+            let mut cache = TieredCache::open(&dir).unwrap();
+            cache.put(key(7), driver_product(3));
+            cache.persist().unwrap();
+        }
+        let mut cache = TieredCache::open(&dir).unwrap();
+        assert!(cache.contains(key(7)));
+        assert!(cache.l1().get(key(7)).is_none(), "not in L1 before fetch");
+        assert_eq!(cache.fetch(key(7)), Some(driver_product(3)));
+        assert!(cache.l1().get(key(7)).is_some(), "promoted on fetch");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn unpersisted_products_recover_from_the_segment_scan() {
+        let dir = tmp_dir("scan");
+        {
+            let mut cache = TieredCache::open(&dir).unwrap();
+            cache.put(key(9), driver_product(1));
+            // No persist: simulate a crash before the index publish. The
+            // Drop publish is also skipped by removing the index after.
+        }
+        std::fs::remove_file(dir.join("index.pldidx")).ok();
+        let mut cache = TieredCache::open(&dir).unwrap();
+        assert_eq!(cache.fetch(key(9)), Some(driver_product(1)));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn speculative_puts_count_hits_once() {
+        let mut cache = TieredCache::new();
+        cache.put_speculative(key(1), driver_product(1));
+        cache.put(key(2), driver_product(2));
+        assert_eq!(cache.speculative_hits(), 0);
+        cache.fetch(key(1));
+        cache.fetch(key(1));
+        cache.fetch(key(2));
+        assert_eq!(cache.speculative_hits(), 1);
+    }
+
+    #[test]
+    fn speculative_put_over_existing_key_is_not_a_mark() {
+        let mut cache = TieredCache::new();
+        cache.put(key(1), driver_product(1));
+        cache.put_speculative(key(1), driver_product(1));
+        cache.fetch(key(1));
+        assert_eq!(cache.speculative_hits(), 0);
+    }
+
+    #[test]
+    fn legacy_single_file_store_is_imported() {
+        let dir = tmp_dir("legacy");
+        let mut legacy = ArtifactStore::new();
+        legacy.insert(key(5), driver_product(2));
+        legacy.save(dir.join(LEGACY_STORE_FILE)).unwrap();
+        let mut cache = TieredCache::open(&dir).unwrap();
+        assert_eq!(cache.fetch(key(5)), Some(driver_product(2)));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn compaction_preserves_products_and_collapses_segments() {
+        let dir = tmp_dir("compact");
+        {
+            let mut a = TieredCache::open(&dir).unwrap();
+            let mut b = TieredCache::open(&dir).unwrap();
+            a.put(key(1), driver_product(1));
+            b.put(key(2), driver_product(2));
+            a.persist().unwrap();
+            b.persist().unwrap();
+        }
+        let mut cache = TieredCache::open(&dir).unwrap();
+        assert!(cache.compact().unwrap());
+        let segs = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter(|e| {
+                let name = e.as_ref().unwrap().file_name();
+                let name = name.to_string_lossy().into_owned();
+                name.starts_with("seg-") && name.ends_with(".pldseg")
+            })
+            .count();
+        assert_eq!(segs, 1, "one surviving segment after compaction");
+        assert_eq!(cache.fetch(key(1)), Some(driver_product(1)));
+        assert_eq!(cache.fetch(key(2)), Some(driver_product(2)));
+        // A second opener still reads everything post-compaction.
+        let mut other = TieredCache::open(&dir).unwrap();
+        assert_eq!(other.fetch(key(1)), Some(driver_product(1)));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn compaction_lock_is_advisory() {
+        let dir = tmp_dir("lock");
+        let mut cache = TieredCache::open(&dir).unwrap();
+        cache.put(key(1), driver_product(1));
+        std::fs::write(dir.join("compact.lock"), b"").unwrap();
+        assert!(!cache.compact().unwrap(), "held lock skips compaction");
+        std::fs::remove_file(dir.join("compact.lock")).unwrap();
+        assert!(cache.compact().unwrap());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,337 @@
+//! Speculative compiles: warm the cache ahead of the next edit.
+//!
+//! After a demand build finishes, the farm's workers go idle while the
+//! developer reads results and edits — exactly when a little guessing is
+//! free. The predictor proposes stage keys the *next* compile is likely to
+//! want and files them as cancellable background jobs:
+//!
+//! * **Extra P&R seeds** for each just-edited hardware operator: seed `i`
+//!   of the `race_seed` ladder, filed under its plain
+//!   single-seed key — so a follow-up "try another seed" rebuild (or a
+//!   wider seed race) is a cache hit.
+//! * **The other compile tier** for edited operators and their dataflow
+//!   neighbors: the softcore front for a hardware operator, the HLS front
+//!   for a softcore one — so flipping a `#pragma target` (or dropping from
+//!   `-O1` to `-O0` to iterate faster) starts warm.
+//!
+//! Background jobs poll a [`farm::BackgroundCancel`] between stages and
+//! return whatever partial products they finished; a demand compile
+//! cancels the batch on arrival ([`Speculator::absorb`]) and merges the
+//! partials into the cache via [`CacheBackend::put_speculative`], which
+//! marks them so the first demand fetch counts toward
+//! [`CacheBackend::speculative_hits`].
+
+use std::collections::HashSet;
+
+use dfg::{Graph, Target};
+
+use crate::build::{hls_key, kernel_hash, race_place_route, race_seed, stage_key};
+use crate::cache::CacheBackend;
+use crate::farm;
+use crate::flow::{
+    assign_pages_with, fnv, source_hash, wrap_with_leaf_interface, CompileOptions, OptLevel,
+    SeedRace,
+};
+use crate::incremental::dirty_set;
+use crate::store::{HlsProduct, SoftProduct, StageKey, StageKind, StageProduct};
+use crate::{Xclbin, XclbinKind};
+
+/// Tuning for the speculative compile pipeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpeculationConfig {
+    /// Farm workers the background batch may occupy.
+    pub workers: usize,
+    /// Extra single-seed P&R attempts to pre-compile per edited hardware
+    /// operator (seed ladder indices `1..=extra_seeds`).
+    pub extra_seeds: u32,
+    /// Cap on background jobs per batch — speculation must never swamp
+    /// the farm the next demand build wants back.
+    pub max_jobs: usize,
+}
+
+impl Default for SpeculationConfig {
+    fn default() -> SpeculationConfig {
+        SpeculationConfig {
+            workers: 2,
+            extra_seeds: 2,
+            max_jobs: 8,
+        }
+    }
+}
+
+/// Counters for what speculation did (hits are counted by the cache; see
+/// [`CacheBackend::speculative_hits`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpeculationStats {
+    /// Background batches launched.
+    pub batches: u64,
+    /// Jobs submitted across all batches.
+    pub jobs_launched: u64,
+    /// Stage products merged into the cache from completed jobs.
+    pub products_merged: u64,
+}
+
+type SpecJob = Box<dyn FnOnce(&farm::BackgroundCancel) -> Vec<(StageKey, StageProduct)> + Send>;
+
+/// Drives speculative compiles between demand builds. Owned by
+/// [`crate::BuildCache`] when speculation is enabled; at most one
+/// background batch is in flight at a time.
+#[derive(Default)]
+pub struct Speculator {
+    config: SpeculationConfig,
+    inflight: Option<farm::BackgroundJobs<Vec<(StageKey, StageProduct)>>>,
+    stats: SpeculationStats,
+}
+
+impl Speculator {
+    /// Creates a speculator with the given tuning.
+    pub fn new(config: SpeculationConfig) -> Speculator {
+        Speculator {
+            config,
+            inflight: None,
+            stats: SpeculationStats::default(),
+        }
+    }
+
+    /// What speculation has done so far.
+    pub fn stats(&self) -> SpeculationStats {
+        self.stats
+    }
+
+    /// Whether a background batch is currently in flight.
+    pub fn in_flight(&self) -> bool {
+        self.inflight.is_some()
+    }
+
+    /// Cancels any in-flight batch (demand work has arrived) and merges
+    /// every product the jobs managed to finish into `cache`.
+    pub fn absorb<C: CacheBackend>(&mut self, cache: &mut C) {
+        if let Some(bg) = self.inflight.take() {
+            bg.cancel();
+            self.merge(bg.wait(), cache);
+        }
+    }
+
+    /// Waits for the in-flight batch to run to completion (no
+    /// cancellation) and merges its products — the deterministic variant
+    /// tests and benchmarks use.
+    pub fn wait_absorb<C: CacheBackend>(&mut self, cache: &mut C) {
+        if let Some(bg) = self.inflight.take() {
+            self.merge(bg.wait(), cache);
+        }
+    }
+
+    fn merge<C: CacheBackend>(
+        &mut self,
+        batches: Vec<Vec<(StageKey, StageProduct)>>,
+        cache: &mut C,
+    ) {
+        for (key, product) in batches.into_iter().flatten() {
+            self.stats.products_merged += 1;
+            cache.put_speculative(key, product);
+        }
+    }
+
+    /// Predicts likely-next stage keys for the edit `prev → graph` and
+    /// launches background jobs for the missing ones. Absorbs any previous
+    /// batch first, so at most one is ever in flight.
+    pub fn launch<C: CacheBackend>(
+        &mut self,
+        prev: Option<&Graph>,
+        graph: &Graph,
+        options: &CompileOptions,
+        cache: &mut C,
+    ) {
+        self.absorb(cache);
+        let jobs = predict(prev, graph, options, cache, &self.config);
+        if jobs.is_empty() {
+            return;
+        }
+        self.stats.batches += 1;
+        self.stats.jobs_launched += jobs.len() as u64;
+        self.inflight = Some(farm::run_jobs_background(jobs, self.config.workers));
+    }
+}
+
+/// Builds the background job list for one edit. Pure prediction: only
+/// keys missing from `cache` become jobs, capped at `config.max_jobs`.
+fn predict<C: CacheBackend>(
+    prev: Option<&Graph>,
+    graph: &Graph,
+    options: &CompileOptions,
+    cache: &mut C,
+    config: &SpeculationConfig,
+) -> Vec<SpecJob> {
+    // -O3 has no reusable per-operator stage structure worth guessing, and
+    // a first-ever build has no edit to extrapolate from.
+    if options.level == OptLevel::O3 {
+        return Vec::new();
+    }
+    let Some(prev) = prev else { return Vec::new() };
+    let dirty: HashSet<String> = dirty_set(prev, graph).into_iter().collect();
+    if dirty.is_empty() {
+        return Vec::new();
+    }
+
+    // Focus set: the edited operators, then their dataflow neighbors (the
+    // developer is working in this region of the graph), in graph order.
+    let mut focus: Vec<usize> = Vec::new();
+    let mut in_focus = vec![false; graph.operators.len()];
+    for (i, op) in graph.operators.iter().enumerate() {
+        if dirty.contains(&op.name) {
+            focus.push(i);
+            in_focus[i] = true;
+        }
+    }
+    let dirty_idx: Vec<usize> = focus.clone();
+    for edge in &graph.edges {
+        let (a, b) = ((edge.from.0).0, (edge.to.0).0);
+        for (this, other) in [(a, b), (b, a)] {
+            if dirty_idx.contains(&this) && !in_focus[other] {
+                focus.push(other);
+                in_focus[other] = true;
+            }
+        }
+    }
+
+    let force_riscv = options.level == OptLevel::O0;
+    let Ok(pages) = assign_pages_with(graph, &options.floorplan, force_riscv, options.page_assign)
+    else {
+        return Vec::new();
+    };
+    let device_hash = fnv(format!("{:?}", options.floorplan.device).as_bytes());
+
+    let mut jobs: Vec<SpecJob> = Vec::new();
+    for &i in &focus {
+        if jobs.len() >= config.max_jobs {
+            break;
+        }
+        let op = &graph.operators[i];
+        let (target, page) = pages[i];
+        let khash = kernel_hash(&op.kernel);
+        let edited = dirty.contains(&op.name);
+
+        if let (Target::Hw { .. }, true) = (target, edited) {
+            // Extra seeds of the race ladder for the operator just edited:
+            // filed under the plain single-seed P&R key, exactly what a
+            // reseeded rebuild (or a race alias probe) will ask for.
+            let rect = options.floorplan.pages[page.0 as usize].rect;
+            let base_seed = options.seed ^ fnv(op.name.as_bytes());
+            let src_hash = source_hash(&op.kernel, target);
+            for i in 1..=config.extra_seeds {
+                if jobs.len() >= config.max_jobs {
+                    break;
+                }
+                let seed = race_seed(base_seed, i);
+                let pnr_key = stage_key(
+                    StageKind::PlaceRoute,
+                    &[
+                        khash,
+                        rect.x0 as u64,
+                        rect.y0 as u64,
+                        rect.w as u64,
+                        rect.h as u64,
+                        device_hash,
+                        seed,
+                    ],
+                );
+                if cache.contains(pnr_key) {
+                    continue;
+                }
+                let Some(hls) = cache.fetch_hls(hls_key(khash).hash) else {
+                    continue;
+                };
+                let pack_key = stage_key(
+                    StageKind::BitstreamPack,
+                    &[
+                        pnr_key.hash,
+                        page.0 as u64,
+                        fnv(op.name.as_bytes()),
+                        src_hash,
+                    ],
+                );
+                let device = options.floorplan.device.clone();
+                let name = op.name.clone();
+                jobs.push(Box::new(move |cancel: &farm::BackgroundCancel| {
+                    let mut out = Vec::new();
+                    if cancel.cancelled() {
+                        return out;
+                    }
+                    let wrapped = wrap_with_leaf_interface(&hls.netlist);
+                    let race = SeedRace {
+                        attempts: 1,
+                        target_fmax_mhz: 0.0,
+                    };
+                    let Ok(pnr) = race_place_route(&wrapped, &device, rect, seed, &race, 1) else {
+                        return out;
+                    };
+                    out.push((pnr_key, StageProduct::Pnr(pnr.clone())));
+                    // Stage boundary: packing is cheap, but respect demand.
+                    if cancel.cancelled() {
+                        return out;
+                    }
+                    let hash = pnr.bitstream.payload_hash ^ src_hash;
+                    out.push((
+                        pack_key,
+                        StageProduct::Pack(Xclbin {
+                            name: format!("{name}.xclbin"),
+                            kind: XclbinKind::Page {
+                                page,
+                                bitstream: pnr.bitstream,
+                            },
+                            hash,
+                        }),
+                    ));
+                    out
+                }));
+            }
+        }
+
+        if jobs.len() >= config.max_jobs {
+            break;
+        }
+        // The other compile tier's front stage for this operator — cheap
+        // insurance against a target flip or an -O level change.
+        match target {
+            Target::Hw { .. } => {
+                let key = stage_key(StageKind::SoftcoreCc, &[khash]);
+                if !cache.contains(key) {
+                    let kernel = op.kernel.clone();
+                    jobs.push(Box::new(move |cancel: &farm::BackgroundCancel| {
+                        if cancel.cancelled() {
+                            return Vec::new();
+                        }
+                        match softcore::compile_kernel(&kernel) {
+                            Ok(binary) => {
+                                vec![(key, StageProduct::Soft(SoftProduct { binary }))]
+                            }
+                            Err(_) => Vec::new(),
+                        }
+                    }));
+                }
+            }
+            Target::Riscv { .. } => {
+                let key = hls_key(khash);
+                if !cache.contains(key) {
+                    let kernel = op.kernel.clone();
+                    jobs.push(Box::new(move |cancel: &farm::BackgroundCancel| {
+                        if cancel.cancelled() {
+                            return Vec::new();
+                        }
+                        match hlsim::compile(&kernel) {
+                            Ok(out) => vec![(
+                                key,
+                                StageProduct::Hls(HlsProduct {
+                                    netlist: out.netlist,
+                                    report: out.report,
+                                }),
+                            )],
+                            Err(_) => Vec::new(),
+                        }
+                    }));
+                }
+            }
+        }
+    }
+    jobs
+}

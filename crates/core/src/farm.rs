@@ -233,6 +233,129 @@ pub fn race_outcome(results: &[Option<RaceResult>]) -> Option<(usize, usize)> {
     best.map(|(_, i)| (i, horizon))
 }
 
+/// Cooperative cancellation handle for a background (speculative) job.
+///
+/// Background jobs poll [`BackgroundCancel::cancelled`] at stage
+/// boundaries and bail early — returning whatever partial results they
+/// already have — once a demand build arrives and wants the workers back.
+#[derive(Clone)]
+pub struct BackgroundCancel {
+    flag: Arc<std::sync::atomic::AtomicBool>,
+}
+
+impl BackgroundCancel {
+    /// Whether the batch has been cancelled.
+    pub fn cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+}
+
+/// A batch of background jobs in flight on farm workers.
+///
+/// Unlike [`run_jobs`], submission returns immediately; the caller later
+/// [`BackgroundJobs::cancel`]s (demand work arrived) or
+/// [`BackgroundJobs::wait`]s, then collects whatever completed with
+/// [`BackgroundJobs::drain`]. Panicking jobs are isolated exactly as in
+/// [`run_jobs`]; their outcomes are simply dropped at drain time.
+pub struct BackgroundJobs<T> {
+    done_rx: mpsc::Receiver<JobOutcome<T>>,
+    handles: Vec<thread::JoinHandle<()>>,
+    cancel: BackgroundCancel,
+    /// Jobs submitted to the batch (not all necessarily ran).
+    pub submitted: usize,
+}
+
+impl<T> BackgroundJobs<T> {
+    /// Raises the cancellation flag. Queued jobs that have not started are
+    /// discarded; running jobs see it at their next check.
+    pub fn cancel(&self) {
+        self.cancel.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// Collects the results of every job that completed so far without
+    /// waiting for stragglers still running. Panicked jobs are dropped.
+    pub fn drain(&mut self) -> Vec<T> {
+        self.done_rx
+            .try_iter()
+            .filter_map(|o| o.result.ok())
+            .collect()
+    }
+
+    /// Joins the workers and collects every completed job's result —
+    /// typically after [`BackgroundJobs::cancel`], to pick up the partial
+    /// work of jobs that bailed mid-flight.
+    pub fn wait(mut self) -> Vec<T> {
+        for h in self.handles.drain(..) {
+            h.join()
+                .expect("farm workers never panic (jobs are caught)");
+        }
+        self.done_rx
+            .try_iter()
+            .filter_map(|o| o.result.ok())
+            .collect()
+    }
+}
+
+/// Submits `jobs` to `workers` background threads and returns immediately.
+/// Each job receives a [`BackgroundCancel`] it is expected to poll; a job
+/// pulled from the queue after cancellation is dropped unrun.
+pub fn run_jobs_background<T, F>(jobs: Vec<F>, workers: usize) -> BackgroundJobs<T>
+where
+    T: Send + 'static,
+    F: FnOnce(&BackgroundCancel) -> T + Send + 'static,
+{
+    let workers = workers.max(1);
+    let cancel = BackgroundCancel {
+        flag: Arc::new(std::sync::atomic::AtomicBool::new(false)),
+    };
+    let (work_tx, work_rx) = mpsc::channel::<(usize, F)>();
+    let work_rx = Arc::new(std::sync::Mutex::new(work_rx));
+    let (done_tx, done_rx) = mpsc::channel::<JobOutcome<T>>();
+
+    let n = jobs.len();
+    for (i, job) in jobs.into_iter().enumerate() {
+        work_tx.send((i, job)).expect("queue open");
+    }
+    drop(work_tx);
+
+    let mut handles = Vec::new();
+    for _ in 0..workers.min(n.max(1)) {
+        let rx = Arc::clone(&work_rx);
+        let tx = done_tx.clone();
+        let cancel = cancel.clone();
+        handles.push(thread::spawn(move || loop {
+            let job = { rx.lock().expect("farm queue lock").recv() };
+            match job {
+                Ok((index, f)) => {
+                    if cancel.cancelled() {
+                        continue; // drain the queue without running
+                    }
+                    let t0 = std::time::Instant::now();
+                    let result =
+                        catch_unwind(AssertUnwindSafe(|| f(&cancel))).map_err(panic_message);
+                    let outcome = JobOutcome {
+                        index,
+                        result,
+                        wall_seconds: t0.elapsed().as_secs_f64(),
+                    };
+                    if tx.send(outcome).is_err() {
+                        return;
+                    }
+                }
+                Err(_) => return,
+            }
+        }));
+    }
+    drop(done_tx);
+
+    BackgroundJobs {
+        done_rx,
+        handles,
+        cancel,
+        submitted: n,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -417,6 +540,58 @@ mod tests {
             // Best cost 2.0 is shared; the tie goes to the lowest index.
             assert_eq!(race_outcome(&results), Some((1, 4)));
         }
+    }
+
+    type TestJob = Box<dyn FnOnce(&BackgroundCancel) -> usize + Send>;
+
+    #[test]
+    fn background_jobs_run_to_completion_when_not_cancelled() {
+        let jobs: Vec<TestJob> = (0..6usize)
+            .map(|i| Box::new(move |_: &BackgroundCancel| i * 2) as TestJob)
+            .collect();
+        let bg = run_jobs_background(jobs, 3);
+        assert_eq!(bg.submitted, 6);
+        let mut results = bg.wait();
+        results.sort_unstable();
+        assert_eq!(results, vec![0, 2, 4, 6, 8, 10]);
+    }
+
+    #[test]
+    fn cancelled_background_jobs_drop_queued_work_and_keep_partials() {
+        // One worker, a gate on the first job: cancel while job 0 is
+        // mid-flight, then verify job 0's partial result arrives and the
+        // queued jobs never ran.
+        let gate = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let ran = Arc::new(AtomicUsize::new(0));
+        let mut jobs: Vec<TestJob> = Vec::new();
+        {
+            let gate = Arc::clone(&gate);
+            let ran = Arc::clone(&ran);
+            jobs.push(Box::new(move |cancel: &BackgroundCancel| {
+                ran.fetch_add(1, Ordering::Relaxed);
+                while !gate.load(Ordering::Relaxed) {
+                    thread::sleep(Duration::from_millis(1));
+                }
+                // Stage boundary: bail with the partial value.
+                if cancel.cancelled() {
+                    return 1;
+                }
+                2
+            }));
+        }
+        for _ in 0..4 {
+            let ran = Arc::clone(&ran);
+            jobs.push(Box::new(move |_: &BackgroundCancel| {
+                ran.fetch_add(1, Ordering::Relaxed);
+                99
+            }));
+        }
+        let bg = run_jobs_background(jobs, 1);
+        bg.cancel();
+        gate.store(true, Ordering::Relaxed);
+        let results = bg.wait();
+        assert_eq!(results, vec![1], "only job 0's partial result");
+        assert_eq!(ran.load(Ordering::Relaxed), 1, "queued jobs never ran");
     }
 
     #[test]

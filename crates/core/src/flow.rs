@@ -487,12 +487,12 @@ pub fn monolithic_region(floorplan: &Floorplan) -> Rect {
     Rect::new(2, 0, d.width - 2, d.height)
 }
 
-pub(crate) fn compile_monolithic(
+pub(crate) fn compile_monolithic<C: crate::cache::CacheBackend>(
     graph: &Graph,
     ir: DfgIr,
     options: &CompileOptions,
     t0: std::time::Instant,
-    store: &mut crate::store::ArtifactStore,
+    store: &mut C,
     report: &mut crate::build::BuildReport,
 ) -> Result<CompiledApp, CompileError> {
     // HLS every operator — through the shared store, so a netlist already
@@ -508,8 +508,8 @@ pub(crate) fn compile_monolithic(
 
     for op in &graph.operators {
         let key = crate::build::hls_key(crate::build::kernel_hash(&op.kernel));
-        let (product, hit) = match store.get_hls(key.hash) {
-            Some(p) => (p.clone(), true),
+        let (product, hit) = match store.fetch_hls(key.hash) {
+            Some(p) => (p, true),
             None => {
                 let hls = hlsim::compile(&op.kernel).map_err(|error| CompileError::Hls {
                     op: op.name.clone(),
@@ -519,7 +519,7 @@ pub(crate) fn compile_monolithic(
                     netlist: hls.netlist,
                     report: hls.report,
                 };
-                store.insert(key, crate::store::StageProduct::Hls(p.clone()));
+                store.put(key, crate::store::StageProduct::Hls(p.clone()));
                 (p, false)
             }
         };

@@ -18,14 +18,19 @@ use std::io;
 use std::path::Path;
 
 use crate::build::{build, BuildReport};
+use crate::cache::{CacheBackend, SpeculationConfig, SpeculationStats, Speculator, TieredCache};
 use crate::flow::{source_hash, CompileError, CompileOptions, CompiledApp, OptLevel};
-use crate::store::{ArtifactStore, StageKind};
+use crate::store::{ArtifactStore, StageKey, StageKind};
 
 /// A persistent build cache across compiles of the same application,
-/// backed by the shared content-addressed [`ArtifactStore`].
+/// backed by a [`TieredCache`]: an in-memory L1 (the classic
+/// [`ArtifactStore`]) and, when opened on a directory, a persistent
+/// on-disk L2 shared with other builder processes. Optionally runs
+/// speculative compiles between demand builds
+/// ([`BuildCache::enable_speculation`]).
 #[derive(Default)]
 pub struct BuildCache {
-    store: ArtifactStore,
+    cache: TieredCache,
     /// Operators fully served from the store (zero stage executions),
     /// across all paged compiles.
     pub hits: u64,
@@ -33,18 +38,66 @@ pub struct BuildCache {
     /// compiles.
     pub misses: u64,
     last_report: Option<BuildReport>,
+    last_graph: Option<Graph>,
+    spec: Option<Speculator>,
 }
 
 impl BuildCache {
-    /// Creates an empty cache.
+    /// Creates an empty, memory-only cache.
     pub fn new() -> BuildCache {
         BuildCache::default()
+    }
+
+    /// Opens a cache over a shared persistent store directory: stage
+    /// products survive this process and are visible to every other
+    /// builder (or fleet device) holding the same directory open. See
+    /// [`TieredCache::open`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors; corrupt cache contents degrade to a
+    /// cold start.
+    pub fn open_dir(dir: impl AsRef<Path>) -> io::Result<BuildCache> {
+        Ok(BuildCache {
+            cache: TieredCache::open(dir)?,
+            ..BuildCache::default()
+        })
+    }
+
+    /// [`BuildCache::open_dir`] with a byte budget for the on-disk tier
+    /// (cost-weighted LRU eviction at [`BuildCache::persist`] time).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn open_dir_with(dir: impl AsRef<Path>, budget: Option<u64>) -> io::Result<BuildCache> {
+        Ok(BuildCache {
+            cache: TieredCache::open_with(dir, budget)?,
+            ..BuildCache::default()
+        })
+    }
+
+    /// Turns on speculative compiles: after each demand build, likely-next
+    /// stages are pre-compiled on background farm workers and merged into
+    /// the cache (see [`mod@crate::cache::speculate`]).
+    pub fn enable_speculation(&mut self, config: SpeculationConfig) {
+        self.spec = Some(Speculator::new(config));
+    }
+
+    /// Counters of what speculation has done, when enabled.
+    pub fn speculation_stats(&self) -> Option<SpeculationStats> {
+        self.spec.as_ref().map(Speculator::stats)
+    }
+
+    /// Demand stage fetches that were served by a speculative compile.
+    pub fn speculative_hits(&self) -> u64 {
+        self.cache.speculative_hits()
     }
 
     /// Number of cached packed artifacts (one per operator version/page the
     /// cache has ever built).
     pub fn len(&self) -> usize {
-        self.store.count_kind(StageKind::BitstreamPack)
+        self.cache.count_kind(StageKind::BitstreamPack)
     }
 
     /// Whether the cache holds nothing.
@@ -52,14 +105,24 @@ impl BuildCache {
         self.len() == 0
     }
 
-    /// The backing stage store.
+    /// The in-memory (L1) stage store.
     pub fn store(&self) -> &ArtifactStore {
-        &self.store
+        self.cache.l1()
     }
 
-    /// Mutable access to the backing stage store.
+    /// Mutable access to the in-memory (L1) stage store.
     pub fn store_mut(&mut self) -> &mut ArtifactStore {
-        &mut self.store
+        self.cache.l1_mut()
+    }
+
+    /// The backing tiered cache.
+    pub fn cache(&self) -> &TieredCache {
+        &self.cache
+    }
+
+    /// Mutable access to the backing tiered cache.
+    pub fn cache_mut(&mut self) -> &mut TieredCache {
+        &mut self.cache
     }
 
     /// Stage-level accounting of the most recent [`BuildCache::compile`].
@@ -67,13 +130,25 @@ impl BuildCache {
         self.last_report.as_ref()
     }
 
-    /// Persists the backing store to disk (see [`ArtifactStore::save`]).
+    /// Enforces the disk budget (if any) and publishes the persistent
+    /// index; returns any evicted keys. No-op for a memory-only cache.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn persist(&mut self) -> io::Result<Vec<StageKey>> {
+        self.cache.persist()
+    }
+
+    /// Persists the full store view to a single legacy-format file (see
+    /// [`ArtifactStore::save`]). Prefer [`BuildCache::open_dir`] +
+    /// [`BuildCache::persist`] for shared caches.
     ///
     /// # Errors
     ///
     /// Propagates filesystem errors.
     pub fn save(&self, path: impl AsRef<Path>) -> io::Result<()> {
-        self.store.save(path)
+        self.cache.snapshot().save(path)
     }
 
     /// Re-opens a cache persisted with [`BuildCache::save`]. Hit/miss
@@ -84,7 +159,7 @@ impl BuildCache {
     /// Propagates filesystem and format errors.
     pub fn load(path: impl AsRef<Path>) -> io::Result<BuildCache> {
         Ok(BuildCache {
-            store: ArtifactStore::load(path)?,
+            cache: TieredCache::from_store(ArtifactStore::load(path)?),
             ..BuildCache::default()
         })
     }
@@ -98,6 +173,11 @@ impl BuildCache {
     /// `-O3` compiles are excluded from the operator-level hit/miss
     /// counters.
     ///
+    /// With speculation enabled, any in-flight background batch is
+    /// cancelled first (this demand build wants the workers) and its
+    /// finished products merged; after the build, a new batch is launched
+    /// for the likely-next stages of this edit.
+    ///
     /// # Errors
     ///
     /// See [`CompileError`].
@@ -106,7 +186,10 @@ impl BuildCache {
         graph: &Graph,
         options: &CompileOptions,
     ) -> Result<CompiledApp, CompileError> {
-        let (app, report) = build(graph, options, &mut self.store)?;
+        if let Some(spec) = &mut self.spec {
+            spec.absorb(&mut self.cache);
+        }
+        let (app, report) = build(graph, options, &mut self.cache)?;
         if options.level != OptLevel::O3 {
             for op in &report.operators {
                 if op.executions == 0 {
@@ -117,7 +200,20 @@ impl BuildCache {
             }
         }
         self.last_report = Some(report);
+        if let Some(spec) = &mut self.spec {
+            spec.launch(self.last_graph.as_ref(), graph, options, &mut self.cache);
+        }
+        self.last_graph = Some(graph.clone());
         Ok(app)
+    }
+
+    /// Blocks until any in-flight speculative batch completes and merges
+    /// its products — the deterministic form tests and benchmarks use
+    /// before probing for speculative hits.
+    pub fn finish_speculation(&mut self) {
+        if let Some(spec) = &mut self.spec {
+            spec.wait_absorb(&mut self.cache);
+        }
     }
 }
 

@@ -53,6 +53,7 @@
 
 pub mod artifact;
 pub mod build;
+pub mod cache;
 pub mod cosim;
 pub mod execute;
 pub mod farm;
@@ -65,6 +66,9 @@ pub mod vtime;
 
 pub use artifact::{Driver, LinkOp, LoadOp, Xclbin, XclbinKind};
 pub use build::{build, build_batch, BuildReport, OperatorStages, StageCount};
+pub use cache::{
+    CacheBackend, DiskCache, SpeculationConfig, SpeculationStats, Speculator, TieredCache,
+};
 pub use cosim::{
     cosim_o0, cosim_o0_parallel, cosim_o0_with, CosimConfig, CosimError, CosimOutput,
     DEFAULT_COSIM_WINDOW,

@@ -54,7 +54,7 @@ impl StageKind {
         StageKind::LinkDriver,
     ];
 
-    fn tag(self) -> u8 {
+    pub(crate) fn tag(self) -> u8 {
         match self {
             StageKind::HlsLower => 0,
             StageKind::PlaceRoute => 1,
@@ -64,7 +64,7 @@ impl StageKind {
         }
     }
 
-    fn from_tag(tag: u8) -> io::Result<StageKind> {
+    pub(crate) fn from_tag(tag: u8) -> io::Result<StageKind> {
         Ok(match tag {
             0 => StageKind::HlsLower,
             1 => StageKind::PlaceRoute,
@@ -203,16 +203,46 @@ impl ArtifactStore {
     }
 
     /// Files a stage product under its key.
+    ///
+    /// Collision policy: **keep-first**. Content addressing means two
+    /// products filed under one key are the same work, so the incumbent
+    /// wins and the duplicate is dropped — debug builds additionally
+    /// assert the two products are equal, which is what turns a silent
+    /// hash collision (or a non-deterministic stage) into a loud failure
+    /// instead of a quietly corrupted cache.
     pub fn insert(&mut self, key: StageKey, product: StageProduct) {
-        self.entries.insert(key, product);
+        match self.entries.entry(key) {
+            std::collections::hash_map::Entry::Occupied(existing) => {
+                debug_assert_eq!(
+                    *existing.get(),
+                    product,
+                    "stage key {key} filed with two different products"
+                );
+            }
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                slot.insert(product);
+            }
+        }
     }
 
     /// Absorbs every entry of another store. Content addressing makes
     /// this conflict-free — equal keys name equal products — so merging
     /// the per-worker stores of a batch compile (or per-device caches
-    /// across a fleet) is a union, not a reconciliation.
+    /// across a fleet) is a union, not a reconciliation. Entries already
+    /// present keep the incumbent product ([`ArtifactStore::insert`]'s
+    /// keep-first policy, equality-asserted in debug builds).
     pub fn merge(&mut self, other: ArtifactStore) {
-        self.entries.extend(other.entries);
+        for (key, product) in other.entries {
+            self.insert(key, product);
+        }
+    }
+
+    /// Consumes the store into its entries, sorted by `(kind, hash)` so
+    /// downstream appends (e.g. into an on-disk segment) are deterministic.
+    pub(crate) fn into_entries(self) -> Vec<(StageKey, StageProduct)> {
+        let mut entries: Vec<_> = self.entries.into_iter().collect();
+        entries.sort_by_key(|(k, _)| (k.kind, k.hash));
+        entries
     }
 
     /// Typed lookup of an HLS product.
@@ -270,11 +300,32 @@ impl ArtifactStore {
         }
     }
 
-    /// Serializes the whole store into its on-disk byte format.
+    /// Serializes the whole store into its on-disk byte format (the
+    /// current `FORMAT_VERSION`, which ends in a whole-payload FNV-1a
+    /// checksum so bit rot is detected at load instead of decoding into
+    /// garbage artifacts).
     pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = self.body_bytes(FORMAT_VERSION);
+        let sum = crate::flow::fnv(&out);
+        put_u64(&mut out, sum);
+        out
+    }
+
+    /// Serializes the store in the legacy v2 layout (no checksum trailer).
+    ///
+    /// Kept as a writer so mixed-version fleets — and the compatibility
+    /// tests — can produce files an old reader accepts; new code should
+    /// use [`ArtifactStore::to_bytes`].
+    pub fn to_bytes_v2(&self) -> Vec<u8> {
+        self.body_bytes(2)
+    }
+
+    /// Magic, version, count and sorted entries — everything but the v3
+    /// checksum trailer.
+    fn body_bytes(&self, version: u32) -> Vec<u8> {
         let mut out = Vec::new();
         out.extend_from_slice(MAGIC);
-        put_u32(&mut out, FORMAT_VERSION);
+        put_u32(&mut out, version);
         put_u64(&mut out, self.entries.len() as u64);
         // Deterministic order: sort by (kind, hash).
         let mut keys: Vec<&StageKey> = self.entries.keys().collect();
@@ -288,19 +339,36 @@ impl ArtifactStore {
     }
 
     /// Reconstructs a store from [`ArtifactStore::to_bytes`] output.
+    /// Accepts the current checksummed v3 layout and the legacy v2 layout
+    /// (same entry encoding, no checksum) so caches written before the
+    /// bump stay warm.
     ///
     /// # Errors
     ///
-    /// Returns [`io::ErrorKind::InvalidData`] on a bad magic, version or
-    /// truncated/garbled payload.
+    /// Returns [`io::ErrorKind::InvalidData`] on a bad magic, version,
+    /// checksum mismatch, or truncated/garbled payload.
     pub fn from_bytes(bytes: &[u8]) -> io::Result<ArtifactStore> {
         let mut c = Cursor { buf: bytes, pos: 0 };
         if c.take(MAGIC.len())? != MAGIC {
             return Err(corrupt("bad magic"));
         }
-        if c.u32()? != FORMAT_VERSION {
-            return Err(corrupt("unsupported store format version"));
-        }
+        let version = c.u32()?;
+        let end = match version {
+            2 => bytes.len(),
+            3 => {
+                // The trailer checksums everything before it.
+                if bytes.len() < c.pos + 8 {
+                    return Err(corrupt("store file too short for checksum"));
+                }
+                let end = bytes.len() - 8;
+                let want = u64::from_le_bytes(bytes[end..].try_into().unwrap());
+                if crate::flow::fnv(&bytes[..end]) != want {
+                    return Err(corrupt("store checksum mismatch"));
+                }
+                end
+            }
+            _ => return Err(corrupt("unsupported store format version")),
+        };
         let n = c.u64()? as usize;
         let mut entries = HashMap::with_capacity(n);
         for _ in 0..n {
@@ -309,7 +377,7 @@ impl ArtifactStore {
             let product = get_product(&mut c)?;
             entries.insert(StageKey { kind, hash }, product);
         }
-        if c.pos != bytes.len() {
+        if c.pos != end {
             return Err(corrupt("trailing bytes after last entry"));
         }
         Ok(ArtifactStore { entries })
@@ -339,11 +407,32 @@ impl ArtifactStore {
 }
 
 const MAGIC: &[u8] = b"PLDSTORE";
-/// Bumped to 2 when [`PnrProduct`] grew the seed-race fields; the store is
-/// a cache, so old files are rejected rather than migrated.
-const FORMAT_VERSION: u32 = 2;
+/// Bumped to 2 when [`PnrProduct`] grew the seed-race fields (pre-2 files
+/// are rejected), and to 3 when the file gained a whole-payload FNV-1a
+/// checksum trailer for the persistent shared cache. v2 files — same entry
+/// encoding, no trailer — are still read, so pre-bump caches stay warm.
+const FORMAT_VERSION: u32 = 3;
 
-fn corrupt(msg: &'static str) -> io::Error {
+/// Encodes one stage product in the store's tagged binary layout — the
+/// same bytes an [`ArtifactStore::to_bytes`] entry carries, reused by the
+/// persistent cache's append-only segment records.
+pub(crate) fn encode_product(p: &StageProduct) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_product(&mut out, p);
+    out
+}
+
+/// Decodes one [`encode_product`] payload.
+pub(crate) fn decode_product(bytes: &[u8]) -> io::Result<StageProduct> {
+    let mut c = Cursor { buf: bytes, pos: 0 };
+    let product = get_product(&mut c)?;
+    if c.pos != bytes.len() {
+        return Err(corrupt("trailing bytes after product"));
+    }
+    Ok(product)
+}
+
+pub(crate) fn corrupt(msg: &'static str) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg)
 }
 
@@ -351,39 +440,39 @@ fn corrupt(msg: &'static str) -> io::Error {
 // Encoding primitives. Little-endian fixed-width integers, f64 as raw bits,
 // length-prefixed strings and byte arrays.
 
-fn put_u32(out: &mut Vec<u8>, v: u32) {
+pub(crate) fn put_u32(out: &mut Vec<u8>, v: u32) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
-fn put_u64(out: &mut Vec<u8>, v: u64) {
+pub(crate) fn put_u64(out: &mut Vec<u8>, v: u64) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
-fn put_i32(out: &mut Vec<u8>, v: i32) {
+pub(crate) fn put_i32(out: &mut Vec<u8>, v: i32) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
-fn put_f64(out: &mut Vec<u8>, v: f64) {
+pub(crate) fn put_f64(out: &mut Vec<u8>, v: f64) {
     put_u64(out, v.to_bits());
 }
 
-fn put_str(out: &mut Vec<u8>, s: &str) {
+pub(crate) fn put_str(out: &mut Vec<u8>, s: &str) {
     put_u64(out, s.len() as u64);
     out.extend_from_slice(s.as_bytes());
 }
 
-fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
+pub(crate) fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
     put_u64(out, b.len() as u64);
     out.extend_from_slice(b);
 }
 
-struct Cursor<'a> {
-    buf: &'a [u8],
-    pos: usize,
+pub(crate) struct Cursor<'a> {
+    pub(crate) buf: &'a [u8],
+    pub(crate) pos: usize,
 }
 
 impl<'a> Cursor<'a> {
-    fn take(&mut self, n: usize) -> io::Result<&'a [u8]> {
+    pub(crate) fn take(&mut self, n: usize) -> io::Result<&'a [u8]> {
         if self.pos + n > self.buf.len() {
             return Err(corrupt("unexpected end of store file"));
         }
@@ -392,37 +481,37 @@ impl<'a> Cursor<'a> {
         Ok(s)
     }
 
-    fn u8(&mut self) -> io::Result<u8> {
+    pub(crate) fn u8(&mut self) -> io::Result<u8> {
         Ok(self.take(1)?[0])
     }
 
-    fn u32(&mut self) -> io::Result<u32> {
+    pub(crate) fn u32(&mut self) -> io::Result<u32> {
         Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
     }
 
-    fn u64(&mut self) -> io::Result<u64> {
+    pub(crate) fn u64(&mut self) -> io::Result<u64> {
         Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
     }
 
-    fn i32(&mut self) -> io::Result<i32> {
+    pub(crate) fn i32(&mut self) -> io::Result<i32> {
         Ok(i32::from_le_bytes(self.take(4)?.try_into().unwrap()))
     }
 
-    fn f64(&mut self) -> io::Result<f64> {
+    pub(crate) fn f64(&mut self) -> io::Result<f64> {
         Ok(f64::from_bits(self.u64()?))
     }
 
-    fn usize(&mut self) -> io::Result<usize> {
+    pub(crate) fn usize(&mut self) -> io::Result<usize> {
         let v = self.u64()?;
         usize::try_from(v).map_err(|_| corrupt("length does not fit usize"))
     }
 
-    fn str(&mut self) -> io::Result<String> {
+    pub(crate) fn str(&mut self) -> io::Result<String> {
         let n = self.usize()?;
         String::from_utf8(self.take(n)?.to_vec()).map_err(|_| corrupt("invalid utf-8"))
     }
 
-    fn bytes(&mut self) -> io::Result<Vec<u8>> {
+    pub(crate) fn bytes(&mut self) -> io::Result<Vec<u8>> {
         let n = self.usize()?;
         Ok(self.take(n)?.to_vec())
     }
@@ -1167,6 +1256,73 @@ mod tests {
         let mut extra = sample_store().to_bytes();
         extra.push(0);
         assert!(ArtifactStore::from_bytes(&extra).is_err());
+    }
+
+    #[test]
+    fn checksum_catches_bit_flips() {
+        let bytes = sample_store().to_bytes();
+        for at in [MAGIC.len() + 4, bytes.len() / 2, bytes.len() - 9] {
+            let mut flipped = bytes.clone();
+            flipped[at] ^= 0x40;
+            assert!(
+                ArtifactStore::from_bytes(&flipped).is_err(),
+                "bit flip at {at} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn reads_legacy_v2_files() {
+        let store = sample_store();
+        let v2 = store.to_bytes_v2();
+        // v2 is the v3 body without the checksum trailer.
+        assert_eq!(v2.len() + 8, store.to_bytes().len());
+        let back = ArtifactStore::from_bytes(&v2).unwrap();
+        assert_eq!(back.to_bytes(), store.to_bytes());
+    }
+
+    #[test]
+    fn insert_keeps_first_product_for_identical_keys() {
+        let mut store = sample_store();
+        let key = StageKey {
+            kind: StageKind::HlsLower,
+            hash: 11,
+        };
+        let before = store.get(key).cloned().unwrap();
+        // Re-filing the same product under the same key is the normal
+        // content-addressed duplicate (batch merges, speculative compiles):
+        // keep-first makes it a no-op.
+        store.insert(key, before.clone());
+        assert_eq!(store.get(key), Some(&before));
+        assert_eq!(store.count_kind(StageKind::HlsLower), 1);
+
+        // Merge follows the same policy.
+        let mut other = ArtifactStore::new();
+        other.insert(key, before.clone());
+        let fresh_key = StageKey {
+            kind: StageKind::HlsLower,
+            hash: 99,
+        };
+        other.insert(fresh_key, before.clone());
+        store.merge(other);
+        assert_eq!(store.get(key), Some(&before));
+        assert_eq!(store.count_kind(StageKind::HlsLower), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "filed with two different products")]
+    #[cfg(debug_assertions)]
+    fn colliding_products_assert_in_debug() {
+        let mut store = sample_store();
+        let key = StageKey {
+            kind: StageKind::HlsLower,
+            hash: 11,
+        };
+        let mut different = store.get(key).cloned().unwrap();
+        if let StageProduct::Hls(h) = &mut different {
+            h.report.hls_work += 1;
+        }
+        store.insert(key, different);
     }
 
     #[test]

@@ -1,0 +1,292 @@
+//! Property tests for the persistent artifact cache: the on-disk codec
+//! round-trips (current v3 format and the v2 compatibility path), corrupted
+//! or truncated cache files degrade to a cold start instead of panicking,
+//! concurrent writer instances never corrupt each other, and the eviction
+//! order implements the saved-vtime-per-byte rule.
+
+use dfg::{Graph, GraphBuilder, Target};
+use kir::{Expr, KernelBuilder, Scalar, Stmt};
+use pld::cache::{eviction_order, EvictCandidate};
+use pld::{
+    build, ArtifactStore, CacheBackend, CompileOptions, Driver, LoadOp, OptLevel, StageKey,
+    StageKind, StageProduct, TieredCache,
+};
+use proptest::prelude::*;
+
+fn tmp_dir(tag: &str) -> std::path::PathBuf {
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .unwrap()
+        .as_nanos();
+    let dir = std::env::temp_dir().join(format!(
+        "pld-cache-props-{tag}-{}-{nanos}",
+        std::process::id()
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn stage(name: &str, addend: i64) -> kir::Kernel {
+    KernelBuilder::new(name)
+        .input("in", Scalar::uint(32))
+        .output("out", Scalar::uint(32))
+        .local("x", Scalar::uint(32))
+        .body([Stmt::for_pipelined(
+            "i",
+            0..16,
+            [
+                Stmt::read("x", "in"),
+                Stmt::write("out", Expr::var("x").add(Expr::cint(addend))),
+            ],
+        )])
+        .build()
+        .unwrap()
+}
+
+fn pipeline() -> Graph {
+    let mut b = GraphBuilder::new("pipe");
+    let a = b.add("a", stage("a", 1), Target::hw_auto());
+    let c = b.add("c", stage("c", 2), Target::riscv_auto());
+    let d = b.add("d", stage("d", 3), Target::hw_auto());
+    b.ext_input("Input_1", a, "in");
+    b.connect("l1", a, "out", c, "in");
+    b.connect("l2", c, "out", d, "in");
+    b.ext_output("Output_1", d, "out");
+    b.build().unwrap()
+}
+
+/// A store holding every product kind the real flow produces.
+fn built_store() -> ArtifactStore {
+    let mut store = ArtifactStore::new();
+    build(&pipeline(), &CompileOptions::new(OptLevel::O1), &mut store).unwrap();
+    store
+}
+
+fn driver_product(loads: &[u8]) -> StageProduct {
+    StageProduct::Driver(Driver {
+        loads: loads
+            .iter()
+            .map(|&i| match i % 3 {
+                0 => LoadOp::Overlay,
+                1 => LoadOp::PageBitstream {
+                    artifact: i as usize,
+                },
+                _ => LoadOp::SoftcoreImage {
+                    artifact: i as usize,
+                },
+            })
+            .collect(),
+        links: Vec::new(),
+    })
+}
+
+fn driver_key(hash: u64) -> StageKey {
+    StageKey {
+        kind: StageKind::LinkDriver,
+        hash,
+    }
+}
+
+/// All real product kinds survive the v3 byte codec and the v2
+/// compatibility reader bit-identically.
+#[test]
+fn built_store_round_trips_v3_and_v2() {
+    let store = built_store();
+    assert!(store.len() >= 7, "want all stage kinds represented");
+    let v3 = ArtifactStore::from_bytes(&store.to_bytes()).unwrap();
+    assert_eq!(v3.to_bytes(), store.to_bytes());
+    let v2 = ArtifactStore::from_bytes(&store.to_bytes_v2()).unwrap();
+    assert_eq!(v2.to_bytes(), store.to_bytes());
+}
+
+/// Cost-weighted eviction at the cache level: under a byte budget the
+/// evicted drivers are exactly the fattest ones (equal recompute cost, so
+/// saved-vtime-per-byte is inverse to size).
+#[test]
+fn budget_evicts_fattest_equal_cost_entries_first() {
+    let dir = tmp_dir("budget-order");
+    let mut cache = TieredCache::open_with(&dir, Some(100)).unwrap();
+    for (hash, n_loads) in [(1u64, 1usize), (2, 400), (3, 2), (4, 200)] {
+        cache.put(driver_key(hash), driver_product(&vec![1; n_loads]));
+    }
+    let mut evicted = cache.persist().unwrap();
+    evicted.sort_by_key(|k| k.hash);
+    let hashes: Vec<u64> = evicted.iter().map(|k| k.hash).collect();
+    assert_eq!(hashes, vec![2, 4], "largest drivers evicted first");
+    assert!(cache.contains(driver_key(1)));
+    assert!(cache.contains(driver_key(3)));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Random driver stores round-trip through both on-disk codecs.
+    #[test]
+    fn random_store_round_trips_both_formats(
+        entries in proptest::collection::vec(
+            (any::<u64>(), proptest::collection::vec(any::<u8>(), 0..6)), 0..8),
+    ) {
+        let mut store = ArtifactStore::new();
+        for (i, (hash, loads)) in entries.iter().enumerate() {
+            // Index-salted hash: duplicate random hashes would trip the
+            // keep-first collision debug-assert with unequal products.
+            store.insert(driver_key(hash ^ (i as u64) << 48), driver_product(loads));
+        }
+        let v3 = ArtifactStore::from_bytes(&store.to_bytes()).unwrap();
+        prop_assert_eq!(v3.to_bytes(), store.to_bytes());
+        let v2 = ArtifactStore::from_bytes(&store.to_bytes_v2()).unwrap();
+        prop_assert_eq!(v2.to_bytes(), store.to_bytes());
+    }
+
+    /// Flipping or truncating any byte of any cache file never panics and
+    /// never serves a wrong product: every key either hits with the
+    /// original bytes or degrades to a miss, and the cache accepts new
+    /// writes afterwards (cold start, not a wedge).
+    #[test]
+    fn corrupted_cache_files_degrade_to_cold_start(
+        file_pick in any::<usize>(),
+        pos in any::<usize>(),
+        flip in any::<bool>(),
+        bit in 0u8..8,
+    ) {
+        let dir = tmp_dir("corrupt");
+        let products: Vec<(StageKey, StageProduct)> = (0u64..4)
+            .map(|h| (driver_key(h), driver_product(&[h as u8; 3])))
+            .collect();
+        {
+            let mut cache = TieredCache::open(&dir).unwrap();
+            for (k, p) in &products {
+                cache.put(*k, p.clone());
+            }
+            cache.persist().unwrap();
+        }
+
+        // Corrupt one cache file at an arbitrary position.
+        let mut files: Vec<std::path::PathBuf> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .collect();
+        files.sort();
+        prop_assert!(!files.is_empty());
+        let target = &files[file_pick % files.len()];
+        let mut bytes = std::fs::read(target).unwrap();
+        if bytes.is_empty() {
+            std::fs::remove_dir_all(&dir).ok();
+            return Ok(());
+        }
+        if flip {
+            let at = pos % bytes.len();
+            bytes[at] ^= 1 << bit;
+        } else {
+            bytes.truncate(pos % bytes.len());
+        }
+        std::fs::write(target, &bytes).unwrap();
+
+        let mut cache = TieredCache::open(&dir).unwrap();
+        for (k, p) in &products {
+            // A miss is acceptable (degraded to cold start); a hit must be
+            // the original product.
+            if let Some(got) = cache.fetch(*k) {
+                prop_assert_eq!(&got, p, "corruption served wrong product");
+            }
+        }
+        // Still writable: re-put everything and a reopen sees it all.
+        for (k, p) in &products {
+            cache.put(*k, p.clone());
+        }
+        cache.persist().unwrap();
+        drop(cache);
+        let mut back = TieredCache::open(&dir).unwrap();
+        for (k, p) in &products {
+            let got = back.fetch(*k);
+            prop_assert_eq!(got.as_ref(), Some(p));
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Two concurrent writer instances over one directory never corrupt
+    /// each other: a fresh open sees the union of both write sets.
+    #[test]
+    fn concurrent_writers_preserve_both_write_sets(
+        n_a in 1usize..6,
+        n_b in 1usize..6,
+        compact_after in any::<bool>(),
+    ) {
+        let dir = tmp_dir("writers");
+        let write_set = |tag: u64, n: usize| -> Vec<(StageKey, StageProduct)> {
+            (0..n as u64)
+                .map(|h| (driver_key(tag << 32 | h), driver_product(&[h as u8, tag as u8])))
+                .collect()
+        };
+        let set_a = write_set(1, n_a);
+        let set_b = write_set(2, n_b);
+        let spawn = |dir: std::path::PathBuf, set: Vec<(StageKey, StageProduct)>| {
+            std::thread::spawn(move || {
+                let mut cache = TieredCache::open(&dir).unwrap();
+                for (k, p) in set {
+                    cache.put(k, p);
+                }
+                cache.persist().unwrap();
+            })
+        };
+        let ta = spawn(dir.clone(), set_a.clone());
+        let tb = spawn(dir.clone(), set_b.clone());
+        ta.join().unwrap();
+        tb.join().unwrap();
+
+        let mut cache = TieredCache::open(&dir).unwrap();
+        if compact_after {
+            prop_assert!(cache.compact().unwrap());
+        }
+        for (k, p) in set_a.iter().chain(&set_b) {
+            let got = cache.fetch(*k);
+            prop_assert_eq!(got.as_ref(), Some(p), "lost {}", k);
+        }
+        prop_assert_eq!(CacheBackend::len(&cache), n_a + n_b);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// `eviction_order` is a permutation sorted by ascending saved-vtime-
+    /// per-byte, with LRU (ascending last access) breaking value ties.
+    #[test]
+    fn eviction_order_matches_value_per_byte_rule(
+        raw in proptest::collection::vec(
+            (0.0f64..100.0, 0u64..10_000, 0u64..50), 1..20),
+    ) {
+        let cands: Vec<EvictCandidate> = raw
+            .iter()
+            .enumerate()
+            .map(|(i, &(cost, bytes, last))| EvictCandidate {
+                key: StageKey {
+                    kind: StageKind::PlaceRoute,
+                    hash: i as u64,
+                },
+                cost_seconds: cost,
+                bytes,
+                last_access: last,
+            })
+            .collect();
+        let order = eviction_order(&cands);
+
+        // Permutation: same multiset of keys.
+        let mut got: Vec<u64> = order.iter().map(|c| c.key.hash).collect();
+        got.sort_unstable();
+        let want: Vec<u64> = (0..cands.len() as u64).collect();
+        prop_assert_eq!(got, want);
+
+        // Sortedness under the documented rule.
+        for w in order.windows(2) {
+            let (a, b) = (&w[0], &w[1]);
+            prop_assert!(
+                a.value_per_byte() <= b.value_per_byte(),
+                "value order violated: {} > {}",
+                a.value_per_byte(),
+                b.value_per_byte()
+            );
+            if a.value_per_byte() == b.value_per_byte() {
+                prop_assert!(a.last_access <= b.last_access, "LRU tiebreak violated");
+            }
+        }
+    }
+}

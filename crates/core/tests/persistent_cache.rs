@@ -1,0 +1,243 @@
+//! Acceptance tests for the persistent shared artifact cache (DESIGN.md
+//! §5c): a second builder *process* (modeled as a second `BuildCache`
+//! instance over the same directory) rebuilds an edited Rosetta app with
+//! zero HLS/P&R executions for the unchanged operators, speculative
+//! compiles turn a reseeded rebuild into a cache hit, and warm builds
+//! against the persistent store reproduce a fresh compile bit-identically.
+
+use dfg::{Graph, GraphBuilder, Target};
+use kir::{Expr, KernelBuilder, Scalar, Stmt, VarDecl};
+use pld::{
+    compile, BuildCache, CompileOptions, OptLevel, SpeculationConfig, StageKind, TieredCache,
+};
+use rosetta::Scale;
+
+fn tmp_dir(tag: &str) -> std::path::PathBuf {
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .unwrap()
+        .as_nanos();
+    let dir = std::env::temp_dir().join(format!(
+        "pld-persistent-{tag}-{}-{nanos}",
+        std::process::id()
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// A source edit that changes the operator's content hash without changing
+/// its behaviour: an unused scalar local, the IR stand-in for touching the
+/// C file.
+fn edit_op(graph: &mut Graph, name: &str) {
+    let op = graph
+        .operators
+        .iter_mut()
+        .find(|o| o.name == name)
+        .unwrap_or_else(|| panic!("no operator {name}"));
+    op.kernel.locals.push(VarDecl {
+        name: "dbg_spare".into(),
+        ty: Scalar::uint(32),
+    });
+}
+
+fn stage(name: &str, addend: i64) -> kir::Kernel {
+    KernelBuilder::new(name)
+        .input("in", Scalar::uint(32))
+        .output("out", Scalar::uint(32))
+        .local("x", Scalar::uint(32))
+        .body([Stmt::for_pipelined(
+            "i",
+            0..32,
+            [
+                Stmt::read("x", "in"),
+                Stmt::write("out", Expr::var("x").add(Expr::cint(addend))),
+            ],
+        )])
+        .build()
+        .unwrap()
+}
+
+fn pipeline(addends: [i64; 3]) -> Graph {
+    let mut b = GraphBuilder::new("pipe");
+    let a = b.add("a", stage("a", addends[0]), Target::hw_auto());
+    let c = b.add("c", stage("c", addends[1]), Target::hw_auto());
+    let d = b.add("d", stage("d", addends[2]), Target::hw_auto());
+    b.ext_input("Input_1", a, "in");
+    b.connect("l1", a, "out", c, "in");
+    b.connect("l2", c, "out", d, "in");
+    b.ext_output("Output_1", d, "out");
+    b.build().unwrap()
+}
+
+/// The ISSUE's acceptance criterion: builder process 2 on the same cache
+/// directory rebuilds an edited Rosetta app with zero HLS/P&R executions
+/// for unchanged operators and an operator hit rate ≥ 80%.
+#[test]
+fn second_instance_rebuilds_edited_rosetta_app_warm() {
+    let dir = tmp_dir("rosetta-warm");
+    let opts = CompileOptions::new(OptLevel::O1);
+    let bench = rosetta::spam::bench(Scale::Tiny);
+
+    // Process 1: cold build, persist, exit.
+    {
+        let mut cache = BuildCache::open_dir(&dir).unwrap();
+        cache.compile(&bench.graph, &opts).unwrap();
+        assert!(cache.last_report().unwrap().total_executions() > 0);
+        cache.persist().unwrap();
+    }
+
+    // Process 2: fresh instance over the same directory, one edited
+    // operator.
+    let mut edited = bench.graph.clone();
+    edit_op(&mut edited, "dot_1");
+    let mut cache = BuildCache::open_dir(&dir).unwrap();
+    let app = cache.compile(&edited, &opts).unwrap();
+    let report = cache.last_report().unwrap();
+
+    // Only the edited operator compiles; every other operator is served
+    // entirely from the persistent store.
+    assert_eq!(report.executions(StageKind::HlsLower), 1);
+    assert_eq!(report.executions(StageKind::PlaceRoute), 1);
+    for op in &report.operators {
+        if op.name != "dot_1" {
+            assert_eq!(op.executions, 0, "unchanged {} recompiled", op.name);
+        }
+    }
+    let ops = report.operators.len() as f64;
+    let warm_ops = report
+        .operators
+        .iter()
+        .filter(|o| o.executions == 0)
+        .count() as f64;
+    assert!(
+        warm_ops / ops >= 0.8,
+        "operator hit rate {} below 0.8",
+        warm_ops / ops
+    );
+
+    // Bit-identical to compiling the edited graph from scratch.
+    let fresh = compile(&edited, &opts).unwrap();
+    let hashes = |app: &pld::CompiledApp| app.artifacts.iter().map(|x| x.hash).collect::<Vec<_>>();
+    assert_eq!(hashes(&fresh), hashes(&app));
+    assert_eq!(fresh.driver, app.driver);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A third no-edit instance executes nothing at all.
+#[test]
+fn unedited_reopen_executes_zero_stages() {
+    let dir = tmp_dir("noop");
+    let g = pipeline([1, 2, 3]);
+    let opts = CompileOptions::new(OptLevel::O1);
+    {
+        let mut cache = BuildCache::open_dir(&dir).unwrap();
+        cache.compile(&g, &opts).unwrap();
+        cache.persist().unwrap();
+    }
+    let mut cache = BuildCache::open_dir(&dir).unwrap();
+    cache.compile(&g, &opts).unwrap();
+    let report = cache.last_report().unwrap();
+    assert_eq!(report.total_executions(), 0);
+    assert_eq!(report.hit_rate(), 1.0);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Speculation pre-compiles extra P&R seeds for the just-edited operator:
+/// a reseeded rebuild whose per-operator seed lands on the speculated
+/// ladder is a pure cache hit, and the first fetch counts as speculative.
+#[test]
+fn speculated_seed_turns_reseeded_rebuild_into_a_hit() {
+    const GOLDEN: u64 = 0x9e37_79b9_7f4a_7c15;
+    let g1 = pipeline([1, 2, 3]);
+    let mut g2 = g1.clone();
+    edit_op(&mut g2, "c");
+
+    let opts = CompileOptions::new(OptLevel::O1);
+    let mut cache = BuildCache::new();
+    cache.enable_speculation(SpeculationConfig::default());
+    cache.compile(&g1, &opts).unwrap();
+    cache.compile(&g2, &opts).unwrap();
+    cache.finish_speculation();
+
+    let stats = cache.speculation_stats().unwrap();
+    assert!(stats.batches >= 1);
+    assert!(stats.products_merged >= 1, "no speculative products landed");
+
+    // Demand-build with seed ladder index 1: per-operator seed becomes
+    // `opts.seed ^ GOLDEN ^ fnv(name)` — exactly the speculated P&R key.
+    let reseeded = CompileOptions {
+        seed: opts.seed ^ GOLDEN,
+        ..opts.clone()
+    };
+    let before = cache.speculative_hits();
+    cache.compile(&g2, &reseeded).unwrap();
+    let report = cache.last_report().unwrap();
+    assert!(
+        report.hits(StageKind::PlaceRoute) >= 1,
+        "speculated seed missed"
+    );
+    assert_eq!(report.executions(StageKind::HlsLower), 0);
+    assert!(cache.speculative_hits() > before);
+}
+
+/// Speculation also pre-compiles the *other tier's* front stage for edited
+/// operators and their neighbors: flipping an operator to the softcore
+/// target starts warm.
+#[test]
+fn speculated_tier_flip_starts_warm() {
+    let g1 = pipeline([4, 5, 6]);
+    let mut g2 = g1.clone();
+    edit_op(&mut g2, "c");
+
+    let opts = CompileOptions::new(OptLevel::O1);
+    let mut cache = BuildCache::new();
+    cache.enable_speculation(SpeculationConfig {
+        max_jobs: 16,
+        ..SpeculationConfig::default()
+    });
+    cache.compile(&g1, &opts).unwrap();
+    cache.compile(&g2, &opts).unwrap();
+    cache.finish_speculation();
+
+    // Flip the edited operator to the softcore tier: its SoftcoreCc front
+    // was speculated, so the front stage is a hit.
+    let mut flipped = g2.clone();
+    flipped
+        .operators
+        .iter_mut()
+        .find(|o| o.name == "c")
+        .unwrap()
+        .target = Target::riscv_auto();
+    let before = cache.speculative_hits();
+    cache.compile(&flipped, &opts).unwrap();
+    let report = cache.last_report().unwrap();
+    assert_eq!(report.executions(StageKind::SoftcoreCc), 0);
+    assert!(report.hits(StageKind::SoftcoreCc) >= 1);
+    assert!(cache.speculative_hits() > before);
+}
+
+/// The persistent store under a byte budget evicts cold cheap-per-byte
+/// artifacts but keeps the working set correct: a rebuild after eviction
+/// still produces bit-identical artifacts (evicted stages just re-run).
+#[test]
+fn budgeted_store_stays_correct_after_eviction() {
+    let dir = tmp_dir("budget");
+    let g = pipeline([7, 8, 9]);
+    let opts = CompileOptions::new(OptLevel::O1);
+    let fresh = compile(&g, &opts).unwrap();
+    {
+        let mut cache = TieredCache::open_with(&dir, Some(512)).unwrap();
+        pld::build(&g, &opts, &mut cache).unwrap();
+        let evicted = cache.persist().unwrap();
+        assert!(!evicted.is_empty(), "512-byte budget must evict something");
+    }
+    let mut cache = TieredCache::open(&dir).unwrap();
+    let (app, report) = pld::build(&g, &opts, &mut cache).unwrap();
+    assert!(
+        report.total_executions() > 0,
+        "eviction left nothing to redo"
+    );
+    let hashes = |app: &pld::CompiledApp| app.artifacts.iter().map(|x| x.hash).collect::<Vec<_>>();
+    assert_eq!(hashes(&fresh), hashes(&app));
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -14,8 +14,8 @@ use std::collections::HashSet;
 use dfg::Graph;
 use fabric::PageId;
 use pld::{
-    bft_distance, build, page_load_ops, replay_loads, ArtifactStore, BuildCache, CompileOptions,
-    CompiledApp, LinkOp,
+    bft_distance, build, page_load_ops, replay_loads, BuildCache, CompileOptions, CompiledApp,
+    LinkOp,
 };
 
 use crate::allocator::AllocError;
@@ -81,19 +81,21 @@ impl Runtime {
     }
 
     /// Like [`Runtime::hot_swap`], but compiling directly against a shared
-    /// [`ArtifactStore`] (the same store a [`BuildCache`] wraps, or one an
-    /// external build service owns). Stage products the store already holds
-    /// — from this app, another tenant, or a previous session reloaded from
-    /// disk — are reused without recompiling.
+    /// cache backend: an [`pld::ArtifactStore`] (the L1 a [`BuildCache`] wraps,
+    /// or one an external build service owns) or a persistent
+    /// [`pld::TieredCache`] shared across processes and devices. Stage
+    /// products the cache already holds — from this app, another tenant, or
+    /// a previous session reloaded from disk — are reused without
+    /// recompiling.
     ///
     /// # Errors
     ///
     /// See [`RuntimeError`]. On error the resident app is left unchanged.
-    pub fn hot_swap_with_store(
+    pub fn hot_swap_with_store<C: pld::CacheBackend>(
         &mut self,
         id: AppId,
         new_graph: &Graph,
-        store: &mut ArtifactStore,
+        store: &mut C,
         options: &CompileOptions,
     ) -> Result<SwapReport, RuntimeError> {
         if !self.is_resident(id) {
