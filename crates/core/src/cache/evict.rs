@@ -37,6 +37,9 @@ pub fn saved_vtime_seconds(vt: &VtimeModel, product: &StageProduct) -> f64 {
             XclbinKind::Softcore { .. } | XclbinKind::Overlay => 0.05,
         },
         StageProduct::Driver(_) => 0.01,
+        // Graph optimization is pure host-side rewriting — cheap to redo,
+        // so these entries are the first to go under byte pressure.
+        StageProduct::Opt(_) => 0.01,
     }
 }
 

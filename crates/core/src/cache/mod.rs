@@ -153,6 +153,17 @@ pub trait CacheBackend {
             _ => None,
         }
     }
+
+    /// Typed fetch of an optimized-graph product.
+    fn fetch_opt(&mut self, hash: u64) -> Option<crate::store::OptProduct> {
+        match self.fetch(StageKey {
+            kind: StageKind::KpnOptimize,
+            hash,
+        }) {
+            Some(StageProduct::Opt(p)) => Some(p),
+            _ => None,
+        }
+    }
 }
 
 /// The in-memory store is the memory-only backend (and the L1 of

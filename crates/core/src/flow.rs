@@ -126,6 +126,12 @@ pub struct CompileOptions {
     pub page_assign: PageAssign,
     /// Multi-seed P&R racing policy (default: no racing).
     pub race: SeedRace,
+    /// KPN optimizer configuration; `None` compiles the graph exactly as
+    /// written. When set, the build runs a content-addressed
+    /// [`crate::store::StageKind::KpnOptimize`] stage first — `max_operators`
+    /// and `page_array_bits` are clamped to the floorplan — and every
+    /// downstream stage compiles the *optimized* graph.
+    pub optimize: Option<dfg::OptimizerConfig>,
 }
 
 impl CompileOptions {
@@ -140,6 +146,7 @@ impl CompileOptions {
             link_style: LinkStyle::default(),
             page_assign: PageAssign::default(),
             race: SeedRace::default(),
+            optimize: None,
         }
     }
 }
@@ -191,10 +198,24 @@ pub struct MonolithicInfo {
     pub work_units: u64,
 }
 
+/// What the optimizer stage did to a compiled app's graph.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct OptSummary {
+    /// Fused operators the passes created.
+    pub fused: Vec<String>,
+    /// Operators split into head/tail pairs.
+    pub fissioned: Vec<String>,
+    /// Jain fairness of per-operator work before optimizing.
+    pub balance_before: f64,
+    /// Jain fairness after optimizing.
+    pub balance_after: f64,
+}
+
 /// A fully compiled application.
 #[derive(Debug, Clone)]
 pub struct CompiledApp {
-    /// The source graph.
+    /// The compiled graph — the source graph as written, or the optimizer's
+    /// rewrite of it when [`CompileOptions::optimize`] is set.
     pub graph: Graph,
     /// Level this app was compiled at.
     pub level: OptLevel,
@@ -216,6 +237,12 @@ pub struct CompiledApp {
     pub vtime_parallel: PhaseTimes,
     /// Measured wall-clock of the whole compile.
     pub wall_seconds: f64,
+    /// Per-edge FIFO depths solved by the optimizer, indexed like
+    /// `graph.edges` (`None` when the optimizer did not run). The host
+    /// runtime plumbs these into the threaded engine's channels.
+    pub edge_depths: Option<Vec<usize>>,
+    /// Optimizer pass summary (`None` when the optimizer did not run).
+    pub opt: Option<OptSummary>,
 }
 
 impl CompiledApp {
@@ -703,6 +730,8 @@ pub(crate) fn compile_monolithic<C: crate::cache::CacheBackend>(
         vtime_serial: vtime,
         vtime_parallel: vtime,
         wall_seconds: t0.elapsed().as_secs_f64(),
+        edge_depths: None,
+        opt: None,
     })
 }
 

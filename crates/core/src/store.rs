@@ -42,11 +42,15 @@ pub enum StageKind {
     SoftcoreCc,
     /// Driver generation: link table + load schedule for the whole app.
     LinkDriver,
+    /// KPN optimization: source graph + optimizer config → rewritten graph
+    /// with per-edge channel depths and a pass report.
+    KpnOptimize,
 }
 
 impl StageKind {
     /// Every stage kind, in pipeline order.
-    pub const ALL: [StageKind; 5] = [
+    pub const ALL: [StageKind; 6] = [
+        StageKind::KpnOptimize,
         StageKind::HlsLower,
         StageKind::PlaceRoute,
         StageKind::BitstreamPack,
@@ -61,6 +65,7 @@ impl StageKind {
             StageKind::BitstreamPack => 2,
             StageKind::SoftcoreCc => 3,
             StageKind::LinkDriver => 4,
+            StageKind::KpnOptimize => 5,
         }
     }
 
@@ -71,6 +76,7 @@ impl StageKind {
             2 => StageKind::BitstreamPack,
             3 => StageKind::SoftcoreCc,
             4 => StageKind::LinkDriver,
+            5 => StageKind::KpnOptimize,
             _ => return Err(corrupt("unknown stage kind")),
         })
     }
@@ -84,6 +90,7 @@ impl fmt::Display for StageKind {
             StageKind::BitstreamPack => write!(f, "bitstream-pack"),
             StageKind::SoftcoreCc => write!(f, "softcore-cc"),
             StageKind::LinkDriver => write!(f, "link-driver"),
+            StageKind::KpnOptimize => write!(f, "kpn-optimize"),
         }
     }
 }
@@ -152,6 +159,29 @@ pub struct SoftProduct {
     pub binary: SoftBinary,
 }
 
+/// Product of a [`StageKind::KpnOptimize`] execution: the rewritten graph
+/// plus everything the downstream build and runtime need from the optimizer.
+/// Filing it in the store makes graph optimization itself an incremental
+/// stage — recompiling an unchanged app (or the same app under the same
+/// optimizer config) reuses the rewritten graph instead of re-running the
+/// passes, and every per-kernel stage below keys on the *optimized* kernels,
+/// so fused/split operators cache like hand-written ones.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OptProduct {
+    /// The optimized graph.
+    pub graph: dfg::Graph,
+    /// Solved per-edge FIFO depths, indexed like `graph.edges`.
+    pub edge_depths: Vec<u64>,
+    /// Names of fused operators the passes created.
+    pub fused: Vec<String>,
+    /// Names of operators split into head/tail pairs.
+    pub fissioned: Vec<String>,
+    /// Jain fairness of per-operator work before optimizing.
+    pub balance_before: f64,
+    /// Jain fairness after optimizing.
+    pub balance_after: f64,
+}
+
 /// One stored stage product.
 #[derive(Debug, Clone, PartialEq)]
 pub enum StageProduct {
@@ -165,6 +195,8 @@ pub enum StageProduct {
     Pack(Xclbin),
     /// A generated load-and-link driver.
     Driver(Driver),
+    /// An optimized dataflow graph.
+    Opt(OptProduct),
 }
 
 /// The shared, content-addressed artifact store.
@@ -296,6 +328,17 @@ impl ArtifactStore {
             hash,
         }) {
             Some(StageProduct::Driver(d)) => Some(d),
+            _ => None,
+        }
+    }
+
+    /// Typed lookup of an optimized-graph product.
+    pub fn get_opt(&self, hash: u64) -> Option<&OptProduct> {
+        match self.get(StageKey {
+            kind: StageKind::KpnOptimize,
+            hash,
+        }) {
+            Some(StageProduct::Opt(p)) => Some(p),
             _ => None,
         }
     }
@@ -799,6 +842,447 @@ fn get_scalar(c: &mut Cursor) -> io::Result<kir::Scalar> {
     })
 }
 
+fn put_u128(out: &mut Vec<u8>, v: u128) {
+    put_u64(out, v as u64);
+    put_u64(out, (v >> 64) as u64);
+}
+
+fn get_u128(c: &mut Cursor) -> io::Result<u128> {
+    let lo = c.u64()?;
+    let hi = c.u64()?;
+    Ok(u128::from(lo) | (u128::from(hi) << 64))
+}
+
+fn put_expr(out: &mut Vec<u8>, e: &kir::Expr) {
+    match e {
+        kir::Expr::Const { raw, ty } => {
+            out.push(0);
+            put_u128(out, *raw as u128);
+            put_scalar(out, *ty);
+        }
+        kir::Expr::Var(name) => {
+            out.push(1);
+            put_str(out, name);
+        }
+        kir::Expr::ArrayGet { array, index } => {
+            out.push(2);
+            put_str(out, array);
+            put_expr(out, index);
+        }
+        kir::Expr::Un { op, arg } => {
+            out.push(3);
+            put_debug_name(out, op);
+            put_expr(out, arg);
+        }
+        kir::Expr::Bin { op, lhs, rhs } => {
+            out.push(4);
+            put_debug_name(out, op);
+            put_expr(out, lhs);
+            put_expr(out, rhs);
+        }
+        kir::Expr::Cast { ty, arg } => {
+            out.push(5);
+            put_scalar(out, *ty);
+            put_expr(out, arg);
+        }
+        kir::Expr::Select {
+            cond,
+            then_val,
+            else_val,
+        } => {
+            out.push(6);
+            put_expr(out, cond);
+            put_expr(out, then_val);
+            put_expr(out, else_val);
+        }
+        kir::Expr::BitRange { arg, hi, lo } => {
+            out.push(7);
+            put_expr(out, arg);
+            put_u32(out, *hi);
+            put_u32(out, *lo);
+        }
+    }
+}
+
+fn get_expr(c: &mut Cursor) -> io::Result<kir::Expr> {
+    Ok(match c.u8()? {
+        0 => kir::Expr::Const {
+            raw: get_u128(c)? as i128,
+            ty: get_scalar(c)?,
+        },
+        1 => kir::Expr::Var(c.str()?),
+        2 => kir::Expr::ArrayGet {
+            array: c.str()?,
+            index: Box::new(get_expr(c)?),
+        },
+        3 => kir::Expr::Un {
+            op: get_un_op(c)?,
+            arg: Box::new(get_expr(c)?),
+        },
+        4 => kir::Expr::Bin {
+            op: get_bin_op(c)?,
+            lhs: Box::new(get_expr(c)?),
+            rhs: Box::new(get_expr(c)?),
+        },
+        5 => kir::Expr::Cast {
+            ty: get_scalar(c)?,
+            arg: Box::new(get_expr(c)?),
+        },
+        6 => kir::Expr::Select {
+            cond: Box::new(get_expr(c)?),
+            then_val: Box::new(get_expr(c)?),
+            else_val: Box::new(get_expr(c)?),
+        },
+        7 => kir::Expr::BitRange {
+            arg: Box::new(get_expr(c)?),
+            hi: c.u32()?,
+            lo: c.u32()?,
+        },
+        _ => return Err(corrupt("unknown expression kind")),
+    })
+}
+
+fn put_stmts(out: &mut Vec<u8>, stmts: &[kir::Stmt]) {
+    put_u64(out, stmts.len() as u64);
+    for s in stmts {
+        put_stmt(out, s);
+    }
+}
+
+fn get_stmts(c: &mut Cursor) -> io::Result<Vec<kir::Stmt>> {
+    let n = c.usize()?;
+    let mut v = Vec::with_capacity(n.min(1 << 16));
+    for _ in 0..n {
+        v.push(get_stmt(c)?);
+    }
+    Ok(v)
+}
+
+fn put_stmt(out: &mut Vec<u8>, s: &kir::Stmt) {
+    match s {
+        kir::Stmt::Assign { var, value } => {
+            out.push(0);
+            put_str(out, var);
+            put_expr(out, value);
+        }
+        kir::Stmt::ArraySet {
+            array,
+            index,
+            value,
+        } => {
+            out.push(1);
+            put_str(out, array);
+            put_expr(out, index);
+            put_expr(out, value);
+        }
+        kir::Stmt::Read { var, port } => {
+            out.push(2);
+            put_str(out, var);
+            put_str(out, port);
+        }
+        kir::Stmt::Write { port, value } => {
+            out.push(3);
+            put_str(out, port);
+            put_expr(out, value);
+        }
+        kir::Stmt::For {
+            var,
+            begin,
+            end,
+            step,
+            pipeline,
+            unroll,
+            body,
+        } => {
+            out.push(4);
+            put_str(out, var);
+            put_u64(out, *begin as u64);
+            put_u64(out, *end as u64);
+            put_u64(out, *step as u64);
+            out.push(*pipeline as u8);
+            put_u32(out, *unroll);
+            put_stmts(out, body);
+        }
+        kir::Stmt::If {
+            cond,
+            then_body,
+            else_body,
+        } => {
+            out.push(5);
+            put_expr(out, cond);
+            put_stmts(out, then_body);
+            put_stmts(out, else_body);
+        }
+    }
+}
+
+fn get_stmt(c: &mut Cursor) -> io::Result<kir::Stmt> {
+    Ok(match c.u8()? {
+        0 => kir::Stmt::Assign {
+            var: c.str()?,
+            value: get_expr(c)?,
+        },
+        1 => kir::Stmt::ArraySet {
+            array: c.str()?,
+            index: get_expr(c)?,
+            value: get_expr(c)?,
+        },
+        2 => kir::Stmt::Read {
+            var: c.str()?,
+            port: c.str()?,
+        },
+        3 => kir::Stmt::Write {
+            port: c.str()?,
+            value: get_expr(c)?,
+        },
+        4 => kir::Stmt::For {
+            var: c.str()?,
+            begin: c.u64()? as i64,
+            end: c.u64()? as i64,
+            step: c.u64()? as i64,
+            pipeline: c.u8()? != 0,
+            unroll: c.u32()?,
+            body: get_stmts(c)?,
+        },
+        5 => kir::Stmt::If {
+            cond: get_expr(c)?,
+            then_body: get_stmts(c)?,
+            else_body: get_stmts(c)?,
+        },
+        _ => return Err(corrupt("unknown statement kind")),
+    })
+}
+
+fn put_kernel(out: &mut Vec<u8>, k: &kir::Kernel) {
+    put_str(out, &k.name);
+    for ports in [&k.inputs, &k.outputs] {
+        put_u64(out, ports.len() as u64);
+        for p in ports {
+            put_str(out, &p.name);
+            put_scalar(out, p.elem);
+        }
+    }
+    put_u64(out, k.locals.len() as u64);
+    for v in &k.locals {
+        put_str(out, &v.name);
+        put_scalar(out, v.ty);
+    }
+    put_u64(out, k.arrays.len() as u64);
+    for a in &k.arrays {
+        put_str(out, &a.name);
+        put_scalar(out, a.elem);
+        put_u64(out, a.len);
+        match &a.init {
+            None => out.push(0),
+            Some(init) => {
+                out.push(1);
+                put_u64(out, init.len() as u64);
+                for w in init {
+                    put_u128(out, *w);
+                }
+            }
+        }
+    }
+    put_stmts(out, &k.body);
+}
+
+fn get_kernel(c: &mut Cursor) -> io::Result<kir::Kernel> {
+    let name = c.str()?;
+    let mut ports = [Vec::new(), Vec::new()];
+    for list in &mut ports {
+        let n = c.usize()?;
+        for _ in 0..n {
+            list.push(kir::PortDecl {
+                name: c.str()?,
+                elem: get_scalar(c)?,
+            });
+        }
+    }
+    let [inputs, outputs] = ports;
+    let n_locals = c.usize()?;
+    let mut locals = Vec::with_capacity(n_locals.min(1 << 16));
+    for _ in 0..n_locals {
+        locals.push(kir::VarDecl {
+            name: c.str()?,
+            ty: get_scalar(c)?,
+        });
+    }
+    let n_arrays = c.usize()?;
+    let mut arrays = Vec::with_capacity(n_arrays.min(1 << 16));
+    for _ in 0..n_arrays {
+        let name = c.str()?;
+        let elem = get_scalar(c)?;
+        let len = c.u64()?;
+        let init = match c.u8()? {
+            0 => None,
+            1 => {
+                let n = c.usize()?;
+                let mut words = Vec::with_capacity(n.min(1 << 20));
+                for _ in 0..n {
+                    words.push(get_u128(c)?);
+                }
+                Some(words)
+            }
+            _ => return Err(corrupt("unknown array init flag")),
+        };
+        arrays.push(kir::ArrayDecl {
+            name,
+            elem,
+            len,
+            init,
+        });
+    }
+    Ok(kir::Kernel {
+        name,
+        inputs,
+        outputs,
+        locals,
+        arrays,
+        body: get_stmts(c)?,
+    })
+}
+
+fn put_target(out: &mut Vec<u8>, t: dfg::Target) {
+    let (tag, page) = match t {
+        dfg::Target::Hw { page } => (0u8, page),
+        dfg::Target::Riscv { page } => (1u8, page),
+    };
+    out.push(tag);
+    match page {
+        None => out.push(0),
+        Some(p) => {
+            out.push(1);
+            put_u32(out, p);
+        }
+    }
+}
+
+fn get_target(c: &mut Cursor) -> io::Result<dfg::Target> {
+    let tag = c.u8()?;
+    let page = match c.u8()? {
+        0 => None,
+        1 => Some(c.u32()?),
+        _ => return Err(corrupt("unknown target page flag")),
+    };
+    Ok(match tag {
+        0 => dfg::Target::Hw { page },
+        1 => dfg::Target::Riscv { page },
+        _ => return Err(corrupt("unknown target kind")),
+    })
+}
+
+fn put_graph(out: &mut Vec<u8>, g: &dfg::Graph) {
+    put_str(out, &g.name);
+    put_u64(out, g.operators.len() as u64);
+    for op in &g.operators {
+        put_str(out, &op.name);
+        put_kernel(out, &op.kernel);
+        put_target(out, op.target);
+    }
+    put_u64(out, g.edges.len() as u64);
+    for e in &g.edges {
+        put_str(out, &e.name);
+        put_u64(out, e.from.0 .0 as u64);
+        put_str(out, &e.from.1);
+        put_u64(out, e.to.0 .0 as u64);
+        put_str(out, &e.to.1);
+        put_scalar(out, e.elem);
+    }
+    for ports in [&g.ext_inputs, &g.ext_outputs] {
+        put_u64(out, ports.len() as u64);
+        for p in ports {
+            put_str(out, &p.name);
+            put_u64(out, p.op.0 as u64);
+            put_str(out, &p.port);
+            put_scalar(out, p.elem);
+        }
+    }
+}
+
+fn get_graph(c: &mut Cursor) -> io::Result<dfg::Graph> {
+    let name = c.str()?;
+    let n_ops = c.usize()?;
+    let mut operators = Vec::with_capacity(n_ops.min(1 << 16));
+    for _ in 0..n_ops {
+        operators.push(dfg::OperatorInst {
+            name: c.str()?,
+            kernel: get_kernel(c)?,
+            target: get_target(c)?,
+        });
+    }
+    let n_edges = c.usize()?;
+    let mut edges = Vec::with_capacity(n_edges.min(1 << 16));
+    for _ in 0..n_edges {
+        edges.push(dfg::StreamEdge {
+            name: c.str()?,
+            from: (dfg::OpId(c.usize()?), c.str()?),
+            to: (dfg::OpId(c.usize()?), c.str()?),
+            elem: get_scalar(c)?,
+        });
+    }
+    let mut ports = [Vec::new(), Vec::new()];
+    for list in &mut ports {
+        let n = c.usize()?;
+        for _ in 0..n {
+            list.push(dfg::ExtPort {
+                name: c.str()?,
+                op: dfg::OpId(c.usize()?),
+                port: c.str()?,
+                elem: get_scalar(c)?,
+            });
+        }
+    }
+    let [ext_inputs, ext_outputs] = ports;
+    Ok(dfg::Graph {
+        name,
+        operators,
+        edges,
+        ext_inputs,
+        ext_outputs,
+    })
+}
+
+fn put_opt(out: &mut Vec<u8>, p: &OptProduct) {
+    put_graph(out, &p.graph);
+    put_u64(out, p.edge_depths.len() as u64);
+    for d in &p.edge_depths {
+        put_u64(out, *d);
+    }
+    for names in [&p.fused, &p.fissioned] {
+        put_u64(out, names.len() as u64);
+        for n in names {
+            put_str(out, n);
+        }
+    }
+    put_f64(out, p.balance_before);
+    put_f64(out, p.balance_after);
+}
+
+fn get_opt(c: &mut Cursor) -> io::Result<OptProduct> {
+    let graph = get_graph(c)?;
+    let n = c.usize()?;
+    let mut edge_depths = Vec::with_capacity(n.min(1 << 16));
+    for _ in 0..n {
+        edge_depths.push(c.u64()?);
+    }
+    let mut lists = [Vec::new(), Vec::new()];
+    for list in &mut lists {
+        let n = c.usize()?;
+        for _ in 0..n {
+            list.push(c.str()?);
+        }
+    }
+    let [fused, fissioned] = lists;
+    Ok(OptProduct {
+        graph,
+        edge_depths,
+        fused,
+        fissioned,
+        balance_before: c.f64()?,
+        balance_after: c.f64()?,
+    })
+}
+
 /// Unit enums encode as their `Debug` name: one place to maintain, and the
 /// decoder rejects unknown names instead of silently remapping.
 fn put_debug_name(out: &mut Vec<u8>, v: impl fmt::Debug) {
@@ -1103,6 +1587,10 @@ fn put_product(out: &mut Vec<u8>, p: &StageProduct) {
             out.push(4);
             put_driver(out, d);
         }
+        StageProduct::Opt(p) => {
+            out.push(5);
+            put_opt(out, p);
+        }
     }
 }
 
@@ -1128,6 +1616,7 @@ fn get_product(c: &mut Cursor) -> io::Result<StageProduct> {
         }),
         3 => StageProduct::Pack(get_xclbin(c)?),
         4 => StageProduct::Driver(get_driver(c)?),
+        5 => StageProduct::Opt(get_opt(c)?),
         _ => return Err(corrupt("unknown product kind")),
     })
 }
@@ -1245,6 +1734,57 @@ mod tests {
         assert_eq!(back.get_driver(44), store.get_driver(44));
         // Serialization is deterministic (sorted keys).
         assert_eq!(bytes, back.to_bytes());
+    }
+
+    #[test]
+    fn opt_product_round_trips() {
+        use kir::{Expr, KernelBuilder, Scalar, Stmt};
+        let kernel = KernelBuilder::new("k")
+            .input("in", Scalar::uint(32))
+            .output("out", Scalar::fixed(16, 8))
+            .local("x", Scalar::uint(32))
+            .array("rom", Scalar::uint(8), 4)
+            .body([Stmt::for_loop(
+                "i",
+                0..4,
+                [
+                    Stmt::read("x", "in"),
+                    Stmt::if_else(
+                        Expr::var("x").lt(Expr::cint(2)),
+                        [Stmt::write(
+                            "out",
+                            Expr::index("rom", Expr::var("i")).add(Expr::var("x").neg()),
+                        )],
+                        [Stmt::write("out", Expr::var("x").cast(Scalar::int(8)))],
+                    ),
+                ],
+            )])
+            .build()
+            .unwrap();
+        let mut b = dfg::GraphBuilder::new("app");
+        let op = b.add("op", kernel, dfg::Target::hw_auto());
+        b.ext_input("Input_1", op, "in");
+        b.ext_output("Output_1", op, "out");
+        let graph = b.build().unwrap();
+
+        let product = OptProduct {
+            graph,
+            edge_depths: vec![],
+            fused: vec!["a__b".into()],
+            fissioned: vec!["c".into()],
+            balance_before: 0.5,
+            balance_after: 0.9,
+        };
+        let mut store = ArtifactStore::new();
+        store.insert(
+            StageKey {
+                kind: StageKind::KpnOptimize,
+                hash: 77,
+            },
+            StageProduct::Opt(product.clone()),
+        );
+        let back = ArtifactStore::from_bytes(&store.to_bytes()).unwrap();
+        assert_eq!(back.get_opt(77), Some(&product));
     }
 
     #[test]

@@ -19,13 +19,20 @@
 //! its results are the golden reference for every hardware mapping.
 
 pub mod exec;
+pub mod generate;
 pub mod graph;
 pub mod ir;
+pub mod opt;
 pub mod target;
 pub mod threaded;
 
 pub use exec::{run_graph, run_graph_trace, GraphRunError, GraphRunStats, GraphTrace};
+pub use generate::{GenConfig, GeneratedApp, Rng};
 pub use graph::{EdgeId, ExtPort, Graph, GraphBuilder, GraphError, OpId, OperatorInst, StreamEdge};
 pub use ir::{extract, DfgIr, IrLink, IrOperator, ParseIrError};
+pub use opt::{optimize, OptReport, Optimized, OptimizerConfig};
 pub use target::{PragmaError, Target};
-pub use threaded::{run_graph_threaded, run_graph_threaded_with, ThreadedConfig};
+pub use threaded::{
+    run_graph_threaded, run_graph_threaded_stats, run_graph_threaded_with, ThreadedConfig,
+    ThreadedRunStats,
+};

@@ -1,0 +1,388 @@
+//! Operator fission: splitting a multi-phase kernel into a pipeline pair.
+//!
+//! The dual of fusion. A kernel whose top-level statement list has a point
+//! where *all input-port reads are before it and all output-port writes
+//! after it* (e.g. "load phase, then compute phase") can be cut there: the
+//! head keeps the reads, the tail keeps the writes, and the live state at
+//! the cut — locals and arrays referenced on both sides — streams from head
+//! to tail over typed state ports. External I/O ordering is unchanged (the
+//! head performs the same reads, the tail the same writes), so no engine can
+//! deadlock where the original did not; and since every state port's element
+//! type equals the declared type of the value it carries, the write→read
+//! coercion round-trip is the identity and values are bit-identical.
+//!
+//! Payoffs: the two halves pipeline across host threads or pages (the
+//! bottleneck operator's work is cut roughly in half), and arrays referenced
+//! by only one phase land in only one page — StreamBlocks-style splitting of
+//! operators too large for one page's BRAM.
+
+use std::collections::BTreeSet;
+
+use kir::{ArrayDecl, CheckError, Expr, Kernel, PortDecl, Stmt, VarDecl};
+
+/// Result of splitting one kernel at its best legal cut.
+#[derive(Debug, Clone)]
+pub struct FissionPlan {
+    /// The head kernel: original inputs plus state outputs.
+    pub head: Kernel,
+    /// The tail kernel: state inputs plus original outputs.
+    pub tail: Kernel,
+    /// State ports, in matching order on `head.outputs` / `tail.inputs`.
+    pub state_ports: Vec<PortDecl>,
+    /// Static work estimate of the head (trip-weighted ops).
+    pub head_ops: u64,
+    /// Static work estimate of the tail.
+    pub tail_ops: u64,
+}
+
+/// Splits `kernel` at the legal top-level cut that best balances the two
+/// halves' static work. Returns `None` when no legal cut exists, when no
+/// state would connect the halves, or when the rewrite fails validation.
+pub fn split_kernel(kernel: &Kernel) -> Option<FissionPlan> {
+    let input_ports: BTreeSet<&str> = kernel.inputs.iter().map(|p| p.name.as_str()).collect();
+    let output_ports: BTreeSet<&str> = kernel.outputs.iter().map(|p| p.name.as_str()).collect();
+
+    let n = kernel.body.len();
+    if n < 2 {
+        return None;
+    }
+    // Prefix sums of legality: reads_after[c] — any input read in body[c..];
+    // writes_before[c] — any output write in body[..c].
+    let mut best: Option<(u64, usize)> = None;
+    for cut in 1..n {
+        let head = &kernel.body[..cut];
+        let tail = &kernel.body[cut..];
+        if tail.iter().any(|s| touches_port(s, &input_ports, true)) {
+            continue;
+        }
+        if head.iter().any(|s| touches_port(s, &output_ports, false)) {
+            continue;
+        }
+        let h: u64 = head.iter().map(stmt_ops).sum();
+        let t: u64 = tail.iter().map(stmt_ops).sum();
+        let worst = h.max(t);
+        if best.is_none_or(|(b, _)| worst < b) {
+            best = Some((worst, cut));
+        }
+    }
+    let (_, cut) = best?;
+    build_plan(kernel, cut).ok()?
+}
+
+/// Builds the head/tail pair for a specific cut. `Ok(None)` means the cut is
+/// legal but degenerate (no live state to connect the halves).
+fn build_plan(kernel: &Kernel, cut: usize) -> Result<Option<FissionPlan>, CheckError> {
+    let head_stmts = &kernel.body[..cut];
+    let tail_stmts = &kernel.body[cut..];
+
+    let head_names = referenced_names(head_stmts);
+    let tail_names = referenced_names(tail_stmts);
+
+    let live_locals: Vec<&VarDecl> = kernel
+        .locals
+        .iter()
+        .filter(|v| head_names.contains(&v.name) && tail_names.contains(&v.name))
+        .collect();
+    let live_arrays: Vec<&ArrayDecl> = kernel
+        .arrays
+        .iter()
+        .filter(|a| head_names.contains(&a.name) && tail_names.contains(&a.name))
+        .collect();
+    if live_locals.is_empty() && live_arrays.is_empty() {
+        return Ok(None);
+    }
+
+    let mut state_ports = Vec::new();
+    let mut head_epilogue = Vec::new();
+    let mut tail_prologue = Vec::new();
+    let mut tail_tmp_locals = Vec::new();
+    for v in &live_locals {
+        let port = format!("__st_{}", v.name);
+        state_ports.push(PortDecl {
+            name: port.clone(),
+            elem: v.ty,
+        });
+        head_epilogue.push(Stmt::write(port.clone(), Expr::var(&v.name)));
+        tail_prologue.push(Stmt::read(v.name.clone(), port));
+    }
+    for (k, a) in live_arrays.iter().enumerate() {
+        let port = format!("__st_{}", a.name);
+        let idx = format!("__st_i{k}");
+        let tmp = format!("__st_t{k}");
+        state_ports.push(PortDecl {
+            name: port.clone(),
+            elem: a.elem,
+        });
+        head_epilogue.push(Stmt::for_loop(
+            idx.clone(),
+            0..a.len as i64,
+            [Stmt::write(
+                port.clone(),
+                Expr::index(&a.name, Expr::var(idx.clone())),
+            )],
+        ));
+        tail_tmp_locals.push(VarDecl {
+            name: tmp.clone(),
+            ty: a.elem,
+        });
+        tail_prologue.push(Stmt::for_loop(
+            idx.clone(),
+            0..a.len as i64,
+            [
+                Stmt::read(tmp.clone(), port),
+                Stmt::store(&a.name, Expr::var(idx), Expr::var(tmp)),
+            ],
+        ));
+    }
+
+    // Each half keeps only the declarations it references (plus transferred
+    // state): that is what shrinks per-page BRAM when phases use disjoint
+    // arrays.
+    let keep = |names: &BTreeSet<String>| {
+        let locals: Vec<VarDecl> = kernel
+            .locals
+            .iter()
+            .filter(|v| names.contains(&v.name))
+            .cloned()
+            .collect();
+        let arrays: Vec<ArrayDecl> = kernel
+            .arrays
+            .iter()
+            .filter(|a| names.contains(&a.name))
+            .cloned()
+            .collect();
+        (locals, arrays)
+    };
+    let (head_locals, head_arrays) = keep(&head_names);
+    let (mut tail_locals, tail_arrays) = keep(&tail_names);
+    tail_locals.extend(tail_tmp_locals);
+
+    let mut head_body = head_stmts.to_vec();
+    head_body.extend(head_epilogue);
+    let mut tail_body = tail_prologue;
+    tail_body.extend(tail_stmts.to_vec());
+
+    let head = Kernel {
+        name: format!("{}_h", kernel.name),
+        inputs: kernel.inputs.clone(),
+        outputs: state_ports.clone(),
+        locals: head_locals,
+        arrays: head_arrays,
+        body: head_body,
+    };
+    let tail = Kernel {
+        name: format!("{}_t", kernel.name),
+        inputs: state_ports.clone(),
+        outputs: kernel.outputs.clone(),
+        locals: tail_locals,
+        arrays: tail_arrays,
+        body: tail_body,
+    };
+    kir::validate(&head)?;
+    kir::validate(&tail)?;
+    let head_ops = head.dynamic_ops();
+    let tail_ops = tail.dynamic_ops();
+    Ok(Some(FissionPlan {
+        head,
+        tail,
+        state_ports,
+        head_ops,
+        tail_ops,
+    }))
+}
+
+/// Whether `s` (recursively) reads an input port (`reads = true`) or writes
+/// an output port (`reads = false`) from `ports`.
+fn touches_port(s: &Stmt, ports: &BTreeSet<&str>, reads: bool) -> bool {
+    let mut hit = false;
+    s.visit(&mut |s| match s {
+        Stmt::Read { port, .. } if reads && ports.contains(port.as_str()) => hit = true,
+        Stmt::Write { port, .. } if !reads && ports.contains(port.as_str()) => hit = true,
+        _ => {}
+    });
+    hit
+}
+
+/// Every local/array name referenced in `stmts` (reads or writes).
+fn referenced_names(stmts: &[Stmt]) -> BTreeSet<String> {
+    let mut names = BTreeSet::new();
+    for s in stmts {
+        s.visit(&mut |s| match s {
+            Stmt::Assign { var, .. } | Stmt::Read { var, .. } => {
+                names.insert(var.clone());
+            }
+            Stmt::ArraySet { array, .. } => {
+                names.insert(array.clone());
+            }
+            _ => {}
+        });
+        s.visit_exprs(&mut |e| match e {
+            Expr::Var(name) => {
+                names.insert(name.clone());
+            }
+            Expr::ArrayGet { array, .. } => {
+                names.insert(array.clone());
+            }
+            _ => {}
+        });
+    }
+    names
+}
+
+/// Trip-weighted static work of one statement (mirrors
+/// [`Kernel::dynamic_ops`] without needing a whole kernel).
+fn stmt_ops(s: &Stmt) -> u64 {
+    match s {
+        Stmt::Assign { value, .. } | Stmt::Write { value, .. } => 1 + value.op_count() as u64,
+        Stmt::ArraySet { index, value, .. } => {
+            2 + index.op_count() as u64 + value.op_count() as u64
+        }
+        Stmt::Read { .. } => 1,
+        Stmt::For { body, .. } => {
+            let inner: u64 = body.iter().map(stmt_ops).sum();
+            s.trip_count().unwrap_or(1).saturating_mul(inner + 1)
+        }
+        Stmt::If {
+            cond,
+            then_body,
+            else_body,
+        } => {
+            let t: u64 = then_body.iter().map(stmt_ops).sum();
+            let e: u64 = else_body.iter().map(stmt_ops).sum();
+            1 + cond.op_count() as u64 + t.max(e)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kir::interp::Resolved;
+    use kir::types::Value;
+    use kir::{KernelBuilder, Scalar};
+
+    fn word(v: u32) -> Value {
+        Value::Int(aplib::DynInt::from_raw(32, false, v as u128))
+    }
+
+    /// load-then-compute kernel: phase 1 fills an array, phase 2 emits a
+    /// reversed, scaled copy.
+    fn two_phase(n: i64) -> Kernel {
+        KernelBuilder::new("tp")
+            .input("in", Scalar::uint(32))
+            .output("out", Scalar::uint(32))
+            .local("x", Scalar::uint(32))
+            .array("buf", Scalar::uint(32), n as u64)
+            .body([
+                Stmt::for_loop(
+                    "i",
+                    0..n,
+                    [
+                        Stmt::read("x", "in"),
+                        Stmt::store("buf", Expr::var("i"), Expr::var("x")),
+                    ],
+                ),
+                Stmt::for_loop(
+                    "i",
+                    0..n,
+                    [Stmt::write(
+                        "out",
+                        Expr::index("buf", Expr::cint(n - 1).sub(Expr::var("i")))
+                            .mul(Expr::cint(3)),
+                    )],
+                ),
+            ])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn split_two_phase_kernel_is_bit_identical() {
+        let n = 32i64;
+        let k = two_phase(n);
+        let plan = split_kernel(&k).expect("two-phase kernel has a legal cut");
+        // The shared array streams between the halves.
+        assert!(plan.state_ports.iter().any(|p| p.name == "__st_buf"));
+
+        let stream: Vec<Value> = (0..n as u32).map(word).collect();
+        let (expect, _) = Resolved::new(&k)
+            .run(&[("in", stream.clone())], kir::interp::DEFAULT_OP_BUDGET)
+            .unwrap();
+
+        // Run head, pipe state ports into tail.
+        let (head_out, _) = Resolved::new(&plan.head)
+            .run(&[("in", stream)], kir::interp::DEFAULT_OP_BUDGET)
+            .unwrap();
+        let tail_inputs: Vec<(&str, Vec<Value>)> = plan
+            .state_ports
+            .iter()
+            .map(|p| (p.name.as_str(), head_out[&p.name].clone()))
+            .collect();
+        let (tail_out, _) = Resolved::new(&plan.tail)
+            .run(&tail_inputs, kir::interp::DEFAULT_OP_BUDGET)
+            .unwrap();
+        assert_eq!(tail_out["out"], expect["out"]);
+    }
+
+    #[test]
+    fn no_cut_for_single_loop_streaming_kernel() {
+        let k = KernelBuilder::new("s")
+            .input("in", Scalar::uint(32))
+            .output("out", Scalar::uint(32))
+            .local("x", Scalar::uint(32))
+            .body([Stmt::for_loop(
+                "i",
+                0..8,
+                [Stmt::read("x", "in"), Stmt::write("out", Expr::var("x"))],
+            )])
+            .build()
+            .unwrap();
+        assert!(split_kernel(&k).is_none());
+    }
+
+    #[test]
+    fn disjoint_phase_arrays_land_on_one_side_only() {
+        // Phase 1 uses `a`, phase 2 uses `b` (filled from a carried local):
+        // after the split each half must hold only its own array.
+        let n = 16i64;
+        let k = KernelBuilder::new("d")
+            .input("in", Scalar::uint(32))
+            .output("out", Scalar::uint(32))
+            .local("acc", Scalar::uint(32))
+            .local("x", Scalar::uint(32))
+            .array("a", Scalar::uint(32), n as u64)
+            .array("b", Scalar::uint(32), n as u64)
+            .body([
+                Stmt::for_loop(
+                    "i",
+                    0..n,
+                    [
+                        Stmt::read("x", "in"),
+                        Stmt::store("a", Expr::var("i"), Expr::var("x")),
+                        Stmt::assign(
+                            "acc",
+                            Expr::var("acc").add(Expr::index("a", Expr::var("i"))),
+                        ),
+                    ],
+                ),
+                Stmt::for_loop(
+                    "i",
+                    0..n,
+                    [
+                        Stmt::store("b", Expr::var("i"), Expr::var("acc").add(Expr::var("i"))),
+                        Stmt::write("out", Expr::index("b", Expr::var("i"))),
+                    ],
+                ),
+            ])
+            .build()
+            .unwrap();
+        let plan = split_kernel(&k).unwrap();
+        assert!(plan.head.array("a").is_some() && plan.head.array("b").is_none());
+        assert!(plan.tail.array("b").is_some() && plan.tail.array("a").is_none());
+        // Only the local `acc` crosses; `a`'s contents do not.
+        assert_eq!(
+            plan.state_ports.iter().map(|p| &p.name).collect::<Vec<_>>(),
+            vec!["__st_acc"]
+        );
+    }
+}

@@ -1,0 +1,411 @@
+//! Static rate analysis: per-port token counts per kernel invocation.
+//!
+//! Because kernels have static loop structure (the operator discipline,
+//! paper Sec. 3.4), the number of tokens a kernel moves through each port is
+//! a compile-time quantity: trip-count-weighted sums over the body, taking
+//! the worst case across `If` branches. Ports whose I/O never sits under a
+//! branch get an *exact* count — the property the fusion pass requires —
+//! while branch-dependent ports get a safe upper bound.
+//!
+//! The same analysis drives channel sizing (Alias, "Improving Communication
+//! Patterns in Polyhedral Process Networks"): an edge that carries a large
+//! stream through a shallow FIFO forces a condvar round-trip per
+//! `depth`-sized slice in the threaded engine, so [`solve_depths`] grows
+//! depths toward the stream size (clamped, and never below the engine
+//! default — sizing must not regress any app).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use kir::{Kernel, Stmt};
+
+use crate::graph::Graph;
+
+/// A static token count for one port over one kernel invocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Rate {
+    /// Tokens transferred per invocation (worst case across branches).
+    pub tokens: u64,
+    /// True when the count is data-independent: no I/O on the port occurs
+    /// under an `If`, so exactly `tokens` tokens move on every run.
+    pub exact: bool,
+}
+
+impl Rate {
+    /// The rate of a port with no I/O at all.
+    pub const ZERO: Rate = Rate {
+        tokens: 0,
+        exact: true,
+    };
+}
+
+/// Per-port rates of one kernel.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PortRates {
+    /// Tokens read per input port.
+    pub reads: BTreeMap<String, Rate>,
+    /// Tokens written per output port.
+    pub writes: BTreeMap<String, Rate>,
+}
+
+/// Production/consumption rates of one graph edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EdgeRate {
+    /// Tokens the producer writes into the edge per invocation.
+    pub produced: Rate,
+    /// Tokens the consumer reads from the edge per invocation.
+    pub consumed: Rate,
+    /// True when the consumer finishes every read on this edge before its
+    /// first write anywhere — a two-phase (reorder) consumer in polyhedral
+    /// process network terms. Such a consumer emits nothing until the whole
+    /// stream is in, so a default-depth FIFO throttles its producer to
+    /// ring-sized slices for no benefit.
+    pub phase_consumer: bool,
+}
+
+/// Computes the static token count of every port of `kernel`.
+pub fn port_rates(kernel: &Kernel) -> PortRates {
+    let mut rates = PortRates::default();
+    walk(&kernel.body, 1, true, &mut rates);
+    // Ports with no I/O anywhere still deserve an entry.
+    for p in &kernel.inputs {
+        rates.reads.entry(p.name.clone()).or_insert(Rate::ZERO);
+    }
+    for p in &kernel.outputs {
+        rates.writes.entry(p.name.clone()).or_insert(Rate::ZERO);
+    }
+    rates
+}
+
+fn walk(stmts: &[Stmt], mult: u64, exact: bool, acc: &mut PortRates) {
+    for s in stmts {
+        match s {
+            Stmt::Read { port, .. } => bump(&mut acc.reads, port, mult, exact),
+            Stmt::Write { port, .. } => bump(&mut acc.writes, port, mult, exact),
+            Stmt::For { body, .. } => {
+                let trips = s.trip_count().unwrap_or(0);
+                walk(body, mult.saturating_mul(trips), exact, acc);
+            }
+            Stmt::If {
+                then_body,
+                else_body,
+                ..
+            } => {
+                // Count each branch separately, then take the per-port max:
+                // a safe bound whichever way the condition goes. Anything
+                // under a branch is data-dependent, hence inexact.
+                let mut t = PortRates::default();
+                let mut e = PortRates::default();
+                walk(then_body, mult, false, &mut t);
+                walk(else_body, mult, false, &mut e);
+                merge_branch(&mut acc.reads, &t.reads, &e.reads);
+                merge_branch(&mut acc.writes, &t.writes, &e.writes);
+            }
+            Stmt::Assign { .. } | Stmt::ArraySet { .. } => {}
+        }
+    }
+}
+
+fn bump(map: &mut BTreeMap<String, Rate>, port: &str, n: u64, exact: bool) {
+    let r = map.entry(port.to_string()).or_insert(Rate::ZERO);
+    r.tokens = r.tokens.saturating_add(n);
+    r.exact &= exact;
+}
+
+fn merge_branch(
+    acc: &mut BTreeMap<String, Rate>,
+    then_side: &BTreeMap<String, Rate>,
+    else_side: &BTreeMap<String, Rate>,
+) {
+    let ports: BTreeSet<&String> = then_side.keys().chain(else_side.keys()).collect();
+    for port in ports {
+        let t = then_side.get(port).map_or(0, |r| r.tokens);
+        let e = else_side.get(port).map_or(0, |r| r.tokens);
+        let r = acc.entry(port.clone()).or_insert(Rate::ZERO);
+        r.tokens = r.tokens.saturating_add(t.max(e));
+        r.exact = false;
+    }
+}
+
+/// Computes the production/consumption rate of every edge, indexed like
+/// [`Graph::edges`].
+pub fn edge_rates(graph: &Graph) -> Vec<EdgeRate> {
+    let per_op: Vec<PortRates> = graph
+        .operators
+        .iter()
+        .map(|o| port_rates(&o.kernel))
+        .collect();
+    graph
+        .edges
+        .iter()
+        .map(|e| EdgeRate {
+            produced: per_op[e.from.0 .0]
+                .writes
+                .get(&e.from.1)
+                .copied()
+                .unwrap_or(Rate::ZERO),
+            consumed: per_op[e.to.0 .0]
+                .reads
+                .get(&e.to.1)
+                .copied()
+                .unwrap_or(Rate::ZERO),
+            phase_consumer: reads_precede_all_writes(&graph.operators[e.to.0 .0].kernel, &e.to.1),
+        })
+        .collect()
+}
+
+/// True when `kernel` completes every read on `port` before its first write
+/// on any port: the reads all sit in top-level statements that precede the
+/// first top-level statement containing a write. This is the shape of a
+/// buffering/reordering consumer (fill an array, then emit), whose input
+/// channel must hold the whole stream before anything flows downstream.
+fn reads_precede_all_writes(kernel: &Kernel, port: &str) -> bool {
+    let mut seen_write = false;
+    let mut reads = 0usize;
+    for s in &kernel.body {
+        let mut has_read = false;
+        let mut has_write = false;
+        s.visit(&mut |st| match st {
+            Stmt::Read { port: p, .. } if p == port => has_read = true,
+            Stmt::Write { .. } => has_write = true,
+            _ => {}
+        });
+        if has_read {
+            reads += 1;
+            // A statement that both reads the port and writes is a
+            // streaming loop, not a fill phase; a read at or after the
+            // first write means output depends on a prefix only.
+            if seen_write || has_write {
+                return false;
+            }
+        }
+        if has_write {
+            seen_write = true;
+        }
+    }
+    reads > 0
+}
+
+/// Solves per-edge FIFO depths from the edge rates.
+///
+/// Heuristic rather than LP: the threaded engine pays one condvar round-trip
+/// each time a `depth`-sized window fills, so a *bursty or rate-mismatched*
+/// edge carrying `T` tokens wants a depth on the order of `T` to let its
+/// producer run ahead — those edges get a quarter of the worst-side traffic,
+/// rounded to a power of two. Steady edges (exact, matched rates) keep the
+/// engine default: extra depth there buys nothing but memory. Everything is
+/// clamped to `[default_depth, max_depth]` — monotonically at least the
+/// engine default, so sizing can only remove stalls, never add them.
+pub fn solve_depths(rates: &[EdgeRate], default_depth: usize, max_depth: usize) -> Vec<usize> {
+    let floor = default_depth.max(1);
+    let ceil = max_depth.max(floor);
+    rates
+        .iter()
+        .map(|r| {
+            let traffic = r.produced.tokens.max(r.consumed.tokens);
+            // A two-phase consumer drains nothing until its fill phase is
+            // done, so its producer stalls on every ring-fill unless the
+            // channel holds the whole stream (the classic reorder-channel
+            // result from the PPN literature). Size to the full traffic.
+            if r.phase_consumer {
+                let want = traffic.max(1).next_power_of_two();
+                return usize::try_from(want).unwrap_or(ceil).clamp(floor, ceil);
+            }
+            // A steady edge — exact rates, writes equal reads — never runs
+            // ahead in aggregate, so the engine default already decouples it;
+            // a bigger ring would only cost memory and cache locality. Extra
+            // depth goes to the edges that need slack: rate-mismatched or
+            // data-dependent (bursty) producers.
+            let steady =
+                r.produced.exact && r.consumed.exact && r.produced.tokens == r.consumed.tokens;
+            if steady {
+                return floor;
+            }
+            let want = (traffic / 4).max(1).next_power_of_two();
+            usize::try_from(want).unwrap_or(ceil).clamp(floor, ceil)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kir::{Expr, KernelBuilder, Scalar};
+
+    #[test]
+    fn nested_loops_multiply_counts() {
+        let k = KernelBuilder::new("k")
+            .input("in", Scalar::uint(32))
+            .output("out", Scalar::uint(32))
+            .local("x", Scalar::uint(32))
+            .body([Stmt::for_loop(
+                "i",
+                0..10,
+                [
+                    Stmt::read("x", "in"),
+                    Stmt::for_loop("j", 0..3, [Stmt::write("out", Expr::var("x"))]),
+                ],
+            )])
+            .build()
+            .unwrap();
+        let r = port_rates(&k);
+        assert_eq!(
+            r.reads["in"],
+            Rate {
+                tokens: 10,
+                exact: true
+            }
+        );
+        assert_eq!(
+            r.writes["out"],
+            Rate {
+                tokens: 30,
+                exact: true
+            }
+        );
+    }
+
+    #[test]
+    fn branch_io_is_inexact_worst_case() {
+        let k = KernelBuilder::new("k")
+            .input("in", Scalar::uint(32))
+            .output("out", Scalar::uint(32))
+            .local("x", Scalar::uint(32))
+            .body([Stmt::for_loop(
+                "i",
+                0..8,
+                [
+                    Stmt::read("x", "in"),
+                    Stmt::if_else(
+                        Expr::var("x").lt(Expr::cint(4)),
+                        [
+                            Stmt::write("out", Expr::var("x")),
+                            Stmt::write("out", Expr::var("x")),
+                        ],
+                        [Stmt::write("out", Expr::var("x"))],
+                    ),
+                ],
+            )])
+            .build()
+            .unwrap();
+        let r = port_rates(&k);
+        assert_eq!(
+            r.reads["in"],
+            Rate {
+                tokens: 8,
+                exact: true
+            }
+        );
+        // Worst case: two writes per iteration.
+        assert_eq!(
+            r.writes["out"],
+            Rate {
+                tokens: 16,
+                exact: false
+            }
+        );
+    }
+
+    #[test]
+    fn bursty_depths_scale_with_traffic_and_steady_edges_keep_the_default() {
+        // Steady: exact matched rates — the default depth already decouples
+        // it, however much traffic it carries.
+        let steady = EdgeRate {
+            produced: Rate {
+                tokens: 16_384,
+                exact: true,
+            },
+            consumed: Rate {
+                tokens: 16_384,
+                exact: true,
+            },
+            phase_consumer: false,
+        };
+        // Bursty: a data-dependent producer wants slack on the order of its
+        // traffic, clamped to the cap...
+        let bursty = EdgeRate {
+            produced: Rate {
+                tokens: 16_384,
+                exact: false,
+            },
+            consumed: Rate {
+                tokens: 16_384,
+                exact: true,
+            },
+            phase_consumer: false,
+        };
+        // ...but a small bursty edge never drops below the default.
+        let small_bursty = EdgeRate {
+            produced: Rate {
+                tokens: 64,
+                exact: false,
+            },
+            consumed: Rate {
+                tokens: 64,
+                exact: true,
+            },
+            phase_consumer: false,
+        };
+        // A two-phase consumer wants the whole stream buffered, not a
+        // quarter of it.
+        let phase = EdgeRate {
+            produced: Rate {
+                tokens: 2048,
+                exact: true,
+            },
+            consumed: Rate {
+                tokens: 2048,
+                exact: true,
+            },
+            phase_consumer: true,
+        };
+        let depths = solve_depths(&[steady, bursty, small_bursty, phase], 256, 4096);
+        assert_eq!(depths, vec![256, 4096, 256, 2048]);
+    }
+
+    #[test]
+    fn two_phase_consumers_are_detected_on_their_input_edge() {
+        // Fill phase: read everything into an array; emit phase: write it
+        // back out reversed. All reads precede the first write.
+        let k = KernelBuilder::new("rev")
+            .input("in", Scalar::uint(32))
+            .output("out", Scalar::uint(32))
+            .array("buf", Scalar::uint(32), 8)
+            .local("x", Scalar::uint(32))
+            .body([
+                Stmt::for_loop(
+                    "i",
+                    0..8,
+                    [
+                        Stmt::read("x", "in"),
+                        Stmt::store("buf", Expr::var("i"), Expr::var("x")),
+                    ],
+                ),
+                Stmt::for_loop(
+                    "j",
+                    0..8,
+                    [Stmt::write(
+                        "out",
+                        Expr::index("buf", Expr::cint(7).sub(Expr::var("j"))),
+                    )],
+                ),
+            ])
+            .build()
+            .unwrap();
+        assert!(reads_precede_all_writes(&k, "in"));
+
+        // A plain streaming map reads and writes in the same loop: not a
+        // phase consumer.
+        let m = KernelBuilder::new("map")
+            .input("in", Scalar::uint(32))
+            .output("out", Scalar::uint(32))
+            .local("x", Scalar::uint(32))
+            .body([Stmt::for_loop(
+                "i",
+                0..8,
+                [Stmt::read("x", "in"), Stmt::write("out", Expr::var("x"))],
+            )])
+            .build()
+            .unwrap();
+        assert!(!reads_precede_all_writes(&m, "in"));
+    }
+}

@@ -34,10 +34,16 @@ pub const CHANNEL_DEPTH: usize = 256;
 pub const WRITE_CHUNK: usize = 64;
 
 /// Tuning knobs for the threaded runtime.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ThreadedConfig {
-    /// FIFO depth of every link (tokens).
+    /// FIFO depth of every link (tokens), unless overridden per edge.
     pub channel_depth: usize,
+    /// Optional per-edge FIFO depths, indexed like [`Graph::edges`]. Edges
+    /// without an entry (index past the end, or `None` for the whole field)
+    /// fall back to [`ThreadedConfig::channel_depth`]; external input/output
+    /// links always use the global depth. Produced by the optimizer's rate
+    /// analysis (`dfg::opt`), but any caller may set it.
+    pub edge_depths: Option<Vec<usize>>,
     /// Tokens buffered per read/write chunk. `1` degenerates to per-token
     /// transport; larger chunks amortize channel locking.
     pub chunk: usize,
@@ -49,9 +55,29 @@ impl Default for ThreadedConfig {
     fn default() -> ThreadedConfig {
         ThreadedConfig {
             channel_depth: CHANNEL_DEPTH,
+            edge_depths: None,
             chunk: WRITE_CHUNK,
             op_budget: kir::interp::DEFAULT_OP_BUDGET,
         }
+    }
+}
+
+/// Stall statistics from one threaded run, per internal edge.
+///
+/// Collected from the shared ring counters when each consumer operator
+/// finishes; a producer still parked at that instant may add one final
+/// episode that goes unrecorded, which is harmless for the relative
+/// comparisons these feed (optimizer on/off stall reduction).
+#[derive(Debug, Clone, Default)]
+pub struct ThreadedRunStats {
+    /// Per-edge stall counters, indexed like [`Graph::edges`].
+    pub edge_stats: Vec<listream::LinkStats>,
+}
+
+impl ThreadedRunStats {
+    /// Total stall episodes across every internal edge, both directions.
+    pub fn total_blocks(&self) -> u64 {
+        self.edge_stats.iter().map(|s| s.total()).sum()
     }
 }
 
@@ -164,6 +190,21 @@ pub fn run_graph_threaded_with(
     inputs: &[(&str, Vec<Value>)],
     config: ThreadedConfig,
 ) -> Result<HashMap<String, Vec<Value>>, GraphRunError> {
+    run_graph_threaded_stats(graph, inputs, config).map(|(outputs, _)| outputs)
+}
+
+/// [`run_graph_threaded_with`] that also returns per-edge stall statistics,
+/// the measurement side of the optimizer's channel-sizing pass.
+///
+/// # Errors
+///
+/// Returns [`GraphRunError`] if inputs are missing/unknown or any operator
+/// thread hits a runtime error.
+pub fn run_graph_threaded_stats(
+    graph: &Graph,
+    inputs: &[(&str, Vec<Value>)],
+    config: ThreadedConfig,
+) -> Result<(HashMap<String, Vec<Value>>, ThreadedRunStats), GraphRunError> {
     for (name, _) in inputs {
         if !graph.ext_inputs.iter().any(|p| p.name == *name) {
             return Err(GraphRunError::NoSuchInput(name.to_string()));
@@ -206,8 +247,13 @@ pub fn run_graph_threaded_with(
             .expect("validated")
     };
 
-    for e in &graph.edges {
-        let (tx, rx) = listream::channel(depth);
+    for (ei, e) in graph.edges.iter().enumerate() {
+        let edge_depth = config
+            .edge_depths
+            .as_ref()
+            .and_then(|d| d.get(ei).copied())
+            .map_or(depth, |d| d.max(1));
+        let (tx, rx) = listream::channel(edge_depth);
         op_writers[e.from.0 .0][out_port_index(e.from.0, &e.from.1)] = Some(tx);
         op_readers[e.to.0 .0][in_port_index(e.to.0, &e.to.1)] = Some(rx);
     }
@@ -256,7 +302,7 @@ pub fn run_graph_threaded_with(
         let name = inst.name.clone();
         let budget = config.op_budget;
         workers.push(thread::spawn(move || {
-            match resolved.run_with_io(&mut io, budget) {
+            let result = match resolved.run_with_io(&mut io, budget) {
                 // Deliver tokens still buffered before the channels close. A
                 // hangup here means a downstream operator already failed;
                 // that thread reports the error.
@@ -268,7 +314,16 @@ pub fn run_graph_threaded_with(
                 // promptly, and the failure is reported where it happened.
                 Err(InterpError::DownstreamClosed { .. }) => Ok(()),
                 Err(error) => Err(GraphRunError::Operator { op: name, error }),
-            }
+            };
+            // Snapshot each input link's shared stall counters while the
+            // endpoints are still alive; the run-stats API maps these back
+            // to edges by consumer port.
+            let port_stats: Vec<Option<listream::LinkStats>> = io
+                .readers
+                .iter()
+                .map(|r| r.as_ref().map(|rx| rx.stats()))
+                .collect();
+            (result, port_stats)
             // `io` drops here, closing the operator's output channels.
         }));
     }
@@ -277,8 +332,11 @@ pub fn run_graph_threaded_with(
         f.join().expect("feeder threads do not panic");
     }
     let mut first_error = None;
+    let mut per_op_port_stats: Vec<Vec<Option<listream::LinkStats>>> = Vec::new();
     for w in workers {
-        if let Err(e) = w.join().expect("operator threads do not panic") {
+        let (result, port_stats) = w.join().expect("operator threads do not panic");
+        per_op_port_stats.push(port_stats);
+        if let Err(e) = result {
             first_error.get_or_insert(e);
         }
     }
@@ -289,7 +347,16 @@ pub fn run_graph_threaded_with(
     }
     match first_error {
         Some(e) => Err(e),
-        None => Ok(outputs),
+        None => {
+            let edge_stats = graph
+                .edges
+                .iter()
+                .map(|e| {
+                    per_op_port_stats[e.to.0 .0][in_port_index(e.to.0, &e.to.1)].unwrap_or_default()
+                })
+                .collect();
+            Ok((outputs, ThreadedRunStats { edge_stats }))
+        }
     }
 }
 
@@ -374,6 +441,63 @@ mod tests {
     }
 
     #[test]
+    fn per_edge_depths_match_global_default_behavior() {
+        let g = pipeline(4, 400);
+        let inputs = vec![("Input_1", word_values(400))];
+        let baseline = run_graph_threaded(&g, &inputs).unwrap();
+
+        // Explicitly unset: identical to the default global depth.
+        let unset = ThreadedConfig {
+            edge_depths: None,
+            ..ThreadedConfig::default()
+        };
+        assert_eq!(
+            run_graph_threaded_with(&g, &inputs, unset).unwrap(),
+            baseline
+        );
+
+        // Heterogeneous depths, including one below chunk size and a short
+        // vector (edges past its end fall back to the global depth): still
+        // bit-identical by the Kahn property.
+        let mixed = ThreadedConfig {
+            edge_depths: Some(vec![2, 1024]),
+            ..ThreadedConfig::default()
+        };
+        assert_eq!(
+            run_graph_threaded_with(&g, &inputs, mixed).unwrap(),
+            baseline
+        );
+
+        // Degenerate zero entries are clamped to 1, not a panic.
+        let clamped = ThreadedConfig {
+            edge_depths: Some(vec![0, 0, 0]),
+            chunk: 1,
+            ..ThreadedConfig::default()
+        };
+        assert_eq!(
+            run_graph_threaded_with(&g, &inputs, clamped).unwrap(),
+            baseline
+        );
+    }
+
+    #[test]
+    fn run_stats_reports_stalls_on_shallow_edges() {
+        // Depth-1 channels with per-token transport force a stall on nearly
+        // every hand-off; the stats variant must observe them.
+        let g = pipeline(3, 200);
+        let inputs = vec![("Input_1", word_values(200))];
+        let cfg = ThreadedConfig {
+            channel_depth: 1,
+            chunk: 1,
+            ..ThreadedConfig::default()
+        };
+        let (out, stats) = run_graph_threaded_stats(&g, &inputs, cfg).unwrap();
+        assert_eq!(out["Output_1"].len(), 200);
+        assert_eq!(stats.edge_stats.len(), g.edges.len());
+        assert!(stats.total_blocks() > 0, "{stats:?}");
+    }
+
+    #[test]
     fn operator_failure_is_reported() {
         let g = pipeline(2, 100);
         // Too little input: the first stage underflows.
@@ -441,6 +565,7 @@ mod tests {
             channel_depth: 8,
             chunk: 4,
             op_budget: 50_000,
+            ..ThreadedConfig::default()
         };
         let err = run_graph_threaded_with(&g, &[("Input_1", inputs)], cfg).unwrap_err();
         match err {

@@ -258,6 +258,17 @@ impl Floorplan {
         self.pages_of_type(page_type).count()
     }
 
+    /// BRAM bits of the *smallest* page — the per-operator array budget a
+    /// graph optimizer can count on when operators may land on any page.
+    /// Each BRAM18 block holds 18 Kib.
+    pub fn min_page_bram_bits(&self) -> u64 {
+        self.pages
+            .iter()
+            .map(|p| p.resources.bram18 * 18 * 1024)
+            .min()
+            .unwrap_or(0)
+    }
+
     /// Validates geometric invariants.
     ///
     /// # Errors

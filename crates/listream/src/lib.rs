@@ -28,7 +28,7 @@ mod ring;
 mod threaded;
 
 pub use fifo::{FifoStats, SimFifo};
-pub use threaded::{channel, ReadError, StreamReader, StreamWriter, WriteError};
+pub use threaded::{channel, LinkStats, ReadError, StreamReader, StreamWriter, WriteError};
 
 /// The standard 32-bit stream payload.
 ///

@@ -9,6 +9,7 @@
 //! close-detection logic.
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex};
 
 use crate::{ReadError, WriteError};
@@ -22,6 +23,10 @@ pub(crate) struct Ring<T> {
     not_empty: Condvar,
     /// Signalled when tokens are popped or the last reader leaves.
     not_full: Condvar,
+    /// Backpressure episodes: a write call found the FIFO full and parked.
+    write_blocks: AtomicU64,
+    /// Starvation episodes: a read call found the FIFO empty and parked.
+    read_blocks: AtomicU64,
 }
 
 struct State<T> {
@@ -42,7 +47,20 @@ impl<T> Ring<T> {
             }),
             not_empty: Condvar::new(),
             not_full: Condvar::new(),
+            write_blocks: AtomicU64::new(0),
+            read_blocks: AtomicU64::new(0),
         }
+    }
+
+    /// Cumulative (backpressure, starvation) episode counts. An episode is
+    /// one call that had to park, however many wakeups it took to proceed —
+    /// counting wakeups would conflate stalling with condvar spurious-wake
+    /// behaviour.
+    pub(crate) fn stalls(&self) -> (u64, u64) {
+        (
+            self.write_blocks.load(Ordering::Relaxed),
+            self.read_blocks.load(Ordering::Relaxed),
+        )
     }
 
     pub(crate) fn add_writer(&self) {
@@ -75,6 +93,7 @@ impl<T> Ring<T> {
 
     pub(crate) fn write(&self, token: T) -> Result<(), WriteError> {
         let mut st = self.state.lock().unwrap();
+        let mut parked = false;
         loop {
             if st.readers == 0 {
                 return Err(WriteError);
@@ -84,6 +103,10 @@ impl<T> Ring<T> {
                 drop(st);
                 self.not_empty.notify_one();
                 return Ok(());
+            }
+            if !parked {
+                parked = true;
+                self.write_blocks.fetch_add(1, Ordering::Relaxed);
             }
             st = self.not_full.wait(st).unwrap();
         }
@@ -105,6 +128,7 @@ impl<T> Ring<T> {
     pub(crate) fn write_batch(&self, buf: &mut Vec<T>) -> Result<(), WriteError> {
         let mut pending = buf.drain(..);
         let mut st = self.state.lock().unwrap();
+        let mut parked = false;
         loop {
             if st.readers == 0 {
                 // The remaining tokens can never be delivered; `pending`
@@ -130,6 +154,10 @@ impl<T> Ring<T> {
                     return Ok(());
                 }
             }
+            if !parked {
+                parked = true;
+                self.write_blocks.fetch_add(1, Ordering::Relaxed);
+            }
             st = self.not_full.wait(st).unwrap();
         }
     }
@@ -152,6 +180,7 @@ impl<T> Ring<T> {
 
     pub(crate) fn read(&self) -> Result<T, ReadError> {
         let mut st = self.state.lock().unwrap();
+        let mut parked = false;
         loop {
             if let Some(token) = st.queue.pop_front() {
                 drop(st);
@@ -160,6 +189,10 @@ impl<T> Ring<T> {
             }
             if st.writers == 0 {
                 return Err(ReadError);
+            }
+            if !parked {
+                parked = true;
+                self.read_blocks.fetch_add(1, Ordering::Relaxed);
             }
             st = self.not_empty.wait(st).unwrap();
         }
@@ -180,6 +213,7 @@ impl<T> Ring<T> {
             return Ok(0);
         }
         let mut st = self.state.lock().unwrap();
+        let mut parked = false;
         loop {
             if !st.queue.is_empty() {
                 let n = st.queue.len().min(max);
@@ -190,6 +224,10 @@ impl<T> Ring<T> {
             }
             if st.writers == 0 {
                 return Err(ReadError);
+            }
+            if !parked {
+                parked = true;
+                self.read_blocks.fetch_add(1, Ordering::Relaxed);
             }
             st = self.not_empty.wait(st).unwrap();
         }

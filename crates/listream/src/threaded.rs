@@ -42,6 +42,24 @@ impl fmt::Display for WriteError {
 
 impl std::error::Error for WriteError {}
 
+/// Cumulative stall counts observed on one stream link, readable from either
+/// endpoint. An episode is one call that had to park (however many wakeups it
+/// took), so the numbers compare meaningfully across chunk sizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LinkStats {
+    /// Backpressure episodes: a write found the FIFO full and blocked.
+    pub write_blocks: u64,
+    /// Starvation episodes: a read found the FIFO empty and blocked.
+    pub read_blocks: u64,
+}
+
+impl LinkStats {
+    /// Total stall episodes on the link, both directions.
+    pub fn total(&self) -> u64 {
+        self.write_blocks + self.read_blocks
+    }
+}
+
 /// Producer endpoint of a latency-insensitive stream link.
 pub struct StreamWriter<T> {
     ring: Arc<Ring<T>>,
@@ -163,6 +181,15 @@ impl<T> StreamWriter<T> {
     pub fn try_write_batch(&self, buf: &mut Vec<T>) -> Result<usize, WriteError> {
         self.ring.try_write_batch(buf)
     }
+
+    /// Snapshot of the link's cumulative stall counters.
+    pub fn stats(&self) -> LinkStats {
+        let (write_blocks, read_blocks) = self.ring.stalls();
+        LinkStats {
+            write_blocks,
+            read_blocks,
+        }
+    }
 }
 
 impl<T> StreamReader<T> {
@@ -206,6 +233,15 @@ impl<T> StreamReader<T> {
     /// Returns an iterator that drains the stream until it closes.
     pub fn iter(&self) -> impl Iterator<Item = T> + '_ {
         std::iter::from_fn(move || self.ring.read().ok())
+    }
+
+    /// Snapshot of the link's cumulative stall counters.
+    pub fn stats(&self) -> LinkStats {
+        let (write_blocks, read_blocks) = self.ring.stalls();
+        LinkStats {
+            write_blocks,
+            read_blocks,
+        }
     }
 }
 
@@ -336,6 +372,36 @@ mod tests {
         tx.write(7).unwrap();
         let got = reader.join().unwrap();
         assert_eq!(got, vec![7]);
+    }
+
+    #[test]
+    fn stall_counters_track_block_episodes() {
+        let (tx, rx) = channel::<u32>(1);
+        assert_eq!(tx.stats(), LinkStats::default());
+
+        // Reader parks first, writer then satisfies it: one starvation.
+        let reader = thread::spawn(move || {
+            let v = rx.read().unwrap();
+            (v, rx)
+        });
+        thread::sleep(Duration::from_millis(10));
+        tx.write(1).unwrap();
+        let (v, rx) = reader.join().unwrap();
+        assert_eq!(v, 1);
+        assert_eq!(rx.stats().read_blocks, 1);
+
+        // Fill the FIFO, park the writer, then drain: one backpressure.
+        tx.write(2).unwrap();
+        let writer = thread::spawn(move || {
+            tx.write(3).unwrap();
+            tx
+        });
+        thread::sleep(Duration::from_millis(10));
+        assert_eq!(rx.read(), Ok(2));
+        let tx = writer.join().unwrap();
+        assert_eq!(tx.stats().write_blocks, 1);
+        // Both endpoints observe the same shared counters.
+        assert_eq!(tx.stats(), rx.stats());
     }
 
     #[test]

@@ -370,7 +370,9 @@ impl Runtime {
     /// operator, tokens moved in chunks over bounded channels
     /// ([`dfg::run_graph_threaded`]). Same outputs by the Kahn property;
     /// lower wall-clock latency on wide graphs, and that is what lands in
-    /// the histogram.
+    /// the histogram. Apps compiled with the KPN optimizer carry solved
+    /// per-edge FIFO depths, which are plumbed into the engine's channels
+    /// here.
     ///
     /// # Errors
     ///
@@ -381,7 +383,11 @@ impl Runtime {
         inputs: &[(&str, Vec<Value>)],
     ) -> Result<HashMap<String, Vec<Value>>, RuntimeError> {
         self.run_with(id, inputs, |app, inputs| {
-            dfg::run_graph_threaded(&app.graph, inputs).map_err(|e| e.to_string())
+            let config = dfg::ThreadedConfig {
+                edge_depths: app.edge_depths.clone(),
+                ..dfg::ThreadedConfig::default()
+            };
+            dfg::run_graph_threaded_with(&app.graph, inputs, config).map_err(|e| e.to_string())
         })
     }
 
