@@ -438,6 +438,144 @@ fn optimizer_kpis() -> String {
     )
 }
 
+/// Warm-start incremental P&R KPIs on the same 8-page workload: for
+/// 1/2/4-cell edits of every page, a cold full P&R of the edited netlist
+/// vs a warm rerun seeded from the base layout's hints — virtual seconds,
+/// wall seconds, and quality parity (warm wirelength / fmax against the
+/// cold result of the *same* edited netlist, a stricter bar than the
+/// guard's prior-cold estimate) — plus the lineage-keyed hint hit rate of
+/// a build-level edit-one rebuild.
+fn incremental_pnr_kpis(fp: &fabric::Floorplan, wrapped: &[netlist::Netlist]) -> String {
+    let vt = pld::VtimeModel::default();
+    let pnr_opts = PnrOptions::default();
+    let hints: Vec<pnr::PnrHints> = wrapped
+        .iter()
+        .enumerate()
+        .map(|(i, nl)| {
+            let cold = pnr::place_and_route(nl, &fp.device, fp.pages[i].rect, &pnr_opts)
+                .expect("base fits");
+            pnr::extract_hints(nl, fp.pages[i].rect, &cold)
+        })
+        .collect();
+    // A k-cell edit in the shape a developer makes one: append registers,
+    // each fed from an existing cell, leaving the rest of the netlist
+    // untouched.
+    let edit = |nl: &netlist::Netlist, cells: usize| -> netlist::Netlist {
+        let mut e = nl.clone();
+        let n = e.cells.len();
+        for k in 0..cells {
+            let id = e.add_cell(
+                format!("edit{k}"),
+                netlist::CellKind::Register { width: 32 },
+            );
+            e.add_net(netlist::CellId((3 + 7 * k) % n), vec![id], 32);
+        }
+        e
+    };
+
+    let mut sections = String::new();
+    let mut wl_ratio_max = 0.0f64;
+    let mut fmax_ratio_min = f64::MAX;
+    let mut fallbacks = 0u64;
+    let mut edit1_gate = (0.0, 0.0);
+    for &cells in &[1usize, 2, 4] {
+        let edited: Vec<netlist::Netlist> = wrapped.iter().map(|nl| edit(nl, cells)).collect();
+        // Wall: best-of-3 sweeps over all 8 pages, each side timed alone.
+        let (mut cold_wall, mut warm_wall) = (f64::MAX, f64::MAX);
+        for _ in 0..3 {
+            let t0 = Instant::now();
+            for (i, e) in edited.iter().enumerate() {
+                pnr::place_and_route(e, &fp.device, fp.pages[i].rect, &pnr_opts).expect("fits");
+            }
+            cold_wall = cold_wall.min(t0.elapsed().as_secs_f64());
+            let t0 = Instant::now();
+            for (i, e) in edited.iter().enumerate() {
+                pnr::place_and_route_incremental(
+                    e,
+                    &fp.device,
+                    fp.pages[i].rect,
+                    &pnr_opts,
+                    &hints[i],
+                    4,
+                )
+                .expect("fits");
+            }
+            warm_wall = warm_wall.min(t0.elapsed().as_secs_f64());
+        }
+        // Vtime + quality parity from one deterministic pass.
+        let (mut cold_vt, mut warm_vt) = (0.0, 0.0);
+        for (i, e) in edited.iter().enumerate() {
+            let cold =
+                pnr::place_and_route(e, &fp.device, fp.pages[i].rect, &pnr_opts).expect("fits");
+            let (warm, report) = pnr::place_and_route_incremental(
+                e,
+                &fp.device,
+                fp.pages[i].rect,
+                &pnr_opts,
+                &hints[i],
+                4,
+            )
+            .expect("fits");
+            cold_vt += vt.pnr_seconds(cold.work_units);
+            if report.fell_back {
+                fallbacks += 1;
+                warm_vt += vt.pnr_seconds(warm.work_units);
+            } else {
+                warm_vt += vt.pnr_warm_seconds(warm.work_units);
+                wl_ratio_max = wl_ratio_max
+                    .max(warm.routed.wirelength as f64 / cold.routed.wirelength.max(1) as f64);
+                fmax_ratio_min = fmax_ratio_min.min(warm.timing.fmax_mhz / cold.timing.fmax_mhz);
+            }
+        }
+        let vtime_speedup = cold_vt / warm_vt;
+        let wall_speedup = cold_wall / warm_wall;
+        if cells == 1 {
+            edit1_gate = (vtime_speedup, wall_speedup);
+        }
+        sections += &format!(
+            "    \"edit{cells}_cold_pnr_vtime_seconds\": {cold_vt:.1},\n    \"edit{cells}_warm_pnr_vtime_seconds\": {warm_vt:.1},\n    \"edit{cells}_vtime_speedup\": {vtime_speedup:.2},\n    \"edit{cells}_cold_pnr_wall_seconds\": {cold_wall:.4},\n    \"edit{cells}_warm_pnr_wall_seconds\": {warm_wall:.4},\n    \"edit{cells}_wall_speedup\": {wall_speedup:.2},\n"
+        );
+    }
+
+    // Build-level edit-one rebuild with the flag on: the edited operator's
+    // seed-free lineage key must find the previous version's hints.
+    let opts = CompileOptions {
+        incremental_pnr: true,
+        ..CompileOptions::new(OptLevel::O1)
+    };
+    let mut cache = BuildCache::new();
+    cache.compile(&edit_pipeline(8, None), &opts).expect("base");
+    cache
+        .compile(&edit_pipeline(8, Some((4, 999))), &opts)
+        .expect("edit");
+    let report = cache.last_report().unwrap();
+    let hint_hit_rate = report.hint_hits as f64 / report.hint_fetches.max(1) as f64;
+
+    let (v1, w1) = edit1_gate;
+    assert!(
+        v1 >= 3.0 && w1 >= 3.0,
+        "warm single-cell-edit P&R below the 3x bar: vtime {v1:.2}x, wall {w1:.2}x"
+    );
+    assert!(
+        wl_ratio_max <= 1.05,
+        "warm wirelength strayed more than 5% from cold: {wl_ratio_max:.3}x"
+    );
+    assert!(
+        fmax_ratio_min >= 0.95,
+        "warm fmax strayed more than 5% from cold: {fmax_ratio_min:.3}x"
+    );
+    assert!(
+        report.hint_hits >= 1 && report.warm_pnr_ops >= 1,
+        "edit-one rebuild never warm-started: hits {}, warm ops {}",
+        report.hint_hits,
+        report.warm_pnr_ops
+    );
+
+    format!(
+        "  \"incremental_pnr\": {{\n    \"workload\": \"8 leaf-wrapped operator pages, k-cell edits\",\n{sections}    \"warm_fallbacks\": {fallbacks},\n    \"hint_hit_rate\": {hint_hit_rate:.3},\n    \"wirelength_ratio_max\": {wl_ratio_max:.3},\n    \"fmax_ratio_min\": {fmax_ratio_min:.3}\n  }}\n"
+    )
+}
+
 /// Per-page P&R KPIs on the 8-operator page workload: annealer moves/sec
 /// against the pre-incremental-cost baseline measured on the same workload,
 /// router relaxations per net, and the wall-clock speedup of a 4-seed race
@@ -500,13 +638,26 @@ fn pnr_kpis() -> String {
     }
     let placer_speedup = moves_per_sec / BASELINE_MOVES_PER_SEC;
 
-    // Router effort: A* relaxations per net across the same pages.
+    // Router effort: A* relaxations per net across the same pages, and
+    // live relaxations/sec (best of 3 sweeps, placements precomputed so
+    // only routing is timed).
+    let placements: Vec<_> = wrapped
+        .iter()
+        .enumerate()
+        .map(|(i, nl)| place(nl, &fp.device, fp.pages[i].rect, &PnrOptions::default()).unwrap())
+        .collect();
     let (mut relaxed, mut nets) = (0u64, 0u64);
-    for (i, nl) in wrapped.iter().enumerate() {
-        let p = place(nl, &fp.device, fp.pages[i].rect, &PnrOptions::default()).unwrap();
-        let r = route(nl, &fp.device, fp.pages[i].rect, &p, &PnrOptions::default()).unwrap();
-        relaxed += r.edges_relaxed;
-        nets += nl.nets.len() as u64;
+    let mut relax_per_sec = f64::MIN;
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        let (mut batch_relaxed, mut batch_nets) = (0u64, 0u64);
+        for ((i, nl), p) in wrapped.iter().enumerate().zip(&placements) {
+            let r = route(nl, &fp.device, fp.pages[i].rect, p, &PnrOptions::default()).unwrap();
+            batch_relaxed += r.edges_relaxed;
+            batch_nets += nl.nets.len() as u64;
+        }
+        relax_per_sec = relax_per_sec.max(batch_relaxed as f64 / t0.elapsed().as_secs_f64());
+        (relaxed, nets) = (batch_relaxed, batch_nets);
     }
     let relax_per_net = relaxed as f64 / nets as f64;
 
@@ -540,8 +691,9 @@ fn pnr_kpis() -> String {
          {moves_per_sec:.0} moves/sec vs {BASELINE_MOVES_PER_SEC:.0}"
     );
 
+    let incremental = incremental_pnr_kpis(&fp, &wrapped);
     format!(
-        "{{\n  \"pnr\": {{\n    \"workload\": \"8 leaf-wrapped operator pages\",\n    \"placer_moves_per_sec\": {moves_per_sec:.0},\n    \"baseline_moves_per_sec\": {BASELINE_MOVES_PER_SEC:.0},\n    \"placer_speedup\": {placer_speedup:.2},\n    \"router_relaxations_per_net\": {relax_per_net:.1},\n    \"baseline_relaxations_per_net\": {BASELINE_RELAX_PER_NET:.1},\n    \"race_attempts\": {RACE_ATTEMPTS},\n    \"race_serial_cost_x\": {race_cost_x:.2},\n    \"race_farm_latency_x\": {race_latency_x:.2},\n    \"racing_speedup\": {racing_speedup:.2}\n  }}\n}}\n"
+        "{{\n  \"pnr\": {{\n    \"workload\": \"8 leaf-wrapped operator pages\",\n    \"placer_moves_per_sec\": {moves_per_sec:.0},\n    \"baseline_moves_per_sec\": {BASELINE_MOVES_PER_SEC:.0},\n    \"placer_speedup\": {placer_speedup:.2},\n    \"router_relaxations_per_net\": {relax_per_net:.1},\n    \"baseline_relaxations_per_net\": {BASELINE_RELAX_PER_NET:.1},\n    \"router_relaxations_per_sec\": {relax_per_sec:.0},\n    \"race_attempts\": {RACE_ATTEMPTS},\n    \"race_serial_cost_x\": {race_cost_x:.2},\n    \"race_farm_latency_x\": {race_latency_x:.2},\n    \"racing_speedup\": {racing_speedup:.2}\n  }},\n{incremental}}}\n"
     )
 }
 
@@ -593,7 +745,13 @@ fn check_kpi_files() {
                 "placer_moves_per_sec",
                 "placer_speedup",
                 "router_relaxations_per_net",
+                "router_relaxations_per_sec",
                 "racing_speedup",
+                "edit1_vtime_speedup",
+                "edit1_wall_speedup",
+                "hint_hit_rate",
+                "wirelength_ratio_max",
+                "fmax_ratio_min",
             ],
         ),
         // Written by `cargo run --release --example serving_fleet` (the
@@ -657,6 +815,32 @@ fn check_kpi_files() {
     assert!(
         persistent >= 0.8,
         "committed persistent cache hit rate fell below 0.8: {persistent}"
+    );
+    let spec_rate = numeric_key(&build_file, "speculative_hit_rate").expect("checked above");
+    assert!(
+        spec_rate >= 0.25,
+        "committed speculative-compile hit rate fell below 0.25: {spec_rate}"
+    );
+    let pnr_file = std::fs::read_to_string("BENCH_pnr.json").expect("checked above");
+    let warm_vt = numeric_key(&pnr_file, "edit1_vtime_speedup").expect("checked above");
+    assert!(
+        warm_vt >= 3.0,
+        "committed warm single-cell-edit P&R vtime speedup fell below 3x: {warm_vt}"
+    );
+    let warm_wall = numeric_key(&pnr_file, "edit1_wall_speedup").expect("checked above");
+    assert!(
+        warm_wall >= 3.0,
+        "committed warm single-cell-edit P&R wall speedup fell below 3x: {warm_wall}"
+    );
+    let wl_ratio = numeric_key(&pnr_file, "wirelength_ratio_max").expect("checked above");
+    assert!(
+        wl_ratio <= 1.05,
+        "committed warm wirelength parity strayed beyond 5%: {wl_ratio}"
+    );
+    let fmax_ratio = numeric_key(&pnr_file, "fmax_ratio_min").expect("checked above");
+    assert!(
+        fmax_ratio >= 0.95,
+        "committed warm fmax parity strayed beyond 5%: {fmax_ratio}"
     );
     let serving = std::fs::read_to_string("BENCH_serving.json").expect("checked above");
     let p99 = numeric_key(&serving, "p99_admission_ms").expect("checked above");

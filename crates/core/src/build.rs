@@ -46,7 +46,9 @@ use crate::flow::{
     wrap_with_leaf_interface, CompileError, CompileOptions, CompiledApp, CompiledOperator,
     OptLevel, OptSummary, SeedRace,
 };
-use crate::store::{HlsProduct, PnrProduct, SoftProduct, StageKey, StageKind, StageProduct};
+use crate::store::{
+    HintsProduct, HlsProduct, PnrProduct, SoftProduct, StageKey, StageKind, StageProduct,
+};
 use crate::vtime::PhaseTimes;
 
 /// Per-stage hit/execution counters for one build.
@@ -91,6 +93,21 @@ pub struct BuildReport {
     pub race_attempts_charged: u64,
     /// Executed `PlaceRoute` stages that raced more than one seed.
     pub raced_stages: u64,
+    /// `PnrHints` lookups performed for hardware operators whose
+    /// `PlaceRoute` stage missed (incremental P&R on, non-raced).
+    pub hint_fetches: u64,
+    /// Hint lookups that found a usable hint, arming the warm path.
+    pub hint_hits: u64,
+    /// Executed `PlaceRoute` stages that ran warm-started from a hint
+    /// (including those whose quality guard then fell back cold).
+    pub warm_pnr_ops: u64,
+    /// Warm-started stages the quality guard (or a routing failure)
+    /// discarded in favour of a bit-identical cold run.
+    pub warm_fallbacks: u64,
+    /// Winning seed-ladder index of every executed *raced* `PlaceRoute`
+    /// stage, in operator order — the speculator biases its extra-seed
+    /// guesses toward historically winning indices.
+    pub race_winner_indices: Vec<u32>,
 }
 
 impl BuildReport {
@@ -157,6 +174,32 @@ pub(crate) fn kernel_hash(kernel: &kir::Kernel) -> u64 {
     fnv(format!("{kernel:?}").as_bytes())
 }
 
+/// Domain tag folded into a `PlaceRoute` key (followed by the hint's
+/// content hash) when the stage is warm-started, so warm and cold products
+/// of the same source never share a key.
+pub(crate) const HINT_TAG: u64 = 0x7761_726d; // "warm"
+
+/// Key of the [`StageKind::PnrHints`] artifact for one operator *lineage*:
+/// operator name + page geometry + device, plus the kernel version whose
+/// P&R produced the hint. Deliberately seed-free — a hint is an
+/// optimization input, not part of any artifact's identity. A compile of an
+/// *edited* operator probes this key with the **previous** version's kernel
+/// hash (and with its own, which speculation may have pre-filled).
+pub(crate) fn hints_key(name: &str, khash: u64, rect: Rect, device_hash: u64) -> StageKey {
+    stage_key(
+        StageKind::PnrHints,
+        &[
+            fnv(name.as_bytes()),
+            khash,
+            rect.x0 as u64,
+            rect.y0 as u64,
+            rect.w as u64,
+            rect.h as u64,
+            device_hash,
+        ],
+    )
+}
+
 /// Which stages one operator needs, and which are already in the store.
 struct OpPlan {
     target: Target,
@@ -168,6 +211,12 @@ struct OpPlan {
     /// `PlaceRoute` (hardware targets only).
     pnr: Option<StageKey>,
     pnr_hit: bool,
+    /// Where this build files fresh [`StageKind::PnrHints`] for the current
+    /// kernel version (incremental P&R on, non-raced hardware only).
+    hints_key: Option<StageKey>,
+    /// Warm-start hint fetched for a missing `PlaceRoute` stage; its
+    /// content hash is already folded into `pnr`.
+    hint: Option<HintsProduct>,
     pack: StageKey,
     pack_hit: bool,
     /// LPT cost estimate for the farm job (missing work, roughly weighted).
@@ -194,7 +243,14 @@ impl OpPlan {
     }
 }
 
-type JobResult = Result<Vec<(StageKey, StageProduct)>, CompileError>;
+/// What one farm job produced, plus how its P&R stage ran.
+struct JobDone {
+    products: Vec<(StageKey, StageProduct)>,
+    /// `Some(fell_back)` when the job attempted a hint-warmed P&R.
+    warm: Option<bool>,
+}
+
+type JobResult = Result<JobDone, CompileError>;
 
 /// Compiles a graph by materializing its stage DAG against `store` — any
 /// [`CacheBackend`]: the bare in-memory [`crate::ArtifactStore`], or a persistent
@@ -215,6 +271,23 @@ type JobResult = Result<Vec<(StageKey, StageProduct)>, CompileError>;
 /// See [`CompileError`].
 pub fn build<C: CacheBackend>(
     graph: &Graph,
+    options: &CompileOptions,
+    store: &mut C,
+) -> Result<(CompiledApp, BuildReport), CompileError> {
+    build_with_prev(graph, None, options, store)
+}
+
+/// [`build`], given the *previous* version of the graph as warm-start
+/// context. With [`CompileOptions::incremental_pnr`] on, a dirty hardware
+/// operator's `PlaceRoute` stage probes the [`StageKind::PnrHints`] filed
+/// when the previous version of that operator compiled and, on a hit,
+/// warm-starts from it (see [`pnr::place_and_route_incremental`]). `prev`
+/// is matched by operator name against the graph as supplied; when the KPN
+/// optimizer rewrites operator names the probe simply misses and the stage
+/// runs cold — hints are an optimization input, never a correctness input.
+pub fn build_with_prev<C: CacheBackend>(
+    graph: &Graph,
+    prev: Option<&Graph>,
     options: &CompileOptions,
     store: &mut C,
 ) -> Result<(CompiledApp, BuildReport), CompileError> {
@@ -262,7 +335,7 @@ pub fn build<C: CacheBackend>(
             let app = compile_monolithic(build_graph, ir, options, t0, store, &mut report)?;
             (app, report)
         }
-        OptLevel::O0 | OptLevel::O1 => build_paged(build_graph, ir, options, t0, store)?,
+        OptLevel::O0 | OptLevel::O1 => build_paged(build_graph, prev, ir, options, t0, store)?,
     };
     if let Some((p, hit)) = optimized {
         report.record(StageKind::KpnOptimize, hit);
@@ -295,6 +368,7 @@ fn resolve_optimizer(
 
 fn build_paged<C: CacheBackend>(
     graph: &Graph,
+    prev: Option<&Graph>,
     ir: dfg::DfgIr,
     options: &CompileOptions,
     t0: std::time::Instant,
@@ -303,6 +377,7 @@ fn build_paged<C: CacheBackend>(
     let force_riscv = options.level == OptLevel::O0;
     let pages = assign_pages_with(graph, &options.floorplan, force_riscv, options.page_assign)?;
     let device_hash = fnv(format!("{:?}", options.floorplan.device).as_bytes());
+    let mut report = BuildReport::default();
 
     // Plan: probe every operator's stage chain against the store.
     let mut plans = Vec::with_capacity(graph.operators.len());
@@ -332,6 +407,42 @@ fn build_paged<C: CacheBackend>(
                     pnr_parts.push(options.race.attempts as u64);
                     pnr_parts.push(options.race.target_fmax_mhz.to_bits());
                 }
+                // Warm-start planning. A race explores the seed space on
+                // purpose, so hints only arm non-raced stages; and an
+                // already-cached cold stage needs no hint at all. The probe
+                // order — this kernel version first (speculation may have
+                // pre-filed it), then the previous version's — means an
+                // edit warm-starts from the layout it is an edit *of*.
+                let incremental = options.incremental_pnr && options.race.attempts <= 1;
+                let hk_now = incremental.then(|| hints_key(&op.name, khash, rect, device_hash));
+                let mut hint = None;
+                if incremental && !store.contains(stage_key(StageKind::PlaceRoute, &pnr_parts)) {
+                    report.hint_fetches += 1;
+                    hint = store.fetch_hints(hk_now.expect("incremental").hash);
+                    if hint.is_none() {
+                        if let Some(prev_op) =
+                            prev.and_then(|p| p.operators.iter().find(|o| o.name == op.name))
+                        {
+                            let prev_khash = kernel_hash(&prev_op.kernel);
+                            if prev_khash != khash {
+                                let hk = hints_key(&op.name, prev_khash, rect, device_hash);
+                                hint = store.fetch_hints(hk.hash);
+                            }
+                        }
+                    }
+                    // A hint for different page geometry can never replay.
+                    if hint.as_ref().is_some_and(|h| h.hints.region != rect) {
+                        hint = None;
+                    }
+                    if let Some(h) = &hint {
+                        report.hint_hits += 1;
+                        // Fold the hint's identity into the stage key: a
+                        // warm product is a function of (source, hint), so
+                        // it must never collide with the cold product.
+                        pnr_parts.push(HINT_TAG);
+                        pnr_parts.push(h.content_hash());
+                    }
+                }
                 let pnr = stage_key(StageKind::PlaceRoute, &pnr_parts);
                 let pack = stage_key(
                     StageKind::BitstreamPack,
@@ -345,6 +456,8 @@ fn build_paged<C: CacheBackend>(
                     front_hit: store.contains(front),
                     pnr: Some(pnr),
                     pnr_hit: store.contains(pnr),
+                    hints_key: hk_now,
+                    hint,
                     pack,
                     pack_hit: store.contains(pack),
                     cost: 0.0,
@@ -365,6 +478,8 @@ fn build_paged<C: CacheBackend>(
                     front_hit: store.contains(front),
                     pnr: None,
                     pnr_hit: false,
+                    hints_key: None,
+                    hint: None,
                     pack,
                     pack_hit: store.contains(pack),
                     cost: 0.0,
@@ -395,17 +510,19 @@ fn build_paged<C: CacheBackend>(
             .map(Some)
             .collect();
     let mut wall_by_job = vec![0.0; outcomes.len()];
+    let mut warm_by_job: Vec<Option<bool>> = vec![None; outcomes.len()];
     for (op, plan) in graph.operators.iter().zip(&plans) {
         if let Some(j) = plan.job {
             let outcome = outcomes[j].take().expect("one job per operator");
             wall_by_job[j] = outcome.wall_seconds;
-            let computed = outcome
+            let done = outcome
                 .result
                 .map_err(|message| CompileError::JobPanicked {
                     op: op.name.clone(),
                     message,
                 })??;
-            for (key, product) in computed {
+            warm_by_job[j] = done.warm;
+            for (key, product) in done.products {
                 store.put(key, product);
             }
         }
@@ -414,7 +531,6 @@ fn build_paged<C: CacheBackend>(
     // Materialize: every product is now in the store; assemble the app and
     // derive both the executed and the from-scratch virtual times from the
     // stored work measures.
-    let mut report = BuildReport::default();
     let vt = &options.vtime;
     let mut artifacts = vec![Xclbin {
         name: "overlay.xclbin".into(),
@@ -450,6 +566,8 @@ fn build_paged<C: CacheBackend>(
         let pack = store
             .fetch_pack(plan.pack.hash)
             .expect("pack stage materialized");
+        let warm_flag = plan.job.and_then(|j| warm_by_job[j]);
+        let mut warm_pnr_seconds = None;
         let (hls, timing, soft, fresh, fresh_ser) = match plan.pnr {
             Some(pnr_key) => {
                 let hls = store.fetch_hls(plan.front.hash).expect("hls materialized");
@@ -458,6 +576,24 @@ fn build_paged<C: CacheBackend>(
                     report.race_attempts_charged += pnr.race_charged as u64;
                     if pnr.race_attempts > 1 {
                         report.raced_stages += 1;
+                        let base = options.seed ^ fnv(op.name.as_bytes());
+                        let idx = (0..pnr.race_attempts)
+                            .find(|&i| race_seed(base, i) == pnr.winning_seed)
+                            .unwrap_or(0);
+                        report.race_winner_indices.push(idx);
+                    }
+                    if let Some(fell_back) = warm_flag {
+                        report.warm_pnr_ops += 1;
+                        if fell_back {
+                            report.warm_fallbacks += 1;
+                        } else {
+                            // A surviving warm run is priced by its own
+                            // (small) measured work at the warm fixed cost;
+                            // the product's race work fields carry the cold
+                            // estimate, keeping fresh_vtime a from-scratch
+                            // figure.
+                            warm_pnr_seconds = Some(vt.pnr_warm_seconds(pnr.work_units));
+                        }
                     }
                 }
                 // On a wide farm a seed race's attempts overlap, so the pnr
@@ -494,12 +630,20 @@ fn build_paged<C: CacheBackend>(
         let executed = PhaseTimes {
             hls: if plan.front_hit { 0.0 } else { fresh.hls },
             syn: if plan.pnr_hit { 0.0 } else { fresh.syn },
-            pnr: if plan.pnr_hit { 0.0 } else { fresh.pnr },
+            pnr: if plan.pnr_hit {
+                0.0
+            } else {
+                warm_pnr_seconds.unwrap_or(fresh.pnr)
+            },
             bit: if plan.pack_hit { 0.0 } else { fresh.bit },
             riscv: if plan.front_hit { 0.0 } else { fresh.riscv },
         };
         let executed_ser = PhaseTimes {
-            pnr: if plan.pnr_hit { 0.0 } else { fresh_ser.pnr },
+            pnr: if plan.pnr_hit {
+                0.0
+            } else {
+                warm_pnr_seconds.unwrap_or(fresh_ser.pnr)
+            },
             ..executed
         };
         serial = serial.add(&executed_ser);
@@ -592,6 +736,8 @@ fn job_for<C: CacheBackend>(
             let seed = options.seed ^ fnv(name.as_bytes());
             let race = options.race;
             let race_workers = options.jobs;
+            let hint = plan.hint.clone();
+            let hints_key_now = plan.hints_key;
             let hls_in: Option<HlsProduct> = if plan.front_hit {
                 store.fetch_hls(front.hash)
             } else {
@@ -604,6 +750,7 @@ fn job_for<C: CacheBackend>(
             };
             Box::new(move || {
                 let mut computed = Vec::new();
+                let mut warm = None;
                 let hls = match hls_in {
                     Some(p) => p,
                     None => {
@@ -623,12 +770,100 @@ fn job_for<C: CacheBackend>(
                     Some(p) => p,
                     None => {
                         let wrapped = wrap_with_leaf_interface(&hls.netlist);
-                        let p =
-                            race_place_route(&wrapped, &device, rect, seed, &race, race_workers)
+                        let p = match (&hint, hints_key_now) {
+                            (Some(h), _) => {
+                                // Warm path: place from the prior layout,
+                                // rip up and re-route only what the edit
+                                // moved, guarded against quality loss.
+                                let opts = PnrOptions {
+                                    seed,
+                                    abstract_shell: true,
+                                    effort: 1.0,
+                                };
+                                let (result, wr) = pnr::place_and_route_incremental(
+                                    &wrapped,
+                                    &device,
+                                    rect,
+                                    &opts,
+                                    &h.hints,
+                                    race_workers,
+                                )
                                 .map_err(|error| CompileError::Pnr {
                                     op: name.clone(),
                                     error,
                                 })?;
+                                warm = Some(wr.fell_back);
+                                // race work fields carry the cold estimate:
+                                // fresh_vtime stays a from-scratch figure
+                                // while work_units is the measured (warm)
+                                // work.
+                                let cold_estimate = if wr.fell_back {
+                                    result.work_units
+                                } else {
+                                    h.hints.work_units.max(result.work_units)
+                                };
+                                let product = pnr_product(&wrapped, &result, seed, cold_estimate);
+                                if wr.fell_back {
+                                    // The fallback *is* a cold run, so alias
+                                    // it under the plain single-seed key: a
+                                    // later hint-less rebuild is a hit.
+                                    let plain = stage_key(
+                                        StageKind::PlaceRoute,
+                                        &[
+                                            khash,
+                                            rect.x0 as u64,
+                                            rect.y0 as u64,
+                                            rect.w as u64,
+                                            rect.h as u64,
+                                            device_hash,
+                                            seed,
+                                        ],
+                                    );
+                                    computed.push((plain, StageProduct::Pnr(product.clone())));
+                                }
+                                if let Some(hk) = hints_key_now {
+                                    let mut fresh = pnr::extract_hints(&wrapped, rect, &result);
+                                    if !wr.fell_back {
+                                        fresh.work_units = cold_estimate;
+                                    }
+                                    computed.push((
+                                        hk,
+                                        StageProduct::Hints(HintsProduct { hints: fresh }),
+                                    ));
+                                }
+                                product
+                            }
+                            (None, Some(hk)) => {
+                                // Cold, but hints must be filed for the next
+                                // edit — and filing needs the placement and
+                                // routes the race driver discards, so run
+                                // the (single-seed, identical-product) P&R
+                                // directly.
+                                let opts = PnrOptions {
+                                    seed,
+                                    abstract_shell: true,
+                                    effort: 1.0,
+                                };
+                                let result = pnr::place_and_route(&wrapped, &device, rect, &opts)
+                                    .map_err(|error| CompileError::Pnr {
+                                    op: name.clone(),
+                                    error,
+                                })?;
+                                let product =
+                                    pnr_product(&wrapped, &result, seed, result.work_units);
+                                let fresh = pnr::extract_hints(&wrapped, rect, &result);
+                                computed
+                                    .push((hk, StageProduct::Hints(HintsProduct { hints: fresh })));
+                                product
+                            }
+                            (None, None) => {
+                                race_place_route(&wrapped, &device, rect, seed, &race, race_workers)
+                                    .map_err(|error| CompileError::Pnr {
+                                        op: name.clone(),
+                                        error,
+                                    })?
+                            }
+                        };
                         computed.push((pnr_key, StageProduct::Pnr(p.clone())));
                         if race.attempts > 1 {
                             // File the winner under the plain single-seed
@@ -674,7 +909,10 @@ fn job_for<C: CacheBackend>(
                     };
                     computed.push((pack_key, StageProduct::Pack(x)));
                 }
-                Ok(computed)
+                Ok(JobDone {
+                    products: computed,
+                    warm,
+                })
             })
         }
         None => {
@@ -716,9 +954,36 @@ fn job_for<C: CacheBackend>(
                     };
                     computed.push((pack_key, StageProduct::Pack(x)));
                 }
-                Ok(computed)
+                Ok(JobDone {
+                    products: computed,
+                    warm: None,
+                })
             })
         }
+    }
+}
+
+/// Wraps a single-seed [`pnr::PnrResult`] as the [`PnrProduct`] a one-
+/// attempt [`race_place_route`] would file, except that the race work
+/// fields carry `charged_work` — the *cold-equivalent* work the stage
+/// would cost from scratch (equal to the measured work for a cold run,
+/// the hint's cold estimate for a surviving warm run).
+pub(crate) fn pnr_product(
+    wrapped: &Netlist,
+    result: &pnr::PnrResult,
+    seed: u64,
+    charged_work: u64,
+) -> PnrProduct {
+    PnrProduct {
+        bitstream: result.bitstream.clone(),
+        timing: result.timing.clone(),
+        work_units: result.work_units,
+        wrapped_cells: wrapped.cell_count() as u64,
+        winning_seed: seed,
+        race_attempts: 1,
+        race_charged: 1,
+        race_latency_work: charged_work,
+        race_total_work: charged_work,
     }
 }
 

@@ -40,6 +40,11 @@ pub fn saved_vtime_seconds(vt: &VtimeModel, product: &StageProduct) -> f64 {
         // Graph optimization is pure host-side rewriting — cheap to redo,
         // so these entries are the first to go under byte pressure.
         StageProduct::Opt(_) => 0.01,
+        // A hint hit does not *replace* a stage run; it turns a cold P&R
+        // into a warm one. Its value is the difference between the prior
+        // cold run's cost and the (much cheaper) warm rerun, approximated
+        // as most of the prior cold cost.
+        StageProduct::Hints(h) => (vt.pnr_seconds(h.hints.work_units) * 0.75).max(0.05),
     }
 }
 

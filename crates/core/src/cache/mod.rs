@@ -164,6 +164,17 @@ pub trait CacheBackend {
             _ => None,
         }
     }
+
+    /// Typed fetch of warm-start P&R hints.
+    fn fetch_hints(&mut self, hash: u64) -> Option<crate::store::HintsProduct> {
+        match self.fetch(StageKey {
+            kind: StageKind::PnrHints,
+            hash,
+        }) {
+            Some(StageProduct::Hints(h)) => Some(h),
+            _ => None,
+        }
+    }
 }
 
 /// The in-memory store is the memory-only backend (and the L1 of

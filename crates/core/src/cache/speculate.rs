@@ -25,7 +25,10 @@ use std::collections::HashSet;
 
 use dfg::{Graph, Target};
 
-use crate::build::{hls_key, kernel_hash, race_place_route, race_seed, stage_key};
+use crate::build::{
+    hints_key, hls_key, kernel_hash, pnr_product, race_place_route, race_seed, stage_key,
+    BuildReport,
+};
 use crate::cache::CacheBackend;
 use crate::farm;
 use crate::flow::{
@@ -33,7 +36,7 @@ use crate::flow::{
     SeedRace,
 };
 use crate::incremental::dirty_set;
-use crate::store::{HlsProduct, SoftProduct, StageKey, StageKind, StageProduct};
+use crate::store::{HintsProduct, HlsProduct, SoftProduct, StageKey, StageKind, StageProduct};
 use crate::{Xclbin, XclbinKind};
 
 /// Tuning for the speculative compile pipeline.
@@ -81,6 +84,11 @@ pub struct Speculator {
     config: SpeculationConfig,
     inflight: Option<farm::BackgroundJobs<Vec<(StageKey, StageProduct)>>>,
     stats: SpeculationStats,
+    /// Wins per seed-ladder index across observed seed races (index 0 is
+    /// the configured base seed). Extra-seed speculation is ordered by
+    /// these counts: if index 2 keeps winning the developer's races, it is
+    /// the seed most worth pre-compiling.
+    seed_wins: Vec<u64>,
 }
 
 impl Speculator {
@@ -90,6 +98,7 @@ impl Speculator {
             config,
             inflight: None,
             stats: SpeculationStats::default(),
+            seed_wins: Vec::new(),
         }
     }
 
@@ -101,6 +110,29 @@ impl Speculator {
     /// Whether a background batch is currently in flight.
     pub fn in_flight(&self) -> bool {
         self.inflight.is_some()
+    }
+
+    /// Feeds one demand build's race outcomes into the seed-win history
+    /// that biases future extra-seed speculation.
+    pub fn observe(&mut self, report: &BuildReport) {
+        for &idx in &report.race_winner_indices {
+            let idx = idx as usize;
+            if self.seed_wins.len() <= idx {
+                self.seed_wins.resize(idx + 1, 0);
+            }
+            self.seed_wins[idx] += 1;
+        }
+    }
+
+    /// Extra-seed ladder indices `1..=extra`, historically winning indices
+    /// first (ties to the lower index, so no history gives `1, 2, …`).
+    fn ladder_order(&self, extra: u32) -> Vec<u32> {
+        let mut order: Vec<u32> = (1..=extra).collect();
+        order.sort_by_key(|&i| {
+            let wins = self.seed_wins.get(i as usize).copied().unwrap_or(0);
+            (std::cmp::Reverse(wins), i)
+        });
+        order
     }
 
     /// Cancels any in-flight batch (demand work has arrived) and merges
@@ -143,7 +175,8 @@ impl Speculator {
         cache: &mut C,
     ) {
         self.absorb(cache);
-        let jobs = predict(prev, graph, options, cache, &self.config);
+        let seed_order = self.ladder_order(self.config.extra_seeds);
+        let jobs = predict(prev, graph, options, cache, &self.config, &seed_order);
         if jobs.is_empty() {
             return;
         }
@@ -161,6 +194,7 @@ fn predict<C: CacheBackend>(
     options: &CompileOptions,
     cache: &mut C,
     config: &SpeculationConfig,
+    seed_order: &[u32],
 ) -> Vec<SpecJob> {
     // -O3 has no reusable per-operator stage structure worth guessing, and
     // a first-ever build has no edit to extrapolate from.
@@ -218,7 +252,7 @@ fn predict<C: CacheBackend>(
             let rect = options.floorplan.pages[page.0 as usize].rect;
             let base_seed = options.seed ^ fnv(op.name.as_bytes());
             let src_hash = source_hash(&op.kernel, target);
-            for i in 1..=config.extra_seeds {
+            for &i in seed_order {
                 if jobs.len() >= config.max_jobs {
                     break;
                 }
@@ -284,6 +318,66 @@ fn predict<C: CacheBackend>(
                     ));
                     out
                 }));
+            }
+        }
+
+        if jobs.len() >= config.max_jobs {
+            break;
+        }
+        // Warm-start hints for the edit neighborhood: with incremental P&R
+        // on, the next edit to any operator near this one will probe
+        // `PnrHints` under that operator's *current* kernel hash — exactly
+        // this key. Operators that executed this build already filed their
+        // hints; this covers neighbors whose stages have been all-hits
+        // since before incremental P&R was switched on.
+        if options.incremental_pnr && options.race.attempts <= 1 {
+            if let Target::Hw { .. } = target {
+                let rect = options.floorplan.pages[page.0 as usize].rect;
+                let device_hash = fnv(format!("{:?}", options.floorplan.device).as_bytes());
+                let hk = hints_key(&op.name, khash, rect, device_hash);
+                if !cache.contains(hk) {
+                    if let Some(hls) = cache.fetch_hls(hls_key(khash).hash) {
+                        let seed = options.seed ^ fnv(op.name.as_bytes());
+                        let pnr_key = stage_key(
+                            StageKind::PlaceRoute,
+                            &[
+                                khash,
+                                rect.x0 as u64,
+                                rect.y0 as u64,
+                                rect.w as u64,
+                                rect.h as u64,
+                                device_hash,
+                                seed,
+                            ],
+                        );
+                        let have_pnr = cache.contains(pnr_key);
+                        let device = options.floorplan.device.clone();
+                        jobs.push(Box::new(move |cancel: &farm::BackgroundCancel| {
+                            let mut out = Vec::new();
+                            if cancel.cancelled() {
+                                return out;
+                            }
+                            let wrapped = wrap_with_leaf_interface(&hls.netlist);
+                            let opts = pnr::PnrOptions {
+                                seed,
+                                abstract_shell: true,
+                                effort: 1.0,
+                            };
+                            let Ok(result) = pnr::place_and_route(&wrapped, &device, rect, &opts)
+                            else {
+                                return out;
+                            };
+                            let hints = pnr::extract_hints(&wrapped, rect, &result);
+                            out.push((hk, StageProduct::Hints(HintsProduct { hints })));
+                            if !have_pnr {
+                                let product =
+                                    pnr_product(&wrapped, &result, seed, result.work_units);
+                                out.push((pnr_key, StageProduct::Pnr(product)));
+                            }
+                            out
+                        }));
+                    }
+                }
             }
         }
 

@@ -126,6 +126,19 @@ pub struct CompileOptions {
     pub page_assign: PageAssign,
     /// Multi-seed P&R racing policy (default: no racing).
     pub race: SeedRace,
+    /// Warm-start incremental P&R (default: off). When on, every executed
+    /// `PlaceRoute` stage also files a [`crate::store::StageKind::PnrHints`]
+    /// product keyed by the operator's *lineage* (name + page rect, not
+    /// source), and a later compile of an edited version of that operator
+    /// fetches the hint as an optimization input: placement is warm-started
+    /// from the prior assignment and only ripped-up nets re-route, with a
+    /// quality guard falling back to a cold run if wirelength or fmax
+    /// regress more than 5% against the hint's cold estimates. Hints fold
+    /// into the `PlaceRoute` stage key, so warm and cold products never
+    /// collide. Ignored while seed racing (`race.attempts > 1`): a race
+    /// explores the seed space on purpose and must not be anchored to one
+    /// prior layout.
+    pub incremental_pnr: bool,
     /// KPN optimizer configuration; `None` compiles the graph exactly as
     /// written. When set, the build runs a content-addressed
     /// [`crate::store::StageKind::KpnOptimize`] stage first — `max_operators`
@@ -146,6 +159,7 @@ impl CompileOptions {
             link_style: LinkStyle::default(),
             page_assign: PageAssign::default(),
             race: SeedRace::default(),
+            incremental_pnr: false,
             optimize: None,
         }
     }

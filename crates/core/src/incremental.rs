@@ -17,7 +17,7 @@ use std::collections::HashMap;
 use std::io;
 use std::path::Path;
 
-use crate::build::{build, BuildReport};
+use crate::build::{build_with_prev, BuildReport};
 use crate::cache::{CacheBackend, SpeculationConfig, SpeculationStats, Speculator, TieredCache};
 use crate::flow::{source_hash, CompileError, CompileOptions, CompiledApp, OptLevel};
 use crate::store::{ArtifactStore, StageKey, StageKind};
@@ -189,7 +189,8 @@ impl BuildCache {
         if let Some(spec) = &mut self.spec {
             spec.absorb(&mut self.cache);
         }
-        let (app, report) = build(graph, options, &mut self.cache)?;
+        let (app, report) =
+            build_with_prev(graph, self.last_graph.as_ref(), options, &mut self.cache)?;
         if options.level != OptLevel::O3 {
             for op in &report.operators {
                 if op.executions == 0 {
@@ -198,6 +199,9 @@ impl BuildCache {
                     self.misses += 1;
                 }
             }
+        }
+        if let Some(spec) = &mut self.spec {
+            spec.observe(&report);
         }
         self.last_report = Some(report);
         if let Some(spec) = &mut self.spec {
@@ -379,6 +383,74 @@ mod tests {
         assert_eq!(report.executions(StageKind::HlsLower), 0);
         assert_eq!(report.executions(StageKind::PlaceRoute), 3);
         assert_eq!(report.executions(StageKind::BitstreamPack), 3);
+    }
+
+    #[test]
+    fn incremental_pnr_warm_starts_the_edited_page() {
+        let g1 = pipeline([1, 2, 3]);
+        let g2 = pipeline([1, 99, 3]);
+        let mut cache = BuildCache::new();
+        let opts = CompileOptions {
+            incremental_pnr: true,
+            ..CompileOptions::new(OptLevel::O1)
+        };
+        let full = cache.compile(&g1, &opts).unwrap();
+        let incr = cache.compile(&g2, &opts).unwrap();
+        let report = cache.last_report().unwrap();
+        // Exactly the edited operator's P&R missed, probed a hint, found
+        // the one filed by the first build, and ran warm.
+        assert_eq!(report.hint_fetches, 1);
+        assert_eq!(report.hint_hits, 1);
+        assert_eq!(report.warm_pnr_ops, 1);
+        assert_eq!(report.warm_fallbacks, 0);
+        // The warm rerun's executed P&R time is far below the cold one.
+        let warm_op = incr.operators.iter().find(|o| o.name == "c").unwrap();
+        let cold_op = full.operators.iter().find(|o| o.name == "c").unwrap();
+        assert!(
+            warm_op.vtime.pnr < cold_op.vtime.pnr / 3.0,
+            "warm {} vs cold {}",
+            warm_op.vtime.pnr,
+            cold_op.vtime.pnr
+        );
+        // The from-scratch estimate still prices the stage cold.
+        assert!(report.fresh_vtime_parallel.pnr > warm_op.vtime.pnr);
+        // Unchanged operators' artifacts are untouched.
+        assert_eq!(incr.artifacts[1].hash, full.artifacts[1].hash);
+        assert_eq!(incr.artifacts[3].hash, full.artifacts[3].hash);
+    }
+
+    #[test]
+    fn warm_artifacts_identical_across_farm_widths() {
+        let g1 = pipeline([1, 2, 3]);
+        let g2 = pipeline([4, 99, 3]);
+        let hashes_at = |jobs: usize| {
+            let mut cache = BuildCache::new();
+            let opts = CompileOptions {
+                incremental_pnr: true,
+                jobs,
+                ..CompileOptions::new(OptLevel::O1)
+            };
+            cache.compile(&g1, &opts).unwrap();
+            let app = cache.compile(&g2, &opts).unwrap();
+            app.artifacts.iter().map(|x| x.hash).collect::<Vec<_>>()
+        };
+        let one = hashes_at(1);
+        assert_eq!(one, hashes_at(2));
+        assert_eq!(one, hashes_at(8));
+    }
+
+    #[test]
+    fn incremental_pnr_off_by_default_changes_nothing() {
+        let g1 = pipeline([1, 2, 3]);
+        let g2 = pipeline([1, 99, 3]);
+        let mut cache = BuildCache::new();
+        let opts = CompileOptions::new(OptLevel::O1);
+        cache.compile(&g1, &opts).unwrap();
+        cache.compile(&g2, &opts).unwrap();
+        let report = cache.last_report().unwrap();
+        assert_eq!(report.hint_fetches, 0);
+        assert_eq!(report.warm_pnr_ops, 0);
+        assert_eq!(cache.store().count_kind(StageKind::PnrHints), 0);
     }
 
     #[test]

@@ -45,13 +45,19 @@ pub enum StageKind {
     /// KPN optimization: source graph + optimizer config → rewritten graph
     /// with per-edge channel depths and a pass report.
     KpnOptimize,
+    /// Warm-start P&R hints: placement and route state of a prior run of
+    /// the same operator lineage, fetched as an *optimization input* for
+    /// incremental P&R (never required for correctness — see
+    /// [`pnr::place_and_route_incremental`]'s quality guard).
+    PnrHints,
 }
 
 impl StageKind {
     /// Every stage kind, in pipeline order.
-    pub const ALL: [StageKind; 6] = [
+    pub const ALL: [StageKind; 7] = [
         StageKind::KpnOptimize,
         StageKind::HlsLower,
+        StageKind::PnrHints,
         StageKind::PlaceRoute,
         StageKind::BitstreamPack,
         StageKind::SoftcoreCc,
@@ -66,6 +72,7 @@ impl StageKind {
             StageKind::SoftcoreCc => 3,
             StageKind::LinkDriver => 4,
             StageKind::KpnOptimize => 5,
+            StageKind::PnrHints => 6,
         }
     }
 
@@ -77,6 +84,7 @@ impl StageKind {
             3 => StageKind::SoftcoreCc,
             4 => StageKind::LinkDriver,
             5 => StageKind::KpnOptimize,
+            6 => StageKind::PnrHints,
             _ => return Err(corrupt("unknown stage kind")),
         })
     }
@@ -91,6 +99,7 @@ impl fmt::Display for StageKind {
             StageKind::SoftcoreCc => write!(f, "softcore-cc"),
             StageKind::LinkDriver => write!(f, "link-driver"),
             StageKind::KpnOptimize => write!(f, "kpn-optimize"),
+            StageKind::PnrHints => write!(f, "pnr-hints"),
         }
     }
 }
@@ -182,6 +191,30 @@ pub struct OptProduct {
     pub balance_after: f64,
 }
 
+/// Product of a [`StageKind::PnrHints`] filing: prior placement and route
+/// state an incremental P&R run warm-starts from.
+///
+/// Unlike every other product, hints never become part of a shipped
+/// artifact — they only *steer* a future PlaceRoute execution. To keep
+/// content addressing sound, a PlaceRoute key that consumed hints folds
+/// [`HintsProduct::content_hash`] into its input hash, so a warm product
+/// can never alias the cold product of the same netlist.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HintsProduct {
+    /// The replayable prior P&R state.
+    pub hints: pnr::PnrHints,
+}
+
+impl HintsProduct {
+    /// FNV-1a over the hints' canonical encoding — the lineage fingerprint
+    /// folded into a warm PlaceRoute key.
+    pub fn content_hash(&self) -> u64 {
+        let mut out = Vec::new();
+        put_hints(&mut out, &self.hints);
+        crate::flow::fnv(&out)
+    }
+}
+
 /// One stored stage product.
 #[derive(Debug, Clone, PartialEq)]
 pub enum StageProduct {
@@ -197,6 +230,8 @@ pub enum StageProduct {
     Driver(Driver),
     /// An optimized dataflow graph.
     Opt(OptProduct),
+    /// Warm-start P&R hints.
+    Hints(HintsProduct),
 }
 
 /// The shared, content-addressed artifact store.
@@ -343,6 +378,17 @@ impl ArtifactStore {
         }
     }
 
+    /// Typed lookup of warm-start P&R hints.
+    pub fn get_hints(&self, hash: u64) -> Option<&HintsProduct> {
+        match self.get(StageKey {
+            kind: StageKind::PnrHints,
+            hash,
+        }) {
+            Some(StageProduct::Hints(h)) => Some(h),
+            _ => None,
+        }
+    }
+
     /// Serializes the whole store into its on-disk byte format (the
     /// current `FORMAT_VERSION`, which ends in a whole-payload FNV-1a
     /// checksum so bit rot is detected at load instead of decoding into
@@ -382,9 +428,10 @@ impl ArtifactStore {
     }
 
     /// Reconstructs a store from [`ArtifactStore::to_bytes`] output.
-    /// Accepts the current checksummed v3 layout and the legacy v2 layout
-    /// (same entry encoding, no checksum) so caches written before the
-    /// bump stay warm.
+    /// Accepts the current checksummed v4 layout, the v3 layout (same
+    /// framing, pre-hints product set), and the legacy v2 layout (same
+    /// entry encoding, no checksum) so caches written before the bumps
+    /// stay warm.
     ///
     /// # Errors
     ///
@@ -398,7 +445,7 @@ impl ArtifactStore {
         let version = c.u32()?;
         let end = match version {
             2 => bytes.len(),
-            3 => {
+            3 | 4 => {
                 // The trailer checksums everything before it.
                 if bytes.len() < c.pos + 8 {
                     return Err(corrupt("store file too short for checksum"));
@@ -451,10 +498,12 @@ impl ArtifactStore {
 
 const MAGIC: &[u8] = b"PLDSTORE";
 /// Bumped to 2 when [`PnrProduct`] grew the seed-race fields (pre-2 files
-/// are rejected), and to 3 when the file gained a whole-payload FNV-1a
-/// checksum trailer for the persistent shared cache. v2 files — same entry
-/// encoding, no trailer — are still read, so pre-bump caches stay warm.
-const FORMAT_VERSION: u32 = 3;
+/// are rejected), to 3 when the file gained a whole-payload FNV-1a checksum
+/// trailer for the persistent shared cache, and to 4 when the
+/// [`StageKind::PnrHints`] product kind was added (same layout as v3; the
+/// bump keeps an old reader from tripping over the new product tag mid
+/// file). v2 and v3 files are still read, so pre-bump caches stay warm.
+const FORMAT_VERSION: u32 = 4;
 
 /// Encodes one stage product in the store's tagged binary layout — the
 /// same bytes an [`ArtifactStore::to_bytes`] entry carries, reused by the
@@ -497,6 +546,10 @@ pub(crate) fn put_i32(out: &mut Vec<u8>, v: i32) {
 
 pub(crate) fn put_f64(out: &mut Vec<u8>, v: f64) {
     put_u64(out, v.to_bits());
+}
+
+pub(crate) fn put_f32(out: &mut Vec<u8>, v: f32) {
+    put_u32(out, v.to_bits());
 }
 
 pub(crate) fn put_str(out: &mut Vec<u8>, s: &str) {
@@ -542,6 +595,10 @@ impl<'a> Cursor<'a> {
 
     pub(crate) fn f64(&mut self) -> io::Result<f64> {
         Ok(f64::from_bits(self.u64()?))
+    }
+
+    pub(crate) fn f32(&mut self) -> io::Result<f32> {
+        Ok(f32::from_bits(self.u32()?))
     }
 
     pub(crate) fn usize(&mut self) -> io::Result<usize> {
@@ -1283,6 +1340,91 @@ fn get_opt(c: &mut Cursor) -> io::Result<OptProduct> {
     })
 }
 
+fn put_coord_list(out: &mut Vec<u8>, coords: &[(u32, u32)]) {
+    put_u64(out, coords.len() as u64);
+    for &(x, y) in coords {
+        put_u32(out, x);
+        put_u32(out, y);
+    }
+}
+
+fn get_coord_list(c: &mut Cursor) -> io::Result<Vec<(u32, u32)>> {
+    let n = c.usize()?;
+    let mut v = Vec::with_capacity(n.min(1 << 20));
+    for _ in 0..n {
+        v.push((c.u32()?, c.u32()?));
+    }
+    Ok(v)
+}
+
+fn put_hints(out: &mut Vec<u8>, h: &pnr::PnrHints) {
+    put_rect(out, h.region);
+    put_u64(out, h.cell_ids.len() as u64);
+    for &id in &h.cell_ids {
+        put_u64(out, id);
+    }
+    put_coord_list(out, &h.assignment);
+    put_u64(out, h.net_ids.len() as u64);
+    for &id in &h.net_ids {
+        put_u64(out, id);
+    }
+    put_u64(out, h.routes.len() as u64);
+    for sink_paths in &h.routes {
+        put_u64(out, sink_paths.len() as u64);
+        for path in sink_paths {
+            put_coord_list(out, path);
+        }
+    }
+    put_u64(out, h.history.len() as u64);
+    for &v in &h.history {
+        put_f32(out, v);
+    }
+    put_u64(out, h.wirelength);
+    put_f64(out, h.fmax_mhz);
+    put_u64(out, h.work_units);
+}
+
+fn get_hints(c: &mut Cursor) -> io::Result<pnr::PnrHints> {
+    let region = get_rect(c)?;
+    let n_cells = c.usize()?;
+    let mut cell_ids = Vec::with_capacity(n_cells.min(1 << 20));
+    for _ in 0..n_cells {
+        cell_ids.push(c.u64()?);
+    }
+    let assignment = get_coord_list(c)?;
+    let n_nets = c.usize()?;
+    let mut net_ids = Vec::with_capacity(n_nets.min(1 << 20));
+    for _ in 0..n_nets {
+        net_ids.push(c.u64()?);
+    }
+    let n_routes = c.usize()?;
+    let mut routes = Vec::with_capacity(n_routes.min(1 << 20));
+    for _ in 0..n_routes {
+        let n_sinks = c.usize()?;
+        let mut sink_paths = Vec::with_capacity(n_sinks.min(1 << 16));
+        for _ in 0..n_sinks {
+            sink_paths.push(get_coord_list(c)?);
+        }
+        routes.push(sink_paths);
+    }
+    let n_hist = c.usize()?;
+    let mut history = Vec::with_capacity(n_hist.min(1 << 24));
+    for _ in 0..n_hist {
+        history.push(c.f32()?);
+    }
+    Ok(pnr::PnrHints {
+        region,
+        cell_ids,
+        assignment,
+        net_ids,
+        routes,
+        history,
+        wirelength: c.u64()?,
+        fmax_mhz: c.f64()?,
+        work_units: c.u64()?,
+    })
+}
+
 /// Unit enums encode as their `Debug` name: one place to maintain, and the
 /// decoder rejects unknown names instead of silently remapping.
 fn put_debug_name(out: &mut Vec<u8>, v: impl fmt::Debug) {
@@ -1591,6 +1733,10 @@ fn put_product(out: &mut Vec<u8>, p: &StageProduct) {
             out.push(5);
             put_opt(out, p);
         }
+        StageProduct::Hints(h) => {
+            out.push(6);
+            put_hints(out, &h.hints);
+        }
     }
 }
 
@@ -1617,6 +1763,9 @@ fn get_product(c: &mut Cursor) -> io::Result<StageProduct> {
         3 => StageProduct::Pack(get_xclbin(c)?),
         4 => StageProduct::Driver(get_driver(c)?),
         5 => StageProduct::Opt(get_opt(c)?),
+        6 => StageProduct::Hints(HintsProduct {
+            hints: get_hints(c)?,
+        }),
         _ => return Err(corrupt("unknown product kind")),
     })
 }
@@ -1785,6 +1934,34 @@ mod tests {
         );
         let back = ArtifactStore::from_bytes(&store.to_bytes()).unwrap();
         assert_eq!(back.get_opt(77), Some(&product));
+    }
+
+    #[test]
+    fn hints_product_round_trips() {
+        let hints = pnr::PnrHints {
+            region: fabric::Rect::new(2, 0, 10, 10),
+            cell_ids: vec![1, 2, 3],
+            assignment: vec![(2, 0), (3, 1), (4, 2)],
+            net_ids: vec![7, 8],
+            routes: vec![vec![vec![(2, 0), (3, 0)]], vec![vec![(3, 1)]]],
+            history: vec![0.0, 0.5, 1.5],
+            wirelength: 12,
+            fmax_mhz: 301.5,
+            work_units: 4242,
+        };
+        let product = HintsProduct { hints };
+        let fingerprint = product.content_hash();
+        let mut store = ArtifactStore::new();
+        store.insert(
+            StageKey {
+                kind: StageKind::PnrHints,
+                hash: 55,
+            },
+            StageProduct::Hints(product.clone()),
+        );
+        let back = ArtifactStore::from_bytes(&store.to_bytes()).unwrap();
+        assert_eq!(back.get_hints(55), Some(&product));
+        assert_eq!(back.get_hints(55).unwrap().content_hash(), fingerprint);
     }
 
     #[test]

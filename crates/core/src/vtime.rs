@@ -91,6 +91,13 @@ pub struct VtimeModel {
     pub cc_per_byte: f64,
     /// Fixed `-O0` compile overhead, seconds.
     pub cc_fixed: f64,
+    /// Fixed overhead of a *warm* (hint-seeded incremental) P&R run,
+    /// seconds. Much smaller than [`VtimeModel::pnr_fixed`]: the warm run
+    /// skips the cold tool launch / context load — the prior placement and
+    /// congestion state replace the from-scratch setup — while per-work
+    /// pricing stays identical (the warm run's work units are measured and
+    /// already small).
+    pub pnr_warm_fixed: f64,
 }
 
 impl Default for VtimeModel {
@@ -106,6 +113,7 @@ impl Default for VtimeModel {
             bit_fixed: 100.0,
             cc_per_byte: 2.5e-5,
             cc_fixed: 0.6,
+            pnr_warm_fixed: 15.0,
         }
     }
 }
@@ -124,6 +132,15 @@ impl VtimeModel {
     /// Virtual seconds of place-and-route with the given work units.
     pub fn pnr_seconds(&self, work_units: u64) -> f64 {
         self.pnr_fixed + work_units as f64 * self.pnr_per_work
+    }
+
+    /// Virtual seconds of a warm (hint-seeded incremental) place-and-route
+    /// run with the given measured work units. Same per-work pricing as
+    /// [`VtimeModel::pnr_seconds`], but with the much smaller warm fixed
+    /// overhead — the tool keeps the prior run's context instead of
+    /// launching cold.
+    pub fn pnr_warm_seconds(&self, work_units: u64) -> f64 {
+        self.pnr_warm_fixed + work_units as f64 * self.pnr_per_work
     }
 
     /// Virtual seconds of a `charged`-attempt P&R seed race run serially on
@@ -234,6 +251,15 @@ mod tests {
         // Serially, each raced attempt pays the fixed tool launch.
         let raced = m.pnr_race_serial_seconds(4, 1000);
         assert_eq!(raced, 4.0 * m.pnr_fixed + 1000.0 * m.pnr_per_work);
+    }
+
+    #[test]
+    fn warm_pnr_is_cheaper_than_cold_at_equal_work() {
+        let m = VtimeModel::default();
+        assert!(m.pnr_warm_seconds(1000) < m.pnr_seconds(1000));
+        // The fixed saving alone must be large enough that a small warm run
+        // can beat a cold run by the headline 3x even before work savings.
+        assert!(m.pnr_warm_fixed < m.pnr_fixed / 3.0);
     }
 
     #[test]

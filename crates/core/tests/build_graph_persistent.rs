@@ -16,6 +16,8 @@
 //! exercises the same protocol in a private temp directory, so it is still
 //! meaningful in a plain `cargo test` run.
 
+use dfg::{Graph, GraphBuilder, Target};
+use kir::{Expr, KernelBuilder, Scalar, Stmt};
 use pld::{BuildCache, CompileOptions, OptLevel};
 use rosetta::Scale;
 
@@ -65,5 +67,93 @@ fn shared_cache_dir_serves_a_second_process_entirely_warm() {
         // No driver process: play the second process ourselves.
         assert_eq!(run_once(&dir), 0, "warm reopen re-executed stages");
         std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+/// A two-stage hw pipeline whose second operator's constant is the edit
+/// knob: changing it re-runs HLS and P&R for that operator but leaves the
+/// structural netlist — and therefore the warm-start quality — untouched.
+fn hint_pipeline(edited: bool) -> Graph {
+    let stage = |name: &str, addend: i64| {
+        KernelBuilder::new(name)
+            .input("in", Scalar::uint(32))
+            .output("out", Scalar::uint(32))
+            .local("x", Scalar::uint(32))
+            .body([Stmt::for_pipelined(
+                "i",
+                0..64,
+                [
+                    Stmt::read("x", "in"),
+                    Stmt::write("out", Expr::var("x").add(Expr::cint(addend))),
+                ],
+            )])
+            .build()
+            .unwrap()
+    };
+    let mut b = GraphBuilder::new("hint_pipe");
+    let a = b.add("a", stage("a", 1), Target::hw(0));
+    let c = b.add("c", stage("c", if edited { 99 } else { 2 }), Target::hw(1));
+    b.ext_input("Input_1", a, "in");
+    b.connect("l0", a, "out", c, "in");
+    b.ext_output("Output_1", c, "out");
+    b.build().unwrap()
+}
+
+/// The `PnrHints` artifacts a cold process files while compiling with
+/// `incremental_pnr` on must survive the shared-cache disk round-trip: a
+/// second process that edits one operator has to warm-start its P&R from
+/// the first process's on-disk hints. Uses its own subdirectory of
+/// `PLD_CACHE_DIR` so CI's two-invocation protocol gives this test the
+/// same cold/warm semantics as the rosetta test above.
+#[test]
+fn pnr_hints_survive_the_shared_cache_round_trip() {
+    let (dir, private) = match std::env::var("PLD_CACHE_DIR") {
+        Ok(d) => (std::path::PathBuf::from(d).join("hints"), false),
+        Err(_) => (private_dir(), true),
+    };
+    std::fs::create_dir_all(&dir).unwrap();
+    let expect_warm = std::env::var("PLD_CACHE_EXPECT").as_deref() == Ok("warm");
+    let opts = CompileOptions {
+        incremental_pnr: true,
+        ..CompileOptions::new(OptLevel::O1)
+    };
+
+    // Cold role: compile the base pipeline (filing hints as its cold P&R
+    // runs execute) and persist the segments.
+    let seed_the_cache = |dir: &std::path::Path| {
+        let mut cache = BuildCache::open_dir(dir).unwrap();
+        cache.compile(&hint_pipeline(false), &opts).unwrap();
+        cache.persist().unwrap();
+    };
+    // Warm role: a fresh process rebuilds the base (entirely from disk),
+    // then edits operator "c" — the rebuild must find the previous
+    // version's hints through the seed-free lineage key and warm-start.
+    let edit_against_the_cache = |dir: &std::path::Path| {
+        let mut cache = BuildCache::open_dir(dir).unwrap();
+        cache.compile(&hint_pipeline(false), &opts).unwrap();
+        cache.compile(&hint_pipeline(true), &opts).unwrap();
+        let report = cache.last_report().unwrap();
+        assert!(
+            report.hint_hits >= 1,
+            "edited rebuild found no on-disk hints: {} fetches, {} hits",
+            report.hint_fetches,
+            report.hint_hits
+        );
+        assert!(
+            report.warm_pnr_ops >= 1,
+            "edited rebuild never took the warm P&R path"
+        );
+        assert_eq!(report.warm_fallbacks, 0, "structural no-op edit fell back");
+    };
+
+    if expect_warm {
+        edit_against_the_cache(&dir);
+    } else {
+        seed_the_cache(&dir);
+        if private {
+            // No driver process: play the second process ourselves.
+            edit_against_the_cache(&dir);
+            std::fs::remove_dir_all(&dir).ok();
+        }
     }
 }

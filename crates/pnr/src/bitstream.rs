@@ -104,6 +104,7 @@ mod tests {
             edges_relaxed: 4,
             wirelength: 1,
             nets_rerouted: 1,
+            history: Vec::new(),
         };
         (nl, placement, routed)
     }

@@ -30,8 +30,8 @@ pub mod route;
 pub mod timing;
 
 pub use bitstream::Bitstream;
-pub use place::{place, Placement};
-pub use route::{route, RoutedDesign};
+pub use place::{cell_identities, place, place_incremental, Placement};
+pub use route::{net_identities, route, route_incremental, RouteSeed, RoutedDesign};
 pub use timing::{analyze_timing, TimingReport};
 
 use fabric::{Device, Rect};
@@ -156,6 +156,153 @@ pub fn place_and_route(
     })
 }
 
+/// Placement and route state saved from a finished P&R run, replayable as
+/// an *optimization input* for a warm rerun of an edited version of the
+/// same operator. Hints are advisory: a warm run whose quality regresses
+/// past the guard in [`place_and_route_incremental`] is discarded in favour
+/// of a cold run, so a stale or mismatched hint can cost time but never
+/// correctness.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PnrHints {
+    /// The region the hinted run targeted; a different region voids the hint.
+    pub region: Rect,
+    /// Content-derived identity per prior cell ([`cell_identities`]).
+    pub cell_ids: Vec<u64>,
+    /// Prior tile assignment, indexed like `cell_ids`.
+    pub assignment: Vec<(u32, u32)>,
+    /// Content-derived identity per prior net ([`net_identities`]).
+    pub net_ids: Vec<u64>,
+    /// Prior tile paths per net per sink.
+    pub routes: Vec<Vec<Vec<(u32, u32)>>>,
+    /// Final PathFinder history costs of the prior run.
+    pub history: Vec<f32>,
+    /// Prior routed wirelength — the cold-quality estimate the warm
+    /// result's wirelength is guarded against.
+    pub wirelength: u64,
+    /// Prior fmax — the cold-quality estimate the warm fmax is guarded
+    /// against.
+    pub fmax_mhz: f64,
+    /// Work units the prior cold run spent (prices cache eviction).
+    pub work_units: u64,
+}
+
+/// Builds the [`PnrHints`] a future warm run of an edited sibling of
+/// `netlist` can start from.
+pub fn extract_hints(netlist: &Netlist, region: Rect, result: &PnrResult) -> PnrHints {
+    let cell_ids = cell_identities(netlist);
+    let net_ids = net_identities(netlist, &cell_ids);
+    PnrHints {
+        region,
+        cell_ids,
+        assignment: result.placement.assignment.clone(),
+        net_ids,
+        routes: result.routed.routes.clone(),
+        history: result.routed.history.clone(),
+        wirelength: result.routed.wirelength,
+        fmax_mhz: result.timing.fmax_mhz,
+        work_units: result.work_units,
+    }
+}
+
+/// How a warm-started run went, alongside its [`PnrResult`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WarmReport {
+    /// `true` when the quality guard (or a routing failure) discarded the
+    /// warm attempt and the result is a cold run, bit-identical to calling
+    /// [`place_and_route`] directly.
+    pub fell_back: bool,
+}
+
+/// Warm wirelength may exceed the hint's cold wirelength by at most this
+/// factor before the quality guard falls back to a cold run.
+pub const WARM_WIRELENGTH_SLACK: f64 = 1.05;
+
+/// Warm fmax may undercut the hint's cold fmax by at most this factor.
+pub const WARM_FMAX_SLACK: f64 = 0.95;
+
+/// Places and routes warm-started from `hints`, falling back to a cold
+/// [`place_and_route`] whenever the warm attempt fails or its quality
+/// regresses more than 5% against the hint's cold estimates.
+///
+/// The warm path is deterministic for fixed inputs and byte-identical at
+/// every `workers` count (see [`route_incremental`]); the fallback is
+/// bit-identical to a fresh cold run because it *is* one.
+///
+/// # Errors
+///
+/// See [`PnrError`] — only errors the cold fallback also hits escape.
+pub fn place_and_route_incremental(
+    netlist: &Netlist,
+    device: &Device,
+    region: Rect,
+    options: &PnrOptions,
+    hints: &PnrHints,
+    workers: usize,
+) -> Result<(PnrResult, WarmReport), PnrError> {
+    netlist.check()?;
+
+    let cold = |reason_result: Result<PnrResult, PnrError>| match reason_result {
+        Ok(r) => Ok((r, WarmReport { fell_back: false })),
+        Err(_) => place_and_route(netlist, device, region, options)
+            .map(|r| (r, WarmReport { fell_back: true })),
+    };
+
+    if hints.region != region || hints.cell_ids.len() != hints.assignment.len() {
+        return cold(Err(PnrError::DoesNotFit {
+            what: "hint mismatch".into(),
+        }));
+    }
+
+    let warm = (|| {
+        let t0 = std::time::Instant::now();
+        let placement = place_incremental(
+            netlist,
+            device,
+            region,
+            options,
+            &hints.cell_ids,
+            &hints.assignment,
+        )?;
+        let place_seconds = t0.elapsed().as_secs_f64();
+
+        let t1 = std::time::Instant::now();
+        let seed = RouteSeed {
+            net_ids: &hints.net_ids,
+            routes: &hints.routes,
+            history: &hints.history,
+        };
+        let routed =
+            route_incremental(netlist, device, region, &placement, options, &seed, workers)?;
+        let route_seconds = t1.elapsed().as_secs_f64();
+
+        // Quality guard: the hint's cold numbers are the estimate of what a
+        // cold run of the edited netlist would achieve (the edit is small by
+        // assumption — that is what made the hint applicable).
+        let wl_ok =
+            routed.wirelength as f64 <= hints.wirelength as f64 * WARM_WIRELENGTH_SLACK + 4.0;
+        let timing = timing::analyze_timing(netlist, device, &placement, &routed);
+        let fmax_ok = timing.fmax_mhz >= hints.fmax_mhz * WARM_FMAX_SLACK;
+        if !wl_ok || !fmax_ok {
+            return Err(PnrError::Unroutable { overused_edges: 0 });
+        }
+
+        let bitstream =
+            bitstream::Bitstream::generate(netlist, region, &placement, &routed, options.seed);
+        let work_units = placement.moves_evaluated + routed.edges_relaxed;
+        Ok(PnrResult {
+            placement,
+            routed,
+            timing,
+            bitstream,
+            place_seconds,
+            route_seconds,
+            work_units,
+        })
+    })();
+
+    cold(warm)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -241,6 +388,95 @@ mod tests {
         }
         let err = place_and_route(&nl, &device, region, &PnrOptions::default()).unwrap_err();
         assert!(matches!(err, PnrError::DoesNotFit { .. }));
+    }
+
+    #[test]
+    fn warm_rerun_of_unchanged_netlist_replays_everything() {
+        let (device, region) = page();
+        let nl = datapath(40);
+        let opts = PnrOptions::default();
+        let cold = place_and_route(&nl, &device, region, &opts).unwrap();
+        let hints = extract_hints(&nl, region, &cold);
+        let (warm, report) =
+            place_and_route_incremental(&nl, &device, region, &opts, &hints, 2).unwrap();
+        assert!(!report.fell_back);
+        assert_eq!(warm.placement.assignment, cold.placement.assignment);
+        assert_eq!(warm.routed.routes, cold.routed.routes);
+        assert_eq!(warm.bitstream.payload_hash, cold.bitstream.payload_hash);
+        assert!(
+            warm.work_units < cold.work_units / 3,
+            "warm {} vs cold {}",
+            warm.work_units,
+            cold.work_units
+        );
+    }
+
+    #[test]
+    fn warm_rerun_after_edit_is_legal_and_worker_independent() {
+        let (device, region) = page();
+        let base = datapath(40);
+        let opts = PnrOptions::default();
+        let cold = place_and_route(&base, &device, region, &opts).unwrap();
+        let hints = extract_hints(&base, region, &cold);
+
+        // Edit: splice one extra cell into the middle of the datapath.
+        let mut edited = datapath(40);
+        let tap = edited.cells.iter().position(|c| c.name == "c20").unwrap();
+        let extra = edited.add_cell("c20_fix", CellKind::Adder { width: 32 });
+        edited.add_net(netlist::CellId(tap), vec![extra], 32);
+
+        let mut runs = Vec::new();
+        for workers in [1usize, 2, 4] {
+            let (warm, _) =
+                place_and_route_incremental(&edited, &device, region, &opts, &hints, workers)
+                    .unwrap();
+            assert_eq!(warm.routed.overused_edges, 0);
+            for (ni, net) in edited.nets.iter().enumerate() {
+                for (si, sink) in net.sinks.iter().enumerate() {
+                    let path = &warm.routed.routes[ni][si];
+                    assert_eq!(
+                        path.first().copied().unwrap(),
+                        warm.placement.assignment[net.driver.0]
+                    );
+                    assert_eq!(
+                        path.last().copied().unwrap(),
+                        warm.placement.assignment[sink.0]
+                    );
+                }
+            }
+            runs.push(warm);
+        }
+        for w in &runs[1..] {
+            assert_eq!(w.placement.assignment, runs[0].placement.assignment);
+            assert_eq!(w.routed.routes, runs[0].routed.routes);
+            assert_eq!(w.bitstream.payload_hash, runs[0].bitstream.payload_hash);
+        }
+        // The edit-local rerun must be far cheaper than the cold run.
+        assert!(
+            runs[0].work_units < cold.work_units / 2,
+            "warm {} vs cold {}",
+            runs[0].work_units,
+            cold.work_units
+        );
+    }
+
+    #[test]
+    fn quality_guard_falls_back_to_bit_identical_cold_run() {
+        let (device, region) = page();
+        let nl = datapath(40);
+        let opts = PnrOptions::default();
+        let cold = place_and_route(&nl, &device, region, &opts).unwrap();
+        // Poison the hint: claim the cold run achieved impossible quality,
+        // so any warm result trips the guard.
+        let mut hints = extract_hints(&nl, region, &cold);
+        hints.wirelength = 0;
+        hints.fmax_mhz = 1e9;
+        let (fallen, report) =
+            place_and_route_incremental(&nl, &device, region, &opts, &hints, 2).unwrap();
+        assert!(report.fell_back);
+        assert_eq!(fallen.placement.assignment, cold.placement.assignment);
+        assert_eq!(fallen.bitstream.payload_hash, cold.bitstream.payload_hash);
+        assert_eq!(fallen.work_units, cold.work_units);
     }
 
     #[test]

@@ -312,6 +312,57 @@ fn shift_axis(
     true
 }
 
+pub(crate) fn fnv(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Stable content-derived identity per macro-cell: a hash of the cell's
+/// name and kind. Identities survive unrelated edits elsewhere in the
+/// kernel — HLS regenerates unchanged cells with the same names and kinds —
+/// so a prior placement can be replayed onto the matching cells of the
+/// edited netlist (the warm-start diff of [`place_incremental`]).
+pub fn cell_identities(netlist: &Netlist) -> Vec<u64> {
+    netlist
+        .cells
+        .iter()
+        .map(|c| fnv(c.name.as_bytes()) ^ fnv(format!("{:?}", c.kind).as_bytes()).rotate_left(1))
+        .collect()
+}
+
+/// Pairs each cell of the new netlist with a prior coordinate by identity.
+/// Duplicate identities match occurrence-by-occurrence (k-th new occurrence
+/// to k-th prior occurrence), so the pairing is injective and deterministic.
+fn match_prior(
+    ids: &[u64],
+    prior_ids: &[u64],
+    prior_assignment: &[(u32, u32)],
+) -> Vec<Option<(u32, u32)>> {
+    use std::collections::HashMap;
+    let mut pool: HashMap<u64, Vec<usize>> = HashMap::new();
+    for (i, &id) in prior_ids.iter().enumerate() {
+        pool.entry(id).or_default().push(i);
+    }
+    let mut taken: HashMap<u64, usize> = HashMap::new();
+    ids.iter()
+        .map(|id| {
+            let occurrences = pool.get(id)?;
+            let k = taken.entry(*id).or_insert(0);
+            if *k < occurrences.len() {
+                let coord = prior_assignment[occurrences[*k]];
+                *k += 1;
+                Some(coord)
+            } else {
+                None
+            }
+        })
+        .collect()
+}
+
 /// One adjacency entry: a net touching a cell.
 ///
 /// `other` is the opposite endpoint's cell id when the net has exactly two
@@ -361,6 +412,55 @@ impl PlacerState {
     fn net_pins(&self, ni: usize) -> &[u32] {
         &self.pins[self.pin_off[ni] as usize..self.pin_off[ni + 1] as usize]
     }
+}
+
+/// Adjacency index and flat pin lists. Pin occurrences are kept in the
+/// net's declaration order (driver, then sinks) because the cost sums
+/// add one term per occurrence; collapsing duplicates into a multiply
+/// would change floating-point rounding versus the reference.
+#[allow(clippy::type_complexity)]
+fn build_net_index(netlist: &Netlist) -> (Vec<u32>, Vec<Adj>, Vec<u32>, Vec<u32>, Vec<f64>) {
+    let n_nets = netlist.nets.len();
+    let mut adj: Vec<Vec<Adj>> = vec![Vec::new(); netlist.cells.len()];
+    let mut pins: Vec<u32> = Vec::new();
+    let mut pin_off: Vec<u32> = Vec::with_capacity(n_nets + 1);
+    pin_off.push(0);
+    for (ni, net) in netlist.nets.iter().enumerate() {
+        for c in std::iter::once(net.driver).chain(net.sinks.iter().copied()) {
+            pins.push(c.0 as u32);
+            let v = &mut adj[c.0];
+            match v.last_mut() {
+                Some(a) if a.net == ni as u32 => a.mult += 1,
+                _ => v.push(Adj {
+                    net: ni as u32,
+                    mult: 1,
+                    other: u32::MAX,
+                }),
+            }
+        }
+        // Mark two-pin nets on distinct cells for the fast path.
+        let np = &pins[pin_off[ni] as usize..];
+        if let &[a, b] = np {
+            if a != b {
+                adj[a as usize].last_mut().unwrap().other = b;
+                adj[b as usize].last_mut().unwrap().other = a;
+            }
+        }
+        pin_off.push(pins.len() as u32);
+    }
+    let mut adj_off: Vec<u32> = Vec::with_capacity(netlist.cells.len() + 1);
+    let mut adj_data: Vec<Adj> = Vec::with_capacity(pins.len());
+    adj_off.push(0);
+    for v in &adj {
+        adj_data.extend_from_slice(v);
+        adj_off.push(adj_data.len() as u32);
+    }
+    let weights: Vec<f64> = netlist
+        .nets
+        .iter()
+        .map(|n| 1.0 + (n.width as f64).log2() / 8.0)
+        .collect();
+    (adj_off, adj_data, pins, pin_off, weights)
 }
 
 /// Places `netlist` into `region` by simulated annealing.
@@ -484,50 +584,8 @@ fn place_impl<const REFERENCE: bool>(
         }
     }
 
-    // Adjacency index and flat pin lists. Pin occurrences are kept in the
-    // net's declaration order (driver, then sinks) because the cost sums
-    // below add one term per occurrence; collapsing duplicates into a
-    // multiply would change floating-point rounding versus the reference.
     let n_nets = netlist.nets.len();
-    let mut adj: Vec<Vec<Adj>> = vec![Vec::new(); netlist.cells.len()];
-    let mut pins: Vec<u32> = Vec::new();
-    let mut pin_off: Vec<u32> = Vec::with_capacity(n_nets + 1);
-    pin_off.push(0);
-    for (ni, net) in netlist.nets.iter().enumerate() {
-        for c in std::iter::once(net.driver).chain(net.sinks.iter().copied()) {
-            pins.push(c.0 as u32);
-            let v = &mut adj[c.0];
-            match v.last_mut() {
-                Some(a) if a.net == ni as u32 => a.mult += 1,
-                _ => v.push(Adj {
-                    net: ni as u32,
-                    mult: 1,
-                    other: u32::MAX,
-                }),
-            }
-        }
-        // Mark two-pin nets on distinct cells for the fast path.
-        let np = &pins[pin_off[ni] as usize..];
-        if let &[a, b] = np {
-            if a != b {
-                adj[a as usize].last_mut().unwrap().other = b;
-                adj[b as usize].last_mut().unwrap().other = a;
-            }
-        }
-        pin_off.push(pins.len() as u32);
-    }
-    let mut adj_off: Vec<u32> = Vec::with_capacity(netlist.cells.len() + 1);
-    let mut adj_data: Vec<Adj> = Vec::with_capacity(pins.len());
-    adj_off.push(0);
-    for v in &adj {
-        adj_data.extend_from_slice(v);
-        adj_off.push(adj_data.len() as u32);
-    }
-    let weights: Vec<f64> = netlist
-        .nets
-        .iter()
-        .map(|n| 1.0 + (n.width as f64).log2() / 8.0)
-        .collect();
+    let (adj_off, adj_data, pins, pin_off, weights) = build_net_index(netlist);
 
     let mut st = PlacerState {
         assignment,
@@ -672,6 +730,303 @@ fn place_impl<const REFERENCE: bool>(
         // temperature step when the abstract shell is off.
         moves_evaluated += context_tiles;
         temperature *= 0.88;
+    }
+
+    Ok(Placement {
+        assignment: st.assignment,
+        cost: cost.max(0.0),
+        moves_evaluated,
+    })
+}
+
+/// Chebyshev radius of the candidate-site neighbourhood the warm-start
+/// refinement may move a cell within. Unchanged cells start where the prior
+/// run left them, so only local cleanup is needed; bounding the move space
+/// keeps refinement cost proportional to the edit, not the page.
+const LOCALITY_RADIUS: u32 = 6;
+
+/// Warm-starts placement from a prior run's assignment.
+///
+/// Cells are matched to the prior netlist by content-derived identity
+/// ([`cell_identities`]); matched single-tile cells are seeded at their
+/// prior coordinates, unmatched (new or changed) cells and multi-tile
+/// macros are placed greedily, and a short low-temperature annealing pass
+/// refines only the *dirty* cells (unmatched cells plus every cell sharing
+/// a net with one) within [`LOCALITY_RADIUS`] of their seed position.
+/// `moves_evaluated` therefore scales with the edit size, not the design.
+///
+/// The result is deterministic for a given (netlist, options, hint) and
+/// independent of any parallelism in the surrounding build.
+///
+/// # Errors
+///
+/// Returns [`PnrError::DoesNotFit`] exactly as [`place`] would.
+pub fn place_incremental(
+    netlist: &Netlist,
+    device: &Device,
+    region: Rect,
+    options: &PnrOptions,
+    prior_ids: &[u64],
+    prior_assignment: &[(u32, u32)],
+) -> Result<Placement, PnrError> {
+    let mut rng = StdRng::seed_from_u64(options.seed ^ 0x706c_6163 ^ 0x7761_726d);
+    let (mut grid, site_lists) = survey(device, region);
+
+    let demand = netlist.resources();
+    let capacity = device.region_resources(&region);
+    if !demand.fits_in(&capacity) {
+        return Err(PnrError::DoesNotFit {
+            what: format!("demand {demand} exceeds region capacity {capacity}"),
+        });
+    }
+
+    let ids = cell_identities(netlist);
+    let matched = match_prior(&ids, prior_ids, prior_assignment);
+
+    let n_cells = netlist.cells.len();
+    let mut assignment = vec![(0u32, 0u32); n_cells];
+    let mut cell_demand = vec![0u64; n_cells];
+    let mut cell_kind = vec![0u8; n_cells];
+    let mut cell_slot = vec![0u32; n_cells];
+    let mut seeded = vec![false; n_cells];
+
+    // Pass 1: replay matched single-tile cells at their prior coordinates
+    // when the slot is still the right kind and has capacity. The prior
+    // assignment was legal and matching is injective, so replay conflicts
+    // only arise against cells placed greedily below — checked per slot.
+    for (i, cell) in netlist.cells.iter().enumerate() {
+        let (kind, amount) = site_requirements(&cell.kind);
+        cell_demand[i] = amount;
+        cell_kind[i] = kind_index(kind) as u8;
+        if amount > tile_capacity(kind) {
+            continue; // multi-tile macro: greedy pass
+        }
+        let Some((x, y)) = matched[i] else { continue };
+        if !region.contains(x, y) || device.is_reserved_col(x) || device.columns[x as usize] != kind
+        {
+            continue;
+        }
+        let slot = Grid::local_index(&region, x, y) as u32;
+        if grid.free_slot(slot) < amount {
+            continue;
+        }
+        grid.take_slot(slot, amount);
+        assignment[i] = (x, y);
+        cell_slot[i] = slot;
+        seeded[i] = true;
+    }
+
+    // Pass 2: greedy placement for everything the replay could not seat —
+    // the same probe scheme as the cold path's initial placement.
+    let mut dirty_cells: Vec<u32> = Vec::new();
+    for (i, cell) in netlist.cells.iter().enumerate() {
+        if seeded[i] {
+            continue;
+        }
+        let (kind, amount) = site_requirements(&cell.kind);
+        let sites = &site_lists[kind_index(kind)];
+        if sites.is_empty() {
+            return Err(PnrError::DoesNotFit {
+                what: format!("region has no {kind:?} sites for cell `{}`", cell.name),
+            });
+        }
+        let start = rng.gen_range(0..sites.len());
+        if amount <= tile_capacity(kind) {
+            let mut placed = false;
+            for probe in 0..sites.len() {
+                let s = sites[(start + probe) % sites.len()];
+                if grid.free_slot(s.slot) >= amount {
+                    grid.take_slot(s.slot, amount);
+                    assignment[i] = (s.x, s.y);
+                    cell_slot[i] = s.slot;
+                    placed = true;
+                    break;
+                }
+            }
+            if !placed {
+                return Err(PnrError::DoesNotFit {
+                    what: format!("no site with {amount} free units for cell `{}`", cell.name),
+                });
+            }
+            dirty_cells.push(i as u32);
+        } else {
+            let mut remaining = amount;
+            let mut anchor = None;
+            for probe in 0..sites.len() {
+                let s = sites[(start + probe) % sites.len()];
+                let free = grid.free_slot(s.slot);
+                if free == 0 {
+                    continue;
+                }
+                let take = free.min(remaining);
+                grid.take_slot(s.slot, take);
+                if anchor.is_none() {
+                    anchor = Some((s.x, s.y));
+                    cell_slot[i] = s.slot;
+                }
+                remaining -= take;
+                if remaining == 0 {
+                    break;
+                }
+            }
+            match anchor {
+                Some(a) if remaining == 0 => assignment[i] = a,
+                _ => {
+                    return Err(PnrError::DoesNotFit {
+                        what: format!(
+                            "multi-tile cell `{}` needs {amount} units, {remaining} unplaced",
+                            cell.name
+                        ),
+                    })
+                }
+            }
+            cell_demand[i] = u64::MAX;
+        }
+    }
+
+    let n_nets = netlist.nets.len();
+    let (adj_off, adj_data, pins, pin_off, weights) = build_net_index(netlist);
+    let mut st = PlacerState {
+        assignment,
+        cell_demand,
+        cell_kind,
+        cell_slot,
+        adj_off,
+        adj_data,
+        pins,
+        pin_off,
+        weights,
+        boxes: Vec::with_capacity(n_nets),
+        cached: Vec::with_capacity(n_nets),
+    };
+
+    let mut cost = 0.0f64;
+    for ni in 0..n_nets {
+        let b = NetBox::scan(st.net_pins(ni), &st.assignment, u32::MAX, (0, 0));
+        let h = b.hpwl(st.weights[ni]);
+        st.boxes.push(b);
+        st.cached.push(h);
+        cost += h;
+    }
+    let mut moves_evaluated = 0u64;
+
+    // Dirty set: greedily-placed cells plus every movable cell sharing a
+    // net with one — the locality frontier the refinement may touch.
+    let mut in_dirty = vec![false; n_cells];
+    for &c in &dirty_cells {
+        in_dirty[c as usize] = true;
+    }
+    for &c in &dirty_cells.clone() {
+        let entries = st.adj_off[c as usize] as usize..st.adj_off[c as usize + 1] as usize;
+        for i in entries {
+            let ni = st.adj_data[i].net as usize;
+            for &p in st.net_pins(ni) {
+                if !in_dirty[p as usize] && st.cell_demand[p as usize] != u64::MAX {
+                    in_dirty[p as usize] = true;
+                    dirty_cells.push(p);
+                }
+            }
+        }
+    }
+    dirty_cells.sort_unstable();
+    dirty_cells.retain(|&c| st.cell_demand[c as usize] != u64::MAX);
+
+    if !dirty_cells.is_empty() {
+        // Candidate sites per dirty cell: its kind's sites within
+        // LOCALITY_RADIUS of the seed position.
+        let candidates: Vec<Vec<Site>> = dirty_cells
+            .iter()
+            .map(|&c| {
+                let (cx, cy) = st.assignment[c as usize];
+                site_lists[st.cell_kind[c as usize] as usize]
+                    .iter()
+                    .filter(|s| {
+                        s.x.abs_diff(cx) <= LOCALITY_RADIUS && s.y.abs_diff(cy) <= LOCALITY_RADIUS
+                    })
+                    .copied()
+                    .collect()
+            })
+            .collect();
+
+        // Short low-temperature schedule sized to the dirty set: a tenth of
+        // the cold starting temperature, cooling fast.
+        let d = dirty_cells.len().max(2);
+        let moves_per_temp = ((d as f64).powf(4.0 / 3.0) * 8.0 * options.effort).ceil() as u64;
+        let context_tiles = if options.abstract_shell {
+            0u64
+        } else {
+            (device.width * device.height) as u64
+        };
+        let mut temperature = (cost / n_nets.max(1) as f64).max(1.0) * 0.2;
+        let min_temp = 0.005;
+        let mut touched: Vec<(u32, NetBox, f64)> = Vec::with_capacity(8);
+        let mut touched_pair: Vec<(u32, f64)> = Vec::with_capacity(8);
+        while temperature > min_temp {
+            for _ in 0..moves_per_temp {
+                moves_evaluated += 1;
+                let di = draw_index(&mut rng, dirty_cells.len());
+                let cell = dirty_cells[di] as usize;
+                let amount = st.cell_demand[cell];
+                let sites = &candidates[di];
+                if sites.is_empty() {
+                    continue;
+                }
+                let s = sites[draw_index(&mut rng, sites.len())];
+                let (nx, ny) = (s.x, s.y);
+                let (ox, oy) = st.assignment[cell];
+                if (nx, ny) == (ox, oy) || grid.free_slot(s.slot) < amount {
+                    continue;
+                }
+                let entries = st.adj_off[cell] as usize..st.adj_off[cell + 1] as usize;
+                touched.clear();
+                touched_pair.clear();
+                let mut before = 0.0f64;
+                let mut after = 0.0f64;
+                for i in entries {
+                    let a = st.adj_data[i];
+                    let niu = a.net as usize;
+                    if a.other != u32::MAX {
+                        let (bx, by) = st.assignment[a.other as usize];
+                        let h = (nx.abs_diff(bx) + ny.abs_diff(by)) as f64 * st.weights[niu];
+                        before += st.cached[niu];
+                        after += h;
+                        touched_pair.push((a.net, h));
+                        continue;
+                    }
+                    let mut nb = st.boxes[niu];
+                    let ok = nb.shift_x(ox, nx, a.mult) && nb.shift_y(oy, ny, a.mult);
+                    if !ok {
+                        nb = NetBox::scan(st.net_pins(niu), &st.assignment, cell as u32, (nx, ny));
+                    }
+                    let h = nb.hpwl(st.weights[niu]);
+                    for _ in 0..a.mult {
+                        before += st.cached[niu];
+                        after += h;
+                    }
+                    touched.push((a.net, nb, h));
+                }
+                let delta = after - before;
+                let accept = delta <= 0.0
+                    || (delta < temperature * UPHILL_CUTOFF
+                        && rng.gen::<f64>() < (-delta / temperature).exp());
+                if accept {
+                    grid.give_slot(st.cell_slot[cell], amount);
+                    grid.take_slot(s.slot, amount);
+                    st.cell_slot[cell] = s.slot;
+                    cost += delta;
+                    st.assignment[cell] = (nx, ny);
+                    for &(ni, h) in &touched_pair {
+                        st.cached[ni as usize] = h;
+                    }
+                    for &(ni, nb, h) in &touched {
+                        st.boxes[ni as usize] = nb;
+                        st.cached[ni as usize] = h;
+                    }
+                }
+            }
+            moves_evaluated += context_tiles;
+            temperature *= 0.8;
+        }
     }
 
     Ok(Placement {

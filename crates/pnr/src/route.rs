@@ -42,6 +42,11 @@ pub struct RoutedDesign {
     /// Net reroutes performed across all negotiation iterations (every net
     /// counts once in iteration one; afterwards only ripped-up nets count).
     pub nets_rerouted: u64,
+    /// Final per-edge PathFinder history costs, indexed like the internal
+    /// edge graph (`(region.w * region.h) * 4` directed edges). Carried in
+    /// `PnrHints` so a warm rerun starts with the congestion knowledge the
+    /// cold run paid iterations to learn.
+    pub history: Vec<f32>,
 }
 
 struct EdgeGraph {
@@ -320,6 +325,320 @@ pub fn route(
         edges_relaxed,
         wirelength,
         nets_rerouted,
+        history: graph.history,
+    })
+}
+
+/// Stable content-derived identity per net: a hash of the driver's and
+/// sinks' cell identities plus the bus width. A net keeps its identity
+/// across unrelated edits, so its prior route can be considered for replay.
+pub fn net_identities(netlist: &Netlist, cell_ids: &[u64]) -> Vec<u64> {
+    netlist
+        .nets
+        .iter()
+        .map(|net| {
+            let mut h = cell_ids[net.driver.0].rotate_left(17) ^ net.width as u64;
+            for s in &net.sinks {
+                h = h
+                    .rotate_left(9)
+                    .wrapping_mul(0x100_0000_01b3)
+                    .wrapping_add(cell_ids[s.0]);
+            }
+            h
+        })
+        .collect()
+}
+
+/// Nets per frozen-congestion round below which the parallel machinery is
+/// skipped: searching a handful of nets sequentially (Gauss–Seidel, each
+/// net seeing the previous commits) converges faster than a Jacobi round
+/// and avoids thread-spawn overhead. The choice depends only on the net
+/// count — never on the worker count — so results stay byte-identical at
+/// every worker count.
+const PARALLEL_THRESHOLD: usize = 8;
+
+/// Prior route state a delta-routing run starts from. Produced by
+/// [`crate::extract_hints`] from a finished cold run.
+pub struct RouteSeed<'a> {
+    /// Identity per prior net ([`net_identities`]).
+    pub net_ids: &'a [u64],
+    /// Prior tile paths, indexed like the prior netlist's nets.
+    pub routes: &'a [Vec<Vec<(u32, u32)>>],
+    /// Prior final history costs (may be empty or mismatched, then ignored).
+    pub history: &'a [f32],
+}
+
+/// Delta routing: replays prior routes whose endpoints did not move, rips
+/// up and renegotiates only the rest, with PathFinder history seeded from
+/// the prior run.
+///
+/// When a negotiation round has [`PARALLEL_THRESHOLD`] or more nets to
+/// route, the nets are searched in parallel against *frozen* congestion
+/// (a Jacobi round: no net sees this round's other reroutes) and committed
+/// in ascending net order. Both the freeze and the commit order are
+/// independent of `workers`, so the routed design is byte-identical at
+/// every worker count; `workers` only sets how many OS threads share the
+/// search.
+///
+/// # Errors
+///
+/// Returns [`PnrError::Unroutable`] if congestion cannot be resolved in
+/// [`MAX_ITERATIONS`] — callers fall back to a cold [`route`].
+pub fn route_incremental(
+    netlist: &Netlist,
+    device: &Device,
+    region: Rect,
+    placement: &Placement,
+    options: &PnrOptions,
+    seed: &RouteSeed<'_>,
+    workers: usize,
+) -> Result<RoutedDesign, PnrError> {
+    let route_region = if options.abstract_shell {
+        region
+    } else {
+        Rect::new(0, 0, device.width, device.height)
+    };
+    let mut graph = EdgeGraph::new(route_region);
+    // Seed history from the prior run when the geometry matches; stale or
+    // foreign history is ignored rather than trusted.
+    if seed.history.len() == graph.history.len() {
+        graph.history.copy_from_slice(seed.history);
+    }
+
+    let cell_ids = crate::place::cell_identities(netlist);
+    let ids = net_identities(netlist, &cell_ids);
+    // Occurrence-paired identity match, like the placer's cell matching.
+    let mut pool: std::collections::HashMap<u64, Vec<usize>> = Default::default();
+    for (i, &id) in seed.net_ids.iter().enumerate() {
+        pool.entry(id).or_default().push(i);
+    }
+    let mut taken: std::collections::HashMap<u64, usize> = Default::default();
+
+    let mut edges_relaxed = 0u64;
+    let mut nets_rerouted = 0u64;
+    let n_nets = netlist.nets.len();
+    let mut routes: Vec<Vec<Vec<(u32, u32)>>> = vec![Vec::new(); n_nets];
+    let mut net_edges: Vec<Vec<u32>> = vec![Vec::new(); n_nets];
+    let mut to_route: Vec<usize> = Vec::new();
+
+    // Replay pass: keep a prior net's routing when its identity matches and
+    // every path still starts at the (possibly re-placed) driver tile, ends
+    // at the matching sink tile, and stays inside the routing region. The
+    // replayed set is a subset of a legal prior routing with identical
+    // widths, so its occupancy cannot exceed what the prior run carried —
+    // any residual overuse against *new* routing is negotiated below.
+    'nets: for ni in 0..n_nets {
+        let net = &netlist.nets[ni];
+        let replay = (|| {
+            let occurrences = pool.get(&ids[ni])?;
+            let k = taken.entry(ids[ni]).or_insert(0);
+            let pi = *occurrences.get(*k)?;
+            *k += 1;
+            Some(&seed.routes[pi])
+        })();
+        let Some(prior) = replay else {
+            to_route.push(ni);
+            continue;
+        };
+        if prior.len() != net.sinks.len() {
+            to_route.push(ni);
+            continue;
+        }
+        let from = placement.assignment[net.driver.0];
+        for (si, path) in prior.iter().enumerate() {
+            let to = placement.assignment[net.sinks[si].0];
+            let endpoints_ok = path.first() == Some(&from) && path.last() == Some(&to);
+            let steps_ok = path
+                .windows(2)
+                .all(|w| w[0].0.abs_diff(w[1].0) + w[0].1.abs_diff(w[1].1) == 1)
+                && path
+                    .iter()
+                    .all(|&(x, y)| graph.in_region(x as i64, y as i64));
+            if !endpoints_ok || !steps_ok {
+                to_route.push(ni);
+                continue 'nets;
+            }
+        }
+        // Commit the replay.
+        let units = net.width.div_ceil(8).max(1);
+        for path in prior.iter() {
+            for w in path.windows(2) {
+                let dir = step_dir(w[0], w[1]);
+                let e = graph.edge_index(w[0].0, w[0].1, dir);
+                graph.occupancy[e] += units;
+                net_edges[ni].push(e as u32);
+            }
+        }
+        routes[ni] = prior.clone();
+    }
+
+    let mut iterations = 0;
+    let mut overused = 0;
+    for iter in 0..MAX_ITERATIONS {
+        iterations = iter + 1;
+        edges_relaxed += graph.occupancy.len() as u64;
+
+        // Rip up every net in this round first, so the frozen graph the
+        // parallel searches see excludes all of them symmetrically.
+        for &ni in &to_route {
+            let units = netlist.nets[ni].width.div_ceil(8).max(1);
+            for &e in &net_edges[ni] {
+                graph.occupancy[e as usize] -= units;
+            }
+            net_edges[ni].clear();
+            nets_rerouted += 1;
+        }
+
+        if to_route.len() >= PARALLEL_THRESHOLD {
+            // Jacobi round: search all nets against the frozen graph in
+            // parallel, then commit in ascending net order.
+            let searched = search_frozen(netlist, placement, &graph, &to_route, workers);
+            for (ni, sink_paths, relaxed) in searched {
+                edges_relaxed += relaxed;
+                commit_net(
+                    netlist,
+                    &mut graph,
+                    &mut net_edges,
+                    &mut routes,
+                    ni,
+                    sink_paths,
+                );
+            }
+        } else {
+            // Gauss–Seidel round: each net sees the previous commits.
+            for &ni in &to_route {
+                let net = &netlist.nets[ni];
+                let from = placement.assignment[net.driver.0];
+                let mut sink_paths = Vec::with_capacity(net.sinks.len());
+                for s in &net.sinks {
+                    let to = placement.assignment[s.0];
+                    sink_paths.push(shortest_path(&graph, from, to, &mut edges_relaxed, true));
+                }
+                commit_net(
+                    netlist,
+                    &mut graph,
+                    &mut net_edges,
+                    &mut routes,
+                    ni,
+                    sink_paths,
+                );
+            }
+        }
+
+        overused = graph
+            .occupancy
+            .iter()
+            .filter(|&&o| o > CHANNEL_CAPACITY)
+            .count() as u32;
+        if overused == 0 {
+            break;
+        }
+        for (i, &o) in graph.occupancy.iter().enumerate() {
+            if o > CHANNEL_CAPACITY {
+                graph.history[i] += (o - CHANNEL_CAPACITY) as f32 * 0.5;
+            }
+        }
+        graph.pres_fac *= PRES_FAC_GROWTH;
+        // Rip-up set for the next round: every net (replayed ones included)
+        // crossing an overused edge, in ascending net order.
+        to_route = (0..n_nets)
+            .filter(|&ni| {
+                net_edges[ni]
+                    .iter()
+                    .any(|&e| graph.occupancy[e as usize] > CHANNEL_CAPACITY)
+            })
+            .collect();
+    }
+
+    if overused > 0 {
+        return Err(PnrError::Unroutable {
+            overused_edges: overused,
+        });
+    }
+
+    let wirelength = routes
+        .iter()
+        .flat_map(|sink_paths| sink_paths.iter())
+        .map(|p| p.len().saturating_sub(1) as u64)
+        .sum();
+
+    Ok(RoutedDesign {
+        routes,
+        overused_edges: 0,
+        iterations,
+        edges_relaxed,
+        wirelength,
+        nets_rerouted,
+        history: graph.history,
+    })
+}
+
+fn step_dir(from: (u32, u32), to: (u32, u32)) -> usize {
+    DIRS.iter()
+        .position(|&(dx, dy)| {
+            (from.0 as i64 + dx, from.1 as i64 + dy) == (to.0 as i64, to.1 as i64)
+        })
+        .expect("path steps are unit moves")
+}
+
+/// Occupies the edges of a net's freshly searched paths and records them.
+fn commit_net(
+    netlist: &Netlist,
+    graph: &mut EdgeGraph,
+    net_edges: &mut [Vec<u32>],
+    routes: &mut [Vec<Vec<(u32, u32)>>],
+    ni: usize,
+    sink_paths: Vec<Vec<(u32, u32)>>,
+) {
+    let units = netlist.nets[ni].width.div_ceil(8).max(1);
+    for path in &sink_paths {
+        for w in path.windows(2) {
+            let e = graph.edge_index(w[0].0, w[0].1, step_dir(w[0], w[1]));
+            graph.occupancy[e] += units;
+            net_edges[ni].push(e as u32);
+        }
+    }
+    routes[ni] = sink_paths;
+}
+
+/// Searches every net of `to_route` against the frozen congestion state,
+/// splitting the list across `workers` threads. Results come back in
+/// `to_route` order regardless of thread scheduling: each thread owns a
+/// contiguous chunk and chunks are concatenated in order.
+#[allow(clippy::type_complexity)]
+fn search_frozen(
+    netlist: &Netlist,
+    placement: &Placement,
+    graph: &EdgeGraph,
+    to_route: &[usize],
+    workers: usize,
+) -> Vec<(usize, Vec<Vec<(u32, u32)>>, u64)> {
+    let search_one = |ni: usize| {
+        let net = &netlist.nets[ni];
+        let from = placement.assignment[net.driver.0];
+        let mut relaxed = 0u64;
+        let sink_paths = net
+            .sinks
+            .iter()
+            .map(|s| shortest_path(graph, from, placement.assignment[s.0], &mut relaxed, true))
+            .collect();
+        (ni, sink_paths, relaxed)
+    };
+    let workers = workers.max(1).min(to_route.len());
+    if workers == 1 {
+        return to_route.iter().map(|&ni| search_one(ni)).collect();
+    }
+    let chunk = to_route.len().div_ceil(workers);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = to_route
+            .chunks(chunk)
+            .map(|c| scope.spawn(move || c.iter().map(|&ni| search_one(ni)).collect::<Vec<_>>()))
+            .collect();
+        let mut out = Vec::with_capacity(to_route.len());
+        for h in handles {
+            out.extend(h.join().expect("router worker panicked"));
+        }
+        out
     })
 }
 

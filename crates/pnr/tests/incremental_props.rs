@@ -1,0 +1,168 @@
+//! Property tests for warm-start incremental P&R: for arbitrary (fitting)
+//! netlists and arbitrary edits, the warm path must be (a) byte-identical
+//! at every worker count, (b) fully legal after delta rip-up — every cell
+//! on a typed in-region tile, every route a unit-step path between its true
+//! endpoints — and (c) bit-identical to a fresh cold run whenever the
+//! quality guard trips.
+
+use fabric::{ColumnKind, Floorplan};
+use netlist::{CellKind, Netlist};
+use pnr::{extract_hints, place_and_route, place_and_route_incremental, PnrHints, PnrOptions};
+use proptest::prelude::*;
+
+/// Builds a random connected netlist from a compact gene vector.
+fn netlist_from_genes(genes: &[(u8, u8)]) -> Netlist {
+    let mut nl = Netlist::new("gen");
+    let first = nl.add_cell("in", CellKind::StreamIn { width: 32 });
+    let mut cells = vec![first];
+    for (i, (kind_gene, fan_gene)) in genes.iter().enumerate() {
+        let kind = match kind_gene % 7 {
+            0 => CellKind::Adder {
+                width: 16 + (*kind_gene as u32 % 3) * 16,
+            },
+            1 => CellKind::Mult { width: 18 },
+            2 => CellKind::Register { width: 32 },
+            3 => CellKind::Logic { width: 8 },
+            4 => CellKind::Mux { width: 32 },
+            5 => CellKind::BramPort { bits: 4096 },
+            _ => CellKind::Comparator { width: 24 },
+        };
+        let id = nl.add_cell(format!("c{i}"), kind);
+        let driver = cells[*fan_gene as usize % cells.len()];
+        nl.add_net(driver, vec![id], 32);
+        cells.push(id);
+    }
+    nl
+}
+
+/// Applies a random edit: append `edit` cells, each fed from an existing
+/// cell — the structural shape of a developer extending one operator.
+fn edited_netlist(base: &Netlist, edit: &[(u8, u8)]) -> Netlist {
+    let mut nl = base.clone();
+    let n = nl.cells.len();
+    for (i, (kind_gene, fan_gene)) in edit.iter().enumerate() {
+        let kind = match kind_gene % 3 {
+            0 => CellKind::Register { width: 32 },
+            1 => CellKind::Logic { width: 8 },
+            _ => CellKind::Adder { width: 16 },
+        };
+        let id = nl.add_cell(format!("e{i}"), kind);
+        let driver = netlist::CellId(*fan_gene as usize % n);
+        nl.add_net(driver, vec![id], 32);
+    }
+    nl
+}
+
+/// Asserts full placement + routing legality of a P&R result.
+fn assert_legal(nl: &Netlist, fp: &Floorplan, region: fabric::Rect, result: &pnr::PnrResult) {
+    for (i, &(x, y)) in result.placement.assignment.iter().enumerate() {
+        assert!(region.contains(x, y), "cell {i} at ({x},{y}) escapes");
+        let r = nl.cells[i].kind.resources();
+        let want = if r.dsp > 0 {
+            ColumnKind::Dsp
+        } else if r.bram18 > 0 {
+            ColumnKind::Bram
+        } else {
+            ColumnKind::Clb
+        };
+        assert_eq!(fp.device.columns[x as usize], want, "cell {i} column kind");
+    }
+    for (ni, net) in nl.nets.iter().enumerate() {
+        for (si, sink) in net.sinks.iter().enumerate() {
+            let path = &result.routed.routes[ni][si];
+            assert_eq!(
+                path.first().copied(),
+                Some(result.placement.assignment[net.driver.0]),
+                "net {ni} sink {si} does not start at its driver"
+            );
+            assert_eq!(
+                path.last().copied(),
+                Some(result.placement.assignment[sink.0]),
+                "net {ni} sink {si} does not end at its sink"
+            );
+            for w in path.windows(2) {
+                let d =
+                    (w[1].0 as i64 - w[0].0 as i64).abs() + (w[1].1 as i64 - w[0].1 as i64).abs();
+                assert_eq!(d, 1, "net {ni} sink {si} skips tiles");
+            }
+        }
+    }
+    assert_eq!(result.routed.overused_edges, 0, "residual congestion");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// (a) + (b): a warm rerun of an edited netlist is legal and its
+    /// artifacts are byte-identical at every worker count.
+    #[test]
+    fn warm_rerun_is_legal_and_worker_count_invariant(
+        genes in proptest::collection::vec((any::<u8>(), any::<u8>()), 4..40),
+        edit in proptest::collection::vec((any::<u8>(), any::<u8>()), 1..4),
+        seed in any::<u64>(),
+        page in 0usize..22,
+    ) {
+        let base = netlist_from_genes(&genes);
+        prop_assume!(base.check().is_ok());
+        let fp = Floorplan::u50();
+        let region = fp.pages[page].rect;
+        let opts = PnrOptions { seed, ..Default::default() };
+        let Ok(cold) = place_and_route(&base, &fp.device, region, &opts) else {
+            return Ok(()); // genuinely over-full pages may fail
+        };
+        let hints = extract_hints(&base, region, &cold);
+
+        let edited = edited_netlist(&base, &edit);
+        prop_assume!(edited.check().is_ok());
+        let mut runs = Vec::new();
+        for workers in [1usize, 2, 4] {
+            let Ok((result, report)) = place_and_route_incremental(
+                &edited, &fp.device, region, &opts, &hints, workers,
+            ) else {
+                return Ok(()); // the edit no longer fits: cold also fails
+            };
+            assert_legal(&edited, &fp, region, &result);
+            runs.push((result, report));
+        }
+        let (first, first_report) = &runs[0];
+        for (other, report) in &runs[1..] {
+            prop_assert_eq!(report.fell_back, first_report.fell_back);
+            prop_assert_eq!(&other.placement.assignment, &first.placement.assignment);
+            prop_assert_eq!(&other.routed.routes, &first.routed.routes);
+            prop_assert_eq!(other.bitstream.payload_hash, first.bitstream.payload_hash);
+            prop_assert_eq!(other.work_units, first.work_units);
+        }
+    }
+
+    /// (c): an impossible quality bar always trips the guard, and the
+    /// fallback is bit-identical to a fresh cold run.
+    #[test]
+    fn tripped_guard_falls_back_to_bit_identical_cold(
+        genes in proptest::collection::vec((any::<u8>(), any::<u8>()), 4..40),
+        seed in any::<u64>(),
+        page in 0usize..22,
+    ) {
+        let nl = netlist_from_genes(&genes);
+        prop_assume!(nl.check().is_ok());
+        let fp = Floorplan::u50();
+        let region = fp.pages[page].rect;
+        let opts = PnrOptions { seed, ..Default::default() };
+        let Ok(cold) = place_and_route(&nl, &fp.device, region, &opts) else {
+            return Ok(());
+        };
+        // A hint claiming zero wirelength and 1 GHz cold quality: no warm
+        // run can match it, so the guard must discard the warm attempt.
+        let poisoned = PnrHints {
+            wirelength: 0,
+            fmax_mhz: 1e9,
+            ..extract_hints(&nl, region, &cold)
+        };
+        let (result, report) =
+            place_and_route_incremental(&nl, &fp.device, region, &opts, &poisoned, 4).unwrap();
+        prop_assert!(report.fell_back, "impossible bar must trip the guard");
+        prop_assert_eq!(&result.placement.assignment, &cold.placement.assignment);
+        prop_assert_eq!(&result.routed.routes, &cold.routed.routes);
+        prop_assert_eq!(result.bitstream.payload_hash, cold.bitstream.payload_hash);
+        prop_assert_eq!(result.work_units, cold.work_units);
+    }
+}
